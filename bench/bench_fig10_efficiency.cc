@@ -1,0 +1,130 @@
+// Fig. 10 — efficiency study on the SMD profile: F1 vs training speed vs
+// peak tensor memory for TFMAE, its "w/o FFT" variant (naive two-loop CV
+// statistics), and the strongest deep baselines (TranAD, DCdetector,
+// ConvAE≈TimesNet, USAD).
+#include <cstdio>
+
+#include "baselines/conv_ae.h"
+#include "baselines/dcdetector.h"
+#include "baselines/tranad.h"
+#include "baselines/usad.h"
+#include "bench/bench_common.h"
+#include "core/detector.h"
+#include "masking/coefficient_of_variation.h"
+#include "util/memory.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace tfmae {
+namespace {
+
+int Main() {
+  const double scale = bench::DatasetScale();
+  std::printf("Fig. 10: efficiency study on SMD (scale %.2f)\n\n", scale);
+  const data::LabeledDataset dataset =
+      data::MakeBenchmarkDataset(data::BenchmarkDataset::kSmd, scale);
+  const double fraction =
+      bench::AnomalyFractionFor(data::BenchmarkDataset::kSmd);
+
+  Table table({"Method", "F1(%)", "fit seconds", "peak tensor MiB"});
+
+  auto run = [&](const std::string& name, core::AnomalyDetector* detector) {
+    MemoryStats::ResetPeak();
+    Stopwatch watch;
+    detector->Fit(dataset.train);
+    const double fit_seconds = watch.ElapsedSeconds();
+    const double peak_mib =
+        static_cast<double>(MemoryStats::PeakBytes()) / (1024.0 * 1024.0);
+    const auto val_scores = detector->Score(dataset.val);
+    const auto test_scores = detector->Score(dataset.test);
+    const auto report = eval::EvaluateDetection(
+        val_scores, test_scores, dataset.test.labels, fraction);
+    table.AddRow({name, Table::Num(report.adjusted.f1 * 100),
+                  Table::Num(fit_seconds, 2), Table::Num(peak_mib, 2)});
+    std::fprintf(stderr, "  %-16s F1=%5.2f fit=%6.2fs peak=%6.2f MiB\n",
+                 name.c_str(), report.adjusted.f1 * 100, fit_seconds,
+                 peak_mib);
+  };
+
+  {
+    // Same per-epoch budget as the baselines (30) for a fair speed race.
+    core::TfmaeConfig config =
+        bench::TfmaeConfigFor(data::BenchmarkDataset::kSmd);
+    config.epochs = 30;
+    core::TfmaeDetector tfmae(config);
+    run("TFMAE", &tfmae);
+  }
+  {
+    core::TfmaeConfig config =
+        bench::TfmaeConfigFor(data::BenchmarkDataset::kSmd);
+    config.epochs = 30;
+    config.cv_method = masking::CvMethod::kNaive;
+    core::TfmaeDetector no_fft(config, "TFMAE w/o FFT");
+    run("TFMAE w/o FFT", &no_fft);
+  }
+  {
+    baselines::TranAdDetector tranad;
+    run("TranAD", &tranad);
+  }
+  {
+    baselines::DcDetector dcdetector;
+    run("DCdetector", &dcdetector);
+  }
+  {
+    baselines::ConvAeDetector conv({}, "TimesNet-sub");
+    run("TimesNet-sub", &conv);
+  }
+  {
+    baselines::UsadDetector usad;
+    run("USAD", &usad);
+  }
+
+  std::printf("%s\n", table.ToAligned().c_str());
+  table.WriteCsv(bench::ResultPath("fig10_efficiency.csv"));
+
+  // At |S|=50 the masking statistics are a negligible share of training, so
+  // the end-to-end rows above cannot separate the FFT and two-loop paths.
+  // This sub-table isolates the statistic itself (Eq. (5)'s O(N*S*W) ->
+  // O(N*S*logS) claim). The asymptotic win needs W >> log S: at the paper's
+  // W=10 the two-loop form is constant-factor faster, and the FFT path
+  // overtakes as W grows — the sweep shows where the crossover falls.
+  Table mask_table({"series length", "CV window W", "naive ms", "FFT ms",
+                    "speedup"});
+  Rng rng(3);
+  for (const auto& [length, cv_window] :
+       std::vector<std::pair<std::int64_t, std::int64_t>>{
+           {8192, 10},
+           {8192, 100},
+           {8192, 500},
+           {32768, 100},
+           {32768, 1000},
+           {32768, 4000}}) {
+    std::vector<float> series(static_cast<std::size_t>(length * 8));
+    for (float& v : series) v = static_cast<float>(rng.Normal());
+    Stopwatch naive_watch;
+    masking::CoefficientOfVariation(series, length, 8, cv_window,
+                                    masking::CvMethod::kNaive);
+    const double naive_ms = naive_watch.ElapsedMillis();
+    Stopwatch fft_watch;
+    masking::CoefficientOfVariation(series, length, 8, cv_window,
+                                    masking::CvMethod::kFft);
+    const double fft_ms = fft_watch.ElapsedMillis();
+    mask_table.AddRow({std::to_string(length), std::to_string(cv_window),
+                       Table::Num(naive_ms, 2), Table::Num(fft_ms, 2),
+                       Table::Num(naive_ms / std::max(fft_ms, 1e-6), 1)});
+  }
+  std::printf("FFT acceleration of the CV statistic (Eq. (5)):\n%s\n",
+              mask_table.ToAligned().c_str());
+  mask_table.WriteCsv(bench::ResultPath("fig10_cv_fft_speedup.csv"));
+  std::printf(
+      "Expected shape (paper): TFMAE near the best F1 with a small memory "
+      "footprint;\nthe w/o-FFT variant is strictly slower at identical "
+      "accuracy.\nCSV written to bench_results/fig10_efficiency.csv\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tfmae
+
+int main() { return tfmae::Main(); }

@@ -1,0 +1,104 @@
+// Fig. 1 — motivation: (left) a reconstruction model (TimesNet substitute)
+// trained on contaminated data reconstructs anomalies well — the
+// reconstruction error at anomalous points is not much larger than at
+// normal points on NIPS-TS-Global; (right) its anomaly-score CDFs on the
+// SMAP validation and test splits diverge under distribution shift.
+#include <cstdio>
+
+#include "baselines/conv_ae.h"
+#include "bench/bench_common.h"
+#include "data/profiles.h"
+#include "eval/detection.h"
+#include "eval/metrics.h"
+#include "util/table.h"
+
+namespace tfmae {
+namespace {
+
+int Main() {
+  const double scale = bench::DatasetScale();
+  std::printf("Fig. 1: motivation study (scale %.2f)\n\n", scale);
+
+  // Left panel: reconstruction quality on contaminated NIPS-TS-Global.
+  {
+    data::DatasetProfile profile =
+        data::GetProfile(data::BenchmarkDataset::kNipsTsGlobal, scale);
+    // The motivation figure trains on contaminated data (abnormal bias).
+    profile.train_contamination = 0.05;
+    const data::LabeledDataset dataset = data::MakeDataset(profile);
+
+    baselines::ConvAeDetector reconstruction({}, "TimesNet-sub");
+    reconstruction.Fit(dataset.train);
+    const auto scores = reconstruction.Score(dataset.test);
+
+    double anomaly_error = 0.0;
+    double normal_error = 0.0;
+    std::int64_t anomaly_count = 0;
+    std::int64_t normal_count = 0;
+    for (std::size_t t = 0; t < scores.size(); ++t) {
+      if (dataset.test.labels[t] != 0) {
+        anomaly_error += scores[t];
+        ++anomaly_count;
+      } else {
+        normal_error += scores[t];
+        ++normal_count;
+      }
+    }
+    anomaly_error /= std::max<std::int64_t>(anomaly_count, 1);
+    normal_error /= std::max<std::int64_t>(normal_count, 1);
+    Table left({"quantity", "value"});
+    left.AddRow({"mean recon error (normal)", Table::Num(normal_error, 5)});
+    left.AddRow({"mean recon error (anomaly)", Table::Num(anomaly_error, 5)});
+    left.AddRow({"anomaly/normal ratio",
+                 Table::Num(anomaly_error / (normal_error + 1e-12), 2)});
+    left.AddRow({"AUROC", Table::Num(eval::Auroc(scores, dataset.test.labels),
+                                     3)});
+    std::printf("Left panel — abnormal bias on NIPS-TS-Global:\n%s\n",
+                left.ToAligned().c_str());
+    left.WriteCsv(bench::ResultPath("fig1_left_abnormal_bias.csv"));
+  }
+
+  // Right panel: CDF gap on SMAP for the reconstruction model.
+  {
+    const data::LabeledDataset dataset =
+        data::MakeBenchmarkDataset(data::BenchmarkDataset::kSmap, scale);
+    baselines::ConvAeDetector reconstruction({}, "TimesNet-sub");
+    reconstruction.Fit(dataset.train);
+    const auto val_scores = reconstruction.Score(dataset.val);
+    const auto test_scores = reconstruction.Score(dataset.test);
+    float max_score = 1e-12f;
+    for (float s : val_scores) max_score = std::max(max_score, s);
+    for (float s : test_scores) max_score = std::max(max_score, s);
+    auto rescale = [max_score](std::vector<float> v) {
+      for (float& s : v) s /= max_score;
+      return v;
+    };
+    const auto val_cdf =
+        eval::EmpiricalCdf(rescale(val_scores), 0.0f, 1.0f, 26);
+    const auto test_cdf =
+        eval::EmpiricalCdf(rescale(test_scores), 0.0f, 1.0f, 26);
+    Table right({"x", "F_val(x)", "F_test(x)"});
+    double ks = 0.0;
+    for (std::size_t i = 0; i < val_cdf.size(); ++i) {
+      right.AddRow({Table::Num(val_cdf[i].first, 3),
+                    Table::Num(val_cdf[i].second, 4),
+                    Table::Num(test_cdf[i].second, 4)});
+      ks = std::max(ks, static_cast<double>(std::abs(
+                            val_cdf[i].second - test_cdf[i].second)));
+    }
+    std::printf("Right panel — score CDF gap on SMAP (KS=%.4f):\n%s\n", ks,
+                right.ToAligned().c_str());
+    right.WriteCsv(bench::ResultPath("fig1_right_cdf_gap.csv"));
+  }
+
+  std::printf(
+      "Expected shape (paper): the reconstruction model's anomaly/normal "
+      "error ratio is\nmodest (abnormal bias), and its val/test CDFs show a "
+      "clear gap (shift).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tfmae
+
+int main() { return tfmae::Main(); }

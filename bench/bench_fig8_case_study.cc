@@ -1,0 +1,119 @@
+// Fig. 8 — case study: anomaly-score traces of TFMAE and DCdetector on the
+// NIPS-TS-Seasonal and NIPS-TS-Global datasets, with the detection
+// threshold. The paper's claim: TFMAE's scores spike exactly at the
+// seasonal/global anomalies while DCdetector misses them.
+// Output: per-time-step CSV (value, label, tfmae score, dcdetector score,
+// thresholds) plus an ASCII summary of score mass inside vs outside the
+// labeled anomalies.
+#include <cstdio>
+
+#include "baselines/dcdetector.h"
+#include "bench/bench_common.h"
+#include "core/detector.h"
+#include "eval/metrics.h"
+#include "util/table.h"
+
+namespace tfmae {
+namespace {
+
+int Main() {
+  const double scale = bench::DatasetScale();
+  std::printf("Fig. 8: score-trace case study (scale %.2f)\n\n", scale);
+
+  Table summary({"Dataset", "Method", "mean score (anomaly)",
+                 "mean score (normal)", "ratio", "AUROC"});
+
+  for (data::BenchmarkDataset dataset :
+       {data::BenchmarkDataset::kNipsTsSeasonal,
+        data::BenchmarkDataset::kNipsTsGlobal}) {
+    const data::LabeledDataset materialized =
+        data::MakeBenchmarkDataset(dataset, scale);
+    const std::string name = data::DatasetName(dataset);
+
+    core::TfmaeDetector tfmae(bench::TfmaeConfigFor(dataset));
+    tfmae.Fit(materialized.train);
+    const auto tfmae_val = tfmae.Score(materialized.val);
+    const auto tfmae_test = tfmae.Score(materialized.test);
+    const float tfmae_threshold = eval::QuantileThreshold(
+        [&] {
+          std::vector<float> combined = tfmae_val;
+          combined.insert(combined.end(), tfmae_test.begin(),
+                          tfmae_test.end());
+          return combined;
+        }(),
+        bench::AnomalyFractionFor(dataset));
+
+    baselines::DcDetectorOptions dc_options;
+    baselines::DcDetector dcdetector(dc_options);
+    dcdetector.Fit(materialized.train);
+    const auto dc_val = dcdetector.Score(materialized.val);
+    const auto dc_test = dcdetector.Score(materialized.test);
+    const float dc_threshold = eval::QuantileThreshold(
+        [&] {
+          std::vector<float> combined = dc_val;
+          combined.insert(combined.end(), dc_test.begin(), dc_test.end());
+          return combined;
+        }(),
+        bench::AnomalyFractionFor(dataset));
+
+    // CSV trace mirroring the figure's three rows.
+    Table trace({"t", "value", "label", "tfmae_score", "tfmae_threshold",
+                 "dcdetector_score", "dcdetector_threshold"});
+    for (std::int64_t t = 0; t < materialized.test.length; ++t) {
+      trace.AddRow({std::to_string(t),
+                    Table::Num(materialized.test.at(t, 0), 4),
+                    std::to_string(static_cast<int>(
+                        materialized.test.labels[static_cast<std::size_t>(t)])),
+                    Table::Num(tfmae_test[static_cast<std::size_t>(t)], 6),
+                    Table::Num(tfmae_threshold, 6),
+                    Table::Num(dc_test[static_cast<std::size_t>(t)], 6),
+                    Table::Num(dc_threshold, 6)});
+    }
+    const std::string csv =
+        bench::ResultPath("fig8_trace_" + name + ".csv");
+    trace.WriteCsv(csv);
+    std::printf("trace CSV written to %s\n", csv.c_str());
+
+    auto summarize = [&](const std::string& method,
+                         const std::vector<float>& scores) {
+      double anomaly_sum = 0.0;
+      double normal_sum = 0.0;
+      std::int64_t anomaly_count = 0;
+      std::int64_t normal_count = 0;
+      for (std::size_t t = 0; t < scores.size(); ++t) {
+        if (materialized.test.labels[t] != 0) {
+          anomaly_sum += scores[t];
+          ++anomaly_count;
+        } else {
+          normal_sum += scores[t];
+          ++normal_count;
+        }
+      }
+      const double anomaly_mean = anomaly_sum / std::max<std::int64_t>(
+                                                    anomaly_count, 1);
+      const double normal_mean =
+          normal_sum / std::max<std::int64_t>(normal_count, 1);
+      summary.AddRow({name, method, Table::Num(anomaly_mean, 5),
+                      Table::Num(normal_mean, 5),
+                      Table::Num(anomaly_mean / (normal_mean + 1e-12), 2),
+                      Table::Num(eval::Auroc(scores,
+                                             materialized.test.labels),
+                                 3)});
+    };
+    summarize("TFMAE", tfmae_test);
+    summarize("DCdetector", dc_test);
+  }
+
+  std::printf("\n%s\n", summary.ToAligned().c_str());
+  summary.WriteCsv(bench::ResultPath("fig8_summary.csv"));
+  std::printf(
+      "Expected shape (paper): TFMAE's anomaly/normal score ratio >> 1 on "
+      "both datasets;\nDCdetector's ratio near 1 (it misses the seasonal and "
+      "global anomalies).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tfmae
+
+int main() { return tfmae::Main(); }

@@ -1,0 +1,60 @@
+// Industrial-control security: the SWaT-style scenario — detecting attacks
+// on a water-treatment testbed whose actuator cycles are strongly periodic
+// and whose attacks appear as sustained pattern deviations.
+//
+//   $ ./build/examples/water_treatment
+//
+// Demonstrates: comparing TFMAE against two baselines (USAD, IForest)
+// through the shared AnomalyDetector interface, and reporting with and
+// without point adjustment.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "baselines/iforest.h"
+#include "baselines/usad.h"
+#include "core/anomaly_detector.h"
+#include "core/detector.h"
+#include "data/profiles.h"
+
+int main() {
+  using namespace tfmae;
+
+  const data::LabeledDataset dataset =
+      data::MakeBenchmarkDataset(data::BenchmarkDataset::kSwat);
+  std::printf(
+      "SWaT-style testbed: %lld sensor/actuator channels, attack ratio "
+      "%.1f%%\n\n",
+      static_cast<long long>(dataset.test.num_features),
+      dataset.test.AnomalyRatio() * 100);
+
+  // Build the contenders behind the common interface.
+  std::vector<std::unique_ptr<core::AnomalyDetector>> detectors;
+  {
+    core::TfmaeConfig config;
+    config.per_window_normalization = false;
+    config.temporal_mask_ratio = 0.25;
+    config.frequency_mask_ratio = 0.4;
+    config.epochs = 60;
+    detectors.push_back(std::make_unique<core::TfmaeDetector>(config));
+  }
+  detectors.push_back(std::make_unique<baselines::UsadDetector>());
+  detectors.push_back(std::make_unique<baselines::IsolationForestDetector>());
+
+  std::printf("%-10s %10s %10s %10s %10s\n", "method", "raw F1", "adj P",
+              "adj R", "adj F1");
+  for (auto& detector : detectors) {
+    const eval::DetectionReport report =
+        core::RunProtocol(detector.get(), dataset, /*anomaly_fraction=*/0.05);
+    std::printf("%-10s %9.2f%% %9.2f%% %9.2f%% %9.2f%%\n",
+                detector->Name().c_str(), report.raw.f1 * 100,
+                report.adjusted.precision * 100, report.adjusted.recall * 100,
+                report.adjusted.f1 * 100);
+  }
+
+  std::printf(
+      "\nNote how point adjustment (the literature's segment-level protocol)"
+      "\nlifts every method: one hit inside a sustained attack credits the "
+      "whole segment.\n");
+  return 0;
+}

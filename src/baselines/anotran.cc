@@ -1,0 +1,258 @@
+#include "baselines/anotran.h"
+
+#include <cmath>
+
+#include "baselines/common.h"
+#include "data/timeseries.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tfmae::baselines {
+namespace {
+
+// Mean over the head axis of a [H, T, T] weight tensor -> [T, T],
+// composed from existing differentiable ops.
+Tensor MeanOverHeads(const Tensor& weights) {
+  const std::int64_t heads = weights.dim(0);
+  const std::int64_t t_len = weights.dim(1);
+  Tensor flat = ops::Reshape(weights, {heads, t_len * t_len});
+  Tensor by_cell = ops::Transpose2(flat);  // [T*T, H]
+  Tensor ones = Tensor::Full({heads, 1}, 1.0f / static_cast<float>(heads));
+  Tensor mean = ops::MatMul(by_cell, ones);  // [T*T, 1]
+  return ops::Reshape(mean, {t_len, t_len});
+}
+
+// Squared temporal distance matrix (i - j)^2, constant.
+Tensor DistanceSquared(std::int64_t t_len) {
+  Tensor dist = Tensor::Empty({t_len, t_len});
+  for (std::int64_t i = 0; i < t_len; ++i) {
+    for (std::int64_t j = 0; j < t_len; ++j) {
+      const float d = static_cast<float>(i - j);
+      dist.data()[i * t_len + j] = d * d;
+    }
+  }
+  return dist;
+}
+
+// Row-normalized Gaussian prior association from per-position widths
+// sigma [T, 1]: p_ij = exp(-(i-j)^2 / (2 sigma_i^2)) / row sum.
+Tensor PriorAssociation(const Tensor& sigma, const Tensor& dist2) {
+  const std::int64_t t_len = sigma.dim(0);
+  Tensor ones_row = Tensor::Full({1, t_len}, 1.0f);
+  Tensor ones_col = Tensor::Full({t_len, 1}, 1.0f);
+  // 1 / (2 sigma^2), broadcast across each row.
+  Tensor inv = ops::Div(Tensor::Full({t_len, 1}, 1.0f),
+                        ops::AddScalar(ops::Scale(ops::Square(sigma), 2.0f),
+                                       1e-6f));
+  Tensor inv_full = ops::MatMul(inv, ones_row);            // [T, T]
+  Tensor kernel = ops::Exp(ops::Neg(ops::Mul(dist2, inv_full)));
+  Tensor row_sum = ops::MatMul(kernel, ones_col);          // [T, 1]
+  Tensor row_sum_full = ops::MatMul(row_sum, ones_row);    // [T, T]
+  return ops::Div(kernel, row_sum_full);
+}
+
+// Symmetric KL between corresponding rows of two row-stochastic matrices,
+// averaged over rows -> scalar (differentiable).
+Tensor RowSymmetricKl(const Tensor& p, const Tensor& q) {
+  Tensor forward = ops::Mul(p, ops::Sub(ops::Log(p), ops::Log(q)));
+  Tensor backward = ops::Mul(q, ops::Sub(ops::Log(q), ops::Log(p)));
+  const float inv_rows = 1.0f / static_cast<float>(p.dim(0));
+  return ops::Scale(ops::SumAll(ops::Add(forward, backward)), inv_rows);
+}
+
+// Non-differentiable per-row symmetric KL (for scoring).
+std::vector<double> RowSymmetricKlValues(const Tensor& p, const Tensor& q) {
+  const std::int64_t rows = p.dim(0);
+  const std::int64_t cols = p.dim(1);
+  std::vector<double> values(static_cast<std::size_t>(rows), 0.0);
+  for (std::int64_t i = 0; i < rows; ++i) {
+    double acc = 0.0;
+    for (std::int64_t j = 0; j < cols; ++j) {
+      const double pv = std::max<double>(p.data()[i * cols + j], 1e-12);
+      const double qv = std::max<double>(q.data()[i * cols + j], 1e-12);
+      acc += pv * std::log(pv / qv) + qv * std::log(qv / pv);
+    }
+    values[static_cast<std::size_t>(i)] = acc;
+  }
+  return values;
+}
+
+}  // namespace
+
+/// Transformer trunk that exposes per-layer series/prior associations.
+class AnoTranDetector::Net : public nn::Module {
+ public:
+  Net(std::int64_t num_features, const AnoTranOptions& options, Rng* rng)
+      : options_(options),
+        proj_(num_features, options.model_dim, rng),
+        recon_(options.model_dim, num_features, rng) {
+    RegisterModule("proj", &proj_);
+    RegisterModule("recon", &recon_);
+    for (std::int64_t l = 0; l < options.num_layers; ++l) {
+      attention_.push_back(std::make_unique<nn::MultiHeadSelfAttention>(
+          options.model_dim, options.num_heads, rng));
+      feed_forward_.push_back(std::make_unique<nn::FeedForward>(
+          options.model_dim, options.ff_hidden, rng));
+      norm1_.push_back(std::make_unique<nn::LayerNorm>(options.model_dim));
+      norm2_.push_back(std::make_unique<nn::LayerNorm>(options.model_dim));
+      sigma_head_.push_back(
+          std::make_unique<nn::Linear>(options.model_dim, 1, rng));
+      const std::string suffix = std::to_string(l);
+      RegisterModule("attn" + suffix, attention_.back().get());
+      RegisterModule("ffn" + suffix, feed_forward_.back().get());
+      RegisterModule("norm1_" + suffix, norm1_.back().get());
+      RegisterModule("norm2_" + suffix, norm2_.back().get());
+      RegisterModule("sigma" + suffix, sigma_head_.back().get());
+    }
+  }
+
+  struct Associations {
+    Tensor reconstruction;        // [T, N]
+    std::vector<Tensor> series;   // per layer, [T, T]
+    std::vector<Tensor> prior;    // per layer, [T, T]
+  };
+
+  Associations Forward(const Tensor& x) const {
+    const std::int64_t t_len = x.dim(0);
+    std::vector<std::int64_t> positions(static_cast<std::size_t>(t_len));
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      positions[i] = static_cast<std::int64_t>(i);
+    }
+    Tensor dist2 = DistanceSquared(t_len);
+
+    Associations out;
+    Tensor h = nn::AddPositionalEncoding(proj_.Forward(x), positions);
+    for (std::size_t l = 0; l < attention_.size(); ++l) {
+      Tensor weights;
+      Tensor context = attention_[l]->ForwardWithWeights(h, &weights);
+      out.series.push_back(MeanOverHeads(weights));
+      // Per-position Gaussian width in (0.5, 3.5), predicted from h.
+      Tensor sigma = ops::AddScalar(
+          ops::Scale(ops::Sigmoid(sigma_head_[l]->Forward(h)), 3.0f), 0.5f);
+      out.prior.push_back(PriorAssociation(sigma, dist2));
+      h = norm1_[l]->Forward(ops::Add(h, context));
+      h = norm2_[l]->Forward(ops::Add(h, feed_forward_[l]->Forward(h)));
+    }
+    out.reconstruction = recon_.Forward(h);
+    return out;
+  }
+
+ private:
+  AnoTranOptions options_;
+  nn::Linear proj_;
+  nn::Linear recon_;
+  std::vector<std::unique_ptr<nn::MultiHeadSelfAttention>> attention_;
+  std::vector<std::unique_ptr<nn::FeedForward>> feed_forward_;
+  std::vector<std::unique_ptr<nn::LayerNorm>> norm1_;
+  std::vector<std::unique_ptr<nn::LayerNorm>> norm2_;
+  std::vector<std::unique_ptr<nn::Linear>> sigma_head_;
+};
+
+AnoTranDetector::~AnoTranDetector() = default;
+
+AnoTranDetector::AnoTranDetector(AnoTranOptions options)
+    : options_(options), rng_(options.seed) {}
+
+void AnoTranDetector::Fit(const data::TimeSeries& train) {
+  normalizer_.Fit(train);
+  const data::TimeSeries normalized = normalizer_.Apply(train);
+  const std::int64_t window = std::min(options_.window, normalized.length);
+
+  net_ = std::make_unique<Net>(normalized.num_features, options_, &rng_);
+  nn::AdamOptions adam;
+  adam.learning_rate = options_.learning_rate;
+  adam.clip_grad_norm = 5.0f;
+  optimizer_ = std::make_unique<nn::Adam>(net_->Parameters(), adam);
+
+  const auto starts =
+      data::WindowStarts(normalized.length, window, options_.stride);
+  std::vector<std::size_t> order(starts.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    for (std::size_t index : order) {
+      Tensor x = Tensor::FromData(
+          {window, normalized.num_features},
+          ExtractWindow(normalized, starts[index], window));
+      const Net::Associations assoc = net_->Forward(x);
+      Tensor loss = ops::MseLoss(assoc.reconstruction, x);
+      // Minimax association discrepancy: the prior chases the detached
+      // series association; the series association runs from the detached
+      // prior (both averaged over layers).
+      Tensor minimize_stage;
+      Tensor maximize_stage;
+      for (std::size_t l = 0; l < assoc.series.size(); ++l) {
+        Tensor min_term =
+            RowSymmetricKl(assoc.prior[l], assoc.series[l].Detach());
+        Tensor max_term =
+            RowSymmetricKl(assoc.prior[l].Detach(), assoc.series[l]);
+        minimize_stage = l == 0 ? min_term : ops::Add(minimize_stage, min_term);
+        maximize_stage = l == 0 ? max_term : ops::Add(maximize_stage, max_term);
+      }
+      const float layer_scale =
+          options_.discrepancy_weight /
+          static_cast<float>(assoc.series.size());
+      loss = ops::Add(loss, ops::Scale(minimize_stage, layer_scale));
+      loss = ops::Sub(loss, ops::Scale(maximize_stage, layer_scale));
+      net_->ZeroGrad();
+      loss.Backward();
+      optimizer_->Step();
+    }
+  }
+  fitted_ = true;
+}
+
+std::vector<float> AnoTranDetector::Score(const data::TimeSeries& series) {
+  TFMAE_CHECK_MSG(fitted_, "Score() called before Fit()");
+  const data::TimeSeries normalized = normalizer_.Apply(series);
+  const std::int64_t window = std::min(options_.window, normalized.length);
+  const std::int64_t n_feat = normalized.num_features;
+
+  NoGradGuard no_grad;
+  ScoreAccumulator accumulator(series.length);
+  for (std::int64_t start :
+       data::WindowStarts(normalized.length, window, options_.stride)) {
+    const std::vector<float> values = ExtractWindow(normalized, start, window);
+    Tensor x = Tensor::FromData({window, n_feat}, values);
+    const Net::Associations assoc = net_->Forward(x);
+
+    // Mean association discrepancy per time step across layers.
+    std::vector<double> discrepancy(static_cast<std::size_t>(window), 0.0);
+    for (std::size_t l = 0; l < assoc.series.size(); ++l) {
+      const auto layer_values =
+          RowSymmetricKlValues(assoc.prior[l], assoc.series[l]);
+      for (std::size_t t = 0; t < layer_values.size(); ++t) {
+        discrepancy[t] += layer_values[t] / assoc.series.size();
+      }
+    }
+    // softmax(-discrepancy) over the window re-weights reconstruction error
+    // (the original paper's anomaly criterion).
+    double max_neg = -1e300;
+    for (double d : discrepancy) max_neg = std::max(max_neg, -d);
+    std::vector<double> weight(static_cast<std::size_t>(window), 0.0);
+    double denom = 0.0;
+    for (std::size_t t = 0; t < weight.size(); ++t) {
+      weight[t] = std::exp(-discrepancy[t] - max_neg);
+      denom += weight[t];
+    }
+    std::vector<float> window_scores(static_cast<std::size_t>(window), 0.0f);
+    const float* rec = assoc.reconstruction.data();
+    for (std::int64_t t = 0; t < window; ++t) {
+      double err = 0.0;
+      for (std::int64_t n = 0; n < n_feat; ++n) {
+        const double d = static_cast<double>(values[static_cast<std::size_t>(
+                             t * n_feat + n)]) -
+                         static_cast<double>(rec[t * n_feat + n]);
+        err += d * d;
+      }
+      err /= static_cast<double>(n_feat);
+      window_scores[static_cast<std::size_t>(t)] = static_cast<float>(
+          err * weight[static_cast<std::size_t>(t)] /
+          std::max(denom, 1e-12) * static_cast<double>(window));
+    }
+    accumulator.Add(start, window_scores);
+  }
+  return accumulator.Finalize();
+}
+
+}  // namespace tfmae::baselines

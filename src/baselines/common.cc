@@ -1,0 +1,52 @@
+#include "baselines/common.h"
+
+#include "util/logging.h"
+
+namespace tfmae::baselines {
+
+std::vector<float> ExtractWindow(const data::TimeSeries& series,
+                                 std::int64_t start, std::int64_t len) {
+  TFMAE_CHECK(start >= 0 && start + len <= series.length);
+  const std::int64_t n_feat = series.num_features;
+  return std::vector<float>(
+      series.values.begin() + static_cast<std::ptrdiff_t>(start * n_feat),
+      series.values.begin() +
+          static_cast<std::ptrdiff_t>((start + len) * n_feat));
+}
+
+ScoreAccumulator::ScoreAccumulator(std::int64_t length)
+    : sum_(static_cast<std::size_t>(length), 0.0),
+      count_(static_cast<std::size_t>(length), 0) {}
+
+void ScoreAccumulator::Add(std::int64_t start,
+                           const std::vector<float>& window_scores) {
+  TFMAE_CHECK(start >= 0 &&
+              start + static_cast<std::int64_t>(window_scores.size()) <=
+                  static_cast<std::int64_t>(sum_.size()));
+  for (std::size_t i = 0; i < window_scores.size(); ++i) {
+    sum_[static_cast<std::size_t>(start) + i] += window_scores[i];
+    ++count_[static_cast<std::size_t>(start) + i];
+  }
+}
+
+void ScoreAccumulator::AddUniform(std::int64_t start, std::int64_t len,
+                                  float score) {
+  TFMAE_CHECK(start >= 0 &&
+              start + len <= static_cast<std::int64_t>(sum_.size()));
+  for (std::int64_t i = 0; i < len; ++i) {
+    sum_[static_cast<std::size_t>(start + i)] += score;
+    ++count_[static_cast<std::size_t>(start + i)];
+  }
+}
+
+std::vector<float> ScoreAccumulator::Finalize() const {
+  std::vector<float> scores(sum_.size(), 0.0f);
+  for (std::size_t i = 0; i < sum_.size(); ++i) {
+    if (count_[i] > 0) {
+      scores[i] = static_cast<float>(sum_[i] / count_[i]);
+    }
+  }
+  return scores;
+}
+
+}  // namespace tfmae::baselines

@@ -1,0 +1,39 @@
+// Shared plumbing for baseline detectors: window extraction and per-point
+// score accumulation over (possibly overlapping) windows.
+#ifndef TFMAE_BASELINES_COMMON_H_
+#define TFMAE_BASELINES_COMMON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/timeseries.h"
+
+namespace tfmae::baselines {
+
+/// Flat copy of rows [start, start+len) of `series` ([len * N] row-major).
+std::vector<float> ExtractWindow(const data::TimeSeries& series,
+                                 std::int64_t start, std::int64_t len);
+
+/// Accumulates per-point scores from overlapping windows and averages.
+class ScoreAccumulator {
+ public:
+  explicit ScoreAccumulator(std::int64_t length);
+
+  /// Adds window scores (size len) starting at `start`.
+  void Add(std::int64_t start, const std::vector<float>& window_scores);
+
+  /// Adds a single score for every point of [start, start+len) (for
+  /// detectors that score whole windows).
+  void AddUniform(std::int64_t start, std::int64_t len, float score);
+
+  /// Mean score per point (0 where never covered).
+  std::vector<float> Finalize() const;
+
+ private:
+  std::vector<double> sum_;
+  std::vector<std::int32_t> count_;
+};
+
+}  // namespace tfmae::baselines
+
+#endif  // TFMAE_BASELINES_COMMON_H_

@@ -1,0 +1,111 @@
+#include "baselines/conv_ae.h"
+
+#include "baselines/common.h"
+#include "data/timeseries.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tfmae::baselines {
+
+/// conv1d(k) -> GELU -> conv1d(k) -> GELU (bottleneck) -> conv1d(k) -> GELU
+/// -> conv1d(k) back to the feature count. conv1d is Im2Col + Linear.
+class ConvAeDetector::Net : public nn::Module {
+ public:
+  Net(std::int64_t num_features, const ConvAeOptions& options, Rng* rng)
+      : kernel_(options.kernel),
+        conv1_(options.kernel * num_features, options.channels, rng),
+        conv2_(options.kernel * options.channels, options.channels / 2, rng),
+        conv3_(options.kernel * (options.channels / 2), options.channels, rng),
+        conv4_(options.kernel * options.channels, num_features, rng) {
+    RegisterModule("conv1", &conv1_);
+    RegisterModule("conv2", &conv2_);
+    RegisterModule("conv3", &conv3_);
+    RegisterModule("conv4", &conv4_);
+  }
+
+  /// x: [T, N] -> reconstruction [T, N].
+  Tensor Reconstruct(const Tensor& x) const {
+    Tensor h = ops::Gelu(conv1_.Forward(ops::Im2Col(x, kernel_)));
+    h = ops::Gelu(conv2_.Forward(ops::Im2Col(h, kernel_)));
+    h = ops::Gelu(conv3_.Forward(ops::Im2Col(h, kernel_)));
+    return conv4_.Forward(ops::Im2Col(h, kernel_));
+  }
+
+ private:
+  std::int64_t kernel_;
+  nn::Linear conv1_;
+  nn::Linear conv2_;
+  nn::Linear conv3_;
+  nn::Linear conv4_;
+};
+
+ConvAeDetector::~ConvAeDetector() = default;
+
+ConvAeDetector::ConvAeDetector(ConvAeOptions options, std::string name)
+    : name_(std::move(name)), options_(options), rng_(options.seed) {
+  TFMAE_CHECK(options.kernel % 2 == 1 && options.channels >= 2);
+}
+
+void ConvAeDetector::Fit(const data::TimeSeries& train) {
+  normalizer_.Fit(train);
+  const data::TimeSeries normalized = normalizer_.Apply(train);
+  const std::int64_t window = std::min(options_.window, normalized.length);
+
+  net_ = std::make_unique<Net>(normalized.num_features, options_, &rng_);
+  nn::AdamOptions adam;
+  adam.learning_rate = options_.learning_rate;
+  adam.clip_grad_norm = 5.0f;
+  optimizer_ = std::make_unique<nn::Adam>(net_->Parameters(), adam);
+
+  const auto starts =
+      data::WindowStarts(normalized.length, window, options_.stride);
+  std::vector<std::size_t> order(starts.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    for (std::size_t index : order) {
+      const std::vector<float> values =
+          ExtractWindow(normalized, starts[index], window);
+      Tensor x =
+          Tensor::FromData({window, normalized.num_features}, values);
+      Tensor loss = ops::MseLoss(net_->Reconstruct(x), x);
+      net_->ZeroGrad();
+      loss.Backward();
+      optimizer_->Step();
+    }
+  }
+  fitted_ = true;
+}
+
+std::vector<float> ConvAeDetector::Score(const data::TimeSeries& series) {
+  TFMAE_CHECK_MSG(fitted_, "Score() called before Fit()");
+  const data::TimeSeries normalized = normalizer_.Apply(series);
+  const std::int64_t window = std::min(options_.window, normalized.length);
+  const std::int64_t n_feat = normalized.num_features;
+
+  NoGradGuard no_grad;
+  ScoreAccumulator accumulator(series.length);
+  for (std::int64_t start :
+       data::WindowStarts(normalized.length, window, options_.stride)) {
+    const std::vector<float> values = ExtractWindow(normalized, start, window);
+    Tensor x = Tensor::FromData({window, n_feat}, values);
+    Tensor reconstruction = net_->Reconstruct(x);
+    const float* rec = reconstruction.data();
+    std::vector<float> window_scores(static_cast<std::size_t>(window), 0.0f);
+    for (std::int64_t t = 0; t < window; ++t) {
+      double err = 0.0;
+      for (std::int64_t n = 0; n < n_feat; ++n) {
+        const double d = static_cast<double>(values[static_cast<std::size_t>(
+                             t * n_feat + n)]) -
+                         static_cast<double>(rec[t * n_feat + n]);
+        err += d * d;
+      }
+      window_scores[static_cast<std::size_t>(t)] =
+          static_cast<float>(err / static_cast<double>(n_feat));
+    }
+    accumulator.Add(start, window_scores);
+  }
+  return accumulator.Finalize();
+}
+
+}  // namespace tfmae::baselines

@@ -1,0 +1,52 @@
+// Convolutional window autoencoder — the TimesNet stand-in (DESIGN.md §3):
+// a temporal-convolution reconstruction model whose inductive bias is local
+// pattern matching, like TimesNet's 2D-convolution backbone. Scores are
+// per-point reconstruction errors.
+#ifndef TFMAE_BASELINES_CONV_AE_H_
+#define TFMAE_BASELINES_CONV_AE_H_
+
+#include <memory>
+
+#include "core/anomaly_detector.h"
+#include "nn/adam.h"
+#include "nn/layers.h"
+#include "util/rng.h"
+
+namespace tfmae::baselines {
+
+/// Hyper-parameters of the convolutional reconstruction baseline.
+struct ConvAeOptions {
+  std::int64_t window = 50;
+  std::int64_t stride = 25;
+  std::int64_t channels = 32;   ///< hidden conv channels
+  std::int64_t kernel = 5;      ///< odd conv kernel size
+  int epochs = 30;
+  float learning_rate = 1e-3f;
+  std::uint64_t seed = 13;
+};
+
+/// Two conv1d layers down to a bottleneck, two conv1d layers back.
+class ConvAeDetector : public core::AnomalyDetector {
+ public:
+  explicit ConvAeDetector(ConvAeOptions options = {},
+                          std::string name = "ConvAE");
+  ~ConvAeDetector() override;
+
+  std::string Name() const override { return name_; }
+  void Fit(const data::TimeSeries& train) override;
+  std::vector<float> Score(const data::TimeSeries& series) override;
+
+ private:
+  class Net;
+  std::string name_;
+  ConvAeOptions options_;
+  std::unique_ptr<Net> net_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  data::ZScoreNormalizer normalizer_;
+  Rng rng_;
+  bool fitted_ = false;
+};
+
+}  // namespace tfmae::baselines
+
+#endif  // TFMAE_BASELINES_CONV_AE_H_

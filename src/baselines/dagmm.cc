@@ -1,0 +1,252 @@
+#include "baselines/dagmm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/timeseries.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tfmae::baselines {
+
+void GaussianMixture::Fit(const std::vector<float>& points, std::int64_t n,
+                          std::int64_t dim, int components, int iterations,
+                          Rng* rng) {
+  TFMAE_CHECK(n >= components && dim >= 1 && components >= 1);
+  dim_ = dim;
+  const int k_comp = components;
+  weights_.assign(static_cast<std::size_t>(k_comp),
+                  1.0 / static_cast<double>(k_comp));
+  means_.assign(static_cast<std::size_t>(k_comp * dim), 0.0);
+  variances_.assign(static_cast<std::size_t>(k_comp * dim), 1.0);
+
+  // Initialize means at random data points.
+  const auto picks = rng->SampleWithoutReplacement(n, k_comp);
+  for (int k = 0; k < k_comp; ++k) {
+    for (std::int64_t d = 0; d < dim; ++d) {
+      means_[static_cast<std::size_t>(k * dim + d)] =
+          points[static_cast<std::size_t>(picks[static_cast<std::size_t>(k)] *
+                                              dim +
+                                          d)];
+    }
+  }
+
+  std::vector<double> responsibility(
+      static_cast<std::size_t>(n * k_comp), 0.0);
+  for (int iteration = 0; iteration < iterations; ++iteration) {
+    // E-step: responsibilities via log-sum-exp.
+    for (std::int64_t i = 0; i < n; ++i) {
+      double max_log = -1e300;
+      std::vector<double> logp(static_cast<std::size_t>(k_comp));
+      for (int k = 0; k < k_comp; ++k) {
+        double acc = std::log(std::max(weights_[static_cast<std::size_t>(k)],
+                                       1e-12));
+        for (std::int64_t d = 0; d < dim; ++d) {
+          const double var = std::max(
+              variances_[static_cast<std::size_t>(k * dim + d)], 1e-6);
+          const double diff =
+              static_cast<double>(points[static_cast<std::size_t>(i * dim + d)]) -
+              means_[static_cast<std::size_t>(k * dim + d)];
+          acc += -0.5 * (std::log(2.0 * M_PI * var) + diff * diff / var);
+        }
+        logp[static_cast<std::size_t>(k)] = acc;
+        max_log = std::max(max_log, acc);
+      }
+      double denom = 0.0;
+      for (int k = 0; k < k_comp; ++k) {
+        denom += std::exp(logp[static_cast<std::size_t>(k)] - max_log);
+      }
+      for (int k = 0; k < k_comp; ++k) {
+        responsibility[static_cast<std::size_t>(i * k_comp + k)] =
+            std::exp(logp[static_cast<std::size_t>(k)] - max_log) / denom;
+      }
+    }
+    // M-step.
+    for (int k = 0; k < k_comp; ++k) {
+      double resp_sum = 0.0;
+      for (std::int64_t i = 0; i < n; ++i) {
+        resp_sum += responsibility[static_cast<std::size_t>(i * k_comp + k)];
+      }
+      weights_[static_cast<std::size_t>(k)] =
+          std::max(resp_sum / static_cast<double>(n), 1e-6);
+      for (std::int64_t d = 0; d < dim; ++d) {
+        double mean_acc = 0.0;
+        for (std::int64_t i = 0; i < n; ++i) {
+          mean_acc +=
+              responsibility[static_cast<std::size_t>(i * k_comp + k)] *
+              static_cast<double>(
+                  points[static_cast<std::size_t>(i * dim + d)]);
+        }
+        const double mean = mean_acc / std::max(resp_sum, 1e-12);
+        double var_acc = 0.0;
+        for (std::int64_t i = 0; i < n; ++i) {
+          const double diff =
+              static_cast<double>(
+                  points[static_cast<std::size_t>(i * dim + d)]) -
+              mean;
+          var_acc += responsibility[static_cast<std::size_t>(i * k_comp + k)] *
+                     diff * diff;
+        }
+        means_[static_cast<std::size_t>(k * dim + d)] = mean;
+        variances_[static_cast<std::size_t>(k * dim + d)] =
+            std::max(var_acc / std::max(resp_sum, 1e-12), 1e-6);
+      }
+    }
+  }
+}
+
+double GaussianMixture::Energy(const float* point) const {
+  double max_log = -1e300;
+  std::vector<double> logp(weights_.size());
+  for (std::size_t k = 0; k < weights_.size(); ++k) {
+    double acc = std::log(std::max(weights_[k], 1e-12));
+    for (std::int64_t d = 0; d < dim_; ++d) {
+      const double var =
+          std::max(variances_[k * static_cast<std::size_t>(dim_) +
+                              static_cast<std::size_t>(d)],
+                   1e-6);
+      const double diff =
+          static_cast<double>(point[d]) -
+          means_[k * static_cast<std::size_t>(dim_) +
+                 static_cast<std::size_t>(d)];
+      acc += -0.5 * (std::log(2.0 * M_PI * var) + diff * diff / var);
+    }
+    logp[k] = acc;
+    max_log = std::max(max_log, acc);
+  }
+  double sum = 0.0;
+  for (double lp : logp) sum += std::exp(lp - max_log);
+  return -(max_log + std::log(sum));
+}
+
+/// Small autoencoder producing the compression code.
+class DagmmDetector::Net : public nn::Module {
+ public:
+  Net(std::int64_t input_dim, const DagmmOptions& options, Rng* rng)
+      : enc1_(input_dim, options.hidden, rng),
+        enc2_(options.hidden, options.latent, rng),
+        dec1_(options.latent, options.hidden, rng),
+        dec2_(options.hidden, input_dim, rng) {
+    RegisterModule("enc1", &enc1_);
+    RegisterModule("enc2", &enc2_);
+    RegisterModule("dec1", &dec1_);
+    RegisterModule("dec2", &dec2_);
+  }
+
+  Tensor Encode(const Tensor& x) const {
+    return enc2_.Forward(ops::Tanh(enc1_.Forward(x)));
+  }
+  Tensor Decode(const Tensor& z) const {
+    return dec2_.Forward(ops::Tanh(dec1_.Forward(z)));
+  }
+
+ private:
+  nn::Linear enc1_;
+  nn::Linear enc2_;
+  nn::Linear dec1_;
+  nn::Linear dec2_;
+};
+
+DagmmDetector::~DagmmDetector() = default;
+
+DagmmDetector::DagmmDetector(DagmmOptions options)
+    : options_(options), rng_(options.seed) {}
+
+std::vector<float> DagmmDetector::CodeFor(const float* point) const {
+  Tensor x = Tensor::FromData(
+      {1, num_features_},
+      std::vector<float>(point, point + num_features_));
+  Tensor z = net_->Encode(x);
+  Tensor reconstruction = net_->Decode(z);
+  // Reconstruction features (as in the original DAGMM): relative euclidean
+  // error and cosine similarity between input and reconstruction.
+  double err = 0.0;
+  double x_norm = 0.0;
+  double r_norm = 0.0;
+  double dot = 0.0;
+  for (std::int64_t d = 0; d < num_features_; ++d) {
+    const double xv = static_cast<double>(point[d]);
+    const double rv = static_cast<double>(reconstruction.data()[d]);
+    err += (xv - rv) * (xv - rv);
+    x_norm += xv * xv;
+    r_norm += rv * rv;
+    dot += xv * rv;
+  }
+  std::vector<float> code(z.data(), z.data() + options_.latent);
+  code.push_back(static_cast<float>(std::sqrt(err) /
+                                    std::max(std::sqrt(x_norm), 1e-6)));
+  code.push_back(static_cast<float>(
+      dot / std::max(std::sqrt(x_norm * r_norm), 1e-6)));
+  return code;
+}
+
+void DagmmDetector::Fit(const data::TimeSeries& train) {
+  normalizer_.Fit(train);
+  const data::TimeSeries normalized = normalizer_.Apply(train);
+  num_features_ = normalized.num_features;
+
+  net_ = std::make_unique<Net>(num_features_, options_, &rng_);
+  nn::AdamOptions adam;
+  adam.learning_rate = options_.learning_rate;
+  adam.clip_grad_norm = 5.0f;
+  optimizer_ = std::make_unique<nn::Adam>(net_->Parameters(), adam);
+
+  // Train the autoencoder on mini-batches of observation rows.
+  const std::int64_t batch = 64;
+  std::vector<std::int64_t> order(static_cast<std::size_t>(normalized.length));
+  for (std::int64_t i = 0; i < normalized.length; ++i) {
+    order[static_cast<std::size_t>(i)] = i;
+  }
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    for (std::int64_t begin = 0; begin + batch <= normalized.length;
+         begin += batch) {
+      std::vector<float> rows(static_cast<std::size_t>(batch * num_features_));
+      for (std::int64_t b = 0; b < batch; ++b) {
+        const std::int64_t t = order[static_cast<std::size_t>(begin + b)];
+        for (std::int64_t d = 0; d < num_features_; ++d) {
+          rows[static_cast<std::size_t>(b * num_features_ + d)] =
+              normalized.at(t, d);
+        }
+      }
+      Tensor x = Tensor::FromData({batch, num_features_}, rows);
+      Tensor loss = ops::MseLoss(net_->Decode(net_->Encode(x)), x);
+      net_->ZeroGrad();
+      loss.Backward();
+      optimizer_->Step();
+    }
+  }
+
+  // Fit the mixture on the codes of all training rows.
+  {
+    NoGradGuard no_grad;
+    const std::int64_t code_dim = options_.latent + 2;
+    std::vector<float> codes(
+        static_cast<std::size_t>(normalized.length * code_dim));
+    for (std::int64_t t = 0; t < normalized.length; ++t) {
+      const std::vector<float> code =
+          CodeFor(normalized.values.data() + t * num_features_);
+      std::copy(code.begin(), code.end(),
+                codes.begin() + static_cast<std::ptrdiff_t>(t * code_dim));
+    }
+    mixture_.Fit(codes, normalized.length, code_dim,
+                 options_.mixture_components, options_.em_iterations, &rng_);
+  }
+  fitted_ = true;
+}
+
+std::vector<float> DagmmDetector::Score(const data::TimeSeries& series) {
+  TFMAE_CHECK_MSG(fitted_, "Score() called before Fit()");
+  const data::TimeSeries normalized = normalizer_.Apply(series);
+  NoGradGuard no_grad;
+  std::vector<float> scores(static_cast<std::size_t>(series.length));
+  for (std::int64_t t = 0; t < normalized.length; ++t) {
+    const std::vector<float> code =
+        CodeFor(normalized.values.data() + t * num_features_);
+    scores[static_cast<std::size_t>(t)] =
+        static_cast<float>(mixture_.Energy(code.data()));
+  }
+  return scores;
+}
+
+}  // namespace tfmae::baselines

@@ -1,0 +1,153 @@
+#include "baselines/dcdetector.h"
+
+#include "baselines/common.h"
+#include "data/timeseries.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tfmae::baselines {
+
+/// Point branch: per-time-step projection + Transformer.
+/// Patch branch: mean-pooled patches, projected, Transformer, then
+/// broadcast back to point resolution.
+class DcDetector::Net : public nn::Module {
+ public:
+  Net(std::int64_t num_features, const DcDetectorOptions& options, Rng* rng)
+      : patch_(options.patch),
+        point_proj_(num_features, options.model_dim, rng),
+        patch_proj_(num_features, options.model_dim, rng),
+        point_branch_(options.num_layers, options.model_dim, options.num_heads,
+                      options.ff_hidden, rng),
+        patch_branch_(options.num_layers, options.model_dim, options.num_heads,
+                      options.ff_hidden, rng) {
+    RegisterModule("point_proj", &point_proj_);
+    RegisterModule("patch_proj", &patch_proj_);
+    RegisterModule("point_branch", &point_branch_);
+    RegisterModule("patch_branch", &patch_branch_);
+  }
+
+  struct Views {
+    Tensor point;  // [T, D]
+    Tensor patch;  // [T, D] (patch representations repeated to points)
+  };
+
+  Views Forward(const Tensor& x) const {
+    const std::int64_t t_len = x.dim(0);
+    std::vector<std::int64_t> positions(static_cast<std::size_t>(t_len));
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      positions[i] = static_cast<std::int64_t>(i);
+    }
+
+    Views views;
+    {
+      Tensor h = point_proj_.Forward(x);
+      h = nn::AddPositionalEncoding(h, positions);
+      views.point = point_branch_.Forward(h);
+    }
+    {
+      // Patch means: rows p cover [p*patch, (p+1)*patch).
+      const std::int64_t num_patches = (t_len + patch_ - 1) / patch_;
+      const std::int64_t n_feat = x.dim(1);
+      std::vector<float> pooled(
+          static_cast<std::size_t>(num_patches * n_feat), 0.0f);
+      for (std::int64_t p = 0; p < num_patches; ++p) {
+        const std::int64_t begin = p * patch_;
+        const std::int64_t end = std::min(begin + patch_, t_len);
+        for (std::int64_t t = begin; t < end; ++t) {
+          for (std::int64_t n = 0; n < n_feat; ++n) {
+            pooled[static_cast<std::size_t>(p * n_feat + n)] +=
+                x.data()[t * n_feat + n];
+          }
+        }
+        for (std::int64_t n = 0; n < n_feat; ++n) {
+          pooled[static_cast<std::size_t>(p * n_feat + n)] /=
+              static_cast<float>(end - begin);
+        }
+      }
+      Tensor patches = Tensor::FromData({num_patches, n_feat}, pooled);
+      Tensor h = patch_proj_.Forward(patches);
+      std::vector<std::int64_t> patch_positions(
+          static_cast<std::size_t>(num_patches));
+      for (std::size_t i = 0; i < patch_positions.size(); ++i) {
+        patch_positions[i] = static_cast<std::int64_t>(i) * patch_;
+      }
+      h = nn::AddPositionalEncoding(h, patch_positions);
+      h = patch_branch_.Forward(h);
+      // Repeat each patch representation across its points.
+      std::vector<std::int64_t> gather(static_cast<std::size_t>(t_len));
+      for (std::int64_t t = 0; t < t_len; ++t) {
+        gather[static_cast<std::size_t>(t)] = t / patch_;
+      }
+      views.patch = ops::IndexRows(h, gather);
+    }
+    return views;
+  }
+
+ private:
+  std::int64_t patch_;
+  nn::Linear point_proj_;
+  nn::Linear patch_proj_;
+  nn::TransformerStack point_branch_;
+  nn::TransformerStack patch_branch_;
+};
+
+DcDetector::~DcDetector() = default;
+
+DcDetector::DcDetector(DcDetectorOptions options)
+    : options_(options), rng_(options.seed) {}
+
+void DcDetector::Fit(const data::TimeSeries& train) {
+  normalizer_.Fit(train);
+  const data::TimeSeries normalized = normalizer_.Apply(train);
+  const std::int64_t window = std::min(options_.window, normalized.length);
+
+  net_ = std::make_unique<Net>(normalized.num_features, options_, &rng_);
+  nn::AdamOptions adam;
+  adam.learning_rate = options_.learning_rate;
+  adam.clip_grad_norm = 5.0f;
+  optimizer_ = std::make_unique<nn::Adam>(net_->Parameters(), adam);
+
+  const auto starts =
+      data::WindowStarts(normalized.length, window, options_.stride);
+  std::vector<std::size_t> order(starts.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    for (std::size_t index : order) {
+      Tensor x = Tensor::FromData(
+          {window, normalized.num_features},
+          ExtractWindow(normalized, starts[index], window));
+      const Net::Views views = net_->Forward(x);
+      // DCdetector's pure positive-pair objective: each branch chases the
+      // stop-gradient of the other.
+      Tensor loss =
+          ops::Add(ops::SymmetricKlLoss(views.point.Detach(), views.patch),
+                   ops::SymmetricKlLoss(views.patch.Detach(), views.point));
+      net_->ZeroGrad();
+      loss.Backward();
+      optimizer_->Step();
+    }
+  }
+  fitted_ = true;
+}
+
+std::vector<float> DcDetector::Score(const data::TimeSeries& series) {
+  TFMAE_CHECK_MSG(fitted_, "Score() called before Fit()");
+  const data::TimeSeries normalized = normalizer_.Apply(series);
+  const std::int64_t window = std::min(options_.window, normalized.length);
+
+  NoGradGuard no_grad;
+  ScoreAccumulator accumulator(series.length);
+  for (std::int64_t start :
+       data::WindowStarts(normalized.length, window, options_.stride)) {
+    Tensor x =
+        Tensor::FromData({window, normalized.num_features},
+                         ExtractWindow(normalized, start, window));
+    const Net::Views views = net_->Forward(x);
+    accumulator.Add(start,
+                    ops::SymmetricKlPerRow(views.point, views.patch));
+  }
+  return accumulator.Finalize();
+}
+
+}  // namespace tfmae::baselines

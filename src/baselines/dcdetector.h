@@ -1,0 +1,58 @@
+// DCdetector-lite (Yang et al., KDD 2023) — the contrastive-family baseline:
+// two attention branches over different patch granularities of the same
+// window, trained with a positive-pair (stop-gradient) alignment objective;
+// the anomaly score is the per-point representation discrepancy.
+// Simplification vs. the original: the dual-attention branches are a
+// point-granularity Transformer and a patch-averaged Transformer (patch
+// embedding via mean pooling) instead of in-patch/cross-patch attention; the
+// defining mechanism — multi-granularity views + pure positive contrastive
+// discrepancy — is preserved.
+#ifndef TFMAE_BASELINES_DCDETECTOR_H_
+#define TFMAE_BASELINES_DCDETECTOR_H_
+
+#include <memory>
+
+#include "core/anomaly_detector.h"
+#include "nn/adam.h"
+#include "nn/transformer.h"
+#include "util/rng.h"
+
+namespace tfmae::baselines {
+
+/// Hyper-parameters of DCdetector-lite.
+struct DcDetectorOptions {
+  std::int64_t window = 50;
+  std::int64_t stride = 25;
+  std::int64_t patch = 5;     ///< patch size of the coarse branch
+  std::int64_t model_dim = 32;
+  std::int64_t num_heads = 4;
+  std::int64_t num_layers = 2;
+  std::int64_t ff_hidden = 64;
+  int epochs = 30;
+  float learning_rate = 1e-3f;
+  std::uint64_t seed = 43;
+};
+
+/// DCdetector-lite detector.
+class DcDetector : public core::AnomalyDetector {
+ public:
+  explicit DcDetector(DcDetectorOptions options = {});
+  ~DcDetector() override;
+
+  std::string Name() const override { return "DCdetector"; }
+  void Fit(const data::TimeSeries& train) override;
+  std::vector<float> Score(const data::TimeSeries& series) override;
+
+ private:
+  class Net;
+  DcDetectorOptions options_;
+  std::unique_ptr<Net> net_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  data::ZScoreNormalizer normalizer_;
+  Rng rng_;
+  bool fitted_ = false;
+};
+
+}  // namespace tfmae::baselines
+
+#endif  // TFMAE_BASELINES_DCDETECTOR_H_

@@ -1,0 +1,109 @@
+#include "baselines/dense_ae.h"
+
+#include "baselines/common.h"
+#include "data/timeseries.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tfmae::baselines {
+
+/// Encoder-decoder MLP over the flattened window.
+class DenseAeDetector::Net : public nn::Module {
+ public:
+  Net(std::int64_t input_dim, const DenseAeOptions& options, Rng* rng)
+      : enc1_(input_dim, options.hidden, rng),
+        enc2_(options.hidden, options.latent, rng),
+        dec1_(options.latent, options.hidden, rng),
+        dec2_(options.hidden, input_dim, rng) {
+    RegisterModule("enc1", &enc1_);
+    RegisterModule("enc2", &enc2_);
+    RegisterModule("dec1", &dec1_);
+    RegisterModule("dec2", &dec2_);
+  }
+
+  Tensor Encode(const Tensor& x) const {
+    return ops::Relu(enc2_.Forward(ops::Relu(enc1_.Forward(x))));
+  }
+
+  Tensor Decode(const Tensor& z) const {
+    return dec2_.Forward(ops::Relu(dec1_.Forward(z)));
+  }
+
+  Tensor Reconstruct(const Tensor& x) const { return Decode(Encode(x)); }
+
+ private:
+  nn::Linear enc1_;
+  nn::Linear enc2_;
+  nn::Linear dec1_;
+  nn::Linear dec2_;
+};
+
+DenseAeDetector::~DenseAeDetector() = default;
+
+DenseAeDetector::DenseAeDetector(DenseAeOptions options, std::string name)
+    : name_(std::move(name)), options_(options), rng_(options.seed) {}
+
+void DenseAeDetector::Fit(const data::TimeSeries& train) {
+  normalizer_.Fit(train);
+  const data::TimeSeries normalized = normalizer_.Apply(train);
+  const std::int64_t window = std::min(options_.window, normalized.length);
+  const std::int64_t input_dim = window * normalized.num_features;
+
+  net_ = std::make_unique<Net>(input_dim, options_, &rng_);
+  nn::AdamOptions adam;
+  adam.learning_rate = options_.learning_rate;
+  adam.clip_grad_norm = 5.0f;
+  optimizer_ = std::make_unique<nn::Adam>(net_->Parameters(), adam);
+
+  const auto starts =
+      data::WindowStarts(normalized.length, window, options_.stride);
+  std::vector<std::size_t> order(starts.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    for (std::size_t index : order) {
+      const std::vector<float> values =
+          ExtractWindow(normalized, starts[index], window);
+      Tensor x = Tensor::FromData({1, input_dim}, values);
+      Tensor loss = ops::MseLoss(net_->Reconstruct(x), x);
+      net_->ZeroGrad();
+      loss.Backward();
+      optimizer_->Step();
+    }
+  }
+  fitted_ = true;
+}
+
+std::vector<float> DenseAeDetector::Score(const data::TimeSeries& series) {
+  TFMAE_CHECK_MSG(fitted_, "Score() called before Fit()");
+  const data::TimeSeries normalized = normalizer_.Apply(series);
+  const std::int64_t window = std::min(options_.window, normalized.length);
+  const std::int64_t n_feat = normalized.num_features;
+  const std::int64_t input_dim = window * n_feat;
+
+  NoGradGuard no_grad;
+  ScoreAccumulator accumulator(series.length);
+  for (std::int64_t start :
+       data::WindowStarts(normalized.length, window, options_.stride)) {
+    const std::vector<float> values = ExtractWindow(normalized, start, window);
+    Tensor x = Tensor::FromData({1, input_dim}, values);
+    Tensor reconstruction = net_->Reconstruct(x);
+    const float* rec = reconstruction.data();
+    std::vector<float> window_scores(static_cast<std::size_t>(window), 0.0f);
+    for (std::int64_t t = 0; t < window; ++t) {
+      double err = 0.0;
+      for (std::int64_t n = 0; n < n_feat; ++n) {
+        const double d = static_cast<double>(values[static_cast<std::size_t>(
+                             t * n_feat + n)]) -
+                         static_cast<double>(rec[t * n_feat + n]);
+        err += d * d;
+      }
+      window_scores[static_cast<std::size_t>(t)] =
+          static_cast<float>(err / static_cast<double>(n_feat));
+    }
+    accumulator.Add(start, window_scores);
+  }
+  return accumulator.Finalize();
+}
+
+}  // namespace tfmae::baselines

@@ -1,0 +1,52 @@
+// Dense window autoencoder — the plain reconstruction-family baseline
+// (stands in for the OmniAnomaly family: reconstruct the window, score by
+// per-point reconstruction error; see DESIGN.md §3).
+#ifndef TFMAE_BASELINES_DENSE_AE_H_
+#define TFMAE_BASELINES_DENSE_AE_H_
+
+#include <memory>
+
+#include "core/anomaly_detector.h"
+#include "nn/adam.h"
+#include "nn/layers.h"
+#include "util/rng.h"
+
+namespace tfmae::baselines {
+
+/// Hyper-parameters shared by the dense reconstruction baselines.
+struct DenseAeOptions {
+  std::int64_t window = 50;
+  std::int64_t stride = 25;
+  std::int64_t hidden = 64;
+  std::int64_t latent = 16;
+  int epochs = 30;
+  float learning_rate = 1e-3f;
+  std::uint64_t seed = 11;
+};
+
+/// MLP autoencoder over flattened windows; anomaly score is the per-point
+/// squared reconstruction error averaged over features and covering windows.
+class DenseAeDetector : public core::AnomalyDetector {
+ public:
+  explicit DenseAeDetector(DenseAeOptions options = {},
+                           std::string name = "DenseAE");
+  ~DenseAeDetector() override;
+
+  std::string Name() const override { return name_; }
+  void Fit(const data::TimeSeries& train) override;
+  std::vector<float> Score(const data::TimeSeries& series) override;
+
+ private:
+  class Net;
+  std::string name_;
+  DenseAeOptions options_;
+  std::unique_ptr<Net> net_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  data::ZScoreNormalizer normalizer_;
+  Rng rng_;
+  bool fitted_ = false;
+};
+
+}  // namespace tfmae::baselines
+
+#endif  // TFMAE_BASELINES_DENSE_AE_H_

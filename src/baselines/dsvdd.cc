@@ -1,0 +1,115 @@
+#include "baselines/dsvdd.h"
+
+#include <cmath>
+
+#include "baselines/common.h"
+#include "data/timeseries.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tfmae::baselines {
+
+/// Bias-free MLP encoder (bias-free, as required by Deep SVDD to exclude the
+/// trivial constant-map solution).
+class DsvddDetector::Net : public nn::Module {
+ public:
+  Net(std::int64_t input_dim, const DsvddOptions& options, Rng* rng)
+      : fc1_(input_dim, options.hidden, rng, /*with_bias=*/false),
+        fc2_(options.hidden, options.latent, rng, /*with_bias=*/false) {
+    RegisterModule("fc1", &fc1_);
+    RegisterModule("fc2", &fc2_);
+  }
+
+  Tensor Encode(const Tensor& x) const {
+    return fc2_.Forward(ops::Relu(fc1_.Forward(x)));
+  }
+
+ private:
+  nn::Linear fc1_;
+  nn::Linear fc2_;
+};
+
+DsvddDetector::~DsvddDetector() = default;
+
+DsvddDetector::DsvddDetector(DsvddOptions options)
+    : options_(options), rng_(options.seed) {}
+
+void DsvddDetector::Fit(const data::TimeSeries& train) {
+  normalizer_.Fit(train);
+  const data::TimeSeries normalized = normalizer_.Apply(train);
+  const std::int64_t window = std::min(options_.window, normalized.length);
+  const std::int64_t input_dim = window * normalized.num_features;
+
+  net_ = std::make_unique<Net>(input_dim, options_, &rng_);
+  nn::AdamOptions adam;
+  adam.learning_rate = options_.learning_rate;
+  adam.clip_grad_norm = 5.0f;
+  optimizer_ = std::make_unique<nn::Adam>(net_->Parameters(), adam);
+
+  const auto starts =
+      data::WindowStarts(normalized.length, window, options_.stride);
+
+  // Center c = mean of initial embeddings (the standard DSVDD protocol).
+  center_.assign(static_cast<std::size_t>(options_.latent), 0.0f);
+  {
+    NoGradGuard no_grad;
+    for (std::int64_t start : starts) {
+      Tensor x = Tensor::FromData(
+          {1, input_dim}, ExtractWindow(normalized, start, window));
+      Tensor z = net_->Encode(x);
+      for (std::int64_t i = 0; i < options_.latent; ++i) {
+        center_[static_cast<std::size_t>(i)] += z.data()[i];
+      }
+    }
+    for (float& c : center_) c /= static_cast<float>(starts.size());
+    // Nudge coordinates away from zero (standard DSVDD trick to avoid a
+    // trivially reachable center).
+    for (float& c : center_) {
+      if (std::abs(c) < 0.1f) c = c >= 0 ? 0.1f : -0.1f;
+    }
+  }
+  Tensor center_tensor =
+      Tensor::FromData({1, options_.latent}, center_);
+
+  std::vector<std::size_t> order(starts.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    for (std::size_t index : order) {
+      Tensor x = Tensor::FromData(
+          {1, input_dim}, ExtractWindow(normalized, starts[index], window));
+      Tensor z = net_->Encode(x);
+      Tensor loss = ops::MeanAll(ops::Square(ops::Sub(z, center_tensor)));
+      net_->ZeroGrad();
+      loss.Backward();
+      optimizer_->Step();
+    }
+  }
+  fitted_ = true;
+}
+
+std::vector<float> DsvddDetector::Score(const data::TimeSeries& series) {
+  TFMAE_CHECK_MSG(fitted_, "Score() called before Fit()");
+  const data::TimeSeries normalized = normalizer_.Apply(series);
+  const std::int64_t window = std::min(options_.window, normalized.length);
+  const std::int64_t input_dim = window * normalized.num_features;
+
+  NoGradGuard no_grad;
+  ScoreAccumulator accumulator(series.length);
+  for (std::int64_t start :
+       data::WindowStarts(normalized.length, window, options_.stride)) {
+    Tensor x = Tensor::FromData({1, input_dim},
+                                ExtractWindow(normalized, start, window));
+    Tensor z = net_->Encode(x);
+    double dist = 0.0;
+    for (std::int64_t i = 0; i < options_.latent; ++i) {
+      const double d = static_cast<double>(z.data()[i]) -
+                       static_cast<double>(center_[static_cast<std::size_t>(i)]);
+      dist += d * d;
+    }
+    accumulator.AddUniform(start, window, static_cast<float>(dist));
+  }
+  return accumulator.Finalize();
+}
+
+}  // namespace tfmae::baselines

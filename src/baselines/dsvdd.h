@@ -1,0 +1,50 @@
+// Deep SVDD (Ruff et al., ICML 2018) — the deep clustering-family baseline:
+// an encoder trained to map data close to a fixed hypersphere center; the
+// anomaly score is the squared distance to the center.
+#ifndef TFMAE_BASELINES_DSVDD_H_
+#define TFMAE_BASELINES_DSVDD_H_
+
+#include <memory>
+
+#include "core/anomaly_detector.h"
+#include "nn/adam.h"
+#include "nn/layers.h"
+#include "util/rng.h"
+
+namespace tfmae::baselines {
+
+/// Hyper-parameters of Deep SVDD.
+struct DsvddOptions {
+  std::int64_t window = 10;   ///< short sub-windows give per-point locality
+  std::int64_t stride = 5;
+  std::int64_t hidden = 48;
+  std::int64_t latent = 16;
+  int epochs = 30;
+  float learning_rate = 1e-3f;
+  std::uint64_t seed = 29;
+};
+
+/// One-class Deep SVDD over flattened sub-windows.
+class DsvddDetector : public core::AnomalyDetector {
+ public:
+  explicit DsvddDetector(DsvddOptions options = {});
+  ~DsvddDetector() override;
+
+  std::string Name() const override { return "DSVDD"; }
+  void Fit(const data::TimeSeries& train) override;
+  std::vector<float> Score(const data::TimeSeries& series) override;
+
+ private:
+  class Net;
+  DsvddOptions options_;
+  std::unique_ptr<Net> net_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  std::vector<float> center_;  // hypersphere center c
+  data::ZScoreNormalizer normalizer_;
+  Rng rng_;
+  bool fitted_ = false;
+};
+
+}  // namespace tfmae::baselines
+
+#endif  // TFMAE_BASELINES_DSVDD_H_

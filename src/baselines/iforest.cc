@@ -1,0 +1,150 @@
+#include "baselines/iforest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tfmae::baselines {
+namespace {
+
+constexpr double kEulerMascheroni = 0.5772156649;
+
+}  // namespace
+
+IsolationForestDetector::IsolationForestDetector(std::int64_t num_trees,
+                                                 std::int64_t subsample_size,
+                                                 std::uint64_t seed)
+    : num_trees_(num_trees), subsample_size_(subsample_size), seed_(seed) {
+  TFMAE_CHECK(num_trees >= 1 && subsample_size >= 2);
+}
+
+double IsolationForestDetector::AveragePathLength(std::int64_t n) {
+  if (n <= 1) return 0.0;
+  if (n == 2) return 1.0;
+  const double h = std::log(static_cast<double>(n - 1)) + kEulerMascheroni;
+  return 2.0 * h -
+         2.0 * static_cast<double>(n - 1) / static_cast<double>(n);
+}
+
+void IsolationForestDetector::Fit(const data::TimeSeries& train) {
+  num_features_ = train.num_features;
+  const std::int64_t sample =
+      std::min<std::int64_t>(subsample_size_, train.length);
+  normalization_ = AveragePathLength(sample);
+  const std::int64_t height_limit = static_cast<std::int64_t>(
+      std::ceil(std::log2(std::max<std::int64_t>(sample, 2))));
+
+  Rng rng(seed_);
+  trees_.clear();
+  trees_.reserve(static_cast<std::size_t>(num_trees_));
+  for (std::int64_t tree_index = 0; tree_index < num_trees_; ++tree_index) {
+    Tree tree;
+    const auto picks = rng.SampleWithoutReplacement(train.length, sample);
+
+    // Recursive construction with an explicit stack of (point-set, depth).
+    struct Frame {
+      std::vector<std::int64_t> points;
+      std::int64_t depth;
+      std::int32_t node_index;
+    };
+    tree.nodes.push_back(Node{});
+    std::vector<Frame> stack;
+    stack.push_back({picks, 0, 0});
+    while (!stack.empty()) {
+      Frame frame = std::move(stack.back());
+      stack.pop_back();
+      Node& node = tree.nodes[static_cast<std::size_t>(frame.node_index)];
+      if (frame.depth >= height_limit ||
+          static_cast<std::int64_t>(frame.points.size()) <= 1) {
+        node.size = static_cast<std::int64_t>(frame.points.size());
+        continue;
+      }
+      // Pick a random feature with a non-degenerate range.
+      std::int64_t feature = -1;
+      float lo = 0.0f;
+      float hi = 0.0f;
+      for (int attempt = 0; attempt < 8 && feature < 0; ++attempt) {
+        const std::int64_t candidate = static_cast<std::int64_t>(
+            rng.UniformInt(static_cast<std::uint64_t>(num_features_)));
+        float min_v = train.at(frame.points[0], candidate);
+        float max_v = min_v;
+        for (std::int64_t p : frame.points) {
+          min_v = std::min(min_v, train.at(p, candidate));
+          max_v = std::max(max_v, train.at(p, candidate));
+        }
+        if (max_v > min_v) {
+          feature = candidate;
+          lo = min_v;
+          hi = max_v;
+        }
+      }
+      if (feature < 0) {  // all candidate features constant: make a leaf
+        node.size = static_cast<std::int64_t>(frame.points.size());
+        continue;
+      }
+      const float threshold =
+          static_cast<float>(rng.Uniform(lo, hi));
+      std::vector<std::int64_t> left_points;
+      std::vector<std::int64_t> right_points;
+      for (std::int64_t p : frame.points) {
+        (train.at(p, feature) < threshold ? left_points : right_points)
+            .push_back(p);
+      }
+      if (left_points.empty() || right_points.empty()) {
+        node.size = static_cast<std::int64_t>(frame.points.size());
+        continue;
+      }
+      // push_back may reallocate: write the split through a fresh reference
+      // after both children exist.
+      const std::int32_t left_index =
+          static_cast<std::int32_t>(tree.nodes.size());
+      tree.nodes.push_back(Node{});
+      const std::int32_t right_index =
+          static_cast<std::int32_t>(tree.nodes.size());
+      tree.nodes.push_back(Node{});
+      Node& split = tree.nodes[static_cast<std::size_t>(frame.node_index)];
+      split.feature = feature;
+      split.threshold = threshold;
+      split.left = left_index;
+      split.right = right_index;
+      stack.push_back({std::move(left_points), frame.depth + 1, left_index});
+      stack.push_back({std::move(right_points), frame.depth + 1, right_index});
+    }
+    trees_.push_back(std::move(tree));
+  }
+  fitted_ = true;
+}
+
+double IsolationForestDetector::PathLength(const Tree& tree,
+                                           const float* point) const {
+  std::int32_t index = 0;
+  std::int64_t depth = 0;
+  for (;;) {
+    const Node& node = tree.nodes[static_cast<std::size_t>(index)];
+    if (node.feature < 0) {
+      return static_cast<double>(depth) + AveragePathLength(node.size);
+    }
+    index = point[node.feature] < node.threshold ? node.left : node.right;
+    ++depth;
+  }
+}
+
+std::vector<float> IsolationForestDetector::Score(
+    const data::TimeSeries& series) {
+  TFMAE_CHECK_MSG(fitted_, "Score() called before Fit()");
+  TFMAE_CHECK(series.num_features == num_features_);
+  std::vector<float> scores(static_cast<std::size_t>(series.length));
+  for (std::int64_t t = 0; t < series.length; ++t) {
+    const float* point = series.values.data() + t * num_features_;
+    double mean_path = 0.0;
+    for (const Tree& tree : trees_) mean_path += PathLength(tree, point);
+    mean_path /= static_cast<double>(trees_.size());
+    scores[static_cast<std::size_t>(t)] = static_cast<float>(
+        std::pow(2.0, -mean_path / std::max(normalization_, 1e-12)));
+  }
+  return scores;
+}
+
+}  // namespace tfmae::baselines

@@ -1,0 +1,58 @@
+// Isolation Forest (Liu et al., ICDM 2008) — the tree-based baseline.
+#ifndef TFMAE_BASELINES_IFOREST_H_
+#define TFMAE_BASELINES_IFOREST_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/anomaly_detector.h"
+
+namespace tfmae::baselines {
+
+/// Isolation forest over per-time-step observation vectors.
+///
+/// Standard formulation: `num_trees` random isolation trees, each built on a
+/// subsample of `subsample_size` points; the anomaly score of a point is
+/// 2^(-E[h(x)] / c(subsample_size)) where h is the isolation depth.
+class IsolationForestDetector : public core::AnomalyDetector {
+ public:
+  IsolationForestDetector(std::int64_t num_trees = 100,
+                          std::int64_t subsample_size = 256,
+                          std::uint64_t seed = 23);
+
+  std::string Name() const override { return "IForest"; }
+  void Fit(const data::TimeSeries& train) override;
+  std::vector<float> Score(const data::TimeSeries& series) override;
+
+ private:
+  struct Node {
+    // Internal nodes: split on feature < threshold; children by index.
+    std::int64_t feature = -1;
+    float threshold = 0.0f;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    // Leaves: number of points that fell here (for the c(n) correction).
+    std::int64_t size = 0;
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+
+  /// Average path length of an unsuccessful BST search among n points.
+  static double AveragePathLength(std::int64_t n);
+
+  double PathLength(const Tree& tree, const float* point) const;
+
+  std::int64_t num_trees_;
+  std::int64_t subsample_size_;
+  std::uint64_t seed_;
+  std::int64_t num_features_ = 0;
+  double normalization_ = 1.0;  // c(subsample_size)
+  std::vector<Tree> trees_;
+  bool fitted_ = false;
+};
+
+}  // namespace tfmae::baselines
+
+#endif  // TFMAE_BASELINES_IFOREST_H_

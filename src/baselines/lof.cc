@@ -1,0 +1,135 @@
+#include "baselines/lof.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tfmae::baselines {
+namespace {
+
+double SquaredDistance(const float* a, const float* b, std::int64_t dim) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < dim; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace
+
+LofDetector::LofDetector(std::int64_t num_neighbors,
+                         std::int64_t max_train_points)
+    : num_neighbors_(num_neighbors), max_train_points_(max_train_points) {
+  TFMAE_CHECK(num_neighbors >= 1 && max_train_points >= num_neighbors + 1);
+}
+
+void LofDetector::KnnOfPoint(const float* point, std::int64_t skip,
+                             std::vector<std::int64_t>* indices,
+                             std::vector<double>* distances) const {
+  std::vector<std::pair<double, std::int64_t>> heap;  // max-heap of size k
+  heap.reserve(static_cast<std::size_t>(num_neighbors_) + 1);
+  for (std::int64_t j = 0; j < num_train_; ++j) {
+    if (j == skip) continue;
+    const double dist = SquaredDistance(
+        point, train_points_.data() + j * num_features_, num_features_);
+    if (static_cast<std::int64_t>(heap.size()) < num_neighbors_) {
+      heap.emplace_back(dist, j);
+      std::push_heap(heap.begin(), heap.end());
+    } else if (dist < heap.front().first) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = {dist, j};
+      std::push_heap(heap.begin(), heap.end());
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end());
+  indices->clear();
+  distances->clear();
+  for (const auto& [dist, j] : heap) {
+    indices->push_back(j);
+    distances->push_back(std::sqrt(dist));
+  }
+}
+
+void LofDetector::Fit(const data::TimeSeries& train) {
+  normalizer_.Fit(train);
+  const data::TimeSeries normalized = normalizer_.Apply(train);
+  num_features_ = normalized.num_features;
+
+  // Optional subsampling to keep the quadratic neighbor search bounded.
+  num_train_ = std::min<std::int64_t>(normalized.length, max_train_points_);
+  train_points_.resize(
+      static_cast<std::size_t>(num_train_ * num_features_));
+  if (num_train_ == normalized.length) {
+    std::copy(normalized.values.begin(), normalized.values.end(),
+              train_points_.begin());
+  } else {
+    Rng rng(17);
+    const auto picks =
+        rng.SampleWithoutReplacement(normalized.length, num_train_);
+    for (std::int64_t i = 0; i < num_train_; ++i) {
+      for (std::int64_t n = 0; n < num_features_; ++n) {
+        train_points_[static_cast<std::size_t>(i * num_features_ + n)] =
+            normalized.at(picks[static_cast<std::size_t>(i)], n);
+      }
+    }
+  }
+
+  // k-distance and local reachability density of every training point.
+  train_kdist_.assign(static_cast<std::size_t>(num_train_), 0.0);
+  std::vector<std::vector<std::int64_t>> neighbor_ids(
+      static_cast<std::size_t>(num_train_));
+  std::vector<std::vector<double>> neighbor_dists(
+      static_cast<std::size_t>(num_train_));
+  for (std::int64_t i = 0; i < num_train_; ++i) {
+    KnnOfPoint(train_points_.data() + i * num_features_, i,
+               &neighbor_ids[static_cast<std::size_t>(i)],
+               &neighbor_dists[static_cast<std::size_t>(i)]);
+    train_kdist_[static_cast<std::size_t>(i)] =
+        neighbor_dists[static_cast<std::size_t>(i)].back();
+  }
+  train_lrd_.assign(static_cast<std::size_t>(num_train_), 0.0);
+  for (std::int64_t i = 0; i < num_train_; ++i) {
+    double reach_sum = 0.0;
+    const auto& ids = neighbor_ids[static_cast<std::size_t>(i)];
+    const auto& dists = neighbor_dists[static_cast<std::size_t>(i)];
+    for (std::size_t m = 0; m < ids.size(); ++m) {
+      reach_sum += std::max(
+          dists[m], train_kdist_[static_cast<std::size_t>(ids[m])]);
+    }
+    train_lrd_[static_cast<std::size_t>(i)] =
+        static_cast<double>(ids.size()) / std::max(reach_sum, 1e-12);
+  }
+  fitted_ = true;
+}
+
+std::vector<float> LofDetector::Score(const data::TimeSeries& series) {
+  TFMAE_CHECK_MSG(fitted_, "Score() called before Fit()");
+  const data::TimeSeries normalized = normalizer_.Apply(series);
+  std::vector<float> scores(static_cast<std::size_t>(series.length));
+  std::vector<std::int64_t> ids;
+  std::vector<double> dists;
+  for (std::int64_t t = 0; t < normalized.length; ++t) {
+    const float* point = normalized.values.data() + t * num_features_;
+    KnnOfPoint(point, /*skip=*/-1, &ids, &dists);
+    double reach_sum = 0.0;
+    double neighbor_lrd_sum = 0.0;
+    for (std::size_t m = 0; m < ids.size(); ++m) {
+      reach_sum += std::max(
+          dists[m], train_kdist_[static_cast<std::size_t>(ids[m])]);
+      neighbor_lrd_sum += train_lrd_[static_cast<std::size_t>(ids[m])];
+    }
+    const double lrd =
+        static_cast<double>(ids.size()) / std::max(reach_sum, 1e-12);
+    const double lof =
+        neighbor_lrd_sum / (static_cast<double>(ids.size()) *
+                            std::max(lrd, 1e-12));
+    scores[static_cast<std::size_t>(t)] = static_cast<float>(lof);
+  }
+  return scores;
+}
+
+}  // namespace tfmae::baselines

@@ -1,0 +1,51 @@
+// Local Outlier Factor (Breunig et al., SIGMOD 2000) — the classical
+// density-based baseline of Table III.
+//
+// Inductive variant: reachability statistics are computed on the training
+// observations; each scored point's LOF compares its local reachability
+// density against the densities of its k nearest training neighbors.
+#ifndef TFMAE_BASELINES_LOF_H_
+#define TFMAE_BASELINES_LOF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/anomaly_detector.h"
+#include "data/timeseries.h"
+
+namespace tfmae::baselines {
+
+/// LOF detector over per-time-step observation vectors.
+class LofDetector : public core::AnomalyDetector {
+ public:
+  /// `num_neighbors` is the classical k (default 20).
+  /// `max_train_points` subsamples training data to bound the O(n^2) fit.
+  explicit LofDetector(std::int64_t num_neighbors = 20,
+                       std::int64_t max_train_points = 2000);
+
+  std::string Name() const override { return "LOF"; }
+  void Fit(const data::TimeSeries& train) override;
+  std::vector<float> Score(const data::TimeSeries& series) override;
+
+ private:
+  /// k-NN of `point` among the training points: indices and distances,
+  /// sorted ascending by distance. `skip` excludes one training index
+  /// (used when scoring training points against themselves).
+  void KnnOfPoint(const float* point, std::int64_t skip,
+                  std::vector<std::int64_t>* indices,
+                  std::vector<double>* distances) const;
+
+  std::int64_t num_neighbors_;
+  std::int64_t max_train_points_;
+  std::int64_t num_features_ = 0;
+  std::vector<float> train_points_;        // [n, num_features_]
+  std::int64_t num_train_ = 0;
+  std::vector<double> train_kdist_;        // k-distance of each train point
+  std::vector<double> train_lrd_;          // local reachability density
+  data::ZScoreNormalizer normalizer_;
+  bool fitted_ = false;
+};
+
+}  // namespace tfmae::baselines
+
+#endif  // TFMAE_BASELINES_LOF_H_

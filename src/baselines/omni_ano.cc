@@ -1,0 +1,139 @@
+#include "baselines/omni_ano.h"
+
+#include "baselines/common.h"
+#include "data/timeseries.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tfmae::baselines {
+
+/// GRU encoder -> per-step Gaussian posterior -> MLP decoder.
+class OmniAnoDetector::Net : public nn::Module {
+ public:
+  Net(std::int64_t num_features, const OmniAnoOptions& options, Rng* rng)
+      : encoder_(num_features, options.hidden, rng),
+        mu_head_(options.hidden, options.latent, rng),
+        logvar_head_(options.hidden, options.latent, rng),
+        dec1_(options.latent, options.hidden, rng),
+        dec2_(options.hidden, num_features, rng) {
+    RegisterModule("encoder", &encoder_);
+    RegisterModule("mu", &mu_head_);
+    RegisterModule("logvar", &logvar_head_);
+    RegisterModule("dec1", &dec1_);
+    RegisterModule("dec2", &dec2_);
+  }
+
+  struct Posterior {
+    Tensor mu;      // [T, Z]
+    Tensor logvar;  // [T, Z]
+  };
+
+  Posterior Encode(const Tensor& x) const {
+    Tensor states = encoder_.Forward(x);
+    Posterior posterior;
+    posterior.mu = mu_head_.Forward(states);
+    posterior.logvar = logvar_head_.Forward(states);
+    return posterior;
+  }
+
+  Tensor Decode(const Tensor& z) const {
+    return dec2_.Forward(ops::Tanh(dec1_.Forward(z)));
+  }
+
+  /// Reparameterized sample z = mu + eps * exp(logvar / 2).
+  Tensor Sample(const Posterior& posterior, Rng* rng) const {
+    Tensor eps = Tensor::Randn(posterior.mu.shape(), rng);
+    Tensor std_dev = ops::Exp(ops::Scale(posterior.logvar, 0.5f));
+    return ops::Add(posterior.mu, ops::Mul(eps, std_dev));
+  }
+
+  /// KL(q || N(0, I)) averaged over steps and dimensions.
+  Tensor KlToStandardNormal(const Posterior& posterior) const {
+    // -1/2 * mean(1 + logvar - mu^2 - exp(logvar)).
+    Tensor inner = ops::Sub(
+        ops::Sub(ops::AddScalar(posterior.logvar, 1.0f),
+                 ops::Square(posterior.mu)),
+        ops::Exp(posterior.logvar));
+    return ops::Scale(ops::MeanAll(inner), -0.5f);
+  }
+
+ private:
+  nn::GruLayer encoder_;
+  nn::Linear mu_head_;
+  nn::Linear logvar_head_;
+  nn::Linear dec1_;
+  nn::Linear dec2_;
+};
+
+OmniAnoDetector::~OmniAnoDetector() = default;
+
+OmniAnoDetector::OmniAnoDetector(OmniAnoOptions options)
+    : options_(options), rng_(options.seed) {}
+
+void OmniAnoDetector::Fit(const data::TimeSeries& train) {
+  normalizer_.Fit(train);
+  const data::TimeSeries normalized = normalizer_.Apply(train);
+  const std::int64_t window = std::min(options_.window, normalized.length);
+
+  net_ = std::make_unique<Net>(normalized.num_features, options_, &rng_);
+  nn::AdamOptions adam;
+  adam.learning_rate = options_.learning_rate;
+  adam.clip_grad_norm = 5.0f;
+  optimizer_ = std::make_unique<nn::Adam>(net_->Parameters(), adam);
+
+  const auto starts =
+      data::WindowStarts(normalized.length, window, options_.stride);
+  std::vector<std::size_t> order(starts.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    for (std::size_t index : order) {
+      Tensor x = Tensor::FromData(
+          {window, normalized.num_features},
+          ExtractWindow(normalized, starts[index], window));
+      const Net::Posterior posterior = net_->Encode(x);
+      Tensor reconstruction = net_->Decode(net_->Sample(posterior, &rng_));
+      Tensor loss = ops::Add(
+          ops::MseLoss(reconstruction, x),
+          ops::Scale(net_->KlToStandardNormal(posterior), options_.kl_weight));
+      net_->ZeroGrad();
+      loss.Backward();
+      optimizer_->Step();
+    }
+  }
+  fitted_ = true;
+}
+
+std::vector<float> OmniAnoDetector::Score(const data::TimeSeries& series) {
+  TFMAE_CHECK_MSG(fitted_, "Score() called before Fit()");
+  const data::TimeSeries normalized = normalizer_.Apply(series);
+  const std::int64_t window = std::min(options_.window, normalized.length);
+  const std::int64_t n_feat = normalized.num_features;
+
+  NoGradGuard no_grad;
+  ScoreAccumulator accumulator(series.length);
+  for (std::int64_t start :
+       data::WindowStarts(normalized.length, window, options_.stride)) {
+    const std::vector<float> values = ExtractWindow(normalized, start, window);
+    Tensor x = Tensor::FromData({window, n_feat}, values);
+    // Deterministic scoring: decode the posterior mean.
+    Tensor reconstruction = net_->Decode(net_->Encode(x).mu);
+    const float* rec = reconstruction.data();
+    std::vector<float> window_scores(static_cast<std::size_t>(window), 0.0f);
+    for (std::int64_t t = 0; t < window; ++t) {
+      double err = 0.0;
+      for (std::int64_t n = 0; n < n_feat; ++n) {
+        const double d = static_cast<double>(values[static_cast<std::size_t>(
+                             t * n_feat + n)]) -
+                         static_cast<double>(rec[t * n_feat + n]);
+        err += d * d;
+      }
+      window_scores[static_cast<std::size_t>(t)] =
+          static_cast<float>(err / static_cast<double>(n_feat));
+    }
+    accumulator.Add(start, window_scores);
+  }
+  return accumulator.Finalize();
+}
+
+}  // namespace tfmae::baselines

@@ -1,0 +1,55 @@
+// OmniAnomaly-lite (Su et al., KDD 2019) — the stochastic-RNN
+// reconstruction baseline: a GRU encoder produces per-step latent Gaussians
+// (variational posterior), sampled codes are decoded back to observations,
+// and the anomaly score is the reconstruction likelihood proxy.
+// Simplification vs. the original: the decoder is an MLP instead of a second
+// GRU, and the normalizing-flow posterior / linear Gaussian state-space
+// smoother are omitted; the defining mechanism — recurrent temporal encoding
+// with a variational bottleneck — is preserved.
+#ifndef TFMAE_BASELINES_OMNI_ANO_H_
+#define TFMAE_BASELINES_OMNI_ANO_H_
+
+#include <memory>
+
+#include "core/anomaly_detector.h"
+#include "nn/adam.h"
+#include "nn/gru.h"
+#include "util/rng.h"
+
+namespace tfmae::baselines {
+
+/// Hyper-parameters of OmniAnomaly-lite.
+struct OmniAnoOptions {
+  std::int64_t window = 50;
+  std::int64_t stride = 25;
+  std::int64_t hidden = 32;   ///< GRU state width
+  std::int64_t latent = 8;    ///< variational code width
+  float kl_weight = 0.05f;    ///< beta of the ELBO's KL term
+  int epochs = 20;
+  float learning_rate = 1e-3f;
+  std::uint64_t seed = 53;
+};
+
+/// OmniAnomaly-lite detector (GRU-VAE).
+class OmniAnoDetector : public core::AnomalyDetector {
+ public:
+  explicit OmniAnoDetector(OmniAnoOptions options = {});
+  ~OmniAnoDetector() override;
+
+  std::string Name() const override { return "OmniAno"; }
+  void Fit(const data::TimeSeries& train) override;
+  std::vector<float> Score(const data::TimeSeries& series) override;
+
+ private:
+  class Net;
+  OmniAnoOptions options_;
+  std::unique_ptr<Net> net_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  data::ZScoreNormalizer normalizer_;
+  Rng rng_;
+  bool fitted_ = false;
+};
+
+}  // namespace tfmae::baselines
+
+#endif  // TFMAE_BASELINES_OMNI_ANO_H_

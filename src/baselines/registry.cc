@@ -1,0 +1,37 @@
+#include "baselines/registry.h"
+
+#include "baselines/anotran.h"
+#include "baselines/conv_ae.h"
+#include "baselines/dagmm.h"
+#include "baselines/dcdetector.h"
+#include "baselines/dense_ae.h"
+#include "baselines/dsvdd.h"
+#include "baselines/iforest.h"
+#include "baselines/lof.h"
+#include "baselines/omni_ano.h"
+#include "baselines/spectral_residual.h"
+#include "baselines/thoc.h"
+#include "baselines/tranad.h"
+#include "baselines/usad.h"
+
+namespace tfmae::baselines {
+
+std::vector<std::unique_ptr<core::AnomalyDetector>> MakeAllBaselines() {
+  std::vector<std::unique_ptr<core::AnomalyDetector>> detectors;
+  detectors.push_back(std::make_unique<LofDetector>());
+  detectors.push_back(std::make_unique<IsolationForestDetector>());
+  detectors.push_back(std::make_unique<DsvddDetector>());
+  detectors.push_back(std::make_unique<ThocDetector>());
+  detectors.push_back(std::make_unique<DagmmDetector>());
+  detectors.push_back(std::make_unique<SpectralResidualDetector>());
+  detectors.push_back(std::make_unique<OmniAnoDetector>());
+  detectors.push_back(std::make_unique<DenseAeDetector>());
+  detectors.push_back(std::make_unique<ConvAeDetector>());
+  detectors.push_back(std::make_unique<UsadDetector>());
+  detectors.push_back(std::make_unique<TranAdDetector>());
+  detectors.push_back(std::make_unique<AnoTranDetector>());
+  detectors.push_back(std::make_unique<DcDetector>());
+  return detectors;
+}
+
+}  // namespace tfmae::baselines

@@ -1,0 +1,19 @@
+// Factory for the baseline roster used by the Table III comparison bench.
+#ifndef TFMAE_BASELINES_REGISTRY_H_
+#define TFMAE_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/anomaly_detector.h"
+
+namespace tfmae::baselines {
+
+/// Fresh instances of every implemented baseline, in the family order of the
+/// paper's Table III (density, tree, clustering, reconstruction, adversarial
+/// reconstruction, contrastive).
+std::vector<std::unique_ptr<core::AnomalyDetector>> MakeAllBaselines();
+
+}  // namespace tfmae::baselines
+
+#endif  // TFMAE_BASELINES_REGISTRY_H_

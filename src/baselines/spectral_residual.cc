@@ -1,0 +1,107 @@
+#include "baselines/spectral_residual.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/common.h"
+#include "fft/convolution.h"
+#include "fft/fft.h"
+#include "util/logging.h"
+
+namespace tfmae::baselines {
+
+SpectralResidualDetector::SpectralResidualDetector(
+    SpectralResidualOptions options)
+    : options_(options) {
+  TFMAE_CHECK(options.average_filter >= 1 && options.average_filter % 2 == 1);
+}
+
+std::vector<double> SpectralResidualDetector::SaliencyMap(
+    const std::vector<double>& window, std::int64_t average_filter) {
+  const std::int64_t n = static_cast<std::int64_t>(window.size());
+  const std::vector<fft::Complex> spectrum = fft::RealFft(window);
+  std::vector<double> log_amplitude(static_cast<std::size_t>(n));
+  std::vector<double> phase(static_cast<std::size_t>(n));
+  for (std::int64_t k = 0; k < n; ++k) {
+    const auto& bin = spectrum[static_cast<std::size_t>(k)];
+    log_amplitude[static_cast<std::size_t>(k)] =
+        std::log(std::abs(bin) + 1e-8);
+    phase[static_cast<std::size_t>(k)] = std::arg(bin);
+  }
+  // Residual = log amplitude minus its centered moving average.
+  const std::int64_t half = average_filter / 2;
+  std::vector<double> residual(static_cast<std::size_t>(n));
+  for (std::int64_t k = 0; k < n; ++k) {
+    double acc = 0.0;
+    std::int64_t count = 0;
+    for (std::int64_t j = k - half; j <= k + half; ++j) {
+      if (j < 0 || j >= n) continue;
+      acc += log_amplitude[static_cast<std::size_t>(j)];
+      ++count;
+    }
+    residual[static_cast<std::size_t>(k)] =
+        log_amplitude[static_cast<std::size_t>(k)] -
+        acc / static_cast<double>(count);
+  }
+  // Saliency = |IDFT(exp(residual + i * phase))|.
+  std::vector<fft::Complex> adjusted(static_cast<std::size_t>(n));
+  for (std::int64_t k = 0; k < n; ++k) {
+    const double amplitude = std::exp(residual[static_cast<std::size_t>(k)]);
+    adjusted[static_cast<std::size_t>(k)] = fft::Complex(
+        amplitude * std::cos(phase[static_cast<std::size_t>(k)]),
+        amplitude * std::sin(phase[static_cast<std::size_t>(k)]));
+  }
+  const std::vector<fft::Complex> saliency_complex = fft::Ifft(adjusted);
+  std::vector<double> saliency(static_cast<std::size_t>(n));
+  for (std::int64_t t = 0; t < n; ++t) {
+    saliency[static_cast<std::size_t>(t)] =
+        std::abs(saliency_complex[static_cast<std::size_t>(t)]);
+  }
+  return saliency;
+}
+
+void SpectralResidualDetector::Fit(const data::TimeSeries& train) {
+  normalizer_.Fit(train);
+  fitted_ = true;
+}
+
+std::vector<float> SpectralResidualDetector::Score(
+    const data::TimeSeries& series) {
+  TFMAE_CHECK_MSG(fitted_, "Score() called before Fit()");
+  const data::TimeSeries normalized = normalizer_.Apply(series);
+  const std::int64_t window = std::min(options_.window, normalized.length);
+
+  ScoreAccumulator accumulator(series.length);
+  std::vector<double> column(static_cast<std::size_t>(window));
+  for (std::int64_t start :
+       data::WindowStarts(normalized.length, window, options_.stride)) {
+    std::vector<float> window_scores(static_cast<std::size_t>(window), 0.0f);
+    for (std::int64_t n = 0; n < normalized.num_features; ++n) {
+      for (std::int64_t t = 0; t < window; ++t) {
+        column[static_cast<std::size_t>(t)] = normalized.at(start + t, n);
+      }
+      const std::vector<double> saliency =
+          SaliencyMap(column, options_.average_filter);
+      // Final score: relative deviation of the saliency from its local mean
+      // (the SR paper's detection rule).
+      const std::int64_t half = options_.saliency_filter / 2;
+      for (std::int64_t t = 0; t < window; ++t) {
+        double acc = 0.0;
+        std::int64_t count = 0;
+        for (std::int64_t j = t - half; j <= t; ++j) {
+          if (j < 0) continue;
+          acc += saliency[static_cast<std::size_t>(j)];
+          ++count;
+        }
+        const double local_mean = acc / std::max<std::int64_t>(count, 1);
+        window_scores[static_cast<std::size_t>(t)] += static_cast<float>(
+            (saliency[static_cast<std::size_t>(t)] - local_mean) /
+            (local_mean + 1e-8));
+      }
+    }
+    accumulator.Add(start, window_scores);
+  }
+  return accumulator.Finalize();
+}
+
+}  // namespace tfmae::baselines

@@ -1,0 +1,45 @@
+// Spectral Residual (Ren et al., KDD 2019 — "Time-Series Anomaly Detection
+// Service at Microsoft") — the statistical frequency-domain detector that
+// underlies the paper's label-based SR-CNN family. The saliency map is the
+// inverse transform of the residual between the log-amplitude spectrum and
+// its local average; salient points are anomalies.
+// (Representative of the family without the CNN trained on synthetic
+// labels; see DESIGN.md §3.)
+#ifndef TFMAE_BASELINES_SPECTRAL_RESIDUAL_H_
+#define TFMAE_BASELINES_SPECTRAL_RESIDUAL_H_
+
+#include "core/anomaly_detector.h"
+
+namespace tfmae::baselines {
+
+/// Hyper-parameters of the spectral-residual detector.
+struct SpectralResidualOptions {
+  std::int64_t window = 128;       ///< transform window (sliding, per score)
+  std::int64_t stride = 64;
+  std::int64_t average_filter = 3; ///< log-spectrum smoothing width (odd)
+  std::int64_t saliency_filter = 21;  ///< local mean width for the score
+};
+
+/// Spectral-residual detector over each feature independently (scores are
+/// summed across features). Training only fits the normalizer.
+class SpectralResidualDetector : public core::AnomalyDetector {
+ public:
+  explicit SpectralResidualDetector(SpectralResidualOptions options = {});
+
+  std::string Name() const override { return "SpectralRes"; }
+  void Fit(const data::TimeSeries& train) override;
+  std::vector<float> Score(const data::TimeSeries& series) override;
+
+  /// Saliency map of one univariate window (exposed for tests).
+  static std::vector<double> SaliencyMap(const std::vector<double>& window,
+                                         std::int64_t average_filter);
+
+ private:
+  SpectralResidualOptions options_;
+  data::ZScoreNormalizer normalizer_;
+  bool fitted_ = false;
+};
+
+}  // namespace tfmae::baselines
+
+#endif  // TFMAE_BASELINES_SPECTRAL_RESIDUAL_H_

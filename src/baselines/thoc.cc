@@ -1,0 +1,167 @@
+#include "baselines/thoc.h"
+
+#include <cmath>
+
+#include "baselines/common.h"
+#include "data/timeseries.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tfmae::baselines {
+namespace {
+
+// Pairwise squared distances between rows of f [M, H] and centers c [K, H],
+// composed from differentiable ops: d = |f|^2 + |c|^2 - 2 f c^T.
+Tensor PairwiseSquaredDistance(const Tensor& features, const Tensor& centers) {
+  const std::int64_t m = features.dim(0);
+  const std::int64_t h = features.dim(1);
+  const std::int64_t k = centers.dim(0);
+  Tensor ones_h = Tensor::Full({h, 1}, 1.0f);
+  Tensor f2 = ops::MatMul(ops::Square(features), ones_h);        // [M, 1]
+  Tensor c2 = ops::MatMul(ops::Square(centers), ones_h);         // [K, 1]
+  Tensor cross = ops::MatMul(features, ops::Transpose2(centers));  // [M, K]
+  Tensor f2_full = ops::MatMul(f2, Tensor::Full({1, k}, 1.0f));  // [M, K]
+  Tensor c2_full =
+      ops::Transpose2(ops::MatMul(c2, Tensor::Full({1, m}, 1.0f)));  // [M, K]
+  return ops::Sub(ops::Add(f2_full, c2_full), ops::Scale(cross, 2.0f));
+}
+
+}  // namespace
+
+/// One GRU + one set of cluster centers per temporal resolution.
+class ThocDetector::Net : public nn::Module {
+ public:
+  Net(std::int64_t num_features, const ThocOptions& options, Rng* rng)
+      : options_(options) {
+    for (int r = 0; r < options.num_resolutions; ++r) {
+      encoders_.push_back(
+          std::make_unique<nn::GruLayer>(num_features, options.hidden, rng));
+      RegisterModule("gru" + std::to_string(r), encoders_.back().get());
+      centers_.push_back(RegisterParameter(
+          "centers" + std::to_string(r),
+          Tensor::Randn({options.num_clusters, options.hidden}, rng, 0.5f)));
+    }
+  }
+
+  /// One-class soft-min distance loss over all resolutions (differentiable)
+  /// for a [T, N] window.
+  Tensor Loss(const Tensor& x) const {
+    Tensor total;
+    for (std::size_t r = 0; r < encoders_.size(); ++r) {
+      Tensor features = Features(x, r);
+      Tensor distances = PairwiseSquaredDistance(features, centers_[r]);
+      Tensor weights = ops::Softmax(ops::Neg(distances));
+      Tensor soft_min = ops::Scale(
+          ops::SumAll(ops::Mul(weights, distances)),
+          1.0f / static_cast<float>(features.dim(0)));
+      total = r == 0 ? soft_min : ops::Add(total, soft_min);
+    }
+    return ops::Scale(total, 1.0f / static_cast<float>(encoders_.size()));
+  }
+
+  /// Per-time-step soft-min distance averaged over resolutions (scoring).
+  std::vector<float> StepScores(const Tensor& x) const {
+    const std::int64_t t_len = x.dim(0);
+    std::vector<double> scores(static_cast<std::size_t>(t_len), 0.0);
+    for (std::size_t r = 0; r < encoders_.size(); ++r) {
+      const std::int64_t stride = std::int64_t{1} << r;
+      Tensor features = Features(x, r);
+      Tensor distances = PairwiseSquaredDistance(features, centers_[r]);
+      const std::int64_t m = distances.dim(0);
+      const std::int64_t k = distances.dim(1);
+      for (std::int64_t i = 0; i < m; ++i) {
+        // Soft-min via softmax weights (numerically, no grad needed here).
+        double max_neg = -1e300;
+        for (std::int64_t c = 0; c < k; ++c) {
+          max_neg = std::max(max_neg,
+                             -static_cast<double>(distances.at(i * k + c)));
+        }
+        double denom = 0.0;
+        double value = 0.0;
+        for (std::int64_t c = 0; c < k; ++c) {
+          const double d = distances.at(i * k + c);
+          const double w = std::exp(-d - max_neg);
+          denom += w;
+          value += w * d;
+        }
+        value /= std::max(denom, 1e-12);
+        // Spread the downsampled step's score over its source steps.
+        for (std::int64_t t = i * stride;
+             t < std::min<std::int64_t>((i + 1) * stride, t_len); ++t) {
+          scores[static_cast<std::size_t>(t)] +=
+              value / static_cast<double>(encoders_.size());
+        }
+      }
+    }
+    return std::vector<float>(scores.begin(), scores.end());
+  }
+
+ private:
+  Tensor Features(const Tensor& x, std::size_t resolution) const {
+    const std::int64_t stride = std::int64_t{1} << resolution;
+    if (stride == 1) return encoders_[resolution]->Forward(x);
+    std::vector<std::int64_t> picks;
+    for (std::int64_t t = 0; t < x.dim(0); t += stride) picks.push_back(t);
+    return encoders_[resolution]->Forward(ops::IndexRows(x, picks));
+  }
+
+  ThocOptions options_;
+  std::vector<std::unique_ptr<nn::GruLayer>> encoders_;
+  std::vector<Tensor> centers_;
+};
+
+ThocDetector::~ThocDetector() = default;
+
+ThocDetector::ThocDetector(ThocOptions options)
+    : options_(options), rng_(options.seed) {
+  TFMAE_CHECK(options.num_resolutions >= 1 && options.num_clusters >= 1);
+}
+
+void ThocDetector::Fit(const data::TimeSeries& train) {
+  normalizer_.Fit(train);
+  const data::TimeSeries normalized = normalizer_.Apply(train);
+  const std::int64_t window = std::min(options_.window, normalized.length);
+
+  net_ = std::make_unique<Net>(normalized.num_features, options_, &rng_);
+  nn::AdamOptions adam;
+  adam.learning_rate = options_.learning_rate;
+  adam.clip_grad_norm = 5.0f;
+  optimizer_ = std::make_unique<nn::Adam>(net_->Parameters(), adam);
+
+  const auto starts =
+      data::WindowStarts(normalized.length, window, options_.stride);
+  std::vector<std::size_t> order(starts.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    for (std::size_t index : order) {
+      Tensor x = Tensor::FromData(
+          {window, normalized.num_features},
+          ExtractWindow(normalized, starts[index], window));
+      Tensor loss = net_->Loss(x);
+      net_->ZeroGrad();
+      loss.Backward();
+      optimizer_->Step();
+    }
+  }
+  fitted_ = true;
+}
+
+std::vector<float> ThocDetector::Score(const data::TimeSeries& series) {
+  TFMAE_CHECK_MSG(fitted_, "Score() called before Fit()");
+  const data::TimeSeries normalized = normalizer_.Apply(series);
+  const std::int64_t window = std::min(options_.window, normalized.length);
+
+  NoGradGuard no_grad;
+  ScoreAccumulator accumulator(series.length);
+  for (std::int64_t start :
+       data::WindowStarts(normalized.length, window, options_.stride)) {
+    Tensor x = Tensor::FromData(
+        {window, normalized.num_features},
+        ExtractWindow(normalized, start, window));
+    accumulator.Add(start, net_->StepScores(x));
+  }
+  return accumulator.Finalize();
+}
+
+}  // namespace tfmae::baselines

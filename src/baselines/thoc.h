@@ -1,0 +1,58 @@
+// THOC-lite (Shen et al., NeurIPS 2020 — Temporal Hierarchical One-Class
+// network) — the deep clustering baseline: multi-resolution recurrent
+// features are matched against learned cluster centers per resolution, and
+// the anomaly score is the (weighted) distance of each step's features to
+// their best-matching clusters.
+// Simplification vs. the original: dilation is realized by striding GRU
+// passes at multiple temporal resolutions (1x, 2x, 4x) instead of the
+// dilated-skip RNN, and the hierarchical cluster assignment is a softmax
+// over per-resolution centers rather than the differentiable hierarchical
+// clustering network; the defining mechanism — multi-scale temporal
+// features + one-class distance to learned centers — is preserved.
+#ifndef TFMAE_BASELINES_THOC_H_
+#define TFMAE_BASELINES_THOC_H_
+
+#include <memory>
+
+#include "core/anomaly_detector.h"
+#include "nn/adam.h"
+#include "nn/gru.h"
+#include "util/rng.h"
+
+namespace tfmae::baselines {
+
+/// Hyper-parameters of THOC-lite.
+struct ThocOptions {
+  std::int64_t window = 50;
+  std::int64_t stride = 25;
+  std::int64_t hidden = 24;       ///< GRU width per resolution
+  int num_clusters = 4;           ///< centers per resolution
+  int num_resolutions = 3;        ///< temporal strides 1, 2, 4, ...
+  int epochs = 20;
+  float learning_rate = 1e-3f;
+  std::uint64_t seed = 67;
+};
+
+/// THOC-lite detector.
+class ThocDetector : public core::AnomalyDetector {
+ public:
+  explicit ThocDetector(ThocOptions options = {});
+  ~ThocDetector() override;
+
+  std::string Name() const override { return "THOC"; }
+  void Fit(const data::TimeSeries& train) override;
+  std::vector<float> Score(const data::TimeSeries& series) override;
+
+ private:
+  class Net;
+  ThocOptions options_;
+  std::unique_ptr<Net> net_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  data::ZScoreNormalizer normalizer_;
+  Rng rng_;
+  bool fitted_ = false;
+};
+
+}  // namespace tfmae::baselines
+
+#endif  // TFMAE_BASELINES_THOC_H_

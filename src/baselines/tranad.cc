@@ -1,0 +1,128 @@
+#include "baselines/tranad.h"
+
+#include "baselines/common.h"
+#include "data/timeseries.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tfmae::baselines {
+
+/// Input projection -> positional encoding -> Transformer encoder; two
+/// linear reconstruction heads.
+class TranAdDetector::Net : public nn::Module {
+ public:
+  Net(std::int64_t num_features, const TranAdOptions& options, Rng* rng)
+      : proj_(num_features, options.model_dim, rng),
+        encoder_(options.num_layers, options.model_dim, options.num_heads,
+                 options.ff_hidden, rng),
+        head1_(options.model_dim, num_features, rng),
+        head2_(options.model_dim, num_features, rng) {
+    RegisterModule("proj", &proj_);
+    RegisterModule("encoder", &encoder_);
+    RegisterModule("head1", &head1_);
+    RegisterModule("head2", &head2_);
+  }
+
+  /// Shared temporal representation of a window [T, N] -> [T, D].
+  Tensor Represent(const Tensor& x) const {
+    Tensor h = proj_.Forward(x);
+    std::vector<std::int64_t> positions(static_cast<std::size_t>(x.dim(0)));
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      positions[i] = static_cast<std::int64_t>(i);
+    }
+    h = nn::AddPositionalEncoding(h, positions);
+    return encoder_.Forward(h);
+  }
+
+  Tensor Head1(const Tensor& h) const { return head1_.Forward(h); }
+  Tensor Head2(const Tensor& h) const { return head2_.Forward(h); }
+
+ private:
+  nn::Linear proj_;
+  nn::TransformerStack encoder_;
+  nn::Linear head1_;
+  nn::Linear head2_;
+};
+
+TranAdDetector::~TranAdDetector() = default;
+
+TranAdDetector::TranAdDetector(TranAdOptions options)
+    : options_(options), rng_(options.seed) {}
+
+void TranAdDetector::Fit(const data::TimeSeries& train) {
+  normalizer_.Fit(train);
+  const data::TimeSeries normalized = normalizer_.Apply(train);
+  const std::int64_t window = std::min(options_.window, normalized.length);
+
+  net_ = std::make_unique<Net>(normalized.num_features, options_, &rng_);
+  nn::AdamOptions adam;
+  adam.learning_rate = options_.learning_rate;
+  adam.clip_grad_norm = 5.0f;
+  optimizer_ = std::make_unique<nn::Adam>(net_->Parameters(), adam);
+
+  const auto starts =
+      data::WindowStarts(normalized.length, window, options_.stride);
+  std::vector<std::size_t> order(starts.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    const float inv_n = 1.0f / static_cast<float>(epoch + 1);
+    for (std::size_t index : order) {
+      Tensor x = Tensor::FromData(
+          {window, normalized.num_features},
+          ExtractWindow(normalized, starts[index], window));
+      Tensor h = net_->Represent(x);
+      Tensor rec1 = net_->Head1(h);
+      Tensor rec2 = net_->Head2(h);
+      // Adversarial pass: head 2 reconstructs head 1's output (detached).
+      Tensor h_adv = net_->Represent(rec1.Detach());
+      Tensor rec2_adv = net_->Head2(h_adv);
+
+      Tensor loss = ops::Add(
+          ops::Add(ops::Scale(ops::MseLoss(rec1, x), inv_n),
+                   ops::Scale(ops::MseLoss(rec2_adv, x), 1.0f - inv_n)),
+          ops::Scale(ops::MseLoss(rec2, x), inv_n));
+      net_->ZeroGrad();
+      loss.Backward();
+      optimizer_->Step();
+    }
+  }
+  fitted_ = true;
+}
+
+std::vector<float> TranAdDetector::Score(const data::TimeSeries& series) {
+  TFMAE_CHECK_MSG(fitted_, "Score() called before Fit()");
+  const data::TimeSeries normalized = normalizer_.Apply(series);
+  const std::int64_t window = std::min(options_.window, normalized.length);
+  const std::int64_t n_feat = normalized.num_features;
+
+  NoGradGuard no_grad;
+  ScoreAccumulator accumulator(series.length);
+  for (std::int64_t start :
+       data::WindowStarts(normalized.length, window, options_.stride)) {
+    const std::vector<float> values = ExtractWindow(normalized, start, window);
+    Tensor x = Tensor::FromData({window, n_feat}, values);
+    Tensor h = net_->Represent(x);
+    Tensor rec1 = net_->Head1(h);
+    Tensor rec2 = net_->Head2(net_->Represent(rec1));
+    const float* r1 = rec1.data();
+    const float* r2 = rec2.data();
+    std::vector<float> window_scores(static_cast<std::size_t>(window), 0.0f);
+    for (std::int64_t t = 0; t < window; ++t) {
+      double err = 0.0;
+      for (std::int64_t n = 0; n < n_feat; ++n) {
+        const std::int64_t flat = t * n_feat + n;
+        const double xv = values[static_cast<std::size_t>(flat)];
+        const double d1 = xv - static_cast<double>(r1[flat]);
+        const double d2 = xv - static_cast<double>(r2[flat]);
+        err += options_.alpha * d1 * d1 + options_.beta * d2 * d2;
+      }
+      window_scores[static_cast<std::size_t>(t)] =
+          static_cast<float>(err / static_cast<double>(n_feat));
+    }
+    accumulator.Add(start, window_scores);
+  }
+  return accumulator.Finalize();
+}
+
+}  // namespace tfmae::baselines

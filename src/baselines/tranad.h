@@ -1,0 +1,56 @@
+// TranAD-lite (Tuli et al., VLDB 2022) — Transformer-based adversarial
+// reconstruction: a Transformer encoder with two reconstruction heads
+// trained USAD-style (head 2 adversarially reconstructs head 1's output).
+// Simplification vs. the original: the two-phase self-conditioning input
+// (anomaly focus score) is omitted; the defining mechanisms — Transformer
+// temporal encoding + adversarial dual decoders — are preserved.
+#ifndef TFMAE_BASELINES_TRANAD_H_
+#define TFMAE_BASELINES_TRANAD_H_
+
+#include <memory>
+
+#include "core/anomaly_detector.h"
+#include "nn/adam.h"
+#include "nn/transformer.h"
+#include "util/rng.h"
+
+namespace tfmae::baselines {
+
+/// Hyper-parameters of TranAD-lite.
+struct TranAdOptions {
+  std::int64_t window = 50;
+  std::int64_t stride = 25;
+  std::int64_t model_dim = 32;
+  std::int64_t num_heads = 4;
+  std::int64_t num_layers = 2;
+  std::int64_t ff_hidden = 64;
+  int epochs = 30;
+  float learning_rate = 1e-3f;
+  float alpha = 0.5f;  ///< score weight of head-1 error
+  float beta = 0.5f;   ///< score weight of the adversarial head error
+  std::uint64_t seed = 41;
+};
+
+/// TranAD-lite detector.
+class TranAdDetector : public core::AnomalyDetector {
+ public:
+  explicit TranAdDetector(TranAdOptions options = {});
+  ~TranAdDetector() override;
+
+  std::string Name() const override { return "TranAD"; }
+  void Fit(const data::TimeSeries& train) override;
+  std::vector<float> Score(const data::TimeSeries& series) override;
+
+ private:
+  class Net;
+  TranAdOptions options_;
+  std::unique_ptr<Net> net_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  data::ZScoreNormalizer normalizer_;
+  Rng rng_;
+  bool fitted_ = false;
+};
+
+}  // namespace tfmae::baselines
+
+#endif  // TFMAE_BASELINES_TRANAD_H_

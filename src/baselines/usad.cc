@@ -1,0 +1,136 @@
+#include "baselines/usad.h"
+
+#include "baselines/common.h"
+#include "data/timeseries.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tfmae::baselines {
+
+/// Shared encoder E with two decoders D1, D2 (all MLPs).
+class UsadDetector::Net : public nn::Module {
+ public:
+  Net(std::int64_t input_dim, const UsadOptions& options, Rng* rng)
+      : enc1_(input_dim, options.hidden, rng),
+        enc2_(options.hidden, options.latent, rng),
+        dec1a_(options.latent, options.hidden, rng),
+        dec1b_(options.hidden, input_dim, rng),
+        dec2a_(options.latent, options.hidden, rng),
+        dec2b_(options.hidden, input_dim, rng) {
+    RegisterModule("enc1", &enc1_);
+    RegisterModule("enc2", &enc2_);
+    RegisterModule("dec1a", &dec1a_);
+    RegisterModule("dec1b", &dec1b_);
+    RegisterModule("dec2a", &dec2a_);
+    RegisterModule("dec2b", &dec2b_);
+  }
+
+  Tensor Encode(const Tensor& x) const {
+    return ops::Relu(enc2_.Forward(ops::Relu(enc1_.Forward(x))));
+  }
+  Tensor Decode1(const Tensor& z) const {
+    return dec1b_.Forward(ops::Relu(dec1a_.Forward(z)));
+  }
+  Tensor Decode2(const Tensor& z) const {
+    return dec2b_.Forward(ops::Relu(dec2a_.Forward(z)));
+  }
+
+ private:
+  nn::Linear enc1_;
+  nn::Linear enc2_;
+  nn::Linear dec1a_;
+  nn::Linear dec1b_;
+  nn::Linear dec2a_;
+  nn::Linear dec2b_;
+};
+
+UsadDetector::~UsadDetector() = default;
+
+UsadDetector::UsadDetector(UsadOptions options)
+    : options_(options), rng_(options.seed) {}
+
+void UsadDetector::Fit(const data::TimeSeries& train) {
+  normalizer_.Fit(train);
+  const data::TimeSeries normalized = normalizer_.Apply(train);
+  const std::int64_t window = std::min(options_.window, normalized.length);
+  const std::int64_t input_dim = window * normalized.num_features;
+
+  net_ = std::make_unique<Net>(input_dim, options_, &rng_);
+  nn::AdamOptions adam;
+  adam.learning_rate = options_.learning_rate;
+  adam.clip_grad_norm = 5.0f;
+  optimizer_ = std::make_unique<nn::Adam>(net_->Parameters(), adam);
+
+  const auto starts =
+      data::WindowStarts(normalized.length, window, options_.stride);
+  std::vector<std::size_t> order(starts.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    // USAD's epoch-dependent adversarial weighting: 1/n on the direct term,
+    // (1 - 1/n) on the adversarial term.
+    const float inv_n = 1.0f / static_cast<float>(epoch + 1);
+    for (std::size_t index : order) {
+      Tensor x = Tensor::FromData(
+          {1, input_dim}, ExtractWindow(normalized, starts[index], window));
+      Tensor z = net_->Encode(x);
+      Tensor ae1 = net_->Decode1(z);
+      Tensor ae2 = net_->Decode2(z);
+      Tensor ae2_of_ae1 = net_->Decode2(net_->Encode(ae1));
+
+      // Phase-1 objective (trains AE1): reconstruct x and fool D2.
+      Tensor loss1 =
+          ops::Add(ops::Scale(ops::MseLoss(ae1, x), inv_n),
+                   ops::Scale(ops::MseLoss(ae2_of_ae1, x), 1.0f - inv_n));
+      // Phase-2 objective (trains AE2): reconstruct x, and push its
+      // reconstruction of AE1's output away from x (adversarial term).
+      Tensor loss2 = ops::Sub(
+          ops::Scale(ops::MseLoss(ae2, x), inv_n),
+          ops::Scale(ops::MseLoss(net_->Decode2(net_->Encode(ae1.Detach())), x),
+                     1.0f - inv_n));
+
+      Tensor loss = ops::Add(loss1, loss2);
+      net_->ZeroGrad();
+      loss.Backward();
+      optimizer_->Step();
+    }
+  }
+  fitted_ = true;
+}
+
+std::vector<float> UsadDetector::Score(const data::TimeSeries& series) {
+  TFMAE_CHECK_MSG(fitted_, "Score() called before Fit()");
+  const data::TimeSeries normalized = normalizer_.Apply(series);
+  const std::int64_t window = std::min(options_.window, normalized.length);
+  const std::int64_t n_feat = normalized.num_features;
+  const std::int64_t input_dim = window * n_feat;
+
+  NoGradGuard no_grad;
+  ScoreAccumulator accumulator(series.length);
+  for (std::int64_t start :
+       data::WindowStarts(normalized.length, window, options_.stride)) {
+    const std::vector<float> values = ExtractWindow(normalized, start, window);
+    Tensor x = Tensor::FromData({1, input_dim}, values);
+    Tensor ae1 = net_->Decode1(net_->Encode(x));
+    Tensor ae2_of_ae1 = net_->Decode2(net_->Encode(ae1));
+    const float* r1 = ae1.data();
+    const float* r2 = ae2_of_ae1.data();
+    std::vector<float> window_scores(static_cast<std::size_t>(window), 0.0f);
+    for (std::int64_t t = 0; t < window; ++t) {
+      double err = 0.0;
+      for (std::int64_t n = 0; n < n_feat; ++n) {
+        const std::int64_t flat = t * n_feat + n;
+        const double xv = values[static_cast<std::size_t>(flat)];
+        const double d1 = xv - static_cast<double>(r1[flat]);
+        const double d2 = xv - static_cast<double>(r2[flat]);
+        err += options_.alpha * d1 * d1 + options_.beta * d2 * d2;
+      }
+      window_scores[static_cast<std::size_t>(t)] =
+          static_cast<float>(err / static_cast<double>(n_feat));
+    }
+    accumulator.Add(start, window_scores);
+  }
+  return accumulator.Finalize();
+}
+
+}  // namespace tfmae::baselines

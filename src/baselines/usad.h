@@ -1,0 +1,52 @@
+// USAD (Audibert et al., KDD 2020) — adversarial reconstruction family:
+// one encoder, two decoders; decoder 2 learns to discriminate real windows
+// from decoder 1's reconstructions via a two-phase adversarial objective.
+#ifndef TFMAE_BASELINES_USAD_H_
+#define TFMAE_BASELINES_USAD_H_
+
+#include <memory>
+
+#include "core/anomaly_detector.h"
+#include "nn/adam.h"
+#include "nn/layers.h"
+#include "util/rng.h"
+
+namespace tfmae::baselines {
+
+/// Hyper-parameters of USAD.
+struct UsadOptions {
+  std::int64_t window = 50;
+  std::int64_t stride = 25;
+  std::int64_t hidden = 64;
+  std::int64_t latent = 16;
+  int epochs = 30;
+  float learning_rate = 1e-3f;
+  /// Score mixture: alpha * ||x - AE1(x)||^2 + beta * ||x - AE2(AE1(x))||^2.
+  float alpha = 0.5f;
+  float beta = 0.5f;
+  std::uint64_t seed = 37;
+};
+
+/// USAD detector over flattened windows.
+class UsadDetector : public core::AnomalyDetector {
+ public:
+  explicit UsadDetector(UsadOptions options = {});
+  ~UsadDetector() override;
+
+  std::string Name() const override { return "USAD"; }
+  void Fit(const data::TimeSeries& train) override;
+  std::vector<float> Score(const data::TimeSeries& series) override;
+
+ private:
+  class Net;
+  UsadOptions options_;
+  std::unique_ptr<Net> net_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  data::ZScoreNormalizer normalizer_;
+  Rng rng_;
+  bool fitted_ = false;
+};
+
+}  // namespace tfmae::baselines
+
+#endif  // TFMAE_BASELINES_USAD_H_

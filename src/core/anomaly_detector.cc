@@ -1,0 +1,15 @@
+#include "core/anomaly_detector.h"
+
+namespace tfmae::core {
+
+eval::DetectionReport RunProtocol(AnomalyDetector* detector,
+                                  const data::LabeledDataset& dataset,
+                                  double anomaly_fraction) {
+  detector->Fit(dataset.train);
+  const std::vector<float> val_scores = detector->Score(dataset.val);
+  const std::vector<float> test_scores = detector->Score(dataset.test);
+  return eval::EvaluateDetection(val_scores, test_scores, dataset.test.labels,
+                                 anomaly_fraction);
+}
+
+}  // namespace tfmae::core

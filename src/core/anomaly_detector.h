@@ -1,0 +1,41 @@
+// Common interface for every detector in the repository (TFMAE and all
+// baselines), plus the shared evaluation protocol driver.
+#ifndef TFMAE_CORE_ANOMALY_DETECTOR_H_
+#define TFMAE_CORE_ANOMALY_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "data/profiles.h"
+#include "data/timeseries.h"
+#include "eval/detection.h"
+
+namespace tfmae::core {
+
+/// Unsupervised time-series anomaly detector: fit on (unlabeled) training
+/// data, then emit one anomaly score per time step of any series.
+class AnomalyDetector {
+ public:
+  virtual ~AnomalyDetector() = default;
+
+  /// Display name used in reports (e.g. "TFMAE", "LOF", "USAD").
+  virtual std::string Name() const = 0;
+
+  /// Trains the detector. Labels on `train`, if any, must be ignored.
+  virtual void Fit(const data::TimeSeries& train) = 0;
+
+  /// Per-time-step anomaly scores (higher = more anomalous),
+  /// size == series.length. Requires Fit() to have been called.
+  virtual std::vector<float> Score(const data::TimeSeries& series) = 0;
+};
+
+/// Runs the paper's protocol on one dataset: fit on train, calibrate the
+/// threshold on the validation scores at `anomaly_fraction`, evaluate on the
+/// test labels with point adjustment.
+eval::DetectionReport RunProtocol(AnomalyDetector* detector,
+                                  const data::LabeledDataset& dataset,
+                                  double anomaly_fraction);
+
+}  // namespace tfmae::core
+
+#endif  // TFMAE_CORE_ANOMALY_DETECTOR_H_

@@ -1,0 +1,67 @@
+#include "core/attribution.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tfmae::core {
+namespace {
+
+// Mean score over [center-half_width, center+half_width] within `slice`
+// coordinates.
+double NeighborhoodMean(const std::vector<float>& scores, std::int64_t center,
+                        std::int64_t half_width) {
+  const std::int64_t lo = std::max<std::int64_t>(0, center - half_width);
+  const std::int64_t hi = std::min<std::int64_t>(
+      static_cast<std::int64_t>(scores.size()) - 1, center + half_width);
+  double acc = 0.0;
+  for (std::int64_t t = lo; t <= hi; ++t) {
+    acc += scores[static_cast<std::size_t>(t)];
+  }
+  return acc / static_cast<double>(hi - lo + 1);
+}
+
+}  // namespace
+
+std::vector<float> OcclusionAttribution(AnomalyDetector* detector,
+                                        const data::TimeSeries& series,
+                                        std::int64_t center,
+                                        const AttributionOptions& options) {
+  TFMAE_CHECK(detector != nullptr);
+  TFMAE_CHECK_MSG(center >= 0 && center < series.length,
+                  "attribution center out of range");
+  // Cut a context slice around the point of interest.
+  const std::int64_t begin = std::max<std::int64_t>(
+      0, std::min(center - options.context / 2,
+                  series.length - options.context));
+  const std::int64_t length =
+      std::min<std::int64_t>(options.context, series.length - begin);
+  const data::TimeSeries slice = series.Slice(begin, length);
+  const std::int64_t local_center = center - begin;
+
+  const std::vector<float> baseline_scores = detector->Score(slice);
+  const double baseline =
+      NeighborhoodMean(baseline_scores, local_center, options.half_width);
+
+  std::vector<float> attribution(
+      static_cast<std::size_t>(series.num_features), 0.0f);
+  for (std::int64_t n = 0; n < series.num_features; ++n) {
+    data::TimeSeries occluded = slice;
+    double mean = 0.0;
+    for (std::int64_t t = 0; t < occluded.length; ++t) {
+      mean += occluded.at(t, n);
+    }
+    mean /= static_cast<double>(occluded.length);
+    for (std::int64_t t = 0; t < occluded.length; ++t) {
+      occluded.at(t, n) = static_cast<float>(mean);
+    }
+    const std::vector<float> occluded_scores = detector->Score(occluded);
+    const double without_feature =
+        NeighborhoodMean(occluded_scores, local_center, options.half_width);
+    attribution[static_cast<std::size_t>(n)] =
+        static_cast<float>(baseline - without_feature);
+  }
+  return attribution;
+}
+
+}  // namespace tfmae::core

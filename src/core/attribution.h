@@ -1,0 +1,39 @@
+// Feature attribution for anomaly scores: which channels drive a detection?
+//
+// Detector-agnostic occlusion sensitivity: each feature is flattened to its
+// local window mean in turn; the attribution of a feature is how much the
+// anomaly score around the point of interest drops when that feature is
+// occluded. Works with any AnomalyDetector (TFMAE or baselines), since it
+// only needs Score().
+#ifndef TFMAE_CORE_ATTRIBUTION_H_
+#define TFMAE_CORE_ATTRIBUTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/anomaly_detector.h"
+
+namespace tfmae::core {
+
+/// Tuning of the occlusion attribution.
+struct AttributionOptions {
+  /// Half-width of the scored neighbourhood around the point of interest.
+  std::int64_t half_width = 5;
+  /// Context slice handed to the detector around the point (must cover at
+  /// least the detector's window).
+  std::int64_t context = 100;
+};
+
+/// Per-feature attribution of the anomaly score around time `center` of
+/// `series`: attribution[n] = mean score in [center-half_width,
+/// center+half_width] with all features intact, minus the same mean with
+/// feature n occluded (replaced by its context mean). Positive values mean
+/// the feature contributes to the detection. Requires a fitted detector.
+std::vector<float> OcclusionAttribution(AnomalyDetector* detector,
+                                        const data::TimeSeries& series,
+                                        std::int64_t center,
+                                        const AttributionOptions& options = {});
+
+}  // namespace tfmae::core
+
+#endif  // TFMAE_CORE_ATTRIBUTION_H_

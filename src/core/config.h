@@ -1,0 +1,84 @@
+// TFMAE configuration, including every ablation switch of Tables IV and V.
+#ifndef TFMAE_CORE_CONFIG_H_
+#define TFMAE_CORE_CONFIG_H_
+
+#include <cstdint>
+
+#include "masking/frequency_mask.h"
+#include "masking/temporal_mask.h"
+
+namespace tfmae::core {
+
+/// Hyper-parameters and ablation switches of TFMAE.
+///
+/// Paper defaults (Section V-A.4): window |S|=100, D=128, L=3, Adam lr 1e-4,
+/// one epoch, CV window W=10, per-dataset masking ratios. The defaults below
+/// are the proportionally scaled-down settings used on this single-core CPU
+/// substrate; tests and benches override as needed.
+struct TfmaeConfig {
+  // ---- architecture ----
+  std::int64_t window = 50;        ///< |S|: training/inference window length
+  std::int64_t model_dim = 32;     ///< D: latent width
+  std::int64_t num_layers = 2;     ///< L: Transformer layers per stack
+  std::int64_t num_heads = 4;      ///< attention heads
+  std::int64_t ff_hidden = 64;     ///< feed-forward hidden width
+
+  // ---- masking ----
+  std::int64_t cv_window = 10;     ///< W: sliding window of the CV statistic
+  double temporal_mask_ratio = 0.5;    ///< r^(T)
+  double frequency_mask_ratio = 0.3;   ///< r^(F)
+  masking::TemporalMaskVariant temporal_mask =
+      masking::TemporalMaskVariant::kCoefficientOfVariation;
+  masking::FrequencyMaskVariant frequency_mask =
+      masking::FrequencyMaskVariant::kAmplitude;
+  masking::CvMethod cv_method = masking::CvMethod::kFft;
+
+  // ---- training ----
+  // The paper trains one epoch at lr 1e-4 over hundreds of thousands of
+  // stride-1 windows; on the scaled-down substrate the equivalent optimizer
+  // budget is reached with more epochs over overlapping windows at a higher
+  // learning rate (see DESIGN.md §5).
+  float learning_rate = 1e-3f;
+  int epochs = 30;
+  float clip_grad_norm = 5.0f;
+  std::int64_t stride = 25;        ///< training stride; 0 means = window
+  /// Windows per optimizer step (gradient accumulation; the paper uses
+  /// batches of 64 over far more windows — 1 is right for the scaled data).
+  std::int64_t batch_size = 1;
+  std::uint64_t seed = 42;
+
+  // ---- objective (Table IV ablations) ----
+  bool use_adversarial = true;       ///< false: "w/o L_adv" (Eq. (14) only)
+  bool reverse_adversarial = false;  ///< true: "w/ L_radv" (swap P/F roles)
+  float adversarial_weight = 0.2f;   ///< weight of the maximizing stage
+  /// Substrate adaptation (documented in DESIGN.md): additionally align the
+  /// temporal view to the detached frequency view in the minimizing stage.
+  /// In the paper's regime (one pass over >10^5 stride-1 windows at lr 1e-4)
+  /// the temporal branch barely moves and acts as a quasi-static label; on
+  /// the scaled-down substrate it would otherwise receive no alignment
+  /// signal at all. The paper-faithful objective (this flag off,
+  /// adversarial_weight 1.0) is exercised by the Table IV ablation bench.
+  bool joint_alignment = true;
+
+  // ---- architecture ablations (Table IV) ----
+  bool use_frequency_branch = true;  ///< false: "w/o Fre"
+  bool use_frequency_decoder = true; ///< false: "w/o FD"
+  bool use_temporal_branch = true;   ///< false: "w/o Tem"
+  bool use_temporal_encoder = true;  ///< false: "w/o TE"
+  bool use_temporal_decoder = true;  ///< false: "w/o TD"
+
+  // ---- detection ----
+  double anomaly_fraction = 0.01;  ///< r: validation quantile for delta
+  /// Scoring stride; 0 means = window (no overlap). Smaller strides score
+  /// each point from several window contexts and average, which localizes
+  /// the discrepancy.
+  std::int64_t score_stride = 0;
+  /// Per-window instance normalization (zero mean / unit variance per
+  /// feature within each window) on top of the global z-score. Makes both
+  /// views insensitive to slow level/scale drift between train and test.
+  bool per_window_normalization = true;
+};
+
+}  // namespace tfmae::core
+
+#endif  // TFMAE_CORE_CONFIG_H_

@@ -1,0 +1,214 @@
+#include "core/detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+#include "core/config_io.h"
+#include "nn/serialize.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/memory.h"
+#include "util/stopwatch.h"
+
+namespace tfmae::core {
+namespace {
+
+// Extracts window values [start, start+len) as a flat [len * N] vector.
+std::vector<float> ExtractWindow(const data::TimeSeries& series,
+                                 std::int64_t start, std::int64_t len) {
+  const std::int64_t n_feat = series.num_features;
+  return std::vector<float>(
+      series.values.begin() +
+          static_cast<std::ptrdiff_t>(start * n_feat),
+      series.values.begin() +
+          static_cast<std::ptrdiff_t>((start + len) * n_feat));
+}
+
+// In-place per-feature instance normalization of one window.
+void NormalizeWindow(std::vector<float>* values, std::int64_t len,
+                     std::int64_t n_feat) {
+  for (std::int64_t n = 0; n < n_feat; ++n) {
+    double sum = 0.0;
+    for (std::int64_t t = 0; t < len; ++t) {
+      sum += (*values)[static_cast<std::size_t>(t * n_feat + n)];
+    }
+    const double mean = sum / static_cast<double>(len);
+    double sq = 0.0;
+    for (std::int64_t t = 0; t < len; ++t) {
+      const double d =
+          (*values)[static_cast<std::size_t>(t * n_feat + n)] - mean;
+      sq += d * d;
+    }
+    const double std_dev =
+        std::sqrt(sq / static_cast<double>(len)) + 1e-4;
+    for (std::int64_t t = 0; t < len; ++t) {
+      float& v = (*values)[static_cast<std::size_t>(t * n_feat + n)];
+      v = static_cast<float>((v - mean) / std_dev);
+    }
+  }
+}
+
+}  // namespace
+
+TfmaeDetector::TfmaeDetector(TfmaeConfig config, std::string name)
+    : name_(std::move(name)), config_(config), rng_(config.seed) {}
+
+void TfmaeDetector::Fit(const data::TimeSeries& train) {
+  TFMAE_CHECK_MSG(train.length >= 2, "training series too short");
+  Stopwatch watch;
+  MemoryStats::ResetPeak();
+
+  normalizer_.Fit(train);
+  const data::TimeSeries normalized = normalizer_.Apply(train);
+
+  model_ = std::make_unique<TfmaeModel>(train.num_features, config_, &rng_);
+  nn::AdamOptions adam_options;
+  adam_options.learning_rate = config_.learning_rate;
+  adam_options.clip_grad_norm = config_.clip_grad_norm;
+  optimizer_ = std::make_unique<nn::Adam>(model_->Parameters(), adam_options);
+
+  // Slice training windows and precompute masks once (masks are functions of
+  // the data only).
+  const std::int64_t window = std::min(config_.window, normalized.length);
+  const std::int64_t stride = config_.stride > 0 ? config_.stride : window;
+  const std::vector<std::int64_t> starts =
+      data::WindowStarts(normalized.length, window, stride);
+  std::vector<MaskedWindow> windows;
+  windows.reserve(starts.size());
+  for (std::int64_t start : starts) {
+    std::vector<float> values = ExtractWindow(normalized, start, window);
+    if (config_.per_window_normalization) {
+      NormalizeWindow(&values, window, normalized.num_features);
+    }
+    windows.push_back(model_->PrepareWindow(values, &rng_));
+  }
+  stats_ = TrainStats{};
+  stats_.num_windows = static_cast<std::int64_t>(windows.size());
+
+  std::vector<std::size_t> order(windows.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const std::int64_t batch = std::max<std::int64_t>(1, config_.batch_size);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    double loss_sum = 0.0;
+    std::int64_t accumulated = 0;
+    model_->ZeroGrad();
+    for (std::size_t index : order) {
+      const MaskedWindow& masked = windows[index];
+      const TfmaeModel::Views views = model_->Forward(masked);
+      // Gradients accumulate across the mini-batch; scale keeps the
+      // effective step equal to the batch-mean gradient.
+      const Tensor loss = ops::Scale(model_->Loss(views),
+                                     1.0f / static_cast<float>(batch));
+      loss.Backward();
+      loss_sum += loss.item() * static_cast<double>(batch);
+      if (++accumulated == batch) {
+        optimizer_->Step();
+        model_->ZeroGrad();
+        accumulated = 0;
+        ++stats_.num_steps;
+      }
+    }
+    if (accumulated > 0) {
+      optimizer_->Step();
+      model_->ZeroGrad();
+      ++stats_.num_steps;
+    }
+    const double mean_loss =
+        windows.empty() ? 0.0 : loss_sum / static_cast<double>(windows.size());
+    if (epoch == 0) stats_.mean_loss_first_epoch = mean_loss;
+    stats_.mean_loss_last_epoch = mean_loss;
+  }
+
+  stats_.fit_seconds = watch.ElapsedSeconds();
+  stats_.peak_tensor_bytes = MemoryStats::PeakBytes();
+  fitted_ = true;
+}
+
+bool TfmaeDetector::SaveCheckpoint(const std::string& prefix) const {
+  TFMAE_CHECK_MSG(fitted_, "SaveCheckpoint() called before Fit()");
+  if (!SaveConfig(config_, prefix + ".config")) return false;
+  {
+    std::ofstream norm(prefix + ".norm");
+    if (!norm) return false;
+    norm.precision(std::numeric_limits<float>::max_digits10);
+    norm << normalizer_.means().size() << '\n';
+    for (std::size_t i = 0; i < normalizer_.means().size(); ++i) {
+      norm << normalizer_.means()[i] << ' ' << normalizer_.stds()[i] << '\n';
+    }
+    if (!norm) return false;
+  }
+  return nn::SaveParameters(*model_, prefix + ".weights");
+}
+
+bool TfmaeDetector::LoadCheckpoint(const std::string& prefix) {
+  const auto config = LoadConfig(prefix + ".config");
+  if (!config.has_value()) return false;
+
+  std::ifstream norm(prefix + ".norm");
+  if (!norm) return false;
+  std::size_t count = 0;
+  norm >> count;
+  if (!norm || count == 0) return false;
+  std::vector<float> means(count);
+  std::vector<float> stds(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    norm >> means[i] >> stds[i];
+  }
+  if (!norm) return false;
+
+  config_ = *config;
+  rng_ = Rng(config_.seed);
+  normalizer_.SetStatistics(std::move(means), std::move(stds));
+  model_ = std::make_unique<TfmaeModel>(static_cast<std::int64_t>(count),
+                                        config_, &rng_);
+  if (!nn::LoadParameters(model_.get(), prefix + ".weights")) {
+    model_.reset();
+    return false;
+  }
+  optimizer_.reset();  // a loaded detector scores; re-Fit to train further
+  fitted_ = true;
+  return true;
+}
+
+std::vector<float> TfmaeDetector::Score(const data::TimeSeries& series) {
+  TFMAE_CHECK_MSG(fitted_, "Score() called before Fit()");
+  TFMAE_CHECK(series.num_features == model_->num_features());
+  const data::TimeSeries normalized = normalizer_.Apply(series);
+
+  const std::int64_t window = std::min(config_.window, normalized.length);
+  const std::int64_t stride =
+      config_.score_stride > 0 ? std::min(config_.score_stride, window)
+                               : window;
+  const std::vector<std::int64_t> starts =
+      data::WindowStarts(normalized.length, window, stride);
+
+  std::vector<double> score_sum(static_cast<std::size_t>(series.length), 0.0);
+  std::vector<std::int32_t> score_count(
+      static_cast<std::size_t>(series.length), 0);
+  for (std::int64_t start : starts) {
+    std::vector<float> values = ExtractWindow(normalized, start, window);
+    if (config_.per_window_normalization) {
+      NormalizeWindow(&values, window, normalized.num_features);
+    }
+    const MaskedWindow masked = model_->PrepareWindow(values, &rng_);
+    const std::vector<float> window_scores = model_->ScoreWindow(masked);
+    for (std::int64_t t = 0; t < window; ++t) {
+      score_sum[static_cast<std::size_t>(start + t)] +=
+          window_scores[static_cast<std::size_t>(t)];
+      ++score_count[static_cast<std::size_t>(start + t)];
+    }
+  }
+  std::vector<float> scores(static_cast<std::size_t>(series.length), 0.0f);
+  for (std::size_t t = 0; t < scores.size(); ++t) {
+    if (score_count[t] > 0) {
+      scores[t] =
+          static_cast<float>(score_sum[t] / static_cast<double>(score_count[t]));
+    }
+  }
+  return scores;
+}
+
+}  // namespace tfmae::core

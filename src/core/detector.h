@@ -1,0 +1,70 @@
+// End-to-end TFMAE detector: normalization, windowed training with the
+// adversarial contrastive objective, and per-time-step scoring.
+#ifndef TFMAE_CORE_DETECTOR_H_
+#define TFMAE_CORE_DETECTOR_H_
+
+#include <memory>
+#include <string>
+
+#include "core/anomaly_detector.h"
+#include "core/model.h"
+#include "nn/adam.h"
+
+namespace tfmae::core {
+
+/// Bookkeeping from the last Fit() call (feeds the Fig. 10 study).
+struct TrainStats {
+  double fit_seconds = 0.0;
+  double mean_loss_first_epoch = 0.0;
+  double mean_loss_last_epoch = 0.0;
+  std::int64_t num_windows = 0;
+  std::int64_t num_steps = 0;
+  std::int64_t peak_tensor_bytes = 0;
+};
+
+/// TFMAE anomaly detector implementing the shared AnomalyDetector protocol.
+class TfmaeDetector : public AnomalyDetector {
+ public:
+  explicit TfmaeDetector(TfmaeConfig config, std::string name = "TFMAE");
+
+  std::string Name() const override { return name_; }
+
+  /// Normalizes (z-score, fitted here), slices training windows, prepares
+  /// masks once, then optimizes Eq. (15) with Adam for config.epochs passes.
+  void Fit(const data::TimeSeries& train) override;
+
+  /// Per-time-step symmetric-KL anomaly scores. Overlapping window scores
+  /// are averaged. Requires Fit().
+  std::vector<float> Score(const data::TimeSeries& series) override;
+
+  const TrainStats& train_stats() const { return stats_; }
+  const TfmaeConfig& config() const { return config_; }
+
+  /// The trained network (null before Fit).
+  TfmaeModel* model() { return model_.get(); }
+
+  /// Persists the complete fitted detector (config, normalizer statistics,
+  /// and network weights) under `prefix` (three files: <prefix>.config,
+  /// <prefix>.norm, <prefix>.weights). Requires Fit(). Returns false on I/O
+  /// failure.
+  bool SaveCheckpoint(const std::string& prefix) const;
+
+  /// Restores a detector saved by SaveCheckpoint. The returned detector is
+  /// ready to Score() without re-fitting. Returns false on failure (and
+  /// leaves this detector unusable until a successful Fit/Load).
+  bool LoadCheckpoint(const std::string& prefix);
+
+ private:
+  std::string name_;
+  TfmaeConfig config_;
+  std::unique_ptr<TfmaeModel> model_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  data::ZScoreNormalizer normalizer_;
+  Rng rng_;
+  TrainStats stats_;
+  bool fitted_ = false;
+};
+
+}  // namespace tfmae::core
+
+#endif  // TFMAE_CORE_DETECTOR_H_

@@ -1,0 +1,184 @@
+#include "core/forecasting.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tfmae::core {
+namespace {
+
+std::vector<std::int64_t> Iota(std::int64_t begin, std::int64_t end) {
+  std::vector<std::int64_t> values(static_cast<std::size_t>(end - begin));
+  for (std::int64_t i = begin; i < end; ++i) {
+    values[static_cast<std::size_t>(i - begin)] = i;
+  }
+  return values;
+}
+
+}  // namespace
+
+/// Encoder over the context, decoder over context+mask tokens, linear head.
+class TfmaeForecaster::Net : public nn::Module {
+ public:
+  Net(std::int64_t num_features, const ForecasterConfig& config, Rng* rng)
+      : num_features_(num_features),
+        config_(config),
+        proj_(num_features, config.model_dim, rng),
+        encoder_(config.num_layers, config.model_dim, config.num_heads,
+                 config.ff_hidden, rng),
+        decoder_(config.num_layers, config.model_dim, config.num_heads,
+                 config.ff_hidden, rng),
+        head_(config.model_dim, num_features, rng) {
+    mask_token_ = RegisterParameter(
+        "mask_token", Tensor::Randn({config.model_dim}, rng, 0.02f));
+    RegisterModule("proj", &proj_);
+    RegisterModule("encoder", &encoder_);
+    RegisterModule("decoder", &decoder_);
+    RegisterModule("head", &head_);
+  }
+
+  /// context values: [context, N] -> forecast [horizon, N].
+  Tensor Forecast(const Tensor& context) const {
+    const std::int64_t c_len = config_.context;
+    const std::int64_t total = c_len + config_.horizon;
+    Tensor encoded = encoder_.Forward(
+        nn::AddPositionalEncoding(proj_.Forward(context), Iota(0, c_len)));
+    Tensor future_tokens = nn::AddPositionalEncoding(
+        ops::RepeatRow(mask_token_, config_.horizon), Iota(c_len, total));
+    Tensor full = ops::ConcatRows(encoded, future_tokens);
+    Tensor decoded = decoder_.Forward(full);
+    return head_.Forward(ops::SliceRows(decoded, c_len, config_.horizon));
+  }
+
+ private:
+  std::int64_t num_features_;
+  ForecasterConfig config_;
+  nn::Linear proj_;
+  nn::TransformerStack encoder_;
+  nn::TransformerStack decoder_;
+  nn::Linear head_;
+  Tensor mask_token_;
+};
+
+TfmaeForecaster::TfmaeForecaster(ForecasterConfig config)
+    : config_(config), rng_(config.seed) {
+  TFMAE_CHECK(config.context >= 2 && config.horizon >= 1);
+}
+
+TfmaeForecaster::~TfmaeForecaster() = default;
+
+void TfmaeForecaster::Fit(const data::TimeSeries& series) {
+  const std::int64_t total = config_.context + config_.horizon;
+  TFMAE_CHECK_MSG(series.length >= total,
+                  "series shorter than context+horizon");
+  normalizer_.Fit(series);
+  const data::TimeSeries normalized = normalizer_.Apply(series);
+
+  net_ = std::make_unique<Net>(series.num_features, config_, &rng_);
+  nn::AdamOptions adam;
+  adam.learning_rate = config_.learning_rate;
+  adam.clip_grad_norm = 5.0f;
+  optimizer_ = std::make_unique<nn::Adam>(net_->Parameters(), adam);
+
+  const auto starts =
+      data::WindowStarts(normalized.length, total, config_.stride);
+  std::vector<std::size_t> order(starts.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const std::int64_t n_feat = normalized.num_features;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    for (std::size_t index : order) {
+      const std::int64_t start = starts[index];
+      Tensor context = Tensor::FromData(
+          {config_.context, n_feat},
+          std::vector<float>(
+              normalized.values.begin() +
+                  static_cast<std::ptrdiff_t>(start * n_feat),
+              normalized.values.begin() + static_cast<std::ptrdiff_t>(
+                                              (start + config_.context) *
+                                              n_feat)));
+      Tensor target = Tensor::FromData(
+          {config_.horizon, n_feat},
+          std::vector<float>(
+              normalized.values.begin() + static_cast<std::ptrdiff_t>(
+                                              (start + config_.context) *
+                                              n_feat),
+              normalized.values.begin() +
+                  static_cast<std::ptrdiff_t>((start + total) * n_feat)));
+      Tensor loss = ops::MseLoss(net_->Forecast(context), target);
+      net_->ZeroGrad();
+      loss.Backward();
+      optimizer_->Step();
+    }
+  }
+  fitted_ = true;
+}
+
+data::TimeSeries TfmaeForecaster::Forecast(
+    const data::TimeSeries& recent) const {
+  TFMAE_CHECK_MSG(fitted_, "Forecast() called before Fit()");
+  TFMAE_CHECK(recent.length >= config_.context &&
+              recent.num_features ==
+                  static_cast<std::int64_t>(normalizer_.means().size()));
+  const data::TimeSeries normalized = normalizer_.Apply(recent);
+  const std::int64_t n_feat = normalized.num_features;
+
+  NoGradGuard no_grad;
+  Tensor context = Tensor::FromData(
+      {config_.context, n_feat},
+      std::vector<float>(
+          normalized.values.end() -
+              static_cast<std::ptrdiff_t>(config_.context * n_feat),
+          normalized.values.end()));
+  Tensor forecast = net_->Forecast(context);
+
+  // Undo the z-score normalization.
+  data::TimeSeries out = data::TimeSeries::Zeros(config_.horizon, n_feat);
+  for (std::int64_t t = 0; t < config_.horizon; ++t) {
+    for (std::int64_t n = 0; n < n_feat; ++n) {
+      out.at(t, n) =
+          forecast.at(t * n_feat + n) *
+              normalizer_.stds()[static_cast<std::size_t>(n)] +
+          normalizer_.means()[static_cast<std::size_t>(n)];
+    }
+  }
+  return out;
+}
+
+double TfmaeForecaster::Evaluate(const data::TimeSeries& series) const {
+  TFMAE_CHECK_MSG(fitted_, "Evaluate() called before Fit()");
+  const std::int64_t total = config_.context + config_.horizon;
+  TFMAE_CHECK(series.length >= total);
+  const data::TimeSeries normalized = normalizer_.Apply(series);
+  const std::int64_t n_feat = normalized.num_features;
+
+  NoGradGuard no_grad;
+  double error_sum = 0.0;
+  std::int64_t count = 0;
+  for (std::int64_t start :
+       data::WindowStarts(normalized.length, total, config_.horizon)) {
+    Tensor context = Tensor::FromData(
+        {config_.context, n_feat},
+        std::vector<float>(
+            normalized.values.begin() +
+                static_cast<std::ptrdiff_t>(start * n_feat),
+            normalized.values.begin() + static_cast<std::ptrdiff_t>(
+                                            (start + config_.context) *
+                                            n_feat)));
+    Tensor forecast = net_->Forecast(context);
+    for (std::int64_t t = 0; t < config_.horizon; ++t) {
+      for (std::int64_t n = 0; n < n_feat; ++n) {
+        const double diff =
+            static_cast<double>(forecast.at(t * n_feat + n)) -
+            static_cast<double>(
+                normalized.at(start + config_.context + t, n));
+        error_sum += diff * diff;
+        ++count;
+      }
+    }
+  }
+  return error_sum / std::max<std::int64_t>(count, 1);
+}
+
+}  // namespace tfmae::core

@@ -1,0 +1,68 @@
+// Masked-autoencoder forecasting — the paper's stated future-work direction
+// ("extend TFMAE to other time series tasks, such as time series
+// prediction"). The temporal masked autoencoder already recovers masked
+// observations from context; forecasting is the special case where the
+// masked positions are the last `horizon` steps of the window. This module
+// implements exactly that: encode the observed prefix, decode with mask
+// tokens at the future positions, and read the forecast out of a linear
+// head trained with MSE on the true future.
+#ifndef TFMAE_CORE_FORECASTING_H_
+#define TFMAE_CORE_FORECASTING_H_
+
+#include <memory>
+
+#include "data/timeseries.h"
+#include "nn/adam.h"
+#include "nn/transformer.h"
+#include "util/rng.h"
+
+namespace tfmae::core {
+
+/// Hyper-parameters of the masked forecaster.
+struct ForecasterConfig {
+  std::int64_t context = 40;   ///< observed prefix length
+  std::int64_t horizon = 10;   ///< forecast length (masked tail)
+  std::int64_t model_dim = 32;
+  std::int64_t num_layers = 2;
+  std::int64_t num_heads = 4;
+  std::int64_t ff_hidden = 64;
+  std::int64_t stride = 10;
+  int epochs = 20;
+  float learning_rate = 1e-3f;
+  std::uint64_t seed = 59;
+};
+
+/// Transformer masked-autoencoder forecaster.
+class TfmaeForecaster {
+ public:
+  explicit TfmaeForecaster(ForecasterConfig config);
+
+  const ForecasterConfig& config() const { return config_; }
+  ~TfmaeForecaster();
+
+  /// Trains on sliding (context + horizon) windows of `series`.
+  /// Inputs are z-score normalized with statistics fitted here.
+  void Fit(const data::TimeSeries& series);
+
+  /// Forecasts `horizon` steps following the last `context` steps of
+  /// `recent` (recent.length must be >= context). Returns a
+  /// [horizon, num_features] series in the original scale.
+  data::TimeSeries Forecast(const data::TimeSeries& recent) const;
+
+  /// Mean squared one-shot forecast error over all windows of `series`
+  /// (normalized scale) — a quick quality gauge used by tests.
+  double Evaluate(const data::TimeSeries& series) const;
+
+ private:
+  class Net;
+  ForecasterConfig config_;
+  std::unique_ptr<Net> net_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  data::ZScoreNormalizer normalizer_;
+  mutable Rng rng_;
+  bool fitted_ = false;
+};
+
+}  // namespace tfmae::core
+
+#endif  // TFMAE_CORE_FORECASTING_H_

@@ -1,0 +1,216 @@
+#include "core/model.h"
+
+#include <numeric>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tfmae::core {
+namespace {
+
+// Positions 0..length-1 (full-sequence positional decoration).
+std::vector<std::int64_t> AllPositions(std::int64_t length) {
+  std::vector<std::int64_t> positions(static_cast<std::size_t>(length));
+  std::iota(positions.begin(), positions.end(), 0);
+  return positions;
+}
+
+}  // namespace
+
+TfmaeModel::TfmaeModel(std::int64_t num_features, const TfmaeConfig& config,
+                       Rng* rng)
+    : num_features_(num_features),
+      config_(config),
+      temporal_proj_(num_features, config.model_dim, rng),
+      frequency_proj_(num_features, config.model_dim, rng),
+      temporal_encoder_(config.num_layers, config.model_dim, config.num_heads,
+                        config.ff_hidden, rng),
+      temporal_decoder_(config.num_layers, config.model_dim, config.num_heads,
+                        config.ff_hidden, rng),
+      frequency_decoder_(config.num_layers, config.model_dim, config.num_heads,
+                         config.ff_hidden, rng) {
+  TFMAE_CHECK(num_features >= 1);
+  temporal_mask_token_ = RegisterParameter(
+      "temporal_mask_token",
+      Tensor::Randn({config.model_dim}, rng, 0.02f));
+  frequency_token_re_ = RegisterParameter(
+      "frequency_token_re", Tensor::Randn({num_features}, rng, 0.02f));
+  frequency_token_im_ = RegisterParameter(
+      "frequency_token_im", Tensor::Randn({num_features}, rng, 0.02f));
+  RegisterModule("temporal_proj", &temporal_proj_);
+  RegisterModule("frequency_proj", &frequency_proj_);
+  RegisterModule("temporal_encoder", &temporal_encoder_);
+  RegisterModule("temporal_decoder", &temporal_decoder_);
+  RegisterModule("frequency_decoder", &frequency_decoder_);
+}
+
+MaskedWindow TfmaeModel::PrepareWindow(const std::vector<float>& values,
+                                       Rng* mask_rng) const {
+  MaskedWindow window;
+  window.num_features = num_features_;
+  TFMAE_CHECK_MSG(
+      static_cast<std::int64_t>(values.size()) % num_features_ == 0,
+      "window size not a multiple of the feature count");
+  window.length = static_cast<std::int64_t>(values.size()) / num_features_;
+  TFMAE_CHECK(window.length >= 2);
+  window.values = values;
+
+  if (config_.use_temporal_branch) {
+    window.temporal = masking::ComputeTemporalMask(
+        values, window.length, num_features_, config_.cv_window,
+        config_.temporal_mask_ratio, config_.temporal_mask, config_.cv_method,
+        mask_rng);
+  } else {
+    // Unmasked pass-through: everything is "unmasked".
+    window.temporal.unmasked = AllPositions(window.length);
+  }
+
+  if (config_.use_frequency_branch) {
+    window.frequency.reserve(static_cast<std::size_t>(num_features_));
+    std::vector<float> column(static_cast<std::size_t>(window.length));
+    for (std::int64_t n = 0; n < num_features_; ++n) {
+      for (std::int64_t t = 0; t < window.length; ++t) {
+        column[static_cast<std::size_t>(t)] =
+            values[static_cast<std::size_t>(t * num_features_ + n)];
+      }
+      window.frequency.push_back(masking::MaskFrequencyColumn(
+          column, config_.frequency_mask_ratio, config_.frequency_mask,
+          mask_rng));
+    }
+  }
+  return window;
+}
+
+Tensor TfmaeModel::TemporalView(const MaskedWindow& window) const {
+  const std::int64_t t_len = window.length;
+  Tensor input = Tensor::FromData({t_len, num_features_}, window.values);
+
+  if (!config_.use_temporal_branch) {
+    // "w/o Tem": the view degrades to the decorated input projection.
+    Tensor projected = temporal_proj_.Forward(input);
+    return nn::AddPositionalEncoding(projected, AllPositions(t_len));
+  }
+
+  const auto& mask = window.temporal;
+  Tensor full;
+  if (mask.masked.empty()) {
+    Tensor projected = temporal_proj_.Forward(input);
+    Tensor decorated =
+        nn::AddPositionalEncoding(projected, AllPositions(t_len));
+    full = config_.use_temporal_encoder
+               ? temporal_encoder_.Forward(decorated)
+               : decorated;
+  } else {
+    // Unmasked tokens: project, decorate, encode (Eq. (3) + encoder).
+    Tensor unmasked_input = ops::IndexRows(input, mask.unmasked);
+    Tensor unmasked = temporal_proj_.Forward(unmasked_input);
+    unmasked = nn::AddPositionalEncoding(unmasked, mask.unmasked);
+    if (config_.use_temporal_encoder) {
+      unmasked = temporal_encoder_.Forward(unmasked);
+    }
+    // Masked tokens: learnable m^(T) decorated with the original location.
+    Tensor masked = ops::RepeatRow(
+        temporal_mask_token_, static_cast<std::int64_t>(mask.masked.size()));
+    masked = nn::AddPositionalEncoding(masked, mask.masked);
+    // Insert masked representations into the encoded unmasked ones (the ||
+    // operation of Fig. 5).
+    full = ops::Add(ops::ScatterRows(unmasked, mask.unmasked, t_len),
+                    ops::ScatterRows(masked, mask.masked, t_len));
+  }
+  if (config_.use_temporal_decoder) {
+    full = temporal_decoder_.Forward(full);
+  }
+  return full;
+}
+
+Tensor TfmaeModel::FrequencyView(const MaskedWindow& window) const {
+  const std::int64_t t_len = window.length;
+
+  if (!config_.use_frequency_branch) {
+    // "w/o Fre": the view degrades to the decorated input projection.
+    Tensor input = Tensor::FromData({t_len, num_features_}, window.values);
+    Tensor projected = frequency_proj_.Forward(input);
+    return nn::AddPositionalEncoding(projected, AllPositions(t_len));
+  }
+
+  TFMAE_CHECK(static_cast<std::int64_t>(window.frequency.size()) ==
+              num_features_);
+  // Assemble the frequency-masked series: base + Re(m) * C + Im(m) * S,
+  // where the coefficient matrices collect the masked bins' basis functions
+  // per feature (see masking/frequency_mask.h).
+  std::vector<float> base(static_cast<std::size_t>(t_len * num_features_));
+  std::vector<float> cos_coef(base.size());
+  std::vector<float> sin_coef(base.size());
+  for (std::int64_t n = 0; n < num_features_; ++n) {
+    const auto& column = window.frequency[static_cast<std::size_t>(n)];
+    for (std::int64_t t = 0; t < t_len; ++t) {
+      const std::size_t flat = static_cast<std::size_t>(t * num_features_ + n);
+      base[flat] = column.base[static_cast<std::size_t>(t)];
+      cos_coef[flat] = column.cos_coef[static_cast<std::size_t>(t)];
+      sin_coef[flat] = column.sin_coef[static_cast<std::size_t>(t)];
+    }
+  }
+  Tensor base_t = Tensor::FromData({t_len, num_features_}, base);
+  Tensor cos_t = Tensor::FromData({t_len, num_features_}, cos_coef);
+  Tensor sin_t = Tensor::FromData({t_len, num_features_}, sin_coef);
+  Tensor masked_series =
+      ops::Add(base_t, ops::Add(ops::Mul(cos_t, frequency_token_re_),
+                                ops::Mul(sin_t, frequency_token_im_)));
+
+  Tensor projected = frequency_proj_.Forward(masked_series);  // Eq. (10)
+  Tensor decorated =
+      nn::AddPositionalEncoding(projected, AllPositions(t_len));  // Eq. (11)
+  if (config_.use_frequency_decoder) {
+    decorated = frequency_decoder_.Forward(decorated);
+  }
+  return decorated;
+}
+
+TfmaeModel::Views TfmaeModel::Forward(const MaskedWindow& window) const {
+  Views views;
+  views.temporal = TemporalView(window);
+  views.frequency = FrequencyView(window);
+  return views;
+}
+
+Tensor TfmaeModel::Loss(const Views& views) const {
+  const Tensor& p = views.temporal;
+  const Tensor& f = views.frequency;
+  if (!config_.use_adversarial) {
+    // Eq. (14) with the temporal gradient halted.
+    Tensor loss = ops::SymmetricKlLoss(p.Detach(), f);
+    if (config_.joint_alignment) {
+      loss = ops::Add(loss, ops::SymmetricKlLoss(f.Detach(), p));
+    }
+    return loss;
+  }
+  Tensor minimize_stage;
+  Tensor maximize_stage;
+  if (!config_.reverse_adversarial) {
+    // Eq. (15): minimize w.r.t. F^(L) (temporal side acts as the label),
+    // maximize w.r.t. P^(L) (frequency side detached).
+    minimize_stage = ops::SymmetricKlLoss(p.Detach(), f);
+    maximize_stage = ops::SymmetricKlLoss(p, f.Detach());
+  } else {
+    // "w/ L_radv": swapped roles.
+    minimize_stage = ops::SymmetricKlLoss(f.Detach(), p);
+    maximize_stage = ops::SymmetricKlLoss(f, p.Detach());
+  }
+  if (config_.joint_alignment) {
+    minimize_stage = ops::Add(
+        minimize_stage,
+        ops::SymmetricKlLoss(config_.reverse_adversarial ? p.Detach()
+                                                         : f.Detach(),
+                             config_.reverse_adversarial ? f : p));
+  }
+  return ops::Sub(minimize_stage,
+                  ops::Scale(maximize_stage, config_.adversarial_weight));
+}
+
+std::vector<float> TfmaeModel::ScoreWindow(const MaskedWindow& window) const {
+  NoGradGuard no_grad;
+  const Views views = Forward(window);
+  return ops::SymmetricKlPerRow(views.temporal, views.frequency);
+}
+
+}  // namespace tfmae::core

@@ -1,0 +1,85 @@
+// The TFMAE network (paper Section IV): temporal-frequency masks feeding two
+// Transformer-based autoencoders that emit per-time-step representations
+// P^(L) (temporal view) and F^(L) (frequency view).
+#ifndef TFMAE_CORE_MODEL_H_
+#define TFMAE_CORE_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "nn/transformer.h"
+
+namespace tfmae::core {
+
+/// Precomputed masking state of one input window. Masks depend only on the
+/// data (not on learned parameters), so they are computed once per window
+/// and reused across epochs and scoring passes.
+struct MaskedWindow {
+  std::int64_t length = 0;
+  std::int64_t num_features = 0;
+  /// Raw window values, row-major [length, num_features].
+  std::vector<float> values;
+  /// Temporal mask (Eq. (2)).
+  masking::TemporalMask temporal;
+  /// Per-feature frequency mask decomposition (Eq. (9)-(10)).
+  std::vector<masking::FrequencyMaskedColumn> frequency;
+};
+
+/// The dual masked autoencoder. All trainable parameters (projections, mask
+/// tokens m^(T) and m^(F), and the three Transformer stacks) live here.
+class TfmaeModel : public nn::Module {
+ public:
+  TfmaeModel(std::int64_t num_features, const TfmaeConfig& config, Rng* rng);
+
+  /// The two views of Eq. (14)-(16): temporal P^(L) and frequency F^(L),
+  /// both [window, model_dim].
+  struct Views {
+    Tensor temporal;
+    Tensor frequency;
+  };
+
+  /// Prepares the masking state of one window (values: [T * N] row-major).
+  /// `mask_rng` is consumed only by the random masking ablation variants.
+  MaskedWindow PrepareWindow(const std::vector<float>& values,
+                             Rng* mask_rng) const;
+
+  /// Runs both autoencoders on a prepared window.
+  Views Forward(const MaskedWindow& window) const;
+
+  /// Training objective for one window (Eq. (14)/(15) depending on config):
+  /// the contrastive stage detaches the temporal view; when adversarial
+  /// training is on, a maximizing stage with the frequency view detached is
+  /// subtracted. Returns a scalar tensor.
+  Tensor Loss(const Views& views) const;
+
+  /// Anomaly scores (Eq. (16)): per-time-step symmetric KL divergence
+  /// between the two views' softmax distributions.
+  std::vector<float> ScoreWindow(const MaskedWindow& window) const;
+
+  const TfmaeConfig& config() const { return config_; }
+  std::int64_t num_features() const { return num_features_; }
+
+ private:
+  Tensor TemporalView(const MaskedWindow& window) const;
+  Tensor FrequencyView(const MaskedWindow& window) const;
+
+  std::int64_t num_features_;
+  TfmaeConfig config_;
+
+  nn::Linear temporal_proj_;       // W^(T), b^(T) (Eq. (3))
+  nn::Linear frequency_proj_;      // W^(F), b^(F) (Eq. (10))
+  Tensor temporal_mask_token_;     // m^(T) in R^D
+  Tensor frequency_token_re_;      // Re(m^(F)) in R^N
+  Tensor frequency_token_im_;      // Im(m^(F)) in R^N
+  nn::TransformerStack temporal_encoder_;
+  nn::TransformerStack temporal_decoder_;
+  nn::TransformerStack frequency_decoder_;
+
+  // Shared per-window RNG for random-masking variants; mutable access is
+  // routed through PrepareWindow's argument instead.
+};
+
+}  // namespace tfmae::core
+
+#endif  // TFMAE_CORE_MODEL_H_

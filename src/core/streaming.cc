@@ -1,0 +1,71 @@
+#include "core/streaming.h"
+
+#include <algorithm>
+
+#include "eval/detection.h"
+#include "util/logging.h"
+
+namespace tfmae::core {
+
+StreamingDetector::StreamingDetector(AnomalyDetector* detector,
+                                     StreamingOptions options)
+    : detector_(detector), options_(options) {
+  TFMAE_CHECK(detector != nullptr);
+  TFMAE_CHECK(options.window >= 2 && options.hop >= 1);
+}
+
+void StreamingDetector::CalibrateThreshold(
+    const std::vector<float>& calibration_scores, double anomaly_fraction) {
+  threshold_ = eval::QuantileThreshold(calibration_scores, anomaly_fraction);
+}
+
+std::optional<StreamingResult> StreamingDetector::Push(
+    const std::vector<float>& observation) {
+  if (num_features_ < 0) {
+    num_features_ = static_cast<std::int64_t>(observation.size());
+    TFMAE_CHECK(num_features_ >= 1);
+    buffer_.reserve(
+        static_cast<std::size_t>(options_.window * num_features_));
+  }
+  TFMAE_CHECK_MSG(static_cast<std::int64_t>(observation.size()) ==
+                      num_features_,
+                  "observation width changed mid-stream");
+
+  if (buffered_rows_ == options_.window) {
+    // Slide: drop the oldest row.
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(num_features_));
+    --buffered_rows_;
+  }
+  buffer_.insert(buffer_.end(), observation.begin(), observation.end());
+  ++buffered_rows_;
+  ++total_pushed_;
+
+  if (buffered_rows_ < options_.window) return std::nullopt;
+
+  ++pushes_since_rescore_;
+  if (pushes_since_rescore_ >= options_.hop ||
+      total_pushed_ == options_.window) {
+    data::TimeSeries window_series;
+    window_series.length = options_.window;
+    window_series.num_features = num_features_;
+    window_series.values = buffer_;
+    const std::vector<float> scores = detector_->Score(window_series);
+    // Emit the maximum over the segment scored fresh since the previous
+    // rescore, so an anomaly anywhere inside the hop segment is surfaced.
+    const std::int64_t fresh =
+        std::min<std::int64_t>(pushes_since_rescore_, options_.window);
+    last_tail_score_ = 0.0f;
+    for (std::int64_t k = options_.window - fresh; k < options_.window; ++k) {
+      last_tail_score_ =
+          std::max(last_tail_score_, scores[static_cast<std::size_t>(k)]);
+    }
+    pushes_since_rescore_ = 0;
+  }
+  StreamingResult result;
+  result.score = last_tail_score_;
+  result.is_anomaly = last_tail_score_ >= threshold_;
+  return result;
+}
+
+}  // namespace tfmae::core

@@ -1,0 +1,85 @@
+// Online/streaming anomaly detection on top of any fitted AnomalyDetector.
+//
+// The observability deployments the paper motivates (server fleets, water
+// treatment, spacecraft) consume telemetry as a stream. StreamingDetector
+// wraps a fitted detector with a ring buffer: observations are pushed one at
+// a time; once the buffer holds a full window, each arriving observation is
+// scored against its trailing window and compared to a calibrated threshold.
+#ifndef TFMAE_CORE_STREAMING_H_
+#define TFMAE_CORE_STREAMING_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/anomaly_detector.h"
+
+namespace tfmae::core {
+
+/// Configuration of the streaming wrapper.
+struct StreamingOptions {
+  /// Trailing-window length used per score (should match the detector's
+  /// training window).
+  std::int64_t window = 50;
+  /// Score every k-th arriving observation against its trailing window and
+  /// back-fill the k-1 in-between scores from the same window (k = hop).
+  /// hop=1 scores every step (most accurate, most expensive).
+  std::int64_t hop = 5;
+};
+
+/// Per-observation streaming result.
+struct StreamingResult {
+  float score = 0.0f;
+  bool is_anomaly = false;
+};
+
+/// Streams observations through a fitted detector.
+///
+/// Typical use:
+///   TfmaeDetector detector(config);
+///   detector.Fit(history);
+///   StreamingDetector stream(&detector, options);
+///   stream.CalibrateThreshold(detector.Score(validation), 0.02);
+///   for (each new observation row) {
+///     if (auto r = stream.Push(row)) { if (r->is_anomaly) Alert(...); }
+///   }
+class StreamingDetector {
+ public:
+  /// `detector` must outlive this wrapper and must already be fitted.
+  StreamingDetector(AnomalyDetector* detector, StreamingOptions options);
+
+  /// Sets the alert threshold so that `anomaly_fraction` of the calibration
+  /// scores exceed it.
+  void CalibrateThreshold(const std::vector<float>& calibration_scores,
+                          double anomaly_fraction);
+
+  /// Sets an explicit alert threshold.
+  void set_threshold(float threshold) { threshold_ = threshold; }
+  float threshold() const { return threshold_; }
+
+  /// Pushes one observation (num_features values). Returns the score for
+  /// this observation once enough history exists, std::nullopt during the
+  /// initial fill. The trailing window is re-scored every `hop` pushes;
+  /// pushes in between reuse the latest tail score (a documented
+  /// approximation trading latency for compute — set hop=1 for exact
+  /// per-step scoring).
+  std::optional<StreamingResult> Push(const std::vector<float>& observation);
+
+  /// Number of observations consumed so far.
+  std::int64_t total_pushed() const { return total_pushed_; }
+
+ private:
+  AnomalyDetector* detector_;
+  StreamingOptions options_;
+  std::int64_t num_features_ = -1;
+  std::vector<float> buffer_;  // row-major sliding window, flattened
+  std::int64_t buffered_rows_ = 0;
+  std::int64_t total_pushed_ = 0;
+  std::int64_t pushes_since_rescore_ = 0;
+  float last_tail_score_ = 0.0f;
+  float threshold_ = 0.0f;
+};
+
+}  // namespace tfmae::core
+
+#endif  // TFMAE_CORE_STREAMING_H_

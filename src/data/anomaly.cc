@@ -1,0 +1,224 @@
+#include "data/anomaly.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tfmae::data {
+namespace {
+
+// Per-feature global mean/std of the series (used to size deviations).
+struct FeatureStats {
+  std::vector<double> mean;
+  std::vector<double> std_dev;
+};
+
+FeatureStats ComputeStats(const TimeSeries& series) {
+  FeatureStats stats;
+  stats.mean.assign(static_cast<std::size_t>(series.num_features), 0.0);
+  stats.std_dev.assign(static_cast<std::size_t>(series.num_features), 1.0);
+  for (std::int64_t n = 0; n < series.num_features; ++n) {
+    double sum = 0.0;
+    for (std::int64_t t = 0; t < series.length; ++t) sum += series.at(t, n);
+    const double mean = sum / static_cast<double>(series.length);
+    double sq = 0.0;
+    for (std::int64_t t = 0; t < series.length; ++t) {
+      const double d = series.at(t, n) - mean;
+      sq += d * d;
+    }
+    stats.mean[static_cast<std::size_t>(n)] = mean;
+    stats.std_dev[static_cast<std::size_t>(n)] = std::max(
+        1e-3, std::sqrt(sq / static_cast<double>(series.length)));
+  }
+  return stats;
+}
+
+std::vector<std::int64_t> PickFeatures(const TimeSeries& series,
+                                       const AnomalyOptions& options,
+                                       Rng* rng) {
+  const std::int64_t count = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(options.feature_fraction *
+                                   static_cast<double>(series.num_features)));
+  return rng->SampleWithoutReplacement(series.num_features, count);
+}
+
+void MarkLabels(TimeSeries* series, std::int64_t start, std::int64_t len) {
+  for (std::int64_t t = start; t < start + len; ++t) {
+    series->labels[static_cast<std::size_t>(t)] = 1;
+  }
+}
+
+}  // namespace
+
+void InjectOne(TimeSeries* series, AnomalyType type,
+               const AnomalyOptions& options, Rng* rng) {
+  TFMAE_CHECK(series != nullptr && series->length > 2);
+  if (series->labels.empty()) {
+    series->labels.assign(static_cast<std::size_t>(series->length), 0);
+  }
+  const FeatureStats stats = ComputeStats(*series);
+  const std::vector<std::int64_t> features = PickFeatures(*series, options, rng);
+
+  switch (type) {
+    case AnomalyType::kGlobalPoint: {
+      const std::int64_t t =
+          static_cast<std::int64_t>(rng->UniformInt(
+              static_cast<std::uint64_t>(series->length)));
+      for (std::int64_t n : features) {
+        const double sigma = stats.std_dev[static_cast<std::size_t>(n)];
+        const double sign = rng->Bernoulli(0.5) ? 1.0 : -1.0;
+        series->at(t, n) += static_cast<float>(
+            sign * options.magnitude * sigma * rng->Uniform(1.0, 1.8));
+      }
+      MarkLabels(series, t, 1);
+      break;
+    }
+    case AnomalyType::kContextual: {
+      // A short burst (2-5 steps) at a level that is plausible globally but
+      // wrong for the local phase: invisible to pointwise detectors, visible
+      // to local-fluctuation statistics.
+      const std::int64_t len = 2 + static_cast<std::int64_t>(
+                                       rng->UniformInt(4));
+      const std::int64_t t =
+          static_cast<std::int64_t>(rng->UniformInt(
+              static_cast<std::uint64_t>(series->length - len)));
+      for (std::int64_t n : features) {
+        const double sigma = stats.std_dev[static_cast<std::size_t>(n)];
+        const double sign = rng->Bernoulli(0.5) ? 1.0 : -1.0;
+        const double level = stats.mean[static_cast<std::size_t>(n)] +
+                             sign * sigma * rng->Uniform(1.0, 1.6);
+        // Incident segments are noisy (thrashing), not flat: jitter keeps
+        // the local dispersion statistics elevated inside the burst.
+        for (std::int64_t k = t; k < t + len; ++k) {
+          series->at(k, n) = static_cast<float>(
+              level + rng->Normal(0.0, 0.5 * sigma));
+        }
+      }
+      MarkLabels(series, t, len);
+      break;
+    }
+    case AnomalyType::kSeasonal: {
+      const std::int64_t len = options.min_segment +
+                               static_cast<std::int64_t>(rng->UniformInt(
+                                   static_cast<std::uint64_t>(
+                                       options.max_segment -
+                                       options.min_segment + 1)));
+      const std::int64_t start =
+          static_cast<std::int64_t>(rng->UniformInt(
+              static_cast<std::uint64_t>(series->length - len)));
+      // Replace the segment's oscillation with one 2-4x faster, preserving
+      // the local level.
+      const double speedup = rng->Uniform(2.0, 4.0);
+      for (std::int64_t n : features) {
+        const double sigma = stats.std_dev[static_cast<std::size_t>(n)];
+        double level = 0.0;
+        for (std::int64_t t = start; t < start + len; ++t) {
+          level += series->at(t, n);
+        }
+        level /= static_cast<double>(len);
+        const double phase = rng->Uniform(0.0, 2.0 * M_PI);
+        for (std::int64_t t = start; t < start + len; ++t) {
+          const double osc = std::sin(
+              speedup * 2.0 * M_PI * static_cast<double>(t - start) /
+                  static_cast<double>(len) * 4.0 +
+              phase);
+          series->at(t, n) = static_cast<float>(level + sigma * osc);
+        }
+      }
+      MarkLabels(series, start, len);
+      break;
+    }
+    case AnomalyType::kTrend: {
+      const std::int64_t len = options.min_segment +
+                               static_cast<std::int64_t>(rng->UniformInt(
+                                   static_cast<std::uint64_t>(
+                                       options.max_segment -
+                                       options.min_segment + 1)));
+      const std::int64_t start =
+          static_cast<std::int64_t>(rng->UniformInt(
+              static_cast<std::uint64_t>(series->length - len)));
+      for (std::int64_t n : features) {
+        const double sigma = stats.std_dev[static_cast<std::size_t>(n)];
+        const double sign = rng->Bernoulli(0.5) ? 1.0 : -1.0;
+        const double slope =
+            sign * options.magnitude * sigma / static_cast<double>(len);
+        for (std::int64_t t = start; t < start + len; ++t) {
+          series->at(t, n) +=
+              static_cast<float>(slope * static_cast<double>(t - start + 1));
+        }
+      }
+      MarkLabels(series, start, len);
+      break;
+    }
+    case AnomalyType::kShapelet: {
+      const std::int64_t len = options.min_segment +
+                               static_cast<std::int64_t>(rng->UniformInt(
+                                   static_cast<std::uint64_t>(
+                                       options.max_segment -
+                                       options.min_segment + 1)));
+      const std::int64_t start =
+          static_cast<std::int64_t>(rng->UniformInt(
+              static_cast<std::uint64_t>(series->length - len)));
+      // Replace the waveform with a flat-topped square-ish shape at the
+      // local level — a shape that never occurs in the smooth base signal.
+      for (std::int64_t n : features) {
+        const double sigma = stats.std_dev[static_cast<std::size_t>(n)];
+        double level = 0.0;
+        for (std::int64_t t = start; t < start + len; ++t) {
+          level += series->at(t, n);
+        }
+        level /= static_cast<double>(len);
+        const double amp = sigma * rng->Uniform(0.8, 1.5);
+        for (std::int64_t t = start; t < start + len; ++t) {
+          const std::int64_t half = len / 2;
+          const double square = (t - start) < half ? amp : -amp;
+          series->at(t, n) = static_cast<float>(
+              level + square + rng->Normal(0.0, 0.3 * sigma));
+        }
+      }
+      MarkLabels(series, start, len);
+      break;
+    }
+  }
+}
+
+std::int64_t InjectAnomalies(TimeSeries* series, const AnomalyMix& mix,
+                             double target_ratio,
+                             const AnomalyOptions& options, Rng* rng) {
+  TFMAE_CHECK(series != nullptr && rng != nullptr);
+  TFMAE_CHECK_MSG(target_ratio >= 0.0 && target_ratio < 0.8,
+                  "implausible anomaly ratio " << target_ratio);
+  if (series->labels.empty()) {
+    series->labels.assign(static_cast<std::size_t>(series->length), 0);
+  }
+  const double total_weight = mix.global_point + mix.contextual +
+                              mix.seasonal + mix.trend + mix.shapelet;
+  if (total_weight <= 0.0 || target_ratio <= 0.0) return 0;
+
+  std::int64_t injected = 0;
+  // Cap the number of attempts so overlapping segments cannot loop forever.
+  const std::int64_t max_attempts = 20 * series->length / options.min_segment;
+  for (std::int64_t attempt = 0;
+       attempt < max_attempts && series->AnomalyRatio() < target_ratio;
+       ++attempt) {
+    double pick = rng->Uniform(0.0, total_weight);
+    AnomalyType type = AnomalyType::kGlobalPoint;
+    if ((pick -= mix.global_point) < 0.0) {
+      type = AnomalyType::kGlobalPoint;
+    } else if ((pick -= mix.contextual) < 0.0) {
+      type = AnomalyType::kContextual;
+    } else if ((pick -= mix.seasonal) < 0.0) {
+      type = AnomalyType::kSeasonal;
+    } else if ((pick -= mix.trend) < 0.0) {
+      type = AnomalyType::kTrend;
+    } else {
+      type = AnomalyType::kShapelet;
+    }
+    InjectOne(series, type, options, rng);
+    ++injected;
+  }
+  return injected;
+}
+
+}  // namespace tfmae::data

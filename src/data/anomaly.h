@@ -1,0 +1,60 @@
+// Anomaly injection following the taxonomy of Lai et al. (NeurIPS 2021),
+// which the paper's NIPS-TS benchmarks are generated from: global and
+// contextual observation anomalies, plus seasonal, trend, and shapelet
+// pattern anomalies. Used by the dataset profiles to simulate the anomaly
+// structure of each benchmark dataset (see DESIGN.md §3 Substitutions).
+#ifndef TFMAE_DATA_ANOMALY_H_
+#define TFMAE_DATA_ANOMALY_H_
+
+#include <cstdint>
+
+#include "data/timeseries.h"
+#include "util/rng.h"
+
+namespace tfmae::data {
+
+/// Anomaly families of the Lai et al. taxonomy.
+enum class AnomalyType {
+  kGlobalPoint,   ///< single value far outside the global range
+  kContextual,    ///< value plausible globally but abnormal locally
+  kSeasonal,      ///< segment with altered oscillation frequency
+  kTrend,         ///< segment with an injected mean drift
+  kShapelet,      ///< segment whose waveform shape is replaced
+};
+
+/// Relative weights over anomaly types; zero disables a type.
+struct AnomalyMix {
+  double global_point = 0.0;
+  double contextual = 0.0;
+  double seasonal = 0.0;
+  double trend = 0.0;
+  double shapelet = 0.0;
+};
+
+/// Injection tuning knobs.
+struct AnomalyOptions {
+  /// Segment anomalies span [min,max] steps.
+  std::int64_t min_segment = 8;
+  std::int64_t max_segment = 40;
+  /// Each anomaly affects this fraction of features (at least one).
+  double feature_fraction = 0.3;
+  /// Magnitude scale of injected deviations, in global-stddev units.
+  double magnitude = 3.0;
+};
+
+/// Injects anomalies into `series` until about `target_ratio` of the time
+/// steps are labeled anomalous. Types are drawn proportionally to `mix`.
+/// Initializes labels (to zeros) if absent; existing labels are preserved
+/// and count toward the target. Returns the number of anomalies injected.
+std::int64_t InjectAnomalies(TimeSeries* series, const AnomalyMix& mix,
+                             double target_ratio, const AnomalyOptions& options,
+                             Rng* rng);
+
+/// Injects a single anomaly of the given type at a random location.
+/// Marks the affected time steps in series->labels.
+void InjectOne(TimeSeries* series, AnomalyType type,
+               const AnomalyOptions& options, Rng* rng);
+
+}  // namespace tfmae::data
+
+#endif  // TFMAE_DATA_ANOMALY_H_

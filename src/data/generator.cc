@@ -1,0 +1,104 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace tfmae::data {
+
+TimeSeries GenerateBaseSignal(const BaseSignalConfig& config) {
+  TFMAE_CHECK(config.length >= 1 && config.num_features >= 1);
+  TFMAE_CHECK(config.num_harmonics >= 0);
+  Rng rng(config.seed);
+  TimeSeries series = TimeSeries::Zeros(config.length, config.num_features);
+
+  for (std::int64_t n = 0; n < config.num_features; ++n) {
+    // Channel-specific harmonic parameters.
+    struct Harmonic {
+      double period;
+      double phase;
+      double amplitude;
+    };
+    std::vector<Harmonic> harmonics;
+    harmonics.reserve(static_cast<std::size_t>(config.num_harmonics));
+    for (int h = 0; h < config.num_harmonics; ++h) {
+      harmonics.push_back({rng.Uniform(config.min_period, config.max_period),
+                           rng.Uniform(0.0, 2.0 * M_PI),
+                           rng.Uniform(config.min_amplitude,
+                                       config.max_amplitude) /
+                               static_cast<double>(h + 1)});
+    }
+    const double drift =
+        config.drift_std > 0.0 ? rng.Normal(0.0, config.drift_std) / 1000.0
+                               : 0.0;
+    double ar_state = 0.0;
+    for (std::int64_t t = 0; t < config.length; ++t) {
+      double value = drift * static_cast<double>(t);
+      for (const Harmonic& h : harmonics) {
+        value += h.amplitude *
+                 std::sin(2.0 * M_PI * static_cast<double>(t) / h.period +
+                          h.phase);
+      }
+      ar_state = config.ar_coefficient * ar_state +
+                 rng.Normal(0.0, config.noise_std);
+      series.at(t, n) = static_cast<float>(value + ar_state);
+    }
+  }
+
+  // Recurring benign transients: one fixed half-sine template on a fixed
+  // channel subset, repeated at jittered intervals over the whole series.
+  if (config.benign_event_rate > 0.0 && config.num_features >= 1) {
+    const std::int64_t pulse_len =
+        std::max<std::int64_t>(2, config.benign_event_length);
+    const std::int64_t affected = std::max<std::int64_t>(
+        1, config.num_features * 3 / 10);
+    // Fixed per-run template amplitudes (drawn once, reused by every event).
+    std::vector<double> template_amp(static_cast<std::size_t>(affected));
+    for (double& amp : template_amp) {
+      amp = config.benign_event_amplitude *
+            rng.Uniform(0.7, 1.3) * (rng.Bernoulli(0.5) ? 1.0 : -1.0);
+    }
+    const double mean_interval =
+        100.0 / config.benign_event_rate;
+    std::int64_t t = static_cast<std::int64_t>(
+        rng.Uniform(0.2 * mean_interval, mean_interval));
+    while (t + pulse_len < config.length) {
+      for (std::int64_t k = 0; k < pulse_len; ++k) {
+        const double shape = std::sin(
+            M_PI * static_cast<double>(k) / static_cast<double>(pulse_len - 1));
+        for (std::int64_t a = 0; a < affected; ++a) {
+          series.at(t + k, a) += static_cast<float>(
+              template_amp[static_cast<std::size_t>(a)] * shape);
+        }
+      }
+      t += static_cast<std::int64_t>(
+          rng.Uniform(0.6 * mean_interval, 1.4 * mean_interval));
+    }
+  }
+  return series;
+}
+
+void ApplyDistributionShift(TimeSeries* series, double scale,
+                            double level_offset) {
+  TFMAE_CHECK(series != nullptr);
+  // Progressive drift: the shift ramps from nothing at t=0 to its full
+  // strength at the end of the slice. A gradual drift (rather than a step)
+  // changes the *ordering* of reconstruction errors along the series, which
+  // is the failure mode the paper attributes to distribution shift (Fig. 1
+  // right, Fig. 9).
+  const double denom =
+      static_cast<double>(std::max<std::int64_t>(series->length - 1, 1));
+  for (std::int64_t t = 0; t < series->length; ++t) {
+    const double ramp = static_cast<double>(t) / denom;
+    const double step_scale = 1.0 + (scale - 1.0) * ramp;
+    const double step_level = level_offset * ramp;
+    for (std::int64_t n = 0; n < series->num_features; ++n) {
+      series->at(t, n) = static_cast<float>(
+          static_cast<double>(series->at(t, n)) * step_scale + step_level);
+    }
+  }
+}
+
+}  // namespace tfmae::data

@@ -1,0 +1,60 @@
+// Synthetic base-signal generation.
+//
+// Channels are sums of a few sinusoidal harmonics (random period, phase,
+// amplitude) plus AR(1) noise and an optional slow drift — the canonical
+// structure of the machine/server telemetry the paper's benchmarks record.
+// A controllable level/scale change emulates the train-to-test distribution
+// shift the paper studies (Figs. 1 and 9).
+#ifndef TFMAE_DATA_GENERATOR_H_
+#define TFMAE_DATA_GENERATOR_H_
+
+#include <cstdint>
+
+#include "data/timeseries.h"
+#include "util/rng.h"
+
+namespace tfmae::data {
+
+/// Configuration of the base (anomaly-free) signal.
+struct BaseSignalConfig {
+  std::int64_t length = 0;
+  std::int64_t num_features = 1;
+  /// Sinusoidal components per channel.
+  // Periods are chosen to fit inside typical detection windows (the scaled
+  // default window is 50 steps), so every window sees full cycles.
+  int num_harmonics = 2;
+  double min_period = 12.0;
+  double max_period = 40.0;
+  double min_amplitude = 0.5;
+  double max_amplitude = 1.5;
+  /// AR(1) noise: x_t = ar_coefficient * x_{t-1} + N(0, noise_std).
+  double noise_std = 0.08;
+  double ar_coefficient = 0.6;
+  /// Slow per-channel linear drift, stddev of slope per 1000 steps.
+  double drift_std = 0.0;
+  /// Recurring benign transients: short pulse events with a fixed per-run
+  /// template that recur throughout the series (train and test alike) —
+  /// routine operational events such as log rotation or maintenance spikes.
+  /// They are NOT anomalies: models must learn them as normal, which is
+  /// what separates learned detectors from purely local saliency methods.
+  /// Expected number of events per 100 steps (0 disables).
+  double benign_event_rate = 0.0;
+  /// Pulse amplitude in units of the channel's oscillation amplitude.
+  double benign_event_amplitude = 1.5;
+  /// Pulse length in steps.
+  std::int64_t benign_event_length = 8;
+  std::uint64_t seed = 1;
+};
+
+/// Generates an anomaly-free series according to `config`.
+TimeSeries GenerateBaseSignal(const BaseSignalConfig& config);
+
+/// Applies a distribution shift in place: values become
+/// (value * scale) + level_offset for every time step. Used on test slices
+/// to emulate the train-to-test shift of Fig. 1/9.
+void ApplyDistributionShift(TimeSeries* series, double scale,
+                            double level_offset);
+
+}  // namespace tfmae::data
+
+#endif  // TFMAE_DATA_GENERATOR_H_

@@ -1,0 +1,74 @@
+#include "data/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace tfmae::data {
+
+bool SaveCsv(const TimeSeries& series, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return false;
+  const bool with_labels = !series.labels.empty();
+  for (std::int64_t n = 0; n < series.num_features; ++n) {
+    if (n != 0) file << ',';
+    file << 'f' << n;
+  }
+  if (with_labels) file << ",label";
+  file << '\n';
+  for (std::int64_t t = 0; t < series.length; ++t) {
+    for (std::int64_t n = 0; n < series.num_features; ++n) {
+      if (n != 0) file << ',';
+      file << series.at(t, n);
+    }
+    if (with_labels) {
+      file << ',' << static_cast<int>(series.labels[static_cast<std::size_t>(t)]);
+    }
+    file << '\n';
+  }
+  return static_cast<bool>(file);
+}
+
+std::optional<TimeSeries> LoadCsv(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return std::nullopt;
+  std::string line;
+  if (!std::getline(file, line)) return std::nullopt;
+
+  // Parse header.
+  std::vector<std::string> columns;
+  {
+    std::stringstream header(line);
+    std::string cell;
+    while (std::getline(header, cell, ',')) columns.push_back(cell);
+  }
+  if (columns.empty()) return std::nullopt;
+  const bool with_labels = columns.back() == "label";
+  const std::int64_t num_features =
+      static_cast<std::int64_t>(columns.size()) - (with_labels ? 1 : 0);
+  if (num_features < 1) return std::nullopt;
+
+  TimeSeries series;
+  series.num_features = num_features;
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    std::stringstream row(line);
+    std::string cell;
+    for (std::int64_t n = 0; n < num_features; ++n) {
+      if (!std::getline(row, cell, ',')) return std::nullopt;
+      try {
+        series.values.push_back(std::stof(cell));
+      } catch (...) {
+        return std::nullopt;
+      }
+    }
+    if (with_labels) {
+      if (!std::getline(row, cell, ',')) return std::nullopt;
+      series.labels.push_back(cell == "1" ? 1 : 0);
+    }
+    ++series.length;
+  }
+  return series;
+}
+
+}  // namespace tfmae::data

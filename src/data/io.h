@@ -1,0 +1,27 @@
+// CSV import/export for time series, so downstream users can run the library
+// on their own data (see examples/).
+//
+// Format: a header line "f0,f1,...,label?" then one row per time step. The
+// optional final "label" column carries 0/1 ground truth.
+#ifndef TFMAE_DATA_IO_H_
+#define TFMAE_DATA_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "data/timeseries.h"
+
+namespace tfmae::data {
+
+/// Writes `series` to `path`. Includes a label column iff labels are present.
+/// Returns false on I/O failure.
+bool SaveCsv(const TimeSeries& series, const std::string& path);
+
+/// Loads a CSV written by SaveCsv (or any numeric CSV with a header). If the
+/// last column is named "label" it becomes the label vector.
+/// Returns std::nullopt on failure.
+std::optional<TimeSeries> LoadCsv(const std::string& path);
+
+}  // namespace tfmae::data
+
+#endif  // TFMAE_DATA_IO_H_

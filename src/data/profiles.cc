@@ -1,0 +1,184 @@
+#include "data/profiles.h"
+
+#include "util/logging.h"
+
+namespace tfmae::data {
+
+std::vector<BenchmarkDataset> MainDatasets() {
+  return {BenchmarkDataset::kSwat, BenchmarkDataset::kPsm,
+          BenchmarkDataset::kSmd, BenchmarkDataset::kMsl,
+          BenchmarkDataset::kSmap};
+}
+
+std::string DatasetName(BenchmarkDataset dataset) {
+  switch (dataset) {
+    case BenchmarkDataset::kMsl:
+      return "MSL";
+    case BenchmarkDataset::kPsm:
+      return "PSM";
+    case BenchmarkDataset::kSmd:
+      return "SMD";
+    case BenchmarkDataset::kSwat:
+      return "SWaT";
+    case BenchmarkDataset::kSmap:
+      return "SMAP";
+    case BenchmarkDataset::kNipsTsGlobal:
+      return "NIPS-TS-Global";
+    case BenchmarkDataset::kNipsTsSeasonal:
+      return "NIPS-TS-Seasonal";
+  }
+  return "?";
+}
+
+DatasetProfile GetProfile(BenchmarkDataset dataset, double scale) {
+  TFMAE_CHECK(scale > 0.0);
+  DatasetProfile p;
+  p.name = DatasetName(dataset);
+  switch (dataset) {
+    case BenchmarkDataset::kMsl:
+      // Mars rover telemetry: 55 channels, ~10.5% anomalies; ISA reports are
+      // dominated by point/contextual glitches plus shape changes.
+      p.base.num_features = 55;
+      p.train_length = 1600;
+      p.val_length = 400;
+      p.test_length = 2400;
+      p.test_anomaly_ratio = 0.105;
+      p.train_contamination = 0.03;
+      p.mix = {.global_point = 1, .contextual = 2, .seasonal = 1,
+               .trend = 0.5, .shapelet = 2};
+      p.test_shift_scale = 1.1;
+      p.test_shift_level = 0.15;
+      p.base.benign_event_rate = 1.2;
+      p.seed = 101;
+      break;
+    case BenchmarkDataset::kPsm:
+      // eBay pooled server metrics: 25 channels, very high anomaly ratio
+      // (27.8%) with long incident segments.
+      p.base.num_features = 25;
+      p.train_length = 2000;
+      p.val_length = 500;
+      p.test_length = 2000;
+      p.test_anomaly_ratio = 0.278;
+      p.train_contamination = 0.04;
+      p.mix = {.global_point = 1, .contextual = 1, .seasonal = 1,
+               .trend = 2, .shapelet = 2};
+      p.anomaly_options.max_segment = 60;
+      p.test_shift_scale = 1.05;
+      p.test_shift_level = 0.1;
+      p.base.benign_event_rate = 1.0;
+      p.seed = 202;
+      break;
+    case BenchmarkDataset::kSmd:
+      // Internet-server machine dataset: 38 channels, sparse anomalies
+      // (4.2%), mostly resource spikes and drifts; little shift.
+      p.base.num_features = 38;
+      p.train_length = 2600;
+      p.val_length = 650;
+      p.test_length = 3200;
+      p.test_anomaly_ratio = 0.042;
+      p.train_contamination = 0.015;
+      p.mix = {.global_point = 2, .contextual = 2.5, .seasonal = 1,
+               .trend = 0.5, .shapelet = 1.5};
+      p.base.benign_event_rate = 1.2;
+      p.seed = 303;
+      break;
+    case BenchmarkDataset::kSwat:
+      // Water-treatment testbed: 51 channels, strongly periodic actuator
+      // cycles; attacks appear as sustained pattern/shape deviations.
+      p.base.num_features = 51;
+      p.train_length = 2200;
+      p.val_length = 550;
+      p.test_length = 2600;
+      p.test_anomaly_ratio = 0.121;
+      p.train_contamination = 0.01;
+      p.mix = {.global_point = 0.5, .contextual = 0.5, .seasonal = 2,
+               .trend = 2, .shapelet = 3};
+      p.anomaly_options.min_segment = 16;
+      p.anomaly_options.max_segment = 80;
+      p.base.noise_std = 0.05;
+      p.base.min_period = 20;
+      p.base.max_period = 40;
+      p.base.benign_event_rate = 0.8;
+      p.seed = 404;
+      break;
+    case BenchmarkDataset::kSmap:
+      // Soil-moisture satellite telemetry: 25 channels, 12.8% anomalies,
+      // pronounced train-to-test distribution shift (paper Figs. 1 and 9).
+      p.base.num_features = 25;
+      p.train_length = 1800;
+      p.val_length = 450;
+      p.test_length = 2800;
+      p.test_anomaly_ratio = 0.128;
+      p.train_contamination = 0.02;
+      p.mix = {.global_point = 1, .contextual = 2, .seasonal = 1.5,
+               .trend = 1, .shapelet = 1};
+      p.test_shift_scale = 1.35;
+      p.test_shift_level = 0.6;
+      p.base.benign_event_rate = 1.0;
+      p.seed = 505;
+      break;
+    case BenchmarkDataset::kNipsTsGlobal:
+      // Synthetic univariate with global point anomalies only (Lai et al.).
+      p.base.num_features = 1;
+      p.train_length = 1200;
+      p.val_length = 300;
+      p.test_length = 1500;
+      p.test_anomaly_ratio = 0.05;
+      p.train_contamination = 0.0;
+      p.mix = {.global_point = 1};
+      p.base.noise_std = 0.05;
+      p.seed = 606;
+      break;
+    case BenchmarkDataset::kNipsTsSeasonal:
+      // Synthetic univariate with seasonal (frequency-change) anomalies.
+      p.base.num_features = 1;
+      p.train_length = 1200;
+      p.val_length = 300;
+      p.test_length = 1500;
+      p.test_anomaly_ratio = 0.05;
+      p.train_contamination = 0.0;
+      p.mix = {.seasonal = 1};
+      p.anomaly_options.min_segment = 12;
+      p.anomaly_options.max_segment = 30;
+      p.base.noise_std = 0.05;
+      p.seed = 707;
+      break;
+  }
+  p.train_length = static_cast<std::int64_t>(p.train_length * scale);
+  p.val_length = static_cast<std::int64_t>(p.val_length * scale);
+  p.test_length = static_cast<std::int64_t>(p.test_length * scale);
+  return p;
+}
+
+LabeledDataset MakeDataset(const DatasetProfile& profile) {
+  BaseSignalConfig base = profile.base;
+  base.length =
+      profile.train_length + profile.val_length + profile.test_length;
+  base.seed = profile.seed;
+  TimeSeries full = GenerateBaseSignal(base);
+
+  LabeledDataset out;
+  out.name = profile.name;
+  out.train = full.Slice(0, profile.train_length);
+  out.val = full.Slice(profile.train_length, profile.val_length);
+  out.test = full.Slice(profile.train_length + profile.val_length,
+                        profile.test_length);
+
+  ApplyDistributionShift(&out.test, profile.test_shift_scale,
+                         profile.test_shift_level);
+
+  Rng inject_rng(profile.seed * 7919 + 13);
+  InjectAnomalies(&out.train, profile.mix, profile.train_contamination,
+                  profile.anomaly_options, &inject_rng);
+  InjectAnomalies(&out.val, profile.mix, profile.train_contamination,
+                  profile.anomaly_options, &inject_rng);
+  InjectAnomalies(&out.test, profile.mix, profile.test_anomaly_ratio,
+                  profile.anomaly_options, &inject_rng);
+  return out;
+}
+
+LabeledDataset MakeBenchmarkDataset(BenchmarkDataset dataset, double scale) {
+  return MakeDataset(GetProfile(dataset, scale));
+}
+
+}  // namespace tfmae::data

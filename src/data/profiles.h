@@ -1,0 +1,82 @@
+// Benchmark dataset profiles.
+//
+// The paper evaluates on MSL, SMAP (NASA), PSM (eBay), SMD, SWaT, and the
+// two synthetic NIPS-TS sets. The raw proprietary datasets are not
+// redistributable offline, so each profile configures the synthetic
+// substrate to match that dataset's published characteristics: feature
+// count, anomaly ratio, dominant anomaly families (per the source papers'
+// descriptions), and the presence of train-to-test distribution shift.
+// Lengths are scaled down ~20-100x for the single-core CPU substrate; the
+// `scale` argument lets benches grow them back.
+#ifndef TFMAE_DATA_PROFILES_H_
+#define TFMAE_DATA_PROFILES_H_
+
+#include <string>
+#include <vector>
+
+#include "data/anomaly.h"
+#include "data/generator.h"
+#include "data/timeseries.h"
+
+namespace tfmae::data {
+
+/// The paper's seven benchmark datasets (Table II).
+enum class BenchmarkDataset {
+  kMsl,
+  kPsm,
+  kSmd,
+  kSwat,
+  kSmap,
+  kNipsTsGlobal,
+  kNipsTsSeasonal,
+};
+
+/// All datasets used in the main comparison (Table III order).
+std::vector<BenchmarkDataset> MainDatasets();
+
+/// Short name matching the paper's tables ("MSL", "PSM", ...).
+std::string DatasetName(BenchmarkDataset dataset);
+
+/// Full recipe for simulating one benchmark dataset.
+struct DatasetProfile {
+  std::string name;
+  BaseSignalConfig base;          // length is filled per split
+  std::int64_t train_length = 0;
+  std::int64_t val_length = 0;
+  std::int64_t test_length = 0;
+  double test_anomaly_ratio = 0.1;
+  /// Anomalies present (unlabeled, as contamination) in train/val — the
+  /// source of the paper's "abnormal bias" challenge.
+  double train_contamination = 0.02;
+  AnomalyMix mix;
+  AnomalyOptions anomaly_options;
+  /// Distribution shift applied to the test slice (scale=1, level=0: none).
+  double test_shift_scale = 1.0;
+  double test_shift_level = 0.0;
+  std::uint64_t seed = 7;
+};
+
+/// Train/val/test splits with labels. Train/val labels record the injected
+/// contamination (models must not read them); test labels are ground truth.
+struct LabeledDataset {
+  std::string name;
+  TimeSeries train;
+  TimeSeries val;
+  TimeSeries test;
+};
+
+/// Profile for `dataset`, with all split lengths multiplied by `scale`.
+DatasetProfile GetProfile(BenchmarkDataset dataset, double scale = 1.0);
+
+/// Generates the dataset: one continuous base signal split into train/val/
+/// test (so the splits share channel structure), shift applied to the test
+/// slice, anomalies injected per split.
+LabeledDataset MakeDataset(const DatasetProfile& profile);
+
+/// Convenience: MakeDataset(GetProfile(dataset, scale)).
+LabeledDataset MakeBenchmarkDataset(BenchmarkDataset dataset,
+                                    double scale = 1.0);
+
+}  // namespace tfmae::data
+
+#endif  // TFMAE_DATA_PROFILES_H_

@@ -1,0 +1,102 @@
+#include "eval/detection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tfmae::eval {
+
+float QuantileThreshold(const std::vector<float>& reference_scores,
+                        double anomaly_fraction) {
+  TFMAE_CHECK(!reference_scores.empty());
+  TFMAE_CHECK_MSG(anomaly_fraction > 0.0 && anomaly_fraction < 1.0,
+                  "anomaly fraction must be in (0, 1), got "
+                      << anomaly_fraction);
+  std::vector<float> sorted = reference_scores;
+  std::sort(sorted.begin(), sorted.end());
+  const double quantile = 1.0 - anomaly_fraction;
+  const std::size_t index = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(quantile *
+                               static_cast<double>(sorted.size())));
+  return sorted[index];
+}
+
+std::vector<std::uint8_t> ApplyThreshold(const std::vector<float>& scores,
+                                         float threshold) {
+  std::vector<std::uint8_t> predictions(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    predictions[i] = scores[i] >= threshold ? 1 : 0;
+  }
+  return predictions;
+}
+
+std::vector<std::uint8_t> PointAdjust(
+    const std::vector<std::uint8_t>& predictions,
+    const std::vector<std::uint8_t>& labels) {
+  TFMAE_CHECK(predictions.size() == labels.size());
+  std::vector<std::uint8_t> adjusted = predictions;
+  const std::size_t n = labels.size();
+  std::size_t i = 0;
+  while (i < n) {
+    if (labels[i] == 0) {
+      ++i;
+      continue;
+    }
+    // Ground-truth anomaly segment [i, j).
+    std::size_t j = i;
+    while (j < n && labels[j] != 0) ++j;
+    bool any_hit = false;
+    for (std::size_t k = i; k < j && !any_hit; ++k) {
+      any_hit = predictions[k] != 0;
+    }
+    if (any_hit) {
+      for (std::size_t k = i; k < j; ++k) adjusted[k] = 1;
+    }
+    i = j;
+  }
+  return adjusted;
+}
+
+DetectionReport EvaluateDetection(const std::vector<float>& val_scores,
+                                  const std::vector<float>& test_scores,
+                                  const std::vector<std::uint8_t>& test_labels,
+                                  double anomaly_fraction,
+                                  ThresholdProtocol protocol) {
+  DetectionReport report;
+  if (protocol == ThresholdProtocol::kCombined) {
+    std::vector<float> combined = val_scores;
+    combined.insert(combined.end(), test_scores.begin(), test_scores.end());
+    report.threshold = QuantileThreshold(combined, anomaly_fraction);
+  } else {
+    report.threshold = QuantileThreshold(val_scores, anomaly_fraction);
+  }
+  const std::vector<std::uint8_t> predictions =
+      ApplyThreshold(test_scores, report.threshold);
+  report.raw = ComputePrf(predictions, test_labels);
+  report.adjusted = ComputePrf(PointAdjust(predictions, test_labels),
+                               test_labels);
+  report.auroc = Auroc(test_scores, test_labels);
+  return report;
+}
+
+std::vector<std::pair<float, float>> EmpiricalCdf(
+    const std::vector<float>& scores, float lo, float hi, int grid_size) {
+  TFMAE_CHECK(grid_size >= 2 && hi > lo && !scores.empty());
+  std::vector<float> sorted = scores;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::pair<float, float>> cdf;
+  cdf.reserve(static_cast<std::size_t>(grid_size));
+  for (int g = 0; g < grid_size; ++g) {
+    const float x = lo + (hi - lo) * static_cast<float>(g) /
+                             static_cast<float>(grid_size - 1);
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), x);
+    const float fraction = static_cast<float>(it - sorted.begin()) /
+                           static_cast<float>(sorted.size());
+    cdf.emplace_back(x, fraction);
+  }
+  return cdf;
+}
+
+}  // namespace tfmae::eval

@@ -1,0 +1,82 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace tfmae::eval {
+
+Confusion CountConfusion(const std::vector<std::uint8_t>& predictions,
+                         const std::vector<std::uint8_t>& labels) {
+  TFMAE_CHECK_MSG(predictions.size() == labels.size(),
+                  "prediction/label size mismatch: " << predictions.size()
+                                                     << " vs "
+                                                     << labels.size());
+  Confusion c;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    const bool predicted = predictions[i] != 0;
+    const bool actual = labels[i] != 0;
+    if (predicted && actual) ++c.true_positive;
+    else if (predicted && !actual) ++c.false_positive;
+    else if (!predicted && actual) ++c.false_negative;
+    else ++c.true_negative;
+  }
+  return c;
+}
+
+PrfMetrics ComputePrf(const Confusion& confusion) {
+  PrfMetrics m;
+  const double tp = static_cast<double>(confusion.true_positive);
+  const double fp = static_cast<double>(confusion.false_positive);
+  const double fn = static_cast<double>(confusion.false_negative);
+  if (tp + fp > 0) m.precision = tp / (tp + fp);
+  if (tp + fn > 0) m.recall = tp / (tp + fn);
+  if (m.precision + m.recall > 0) {
+    m.f1 = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  }
+  return m;
+}
+
+PrfMetrics ComputePrf(const std::vector<std::uint8_t>& predictions,
+                      const std::vector<std::uint8_t>& labels) {
+  return ComputePrf(CountConfusion(predictions, labels));
+}
+
+double Auroc(const std::vector<float>& scores,
+             const std::vector<std::uint8_t>& labels) {
+  TFMAE_CHECK(scores.size() == labels.size());
+  // Rank-sum (Mann-Whitney) formulation with midranks for ties.
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&scores](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
+  double positive_rank_sum = 0.0;
+  std::int64_t positives = 0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() &&
+           scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    const double midrank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) {
+      if (labels[order[k]] != 0) {
+        positive_rank_sum += midrank;
+        ++positives;
+      }
+    }
+    i = j + 1;
+  }
+  const std::int64_t negatives =
+      static_cast<std::int64_t>(scores.size()) - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+  const double u = positive_rank_sum -
+                   static_cast<double>(positives) *
+                       (static_cast<double>(positives) + 1.0) / 2.0;
+  return u / (static_cast<double>(positives) * static_cast<double>(negatives));
+}
+
+}  // namespace tfmae::eval

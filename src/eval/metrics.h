@@ -1,0 +1,44 @@
+// Detection metrics: precision / recall / F1 (paper Section V-A.2) plus
+// AUROC as an extra threshold-free diagnostic.
+#ifndef TFMAE_EVAL_METRICS_H_
+#define TFMAE_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tfmae::eval {
+
+/// Binary confusion counts.
+struct Confusion {
+  std::int64_t true_positive = 0;
+  std::int64_t false_positive = 0;
+  std::int64_t true_negative = 0;
+  std::int64_t false_negative = 0;
+};
+
+/// Point-level precision/recall/F1 (fractions in [0, 1]).
+struct PrfMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Counts agreement between 0/1 predictions and ground-truth labels.
+Confusion CountConfusion(const std::vector<std::uint8_t>& predictions,
+                         const std::vector<std::uint8_t>& labels);
+
+/// Precision/recall/F1 from confusion counts (0 when undefined).
+PrfMetrics ComputePrf(const Confusion& confusion);
+
+/// Convenience: CountConfusion + ComputePrf.
+PrfMetrics ComputePrf(const std::vector<std::uint8_t>& predictions,
+                      const std::vector<std::uint8_t>& labels);
+
+/// Area under the ROC curve of `scores` against `labels` (probability that a
+/// random anomalous point outscores a random normal one; ties count half).
+double Auroc(const std::vector<float>& scores,
+             const std::vector<std::uint8_t>& labels);
+
+}  // namespace tfmae::eval
+
+#endif  // TFMAE_EVAL_METRICS_H_

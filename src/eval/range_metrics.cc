@@ -1,0 +1,87 @@
+#include "eval/range_metrics.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tfmae::eval {
+namespace {
+
+std::int64_t OverlapLength(const Range& a, const Range& b) {
+  const std::int64_t begin = std::max(a.begin, b.begin);
+  const std::int64_t end = std::min(a.end, b.end);
+  return std::max<std::int64_t>(0, end - begin);
+}
+
+// Score of `range` against the set of `others`: overlap fraction damped by
+// the fragmentation cardinality, plus an optional existence reward.
+double RangeScore(const Range& range, const std::vector<Range>& others,
+                  double alpha) {
+  std::int64_t covered = 0;
+  std::int64_t overlapping_ranges = 0;
+  for (const Range& other : others) {
+    const std::int64_t overlap = OverlapLength(range, other);
+    if (overlap > 0) {
+      covered += overlap;
+      ++overlapping_ranges;
+    }
+  }
+  const double existence = overlapping_ranges > 0 ? 1.0 : 0.0;
+  const double overlap_fraction =
+      static_cast<double>(covered) / static_cast<double>(range.length());
+  const double cardinality =
+      overlapping_ranges > 0 ? 1.0 / static_cast<double>(overlapping_ranges)
+                             : 0.0;
+  return alpha * existence + (1.0 - alpha) * cardinality * overlap_fraction;
+}
+
+}  // namespace
+
+std::vector<Range> ExtractRanges(const std::vector<std::uint8_t>& binary) {
+  std::vector<Range> ranges;
+  std::size_t i = 0;
+  while (i < binary.size()) {
+    if (binary[i] == 0) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < binary.size() && binary[j] != 0) ++j;
+    ranges.push_back({static_cast<std::int64_t>(i),
+                      static_cast<std::int64_t>(j)});
+    i = j;
+  }
+  return ranges;
+}
+
+RangeMetrics ComputeRangeMetrics(const std::vector<std::uint8_t>& predictions,
+                                 const std::vector<std::uint8_t>& labels,
+                                 const RangeMetricOptions& options) {
+  TFMAE_CHECK(predictions.size() == labels.size());
+  const std::vector<Range> predicted = ExtractRanges(predictions);
+  const std::vector<Range> real = ExtractRanges(labels);
+
+  RangeMetrics metrics;
+  if (!real.empty()) {
+    double recall_sum = 0.0;
+    for (const Range& r : real) {
+      recall_sum += RangeScore(r, predicted, options.alpha);
+    }
+    metrics.recall = recall_sum / static_cast<double>(real.size());
+  }
+  if (!predicted.empty()) {
+    double precision_sum = 0.0;
+    for (const Range& p : predicted) {
+      // Precision uses no existence reward (alpha = 0 by definition).
+      precision_sum += RangeScore(p, real, /*alpha=*/0.0);
+    }
+    metrics.precision = precision_sum / static_cast<double>(predicted.size());
+  }
+  if (metrics.precision + metrics.recall > 0.0) {
+    metrics.f1 = 2.0 * metrics.precision * metrics.recall /
+                 (metrics.precision + metrics.recall);
+  }
+  return metrics;
+}
+
+}  // namespace tfmae::eval

@@ -1,0 +1,53 @@
+// Range-based precision and recall (Tatbul et al., NeurIPS 2018) — a
+// complement to the point-adjustment protocol that credits partial overlap
+// between predicted and real anomaly ranges instead of all-or-nothing
+// segment adjustment. Included because reviewers of the point-adjust
+// protocol (which the paper uses) routinely ask for range-aware numbers.
+//
+// Model (flat positional bias):
+//   Recall_T(R_i)  = alpha * Existence(R_i) +
+//                    (1 - alpha) * Cardinality(R_i) * Overlap(R_i)
+//   Precision_T(P_j) =            Cardinality(P_j) * Overlap(P_j)
+// where Overlap is the covered fraction of the range and Cardinality
+// penalizes fragmentation as 1/(number of counterpart ranges overlapped).
+#ifndef TFMAE_EVAL_RANGE_METRICS_H_
+#define TFMAE_EVAL_RANGE_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tfmae::eval {
+
+/// A half-open index interval [begin, end).
+struct Range {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+
+  std::int64_t length() const { return end - begin; }
+};
+
+/// Extracts maximal contiguous ranges of 1s from a binary sequence.
+std::vector<Range> ExtractRanges(const std::vector<std::uint8_t>& binary);
+
+/// Tuning of the range-based metrics.
+struct RangeMetricOptions {
+  /// Weight of the existence reward in recall (0 = pure overlap).
+  double alpha = 0.2;
+};
+
+/// Range-based precision/recall/F1.
+struct RangeMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Computes range-based metrics of `predictions` against `labels`
+/// (both 0/1 vectors of equal length).
+RangeMetrics ComputeRangeMetrics(const std::vector<std::uint8_t>& predictions,
+                                 const std::vector<std::uint8_t>& labels,
+                                 const RangeMetricOptions& options = {});
+
+}  // namespace tfmae::eval
+
+#endif  // TFMAE_EVAL_RANGE_METRICS_H_

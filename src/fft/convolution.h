@@ -1,0 +1,40 @@
+// FFT convolution and sliding-window moving sums (Wiener-Khinchin path).
+//
+// The paper's Eq. (5) replaces the two nested loops of the sliding
+// coefficient-of-variation computation with FFT products. The primitive it
+// needs is "moving sum of the last W samples at every position", which is a
+// correlation of the series with a ones kernel. These helpers expose both a
+// direct O(n*W) implementation (for the "w/o FFT" ablation) and the
+// FFT-based O(n log n) implementation.
+#ifndef TFMAE_FFT_CONVOLUTION_H_
+#define TFMAE_FFT_CONVOLUTION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tfmae::fft {
+
+/// Full linear convolution of two real signals (length a+b-1), via FFT.
+std::vector<double> FftConvolve(const std::vector<double>& a,
+                                const std::vector<double>& b);
+
+/// Reference O(n*m) linear convolution, for tests and ablations.
+std::vector<double> NaiveConvolve(const std::vector<double>& a,
+                                  const std::vector<double>& b);
+
+/// Moving sum over a trailing window: out[t] = sum_{k=max(0,t-w+1)}^{t} x[k].
+/// The first w-1 positions use the truncated (shorter) prefix window, which
+/// mirrors the paper's behaviour at the series head.
+/// Computed via FFT convolution with a ones kernel; O(n log n).
+std::vector<double> MovingSumFft(const std::vector<double>& x, std::int64_t w);
+
+/// Same contract as MovingSumFft but computed with an explicit loop; O(n*w).
+/// This is the "w/o FFT" path measured in the Fig. 10 ablation. It is
+/// deliberately the textbook nested-loop form (not a prefix-sum trick), since
+/// the paper's ablation measures exactly the two-loop statistic computation.
+std::vector<double> MovingSumNaive(const std::vector<double>& x,
+                                   std::int64_t w);
+
+}  // namespace tfmae::fft
+
+#endif  // TFMAE_FFT_CONVOLUTION_H_

@@ -1,0 +1,140 @@
+#include "masking/coefficient_of_variation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "fft/convolution.h"
+#include "util/logging.h"
+
+namespace tfmae::masking {
+namespace {
+
+// Denominator guard of the dispersion ratio. TFMAE computes the statistic on
+// z-normalized inputs, where window means hover around zero; a tiny epsilon
+// would let 1/|mean| noise dominate the ranking. One unit — one global
+// standard deviation after normalization — keeps the mean-discounting
+// behaviour of the CV while bounding the amplification.
+constexpr double kMeanEps = 1.0;
+
+// Effective trailing-window length at position t.
+inline std::int64_t EffectiveWindow(std::int64_t t, std::int64_t window) {
+  return std::min<std::int64_t>(t + 1, window);
+}
+
+// Dispersion score of one (sum, sum_sq, w) triple: unbiased variance over
+// |mean| (Eq. (1) with the Eq.-(4) typo corrected; see header).
+inline double Dispersion(double sum, double sum_sq, std::int64_t w) {
+  const double mean = sum / static_cast<double>(w);
+  double variance = 0.0;
+  if (w > 1) {
+    variance = (sum_sq - sum * mean) / static_cast<double>(w - 1);
+    variance = std::max(variance, 0.0);
+  }
+  return variance / (std::abs(mean) + kMeanEps);
+}
+
+}  // namespace
+
+std::vector<double> CoefficientOfVariation(const std::vector<float>& series,
+                                           std::int64_t length,
+                                           std::int64_t num_features,
+                                           std::int64_t window,
+                                           CvMethod method) {
+  TFMAE_CHECK(window >= 1 && length >= 1 && num_features >= 1);
+  TFMAE_CHECK(static_cast<std::int64_t>(series.size()) ==
+              length * num_features);
+  std::vector<double> scores(static_cast<std::size_t>(length), 0.0);
+
+  if (method == CvMethod::kNaive) {
+    // The deliberately un-optimized two-loop form (paper Section IV-A.1).
+    for (std::int64_t n = 0; n < num_features; ++n) {
+      for (std::int64_t t = 0; t < length; ++t) {
+        const std::int64_t w = EffectiveWindow(t, window);
+        double sum = 0.0;
+        double sum_sq = 0.0;
+        for (std::int64_t k = t - w + 1; k <= t; ++k) {
+          const double v = series[static_cast<std::size_t>(
+              k * num_features + n)];
+          sum += v;
+          sum_sq += v * v;
+        }
+        scores[static_cast<std::size_t>(t)] += Dispersion(sum, sum_sq, w);
+      }
+    }
+    return scores;
+  }
+
+  // FFT path (Eq. (5)): per feature, one convolution for the moving sum of s
+  // and one for the moving sum of s^2.
+  std::vector<double> column(static_cast<std::size_t>(length));
+  std::vector<double> column_sq(static_cast<std::size_t>(length));
+  for (std::int64_t n = 0; n < num_features; ++n) {
+    for (std::int64_t t = 0; t < length; ++t) {
+      const double v =
+          series[static_cast<std::size_t>(t * num_features + n)];
+      column[static_cast<std::size_t>(t)] = v;
+      column_sq[static_cast<std::size_t>(t)] = v * v;
+    }
+    const std::vector<double> sum = fft::MovingSumFft(column, window);
+    const std::vector<double> sum_sq = fft::MovingSumFft(column_sq, window);
+    for (std::int64_t t = 0; t < length; ++t) {
+      const std::int64_t w = EffectiveWindow(t, window);
+      scores[static_cast<std::size_t>(t)] +=
+          Dispersion(sum[static_cast<std::size_t>(t)],
+                     sum_sq[static_cast<std::size_t>(t)], w);
+    }
+  }
+  return scores;
+}
+
+std::vector<double> SlidingStdDev(const std::vector<float>& series,
+                                  std::int64_t length,
+                                  std::int64_t num_features,
+                                  std::int64_t window) {
+  TFMAE_CHECK(window >= 1 && length >= 1 && num_features >= 1);
+  TFMAE_CHECK(static_cast<std::int64_t>(series.size()) ==
+              length * num_features);
+  std::vector<double> scores(static_cast<std::size_t>(length), 0.0);
+  for (std::int64_t n = 0; n < num_features; ++n) {
+    for (std::int64_t t = 0; t < length; ++t) {
+      const std::int64_t w = EffectiveWindow(t, window);
+      double sum = 0.0;
+      double sum_sq = 0.0;
+      for (std::int64_t k = t - w + 1; k <= t; ++k) {
+        const double v =
+            series[static_cast<std::size_t>(k * num_features + n)];
+        sum += v;
+        sum_sq += v * v;
+      }
+      const double mean = sum / static_cast<double>(w);
+      double variance = 0.0;
+      if (w > 1) {
+        variance =
+            std::max(0.0, (sum_sq - sum * mean) / static_cast<double>(w - 1));
+      }
+      scores[static_cast<std::size_t>(t)] += std::sqrt(variance);
+    }
+  }
+  return scores;
+}
+
+std::vector<std::int64_t> TopIndex(const std::vector<double>& values,
+                                   std::int64_t k) {
+  const std::int64_t n = static_cast<std::int64_t>(values.size());
+  TFMAE_CHECK_MSG(k >= 0 && k <= n,
+                  "TopIndex k=" << k << " out of range for " << n << " values");
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                    [&values](std::int64_t a, std::int64_t b) {
+                      const double va = values[static_cast<std::size_t>(a)];
+                      const double vb = values[static_cast<std::size_t>(b)];
+                      if (va != vb) return va > vb;
+                      return a < b;  // deterministic tie-break
+                    });
+  idx.resize(static_cast<std::size_t>(k));
+  return idx;
+}
+
+}  // namespace tfmae::masking

@@ -1,0 +1,114 @@
+#include "masking/frequency_mask.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "fft/fft.h"
+#include "util/logging.h"
+
+namespace tfmae::masking {
+
+FrequencyMaskedColumn MaskFrequencyColumn(const std::vector<float>& column,
+                                          double ratio,
+                                          FrequencyMaskVariant variant,
+                                          Rng* rng) {
+  TFMAE_CHECK_MSG(ratio >= 0.0 && ratio < 1.0,
+                  "frequency mask ratio must be in [0, 1), got " << ratio);
+  const std::int64_t length = static_cast<std::int64_t>(column.size());
+  TFMAE_CHECK(length >= 1);
+
+  std::vector<double> column_d(column.begin(), column.end());
+  std::vector<fft::Complex> spectrum = fft::RealFft(column_d);
+
+  const std::int64_t masked_count =
+      variant == FrequencyMaskVariant::kNone
+          ? 0
+          : static_cast<std::int64_t>(ratio * static_cast<double>(length));
+
+  std::vector<std::int64_t> masked;
+  switch (variant) {
+    case FrequencyMaskVariant::kNone:
+      break;
+    case FrequencyMaskVariant::kAmplitude: {
+      // Eq. (8): TopIndex(-amplitude) == lowest-amplitude bins.
+      const std::vector<double> amplitude = fft::Amplitude(spectrum);
+      std::vector<std::int64_t> idx(static_cast<std::size_t>(length));
+      std::iota(idx.begin(), idx.end(), 0);
+      std::partial_sort(idx.begin(), idx.begin() + masked_count, idx.end(),
+                        [&amplitude](std::int64_t a, std::int64_t b) {
+                          const double va =
+                              amplitude[static_cast<std::size_t>(a)];
+                          const double vb =
+                              amplitude[static_cast<std::size_t>(b)];
+                          if (va != vb) return va < vb;
+                          return a < b;
+                        });
+      idx.resize(static_cast<std::size_t>(masked_count));
+      masked = std::move(idx);
+      break;
+    }
+    case FrequencyMaskVariant::kHighFrequency: {
+      // "High frequency" of full-spectrum bin i is min(i, length - i):
+      // bins near the Nyquist rate are masked first.
+      std::vector<std::int64_t> idx(static_cast<std::size_t>(length));
+      std::iota(idx.begin(), idx.end(), 0);
+      auto freq_of = [length](std::int64_t i) {
+        return std::min<std::int64_t>(i, length - i);
+      };
+      std::partial_sort(idx.begin(), idx.begin() + masked_count, idx.end(),
+                        [&freq_of](std::int64_t a, std::int64_t b) {
+                          const std::int64_t fa = freq_of(a);
+                          const std::int64_t fb = freq_of(b);
+                          if (fa != fb) return fa > fb;
+                          return a < b;
+                        });
+      idx.resize(static_cast<std::size_t>(masked_count));
+      masked = std::move(idx);
+      break;
+    }
+    case FrequencyMaskVariant::kRandom: {
+      TFMAE_CHECK_MSG(rng != nullptr, "random frequency masking needs an Rng");
+      masked = rng->SampleWithoutReplacement(length, masked_count);
+      break;
+    }
+  }
+  std::sort(masked.begin(), masked.end());
+
+  // Zero the masked bins and return to the time domain for the base signal.
+  for (std::int64_t bin : masked) {
+    spectrum[static_cast<std::size_t>(bin)] = fft::Complex(0, 0);
+  }
+  const std::vector<double> base_d = fft::RealIfft(spectrum);
+
+  FrequencyMaskedColumn result;
+  result.base.assign(base_d.begin(), base_d.end());
+  result.masked_bins = std::move(masked);
+  result.cos_coef.assign(static_cast<std::size_t>(length), 0.0f);
+  result.sin_coef.assign(static_cast<std::size_t>(length), 0.0f);
+  const double inv_len = 1.0 / static_cast<double>(length);
+  for (std::int64_t bin : result.masked_bins) {
+    for (std::int64_t t = 0; t < length; ++t) {
+      const double angle = 2.0 * M_PI * static_cast<double>(bin) *
+                           static_cast<double>(t) * inv_len;
+      // Re[(re + j*im) * e^{j angle}] / length = (re*cos - im*sin) / length.
+      result.cos_coef[static_cast<std::size_t>(t)] +=
+          static_cast<float>(std::cos(angle) * inv_len);
+      result.sin_coef[static_cast<std::size_t>(t)] -=
+          static_cast<float>(std::sin(angle) * inv_len);
+    }
+  }
+  return result;
+}
+
+std::vector<float> AssembleMaskedColumn(const FrequencyMaskedColumn& masked,
+                                        float token_re, float token_im) {
+  std::vector<float> out(masked.base.size());
+  for (std::size_t t = 0; t < out.size(); ++t) {
+    out[t] = masked.base[t] + token_re * masked.cos_coef[t] +
+             token_im * masked.sin_coef[t];
+  }
+  return out;
+}
+
+}  // namespace tfmae::masking

@@ -1,0 +1,61 @@
+#include "masking/temporal_mask.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tfmae::masking {
+
+TemporalMask ComputeTemporalMask(const std::vector<float>& series,
+                                 std::int64_t length,
+                                 std::int64_t num_features,
+                                 std::int64_t window, double ratio,
+                                 TemporalMaskVariant variant,
+                                 CvMethod cv_method, Rng* rng) {
+  TFMAE_CHECK_MSG(ratio >= 0.0 && ratio < 1.0,
+                  "temporal mask ratio must be in [0, 1), got " << ratio);
+  const std::int64_t masked_count =
+      variant == TemporalMaskVariant::kNone
+          ? 0
+          : static_cast<std::int64_t>(ratio * static_cast<double>(length));
+
+  std::vector<std::int64_t> masked;
+  switch (variant) {
+    case TemporalMaskVariant::kNone:
+      break;
+    case TemporalMaskVariant::kCoefficientOfVariation: {
+      const std::vector<double> scores = CoefficientOfVariation(
+          series, length, num_features, window, cv_method);
+      masked = TopIndex(scores, masked_count);
+      break;
+    }
+    case TemporalMaskVariant::kStdDev: {
+      const std::vector<double> scores =
+          SlidingStdDev(series, length, num_features, window);
+      masked = TopIndex(scores, masked_count);
+      break;
+    }
+    case TemporalMaskVariant::kRandom: {
+      TFMAE_CHECK_MSG(rng != nullptr, "random temporal masking needs an Rng");
+      masked = rng->SampleWithoutReplacement(length, masked_count);
+      break;
+    }
+  }
+  std::sort(masked.begin(), masked.end());
+
+  TemporalMask result;
+  result.masked = std::move(masked);
+  result.unmasked.reserve(
+      static_cast<std::size_t>(length - masked_count));
+  std::size_t mi = 0;
+  for (std::int64_t t = 0; t < length; ++t) {
+    if (mi < result.masked.size() && result.masked[mi] == t) {
+      ++mi;
+    } else {
+      result.unmasked.push_back(t);
+    }
+  }
+  return result;
+}
+
+}  // namespace tfmae::masking

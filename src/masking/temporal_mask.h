@@ -1,0 +1,43 @@
+// Window-based temporal masking (paper Section IV-A.1) and its Table V
+// ablation variants.
+#ifndef TFMAE_MASKING_TEMPORAL_MASK_H_
+#define TFMAE_MASKING_TEMPORAL_MASK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "masking/coefficient_of_variation.h"
+#include "util/rng.h"
+
+namespace tfmae::masking {
+
+/// Strategy used to pick which observations to mask.
+enum class TemporalMaskVariant {
+  kCoefficientOfVariation,  ///< TFMAE default (Eq. (1)-(2)).
+  kStdDev,                  ///< "w/ SMT": standard deviation criterion.
+  kRandom,                  ///< "w/ RMT": uniform random masking.
+  kNone,                    ///< "w/o MT": nothing is masked.
+};
+
+/// Output of the temporal mask: disjoint masked/unmasked index sets covering
+/// [0, length), each sorted ascending.
+struct TemporalMask {
+  std::vector<std::int64_t> masked;
+  std::vector<std::int64_t> unmasked;
+};
+
+/// Selects floor(ratio * length) observations to mask from a [length, N]
+/// row-major window.
+///
+/// `cv_method` chooses the naive vs FFT statistic path (only meaningful for
+/// the CV variant). `rng` is required for kRandom and ignored otherwise.
+TemporalMask ComputeTemporalMask(const std::vector<float>& series,
+                                 std::int64_t length,
+                                 std::int64_t num_features,
+                                 std::int64_t window, double ratio,
+                                 TemporalMaskVariant variant,
+                                 CvMethod cv_method, Rng* rng);
+
+}  // namespace tfmae::masking
+
+#endif  // TFMAE_MASKING_TEMPORAL_MASK_H_

@@ -1,0 +1,70 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tfmae::nn {
+
+Adam::Adam(std::vector<Tensor> parameters, AdamOptions options)
+    : parameters_(std::move(parameters)), options_(options) {
+  m_.reserve(parameters_.size());
+  v_.reserve(parameters_.size());
+  for (const Tensor& p : parameters_) {
+    TFMAE_CHECK(p.defined());
+    m_.emplace_back(static_cast<std::size_t>(p.numel()), 0.0f);
+    v_.emplace_back(static_cast<std::size_t>(p.numel()), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float lr = options_.learning_rate;
+  const float b1 = options_.beta1;
+  const float b2 = options_.beta2;
+  const float bias1 =
+      1.0f - std::pow(b1, static_cast<float>(step_count_));
+  const float bias2 =
+      1.0f - std::pow(b2, static_cast<float>(step_count_));
+
+  // Optional global-norm clipping across all parameters.
+  float scale = 1.0f;
+  if (options_.clip_grad_norm > 0.0f) {
+    double sq = 0.0;
+    for (const Tensor& p : parameters_) {
+      const float* g = p.grad_data();
+      if (g == nullptr) continue;
+      for (std::int64_t i = 0; i < p.numel(); ++i) {
+        sq += static_cast<double>(g[i]) * static_cast<double>(g[i]);
+      }
+    }
+    const double norm = std::sqrt(sq);
+    if (norm > options_.clip_grad_norm) {
+      scale = static_cast<float>(options_.clip_grad_norm / (norm + 1e-12));
+    }
+  }
+
+  for (std::size_t pi = 0; pi < parameters_.size(); ++pi) {
+    Tensor& p = parameters_[pi];
+    const float* g = p.grad_data();
+    if (g == nullptr) continue;
+    float* w = p.data();
+    float* m = m_[pi].data();
+    float* v = v_[pi].data();
+    const std::int64_t n = p.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float grad = g[i] * scale;
+      m[i] = b1 * m[i] + (1.0f - b1) * grad;
+      v[i] = b2 * v[i] + (1.0f - b2) * grad * grad;
+      const float m_hat = m[i] / bias1;
+      const float v_hat = v[i] / bias2;
+      w[i] -= lr * m_hat / (std::sqrt(v_hat) + options_.eps);
+    }
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (Tensor& p : parameters_) p.ZeroGrad();
+}
+
+}  // namespace tfmae::nn

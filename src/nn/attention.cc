@@ -1,0 +1,63 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tfmae::nn {
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(std::int64_t model_dim,
+                                               std::int64_t num_heads,
+                                               Rng* rng)
+    : model_dim_(model_dim),
+      num_heads_(num_heads),
+      head_dim_(model_dim / num_heads),
+      wq_(model_dim, model_dim, rng),
+      wk_(model_dim, model_dim, rng),
+      wv_(model_dim, model_dim, rng),
+      wo_(model_dim, model_dim, rng) {
+  TFMAE_CHECK_MSG(model_dim % num_heads == 0,
+                  "model_dim " << model_dim << " not divisible by "
+                               << num_heads << " heads");
+  RegisterModule("wq", &wq_);
+  RegisterModule("wk", &wk_);
+  RegisterModule("wv", &wv_);
+  RegisterModule("wo", &wo_);
+}
+
+Tensor MultiHeadSelfAttention::Forward(const Tensor& x) const {
+  return ForwardWithWeights(x, nullptr);
+}
+
+Tensor MultiHeadSelfAttention::ForwardWithWeights(const Tensor& x,
+                                                  Tensor* weights_out) const {
+  TFMAE_CHECK_MSG(x.rank() == 2 && x.dim(1) == model_dim_,
+                  "attention input must be [T, " << model_dim_ << "], got "
+                                                 << ShapeToString(x.shape()));
+  const std::int64_t t_len = x.dim(0);
+
+  // Project and split into heads: [T, D] -> [H, T, Dh].
+  auto split_heads = [&](const Tensor& proj) {
+    Tensor reshaped = ops::Reshape(proj, {t_len, num_heads_, head_dim_});
+    return ops::Permute3(reshaped, {1, 0, 2});
+  };
+  Tensor q = split_heads(wq_.Forward(x));
+  Tensor k = split_heads(wk_.Forward(x));
+  Tensor v = split_heads(wv_.Forward(x));
+
+  // Attention weights: softmax over keys of Q K^T / sqrt(Dh).
+  Tensor kt = ops::Permute3(k, {0, 2, 1});  // [H, Dh, T]
+  Tensor scores = ops::BatchMatMul(q, kt);  // [H, T, T]
+  scores = ops::Scale(scores,
+                      1.0f / std::sqrt(static_cast<float>(head_dim_)));
+  Tensor weights = ops::Softmax(scores);
+  if (weights_out != nullptr) *weights_out = weights;
+
+  // Weighted values, merge heads back: [H, T, Dh] -> [T, D].
+  Tensor context = ops::BatchMatMul(weights, v);
+  context = ops::Permute3(context, {1, 0, 2});  // [T, H, Dh]
+  context = ops::Reshape(context, {t_len, model_dim_});
+  return wo_.Forward(context);
+}
+
+}  // namespace tfmae::nn

@@ -1,0 +1,44 @@
+// Multi-head scaled dot-product self-attention (paper Eq. (12)).
+#ifndef TFMAE_NN_ATTENTION_H_
+#define TFMAE_NN_ATTENTION_H_
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace tfmae::nn {
+
+/// Multi-head self-attention over a single sequence [T, D].
+///
+/// The query/key/value projections and the output projection are learned;
+/// attention weights are softmax(Q K^T / sqrt(D_head)) per head, exactly the
+/// vanilla-Transformer formulation the paper adopts.
+class MultiHeadSelfAttention : public Module {
+ public:
+  /// model_dim must be divisible by num_heads.
+  MultiHeadSelfAttention(std::int64_t model_dim, std::int64_t num_heads,
+                         Rng* rng);
+
+  /// x: [T, model_dim] -> [T, model_dim].
+  Tensor Forward(const Tensor& x) const;
+
+  /// Like Forward, but also returns the attention weights (softmax rows)
+  /// as a [num_heads, T, T] tensor through `weights`. Used by detectors that
+  /// operate on association structure (e.g. the AnomalyTransformer
+  /// baseline's series association).
+  Tensor ForwardWithWeights(const Tensor& x, Tensor* weights) const;
+
+  std::int64_t num_heads() const { return num_heads_; }
+
+ private:
+  std::int64_t model_dim_;
+  std::int64_t num_heads_;
+  std::int64_t head_dim_;
+  Linear wq_;
+  Linear wk_;
+  Linear wv_;
+  Linear wo_;
+};
+
+}  // namespace tfmae::nn
+
+#endif  // TFMAE_NN_ATTENTION_H_

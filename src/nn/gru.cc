@@ -1,0 +1,58 @@
+#include "nn/gru.h"
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tfmae::nn {
+
+GruLayer::GruLayer(std::int64_t input_dim, std::int64_t hidden_dim, Rng* rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      input_gates_(input_dim, 3 * hidden_dim, rng),
+      hidden_zr_(hidden_dim, 2 * hidden_dim, rng, /*with_bias=*/false),
+      hidden_c_(hidden_dim, hidden_dim, rng, /*with_bias=*/false) {
+  RegisterModule("input_gates", &input_gates_);
+  RegisterModule("hidden_zr", &hidden_zr_);
+  RegisterModule("hidden_c", &hidden_c_);
+}
+
+Tensor GruLayer::Step(const Tensor& x_t, const Tensor& h) const {
+  TFMAE_CHECK(x_t.rank() == 2 && x_t.dim(1) == input_dim_);
+  // Pre-activations from the input, split into the three gate blocks.
+  Tensor from_input = input_gates_.Forward(x_t);  // [1, 3H]
+  Tensor zx = ops::SliceRows(ops::Transpose2(from_input), 0, hidden_dim_);
+  Tensor rx = ops::SliceRows(ops::Transpose2(from_input), hidden_dim_,
+                             hidden_dim_);
+  Tensor cx = ops::SliceRows(ops::Transpose2(from_input), 2 * hidden_dim_,
+                             hidden_dim_);
+  // Hidden contributions for z and r.
+  Tensor from_hidden = hidden_zr_.Forward(h);  // [1, 2H]
+  Tensor zh = ops::SliceRows(ops::Transpose2(from_hidden), 0, hidden_dim_);
+  Tensor rh = ops::SliceRows(ops::Transpose2(from_hidden), hidden_dim_,
+                             hidden_dim_);
+
+  Tensor z = ops::Sigmoid(ops::Transpose2(ops::Add(zx, zh)));  // [1, H]
+  Tensor r = ops::Sigmoid(ops::Transpose2(ops::Add(rx, rh)));
+  Tensor candidate = ops::Tanh(ops::Add(
+      ops::Transpose2(cx), hidden_c_.Forward(ops::Mul(r, h))));
+  // h' = (1 - z) ⊙ h + z ⊙ c.
+  Tensor keep = ops::Mul(ops::AddScalar(ops::Neg(z), 1.0f), h);
+  return ops::Add(keep, ops::Mul(z, candidate));
+}
+
+Tensor GruLayer::Forward(const Tensor& x) const {
+  TFMAE_CHECK_MSG(x.rank() == 2 && x.dim(1) == input_dim_,
+                  "GRU input must be [T, " << input_dim_ << "], got "
+                                           << ShapeToString(x.shape()));
+  const std::int64_t t_len = x.dim(0);
+  Tensor h = Tensor::Zeros({1, hidden_dim_});
+  Tensor outputs;
+  for (std::int64_t t = 0; t < t_len; ++t) {
+    Tensor x_t = ops::SliceRows(x, t, 1);
+    h = Step(x_t, h);
+    outputs = t == 0 ? h : ops::ConcatRows(outputs, h);
+  }
+  return outputs;
+}
+
+}  // namespace tfmae::nn

@@ -1,0 +1,41 @@
+// Gated recurrent units (Cho et al., 2014), the recurrent substrate for the
+// OmniAnomaly-style baseline (stochastic RNN reconstruction family).
+#ifndef TFMAE_NN_GRU_H_
+#define TFMAE_NN_GRU_H_
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace tfmae::nn {
+
+/// A single-layer GRU applied over a [T, input_dim] sequence, producing the
+/// full hidden-state sequence [T, hidden_dim]. The initial state is zero.
+///
+/// Gates (per step t):
+///   z_t = sigmoid(x_t Wz + h_{t-1} Uz + bz)
+///   r_t = sigmoid(x_t Wr + h_{t-1} Ur + br)
+///   c_t = tanh  (x_t Wc + (r_t ⊙ h_{t-1}) Uc + bc)
+///   h_t = (1 - z_t) ⊙ h_{t-1} + z_t ⊙ c_t
+class GruLayer : public Module {
+ public:
+  GruLayer(std::int64_t input_dim, std::int64_t hidden_dim, Rng* rng);
+
+  /// x: [T, input_dim] -> hidden states [T, hidden_dim].
+  Tensor Forward(const Tensor& x) const;
+
+  /// One step: x_t [1, input_dim], h [1, hidden_dim] -> new h.
+  Tensor Step(const Tensor& x_t, const Tensor& h) const;
+
+  std::int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  std::int64_t input_dim_;
+  std::int64_t hidden_dim_;
+  Linear input_gates_;   // x -> [z | r | c] pre-activations, 3*hidden
+  Linear hidden_zr_;     // h -> [z | r] pre-activations, 2*hidden (no bias)
+  Linear hidden_c_;      // (r ⊙ h) -> c pre-activation (no bias)
+};
+
+}  // namespace tfmae::nn
+
+#endif  // TFMAE_NN_GRU_H_

@@ -1,0 +1,48 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+namespace tfmae::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng* rng,
+               bool with_bias)
+    : in_features_(in_features), out_features_(out_features) {
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(in_features + out_features));
+  weight_ = RegisterParameter(
+      "weight", Tensor::Rand({in_features, out_features}, rng, -bound, bound));
+  if (with_bias) {
+    bias_ = RegisterParameter("bias", Tensor::Zeros({out_features}));
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  return ops::Linear(x, weight_, bias_);
+}
+
+LayerNorm::LayerNorm(std::int64_t features, float eps) : eps_(eps) {
+  gamma_ = RegisterParameter("gamma", Tensor::Full({features}, 1.0f));
+  beta_ = RegisterParameter("beta", Tensor::Zeros({features}));
+}
+
+Tensor LayerNorm::Forward(const Tensor& x) const {
+  return ops::LayerNormOp(x, gamma_, beta_, eps_);
+}
+
+FeedForward::FeedForward(std::int64_t model_dim, std::int64_t hidden_dim,
+                         Rng* rng, Activation activation)
+    : fc1_(model_dim, hidden_dim, rng),
+      fc2_(hidden_dim, model_dim, rng),
+      activation_(activation) {
+  RegisterModule("fc1", &fc1_);
+  RegisterModule("fc2", &fc2_);
+}
+
+Tensor FeedForward::Forward(const Tensor& x) const {
+  Tensor hidden = fc1_.Forward(x);
+  hidden = activation_ == Activation::kGelu ? ops::Gelu(hidden)
+                                            : ops::Relu(hidden);
+  return fc2_.Forward(hidden);
+}
+
+}  // namespace tfmae::nn

@@ -1,0 +1,65 @@
+// Elementary trainable layers: Linear, LayerNorm, and a two-layer MLP.
+#ifndef TFMAE_NN_LAYERS_H_
+#define TFMAE_NN_LAYERS_H_
+
+#include <memory>
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace tfmae::nn {
+
+/// Fully connected layer: y = x W + b, with Xavier-uniform initialization.
+class Linear : public Module {
+ public:
+  /// Creates a layer mapping `in_features` -> `out_features`.
+  Linear(std::int64_t in_features, std::int64_t out_features, Rng* rng,
+         bool with_bias = true);
+
+  /// x: [M, in_features] -> [M, out_features].
+  Tensor Forward(const Tensor& x) const;
+
+  std::int64_t in_features() const { return in_features_; }
+  std::int64_t out_features() const { return out_features_; }
+
+ private:
+  std::int64_t in_features_;
+  std::int64_t out_features_;
+  Tensor weight_;  // [in, out]
+  Tensor bias_;    // [out] or undefined
+};
+
+/// Layer normalization over the last dimension with learnable gain/offset.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(std::int64_t features, float eps = 1e-5f);
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  Tensor gamma_;
+  Tensor beta_;
+  float eps_;
+};
+
+/// Activation choice for FeedForward.
+enum class Activation { kRelu, kGelu };
+
+/// Position-wise feed-forward network: Linear -> activation -> Linear.
+class FeedForward : public Module {
+ public:
+  FeedForward(std::int64_t model_dim, std::int64_t hidden_dim, Rng* rng,
+              Activation activation = Activation::kGelu);
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  Linear fc1_;
+  Linear fc2_;
+  Activation activation_;
+};
+
+}  // namespace tfmae::nn
+
+#endif  // TFMAE_NN_LAYERS_H_

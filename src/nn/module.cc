@@ -1,0 +1,49 @@
+#include "nn/module.h"
+
+#include "util/logging.h"
+
+namespace tfmae::nn {
+
+std::vector<Tensor> Module::Parameters() const {
+  std::vector<Tensor> out;
+  for (const auto& [name, tensor] : params_) out.push_back(tensor);
+  for (const auto& [name, child] : children_) {
+    for (Tensor& t : child->Parameters()) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Tensor>> Module::NamedParameters() const {
+  std::vector<std::pair<std::string, Tensor>> out;
+  for (const auto& entry : params_) out.push_back(entry);
+  for (const auto& [child_name, child] : children_) {
+    for (auto& [name, tensor] : child->NamedParameters()) {
+      out.emplace_back(child_name + "." + name, tensor);
+    }
+  }
+  return out;
+}
+
+void Module::ZeroGrad() {
+  for (Tensor& t : Parameters()) t.ZeroGrad();
+}
+
+std::int64_t Module::NumParameters() const {
+  std::int64_t total = 0;
+  for (const Tensor& t : Parameters()) total += t.numel();
+  return total;
+}
+
+Tensor Module::RegisterParameter(const std::string& name, Tensor value) {
+  TFMAE_CHECK_MSG(value.defined(), "parameter '" << name << "' is undefined");
+  value.set_requires_grad(true);
+  params_.emplace_back(name, value);
+  return value;
+}
+
+void Module::RegisterModule(const std::string& name, Module* child) {
+  TFMAE_CHECK(child != nullptr);
+  children_.emplace_back(name, child);
+}
+
+}  // namespace tfmae::nn

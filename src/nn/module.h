@@ -1,0 +1,55 @@
+// Module base class: a named-parameter registry with recursive traversal,
+// mirroring the torch.nn.Module idiom the paper's reference implementation
+// builds on.
+#ifndef TFMAE_NN_MODULE_H_
+#define TFMAE_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tfmae::nn {
+
+/// Base class for trainable components. Subclasses register parameters and
+/// child modules in their constructors; optimizers and serialization then
+/// reach every trainable tensor through Parameters()/NamedParameters().
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable tensors of this module and its children (registration
+  /// order; children after own parameters).
+  std::vector<Tensor> Parameters() const;
+
+  /// Parameters with hierarchical dotted names, e.g. "encoder.0.attn.wq".
+  std::vector<std::pair<std::string, Tensor>> NamedParameters() const;
+
+  /// Zeroes the gradient buffers of every parameter.
+  void ZeroGrad();
+
+  /// Total number of trainable scalars.
+  std::int64_t NumParameters() const;
+
+ protected:
+  /// Registers a trainable tensor under `name`, marks it requires-grad, and
+  /// returns it for storage in the subclass.
+  Tensor RegisterParameter(const std::string& name, Tensor value);
+
+  /// Registers a child module. The child must outlive this module (typical
+  /// usage: the child is a data member of the subclass).
+  void RegisterModule(const std::string& name, Module* child);
+
+ private:
+  std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+}  // namespace tfmae::nn
+
+#endif  // TFMAE_NN_MODULE_H_

@@ -1,0 +1,27 @@
+// Binary checkpointing of module parameters.
+//
+// Format: magic "TFMAEwts", u32 version, u64 count, then for each parameter
+// { u32 name length, name bytes, u64 numel, numel float32 values }.
+// Loading matches by name and CHECK-fails on shape mismatch, so checkpoints
+// are portable across runs of the same architecture.
+#ifndef TFMAE_NN_SERIALIZE_H_
+#define TFMAE_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace tfmae::nn {
+
+/// Writes all named parameters of `module` to `path`.
+/// Returns false on I/O failure.
+bool SaveParameters(const Module& module, const std::string& path);
+
+/// Loads a checkpoint written by SaveParameters into `module`.
+/// Every parameter in the module must be present in the file with a matching
+/// element count. Returns false on I/O or format failure.
+bool LoadParameters(Module* module, const std::string& path);
+
+}  // namespace tfmae::nn
+
+#endif  // TFMAE_NN_SERIALIZE_H_

@@ -1,0 +1,84 @@
+#include "nn/transformer.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tfmae::nn {
+
+Tensor SinusoidalPositionalEncoding(std::int64_t length, std::int64_t dim) {
+  Tensor pe = Tensor::Empty({length, dim});
+  float* p = pe.data();
+  for (std::int64_t t = 0; t < length; ++t) {
+    for (std::int64_t i = 0; i < dim; ++i) {
+      const double exponent =
+          static_cast<double>(i % 2 == 0 ? i : i - 1) /
+          static_cast<double>(dim);
+      const double angle =
+          static_cast<double>(t) / std::pow(10000.0, exponent);
+      p[t * dim + i] = static_cast<float>(i % 2 == 0 ? std::sin(angle)
+                                                     : std::cos(angle));
+    }
+  }
+  return pe;
+}
+
+Tensor AddPositionalEncoding(const Tensor& x,
+                             const std::vector<std::int64_t>& positions) {
+  TFMAE_CHECK(x.rank() == 2 &&
+              x.dim(0) == static_cast<std::int64_t>(positions.size()));
+  const std::int64_t dim = x.dim(1);
+  std::int64_t max_pos = 0;
+  for (std::int64_t p : positions) max_pos = std::max(max_pos, p);
+  Tensor table = SinusoidalPositionalEncoding(max_pos + 1, dim);
+  Tensor rows = Tensor::Empty({static_cast<std::int64_t>(positions.size()),
+                               dim});
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const float* src = table.data() + positions[i] * dim;
+    float* dst = rows.data() + static_cast<std::int64_t>(i) * dim;
+    for (std::int64_t d = 0; d < dim; ++d) dst[d] = src[d];
+  }
+  return ops::Add(x, rows);
+}
+
+TransformerLayer::TransformerLayer(std::int64_t model_dim,
+                                   std::int64_t num_heads,
+                                   std::int64_t ff_hidden_dim, Rng* rng)
+    : attention_(model_dim, num_heads, rng),
+      feed_forward_(model_dim, ff_hidden_dim, rng),
+      norm1_(model_dim),
+      norm2_(model_dim) {
+  RegisterModule("attn", &attention_);
+  RegisterModule("ffn", &feed_forward_);
+  RegisterModule("norm1", &norm1_);
+  RegisterModule("norm2", &norm2_);
+}
+
+Tensor TransformerLayer::Forward(const Tensor& x) const {
+  // Paper Eq. (13): post-norm residual blocks.
+  Tensor attended = attention_.Forward(x);
+  Tensor after_attention = norm1_.Forward(ops::Add(x, attended));
+  Tensor transformed = feed_forward_.Forward(after_attention);
+  return norm2_.Forward(ops::Add(after_attention, transformed));
+}
+
+TransformerStack::TransformerStack(std::int64_t num_layers,
+                                   std::int64_t model_dim,
+                                   std::int64_t num_heads,
+                                   std::int64_t ff_hidden_dim, Rng* rng) {
+  TFMAE_CHECK(num_layers >= 1);
+  layers_.reserve(static_cast<std::size_t>(num_layers));
+  for (std::int64_t l = 0; l < num_layers; ++l) {
+    layers_.push_back(std::make_unique<TransformerLayer>(
+        model_dim, num_heads, ff_hidden_dim, rng));
+    RegisterModule("layer" + std::to_string(l), layers_.back().get());
+  }
+}
+
+Tensor TransformerStack::Forward(const Tensor& x) const {
+  Tensor h = x;
+  for (const auto& layer : layers_) h = layer->Forward(h);
+  return h;
+}
+
+}  // namespace tfmae::nn

@@ -1,0 +1,61 @@
+// Transformer building blocks (paper Eq. (11)-(13)): sinusoidal positional
+// encoding, a post-norm attention layer, and an L-layer stack usable as
+// either the encoder or the decoder of TFMAE's autoencoders (the paper's
+// "decoder" is the same self-attention stack applied to the full sequence).
+#ifndef TFMAE_NN_TRANSFORMER_H_
+#define TFMAE_NN_TRANSFORMER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/attention.h"
+#include "nn/layers.h"
+
+namespace tfmae::nn {
+
+/// Sinusoidal positional encoding table (paper Eq. (11)).
+/// Returns a constant [length, dim] tensor; row t holds
+/// sin(t/10000^{i/D}) for even i and cos(t/10000^{(i-1)/D}) for odd i.
+Tensor SinusoidalPositionalEncoding(std::int64_t length, std::int64_t dim);
+
+/// Adds positional encoding rows `positions` to x (x: [|positions|, D]).
+/// Used to decorate mask tokens with the location of the masked observation.
+Tensor AddPositionalEncoding(const Tensor& x,
+                             const std::vector<std::int64_t>& positions);
+
+/// One post-norm Transformer layer: x -> LN(x + Attn(x)) -> LN(· + FFN(·)).
+class TransformerLayer : public Module {
+ public:
+  TransformerLayer(std::int64_t model_dim, std::int64_t num_heads,
+                   std::int64_t ff_hidden_dim, Rng* rng);
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  MultiHeadSelfAttention attention_;
+  FeedForward feed_forward_;
+  LayerNorm norm1_;
+  LayerNorm norm2_;
+};
+
+/// An L-layer Transformer stack over [T, D] sequences.
+class TransformerStack : public Module {
+ public:
+  TransformerStack(std::int64_t num_layers, std::int64_t model_dim,
+                   std::int64_t num_heads, std::int64_t ff_hidden_dim,
+                   Rng* rng);
+
+  /// Applies all layers in order.
+  Tensor Forward(const Tensor& x) const;
+
+  std::int64_t num_layers() const {
+    return static_cast<std::int64_t>(layers_.size());
+  }
+
+ private:
+  std::vector<std::unique_ptr<TransformerLayer>> layers_;
+};
+
+}  // namespace tfmae::nn
+
+#endif  // TFMAE_NN_TRANSFORMER_H_

@@ -1,0 +1,134 @@
+// Differentiable operator library over Tensor.
+//
+// Every function here computes its result eagerly and, when gradient mode is
+// on and at least one input requires a gradient, records a backward closure
+// on the output. Gradients follow the standard reverse-mode rules; each op's
+// backward is covered by a finite-difference gradient check in
+// tests/tensor_autograd_test.cc.
+//
+// Broadcasting for binary elementwise ops supports: identical shapes, one
+// operand being a one-element scalar, or one operand's shape being a suffix
+// of the other's (e.g. a [D] bias over a [T, D] activation).
+#ifndef TFMAE_TENSOR_OPS_H_
+#define TFMAE_TENSOR_OPS_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tfmae::ops {
+
+// ---- Elementwise binary (broadcasting) -------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+
+// ---- Scalar ----------------------------------------------------------------
+
+/// x * c.
+Tensor Scale(const Tensor& x, float c);
+/// x + c.
+Tensor AddScalar(const Tensor& x, float c);
+
+// ---- Unary -----------------------------------------------------------------
+
+Tensor Neg(const Tensor& x);
+Tensor Exp(const Tensor& x);
+Tensor Log(const Tensor& x);   ///< Natural log; inputs are clamped to >=1e-12.
+Tensor Sqrt(const Tensor& x);  ///< Inputs are clamped to >= 0.
+Tensor Square(const Tensor& x);
+Tensor Relu(const Tensor& x);
+Tensor Gelu(const Tensor& x);  ///< tanh approximation.
+Tensor Tanh(const Tensor& x);
+Tensor Sigmoid(const Tensor& x);
+
+// ---- Matrix multiplication ---------------------------------------------------
+
+/// [M, K] x [K, N] -> [M, N].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// [B, M, K] x [B, K, N] -> [B, M, N].
+Tensor BatchMatMul(const Tensor& a, const Tensor& b);
+
+/// x [M, Din] * w [Din, Dout] + bias [Dout] (bias optional, pass null Tensor).
+Tensor Linear(const Tensor& x, const Tensor& w, const Tensor& bias);
+
+// ---- Shape -----------------------------------------------------------------
+
+/// Copies into a new shape with the same element count.
+Tensor Reshape(const Tensor& x, Shape shape);
+
+/// Permutes the axes of a rank-3 tensor; perm is a permutation of {0,1,2}.
+Tensor Permute3(const Tensor& x, const std::array<int, 3>& perm);
+
+/// [M, N] -> [N, M].
+Tensor Transpose2(const Tensor& x);
+
+// ---- Row indexing (dim-0 of a rank-2 tensor) ---------------------------------
+
+/// Gathers rows: out[i] = x[indices[i]].
+Tensor IndexRows(const Tensor& x, const std::vector<std::int64_t>& indices);
+
+/// Scatters rows of src into a zero [total_rows, D] output at the given
+/// (unique) positions.
+Tensor ScatterRows(const Tensor& src, const std::vector<std::int64_t>& indices,
+                   std::int64_t total_rows);
+
+/// Repeats a [D] or [1, D] row n times -> [n, D]. Backward sums over rows.
+Tensor RepeatRow(const Tensor& row, std::int64_t n);
+
+/// Contiguous row slice [start, start+len).
+Tensor SliceRows(const Tensor& x, std::int64_t start, std::int64_t len);
+
+/// Concatenates two rank-2 tensors along dim 0 (equal column counts).
+Tensor ConcatRows(const Tensor& a, const Tensor& b);
+
+/// im2col for 1-D convolution with "same" zero padding: for input [T, C] and
+/// odd kernel size k, out[t] = concat(x[t-k/2], ..., x[t+k/2]) -> [T, k*C].
+Tensor Im2Col(const Tensor& x, std::int64_t kernel_size);
+
+// ---- Reductions ---------------------------------------------------------------
+
+/// Sum of all elements -> shape {1}.
+Tensor SumAll(const Tensor& x);
+
+/// Mean of all elements -> shape {1}.
+Tensor MeanAll(const Tensor& x);
+
+// ---- Softmax / normalization ---------------------------------------------------
+
+/// Softmax over the last dimension (numerically stabilized).
+Tensor Softmax(const Tensor& x);
+
+/// Log-softmax over the last dimension.
+Tensor LogSoftmax(const Tensor& x);
+
+/// Layer normalization over the last dimension with affine parameters
+/// gamma, beta of shape [D].
+Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                   float eps = 1e-5f);
+
+// ---- Losses ---------------------------------------------------------------------
+
+/// Mean squared error, mean over all elements -> scalar.
+Tensor MseLoss(const Tensor& prediction, const Tensor& target);
+
+/// KL(softmax(p) || softmax(q)) averaged over rows -> scalar. Rows are the
+/// leading dims; the distribution is over the last dim.
+Tensor KlDivLoss(const Tensor& p_logits, const Tensor& q_logits);
+
+/// KlDivLoss(p, q) + KlDivLoss(q, p) — the symmetric objective of Eq. (14).
+Tensor SymmetricKlLoss(const Tensor& p_logits, const Tensor& q_logits);
+
+/// Non-differentiable utility: per-row symmetric KL between softmax(p) and
+/// softmax(q) — the anomaly score of Eq. (16). Shapes [T, D] -> T values.
+std::vector<float> SymmetricKlPerRow(const Tensor& p_logits,
+                                     const Tensor& q_logits);
+
+}  // namespace tfmae::ops
+
+#endif  // TFMAE_TENSOR_OPS_H_

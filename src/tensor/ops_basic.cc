@@ -1,0 +1,280 @@
+// Elementwise binary/unary/scalar operators.
+#include <cmath>
+#include <cstring>
+
+#include "tensor/ops.h"
+#include "tensor/ops_internal.h"
+#include "util/logging.h"
+
+namespace tfmae::ops {
+
+namespace internal {
+
+bool ShouldTrack(std::initializer_list<Tensor> inputs) {
+  if (!GradModeEnabled()) return false;
+  for (const Tensor& t : inputs) {
+    if (t.defined() && t.requires_grad()) return true;
+  }
+  return false;
+}
+
+void SetGraph(Tensor* out, std::vector<Tensor> inputs,
+              std::function<void(TensorImpl&)> backward_fn) {
+  out->set_requires_grad(true);
+  out->impl()->inputs = std::move(inputs);
+  out->impl()->backward_fn = std::move(backward_fn);
+}
+
+void AccumulateGrad(const Tensor& t, const float* src) {
+  AccumulateGradScaled(t, src, 1.0f);
+}
+
+void AccumulateGradScaled(const Tensor& t, const float* src, float scale) {
+  if (!t.defined() || !t.requires_grad()) return;
+  float* g = t.impl()->EnsureGrad();
+  const std::int64_t n = t.numel();
+  for (std::int64_t i = 0; i < n; ++i) g[i] += scale * src[i];
+}
+
+}  // namespace internal
+
+namespace {
+
+using internal::SetGraph;
+using internal::ShouldTrack;
+
+enum class BinaryKind { kAdd, kSub, kMul, kDiv };
+
+// Resolves the broadcast layout: `big` iterates fully, `small` repeats every
+// small->numel() elements. Returns (big, small, small_is_lhs).
+struct BroadcastPlan {
+  Tensor big;
+  Tensor small;
+  bool small_is_lhs = false;
+};
+
+BroadcastPlan PlanBroadcast(const Tensor& a, const Tensor& b) {
+  TFMAE_CHECK(a.defined() && b.defined());
+  if (SameShape(a.shape(), b.shape())) return {a, b, false};
+  if (b.numel() == 1 || IsSuffixOf(b.shape(), a.shape())) return {a, b, false};
+  if (a.numel() == 1 || IsSuffixOf(a.shape(), b.shape())) return {b, a, true};
+  TFMAE_CHECK_MSG(false, "incompatible broadcast shapes "
+                             << ShapeToString(a.shape()) << " vs "
+                             << ShapeToString(b.shape()));
+  return {};
+}
+
+// Sums `grad` (numel = big) blockwise into a small-tensor-sized buffer.
+void ReduceToSmall(const float* grad, std::int64_t big_n, std::int64_t small_n,
+                   std::vector<float>* out) {
+  out->assign(static_cast<std::size_t>(small_n), 0.0f);
+  for (std::int64_t i = 0; i < big_n; ++i) {
+    (*out)[static_cast<std::size_t>(i % small_n)] += grad[i];
+  }
+}
+
+Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryKind kind) {
+  BroadcastPlan plan = PlanBroadcast(a, b);
+  const Tensor& big = plan.big;
+  const Tensor& small = plan.small;
+  const std::int64_t big_n = big.numel();
+  const std::int64_t small_n = small.numel();
+  TFMAE_CHECK(big_n % small_n == 0);
+
+  Tensor out = Tensor::Empty(big.shape());
+  const float* pb = big.data();
+  const float* ps = small.data();
+  float* po = out.data();
+  const bool small_lhs = plan.small_is_lhs;
+  for (std::int64_t i = 0; i < big_n; ++i) {
+    const float x = small_lhs ? ps[i % small_n] : pb[i];
+    const float y = small_lhs ? pb[i] : ps[i % small_n];
+    switch (kind) {
+      case BinaryKind::kAdd:
+        po[i] = x + y;
+        break;
+      case BinaryKind::kSub:
+        po[i] = x - y;
+        break;
+      case BinaryKind::kMul:
+        po[i] = x * y;
+        break;
+      case BinaryKind::kDiv:
+        po[i] = x / y;
+        break;
+    }
+  }
+
+  if (ShouldTrack({a, b})) {
+    SetGraph(&out, {a, b}, [a, b, kind](TensorImpl& self) {
+      BroadcastPlan plan = PlanBroadcast(a, b);
+      const Tensor& big = plan.big;
+      const Tensor& small = plan.small;
+      const std::int64_t big_n = big.numel();
+      const std::int64_t small_n = small.numel();
+      const float* grad = self.grad.get();
+      const float* pb = big.data();
+      const float* ps = small.data();
+      const bool small_lhs = plan.small_is_lhs;
+
+      // d(out)/d(big) and d(out)/d(small) per element.
+      std::vector<float> big_grad(static_cast<std::size_t>(big_n));
+      std::vector<float> small_grad_full(static_cast<std::size_t>(big_n));
+      for (std::int64_t i = 0; i < big_n; ++i) {
+        const float sv = ps[i % small_n];
+        const float bv = pb[i];
+        float d_big = 0.0f;
+        float d_small = 0.0f;
+        switch (kind) {
+          case BinaryKind::kAdd:
+            d_big = 1.0f;
+            d_small = 1.0f;
+            break;
+          case BinaryKind::kSub:
+            // out = lhs - rhs; lhs is small when small_lhs.
+            d_big = small_lhs ? -1.0f : 1.0f;
+            d_small = small_lhs ? 1.0f : -1.0f;
+            break;
+          case BinaryKind::kMul:
+            d_big = sv;
+            d_small = bv;
+            break;
+          case BinaryKind::kDiv: {
+            if (small_lhs) {
+              // out = small / big.
+              d_small = 1.0f / bv;
+              d_big = -sv / (bv * bv);
+            } else {
+              // out = big / small.
+              d_big = 1.0f / sv;
+              d_small = -bv / (sv * sv);
+            }
+            break;
+          }
+        }
+        big_grad[static_cast<std::size_t>(i)] = grad[i] * d_big;
+        small_grad_full[static_cast<std::size_t>(i)] = grad[i] * d_small;
+      }
+      internal::AccumulateGrad(big, big_grad.data());
+      std::vector<float> small_grad;
+      ReduceToSmall(small_grad_full.data(), big_n, small_n, &small_grad);
+      internal::AccumulateGrad(small, small_grad.data());
+    });
+  }
+  return out;
+}
+
+Tensor UnaryOp(const Tensor& x, float (*fwd)(float), float (*bwd)(float)) {
+  Tensor out = Tensor::Empty(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i) po[i] = fwd(px[i]);
+  if (ShouldTrack({x})) {
+    SetGraph(&out, {x}, [x, bwd](TensorImpl& self) {
+      const float* grad = self.grad.get();
+      const float* px = x.data();
+      const std::int64_t n = x.numel();
+      std::vector<float> gx(static_cast<std::size_t>(n));
+      for (std::int64_t i = 0; i < n; ++i) {
+        gx[static_cast<std::size_t>(i)] = grad[i] * bwd(px[i]);
+      }
+      internal::AccumulateGrad(x, gx.data());
+    });
+  }
+  return out;
+}
+
+constexpr float kLogFloor = 1e-12f;
+
+float FwdNeg(float v) { return -v; }
+float BwdNeg(float) { return -1.0f; }
+float FwdExp(float v) { return std::exp(v); }
+float BwdExp(float v) { return std::exp(v); }
+float FwdLog(float v) { return std::log(v < kLogFloor ? kLogFloor : v); }
+float BwdLog(float v) { return 1.0f / (v < kLogFloor ? kLogFloor : v); }
+float FwdSqrt(float v) { return std::sqrt(v < 0.0f ? 0.0f : v); }
+float BwdSqrt(float v) {
+  const float clamped = v < 1e-12f ? 1e-12f : v;
+  return 0.5f / std::sqrt(clamped);
+}
+float FwdSquare(float v) { return v * v; }
+float BwdSquare(float v) { return 2.0f * v; }
+float FwdRelu(float v) { return v > 0.0f ? v : 0.0f; }
+float BwdRelu(float v) { return v > 0.0f ? 1.0f : 0.0f; }
+float FwdTanh(float v) { return std::tanh(v); }
+float BwdTanh(float v) {
+  const float t = std::tanh(v);
+  return 1.0f - t * t;
+}
+float FwdSigmoid(float v) { return 1.0f / (1.0f + std::exp(-v)); }
+float BwdSigmoid(float v) {
+  const float s = 1.0f / (1.0f + std::exp(-v));
+  return s * (1.0f - s);
+}
+
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+
+float FwdGelu(float v) {
+  const float inner = kGeluC * (v + 0.044715f * v * v * v);
+  return 0.5f * v * (1.0f + std::tanh(inner));
+}
+float BwdGelu(float v) {
+  const float inner = kGeluC * (v + 0.044715f * v * v * v);
+  const float t = std::tanh(inner);
+  const float d_inner = kGeluC * (1.0f + 3.0f * 0.044715f * v * v);
+  return 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * d_inner;
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, BinaryKind::kAdd);
+}
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, BinaryKind::kSub);
+}
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, BinaryKind::kMul);
+}
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, BinaryKind::kDiv);
+}
+
+Tensor Scale(const Tensor& x, float c) {
+  Tensor out = Tensor::Empty(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < x.numel(); ++i) po[i] = px[i] * c;
+  if (ShouldTrack({x})) {
+    SetGraph(&out, {x}, [x, c](TensorImpl& self) {
+      internal::AccumulateGradScaled(x, self.grad.get(), c);
+    });
+  }
+  return out;
+}
+
+Tensor AddScalar(const Tensor& x, float c) {
+  Tensor out = Tensor::Empty(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < x.numel(); ++i) po[i] = px[i] + c;
+  if (ShouldTrack({x})) {
+    SetGraph(&out, {x}, [x](TensorImpl& self) {
+      internal::AccumulateGrad(x, self.grad.get());
+    });
+  }
+  return out;
+}
+
+Tensor Neg(const Tensor& x) { return UnaryOp(x, FwdNeg, BwdNeg); }
+Tensor Exp(const Tensor& x) { return UnaryOp(x, FwdExp, BwdExp); }
+Tensor Log(const Tensor& x) { return UnaryOp(x, FwdLog, BwdLog); }
+Tensor Sqrt(const Tensor& x) { return UnaryOp(x, FwdSqrt, BwdSqrt); }
+Tensor Square(const Tensor& x) { return UnaryOp(x, FwdSquare, BwdSquare); }
+Tensor Relu(const Tensor& x) { return UnaryOp(x, FwdRelu, BwdRelu); }
+Tensor Gelu(const Tensor& x) { return UnaryOp(x, FwdGelu, BwdGelu); }
+Tensor Tanh(const Tensor& x) { return UnaryOp(x, FwdTanh, BwdTanh); }
+Tensor Sigmoid(const Tensor& x) { return UnaryOp(x, FwdSigmoid, BwdSigmoid); }
+
+}  // namespace tfmae::ops

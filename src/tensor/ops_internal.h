@@ -1,0 +1,28 @@
+// Shared helpers for the operator implementations. Internal to src/tensor.
+#ifndef TFMAE_TENSOR_OPS_INTERNAL_H_
+#define TFMAE_TENSOR_OPS_INTERNAL_H_
+
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tfmae::ops::internal {
+
+/// True iff gradient mode is on and any input requires a gradient.
+bool ShouldTrack(std::initializer_list<Tensor> inputs);
+
+/// Marks `out` as produced from `inputs` with the given backward closure.
+/// No-op unless ShouldTrack(inputs).
+void SetGraph(Tensor* out, std::vector<Tensor> inputs,
+              std::function<void(TensorImpl&)> backward_fn);
+
+/// Adds `src` (numel values) into t's gradient buffer if t requires grad.
+void AccumulateGrad(const Tensor& t, const float* src);
+
+/// Adds src scaled by `scale` into t's gradient buffer if t requires grad.
+void AccumulateGradScaled(const Tensor& t, const float* src, float scale);
+
+}  // namespace tfmae::ops::internal
+
+#endif  // TFMAE_TENSOR_OPS_INTERNAL_H_

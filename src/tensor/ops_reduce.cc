@@ -1,0 +1,257 @@
+// Reductions, softmax family, layer normalization, and loss helpers.
+#include <cmath>
+#include <cstring>
+
+#include "tensor/ops.h"
+#include "tensor/ops_internal.h"
+#include "util/logging.h"
+
+namespace tfmae::ops {
+namespace {
+
+using internal::SetGraph;
+using internal::ShouldTrack;
+
+// Interprets x as [rows, cols] with cols = last dimension.
+void RowView(const Tensor& x, std::int64_t* rows, std::int64_t* cols) {
+  TFMAE_CHECK(x.rank() >= 1);
+  *cols = x.shape().back();
+  *rows = x.numel() / *cols;
+}
+
+void SoftmaxRow(const float* in, float* out, std::int64_t cols) {
+  float max_v = in[0];
+  for (std::int64_t j = 1; j < cols; ++j) max_v = std::max(max_v, in[j]);
+  float sum = 0.0f;
+  for (std::int64_t j = 0; j < cols; ++j) {
+    out[j] = std::exp(in[j] - max_v);
+    sum += out[j];
+  }
+  const float inv = 1.0f / sum;
+  for (std::int64_t j = 0; j < cols; ++j) out[j] *= inv;
+}
+
+}  // namespace
+
+Tensor SumAll(const Tensor& x) {
+  Tensor out = Tensor::Empty({1});
+  double acc = 0.0;
+  const float* px = x.data();
+  for (std::int64_t i = 0; i < x.numel(); ++i) acc += px[i];
+  out.data()[0] = static_cast<float>(acc);
+  if (ShouldTrack({x})) {
+    SetGraph(&out, {x}, [x](TensorImpl& self) {
+      if (!x.requires_grad()) return;
+      const float g = self.grad.get()[0];
+      std::vector<float> gx(static_cast<std::size_t>(x.numel()), g);
+      internal::AccumulateGrad(x, gx.data());
+    });
+  }
+  return out;
+}
+
+Tensor MeanAll(const Tensor& x) {
+  return Scale(SumAll(x), 1.0f / static_cast<float>(x.numel()));
+}
+
+Tensor Softmax(const Tensor& x) {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  RowView(x, &rows, &cols);
+  Tensor out = Tensor::Empty(x.shape());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    SoftmaxRow(x.data() + r * cols, out.data() + r * cols, cols);
+  }
+  if (ShouldTrack({x})) {
+    // The backward needs the output values y; they are reachable through
+    // `self` (capturing the output Tensor here would create a shared_ptr
+    // cycle and leak the graph).
+    SetGraph(&out, {x}, [x, rows, cols](TensorImpl& self) {
+      if (!x.requires_grad()) return;
+      const float* grad = self.grad.get();
+      const float* py = self.data.get();
+      std::vector<float> gx(static_cast<std::size_t>(x.numel()));
+      for (std::int64_t r = 0; r < rows; ++r) {
+        const float* gy = grad + r * cols;
+        const float* yr = py + r * cols;
+        float dot = 0.0f;
+        for (std::int64_t j = 0; j < cols; ++j) dot += gy[j] * yr[j];
+        float* gxr = gx.data() + r * cols;
+        for (std::int64_t j = 0; j < cols; ++j) {
+          gxr[j] = yr[j] * (gy[j] - dot);
+        }
+      }
+      internal::AccumulateGrad(x, gx.data());
+    });
+  }
+  return out;
+}
+
+Tensor LogSoftmax(const Tensor& x) {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  RowView(x, &rows, &cols);
+  Tensor out = Tensor::Empty(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* in = px + r * cols;
+    float* o = po + r * cols;
+    float max_v = in[0];
+    for (std::int64_t j = 1; j < cols; ++j) max_v = std::max(max_v, in[j]);
+    float sum = 0.0f;
+    for (std::int64_t j = 0; j < cols; ++j) sum += std::exp(in[j] - max_v);
+    const float log_sum = std::log(sum) + max_v;
+    for (std::int64_t j = 0; j < cols; ++j) o[j] = in[j] - log_sum;
+  }
+  if (ShouldTrack({x})) {
+    SetGraph(&out, {x}, [x, rows, cols](TensorImpl& self) {
+      if (!x.requires_grad()) return;
+      const float* grad = self.grad.get();
+      const float* py = self.data.get();
+      std::vector<float> gx(static_cast<std::size_t>(x.numel()));
+      for (std::int64_t r = 0; r < rows; ++r) {
+        const float* gy = grad + r * cols;
+        const float* yr = py + r * cols;
+        float gsum = 0.0f;
+        for (std::int64_t j = 0; j < cols; ++j) gsum += gy[j];
+        float* gxr = gx.data() + r * cols;
+        for (std::int64_t j = 0; j < cols; ++j) {
+          gxr[j] = gy[j] - std::exp(yr[j]) * gsum;
+        }
+      }
+      internal::AccumulateGrad(x, gx.data());
+    });
+  }
+  return out;
+}
+
+Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                   float eps) {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  RowView(x, &rows, &cols);
+  TFMAE_CHECK_MSG(gamma.numel() == cols && beta.numel() == cols,
+                  "LayerNorm affine parameters must have " << cols
+                                                           << " elements");
+  Tensor out = Tensor::Empty(x.shape());
+  // Cache per-row mean and inverse std for backward.
+  Tensor mean = Tensor::Empty({rows});
+  Tensor inv_std = Tensor::Empty({rows});
+  const float* px = x.data();
+  const float* pg = gamma.data();
+  const float* pb = beta.data();
+  float* po = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* in = px + r * cols;
+    float mu = 0.0f;
+    for (std::int64_t j = 0; j < cols; ++j) mu += in[j];
+    mu /= static_cast<float>(cols);
+    float var = 0.0f;
+    for (std::int64_t j = 0; j < cols; ++j) {
+      const float d = in[j] - mu;
+      var += d * d;
+    }
+    var /= static_cast<float>(cols);
+    const float istd = 1.0f / std::sqrt(var + eps);
+    mean.data()[r] = mu;
+    inv_std.data()[r] = istd;
+    float* o = po + r * cols;
+    for (std::int64_t j = 0; j < cols; ++j) {
+      o[j] = (in[j] - mu) * istd * pg[j] + pb[j];
+    }
+  }
+  if (ShouldTrack({x, gamma, beta})) {
+    SetGraph(&out, {x, gamma, beta},
+             [x, gamma, beta, mean, inv_std, rows, cols](TensorImpl& self) {
+               const float* grad = self.grad.get();
+               const float* px = x.data();
+               const float* pg = gamma.data();
+               std::vector<float> gx(
+                   static_cast<std::size_t>(x.numel()), 0.0f);
+               std::vector<float> ggamma(static_cast<std::size_t>(cols), 0.0f);
+               std::vector<float> gbeta(static_cast<std::size_t>(cols), 0.0f);
+               for (std::int64_t r = 0; r < rows; ++r) {
+                 const float mu = mean.data()[r];
+                 const float istd = inv_std.data()[r];
+                 const float* in = px + r * cols;
+                 const float* gy = grad + r * cols;
+                 // dxhat, plus the two row-wide reductions of the standard
+                 // layer-norm backward.
+                 float sum_dxhat = 0.0f;
+                 float sum_dxhat_xhat = 0.0f;
+                 for (std::int64_t j = 0; j < cols; ++j) {
+                   const float xhat = (in[j] - mu) * istd;
+                   const float dxhat = gy[j] * pg[j];
+                   sum_dxhat += dxhat;
+                   sum_dxhat_xhat += dxhat * xhat;
+                   ggamma[static_cast<std::size_t>(j)] += gy[j] * xhat;
+                   gbeta[static_cast<std::size_t>(j)] += gy[j];
+                 }
+                 const float inv_cols = 1.0f / static_cast<float>(cols);
+                 float* gxr = gx.data() + r * cols;
+                 for (std::int64_t j = 0; j < cols; ++j) {
+                   const float xhat = (in[j] - mu) * istd;
+                   const float dxhat = gy[j] * pg[j];
+                   gxr[j] = istd * (dxhat - inv_cols * sum_dxhat -
+                                    xhat * inv_cols * sum_dxhat_xhat);
+                 }
+               }
+               internal::AccumulateGrad(x, gx.data());
+               internal::AccumulateGrad(gamma, ggamma.data());
+               internal::AccumulateGrad(beta, gbeta.data());
+             });
+  }
+  return out;
+}
+
+Tensor MseLoss(const Tensor& prediction, const Tensor& target) {
+  Tensor diff = Sub(prediction, target);
+  return MeanAll(Square(diff));
+}
+
+Tensor KlDivLoss(const Tensor& p_logits, const Tensor& q_logits) {
+  TFMAE_CHECK_MSG(SameShape(p_logits.shape(), q_logits.shape()),
+                  "KlDivLoss shape mismatch");
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  RowView(p_logits, &rows, &cols);
+  Tensor p_log = LogSoftmax(p_logits);
+  Tensor q_log = LogSoftmax(q_logits);
+  Tensor p = Exp(p_log);
+  Tensor elem = Mul(p, Sub(p_log, q_log));
+  return Scale(SumAll(elem), 1.0f / static_cast<float>(rows));
+}
+
+Tensor SymmetricKlLoss(const Tensor& p_logits, const Tensor& q_logits) {
+  return Add(KlDivLoss(p_logits, q_logits), KlDivLoss(q_logits, p_logits));
+}
+
+std::vector<float> SymmetricKlPerRow(const Tensor& p_logits,
+                                     const Tensor& q_logits) {
+  TFMAE_CHECK_MSG(SameShape(p_logits.shape(), q_logits.shape()),
+                  "SymmetricKlPerRow shape mismatch");
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  RowView(p_logits, &rows, &cols);
+  std::vector<float> scores(static_cast<std::size_t>(rows), 0.0f);
+  std::vector<float> p(static_cast<std::size_t>(cols));
+  std::vector<float> q(static_cast<std::size_t>(cols));
+  constexpr float kFloor = 1e-12f;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    SoftmaxRow(p_logits.data() + r * cols, p.data(), cols);
+    SoftmaxRow(q_logits.data() + r * cols, q.data(), cols);
+    double kl_pq = 0.0;
+    double kl_qp = 0.0;
+    for (std::int64_t j = 0; j < cols; ++j) {
+      const double pj = std::max(p[static_cast<std::size_t>(j)], kFloor);
+      const double qj = std::max(q[static_cast<std::size_t>(j)], kFloor);
+      kl_pq += pj * std::log(pj / qj);
+      kl_qp += qj * std::log(qj / pj);
+    }
+    scores[static_cast<std::size_t>(r)] = static_cast<float>(kl_pq + kl_qp);
+  }
+  return scores;
+}
+
+}  // namespace tfmae::ops

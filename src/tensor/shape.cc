@@ -1,0 +1,44 @@
+#include "tensor/shape.h"
+
+#include <sstream>
+
+namespace tfmae {
+
+std::int64_t NumElements(const Shape& shape) {
+  if (shape.empty()) return 0;
+  std::int64_t n = 1;
+  for (std::int64_t d : shape) n *= d;
+  return n;
+}
+
+std::vector<std::int64_t> RowMajorStrides(const Shape& shape) {
+  std::vector<std::int64_t> strides(shape.size(), 1);
+  for (std::size_t i = shape.size(); i-- > 1;) {
+    strides[i - 1] = strides[i] * shape[i];
+  }
+  return strides;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << shape[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+bool IsSuffixOf(const Shape& suffix, const Shape& shape) {
+  if (suffix.size() > shape.size()) return false;
+  const std::size_t offset = shape.size() - suffix.size();
+  for (std::size_t i = 0; i < suffix.size(); ++i) {
+    if (suffix[i] != shape[offset + i]) return false;
+  }
+  return true;
+}
+
+bool SameShape(const Shape& a, const Shape& b) { return a == b; }
+
+}  // namespace tfmae

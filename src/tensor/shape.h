@@ -1,0 +1,33 @@
+// Shape type and helpers shared by the tensor library.
+#ifndef TFMAE_TENSOR_SHAPE_H_
+#define TFMAE_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tfmae {
+
+/// A tensor shape: dimension sizes, outermost first. Rank 0 is disallowed;
+/// scalars are represented as shape {1}.
+using Shape = std::vector<std::int64_t>;
+
+/// Product of all dimensions. Returns 0 for an empty shape.
+std::int64_t NumElements(const Shape& shape);
+
+/// Row-major strides for the given shape.
+std::vector<std::int64_t> RowMajorStrides(const Shape& shape);
+
+/// Human-readable rendering like "[3, 128]".
+std::string ShapeToString(const Shape& shape);
+
+/// True iff `suffix` equals the trailing dimensions of `shape`
+/// (used by broadcasting: a [D] bias broadcasts over a [T, D] activation).
+bool IsSuffixOf(const Shape& suffix, const Shape& shape);
+
+/// True iff the two shapes are identical.
+bool SameShape(const Shape& a, const Shape& b);
+
+}  // namespace tfmae
+
+#endif  // TFMAE_TENSOR_SHAPE_H_

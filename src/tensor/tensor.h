@@ -1,0 +1,159 @@
+// Dense float32 tensors with reverse-mode automatic differentiation.
+//
+// This is the deep-learning substrate of the repository: TFMAE's Transformer
+// autoencoders and every learned baseline are trained through this tape.
+//
+// Design:
+//  * A Tensor is a shared handle to a TensorImpl holding a contiguous
+//    row-major float buffer.
+//  * Differentiable operations (see ops.h) record, on their output, the list
+//    of input tensors and a backward closure. Tensor::Backward() walks the
+//    recorded graph in reverse topological order and accumulates gradients
+//    into each requires-grad leaf.
+//  * Gradient recording can be suspended with NoGradGuard (used during
+//    inference/scoring so no graph memory is retained).
+//  * All buffer allocations are reported to MemoryStats, which powers the
+//    Fig. 10 memory-footprint comparison.
+#ifndef TFMAE_TENSOR_TENSOR_H_
+#define TFMAE_TENSOR_TENSOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/shape.h"
+
+namespace tfmae {
+
+class Rng;
+struct TensorImpl;
+
+/// Shared handle to a dense float32 tensor, optionally carrying autograd
+/// history. Copying a Tensor aliases the underlying buffer.
+class Tensor {
+ public:
+  /// Null handle. Most methods other than defined()/operator bool require a
+  /// non-null handle.
+  Tensor() = default;
+
+  /// True iff this handle points at storage.
+  bool defined() const { return impl_ != nullptr; }
+  explicit operator bool() const { return defined(); }
+
+  // ---- Factories -----------------------------------------------------------
+
+  /// Uninitialized tensor of the given shape (contents unspecified).
+  static Tensor Empty(Shape shape);
+
+  /// All-zeros tensor.
+  static Tensor Zeros(Shape shape);
+
+  /// Tensor filled with `value`.
+  static Tensor Full(Shape shape, float value);
+
+  /// Copies `values` (size must equal NumElements(shape)).
+  static Tensor FromData(Shape shape, const std::vector<float>& values);
+
+  /// I.i.d. normal(0, stddev) entries drawn from `rng`.
+  static Tensor Randn(Shape shape, Rng* rng, float stddev = 1.0f);
+
+  /// I.i.d. uniform[lo, hi) entries drawn from `rng`.
+  static Tensor Rand(Shape shape, Rng* rng, float lo, float hi);
+
+  // ---- Accessors -----------------------------------------------------------
+
+  const Shape& shape() const;
+  std::int64_t numel() const;
+  std::int64_t dim(std::size_t axis) const;
+  std::size_t rank() const;
+
+  float* data();
+  const float* data() const;
+
+  /// Element access by flat row-major offset (bounds-checked in debug).
+  float at(std::int64_t flat_index) const;
+
+  /// Copies the buffer into a std::vector.
+  std::vector<float> ToVector() const;
+
+  /// Single value of a one-element tensor.
+  float item() const;
+
+  // ---- Autograd ------------------------------------------------------------
+
+  bool requires_grad() const;
+
+  /// Marks this tensor as a gradient leaf (a trainable parameter).
+  Tensor& set_requires_grad(bool value);
+
+  /// Gradient buffer (same shape), or nullptr if never written.
+  const float* grad_data() const;
+
+  /// Gradient as a Tensor copy; CHECK-fails if no gradient was accumulated.
+  Tensor grad() const;
+
+  /// Zeroes the gradient buffer if present.
+  void ZeroGrad();
+
+  /// Runs reverse-mode differentiation from this scalar (numel()==1) tensor,
+  /// seeding d(self)/d(self) = 1.
+  void Backward() const;
+
+  /// Returns a tensor sharing this buffer but detached from the autograd
+  /// graph (the stop-gradient operator used by Eq. (15)).
+  Tensor Detach() const;
+
+  /// Deep copy of the buffer, detached from the graph.
+  Tensor Clone() const;
+
+  /// Internal: shared implementation pointer (used by ops.cc).
+  const std::shared_ptr<TensorImpl>& impl() const { return impl_; }
+  explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
+
+ private:
+  std::shared_ptr<TensorImpl> impl_;
+};
+
+/// Implementation record behind a Tensor handle. Public members are used by
+/// the operator library (ops.cc); user code should stay on the Tensor API.
+struct TensorImpl {
+  explicit TensorImpl(Shape s);
+  ~TensorImpl();
+
+  TensorImpl(const TensorImpl&) = delete;
+  TensorImpl& operator=(const TensorImpl&) = delete;
+
+  /// Lazily allocates and zero-fills the gradient buffer.
+  float* EnsureGrad();
+
+  Shape shape;
+  std::int64_t numel = 0;
+  std::shared_ptr<float[]> data;        // shared so Detach can alias storage
+  std::unique_ptr<float[]> grad;        // same numel as data; lazy
+  bool requires_grad = false;
+
+  // Autograd graph: inputs this node was computed from, and a closure that
+  // reads this node's grad buffer and accumulates into the inputs' grads.
+  std::vector<Tensor> inputs;
+  std::function<void(TensorImpl&)> backward_fn;
+};
+
+/// True while gradient recording is enabled (default). Ops consult this; when
+/// false they skip building graph edges entirely.
+bool GradModeEnabled();
+
+/// RAII scope that disables gradient recording (inference / scoring).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace tfmae
+
+#endif  // TFMAE_TENSOR_TENSOR_H_

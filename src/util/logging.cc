@@ -1,0 +1,40 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tfmae {
+namespace {
+LogLevel g_min_level = LogLevel::kInfo;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+namespace internal {
+void CheckFailed(const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "[FATAL] %s:%d %s\n", file, line, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+}  // namespace internal
+
+void SetLogLevel(LogLevel level) { g_min_level = level; }
+
+void Log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_min_level)) return;
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+}
+
+}  // namespace tfmae

@@ -1,0 +1,50 @@
+// Minimal leveled logging and check macros.
+//
+// TFMAE_CHECK is used for programmer-error preconditions (shape mismatches,
+// invalid configs). It aborts with a message; it is NOT compiled out in
+// release builds, matching the database-engine convention that internal
+// invariant violations must never be silently ignored.
+#ifndef TFMAE_UTIL_LOGGING_H_
+#define TFMAE_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace tfmae {
+
+namespace internal {
+/// Prints the message to stderr and aborts. Never returns.
+[[noreturn]] void CheckFailed(const char* file, int line,
+                              const std::string& message);
+}  // namespace internal
+
+/// Log levels in increasing severity.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that Log() actually emits. Default: kInfo.
+void SetLogLevel(LogLevel level);
+
+/// Emits `message` to stderr if `level` passes the configured threshold.
+void Log(LogLevel level, const std::string& message);
+
+}  // namespace tfmae
+
+#define TFMAE_CHECK(condition)                                             \
+  do {                                                                     \
+    if (!(condition)) {                                                    \
+      ::tfmae::internal::CheckFailed(__FILE__, __LINE__,                   \
+                                     "Check failed: " #condition);         \
+    }                                                                      \
+  } while (0)
+
+#define TFMAE_CHECK_MSG(condition, msg)                                    \
+  do {                                                                     \
+    if (!(condition)) {                                                    \
+      std::ostringstream tfmae_check_stream;                               \
+      tfmae_check_stream << "Check failed: " #condition << " — " << msg;   \
+      ::tfmae::internal::CheckFailed(__FILE__, __LINE__,                   \
+                                     tfmae_check_stream.str());            \
+    }                                                                      \
+  } while (0)
+
+#endif  // TFMAE_UTIL_LOGGING_H_

@@ -1,0 +1,47 @@
+#include "util/memory.h"
+
+#include <atomic>
+
+namespace tfmae {
+namespace {
+
+std::atomic<std::int64_t> g_current{0};
+std::atomic<std::int64_t> g_peak{0};
+
+void UpdatePeak(std::int64_t current) {
+  std::int64_t peak = g_peak.load(std::memory_order_relaxed);
+  while (current > peak &&
+         !g_peak.compare_exchange_weak(peak, current,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void MemoryStats::RecordAlloc(std::size_t bytes) {
+  const std::int64_t current =
+      g_current.fetch_add(static_cast<std::int64_t>(bytes),
+                          std::memory_order_relaxed) +
+      static_cast<std::int64_t>(bytes);
+  UpdatePeak(current);
+}
+
+void MemoryStats::RecordFree(std::size_t bytes) {
+  g_current.fetch_sub(static_cast<std::int64_t>(bytes),
+                      std::memory_order_relaxed);
+}
+
+std::int64_t MemoryStats::CurrentBytes() {
+  return g_current.load(std::memory_order_relaxed);
+}
+
+std::int64_t MemoryStats::PeakBytes() {
+  return g_peak.load(std::memory_order_relaxed);
+}
+
+void MemoryStats::ResetPeak() {
+  g_peak.store(g_current.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+}
+
+}  // namespace tfmae

@@ -1,0 +1,35 @@
+// Peak-allocation accounting for the Fig. 10 efficiency study.
+//
+// The tensor library reports every buffer allocation/free here; harnesses
+// read current/peak byte counts to mirror the paper's GPU-memory comparison
+// with framework-buffer bytes.
+#ifndef TFMAE_UTIL_MEMORY_H_
+#define TFMAE_UTIL_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tfmae {
+
+/// Process-wide tensor-buffer byte accounting. All methods are thread-safe.
+class MemoryStats {
+ public:
+  /// Records an allocation of `bytes`.
+  static void RecordAlloc(std::size_t bytes);
+
+  /// Records a free of `bytes`.
+  static void RecordFree(std::size_t bytes);
+
+  /// Bytes currently allocated by tensor buffers.
+  static std::int64_t CurrentBytes();
+
+  /// High-water mark since the last ResetPeak().
+  static std::int64_t PeakBytes();
+
+  /// Resets the high-water mark to the current usage.
+  static void ResetPeak();
+};
+
+}  // namespace tfmae
+
+#endif  // TFMAE_UTIL_MEMORY_H_

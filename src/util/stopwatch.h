@@ -1,0 +1,29 @@
+// Wall-clock timing for the efficiency study (Fig. 10) and micro-benches.
+#ifndef TFMAE_UTIL_STOPWATCH_H_
+#define TFMAE_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace tfmae {
+
+/// Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch();
+
+  /// Restarts the stopwatch.
+  void Reset();
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const;
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace tfmae
+
+#endif  // TFMAE_UTIL_STOPWATCH_H_

@@ -1,0 +1,46 @@
+// Aligned-console-table and CSV emission for the bench report generators.
+//
+// Every table/figure harness in bench/ prints (a) a human-readable aligned
+// table mirroring the paper's layout and (b) a machine-readable CSV next to
+// it, so results can be diffed run-to-run.
+#ifndef TFMAE_UTIL_TABLE_H_
+#define TFMAE_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace tfmae {
+
+/// Collects rows of string cells and renders them aligned or as CSV.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row. Rows shorter than the header are padded with "".
+  void AddRow(std::vector<std::string> cells);
+
+  /// Number of data rows (excluding the header).
+  std::size_t NumRows() const { return rows_.size(); }
+
+  /// Renders the table with space-aligned columns and a separator rule.
+  std::string ToAligned() const;
+
+  /// Renders the table as RFC-4180-ish CSV (quotes cells containing , or ").
+  std::string ToCsv() const;
+
+  /// Writes ToCsv() to the given path. Returns false on I/O failure.
+  bool WriteCsv(const std::string& path) const;
+
+  /// Formats a double with the given precision (default mirrors the paper's
+  /// two decimals for percentages).
+  static std::string Num(double value, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tfmae
+
+#endif  // TFMAE_UTIL_TABLE_H_

@@ -1,0 +1,223 @@
+// Finite-difference gradient checks for every differentiable operator.
+//
+// Each check builds loss = sum(w ⊙ op(inputs)) with fixed random weights w
+// (so every output element contributes a distinct gradient path), then
+// compares the autograd gradient of every input element against a central
+// finite difference.
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace tfmae {
+namespace {
+
+using OpFn = std::function<Tensor(const std::vector<Tensor>&)>;
+
+// Wraps op output into a scalar with fixed per-element weights.
+Tensor WeightedLoss(const Tensor& out, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor weights = Tensor::Randn(out.shape(), &rng);
+  return ops::SumAll(ops::Mul(out, weights));
+}
+
+void CheckGradients(const OpFn& op, std::vector<Tensor> inputs,
+                    double tolerance = 3e-2, float eps = 1e-2f) {
+  for (Tensor& input : inputs) input.set_requires_grad(true);
+
+  Tensor loss = WeightedLoss(op(inputs), /*seed=*/99);
+  for (Tensor& input : inputs) input.ZeroGrad();
+  loss.Backward();
+
+  for (std::size_t which = 0; which < inputs.size(); ++which) {
+    Tensor& input = inputs[which];
+    ASSERT_NE(input.grad_data(), nullptr) << "input " << which;
+    for (std::int64_t i = 0; i < input.numel(); ++i) {
+      const float saved = input.data()[i];
+      input.data()[i] = saved + eps;
+      const float up = WeightedLoss(op(inputs), 99).item();
+      input.data()[i] = saved - eps;
+      const float down = WeightedLoss(op(inputs), 99).item();
+      input.data()[i] = saved;
+      const double numeric =
+          (static_cast<double>(up) - static_cast<double>(down)) /
+          (2.0 * static_cast<double>(eps));
+      const double analytic = input.grad_data()[i];
+      const double scale =
+          std::max({1.0, std::abs(numeric), std::abs(analytic)});
+      EXPECT_NEAR(analytic, numeric, tolerance * scale)
+          << "input " << which << " element " << i;
+    }
+  }
+}
+
+Tensor SmallTensor(Shape shape, std::uint64_t seed, float spread = 1.0f) {
+  Rng rng(seed);
+  return Tensor::Randn(std::move(shape), &rng, spread);
+}
+
+TEST(AutogradTest, Add) {
+  CheckGradients([](const auto& in) { return ops::Add(in[0], in[1]); },
+                 {SmallTensor({3, 4}, 1), SmallTensor({3, 4}, 2)});
+}
+
+TEST(AutogradTest, AddBroadcastBias) {
+  CheckGradients([](const auto& in) { return ops::Add(in[0], in[1]); },
+                 {SmallTensor({3, 4}, 3), SmallTensor({4}, 4)});
+}
+
+TEST(AutogradTest, SubBroadcastBothOrders) {
+  CheckGradients([](const auto& in) { return ops::Sub(in[0], in[1]); },
+                 {SmallTensor({3, 4}, 5), SmallTensor({4}, 6)});
+  CheckGradients([](const auto& in) { return ops::Sub(in[0], in[1]); },
+                 {SmallTensor({4}, 7), SmallTensor({3, 4}, 8)});
+}
+
+TEST(AutogradTest, MulAndDiv) {
+  CheckGradients([](const auto& in) { return ops::Mul(in[0], in[1]); },
+                 {SmallTensor({2, 5}, 9), SmallTensor({2, 5}, 10)});
+  // Keep denominators away from zero.
+  Tensor denominator = Tensor::FromData({2, 3}, {1.5f, -2, 2.5f, 3, -1.2f, 2});
+  CheckGradients([](const auto& in) { return ops::Div(in[0], in[1]); },
+                 {SmallTensor({2, 3}, 11), denominator});
+}
+
+TEST(AutogradTest, ScalarOps) {
+  CheckGradients([](const auto& in) { return ops::Scale(in[0], -1.7f); },
+                 {SmallTensor({4}, 12)});
+  CheckGradients([](const auto& in) { return ops::AddScalar(in[0], 3.0f); },
+                 {SmallTensor({4}, 13)});
+  CheckGradients([](const auto& in) { return ops::Neg(in[0]); },
+                 {SmallTensor({4}, 14)});
+}
+
+TEST(AutogradTest, SmoothUnaryOps) {
+  CheckGradients([](const auto& in) { return ops::Exp(in[0]); },
+                 {SmallTensor({6}, 15, 0.5f)});
+  CheckGradients([](const auto& in) { return ops::Tanh(in[0]); },
+                 {SmallTensor({6}, 16)});
+  CheckGradients([](const auto& in) { return ops::Sigmoid(in[0]); },
+                 {SmallTensor({6}, 17)});
+  CheckGradients([](const auto& in) { return ops::Square(in[0]); },
+                 {SmallTensor({6}, 18)});
+  CheckGradients([](const auto& in) { return ops::Gelu(in[0]); },
+                 {SmallTensor({6}, 19)});
+}
+
+TEST(AutogradTest, PositiveDomainUnaryOps) {
+  Tensor positive = Tensor::FromData({4}, {0.5f, 1.0f, 2.0f, 3.5f});
+  CheckGradients([](const auto& in) { return ops::Log(in[0]); },
+                 {positive.Clone()});
+  CheckGradients([](const auto& in) { return ops::Sqrt(in[0]); },
+                 {positive.Clone()});
+}
+
+TEST(AutogradTest, ReluAwayFromKink) {
+  Tensor x = Tensor::FromData({4}, {-1.0f, -0.4f, 0.6f, 1.5f});
+  CheckGradients([](const auto& in) { return ops::Relu(in[0]); }, {x});
+}
+
+TEST(AutogradTest, MatMul) {
+  CheckGradients([](const auto& in) { return ops::MatMul(in[0], in[1]); },
+                 {SmallTensor({3, 4}, 20), SmallTensor({4, 2}, 21)});
+}
+
+TEST(AutogradTest, BatchMatMul) {
+  CheckGradients([](const auto& in) { return ops::BatchMatMul(in[0], in[1]); },
+                 {SmallTensor({2, 3, 4}, 22), SmallTensor({2, 4, 2}, 23)});
+}
+
+TEST(AutogradTest, LinearWithBias) {
+  CheckGradients(
+      [](const auto& in) { return ops::Linear(in[0], in[1], in[2]); },
+      {SmallTensor({3, 4}, 24), SmallTensor({4, 2}, 25), SmallTensor({2}, 26)});
+}
+
+TEST(AutogradTest, ShapeOps) {
+  CheckGradients(
+      [](const auto& in) { return ops::Reshape(in[0], {4, 3}); },
+      {SmallTensor({3, 4}, 27)});
+  CheckGradients(
+      [](const auto& in) { return ops::Permute3(in[0], {2, 0, 1}); },
+      {SmallTensor({2, 3, 4}, 28)});
+  CheckGradients([](const auto& in) { return ops::Transpose2(in[0]); },
+                 {SmallTensor({3, 5}, 29)});
+}
+
+TEST(AutogradTest, IndexingOps) {
+  CheckGradients(
+      [](const auto& in) { return ops::IndexRows(in[0], {2, 0, 2}); },
+      {SmallTensor({3, 4}, 30)});
+  CheckGradients(
+      [](const auto& in) { return ops::ScatterRows(in[0], {3, 1}, 5); },
+      {SmallTensor({2, 4}, 31)});
+  CheckGradients([](const auto& in) { return ops::RepeatRow(in[0], 4); },
+                 {SmallTensor({3}, 32)});
+  CheckGradients([](const auto& in) { return ops::SliceRows(in[0], 1, 2); },
+                 {SmallTensor({4, 3}, 33)});
+  CheckGradients(
+      [](const auto& in) { return ops::ConcatRows(in[0], in[1]); },
+      {SmallTensor({2, 3}, 34), SmallTensor({4, 3}, 35)});
+  CheckGradients([](const auto& in) { return ops::Im2Col(in[0], 3); },
+                 {SmallTensor({6, 2}, 36)});
+}
+
+TEST(AutogradTest, Reductions) {
+  CheckGradients([](const auto& in) { return ops::SumAll(in[0]); },
+                 {SmallTensor({3, 4}, 37)});
+  CheckGradients([](const auto& in) { return ops::MeanAll(in[0]); },
+                 {SmallTensor({3, 4}, 38)});
+}
+
+TEST(AutogradTest, SoftmaxFamily) {
+  CheckGradients([](const auto& in) { return ops::Softmax(in[0]); },
+                 {SmallTensor({3, 5}, 39)});
+  CheckGradients([](const auto& in) { return ops::LogSoftmax(in[0]); },
+                 {SmallTensor({3, 5}, 40)});
+}
+
+TEST(AutogradTest, LayerNorm) {
+  CheckGradients(
+      [](const auto& in) { return ops::LayerNormOp(in[0], in[1], in[2]); },
+      {SmallTensor({4, 6}, 41), SmallTensor({6}, 42), SmallTensor({6}, 43)});
+}
+
+TEST(AutogradTest, Losses) {
+  CheckGradients([](const auto& in) { return ops::MseLoss(in[0], in[1]); },
+                 {SmallTensor({3, 4}, 44), SmallTensor({3, 4}, 45)});
+  CheckGradients([](const auto& in) { return ops::KlDivLoss(in[0], in[1]); },
+                 {SmallTensor({3, 4}, 46), SmallTensor({3, 4}, 47)});
+  CheckGradients(
+      [](const auto& in) { return ops::SymmetricKlLoss(in[0], in[1]); },
+      {SmallTensor({3, 4}, 48), SmallTensor({3, 4}, 49)});
+}
+
+TEST(AutogradTest, SymmetricKlPerRowMatchesLoss) {
+  // The per-row scoring utility must agree with the differentiable loss:
+  // mean(per-row) == KL(p,q)+KL(q,p) averaged over rows.
+  Tensor p = SmallTensor({5, 8}, 50);
+  Tensor q = SmallTensor({5, 8}, 51);
+  const std::vector<float> per_row = ops::SymmetricKlPerRow(p, q);
+  double mean = 0.0;
+  for (float v : per_row) mean += v;
+  mean /= static_cast<double>(per_row.size());
+  const float loss = ops::SymmetricKlLoss(p, q).item();
+  EXPECT_NEAR(mean, loss, 1e-4);
+}
+
+TEST(AutogradTest, DiamondGraphAccumulates) {
+  // x feeds two paths that rejoin: gradients must sum.
+  Tensor x = SmallTensor({3}, 52).set_requires_grad(true);
+  Tensor y = ops::Add(ops::Scale(x, 2.0f), ops::Scale(x, 3.0f));
+  ops::SumAll(y).Backward();
+  for (std::int64_t i = 0; i < 3; ++i) {
+    EXPECT_FLOAT_EQ(x.grad_data()[i], 5.0f);
+  }
+}
+
+}  // namespace
+}  // namespace tfmae

@@ -1,0 +1,87 @@
+// Tests for full-detector checkpointing (config + normalizer + weights).
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/detector.h"
+#include "data/generator.h"
+
+namespace tfmae::core {
+namespace {
+
+TfmaeConfig SmallConfig() {
+  TfmaeConfig config;
+  config.window = 32;
+  config.model_dim = 16;
+  config.num_layers = 1;
+  config.num_heads = 2;
+  config.ff_hidden = 32;
+  config.epochs = 3;
+  config.stride = 16;
+  config.temporal_mask_ratio = 0.25;
+  config.per_window_normalization = false;
+  return config;
+}
+
+void RemoveCheckpoint(const std::string& prefix) {
+  std::remove((prefix + ".config").c_str());
+  std::remove((prefix + ".norm").c_str());
+  std::remove((prefix + ".weights").c_str());
+}
+
+TEST(CheckpointTest, RoundTripReproducesScoresExactly) {
+  data::BaseSignalConfig signal;
+  signal.length = 500;
+  signal.num_features = 3;
+  signal.seed = 111;
+  // A channel far from zero exercises the normalizer statistics.
+  data::TimeSeries series = data::GenerateBaseSignal(signal);
+  for (std::int64_t t = 0; t < series.length; ++t) series.at(t, 2) += 40.0f;
+  data::TimeSeries train = series.Slice(0, 350);
+  data::TimeSeries test = series.Slice(350, 150);
+
+  TfmaeDetector original(SmallConfig());
+  original.Fit(train);
+  const std::string prefix = ::testing::TempDir() + "/tfmae_ckpt";
+  ASSERT_TRUE(original.SaveCheckpoint(prefix));
+
+  TfmaeDetector restored(TfmaeConfig{});  // different config; load overrides
+  ASSERT_TRUE(restored.LoadCheckpoint(prefix));
+  EXPECT_EQ(restored.config().window, 32);
+  EXPECT_EQ(restored.config().model_dim, 16);
+
+  const auto expected = original.Score(test);
+  const auto actual = restored.Score(test);
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i], 1e-6) << "t=" << i;
+  }
+  RemoveCheckpoint(prefix);
+}
+
+TEST(CheckpointTest, LoadFailsOnMissingPieces) {
+  TfmaeDetector detector(SmallConfig());
+  EXPECT_FALSE(detector.LoadCheckpoint("/nonexistent/prefix"));
+
+  // Config present but weights missing.
+  data::BaseSignalConfig signal;
+  signal.length = 200;
+  signal.num_features = 1;
+  signal.seed = 112;
+  TfmaeDetector fitted(SmallConfig());
+  fitted.Fit(data::GenerateBaseSignal(signal));
+  const std::string prefix = ::testing::TempDir() + "/tfmae_partial";
+  ASSERT_TRUE(fitted.SaveCheckpoint(prefix));
+  std::remove((prefix + ".weights").c_str());
+  TfmaeDetector loader(SmallConfig());
+  EXPECT_FALSE(loader.LoadCheckpoint(prefix));
+  RemoveCheckpoint(prefix);
+}
+
+TEST(CheckpointTest, SaveBeforeFitDies) {
+  TfmaeDetector detector(SmallConfig());
+  EXPECT_DEATH(detector.SaveCheckpoint("/tmp/should_not_exist"), "Fit");
+}
+
+}  // namespace
+}  // namespace tfmae::core

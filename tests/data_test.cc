@@ -1,0 +1,245 @@
+// Tests for the dataset substrate: container invariants, normalization,
+// windowing, base-signal generation, anomaly injection, benchmark profiles,
+// distribution shift, and CSV I/O.
+#include <cmath>
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "data/anomaly.h"
+#include "data/generator.h"
+#include "data/io.h"
+#include "data/profiles.h"
+#include "data/timeseries.h"
+
+namespace tfmae::data {
+namespace {
+
+TEST(TimeSeriesTest, ZerosAndAccessors) {
+  TimeSeries ts = TimeSeries::Zeros(10, 3);
+  EXPECT_EQ(ts.length, 10);
+  EXPECT_EQ(ts.num_features, 3);
+  ts.at(4, 2) = 7.0f;
+  EXPECT_EQ(ts.at(4, 2), 7.0f);
+  EXPECT_EQ(ts.values[4 * 3 + 2], 7.0f);
+  EXPECT_EQ(ts.AnomalyRatio(), 0.0);
+}
+
+TEST(TimeSeriesTest, SlicePreservesValuesAndLabels) {
+  TimeSeries ts = TimeSeries::Zeros(10, 2);
+  ts.labels.assign(10, 0);
+  ts.labels[5] = 1;
+  for (std::int64_t t = 0; t < 10; ++t) ts.at(t, 0) = static_cast<float>(t);
+  TimeSeries slice = ts.Slice(4, 3);
+  EXPECT_EQ(slice.length, 3);
+  EXPECT_EQ(slice.at(0, 0), 4.0f);
+  EXPECT_EQ(slice.labels, (std::vector<std::uint8_t>{0, 1, 0}));
+}
+
+TEST(NormalizerTest, ZeroMeanUnitVarianceOnTrain) {
+  Rng rng(1);
+  TimeSeries ts = TimeSeries::Zeros(500, 2);
+  for (std::int64_t t = 0; t < 500; ++t) {
+    ts.at(t, 0) = static_cast<float>(rng.Normal(5.0, 2.0));
+    ts.at(t, 1) = static_cast<float>(rng.Normal(-3.0, 0.5));
+  }
+  ZScoreNormalizer normalizer;
+  normalizer.Fit(ts);
+  TimeSeries normalized = normalizer.Apply(ts);
+  for (std::int64_t n = 0; n < 2; ++n) {
+    double mean = 0.0;
+    for (std::int64_t t = 0; t < 500; ++t) mean += normalized.at(t, n);
+    mean /= 500;
+    double var = 0.0;
+    for (std::int64_t t = 0; t < 500; ++t) {
+      var += (normalized.at(t, n) - mean) * (normalized.at(t, n) - mean);
+    }
+    var /= 500;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(NormalizerTest, ConstantFeaturePassesThrough) {
+  TimeSeries ts = TimeSeries::Zeros(100, 1);
+  for (std::int64_t t = 0; t < 100; ++t) ts.at(t, 0) = 4.0f;
+  ZScoreNormalizer normalizer;
+  normalizer.Fit(ts);
+  TimeSeries normalized = normalizer.Apply(ts);
+  for (std::int64_t t = 0; t < 100; ++t) {
+    EXPECT_TRUE(std::isfinite(normalized.at(t, 0)));
+    EXPECT_NEAR(normalized.at(t, 0), 0.0f, 1e-6);
+  }
+}
+
+TEST(WindowTest, StartsCoverSeries) {
+  // Aligned case.
+  EXPECT_EQ(WindowStarts(100, 50, 50), (std::vector<std::int64_t>{0, 50}));
+  // Misaligned tail gets a final end-aligned window.
+  EXPECT_EQ(WindowStarts(105, 50, 50), (std::vector<std::int64_t>{0, 50, 55}));
+  // Series shorter than the window: no windows.
+  EXPECT_TRUE(WindowStarts(30, 50, 50).empty());
+  // Stride 1 covers every offset.
+  EXPECT_EQ(WindowStarts(52, 50, 1).size(), 3u);
+}
+
+TEST(GeneratorTest, DeterministicGivenSeed) {
+  BaseSignalConfig config;
+  config.length = 200;
+  config.num_features = 3;
+  config.seed = 77;
+  TimeSeries a = GenerateBaseSignal(config);
+  TimeSeries b = GenerateBaseSignal(config);
+  EXPECT_EQ(a.values, b.values);
+  config.seed = 78;
+  TimeSeries c = GenerateBaseSignal(config);
+  EXPECT_NE(a.values, c.values);
+}
+
+TEST(GeneratorTest, ChannelsAreDistinct) {
+  BaseSignalConfig config;
+  config.length = 300;
+  config.num_features = 2;
+  config.seed = 5;
+  TimeSeries ts = GenerateBaseSignal(config);
+  double diff = 0.0;
+  for (std::int64_t t = 0; t < ts.length; ++t) {
+    diff += std::abs(ts.at(t, 0) - ts.at(t, 1));
+  }
+  EXPECT_GT(diff / ts.length, 0.1);
+}
+
+TEST(GeneratorTest, DistributionShiftRampsProgressively) {
+  TimeSeries ts = TimeSeries::Zeros(101, 1);
+  for (std::int64_t t = 0; t <= 100; ++t) ts.at(t, 0) = 1.0f;
+  ApplyDistributionShift(&ts, 2.0, 1.0);
+  EXPECT_NEAR(ts.at(0, 0), 1.0f, 1e-6);     // no shift at the start
+  EXPECT_NEAR(ts.at(100, 0), 3.0f, 1e-6);   // full shift at the end
+  EXPECT_NEAR(ts.at(50, 0), 2.0f, 1e-5);    // halfway
+}
+
+class AnomalyInjectionTest : public ::testing::TestWithParam<AnomalyType> {};
+
+TEST_P(AnomalyInjectionTest, MarksLabelsAndChangesValues) {
+  BaseSignalConfig config;
+  config.length = 400;
+  config.num_features = 4;
+  config.seed = 11;
+  TimeSeries ts = GenerateBaseSignal(config);
+  const TimeSeries original = ts;
+  Rng rng(3);
+  AnomalyOptions options;
+  InjectOne(&ts, GetParam(), options, &rng);
+  // Some labels set...
+  std::int64_t labeled = 0;
+  for (std::uint8_t label : ts.labels) labeled += label;
+  EXPECT_GT(labeled, 0);
+  // ...and values changed only in a bounded neighbourhood.
+  std::int64_t changed = 0;
+  for (std::size_t i = 0; i < ts.values.size(); ++i) {
+    if (ts.values[i] != original.values[i]) ++changed;
+  }
+  EXPECT_GT(changed, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Types, AnomalyInjectionTest,
+                         ::testing::Values(AnomalyType::kGlobalPoint,
+                                           AnomalyType::kContextual,
+                                           AnomalyType::kSeasonal,
+                                           AnomalyType::kTrend,
+                                           AnomalyType::kShapelet));
+
+TEST(AnomalyInjectionTest, ReachesTargetRatioApproximately) {
+  BaseSignalConfig config;
+  config.length = 2000;
+  config.num_features = 2;
+  config.seed = 21;
+  TimeSeries ts = GenerateBaseSignal(config);
+  Rng rng(4);
+  AnomalyMix mix{.global_point = 1, .contextual = 1, .seasonal = 1,
+                 .trend = 1, .shapelet = 1};
+  InjectAnomalies(&ts, mix, 0.08, AnomalyOptions{}, &rng);
+  EXPECT_GE(ts.AnomalyRatio(), 0.06);
+  EXPECT_LE(ts.AnomalyRatio(), 0.15);
+}
+
+TEST(AnomalyInjectionTest, ZeroRatioInjectsNothing) {
+  BaseSignalConfig config;
+  config.length = 200;
+  config.num_features = 1;
+  config.seed = 22;
+  TimeSeries ts = GenerateBaseSignal(config);
+  Rng rng(5);
+  EXPECT_EQ(InjectAnomalies(&ts, AnomalyMix{.global_point = 1}, 0.0,
+                            AnomalyOptions{}, &rng),
+            0);
+  EXPECT_EQ(ts.AnomalyRatio(), 0.0);
+}
+
+class ProfileTest : public ::testing::TestWithParam<BenchmarkDataset> {};
+
+TEST_P(ProfileTest, MatchesPublishedCharacteristics) {
+  const DatasetProfile profile = GetProfile(GetParam());
+  LabeledDataset dataset = MakeDataset(profile);
+  EXPECT_EQ(dataset.train.length, profile.train_length);
+  EXPECT_EQ(dataset.val.length, profile.val_length);
+  EXPECT_EQ(dataset.test.length, profile.test_length);
+  EXPECT_EQ(dataset.test.num_features, profile.base.num_features);
+  // The test anomaly ratio lands near the paper's Table II value.
+  EXPECT_GE(dataset.test.AnomalyRatio(), profile.test_anomaly_ratio * 0.6);
+  EXPECT_LE(dataset.test.AnomalyRatio(), profile.test_anomaly_ratio * 1.8);
+  // Labels exist on all splits; train contamination is bounded.
+  EXPECT_EQ(dataset.train.labels.size(),
+            static_cast<std::size_t>(dataset.train.length));
+  EXPECT_LE(dataset.train.AnomalyRatio(),
+            std::max(0.001, profile.train_contamination * 2.5));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, ProfileTest,
+                         ::testing::Values(BenchmarkDataset::kMsl,
+                                           BenchmarkDataset::kPsm,
+                                           BenchmarkDataset::kSmd,
+                                           BenchmarkDataset::kSwat,
+                                           BenchmarkDataset::kSmap,
+                                           BenchmarkDataset::kNipsTsGlobal,
+                                           BenchmarkDataset::kNipsTsSeasonal));
+
+TEST(ProfileTest, ScaleGrowsSplits) {
+  const DatasetProfile small = GetProfile(BenchmarkDataset::kSmd, 0.5);
+  const DatasetProfile big = GetProfile(BenchmarkDataset::kSmd, 1.0);
+  EXPECT_EQ(small.train_length, big.train_length / 2);
+}
+
+TEST(ProfileTest, DatasetNamesMatchPaper) {
+  EXPECT_EQ(DatasetName(BenchmarkDataset::kSwat), "SWaT");
+  EXPECT_EQ(DatasetName(BenchmarkDataset::kNipsTsGlobal), "NIPS-TS-Global");
+  EXPECT_EQ(MainDatasets().size(), 5u);
+}
+
+TEST(IoTest, CsvRoundTripWithLabels) {
+  TimeSeries ts = TimeSeries::Zeros(5, 2);
+  ts.labels.assign(5, 0);
+  ts.labels[2] = 1;
+  for (std::int64_t t = 0; t < 5; ++t) {
+    ts.at(t, 0) = static_cast<float>(t) * 0.5f;
+    ts.at(t, 1) = -static_cast<float>(t);
+  }
+  const std::string path = ::testing::TempDir() + "/tfmae_io_test.csv";
+  ASSERT_TRUE(SaveCsv(ts, path));
+  auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->length, 5);
+  EXPECT_EQ(loaded->num_features, 2);
+  EXPECT_EQ(loaded->labels, ts.labels);
+  for (std::size_t i = 0; i < ts.values.size(); ++i) {
+    EXPECT_NEAR(loaded->values[i], ts.values[i], 1e-5);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadFailsOnMissingFile) {
+  EXPECT_FALSE(LoadCsv("/nonexistent/file.csv").has_value());
+}
+
+}  // namespace
+}  // namespace tfmae::data

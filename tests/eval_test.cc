@@ -1,0 +1,143 @@
+// Tests for the evaluation library: confusion/PRF arithmetic, AUROC,
+// quantile thresholding (both protocols), point adjustment, and CDFs.
+#include <gtest/gtest.h>
+
+#include "eval/detection.h"
+#include "eval/metrics.h"
+
+namespace tfmae::eval {
+namespace {
+
+TEST(MetricsTest, ConfusionCounts) {
+  const std::vector<std::uint8_t> pred = {1, 0, 1, 1, 0, 0};
+  const std::vector<std::uint8_t> truth = {1, 0, 0, 1, 1, 0};
+  const Confusion c = CountConfusion(pred, truth);
+  EXPECT_EQ(c.true_positive, 2);
+  EXPECT_EQ(c.false_positive, 1);
+  EXPECT_EQ(c.false_negative, 1);
+  EXPECT_EQ(c.true_negative, 2);
+}
+
+TEST(MetricsTest, PrfKnownValues) {
+  Confusion c;
+  c.true_positive = 8;
+  c.false_positive = 2;
+  c.false_negative = 8;
+  const PrfMetrics m = ComputePrf(c);
+  EXPECT_DOUBLE_EQ(m.precision, 0.8);
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+  EXPECT_NEAR(m.f1, 2 * 0.8 * 0.5 / 1.3, 1e-12);
+}
+
+TEST(MetricsTest, PrfDegenerateCases) {
+  // No predictions, no anomalies.
+  const PrfMetrics m = ComputePrf(Confusion{});
+  EXPECT_EQ(m.precision, 0.0);
+  EXPECT_EQ(m.recall, 0.0);
+  EXPECT_EQ(m.f1, 0.0);
+}
+
+TEST(MetricsTest, AurocPerfectAndInverted) {
+  const std::vector<float> scores = {0.1f, 0.2f, 0.8f, 0.9f};
+  const std::vector<std::uint8_t> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(Auroc(scores, labels), 1.0);
+  const std::vector<std::uint8_t> inverted = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(Auroc(scores, inverted), 0.0);
+}
+
+TEST(MetricsTest, AurocTiesGiveHalfCredit) {
+  const std::vector<float> scores = {0.5f, 0.5f, 0.5f, 0.5f};
+  const std::vector<std::uint8_t> labels = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(Auroc(scores, labels), 0.5);
+}
+
+TEST(MetricsTest, AurocSingleClassIsChance) {
+  const std::vector<float> scores = {0.1f, 0.9f};
+  EXPECT_DOUBLE_EQ(Auroc(scores, {0, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(Auroc(scores, {1, 1}), 0.5);
+}
+
+TEST(ThresholdTest, QuantileSelectsTopFraction) {
+  std::vector<float> scores(100);
+  for (int i = 0; i < 100; ++i) scores[static_cast<std::size_t>(i)] = i;
+  const float threshold = QuantileThreshold(scores, 0.10);
+  const auto predictions = ApplyThreshold(scores, threshold);
+  std::int64_t flagged = 0;
+  for (std::uint8_t p : predictions) flagged += p;
+  EXPECT_EQ(flagged, 10);
+}
+
+TEST(PointAdjustTest, SegmentFullyCreditedOnSingleHit) {
+  //               segment [2,5)            segment [7,9)
+  const std::vector<std::uint8_t> labels = {0, 0, 1, 1, 1, 0, 0, 1, 1, 0};
+  const std::vector<std::uint8_t> pred = {0, 0, 0, 1, 0, 0, 0, 0, 0, 0};
+  const auto adjusted = PointAdjust(pred, labels);
+  EXPECT_EQ(adjusted,
+            (std::vector<std::uint8_t>{0, 0, 1, 1, 1, 0, 0, 0, 0, 0}));
+}
+
+TEST(PointAdjustTest, MissedSegmentsStayMissed) {
+  const std::vector<std::uint8_t> labels = {1, 1, 0, 1, 1};
+  const std::vector<std::uint8_t> pred = {0, 0, 1, 0, 0};
+  const auto adjusted = PointAdjust(pred, labels);
+  EXPECT_EQ(adjusted, (std::vector<std::uint8_t>{0, 0, 1, 0, 0}));
+}
+
+TEST(PointAdjustTest, FalsePositivesPreserved) {
+  const std::vector<std::uint8_t> labels = {0, 0, 0};
+  const std::vector<std::uint8_t> pred = {0, 1, 0};
+  EXPECT_EQ(PointAdjust(pred, labels), pred);
+}
+
+TEST(DetectionTest, EndToEndProtocolValidationOnly) {
+  // Validation scores in [0,1); test has an obvious anomaly at index 2.
+  std::vector<float> val(200);
+  for (int i = 0; i < 200; ++i) val[static_cast<std::size_t>(i)] = i / 200.0f;
+  const std::vector<float> test = {0.1f, 0.2f, 5.0f, 0.3f};
+  const std::vector<std::uint8_t> labels = {0, 0, 1, 0};
+  const DetectionReport report = EvaluateDetection(
+      val, test, labels, 0.01, ThresholdProtocol::kValidationOnly);
+  EXPECT_EQ(report.adjusted.f1, 1.0);
+  EXPECT_GT(report.auroc, 0.99);
+}
+
+TEST(DetectionTest, CombinedProtocolUsesTestScores) {
+  // All validation scores tiny; combined protocol still finds a sensible
+  // threshold because the test scores enter the pool.
+  std::vector<float> val(100, 0.001f);
+  std::vector<float> test(100, 0.5f);
+  std::vector<std::uint8_t> labels(100, 0);
+  test[50] = 10.0f;
+  labels[50] = 1;
+  const DetectionReport combined = EvaluateDetection(
+      val, test, labels, 0.005, ThresholdProtocol::kCombined);
+  EXPECT_EQ(combined.adjusted.f1, 1.0);
+}
+
+TEST(DetectionTest, RawVsAdjustedOrdering) {
+  // Point adjustment can only improve recall, never hurt it.
+  std::vector<float> val(50, 0.0f);
+  std::vector<float> test = {0.f, 9.f, 0.f, 0.f, 0.f, 0.f};
+  std::vector<std::uint8_t> labels = {0, 1, 1, 1, 0, 0};
+  const DetectionReport report =
+      EvaluateDetection(val, test, labels, 0.2, ThresholdProtocol::kCombined);
+  EXPECT_GE(report.adjusted.recall, report.raw.recall);
+  EXPECT_GE(report.adjusted.f1, report.raw.f1);
+}
+
+TEST(CdfTest, MonotoneAndBounded) {
+  const std::vector<float> scores = {1, 2, 3, 4, 5};
+  const auto cdf = EmpiricalCdf(scores, 0.0f, 6.0f, 13);
+  ASSERT_EQ(cdf.size(), 13u);
+  EXPECT_EQ(cdf.front().second, 0.0f);
+  EXPECT_EQ(cdf.back().second, 1.0f);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+    EXPECT_GT(cdf[i].first, cdf[i - 1].first);
+  }
+  // F(3.0) = 3/5.
+  EXPECT_NEAR(cdf[6].second, 0.6f, 1e-6);  // x = 3.0 at grid index 6
+}
+
+}  // namespace
+}  // namespace tfmae::eval

@@ -1,0 +1,212 @@
+// Property-style sweeps of the tensor operators against naive reference
+// implementations across a grid of shapes, plus algebraic invariants
+// (Parseval for the FFT, softmax simplex membership, layer-norm statistics,
+// matmul associativity with identity).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "fft/fft.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace tfmae {
+namespace {
+
+Tensor RandomTensor(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::Randn(std::move(shape), &rng);
+}
+
+// ---- MatMul vs naive across shapes -----------------------------------------
+
+class MatMulShapeTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::int64_t, std::int64_t, std::int64_t>> {};
+
+TEST_P(MatMulShapeTest, MatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Tensor a = RandomTensor({m, k}, 11 + static_cast<std::uint64_t>(m));
+  Tensor b = RandomTensor({k, n}, 13 + static_cast<std::uint64_t>(n));
+  Tensor c = ops::MatMul(a, b);
+  ASSERT_EQ(c.shape(), (Shape{m, n}));
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a.at(i * k + p)) *
+               static_cast<double>(b.at(p * n + j));
+      }
+      EXPECT_NEAR(c.at(i * n + j), acc, 1e-3 * std::max(1.0, std::abs(acc)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulShapeTest,
+    ::testing::Combine(::testing::Values<std::int64_t>(1, 3, 17),
+                       ::testing::Values<std::int64_t>(1, 8, 31),
+                       ::testing::Values<std::int64_t>(1, 5, 19)));
+
+TEST(MatMulPropertyTest, IdentityIsNeutral) {
+  Tensor a = RandomTensor({7, 7}, 17);
+  Tensor identity = Tensor::Zeros({7, 7});
+  for (std::int64_t i = 0; i < 7; ++i) identity.data()[i * 7 + i] = 1.0f;
+  Tensor left = ops::MatMul(identity, a);
+  Tensor right = ops::MatMul(a, identity);
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(left.at(i), a.at(i), 1e-5);
+    EXPECT_NEAR(right.at(i), a.at(i), 1e-5);
+  }
+}
+
+TEST(MatMulPropertyTest, TransposeReversesProduct) {
+  // (A B)^T == B^T A^T.
+  Tensor a = RandomTensor({4, 6}, 19);
+  Tensor b = RandomTensor({6, 3}, 23);
+  Tensor lhs = ops::Transpose2(ops::MatMul(a, b));
+  Tensor rhs = ops::MatMul(ops::Transpose2(b), ops::Transpose2(a));
+  for (std::int64_t i = 0; i < lhs.numel(); ++i) {
+    EXPECT_NEAR(lhs.at(i), rhs.at(i), 1e-4);
+  }
+}
+
+// ---- Softmax invariants ------------------------------------------------------
+
+class SoftmaxShapeTest
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t>> {
+};
+
+TEST_P(SoftmaxShapeTest, RowsOnSimplexAndShiftInvariant) {
+  const auto [rows, cols] = GetParam();
+  Tensor x = RandomTensor({rows, cols}, 29);
+  Tensor y = ops::Softmax(x);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    double sum = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const float v = y.at(r * cols + c);
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 1.0f);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+  // Shift invariance: softmax(x + c) == softmax(x).
+  Tensor shifted = ops::Softmax(ops::AddScalar(x, 7.5f));
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_NEAR(shifted.at(i), y.at(i), 1e-5);
+  }
+  // exp(LogSoftmax) == Softmax.
+  Tensor log_y = ops::LogSoftmax(x);
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_NEAR(std::exp(log_y.at(i)), y.at(i), 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SoftmaxShapeTest,
+    ::testing::Combine(::testing::Values<std::int64_t>(1, 4, 32),
+                       ::testing::Values<std::int64_t>(1, 2, 16, 128)));
+
+// ---- KL invariants ------------------------------------------------------------
+
+TEST(KlPropertyTest, NonNegativeAndZeroOnIdenticalInputs) {
+  for (std::uint64_t seed = 40; seed < 45; ++seed) {
+    Tensor p = RandomTensor({6, 12}, seed);
+    Tensor q = RandomTensor({6, 12}, seed + 100);
+    EXPECT_GE(ops::KlDivLoss(p, q).item(), -1e-6) << "seed " << seed;
+    EXPECT_NEAR(ops::KlDivLoss(p, p).item(), 0.0, 1e-6);
+    const auto per_row = ops::SymmetricKlPerRow(p, p);
+    for (float v : per_row) EXPECT_NEAR(v, 0.0, 1e-6);
+  }
+}
+
+TEST(KlPropertyTest, SymmetricLossIsSymmetricInValue) {
+  Tensor p = RandomTensor({5, 9}, 51);
+  Tensor q = RandomTensor({5, 9}, 52);
+  EXPECT_NEAR(ops::SymmetricKlLoss(p, q).item(),
+              ops::SymmetricKlLoss(q, p).item(), 1e-5);
+}
+
+// ---- LayerNorm invariants ------------------------------------------------------
+
+TEST(LayerNormPropertyTest, UnitGammaZeroBetaNormalizesAnyInputScale) {
+  Tensor gamma = Tensor::Full({16}, 1.0f);
+  Tensor beta = Tensor::Zeros({16});
+  for (float scale : {0.01f, 1.0f, 100.0f}) {
+    Tensor x = ops::Scale(RandomTensor({8, 16}, 61), scale);
+    Tensor y = ops::LayerNormOp(x, gamma, beta);
+    for (std::int64_t r = 0; r < 8; ++r) {
+      double mean = 0.0;
+      for (std::int64_t c = 0; c < 16; ++c) mean += y.at(r * 16 + c);
+      EXPECT_NEAR(mean / 16.0, 0.0, 1e-4) << "scale " << scale;
+    }
+  }
+}
+
+// ---- FFT invariants --------------------------------------------------------------
+
+class ParsevalTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ParsevalTest, EnergyIsPreserved) {
+  const std::int64_t n = GetParam();
+  Rng rng(70 + static_cast<std::uint64_t>(n));
+  std::vector<double> signal(static_cast<std::size_t>(n));
+  for (double& v : signal) v = rng.Normal();
+  const auto spectrum = fft::RealFft(signal);
+  double time_energy = 0.0;
+  for (double v : signal) time_energy += v * v;
+  double freq_energy = 0.0;
+  for (const auto& bin : spectrum) freq_energy += std::norm(bin);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-6 * std::max(1.0, time_energy))
+      << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, ParsevalTest,
+                         ::testing::Values(8, 50, 100, 128, 321));
+
+TEST(FftPropertyTest, LinearityOfTheTransform) {
+  Rng rng(81);
+  std::vector<fft::Complex> a(64);
+  std::vector<fft::Complex> b(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    a[i] = fft::Complex(rng.Normal(), rng.Normal());
+    b[i] = fft::Complex(rng.Normal(), rng.Normal());
+  }
+  std::vector<fft::Complex> combined(64);
+  for (std::size_t i = 0; i < 64; ++i) combined[i] = 2.0 * a[i] - 3.0 * b[i];
+  const auto fa = fft::Fft(a);
+  const auto fb = fft::Fft(b);
+  const auto fc = fft::Fft(combined);
+  for (std::size_t i = 0; i < 64; ++i) {
+    const fft::Complex expected = 2.0 * fa[i] - 3.0 * fb[i];
+    EXPECT_NEAR(std::abs(fc[i] - expected), 0.0, 1e-8);
+  }
+}
+
+// ---- Broadcasting sweep ------------------------------------------------------------
+
+TEST(BroadcastPropertyTest, SuffixBroadcastMatchesManualExpansion) {
+  Tensor big = RandomTensor({4, 3, 5}, 91);
+  Tensor small = RandomTensor({5}, 92);
+  Tensor sum = ops::Add(big, small);
+  Tensor product = ops::Mul(big, small);
+  for (std::int64_t i = 0; i < big.numel(); ++i) {
+    const float s = small.at(i % 5);
+    EXPECT_NEAR(sum.at(i), big.at(i) + s, 1e-6);
+    EXPECT_NEAR(product.at(i), big.at(i) * s, 1e-6);
+  }
+}
+
+TEST(BroadcastPropertyTest, ScalarOperandBroadcasts) {
+  Tensor x = RandomTensor({3, 4}, 93);
+  Tensor scalar = Tensor::Full({1}, 2.5f);
+  Tensor quotient = ops::Div(x, scalar);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_NEAR(quotient.at(i), x.at(i) / 2.5f, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace tfmae

@@ -1,0 +1,98 @@
+// Tests for the range-based precision/recall metrics.
+#include <gtest/gtest.h>
+
+#include "eval/range_metrics.h"
+
+namespace tfmae::eval {
+namespace {
+
+TEST(ExtractRangesTest, FindsMaximalRuns) {
+  const std::vector<std::uint8_t> binary = {0, 1, 1, 0, 1, 0, 0, 1, 1, 1};
+  const auto ranges = ExtractRanges(binary);
+  ASSERT_EQ(ranges.size(), 3u);
+  EXPECT_EQ(ranges[0].begin, 1);
+  EXPECT_EQ(ranges[0].end, 3);
+  EXPECT_EQ(ranges[1].begin, 4);
+  EXPECT_EQ(ranges[1].end, 5);
+  EXPECT_EQ(ranges[2].begin, 7);
+  EXPECT_EQ(ranges[2].end, 10);
+}
+
+TEST(ExtractRangesTest, EdgeCases) {
+  EXPECT_TRUE(ExtractRanges({}).empty());
+  EXPECT_TRUE(ExtractRanges({0, 0, 0}).empty());
+  const auto all = ExtractRanges({1, 1, 1});
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].length(), 3);
+}
+
+TEST(RangeMetricsTest, PerfectPredictionScoresOne) {
+  const std::vector<std::uint8_t> labels = {0, 1, 1, 0, 0, 1, 1, 1, 0};
+  const RangeMetrics m = ComputeRangeMetrics(labels, labels);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(RangeMetricsTest, NoPredictionScoresZero) {
+  const std::vector<std::uint8_t> labels = {0, 1, 1, 0};
+  const std::vector<std::uint8_t> predictions = {0, 0, 0, 0};
+  const RangeMetrics m = ComputeRangeMetrics(predictions, labels);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(RangeMetricsTest, PartialOverlapWithExistenceReward) {
+  // One real range [2, 6); prediction covers half of it.
+  const std::vector<std::uint8_t> labels = {0, 0, 1, 1, 1, 1, 0, 0};
+  const std::vector<std::uint8_t> predictions = {0, 0, 1, 1, 0, 0, 0, 0};
+  RangeMetricOptions options;
+  options.alpha = 0.2;
+  const RangeMetrics m = ComputeRangeMetrics(predictions, labels, options);
+  // Recall = 0.2 * 1 (existence) + 0.8 * 1 (cardinality) * 0.5 (overlap).
+  EXPECT_NEAR(m.recall, 0.2 + 0.8 * 0.5, 1e-12);
+  // Precision: the predicted range is fully inside the real range.
+  EXPECT_NEAR(m.precision, 1.0, 1e-12);
+}
+
+TEST(RangeMetricsTest, FragmentationIsPenalized) {
+  // One real range [0, 8); two fragmented predictions each covering 2 steps.
+  const std::vector<std::uint8_t> labels = {1, 1, 1, 1, 1, 1, 1, 1};
+  const std::vector<std::uint8_t> predictions = {1, 1, 0, 0, 1, 1, 0, 0};
+  RangeMetricOptions options;
+  options.alpha = 0.0;
+  const RangeMetrics m = ComputeRangeMetrics(predictions, labels, options);
+  // Overlap 4/8 = 0.5, cardinality 1/2 -> recall 0.25.
+  EXPECT_NEAR(m.recall, 0.25, 1e-12);
+  // Each prediction fully inside the real range -> precision 1.
+  EXPECT_NEAR(m.precision, 1.0, 1e-12);
+}
+
+TEST(RangeMetricsTest, FalsePositiveRangeLowersPrecisionOnly) {
+  const std::vector<std::uint8_t> labels = {1, 1, 0, 0, 0, 0};
+  const std::vector<std::uint8_t> predictions = {1, 1, 0, 0, 1, 1};
+  RangeMetricOptions options;
+  options.alpha = 0.0;
+  const RangeMetrics m = ComputeRangeMetrics(predictions, labels, options);
+  EXPECT_NEAR(m.recall, 1.0, 1e-12);
+  EXPECT_NEAR(m.precision, 0.5, 1e-12);  // one of two predictions is real
+}
+
+TEST(RangeMetricsTest, AlphaInterpolatesExistence) {
+  // Tiny 1-step hit inside a 10-step range: overlap term ~0.1, existence 1.
+  std::vector<std::uint8_t> labels(12, 0);
+  for (int i = 1; i <= 10; ++i) labels[static_cast<std::size_t>(i)] = 1;
+  std::vector<std::uint8_t> predictions(12, 0);
+  predictions[5] = 1;
+  for (double alpha : {0.0, 0.5, 1.0}) {
+    RangeMetricOptions options;
+    options.alpha = alpha;
+    const RangeMetrics m = ComputeRangeMetrics(predictions, labels, options);
+    EXPECT_NEAR(m.recall, alpha * 1.0 + (1 - alpha) * 0.1, 1e-12)
+        << "alpha=" << alpha;
+  }
+}
+
+}  // namespace
+}  // namespace tfmae::eval

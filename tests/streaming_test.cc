@@ -1,0 +1,140 @@
+// Tests for the streaming detection wrapper.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/detector.h"
+#include "core/streaming.h"
+#include "data/generator.h"
+
+namespace tfmae::core {
+namespace {
+
+// A deterministic stub detector: score of a point = |first feature|.
+class StubDetector : public AnomalyDetector {
+ public:
+  std::string Name() const override { return "Stub"; }
+  void Fit(const data::TimeSeries&) override {}
+  std::vector<float> Score(const data::TimeSeries& series) override {
+    std::vector<float> scores(static_cast<std::size_t>(series.length));
+    for (std::int64_t t = 0; t < series.length; ++t) {
+      scores[static_cast<std::size_t>(t)] = std::abs(series.at(t, 0));
+    }
+    ++score_calls;
+    return scores;
+  }
+  int score_calls = 0;
+};
+
+TEST(StreamingTest, NoResultUntilWindowFills) {
+  StubDetector stub;
+  StreamingOptions options;
+  options.window = 5;
+  options.hop = 1;
+  StreamingDetector stream(&stub, options);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(stream.Push({1.0f}).has_value()) << "push " << i;
+  }
+  EXPECT_TRUE(stream.Push({1.0f}).has_value());
+  EXPECT_EQ(stream.total_pushed(), 5);
+}
+
+TEST(StreamingTest, ScoresTailOfTrailingWindow) {
+  StubDetector stub;
+  StreamingOptions options;
+  options.window = 3;
+  options.hop = 1;
+  StreamingDetector stream(&stub, options);
+  stream.Push({1.0f});
+  stream.Push({2.0f});
+  auto r3 = stream.Push({3.0f});
+  ASSERT_TRUE(r3.has_value());
+  // hop=1: exactly the freshly pushed observation is scored.
+  EXPECT_FLOAT_EQ(r3->score, 3.0f);
+  auto r4 = stream.Push({-7.0f});
+  ASSERT_TRUE(r4.has_value());
+  EXPECT_FLOAT_EQ(r4->score, 7.0f);
+  auto r5 = stream.Push({0.5f});
+  ASSERT_TRUE(r5.has_value());
+  EXPECT_FLOAT_EQ(r5->score, 0.5f);
+}
+
+TEST(StreamingTest, HopReducesRescoringCalls) {
+  StubDetector stub;
+  StreamingOptions options;
+  options.window = 4;
+  options.hop = 5;
+  StreamingDetector stream(&stub, options);
+  for (int i = 0; i < 24; ++i) stream.Push({static_cast<float>(i)});
+  // 21 scoreable pushes, rescored every 5 (plus the initial fill) -> far
+  // fewer detector calls than pushes.
+  EXPECT_LE(stub.score_calls, 6);
+  EXPECT_GE(stub.score_calls, 3);
+}
+
+TEST(StreamingTest, ThresholdCalibrationFlagsAnomalies) {
+  StubDetector stub;
+  StreamingOptions options;
+  options.window = 3;
+  options.hop = 1;
+  StreamingDetector stream(&stub, options);
+  // Calibrate at the 90th percentile of benign scores ~1.
+  std::vector<float> calibration(100, 1.0f);
+  calibration[99] = 2.0f;
+  stream.CalibrateThreshold(calibration, 0.01);
+  stream.Push({1.0f});
+  stream.Push({1.0f});
+  auto normal = stream.Push({1.0f});
+  ASSERT_TRUE(normal.has_value());
+  EXPECT_FALSE(normal->is_anomaly);
+  auto anomalous = stream.Push({50.0f});
+  ASSERT_TRUE(anomalous.has_value());
+  EXPECT_TRUE(anomalous->is_anomaly);
+}
+
+TEST(StreamingTest, EndToEndWithTfmae) {
+  // Stream a series with one strong spike through a trained TFMAE.
+  data::BaseSignalConfig signal;
+  signal.length = 700;
+  signal.num_features = 1;
+  signal.noise_std = 0.03;
+  signal.seed = 91;
+  data::TimeSeries full = data::GenerateBaseSignal(signal);
+  data::TimeSeries train = full.Slice(0, 500);
+  data::TimeSeries live = full.Slice(500, 200);
+  live.at(150, 0) += 8.0f;
+
+  TfmaeConfig config;
+  config.window = 32;
+  config.model_dim = 16;
+  config.num_layers = 1;
+  config.num_heads = 2;
+  config.ff_hidden = 32;
+  config.epochs = 10;
+  config.stride = 16;
+  config.per_window_normalization = false;
+  TfmaeDetector detector(config);
+  detector.Fit(train);
+
+  StreamingOptions options;
+  options.window = 32;
+  options.hop = 4;
+  StreamingDetector stream(&detector, options);
+  stream.CalibrateThreshold(detector.Score(train), 0.01);
+
+  float spike_score = 0.0f;
+  float benign_max = 0.0f;
+  for (std::int64_t t = 0; t < live.length; ++t) {
+    const auto result = stream.Push({live.at(t, 0)});
+    if (!result.has_value()) continue;
+    if (t >= 150 && t < 155) {
+      spike_score = std::max(spike_score, result->score);
+    } else if (t < 145) {
+      benign_max = std::max(benign_max, result->score);
+    }
+  }
+  EXPECT_GT(spike_score, benign_max);
+}
+
+}  // namespace
+}  // namespace tfmae::core

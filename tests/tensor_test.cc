@@ -1,0 +1,118 @@
+// Tests for Tensor basics: factories, accessors, aliasing semantics of
+// Detach, memory accounting, and gradient-mode switching.
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "util/memory.h"
+#include "util/rng.h"
+
+namespace tfmae {
+namespace {
+
+TEST(TensorTest, FactoriesAndAccessors) {
+  Tensor zeros = Tensor::Zeros({2, 3});
+  EXPECT_EQ(zeros.numel(), 6);
+  EXPECT_EQ(zeros.rank(), 2u);
+  EXPECT_EQ(zeros.dim(0), 2);
+  EXPECT_EQ(zeros.dim(1), 3);
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_EQ(zeros.at(i), 0.0f);
+
+  Tensor full = Tensor::Full({4}, 2.5f);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(full.at(i), 2.5f);
+
+  Tensor data = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(data.at(3), 4.0f);
+  EXPECT_EQ(data.ToVector(), (std::vector<float>{1, 2, 3, 4}));
+
+  Tensor scalar = Tensor::Full({1}, 7.0f);
+  EXPECT_EQ(scalar.item(), 7.0f);
+}
+
+TEST(TensorTest, RandnIsDeterministicGivenSeed) {
+  Rng rng1(5);
+  Rng rng2(5);
+  Tensor a = Tensor::Randn({8}, &rng1);
+  Tensor b = Tensor::Randn({8}, &rng2);
+  EXPECT_EQ(a.ToVector(), b.ToVector());
+}
+
+TEST(TensorTest, CloneIsDeepDetachIsAliased) {
+  Tensor original = Tensor::FromData({3}, {1, 2, 3});
+  Tensor cloned = original.Clone();
+  Tensor detached = original.Detach();
+  original.data()[0] = 99.0f;
+  EXPECT_EQ(cloned.at(0), 1.0f);    // deep copy unaffected
+  EXPECT_EQ(detached.at(0), 99.0f);  // alias reflects the write
+  EXPECT_FALSE(detached.requires_grad());
+}
+
+TEST(TensorTest, DetachCutsGradientFlow) {
+  Tensor x = Tensor::FromData({2}, {1, 2}).set_requires_grad(true);
+  Tensor through = ops::SumAll(ops::Scale(x, 2.0f));
+  Tensor blocked = ops::SumAll(ops::Scale(x, 2.0f).Detach());
+  through.Backward();
+  ASSERT_NE(x.grad_data(), nullptr);
+  EXPECT_FLOAT_EQ(x.grad_data()[0], 2.0f);
+  x.ZeroGrad();
+  blocked.Backward();
+  EXPECT_FLOAT_EQ(x.grad_data()[0], 0.0f);
+}
+
+TEST(TensorTest, NoGradGuardSuppressesGraph) {
+  Tensor x = Tensor::FromData({2}, {1, 2}).set_requires_grad(true);
+  {
+    NoGradGuard guard;
+    Tensor y = ops::Scale(x, 3.0f);
+    EXPECT_FALSE(y.requires_grad());
+  }
+  Tensor y = ops::Scale(x, 3.0f);
+  EXPECT_TRUE(y.requires_grad());
+}
+
+TEST(TensorTest, GradientAccumulatesAcrossBackwards) {
+  Tensor x = Tensor::FromData({1}, {2}).set_requires_grad(true);
+  Tensor y1 = ops::SumAll(ops::Square(x));
+  y1.Backward();
+  Tensor y2 = ops::SumAll(ops::Square(x));
+  y2.Backward();
+  // dy/dx = 2x = 4 each time; two backwards accumulate to 8.
+  EXPECT_FLOAT_EQ(x.grad_data()[0], 8.0f);
+}
+
+TEST(TensorTest, MemoryAccountingBalances) {
+  const std::int64_t before = MemoryStats::CurrentBytes();
+  {
+    Tensor a = Tensor::Zeros({128, 128});
+    EXPECT_GE(MemoryStats::CurrentBytes(),
+              before + 128 * 128 * static_cast<std::int64_t>(sizeof(float)));
+    Tensor alias = a.Detach();  // aliases the same buffer
+    (void)alias;
+  }
+  EXPECT_EQ(MemoryStats::CurrentBytes(), before);
+}
+
+TEST(TensorTest, PeakTracksHighWaterMark) {
+  MemoryStats::ResetPeak();
+  const std::int64_t base = MemoryStats::PeakBytes();
+  {
+    Tensor big = Tensor::Zeros({256, 256});
+    (void)big;
+  }
+  EXPECT_GE(MemoryStats::PeakBytes(),
+            base + 256 * 256 * static_cast<std::int64_t>(sizeof(float)));
+}
+
+TEST(TensorShapeTest, Helpers) {
+  EXPECT_EQ(NumElements({2, 3, 4}), 24);
+  EXPECT_EQ(RowMajorStrides({2, 3, 4}), (std::vector<std::int64_t>{12, 4, 1}));
+  EXPECT_EQ(ShapeToString({2, 3}), "[2, 3]");
+  EXPECT_TRUE(IsSuffixOf({3}, {2, 3}));
+  EXPECT_TRUE(IsSuffixOf({2, 3}, {2, 3}));
+  EXPECT_FALSE(IsSuffixOf({2}, {2, 3}));
+  EXPECT_FALSE(IsSuffixOf({1, 2, 3}, {2, 3}));
+}
+
+}  // namespace
+}  // namespace tfmae

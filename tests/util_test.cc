@@ -1,0 +1,124 @@
+// Tests for the utility layer: RNG determinism and samplers, table/CSV
+// rendering, stopwatch monotonicity, and memory accounting arithmetic.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "util/memory.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace tfmae {
+namespace {
+
+TEST(RngTest, DeterministicSequences) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+  Rng c(43);
+  bool any_different = false;
+  Rng a2(42);
+  for (int i = 0; i < 10; ++i) any_different |= (a2.NextU64() != c.NextU64());
+  EXPECT_TRUE(any_different);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeWithoutBias) {
+  Rng rng(2);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[static_cast<std::size_t>(rng.UniformInt(10))];
+  }
+  for (int count : counts) {
+    EXPECT_GT(count, 800);
+    EXPECT_LT(count, 1200);
+  }
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard) {
+  Rng rng(3);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(4);
+  const auto sample = rng.SampleWithoutReplacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<std::int64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (std::int64_t v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 50);
+  }
+  // Full sample returns a permutation.
+  const auto all = rng.SampleWithoutReplacement(10, 10);
+  EXPECT_EQ(std::set<std::int64_t>(all.begin(), all.end()).size(), 10u);
+}
+
+TEST(RngTest, ShuffleKeepsMultiset) {
+  Rng rng(5);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(TableTest, AlignedAndCsvRendering) {
+  Table table({"name", "f1"});
+  table.AddRow({"LOF", Table::Num(26.419, 2)});
+  table.AddRow({"TFMAE, best", "98.36"});
+  EXPECT_EQ(table.NumRows(), 2u);
+  const std::string aligned = table.ToAligned();
+  EXPECT_NE(aligned.find("LOF"), std::string::npos);
+  EXPECT_NE(aligned.find("26.42"), std::string::npos);
+  const std::string csv = table.ToCsv();
+  // Cell with a comma gets quoted.
+  EXPECT_NE(csv.find("\"TFMAE, best\""), std::string::npos);
+}
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(3.0, 0), "3");
+}
+
+TEST(StopwatchTest, MonotoneNonNegative) {
+  Stopwatch watch;
+  const double t1 = watch.ElapsedSeconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double t2 = watch.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GT(t2, t1);
+  watch.Reset();
+  EXPECT_LT(watch.ElapsedSeconds(), t2);
+}
+
+TEST(MemoryStatsTest, AllocFreeArithmetic) {
+  const std::int64_t before = MemoryStats::CurrentBytes();
+  MemoryStats::RecordAlloc(1000);
+  EXPECT_EQ(MemoryStats::CurrentBytes(), before + 1000);
+  MemoryStats::RecordFree(1000);
+  EXPECT_EQ(MemoryStats::CurrentBytes(), before);
+}
+
+}  // namespace
+}  // namespace tfmae
