@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_masking.dir/bench_table5_masking.cc.o"
+  "CMakeFiles/bench_table5_masking.dir/bench_table5_masking.cc.o.d"
+  "bench_table5_masking"
+  "bench_table5_masking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_masking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfmae_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/tfmae_bench_common.dir/bench_common.cc.o.d"
+  "libtfmae_bench_common.a"
+  "libtfmae_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfmae_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

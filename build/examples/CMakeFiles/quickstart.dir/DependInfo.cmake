@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/tfmae_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tfmae_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tfmae_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/masking/CMakeFiles/tfmae_masking.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tfmae_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/tfmae_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tfmae_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/tfmae_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tfmae_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spacecraft_telemetry.dir/spacecraft_telemetry.cpp.o"
+  "CMakeFiles/spacecraft_telemetry.dir/spacecraft_telemetry.cpp.o.d"
+  "spacecraft_telemetry"
+  "spacecraft_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spacecraft_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/water_treatment.dir/water_treatment.cpp.o"
+  "CMakeFiles/water_treatment.dir/water_treatment.cpp.o.d"
+  "water_treatment"
+  "water_treatment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/water_treatment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

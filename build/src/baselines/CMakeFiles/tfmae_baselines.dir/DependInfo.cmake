@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/anotran.cc" "src/baselines/CMakeFiles/tfmae_baselines.dir/anotran.cc.o" "gcc" "src/baselines/CMakeFiles/tfmae_baselines.dir/anotran.cc.o.d"
+  "/root/repo/src/baselines/common.cc" "src/baselines/CMakeFiles/tfmae_baselines.dir/common.cc.o" "gcc" "src/baselines/CMakeFiles/tfmae_baselines.dir/common.cc.o.d"
+  "/root/repo/src/baselines/conv_ae.cc" "src/baselines/CMakeFiles/tfmae_baselines.dir/conv_ae.cc.o" "gcc" "src/baselines/CMakeFiles/tfmae_baselines.dir/conv_ae.cc.o.d"
+  "/root/repo/src/baselines/dagmm.cc" "src/baselines/CMakeFiles/tfmae_baselines.dir/dagmm.cc.o" "gcc" "src/baselines/CMakeFiles/tfmae_baselines.dir/dagmm.cc.o.d"
+  "/root/repo/src/baselines/dcdetector.cc" "src/baselines/CMakeFiles/tfmae_baselines.dir/dcdetector.cc.o" "gcc" "src/baselines/CMakeFiles/tfmae_baselines.dir/dcdetector.cc.o.d"
+  "/root/repo/src/baselines/dense_ae.cc" "src/baselines/CMakeFiles/tfmae_baselines.dir/dense_ae.cc.o" "gcc" "src/baselines/CMakeFiles/tfmae_baselines.dir/dense_ae.cc.o.d"
+  "/root/repo/src/baselines/dsvdd.cc" "src/baselines/CMakeFiles/tfmae_baselines.dir/dsvdd.cc.o" "gcc" "src/baselines/CMakeFiles/tfmae_baselines.dir/dsvdd.cc.o.d"
+  "/root/repo/src/baselines/iforest.cc" "src/baselines/CMakeFiles/tfmae_baselines.dir/iforest.cc.o" "gcc" "src/baselines/CMakeFiles/tfmae_baselines.dir/iforest.cc.o.d"
+  "/root/repo/src/baselines/lof.cc" "src/baselines/CMakeFiles/tfmae_baselines.dir/lof.cc.o" "gcc" "src/baselines/CMakeFiles/tfmae_baselines.dir/lof.cc.o.d"
+  "/root/repo/src/baselines/omni_ano.cc" "src/baselines/CMakeFiles/tfmae_baselines.dir/omni_ano.cc.o" "gcc" "src/baselines/CMakeFiles/tfmae_baselines.dir/omni_ano.cc.o.d"
+  "/root/repo/src/baselines/registry.cc" "src/baselines/CMakeFiles/tfmae_baselines.dir/registry.cc.o" "gcc" "src/baselines/CMakeFiles/tfmae_baselines.dir/registry.cc.o.d"
+  "/root/repo/src/baselines/spectral_residual.cc" "src/baselines/CMakeFiles/tfmae_baselines.dir/spectral_residual.cc.o" "gcc" "src/baselines/CMakeFiles/tfmae_baselines.dir/spectral_residual.cc.o.d"
+  "/root/repo/src/baselines/thoc.cc" "src/baselines/CMakeFiles/tfmae_baselines.dir/thoc.cc.o" "gcc" "src/baselines/CMakeFiles/tfmae_baselines.dir/thoc.cc.o.d"
+  "/root/repo/src/baselines/tranad.cc" "src/baselines/CMakeFiles/tfmae_baselines.dir/tranad.cc.o" "gcc" "src/baselines/CMakeFiles/tfmae_baselines.dir/tranad.cc.o.d"
+  "/root/repo/src/baselines/usad.cc" "src/baselines/CMakeFiles/tfmae_baselines.dir/usad.cc.o" "gcc" "src/baselines/CMakeFiles/tfmae_baselines.dir/usad.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tfmae_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tfmae_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tfmae_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/tfmae_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tfmae_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/masking/CMakeFiles/tfmae_masking.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/tfmae_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tfmae_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfmae_baselines.dir/anotran.cc.o"
+  "CMakeFiles/tfmae_baselines.dir/anotran.cc.o.d"
+  "CMakeFiles/tfmae_baselines.dir/common.cc.o"
+  "CMakeFiles/tfmae_baselines.dir/common.cc.o.d"
+  "CMakeFiles/tfmae_baselines.dir/conv_ae.cc.o"
+  "CMakeFiles/tfmae_baselines.dir/conv_ae.cc.o.d"
+  "CMakeFiles/tfmae_baselines.dir/dagmm.cc.o"
+  "CMakeFiles/tfmae_baselines.dir/dagmm.cc.o.d"
+  "CMakeFiles/tfmae_baselines.dir/dcdetector.cc.o"
+  "CMakeFiles/tfmae_baselines.dir/dcdetector.cc.o.d"
+  "CMakeFiles/tfmae_baselines.dir/dense_ae.cc.o"
+  "CMakeFiles/tfmae_baselines.dir/dense_ae.cc.o.d"
+  "CMakeFiles/tfmae_baselines.dir/dsvdd.cc.o"
+  "CMakeFiles/tfmae_baselines.dir/dsvdd.cc.o.d"
+  "CMakeFiles/tfmae_baselines.dir/iforest.cc.o"
+  "CMakeFiles/tfmae_baselines.dir/iforest.cc.o.d"
+  "CMakeFiles/tfmae_baselines.dir/lof.cc.o"
+  "CMakeFiles/tfmae_baselines.dir/lof.cc.o.d"
+  "CMakeFiles/tfmae_baselines.dir/omni_ano.cc.o"
+  "CMakeFiles/tfmae_baselines.dir/omni_ano.cc.o.d"
+  "CMakeFiles/tfmae_baselines.dir/registry.cc.o"
+  "CMakeFiles/tfmae_baselines.dir/registry.cc.o.d"
+  "CMakeFiles/tfmae_baselines.dir/spectral_residual.cc.o"
+  "CMakeFiles/tfmae_baselines.dir/spectral_residual.cc.o.d"
+  "CMakeFiles/tfmae_baselines.dir/thoc.cc.o"
+  "CMakeFiles/tfmae_baselines.dir/thoc.cc.o.d"
+  "CMakeFiles/tfmae_baselines.dir/tranad.cc.o"
+  "CMakeFiles/tfmae_baselines.dir/tranad.cc.o.d"
+  "CMakeFiles/tfmae_baselines.dir/usad.cc.o"
+  "CMakeFiles/tfmae_baselines.dir/usad.cc.o.d"
+  "libtfmae_baselines.a"
+  "libtfmae_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfmae_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

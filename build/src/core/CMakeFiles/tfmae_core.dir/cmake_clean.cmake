@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfmae_core.dir/anomaly_detector.cc.o"
+  "CMakeFiles/tfmae_core.dir/anomaly_detector.cc.o.d"
+  "CMakeFiles/tfmae_core.dir/attribution.cc.o"
+  "CMakeFiles/tfmae_core.dir/attribution.cc.o.d"
+  "CMakeFiles/tfmae_core.dir/config_io.cc.o"
+  "CMakeFiles/tfmae_core.dir/config_io.cc.o.d"
+  "CMakeFiles/tfmae_core.dir/detector.cc.o"
+  "CMakeFiles/tfmae_core.dir/detector.cc.o.d"
+  "CMakeFiles/tfmae_core.dir/forecasting.cc.o"
+  "CMakeFiles/tfmae_core.dir/forecasting.cc.o.d"
+  "CMakeFiles/tfmae_core.dir/model.cc.o"
+  "CMakeFiles/tfmae_core.dir/model.cc.o.d"
+  "CMakeFiles/tfmae_core.dir/streaming.cc.o"
+  "CMakeFiles/tfmae_core.dir/streaming.cc.o.d"
+  "libtfmae_core.a"
+  "libtfmae_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfmae_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/anomaly.cc" "src/data/CMakeFiles/tfmae_data.dir/anomaly.cc.o" "gcc" "src/data/CMakeFiles/tfmae_data.dir/anomaly.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/data/CMakeFiles/tfmae_data.dir/generator.cc.o" "gcc" "src/data/CMakeFiles/tfmae_data.dir/generator.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/data/CMakeFiles/tfmae_data.dir/io.cc.o" "gcc" "src/data/CMakeFiles/tfmae_data.dir/io.cc.o.d"
+  "/root/repo/src/data/profiles.cc" "src/data/CMakeFiles/tfmae_data.dir/profiles.cc.o" "gcc" "src/data/CMakeFiles/tfmae_data.dir/profiles.cc.o.d"
+  "/root/repo/src/data/timeseries.cc" "src/data/CMakeFiles/tfmae_data.dir/timeseries.cc.o" "gcc" "src/data/CMakeFiles/tfmae_data.dir/timeseries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tfmae_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

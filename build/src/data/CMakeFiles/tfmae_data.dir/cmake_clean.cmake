@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfmae_data.dir/anomaly.cc.o"
+  "CMakeFiles/tfmae_data.dir/anomaly.cc.o.d"
+  "CMakeFiles/tfmae_data.dir/generator.cc.o"
+  "CMakeFiles/tfmae_data.dir/generator.cc.o.d"
+  "CMakeFiles/tfmae_data.dir/io.cc.o"
+  "CMakeFiles/tfmae_data.dir/io.cc.o.d"
+  "CMakeFiles/tfmae_data.dir/profiles.cc.o"
+  "CMakeFiles/tfmae_data.dir/profiles.cc.o.d"
+  "CMakeFiles/tfmae_data.dir/timeseries.cc.o"
+  "CMakeFiles/tfmae_data.dir/timeseries.cc.o.d"
+  "libtfmae_data.a"
+  "libtfmae_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfmae_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfmae_eval.dir/detection.cc.o"
+  "CMakeFiles/tfmae_eval.dir/detection.cc.o.d"
+  "CMakeFiles/tfmae_eval.dir/metrics.cc.o"
+  "CMakeFiles/tfmae_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/tfmae_eval.dir/range_metrics.cc.o"
+  "CMakeFiles/tfmae_eval.dir/range_metrics.cc.o.d"
+  "libtfmae_eval.a"
+  "libtfmae_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfmae_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

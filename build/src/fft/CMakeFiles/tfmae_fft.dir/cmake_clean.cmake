@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfmae_fft.dir/convolution.cc.o"
+  "CMakeFiles/tfmae_fft.dir/convolution.cc.o.d"
+  "CMakeFiles/tfmae_fft.dir/fft.cc.o"
+  "CMakeFiles/tfmae_fft.dir/fft.cc.o.d"
+  "libtfmae_fft.a"
+  "libtfmae_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfmae_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/masking/coefficient_of_variation.cc" "src/masking/CMakeFiles/tfmae_masking.dir/coefficient_of_variation.cc.o" "gcc" "src/masking/CMakeFiles/tfmae_masking.dir/coefficient_of_variation.cc.o.d"
+  "/root/repo/src/masking/frequency_mask.cc" "src/masking/CMakeFiles/tfmae_masking.dir/frequency_mask.cc.o" "gcc" "src/masking/CMakeFiles/tfmae_masking.dir/frequency_mask.cc.o.d"
+  "/root/repo/src/masking/temporal_mask.cc" "src/masking/CMakeFiles/tfmae_masking.dir/temporal_mask.cc.o" "gcc" "src/masking/CMakeFiles/tfmae_masking.dir/temporal_mask.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fft/CMakeFiles/tfmae_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tfmae_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

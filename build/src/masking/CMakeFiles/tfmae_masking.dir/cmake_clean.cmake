@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfmae_masking.dir/coefficient_of_variation.cc.o"
+  "CMakeFiles/tfmae_masking.dir/coefficient_of_variation.cc.o.d"
+  "CMakeFiles/tfmae_masking.dir/frequency_mask.cc.o"
+  "CMakeFiles/tfmae_masking.dir/frequency_mask.cc.o.d"
+  "CMakeFiles/tfmae_masking.dir/temporal_mask.cc.o"
+  "CMakeFiles/tfmae_masking.dir/temporal_mask.cc.o.d"
+  "libtfmae_masking.a"
+  "libtfmae_masking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfmae_masking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

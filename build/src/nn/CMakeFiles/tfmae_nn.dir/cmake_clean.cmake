@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfmae_nn.dir/adam.cc.o"
+  "CMakeFiles/tfmae_nn.dir/adam.cc.o.d"
+  "CMakeFiles/tfmae_nn.dir/attention.cc.o"
+  "CMakeFiles/tfmae_nn.dir/attention.cc.o.d"
+  "CMakeFiles/tfmae_nn.dir/gru.cc.o"
+  "CMakeFiles/tfmae_nn.dir/gru.cc.o.d"
+  "CMakeFiles/tfmae_nn.dir/layers.cc.o"
+  "CMakeFiles/tfmae_nn.dir/layers.cc.o.d"
+  "CMakeFiles/tfmae_nn.dir/module.cc.o"
+  "CMakeFiles/tfmae_nn.dir/module.cc.o.d"
+  "CMakeFiles/tfmae_nn.dir/serialize.cc.o"
+  "CMakeFiles/tfmae_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/tfmae_nn.dir/transformer.cc.o"
+  "CMakeFiles/tfmae_nn.dir/transformer.cc.o.d"
+  "libtfmae_nn.a"
+  "libtfmae_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfmae_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tfmae_nn.
+# This may be replaced when dependencies are built.

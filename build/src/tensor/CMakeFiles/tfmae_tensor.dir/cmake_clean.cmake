@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfmae_tensor.dir/ops_basic.cc.o"
+  "CMakeFiles/tfmae_tensor.dir/ops_basic.cc.o.d"
+  "CMakeFiles/tfmae_tensor.dir/ops_matmul.cc.o"
+  "CMakeFiles/tfmae_tensor.dir/ops_matmul.cc.o.d"
+  "CMakeFiles/tfmae_tensor.dir/ops_reduce.cc.o"
+  "CMakeFiles/tfmae_tensor.dir/ops_reduce.cc.o.d"
+  "CMakeFiles/tfmae_tensor.dir/ops_shape.cc.o"
+  "CMakeFiles/tfmae_tensor.dir/ops_shape.cc.o.d"
+  "CMakeFiles/tfmae_tensor.dir/shape.cc.o"
+  "CMakeFiles/tfmae_tensor.dir/shape.cc.o.d"
+  "CMakeFiles/tfmae_tensor.dir/tensor.cc.o"
+  "CMakeFiles/tfmae_tensor.dir/tensor.cc.o.d"
+  "libtfmae_tensor.a"
+  "libtfmae_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfmae_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfmae_util.dir/logging.cc.o"
+  "CMakeFiles/tfmae_util.dir/logging.cc.o.d"
+  "CMakeFiles/tfmae_util.dir/memory.cc.o"
+  "CMakeFiles/tfmae_util.dir/memory.cc.o.d"
+  "CMakeFiles/tfmae_util.dir/rng.cc.o"
+  "CMakeFiles/tfmae_util.dir/rng.cc.o.d"
+  "CMakeFiles/tfmae_util.dir/stopwatch.cc.o"
+  "CMakeFiles/tfmae_util.dir/stopwatch.cc.o.d"
+  "CMakeFiles/tfmae_util.dir/table.cc.o"
+  "CMakeFiles/tfmae_util.dir/table.cc.o.d"
+  "libtfmae_util.a"
+  "libtfmae_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfmae_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_metrics_test.dir/range_metrics_test.cc.o"
+  "CMakeFiles/range_metrics_test.dir/range_metrics_test.cc.o.d"
+  "range_metrics_test"
+  "range_metrics_test.pdb"
+  "range_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
