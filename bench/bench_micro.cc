@@ -4,14 +4,29 @@
 //  * Sliding CV statistics, FFT vs two-loop — O(N·S·logS) vs O(N·S·W).
 //  * Self-attention forward cost vs sequence length — the O(L·D·S^2) term.
 //  * The GEMM kernel that dominates training.
+//
+// Run with --tensor_backend_json=PATH to skip google-benchmark and instead
+// sweep the parallel tensor backend (GEMM / batched matmul / attention /
+// train step at 1, 2, 4 and hardware-concurrency threads), writing a
+// machine-readable JSON report with GFLOP/s and speedups over the frozen
+// seed kernel and over the 1-thread run.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "fft/fft.h"
 #include "masking/coefficient_of_variation.h"
 #include "masking/frequency_mask.h"
 #include "nn/attention.h"
+#include "nn/transformer.h"
+#include "tensor/gemm_kernels.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace tfmae {
 namespace {
@@ -120,7 +135,181 @@ void BM_FrequencyMasking(benchmark::State& state) {
 }
 BENCHMARK(BM_FrequencyMasking)->Arg(50)->Arg(100)->Arg(512);
 
+// ---- tensor backend sweep (--tensor_backend_json=PATH) ---------------------
+
+/// Median-of-reps seconds per call. Calibrates the iteration count so each
+/// rep runs for roughly `target_sec`.
+template <typename Fn>
+double TimePerCall(const Fn& fn, double target_sec = 0.15) {
+  using clock = std::chrono::steady_clock;
+  fn();  // warm caches and the thread pool
+  auto t0 = clock::now();
+  fn();
+  double once = std::chrono::duration<double>(clock::now() - t0).count();
+  const int iters = std::max(1, static_cast<int>(target_sec / std::max(once, 1e-7)));
+  double best = 1e30;
+  for (int rep = 0; rep < 3; ++rep) {
+    t0 = clock::now();
+    for (int it = 0; it < iters; ++it) fn();
+    double sec =
+        std::chrono::duration<double>(clock::now() - t0).count() / iters;
+    best = std::min(best, sec);
+  }
+  return best;
+}
+
+struct SweepRow {
+  std::string op;
+  std::string shape;
+  int threads;
+  double seconds;
+  double gflops;            // <= 0 when flop count is not meaningful
+  double speedup_vs_seed;   // <= 0 when no seed baseline applies
+  double speedup_vs_1t;
+};
+
+std::vector<float> RandomBuffer(std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (float& x : v) x = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  return v;
+}
+
+int RunTensorBackendSweep(const std::string& path) {
+  std::vector<int> threads = {1, 2, 4};
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw > 4) threads.push_back(hw);
+
+  std::vector<SweepRow> rows;
+  char shape_buf[64];
+
+  // GEMM shapes: the acceptance shape, a square, and a tall-skinny reduce.
+  const std::int64_t gemm_shapes[][3] = {
+      {256, 512, 512}, {512, 512, 512}, {64, 2048, 64}};
+  for (const auto& s : gemm_shapes) {
+    const std::int64_t m = s[0], k = s[1], n = s[2];
+    std::snprintf(shape_buf, sizeof(shape_buf), "%ldx%ldx%ld",
+                  static_cast<long>(m), static_cast<long>(k),
+                  static_cast<long>(n));
+    const auto a = RandomBuffer(m * k, 1);
+    const auto b = RandomBuffer(k * n, 2);
+    std::vector<float> c(static_cast<std::size_t>(m * n));
+    const double flops = 2.0 * static_cast<double>(m) * k * n;
+
+    const double seed_sec = TimePerCall([&] {
+      std::fill(c.begin(), c.end(), 0.0f);
+      gemm::GemmNaiveSeed(a.data(), b.data(), c.data(), m, k, n);
+    });
+    rows.push_back({"gemm_seed", shape_buf, 1, seed_sec, flops / seed_sec / 1e9,
+                    1.0, 1.0});
+
+    double one_sec = 0.0;
+    for (int t : threads) {
+      ThreadPool::Instance().SetNumThreads(t);
+      const double sec = TimePerCall([&] {
+        std::fill(c.begin(), c.end(), 0.0f);
+        gemm::Gemm(a.data(), b.data(), c.data(), m, k, n);
+      });
+      if (t == 1) one_sec = sec;
+      rows.push_back({"gemm", shape_buf, t, sec, flops / sec / 1e9,
+                      seed_sec / sec, one_sec / sec});
+    }
+  }
+
+  // Batched matmul at the attention shape: H heads of [T, Dh] x [Dh, T].
+  {
+    const std::int64_t h = 8, t_len = 256, dh = 64;
+    std::snprintf(shape_buf, sizeof(shape_buf), "%ldx%ldx%ldx%ld",
+                  static_cast<long>(h), static_cast<long>(t_len),
+                  static_cast<long>(dh), static_cast<long>(t_len));
+    const auto a = RandomBuffer(h * t_len * dh, 3);
+    const auto b = RandomBuffer(h * dh * t_len, 4);
+    std::vector<float> c(static_cast<std::size_t>(h * t_len * t_len));
+    const double flops = 2.0 * h * t_len * dh * t_len;
+    double one_sec = 0.0;
+    for (int t : threads) {
+      ThreadPool::Instance().SetNumThreads(t);
+      const double sec = TimePerCall([&] {
+        std::fill(c.begin(), c.end(), 0.0f);
+        gemm::BatchedGemm(a.data(), b.data(), c.data(), h, t_len, dh, t_len);
+      });
+      if (t == 1) one_sec = sec;
+      rows.push_back({"batched_matmul", shape_buf, t, sec, flops / sec / 1e9,
+                      -1.0, one_sec / sec});
+    }
+  }
+
+  // Attention forward and a full Transformer-layer train step: end-to-end
+  // time (GEMM + softmax + layernorm + elementwise), no flop count.
+  {
+    const std::int64_t t_len = 256, dim = 64, heads = 8, ff = 256;
+    Rng rng(5);
+    nn::MultiHeadSelfAttention attention(dim, heads, &rng);
+    nn::TransformerLayer layer(dim, heads, ff, &rng);
+    Tensor x = Tensor::Randn({t_len, dim}, &rng);
+    std::snprintf(shape_buf, sizeof(shape_buf), "T%ld_D%ld_H%ld",
+                  static_cast<long>(t_len), static_cast<long>(dim),
+                  static_cast<long>(heads));
+    double one_attn = 0.0, one_step = 0.0;
+    for (int t : threads) {
+      ThreadPool::Instance().SetNumThreads(t);
+      const double attn_sec = TimePerCall([&] {
+        NoGradGuard no_grad;
+        benchmark::DoNotOptimize(attention.Forward(x));
+      });
+      if (t == 1) one_attn = attn_sec;
+      rows.push_back({"attention_forward", shape_buf, t, attn_sec, -1.0, -1.0,
+                      one_attn / attn_sec});
+      const double step_sec = TimePerCall([&] {
+        Tensor input = x.Clone().set_requires_grad(true);
+        ops::SumAll(layer.Forward(input)).Backward();
+      });
+      if (t == 1) one_step = step_sec;
+      rows.push_back({"train_step", shape_buf, t, step_sec, -1.0, -1.0,
+                      one_step / step_sec});
+    }
+  }
+  ThreadPool::Instance().SetNumThreads(0);  // back to 1 worker thread
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    std::fprintf(f,
+                 "  {\"op\": \"%s\", \"shape\": \"%s\", \"threads\": %d, "
+                 "\"seconds\": %.6e",
+                 r.op.c_str(), r.shape.c_str(), r.threads, r.seconds);
+    if (r.gflops > 0) std::fprintf(f, ", \"gflops\": %.2f", r.gflops);
+    if (r.speedup_vs_seed > 0) {
+      std::fprintf(f, ", \"speedup_vs_seed\": %.2f", r.speedup_vs_seed);
+    }
+    std::fprintf(f, ", \"speedup_vs_1thread\": %.2f}%s\n", r.speedup_vs_1t,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %zu rows to %s\n", rows.size(), path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace tfmae
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string kFlag = "--tensor_backend_json=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(kFlag, 0) == 0) {
+      return tfmae::RunTensorBackendSweep(arg.substr(kFlag.size()));
+    }
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Build and run the test suite, optionally under a sanitizer.
+#
+# Usage:
+#   scripts/check.sh [plain|thread|address|undefined] [extra ctest args...]
+#
+# Examples:
+#   scripts/check.sh                 # plain Release build, full suite
+#   scripts/check.sh thread          # ThreadSanitizer build, full suite
+#   scripts/check.sh thread -R Gemm  # tsan build, GEMM/thread-pool tests only
+#
+# Each mode builds into its own directory (build-check-<mode>) so sanitized
+# and plain object files never mix.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SAN="${1:-plain}"
+shift || true
+
+case "$SAN" in
+  plain)   SAN_FLAG="" ;;
+  thread|address|undefined) SAN_FLAG="-DTFMAE_SANITIZE=$SAN" ;;
+  *)
+    echo "usage: $0 [plain|thread|address|undefined] [ctest args...]" >&2
+    exit 2
+    ;;
+esac
+
+BUILD_DIR="build-check-$SAN"
+
+cmake -B "$BUILD_DIR" -S . $SAN_FLAG >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"

@@ -45,16 +45,16 @@ Tensor MultiHeadSelfAttention::ForwardWithWeights(const Tensor& x,
   Tensor k = split_heads(wk_.Forward(x));
   Tensor v = split_heads(wv_.Forward(x));
 
-  // Attention weights: softmax over keys of Q K^T / sqrt(Dh).
-  Tensor kt = ops::Permute3(k, {0, 2, 1});  // [H, Dh, T]
-  Tensor scores = ops::BatchMatMul(q, kt);  // [H, T, T]
+  // Attention weights: softmax over keys of Q K^T / sqrt(Dh). The batched
+  // Bt kernel consumes K as [H, T, Dh] directly — no Permute3 node.
+  Tensor scores = ops::BatchedMatMulBt(q, k);  // [H, T, T]
   scores = ops::Scale(scores,
                       1.0f / std::sqrt(static_cast<float>(head_dim_)));
   Tensor weights = ops::Softmax(scores);
   if (weights_out != nullptr) *weights_out = weights;
 
   // Weighted values, merge heads back: [H, T, Dh] -> [T, D].
-  Tensor context = ops::BatchMatMul(weights, v);
+  Tensor context = ops::BatchedMatMul(weights, v);
   context = ops::Permute3(context, {1, 0, 2});  // [T, H, Dh]
   context = ops::Reshape(context, {t_len, model_dim_});
   return wo_.Forward(context);

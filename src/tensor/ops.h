@@ -51,7 +51,16 @@ Tensor Sigmoid(const Tensor& x);
 /// [M, K] x [K, N] -> [M, N].
 Tensor MatMul(const Tensor& a, const Tensor& b);
 
-/// [B, M, K] x [B, K, N] -> [B, M, N].
+/// [B, M, K] x [B, K, N] -> [B, M, N]. Batches and row tiles are dispatched
+/// across the thread pool in one flat unit space (no per-slice rank-2 ops).
+Tensor BatchedMatMul(const Tensor& a, const Tensor& b);
+
+/// [B, M, K] x [B, N, K] -> [B, M, N]: multiplies by the last-two-axes
+/// transpose of b without materializing it through a Permute3 graph node
+/// (the Q·K^T step of attention).
+Tensor BatchedMatMulBt(const Tensor& a, const Tensor& b);
+
+/// Deprecated alias of BatchedMatMul.
 Tensor BatchMatMul(const Tensor& a, const Tensor& b);
 
 /// x [M, Din] * w [Din, Dout] + bias [Dout] (bias optional, pass null Tensor).

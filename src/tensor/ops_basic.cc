@@ -1,10 +1,16 @@
 // Elementwise binary/unary/scalar operators.
+//
+// Large loops are dispatched over the thread pool in fixed-size chunks
+// (see ops_internal.h); every chunk writes a disjoint slice of the output,
+// so results are bit-identical at any pool size.
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
 #include "tensor/ops.h"
 #include "tensor/ops_internal.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace tfmae::ops {
 
@@ -32,14 +38,42 @@ void AccumulateGrad(const Tensor& t, const float* src) {
 void AccumulateGradScaled(const Tensor& t, const float* src, float scale) {
   if (!t.defined() || !t.requires_grad()) return;
   float* g = t.impl()->EnsureGrad();
-  const std::int64_t n = t.numel();
-  for (std::int64_t i = 0; i < n; ++i) g[i] += scale * src[i];
+  ParallelElems(t.numel(), [g, src, scale](std::int64_t s, std::int64_t e) {
+    for (std::int64_t i = s; i < e; ++i) g[i] += scale * src[i];
+  });
+}
+
+void ParallelElems(std::int64_t n,
+                   const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (n < kParallelThreshold) {
+    fn(0, n);
+    return;
+  }
+  ParallelFor(0, n, kElemGrain, fn);
+}
+
+std::int64_t RowGrain(std::int64_t cols) {
+  return std::max<std::int64_t>(
+      1, kParallelThreshold / std::max<std::int64_t>(1, cols));
+}
+
+std::int64_t ParallelRows(
+    std::int64_t rows, std::int64_t cols,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  const std::int64_t grain = RowGrain(cols);
+  if (rows * cols < kParallelThreshold) {
+    fn(0, rows);
+  } else {
+    ParallelFor(0, rows, grain, fn);
+  }
+  return grain;
 }
 
 }  // namespace internal
 
 namespace {
 
+using internal::ParallelElems;
 using internal::SetGraph;
 using internal::ShouldTrack;
 
@@ -65,6 +99,8 @@ BroadcastPlan PlanBroadcast(const Tensor& a, const Tensor& b) {
 }
 
 // Sums `grad` (numel = big) blockwise into a small-tensor-sized buffer.
+// Serial: the accumulation order over the big range is part of the
+// deterministic contract.
 void ReduceToSmall(const float* grad, std::int64_t big_n, std::int64_t small_n,
                    std::vector<float>* out) {
   out->assign(static_cast<std::size_t>(small_n), 0.0f);
@@ -86,24 +122,26 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryKind kind) {
   const float* ps = small.data();
   float* po = out.data();
   const bool small_lhs = plan.small_is_lhs;
-  for (std::int64_t i = 0; i < big_n; ++i) {
-    const float x = small_lhs ? ps[i % small_n] : pb[i];
-    const float y = small_lhs ? pb[i] : ps[i % small_n];
-    switch (kind) {
-      case BinaryKind::kAdd:
-        po[i] = x + y;
-        break;
-      case BinaryKind::kSub:
-        po[i] = x - y;
-        break;
-      case BinaryKind::kMul:
-        po[i] = x * y;
-        break;
-      case BinaryKind::kDiv:
-        po[i] = x / y;
-        break;
+  ParallelElems(big_n, [=](std::int64_t s, std::int64_t e) {
+    for (std::int64_t i = s; i < e; ++i) {
+      const float x = small_lhs ? ps[i % small_n] : pb[i];
+      const float y = small_lhs ? pb[i] : ps[i % small_n];
+      switch (kind) {
+        case BinaryKind::kAdd:
+          po[i] = x + y;
+          break;
+        case BinaryKind::kSub:
+          po[i] = x - y;
+          break;
+        case BinaryKind::kMul:
+          po[i] = x * y;
+          break;
+        case BinaryKind::kDiv:
+          po[i] = x / y;
+          break;
+      }
     }
-  }
+  });
 
   if (ShouldTrack({a, b})) {
     SetGraph(&out, {a, b}, [a, b, kind](TensorImpl& self) {
@@ -120,41 +158,45 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryKind kind) {
       // d(out)/d(big) and d(out)/d(small) per element.
       std::vector<float> big_grad(static_cast<std::size_t>(big_n));
       std::vector<float> small_grad_full(static_cast<std::size_t>(big_n));
-      for (std::int64_t i = 0; i < big_n; ++i) {
-        const float sv = ps[i % small_n];
-        const float bv = pb[i];
-        float d_big = 0.0f;
-        float d_small = 0.0f;
-        switch (kind) {
-          case BinaryKind::kAdd:
-            d_big = 1.0f;
-            d_small = 1.0f;
-            break;
-          case BinaryKind::kSub:
-            // out = lhs - rhs; lhs is small when small_lhs.
-            d_big = small_lhs ? -1.0f : 1.0f;
-            d_small = small_lhs ? 1.0f : -1.0f;
-            break;
-          case BinaryKind::kMul:
-            d_big = sv;
-            d_small = bv;
-            break;
-          case BinaryKind::kDiv: {
-            if (small_lhs) {
-              // out = small / big.
-              d_small = 1.0f / bv;
-              d_big = -sv / (bv * bv);
-            } else {
-              // out = big / small.
-              d_big = 1.0f / sv;
-              d_small = -bv / (sv * sv);
+      float* pbig_grad = big_grad.data();
+      float* psmall_grad = small_grad_full.data();
+      ParallelElems(big_n, [=](std::int64_t s, std::int64_t e) {
+        for (std::int64_t i = s; i < e; ++i) {
+          const float sv = ps[i % small_n];
+          const float bv = pb[i];
+          float d_big = 0.0f;
+          float d_small = 0.0f;
+          switch (kind) {
+            case BinaryKind::kAdd:
+              d_big = 1.0f;
+              d_small = 1.0f;
+              break;
+            case BinaryKind::kSub:
+              // out = lhs - rhs; lhs is small when small_lhs.
+              d_big = small_lhs ? -1.0f : 1.0f;
+              d_small = small_lhs ? 1.0f : -1.0f;
+              break;
+            case BinaryKind::kMul:
+              d_big = sv;
+              d_small = bv;
+              break;
+            case BinaryKind::kDiv: {
+              if (small_lhs) {
+                // out = small / big.
+                d_small = 1.0f / bv;
+                d_big = -sv / (bv * bv);
+              } else {
+                // out = big / small.
+                d_big = 1.0f / sv;
+                d_small = -bv / (sv * sv);
+              }
+              break;
             }
-            break;
           }
+          pbig_grad[i] = grad[i] * d_big;
+          psmall_grad[i] = grad[i] * d_small;
         }
-        big_grad[static_cast<std::size_t>(i)] = grad[i] * d_big;
-        small_grad_full[static_cast<std::size_t>(i)] = grad[i] * d_small;
-      }
+      });
       internal::AccumulateGrad(big, big_grad.data());
       std::vector<float> small_grad;
       ReduceToSmall(small_grad_full.data(), big_n, small_n, &small_grad);
@@ -168,17 +210,19 @@ Tensor UnaryOp(const Tensor& x, float (*fwd)(float), float (*bwd)(float)) {
   Tensor out = Tensor::Empty(x.shape());
   const float* px = x.data();
   float* po = out.data();
-  const std::int64_t n = x.numel();
-  for (std::int64_t i = 0; i < n; ++i) po[i] = fwd(px[i]);
+  ParallelElems(x.numel(), [=](std::int64_t s, std::int64_t e) {
+    for (std::int64_t i = s; i < e; ++i) po[i] = fwd(px[i]);
+  });
   if (ShouldTrack({x})) {
     SetGraph(&out, {x}, [x, bwd](TensorImpl& self) {
       const float* grad = self.grad.get();
       const float* px = x.data();
       const std::int64_t n = x.numel();
       std::vector<float> gx(static_cast<std::size_t>(n));
-      for (std::int64_t i = 0; i < n; ++i) {
-        gx[static_cast<std::size_t>(i)] = grad[i] * bwd(px[i]);
-      }
+      float* pgx = gx.data();
+      ParallelElems(n, [=](std::int64_t s, std::int64_t e) {
+        for (std::int64_t i = s; i < e; ++i) pgx[i] = grad[i] * bwd(px[i]);
+      });
       internal::AccumulateGrad(x, gx.data());
     });
   }
@@ -245,7 +289,9 @@ Tensor Scale(const Tensor& x, float c) {
   Tensor out = Tensor::Empty(x.shape());
   const float* px = x.data();
   float* po = out.data();
-  for (std::int64_t i = 0; i < x.numel(); ++i) po[i] = px[i] * c;
+  ParallelElems(x.numel(), [=](std::int64_t s, std::int64_t e) {
+    for (std::int64_t i = s; i < e; ++i) po[i] = px[i] * c;
+  });
   if (ShouldTrack({x})) {
     SetGraph(&out, {x}, [x, c](TensorImpl& self) {
       internal::AccumulateGradScaled(x, self.grad.get(), c);
@@ -258,7 +304,9 @@ Tensor AddScalar(const Tensor& x, float c) {
   Tensor out = Tensor::Empty(x.shape());
   const float* px = x.data();
   float* po = out.data();
-  for (std::int64_t i = 0; i < x.numel(); ++i) po[i] = px[i] + c;
+  ParallelElems(x.numel(), [=](std::int64_t s, std::int64_t e) {
+    for (std::int64_t i = s; i < e; ++i) po[i] = px[i] + c;
+  });
   if (ShouldTrack({x})) {
     SetGraph(&out, {x}, [x](TensorImpl& self) {
       internal::AccumulateGrad(x, self.grad.get());

@@ -23,6 +23,34 @@ void AccumulateGrad(const Tensor& t, const float* src);
 /// Adds src scaled by `scale` into t's gradient buffer if t requires grad.
 void AccumulateGradScaled(const Tensor& t, const float* src, float scale);
 
+// ---- Parallel dispatch helpers ---------------------------------------------
+//
+// Chunk boundaries depend only on the element/row counts (never the thread
+// count), so any op whose writes are disjoint per chunk stays bit-identical
+// at every pool size. Reductions must combine per-chunk partials in chunk
+// index order; kElemGrain / the ParallelRows grain are the boundaries to
+// key those partials on.
+
+/// Fixed elementwise chunk size used by ParallelElems.
+constexpr std::int64_t kElemGrain = 1 << 14;
+
+/// Minimum element count before an elementwise loop is worth dispatching.
+constexpr std::int64_t kParallelThreshold = 1 << 15;
+
+/// Runs fn(s, e) over [0, n): serially in one chunk when n is small,
+/// otherwise over fixed kElemGrain chunks on the pool.
+void ParallelElems(std::int64_t n,
+                   const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+/// Row-wise dispatch for [rows, cols] views: grain scales inversely with
+/// the row width. Returns the grain used (for chunk-indexed partials).
+std::int64_t ParallelRows(
+    std::int64_t rows, std::int64_t cols,
+    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+/// The grain ParallelRows will use for this view (shape-only function).
+std::int64_t RowGrain(std::int64_t cols);
+
 }  // namespace tfmae::ops::internal
 
 #endif  // TFMAE_TENSOR_OPS_INTERNAL_H_

@@ -1,10 +1,13 @@
-// Matrix multiplication kernels and their gradients.
+// Matrix multiplication operators and their gradients.
 //
-// The inner kernel is a cache-friendly i-k-j loop (the k-loop broadcast of
-// A[i][k] lets the compiler vectorize the j-sweep), which is the main
-// compute path for Transformer training on this CPU substrate.
+// All compute is delegated to the blocked, thread-parallel kernels in
+// gemm_kernels.h — forward and backward paths alike — so Transformer
+// training parallelizes across the pool while staying bit-deterministic in
+// the thread count.
 #include <cstring>
+#include <vector>
 
+#include "tensor/gemm_kernels.h"
 #include "tensor/ops.h"
 #include "tensor/ops_internal.h"
 #include "util/logging.h"
@@ -14,55 +17,6 @@ namespace {
 
 using internal::SetGraph;
 using internal::ShouldTrack;
-
-// C[M,N] += A[M,K] * B[K,N]
-void GemmAccumulate(const float* a, const float* b, float* c, std::int64_t m,
-                    std::int64_t k, std::int64_t n) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * n;
-      for (std::int64_t j = 0; j < n; ++j) {
-        crow[j] += av * brow[j];
-      }
-    }
-  }
-}
-
-// C[M,N] += A[M,K] * B^T where B is [N,K] (i.e. multiply by B transposed).
-void GemmAccumulateBt(const float* a, const float* b_t, float* c,
-                      std::int64_t m, std::int64_t k, std::int64_t n) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = b_t + j * k;
-      float acc = 0.0f;
-      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] += acc;
-    }
-  }
-}
-
-// C[K,N] += A^T * G where A is [M,K], G is [M,N].
-void GemmAccumulateAtB(const float* a, const float* g, float* c,
-                       std::int64_t m, std::int64_t k, std::int64_t n) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    const float* grow = g + i * n;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      float* crow = c + p * n;
-      for (std::int64_t j = 0; j < n; ++j) {
-        crow[j] += av * grow[j];
-      }
-    }
-  }
-}
 
 }  // namespace
 
@@ -78,32 +32,52 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                                      << ShapeToString(a.shape()) << " x "
                                      << ShapeToString(b.shape()));
   Tensor out = Tensor::Zeros({m, n});
-  GemmAccumulate(a.data(), b.data(), out.data(), m, k, n);
+  gemm::Gemm(a.data(), b.data(), out.data(), m, k, n);
 
   if (ShouldTrack({a, b})) {
     SetGraph(&out, {a, b}, [a, b, m, k, n](TensorImpl& self) {
       const float* grad = self.grad.get();
       if (a.requires_grad()) {
-        // dA = G * B^T : [M,N] x [N,K]^T-of-[K,N].
+        // dA[i,p] = sum_j G[i,j] * B[p,j], i.e. G * B^T with B stored [K,N].
         std::vector<float> da(static_cast<std::size_t>(m * k), 0.0f);
-        // B is [K,N]; we need G[M,N] * B^T[N,K]. Reuse GemmAccumulateBt with
-        // "B rows" being columns of B — build via AtB on transposed roles:
-        // dA[i,p] = sum_j G[i,j] * B[p,j].
-        for (std::int64_t i = 0; i < m; ++i) {
-          const float* grow = grad + i * n;
-          float* darow = da.data() + i * k;
-          for (std::int64_t p = 0; p < k; ++p) {
-            const float* brow = b.data() + p * n;
-            float acc = 0.0f;
-            for (std::int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
-            darow[p] += acc;
-          }
-        }
+        gemm::GemmBt(grad, b.data(), da.data(), m, n, k);
         internal::AccumulateGrad(a, da.data());
       }
       if (b.requires_grad()) {
+        // dB = A^T * G.
         std::vector<float> db(static_cast<std::size_t>(k * n), 0.0f);
-        GemmAccumulateAtB(a.data(), grad, db.data(), m, k, n);
+        gemm::GemmAtB(a.data(), grad, db.data(), m, k, n);
+        internal::AccumulateGrad(b, db.data());
+      }
+    });
+  }
+  return out;
+}
+
+Tensor BatchedMatMul(const Tensor& a, const Tensor& b) {
+  TFMAE_CHECK_MSG(a.rank() == 3 && b.rank() == 3,
+                  "BatchedMatMul expects rank-3 tensors");
+  const std::int64_t batch = a.dim(0);
+  const std::int64_t m = a.dim(1);
+  const std::int64_t k = a.dim(2);
+  const std::int64_t n = b.dim(2);
+  TFMAE_CHECK_MSG(b.dim(0) == batch && b.dim(1) == k,
+                  "BatchedMatMul shape mismatch: "
+                      << ShapeToString(a.shape()) << " x "
+                      << ShapeToString(b.shape()));
+  Tensor out = Tensor::Zeros({batch, m, n});
+  gemm::BatchedGemm(a.data(), b.data(), out.data(), batch, m, k, n);
+  if (ShouldTrack({a, b})) {
+    SetGraph(&out, {a, b}, [a, b, batch, m, k, n](TensorImpl& self) {
+      const float* grad = self.grad.get();
+      if (a.requires_grad()) {
+        std::vector<float> da(static_cast<std::size_t>(batch * m * k), 0.0f);
+        gemm::BatchedGemmBt(grad, b.data(), da.data(), batch, m, n, k);
+        internal::AccumulateGrad(a, da.data());
+      }
+      if (b.requires_grad()) {
+        std::vector<float> db(static_cast<std::size_t>(batch * k * n), 0.0f);
+        gemm::BatchedGemmAtB(a.data(), grad, db.data(), batch, m, k, n);
         internal::AccumulateGrad(b, db.data());
       }
     });
@@ -112,38 +86,35 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
+  return BatchedMatMul(a, b);
+}
+
+Tensor BatchedMatMulBt(const Tensor& a, const Tensor& b) {
   TFMAE_CHECK_MSG(a.rank() == 3 && b.rank() == 3,
-                  "BatchMatMul expects rank-3 tensors");
+                  "BatchedMatMulBt expects rank-3 tensors");
   const std::int64_t batch = a.dim(0);
   const std::int64_t m = a.dim(1);
   const std::int64_t k = a.dim(2);
-  const std::int64_t n = b.dim(2);
-  TFMAE_CHECK_MSG(b.dim(0) == batch && b.dim(1) == k,
-                  "BatchMatMul shape mismatch: " << ShapeToString(a.shape())
-                                                 << " x "
-                                                 << ShapeToString(b.shape()));
+  const std::int64_t n = b.dim(1);
+  TFMAE_CHECK_MSG(b.dim(0) == batch && b.dim(2) == k,
+                  "BatchedMatMulBt shape mismatch: "
+                      << ShapeToString(a.shape()) << " x "
+                      << ShapeToString(b.shape()));
   Tensor out = Tensor::Zeros({batch, m, n});
-  for (std::int64_t bi = 0; bi < batch; ++bi) {
-    GemmAccumulate(a.data() + bi * m * k, b.data() + bi * k * n,
-                   out.data() + bi * m * n, m, k, n);
-  }
+  gemm::BatchedGemmBt(a.data(), b.data(), out.data(), batch, m, k, n);
   if (ShouldTrack({a, b})) {
     SetGraph(&out, {a, b}, [a, b, batch, m, k, n](TensorImpl& self) {
       const float* grad = self.grad.get();
       if (a.requires_grad()) {
+        // dA[bi] = G[bi] * B[bi] : [M,N] x [N,K].
         std::vector<float> da(static_cast<std::size_t>(batch * m * k), 0.0f);
-        for (std::int64_t bi = 0; bi < batch; ++bi) {
-          GemmAccumulateBt(grad + bi * m * n, b.data() + bi * k * n,
-                           da.data() + bi * m * k, m, n, k);
-        }
+        gemm::BatchedGemm(grad, b.data(), da.data(), batch, m, n, k);
         internal::AccumulateGrad(a, da.data());
       }
       if (b.requires_grad()) {
-        std::vector<float> db(static_cast<std::size_t>(batch * k * n), 0.0f);
-        for (std::int64_t bi = 0; bi < batch; ++bi) {
-          GemmAccumulateAtB(a.data() + bi * m * k, grad + bi * m * n,
-                            db.data() + bi * k * n, m, k, n);
-        }
+        // dB[bi] = G[bi]^T * A[bi] : [N,M] x [M,K].
+        std::vector<float> db(static_cast<std::size_t>(batch * n * k), 0.0f);
+        gemm::BatchedGemmAtB(grad, a.data(), db.data(), batch, m, n, k);
         internal::AccumulateGrad(b, db.data());
       }
     });

@@ -1,16 +1,28 @@
 // Reductions, softmax family, layer normalization, and loss helpers.
+//
+// Row-wise ops parallelize over rows (each row is written by exactly one
+// chunk). Cross-row reductions (SumAll, LayerNorm's gamma/beta grads) keep
+// determinism by accumulating per-chunk partials at fixed chunk boundaries
+// and combining them serially in chunk index order — so results are
+// bit-identical at every thread count.
 #include <cmath>
 #include <cstring>
 
 #include "tensor/ops.h"
 #include "tensor/ops_internal.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace tfmae::ops {
 namespace {
 
+using internal::ParallelRows;
+using internal::RowGrain;
 using internal::SetGraph;
 using internal::ShouldTrack;
+
+// Fixed chunk size for flat deterministic reductions.
+constexpr std::int64_t kSumChunk = 1 << 16;
 
 // Interprets x as [rows, cols] with cols = last dimension.
 void RowView(const Tensor& x, std::int64_t* rows, std::int64_t* cols) {
@@ -35,10 +47,27 @@ void SoftmaxRow(const float* in, float* out, std::int64_t cols) {
 
 Tensor SumAll(const Tensor& x) {
   Tensor out = Tensor::Empty({1});
-  double acc = 0.0;
   const float* px = x.data();
-  for (std::int64_t i = 0; i < x.numel(); ++i) acc += px[i];
-  out.data()[0] = static_cast<float>(acc);
+  const std::int64_t n = x.numel();
+  if (n < internal::kParallelThreshold) {
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) acc += px[i];
+    out.data()[0] = static_cast<float>(acc);
+  } else {
+    // Per-chunk double partials at fixed boundaries, combined in index
+    // order: the same bits at any thread count.
+    const std::int64_t nchunks = (n + kSumChunk - 1) / kSumChunk;
+    std::vector<double> partials(static_cast<std::size_t>(nchunks), 0.0);
+    double* pp = partials.data();
+    ParallelFor(0, n, kSumChunk, [=](std::int64_t s, std::int64_t e) {
+      double acc = 0.0;
+      for (std::int64_t i = s; i < e; ++i) acc += px[i];
+      pp[s / kSumChunk] = acc;
+    });
+    double total = 0.0;
+    for (std::int64_t c = 0; c < nchunks; ++c) total += pp[c];
+    out.data()[0] = static_cast<float>(total);
+  }
   if (ShouldTrack({x})) {
     SetGraph(&out, {x}, [x](TensorImpl& self) {
       if (!x.requires_grad()) return;
@@ -59,9 +88,13 @@ Tensor Softmax(const Tensor& x) {
   std::int64_t cols = 0;
   RowView(x, &rows, &cols);
   Tensor out = Tensor::Empty(x.shape());
-  for (std::int64_t r = 0; r < rows; ++r) {
-    SoftmaxRow(x.data() + r * cols, out.data() + r * cols, cols);
-  }
+  const float* px = x.data();
+  float* po = out.data();
+  ParallelRows(rows, cols, [=](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      SoftmaxRow(px + r * cols, po + r * cols, cols);
+    }
+  });
   if (ShouldTrack({x})) {
     // The backward needs the output values y; they are reachable through
     // `self` (capturing the output Tensor here would create a shared_ptr
@@ -71,16 +104,19 @@ Tensor Softmax(const Tensor& x) {
       const float* grad = self.grad.get();
       const float* py = self.data.get();
       std::vector<float> gx(static_cast<std::size_t>(x.numel()));
-      for (std::int64_t r = 0; r < rows; ++r) {
-        const float* gy = grad + r * cols;
-        const float* yr = py + r * cols;
-        float dot = 0.0f;
-        for (std::int64_t j = 0; j < cols; ++j) dot += gy[j] * yr[j];
-        float* gxr = gx.data() + r * cols;
-        for (std::int64_t j = 0; j < cols; ++j) {
-          gxr[j] = yr[j] * (gy[j] - dot);
+      float* pgx = gx.data();
+      ParallelRows(rows, cols, [=](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+          const float* gy = grad + r * cols;
+          const float* yr = py + r * cols;
+          float dot = 0.0f;
+          for (std::int64_t j = 0; j < cols; ++j) dot += gy[j] * yr[j];
+          float* gxr = pgx + r * cols;
+          for (std::int64_t j = 0; j < cols; ++j) {
+            gxr[j] = yr[j] * (gy[j] - dot);
+          }
         }
-      }
+      });
       internal::AccumulateGrad(x, gx.data());
     });
   }
@@ -94,32 +130,37 @@ Tensor LogSoftmax(const Tensor& x) {
   Tensor out = Tensor::Empty(x.shape());
   const float* px = x.data();
   float* po = out.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* in = px + r * cols;
-    float* o = po + r * cols;
-    float max_v = in[0];
-    for (std::int64_t j = 1; j < cols; ++j) max_v = std::max(max_v, in[j]);
-    float sum = 0.0f;
-    for (std::int64_t j = 0; j < cols; ++j) sum += std::exp(in[j] - max_v);
-    const float log_sum = std::log(sum) + max_v;
-    for (std::int64_t j = 0; j < cols; ++j) o[j] = in[j] - log_sum;
-  }
+  ParallelRows(rows, cols, [=](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const float* in = px + r * cols;
+      float* o = po + r * cols;
+      float max_v = in[0];
+      for (std::int64_t j = 1; j < cols; ++j) max_v = std::max(max_v, in[j]);
+      float sum = 0.0f;
+      for (std::int64_t j = 0; j < cols; ++j) sum += std::exp(in[j] - max_v);
+      const float log_sum = std::log(sum) + max_v;
+      for (std::int64_t j = 0; j < cols; ++j) o[j] = in[j] - log_sum;
+    }
+  });
   if (ShouldTrack({x})) {
     SetGraph(&out, {x}, [x, rows, cols](TensorImpl& self) {
       if (!x.requires_grad()) return;
       const float* grad = self.grad.get();
       const float* py = self.data.get();
       std::vector<float> gx(static_cast<std::size_t>(x.numel()));
-      for (std::int64_t r = 0; r < rows; ++r) {
-        const float* gy = grad + r * cols;
-        const float* yr = py + r * cols;
-        float gsum = 0.0f;
-        for (std::int64_t j = 0; j < cols; ++j) gsum += gy[j];
-        float* gxr = gx.data() + r * cols;
-        for (std::int64_t j = 0; j < cols; ++j) {
-          gxr[j] = gy[j] - std::exp(yr[j]) * gsum;
+      float* pgx = gx.data();
+      ParallelRows(rows, cols, [=](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+          const float* gy = grad + r * cols;
+          const float* yr = py + r * cols;
+          float gsum = 0.0f;
+          for (std::int64_t j = 0; j < cols; ++j) gsum += gy[j];
+          float* gxr = pgx + r * cols;
+          for (std::int64_t j = 0; j < cols; ++j) {
+            gxr[j] = gy[j] - std::exp(yr[j]) * gsum;
+          }
         }
-      }
+      });
       internal::AccumulateGrad(x, gx.data());
     });
   }
@@ -142,25 +183,29 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   const float* pg = gamma.data();
   const float* pb = beta.data();
   float* po = out.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* in = px + r * cols;
-    float mu = 0.0f;
-    for (std::int64_t j = 0; j < cols; ++j) mu += in[j];
-    mu /= static_cast<float>(cols);
-    float var = 0.0f;
-    for (std::int64_t j = 0; j < cols; ++j) {
-      const float d = in[j] - mu;
-      var += d * d;
+  float* pmean = mean.data();
+  float* pinv = inv_std.data();
+  ParallelRows(rows, cols, [=](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const float* in = px + r * cols;
+      float mu = 0.0f;
+      for (std::int64_t j = 0; j < cols; ++j) mu += in[j];
+      mu /= static_cast<float>(cols);
+      float var = 0.0f;
+      for (std::int64_t j = 0; j < cols; ++j) {
+        const float d = in[j] - mu;
+        var += d * d;
+      }
+      var /= static_cast<float>(cols);
+      const float istd = 1.0f / std::sqrt(var + eps);
+      pmean[r] = mu;
+      pinv[r] = istd;
+      float* o = po + r * cols;
+      for (std::int64_t j = 0; j < cols; ++j) {
+        o[j] = (in[j] - mu) * istd * pg[j] + pb[j];
+      }
     }
-    var /= static_cast<float>(cols);
-    const float istd = 1.0f / std::sqrt(var + eps);
-    mean.data()[r] = mu;
-    inv_std.data()[r] = istd;
-    float* o = po + r * cols;
-    for (std::int64_t j = 0; j < cols; ++j) {
-      o[j] = (in[j] - mu) * istd * pg[j] + pb[j];
-    }
-  }
+  });
   if (ShouldTrack({x, gamma, beta})) {
     SetGraph(&out, {x, gamma, beta},
              [x, gamma, beta, mean, inv_std, rows, cols](TensorImpl& self) {
@@ -169,32 +214,54 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                const float* pg = gamma.data();
                std::vector<float> gx(
                    static_cast<std::size_t>(x.numel()), 0.0f);
+               // The gamma/beta gradients reduce over rows: accumulate one
+               // partial pair per row chunk, then combine in chunk order.
+               const std::int64_t grain = RowGrain(cols);
+               const std::int64_t nchunks = (rows + grain - 1) / grain;
+               std::vector<float> partials(
+                   static_cast<std::size_t>(nchunks * 2 * cols), 0.0f);
+               float* pgx = gx.data();
+               float* ppart = partials.data();
+               const float* pmean = mean.data();
+               const float* pinv = inv_std.data();
+               ParallelRows(rows, cols, [=](std::int64_t r0, std::int64_t r1) {
+                 float* pggamma = ppart + (r0 / grain) * 2 * cols;
+                 float* pgbeta = pggamma + cols;
+                 for (std::int64_t r = r0; r < r1; ++r) {
+                   const float mu = pmean[r];
+                   const float istd = pinv[r];
+                   const float* in = px + r * cols;
+                   const float* gy = grad + r * cols;
+                   // dxhat, plus the two row-wide reductions of the standard
+                   // layer-norm backward.
+                   float sum_dxhat = 0.0f;
+                   float sum_dxhat_xhat = 0.0f;
+                   for (std::int64_t j = 0; j < cols; ++j) {
+                     const float xhat = (in[j] - mu) * istd;
+                     const float dxhat = gy[j] * pg[j];
+                     sum_dxhat += dxhat;
+                     sum_dxhat_xhat += dxhat * xhat;
+                     pggamma[j] += gy[j] * xhat;
+                     pgbeta[j] += gy[j];
+                   }
+                   const float inv_cols = 1.0f / static_cast<float>(cols);
+                   float* gxr = pgx + r * cols;
+                   for (std::int64_t j = 0; j < cols; ++j) {
+                     const float xhat = (in[j] - mu) * istd;
+                     const float dxhat = gy[j] * pg[j];
+                     gxr[j] = istd * (dxhat - inv_cols * sum_dxhat -
+                                      xhat * inv_cols * sum_dxhat_xhat);
+                   }
+                 }
+               });
                std::vector<float> ggamma(static_cast<std::size_t>(cols), 0.0f);
                std::vector<float> gbeta(static_cast<std::size_t>(cols), 0.0f);
-               for (std::int64_t r = 0; r < rows; ++r) {
-                 const float mu = mean.data()[r];
-                 const float istd = inv_std.data()[r];
-                 const float* in = px + r * cols;
-                 const float* gy = grad + r * cols;
-                 // dxhat, plus the two row-wide reductions of the standard
-                 // layer-norm backward.
-                 float sum_dxhat = 0.0f;
-                 float sum_dxhat_xhat = 0.0f;
+               for (std::int64_t c = 0; c < nchunks; ++c) {
+                 const float* pggamma = ppart + c * 2 * cols;
+                 const float* pgbeta = pggamma + cols;
                  for (std::int64_t j = 0; j < cols; ++j) {
-                   const float xhat = (in[j] - mu) * istd;
-                   const float dxhat = gy[j] * pg[j];
-                   sum_dxhat += dxhat;
-                   sum_dxhat_xhat += dxhat * xhat;
-                   ggamma[static_cast<std::size_t>(j)] += gy[j] * xhat;
-                   gbeta[static_cast<std::size_t>(j)] += gy[j];
-                 }
-                 const float inv_cols = 1.0f / static_cast<float>(cols);
-                 float* gxr = gx.data() + r * cols;
-                 for (std::int64_t j = 0; j < cols; ++j) {
-                   const float xhat = (in[j] - mu) * istd;
-                   const float dxhat = gy[j] * pg[j];
-                   gxr[j] = istd * (dxhat - inv_cols * sum_dxhat -
-                                    xhat * inv_cols * sum_dxhat_xhat);
+                   ggamma[static_cast<std::size_t>(j)] += pggamma[j];
+                   gbeta[static_cast<std::size_t>(j)] += pgbeta[j];
                  }
                }
                internal::AccumulateGrad(x, gx.data());
@@ -235,22 +302,27 @@ std::vector<float> SymmetricKlPerRow(const Tensor& p_logits,
   std::int64_t cols = 0;
   RowView(p_logits, &rows, &cols);
   std::vector<float> scores(static_cast<std::size_t>(rows), 0.0f);
-  std::vector<float> p(static_cast<std::size_t>(cols));
-  std::vector<float> q(static_cast<std::size_t>(cols));
+  const float* pp = p_logits.data();
+  const float* pq = q_logits.data();
+  float* ps = scores.data();
   constexpr float kFloor = 1e-12f;
-  for (std::int64_t r = 0; r < rows; ++r) {
-    SoftmaxRow(p_logits.data() + r * cols, p.data(), cols);
-    SoftmaxRow(q_logits.data() + r * cols, q.data(), cols);
-    double kl_pq = 0.0;
-    double kl_qp = 0.0;
-    for (std::int64_t j = 0; j < cols; ++j) {
-      const double pj = std::max(p[static_cast<std::size_t>(j)], kFloor);
-      const double qj = std::max(q[static_cast<std::size_t>(j)], kFloor);
-      kl_pq += pj * std::log(pj / qj);
-      kl_qp += qj * std::log(qj / pj);
+  ParallelRows(rows, cols, [=](std::int64_t r0, std::int64_t r1) {
+    std::vector<float> p(static_cast<std::size_t>(cols));
+    std::vector<float> q(static_cast<std::size_t>(cols));
+    for (std::int64_t r = r0; r < r1; ++r) {
+      SoftmaxRow(pp + r * cols, p.data(), cols);
+      SoftmaxRow(pq + r * cols, q.data(), cols);
+      double kl_pq = 0.0;
+      double kl_qp = 0.0;
+      for (std::int64_t j = 0; j < cols; ++j) {
+        const double pj = std::max(p[static_cast<std::size_t>(j)], kFloor);
+        const double qj = std::max(q[static_cast<std::size_t>(j)], kFloor);
+        kl_pq += pj * std::log(pj / qj);
+        kl_qp += qj * std::log(qj / pj);
+      }
+      ps[r] = static_cast<float>(kl_pq + kl_qp);
     }
-    scores[static_cast<std::size_t>(r)] = static_cast<float>(kl_pq + kl_qp);
-  }
+  });
   return scores;
 }
 

@@ -1,0 +1,159 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace tfmae {
+namespace {
+
+// Set while a thread is executing chunks of a dispatch; nested ParallelFor
+// calls from inside a kernel run inline (same chunk boundaries) instead of
+// deadlocking on the pool.
+thread_local bool t_in_parallel_region = false;
+
+int DefaultNumThreads() {
+  if (const char* env = std::getenv("TFMAE_NUM_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::Instance() {
+  static ThreadPool* pool = new ThreadPool(DefaultNumThreads());
+  return *pool;
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  StartWorkers(std::max(1, num_threads) - 1);
+}
+
+ThreadPool::~ThreadPool() { StopWorkers(); }
+
+int ThreadPool::num_threads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(workers_.size()) + 1;
+}
+
+void ThreadPool::SetNumThreads(int n) {
+  StopWorkers();
+  StartWorkers(std::max(1, n) - 1);
+}
+
+void ThreadPool::StartWorkers(int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TFMAE_CHECK(workers_.empty() && !busy_);
+  shutdown_ = false;
+  workers_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::StopWorkers() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  workers_.clear();
+  shutdown_ = false;
+}
+
+std::int64_t ThreadPool::ClaimAndRun() {
+  t_in_parallel_region = true;
+  std::int64_t done = 0;
+  for (;;) {
+    const std::int64_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (c >= num_chunks_) break;
+    const std::int64_t s = begin_ + c * grain_;
+    const std::int64_t e = std::min(end_, s + grain_);
+    (*fn_)(s, e);
+    ++done;
+  }
+  t_in_parallel_region = false;
+  return done;
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (busy_ && epoch_ != seen_epoch);
+      });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      ++active_workers_;
+    }
+    const std::int64_t done = ClaimAndRun();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      chunks_done_ += done;
+      --active_workers_;
+      if (chunks_done_ == num_chunks_ && active_workers_ == 0) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (end <= begin) return;
+  const std::int64_t g = std::max<std::int64_t>(1, grain);
+  const std::int64_t num_chunks = (end - begin + g - 1) / g;
+
+  bool inline_run = t_in_parallel_region || num_chunks == 1;
+  if (!inline_run) {
+    std::lock_guard<std::mutex> lock(mu_);
+    inline_run = workers_.empty();
+  }
+  if (inline_run) {
+    // Same chunk boundaries as the parallel path, executed in index order.
+    for (std::int64_t s = begin; s < end; s += g) {
+      fn(s, std::min(end, s + g));
+    }
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    begin_ = begin;
+    end_ = end;
+    grain_ = g;
+    num_chunks_ = num_chunks;
+    chunks_done_ = 0;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    ++epoch_;
+    busy_ = true;
+  }
+  work_cv_.notify_all();
+
+  const std::int64_t done = ClaimAndRun();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  chunks_done_ += done;
+  done_cv_.wait(lock, [&] {
+    return chunks_done_ == num_chunks_ && active_workers_ == 0;
+  });
+  busy_ = false;
+  fn_ = nullptr;
+}
+
+void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                 const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  ThreadPool::Instance().ParallelFor(begin, end, grain, fn);
+}
+
+}  // namespace tfmae

@@ -1,0 +1,97 @@
+// Process-wide thread pool for the tensor backend.
+//
+// Design goals, in order:
+//  1. Determinism: ParallelFor splits [begin, end) into chunks at fixed
+//     boundaries begin + i*grain that depend only on (begin, end, grain),
+//     never on the number of threads. Each chunk is executed exactly once by
+//     exactly one thread, so any computation whose writes are disjoint per
+//     chunk — and whose reductions combine per-chunk partials in index
+//     order — produces bit-identical results at every pool size, including
+//     the serial fallback.
+//  2. Simplicity: a single mutex/condvar pair and an atomic chunk cursor.
+//     Chunks are claimed dynamically (no work stealing, no per-thread
+//     queues); the caller participates in the work and blocks until the
+//     dispatch has fully quiesced, so the pool holds no state between calls.
+//  3. Zero cost when parallelism cannot help: a dispatch that resolves to a
+//     single chunk, a pool of size one, and any ParallelFor issued from
+//     inside a worker all run inline on the calling thread.
+//
+// The pool is a lazy singleton sized from the TFMAE_NUM_THREADS environment
+// variable (default: std::thread::hardware_concurrency). Benchmarks and
+// tests may resize it with SetNumThreads(); resizing never changes results,
+// only wall-clock time.
+#ifndef TFMAE_UTIL_THREAD_POOL_H_
+#define TFMAE_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tfmae {
+
+class ThreadPool {
+ public:
+  /// The process-wide pool, created on first use. Intentionally leaked at
+  /// exit so worker threads never race static destruction.
+  static ThreadPool& Instance();
+
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads participating in a dispatch (workers + the caller).
+  int num_threads() const;
+
+  /// Joins all workers and respawns `n - 1` of them (the caller is thread
+  /// zero). Must not race an in-flight ParallelFor; intended for benchmarks
+  /// and tests that sweep thread counts.
+  void SetNumThreads(int n);
+
+  /// Invokes fn(s, e) over disjoint subranges [s, e) covering [begin, end),
+  /// cut at begin + i*grain (grain is clamped to >= 1). Blocks until every
+  /// chunk has finished. fn must not throw.
+  void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                   const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+ private:
+  explicit ThreadPool(int num_threads);
+
+  void StartWorkers(int count);
+  void StopWorkers();
+  void WorkerLoop();
+  /// Claims chunks of the current dispatch until none remain; returns the
+  /// number of chunks this thread executed.
+  std::int64_t ClaimAndRun();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // new dispatch available / shutdown
+  std::condition_variable done_cv_;  // dispatch fully finished
+  std::vector<std::thread> workers_;
+  bool shutdown_ = false;
+
+  // State of the in-flight dispatch; written under mu_ before workers are
+  // woken, constant while they run.
+  const std::function<void(std::int64_t, std::int64_t)>* fn_ = nullptr;
+  std::int64_t begin_ = 0;
+  std::int64_t end_ = 0;
+  std::int64_t grain_ = 1;
+  std::int64_t num_chunks_ = 0;
+  std::atomic<std::int64_t> next_chunk_{0};
+  std::int64_t chunks_done_ = 0;   // guarded by mu_
+  int active_workers_ = 0;         // guarded by mu_
+  std::uint64_t epoch_ = 0;        // guarded by mu_; bumped per dispatch
+  bool busy_ = false;              // guarded by mu_
+};
+
+/// ParallelFor on the singleton pool. See ThreadPool::ParallelFor.
+void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                 const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+}  // namespace tfmae
+
+#endif  // TFMAE_UTIL_THREAD_POOL_H_

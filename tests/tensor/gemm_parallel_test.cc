@@ -1,0 +1,313 @@
+// Tests for the parallel GEMM backend: every kernel variant against a naive
+// j-p reference over awkward shapes, the ops-level MatMul / BatchedMatMul /
+// BatchedMatMulBt forward and gradients, and the determinism contract —
+// 1-thread and N-thread runs must be bitwise identical.
+#include "tensor/gemm_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace tfmae {
+namespace {
+
+std::vector<float> RandomVec(std::int64_t n, Rng* rng) {
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<float>(rng->Uniform(-1.0, 1.0));
+  return v;
+}
+
+// Reference C[m,n] += A[m,k] * B[k,n], ascending-p accumulation per element
+// (the order every kernel in gemm_kernels.cc is contracted to follow).
+void RefGemm(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      float acc = c[i * n + j];
+      for (std::int64_t p = 0; p < k; ++p) acc += a[i * k + p] * b[p * n + j];
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+struct Shape {
+  std::int64_t m, k, n;
+};
+
+// Odd shapes: 1x1, tall-skinny, primes nowhere near the 8x64 tile, an exact
+// multiple of the tile, and single-row/column edges.
+const Shape kShapes[] = {{1, 1, 1},    {257, 3, 5},  {13, 29, 37},
+                         {64, 64, 64}, {8, 128, 64}, {1, 7, 130},
+                         {66, 5, 1},   {3, 100, 70}};
+
+TEST(GemmKernelsTest, GemmMatchesNaiveBitwise) {
+  Rng rng(11);
+  for (const Shape& s : kShapes) {
+    std::vector<float> a = RandomVec(s.m * s.k, &rng);
+    std::vector<float> b = RandomVec(s.k * s.n, &rng);
+    std::vector<float> c = RandomVec(s.m * s.n, &rng);  // accumulate into junk
+    std::vector<float> ref = c;
+    gemm::Gemm(a.data(), b.data(), c.data(), s.m, s.k, s.n);
+    RefGemm(a.data(), b.data(), ref.data(), s.m, s.k, s.n);
+    // Same per-element operation order and -ffp-contract=off everywhere, so
+    // equality is exact, not approximate.
+    EXPECT_EQ(c, ref) << "shape " << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(GemmKernelsTest, GemmMatchesSeedKernel) {
+  Rng rng(12);
+  for (const Shape& s : kShapes) {
+    std::vector<float> a = RandomVec(s.m * s.k, &rng);
+    std::vector<float> b = RandomVec(s.k * s.n, &rng);
+    std::vector<float> c(static_cast<std::size_t>(s.m * s.n), 0.0f);
+    std::vector<float> seed = c;
+    gemm::Gemm(a.data(), b.data(), c.data(), s.m, s.k, s.n);
+    gemm::GemmNaiveSeed(a.data(), b.data(), seed.data(), s.m, s.k, s.n);
+    EXPECT_EQ(c, seed) << "shape " << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(GemmKernelsTest, TransposedVariantsMatchNaive) {
+  Rng rng(13);
+  for (const Shape& s : kShapes) {
+    std::vector<float> a = RandomVec(s.m * s.k, &rng);
+    std::vector<float> b = RandomVec(s.k * s.n, &rng);
+
+    // GemmBt consumes B stored as [n, k]; build that layout explicitly.
+    std::vector<float> b_t(static_cast<std::size_t>(s.k * s.n));
+    for (std::int64_t p = 0; p < s.k; ++p) {
+      for (std::int64_t j = 0; j < s.n; ++j) {
+        b_t[j * s.k + p] = b[p * s.n + j];
+      }
+    }
+    std::vector<float> c(static_cast<std::size_t>(s.m * s.n), 0.0f);
+    std::vector<float> ref = c;
+    gemm::GemmBt(a.data(), b_t.data(), c.data(), s.m, s.k, s.n);
+    RefGemm(a.data(), b.data(), ref.data(), s.m, s.k, s.n);
+    EXPECT_EQ(c, ref) << "Bt shape " << s.m << "x" << s.k << "x" << s.n;
+
+    // GemmAtB: C[k,n] += A^T[k,m] * G[m,n] with A given as [m,k].
+    std::vector<float> g = RandomVec(s.m * s.n, &rng);
+    std::vector<float> at(static_cast<std::size_t>(s.k * s.m));
+    for (std::int64_t i = 0; i < s.m; ++i) {
+      for (std::int64_t p = 0; p < s.k; ++p) at[p * s.m + i] = a[i * s.k + p];
+    }
+    std::vector<float> c2(static_cast<std::size_t>(s.k * s.n), 0.0f);
+    std::vector<float> ref2 = c2;
+    gemm::GemmAtB(a.data(), g.data(), c2.data(), s.m, s.k, s.n);
+    RefGemm(at.data(), g.data(), ref2.data(), s.k, s.m, s.n);
+    EXPECT_EQ(c2, ref2) << "AtB shape " << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(GemmKernelsTest, BatchedGemmMatchesPerSliceGemm) {
+  Rng rng(14);
+  const std::int64_t batch = 5, m = 13, k = 29, n = 37;
+  std::vector<float> a = RandomVec(batch * m * k, &rng);
+  std::vector<float> b = RandomVec(batch * k * n, &rng);
+  std::vector<float> c(static_cast<std::size_t>(batch * m * n), 0.0f);
+  std::vector<float> ref = c;
+  gemm::BatchedGemm(a.data(), b.data(), c.data(), batch, m, k, n);
+  for (std::int64_t bi = 0; bi < batch; ++bi) {
+    RefGemm(a.data() + bi * m * k, b.data() + bi * k * n,
+            ref.data() + bi * m * n, m, k, n);
+  }
+  EXPECT_EQ(c, ref);
+}
+
+// TensorImpl rejects zero dims, so K=0 is exercised at the kernel layer:
+// an accumulate-GEMM over an empty contraction must leave C untouched.
+TEST(GemmKernelsTest, KZeroLeavesOutputUntouched) {
+  Rng rng(15);
+  std::vector<float> a, b;
+  std::vector<float> c = RandomVec(6 * 9, &rng);
+  const std::vector<float> before = c;
+  gemm::Gemm(a.data(), b.data(), c.data(), 6, 0, 9);
+  gemm::GemmBt(a.data(), b.data(), c.data(), 6, 0, 9);
+  EXPECT_EQ(c, before);
+  // GemmAtB with m=0 is the matching empty case (C is [k,n]).
+  std::vector<float> c2 = RandomVec(4 * 9, &rng);
+  const std::vector<float> before2 = c2;
+  gemm::GemmAtB(a.data(), b.data(), c2.data(), 0, 4, 9);
+  EXPECT_EQ(c2, before2);
+}
+
+// ---- ops-level forward + gradients ----------------------------------------
+
+Tensor RandomTensor(std::vector<std::int64_t> dims, Rng* rng) {
+  std::int64_t numel = 1;
+  for (auto d : dims) numel *= d;
+  Tensor t = Tensor::Zeros(std::move(dims));
+  for (std::int64_t i = 0; i < numel; ++i) {
+    t.data()[i] = static_cast<float>(rng->Uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+TEST(GemmOpsTest, BatchedMatMulForwardAndGradMatchNaive) {
+  Rng rng(16);
+  const std::int64_t batch = 3, m = 5, k = 11, n = 7;
+  Tensor a = RandomTensor({batch, m, k}, &rng).set_requires_grad(true);
+  Tensor b = RandomTensor({batch, k, n}, &rng).set_requires_grad(true);
+  Tensor out = ops::BatchedMatMul(a, b);
+  ASSERT_EQ(out.dim(0), batch);
+  ASSERT_EQ(out.dim(1), m);
+  ASSERT_EQ(out.dim(2), n);
+
+  std::vector<float> ref(static_cast<std::size_t>(batch * m * n), 0.0f);
+  for (std::int64_t bi = 0; bi < batch; ++bi) {
+    RefGemm(a.data() + bi * m * k, b.data() + bi * k * n,
+            ref.data() + bi * m * n, m, k, n);
+  }
+  for (std::int64_t i = 0; i < batch * m * n; ++i) {
+    EXPECT_FLOAT_EQ(out.at(i), ref[i]);
+  }
+
+  ops::SumAll(out).Backward();
+  ASSERT_NE(a.grad_data(), nullptr);
+  ASSERT_NE(b.grad_data(), nullptr);
+  // d(sum)/dA[bi] = 1 * B[bi]^T, d(sum)/dB[bi] = A[bi]^T * 1.
+  for (std::int64_t bi = 0; bi < batch; ++bi) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t p = 0; p < k; ++p) {
+        float want = 0.0f;
+        for (std::int64_t j = 0; j < n; ++j) {
+          want += b.at(bi * k * n + p * n + j);
+        }
+        EXPECT_NEAR(a.grad_data()[bi * m * k + i * k + p], want, 1e-4f);
+      }
+    }
+    for (std::int64_t p = 0; p < k; ++p) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        float want = 0.0f;
+        for (std::int64_t i = 0; i < m; ++i) {
+          want += a.at(bi * m * k + i * k + p);
+        }
+        EXPECT_NEAR(b.grad_data()[bi * k * n + p * n + j], want, 1e-4f);
+      }
+    }
+  }
+}
+
+TEST(GemmOpsTest, BatchedMatMulBtMatchesExplicitTranspose) {
+  Rng rng(17);
+  const std::int64_t batch = 4, m = 6, k = 9, n = 5;
+  Tensor a = RandomTensor({batch, m, k}, &rng).set_requires_grad(true);
+  Tensor b = RandomTensor({batch, n, k}, &rng).set_requires_grad(true);
+
+  Tensor direct = ops::BatchedMatMulBt(a, b);
+  Tensor via_t = ops::BatchedMatMul(a, ops::Permute3(b, {0, 2, 1}));
+  ASSERT_EQ(direct.numel(), via_t.numel());
+  for (std::int64_t i = 0; i < direct.numel(); ++i) {
+    EXPECT_FLOAT_EQ(direct.at(i), via_t.at(i)) << "elem " << i;
+  }
+
+  // Gradients of the fused op against the transpose-then-matmul composition.
+  ops::SumAll(direct).Backward();
+  std::vector<float> da(a.grad_data(), a.grad_data() + a.numel());
+  std::vector<float> db(b.grad_data(), b.grad_data() + b.numel());
+  a.ZeroGrad();
+  b.ZeroGrad();
+  ops::SumAll(ops::BatchedMatMul(a, ops::Permute3(b, {0, 2, 1}))).Backward();
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(da[i], a.grad_data()[i], 1e-4f);
+  }
+  for (std::int64_t i = 0; i < b.numel(); ++i) {
+    EXPECT_NEAR(db[i], b.grad_data()[i], 1e-4f);
+  }
+}
+
+// ---- determinism across thread counts -------------------------------------
+
+class ThreadSweepTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = ThreadPool::Instance().num_threads(); }
+  void TearDown() override { ThreadPool::Instance().SetNumThreads(saved_); }
+
+ private:
+  int saved_ = 1;
+};
+
+TEST_F(ThreadSweepTest, GemmBitwiseIdenticalAcrossThreadCounts) {
+  Rng rng(18);
+  // Big enough that every variant actually dispatches multiple chunks.
+  // k == n so the same square [64, 64] buffer serves as B [k, n] for the
+  // plain kernel and as B^T [n, k] for the Bt variant.
+  const std::int64_t batch = 4, m = 96, k = 64, n = 64;
+  std::vector<float> a = RandomVec(batch * m * k, &rng);
+  std::vector<float> b = RandomVec(batch * k * n, &rng);
+
+  const std::int64_t out_mn = batch * m * n;   // BatchedGemm / BatchedGemmBt
+  const std::int64_t out_kk = batch * k * k;   // BatchedGemmAtB: C = A^T A
+  auto run_all = [&](int threads) {
+    ThreadPool::Instance().SetNumThreads(threads);
+    std::vector<float> out(static_cast<std::size_t>(2 * out_mn + out_kk),
+                           0.0f);
+    gemm::BatchedGemm(a.data(), b.data(), out.data(), batch, m, k, n);
+    gemm::BatchedGemmBt(a.data(), b.data(), out.data() + out_mn, batch, m, k,
+                        n);
+    gemm::BatchedGemmAtB(a.data(), a.data(), out.data() + 2 * out_mn, batch,
+                         m, k, k);
+    return out;
+  };
+  const std::vector<float> one = run_all(1);
+  for (int threads : {2, 4, 7}) {
+    const std::vector<float> many = run_all(threads);
+    ASSERT_EQ(one.size(), many.size());
+    EXPECT_EQ(0, std::memcmp(one.data(), many.data(),
+                             one.size() * sizeof(float)))
+        << threads << " threads diverged from 1 thread";
+  }
+}
+
+TEST_F(ThreadSweepTest, TrainingStepBitwiseIdenticalAcrossThreadCounts) {
+  // Forward + backward through ops that use every parallel path (GEMM,
+  // elementwise, row reductions) must not depend on the pool size.
+  auto run = [](int threads) {
+    ThreadPool::Instance().SetNumThreads(threads);
+    Rng rng(19);
+    Tensor x = RandomTensor({64, 96}, &rng).set_requires_grad(true);
+    Tensor w = RandomTensor({96, 96}, &rng).set_requires_grad(true);
+    Tensor h = ops::Gelu(ops::MatMul(x, w));
+    Tensor y = ops::Softmax(h);
+    Tensor loss = ops::SumAll(ops::Mul(y, h));
+    loss.Backward();
+    std::vector<float> out;
+    out.push_back(loss.item());
+    out.insert(out.end(), x.grad_data(), x.grad_data() + x.numel());
+    out.insert(out.end(), w.grad_data(), w.grad_data() + w.numel());
+    return out;
+  };
+  const std::vector<float> one = run(1);
+  const std::vector<float> four = run(4);
+  ASSERT_EQ(one.size(), four.size());
+  EXPECT_EQ(0, std::memcmp(one.data(), four.data(),
+                           one.size() * sizeof(float)));
+}
+
+TEST_F(ThreadSweepTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool::Instance().SetNumThreads(4);
+  for (std::int64_t n : {1, 2, 63, 64, 65, 1000}) {
+    for (std::int64_t grain : {1, 7, 64, 4096}) {
+      std::vector<int> hits(static_cast<std::size_t>(n), 0);
+      ParallelFor(0, n, grain, [&](std::int64_t s, std::int64_t e) {
+        // Chunks are disjoint, so unsynchronized writes are race-free.
+        for (std::int64_t i = s; i < e; ++i) ++hits[i];
+      });
+      for (std::int64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i], 1) << "n=" << n << " grain=" << grain
+                              << " index " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tfmae
