@@ -10,9 +10,16 @@
 // train step at 1, 2, 4 and hardware-concurrency threads), writing a
 // machine-readable JSON report with GFLOP/s and speedups over the frozen
 // seed kernel and over the 1-thread run.
+//
+// Run with --obs_json=PATH (requires a -DTFMAE_OBS=ON build) to exercise the
+// observability layer: a fixed GEMM + attention workload is run with
+// instrumentation enabled, the per-op totals recorded by the obs registry are
+// compared against externally measured wall time (they must agree within
+// 10%), and the full metrics snapshot is written to PATH as JSON.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -23,6 +30,9 @@
 #include "masking/frequency_mask.h"
 #include "nn/attention.h"
 #include "nn/transformer.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/gemm_kernels.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
@@ -296,15 +306,102 @@ int RunTensorBackendSweep(const std::string& path) {
   return 0;
 }
 
+// ---- observability self-check (--obs_json=PATH) ----------------------------
+
+/// Runs a fixed GEMM + attention workload with instrumentation enabled and
+/// checks that the per-op totals the obs registry recorded agree with wall
+/// time measured outside the instrumented code. Writes the full metrics
+/// snapshot to `path`. Returns non-zero if instrumentation is compiled out
+/// or the recorded totals drift more than 10% from wall time.
+int RunObsProfile(const std::string& path) {
+  if (!obs::CompiledIn()) {
+    std::fprintf(stderr,
+                 "--obs_json requires instrumentation compiled in; rebuild "
+                 "with -DTFMAE_OBS=ON (see docs/OBSERVABILITY.md)\n");
+    return 1;
+  }
+  obs::SetEnabled(true);
+  obs::Registry::Instance().Reset();
+  using clock = std::chrono::steady_clock;
+
+  // GEMM workload: time the instrumented call and nothing else, so the
+  // external wall measurement is directly comparable to tensor.gemm.total_ns.
+  const std::int64_t m = 256, k = 512, n = 512;
+  const auto a = RandomBuffer(m * k, 1);
+  const auto b = RandomBuffer(k * n, 2);
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  const int gemm_iters = 40;
+  gemm::Gemm(a.data(), b.data(), c.data(), m, k, n);  // warm up, recorded
+  const std::uint64_t gemm_ns_before =
+      obs::Registry::Instance().CounterValue("tensor.gemm.total_ns");
+  auto t0 = clock::now();
+  for (int it = 0; it < gemm_iters; ++it) {
+    gemm::Gemm(a.data(), b.data(), c.data(), m, k, n);
+  }
+  const double gemm_wall =
+      std::chrono::duration<double>(clock::now() - t0).count();
+  const double gemm_obs =
+      static_cast<double>(
+          obs::Registry::Instance().CounterValue("tensor.gemm.total_ns") -
+          gemm_ns_before) /
+      1e9;
+
+  // Attention forward workload against nn.attention.fwd.total_ns.
+  Rng rng(7);
+  nn::MultiHeadSelfAttention attention(64, 8, &rng);
+  Tensor x = Tensor::Randn({256, 64}, &rng);
+  const int attn_iters = 40;
+  {
+    NoGradGuard no_grad;
+    benchmark::DoNotOptimize(attention.Forward(x));  // warm up, recorded
+  }
+  const std::uint64_t attn_ns_before =
+      obs::Registry::Instance().CounterValue("nn.attention.fwd.total_ns");
+  t0 = clock::now();
+  {
+    NoGradGuard no_grad;
+    for (int it = 0; it < attn_iters; ++it) {
+      benchmark::DoNotOptimize(attention.Forward(x));
+    }
+  }
+  const double attn_wall =
+      std::chrono::duration<double>(clock::now() - t0).count();
+  const double attn_obs =
+      static_cast<double>(
+          obs::Registry::Instance().CounterValue("nn.attention.fwd.total_ns") -
+          attn_ns_before) /
+      1e9;
+
+  const double gemm_ratio = gemm_obs / gemm_wall;
+  const double attn_ratio = attn_obs / attn_wall;
+  std::printf("obs coverage: gemm %.4fs obs / %.4fs wall = %.3f\n", gemm_obs,
+              gemm_wall, gemm_ratio);
+  std::printf("obs coverage: attention %.4fs obs / %.4fs wall = %.3f\n",
+              attn_obs, attn_wall, attn_ratio);
+  obs::DumpJson(path);
+  std::printf("wrote metrics snapshot to %s\n", path.c_str());
+  const bool ok = std::abs(gemm_ratio - 1.0) <= 0.10 &&
+                  std::abs(attn_ratio - 1.0) <= 0.10;
+  if (!ok) {
+    std::fprintf(stderr,
+                 "obs totals drifted more than 10%% from wall time\n");
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace tfmae
 
 int main(int argc, char** argv) {
   const std::string kFlag = "--tensor_backend_json=";
+  const std::string kObsFlag = "--obs_json=";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind(kFlag, 0) == 0) {
       return tfmae::RunTensorBackendSweep(arg.substr(kFlag.size()));
+    }
+    if (arg.rfind(kObsFlag, 0) == 0) {
+      return tfmae::RunObsProfile(arg.substr(kObsFlag.size()));
     }
   }
   ::benchmark::Initialize(&argc, argv);

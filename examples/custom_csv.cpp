@@ -15,8 +15,10 @@
 #include "data/io.h"
 #include "eval/detection.h"
 #include "util/rng.h"
+#include "obs/export.h"
 
 int main(int argc, char** argv) {
+  tfmae::obs::MaybeProfileFromArgs(&argc, argv);
   using namespace tfmae;
 
   std::string input_path;

@@ -11,8 +11,10 @@
 #include "data/anomaly.h"
 #include "data/generator.h"
 #include "eval/detection.h"
+#include "obs/export.h"
 
-int main() {
+int main(int argc, char** argv) {
+  tfmae::obs::MaybeProfileFromArgs(&argc, argv);
   using namespace tfmae;
 
   // 1. Make a smooth periodic signal and carve train/val/test splits.

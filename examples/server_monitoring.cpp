@@ -15,8 +15,10 @@
 #include "data/profiles.h"
 #include "eval/detection.h"
 #include "nn/serialize.h"
+#include "obs/export.h"
 
-int main() {
+int main(int argc, char** argv) {
+  tfmae::obs::MaybeProfileFromArgs(&argc, argv);
   using namespace tfmae;
 
   // Simulated 38-channel server-machine dataset (SMD profile).

@@ -9,8 +9,10 @@
 #include "core/streaming.h"
 #include "data/anomaly.h"
 #include "data/generator.h"
+#include "obs/export.h"
 
-int main() {
+int main(int argc, char** argv) {
+  tfmae::obs::MaybeProfileFromArgs(&argc, argv);
   using namespace tfmae;
 
   // Historical data to train on, live stream with planted incidents.

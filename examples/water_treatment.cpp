@@ -16,8 +16,10 @@
 #include "core/anomaly_detector.h"
 #include "core/detector.h"
 #include "data/profiles.h"
+#include "obs/export.h"
 
-int main() {
+int main(int argc, char** argv) {
+  tfmae::obs::MaybeProfileFromArgs(&argc, argv);
   using namespace tfmae;
 
   const data::LabeledDataset dataset =

@@ -1,13 +1,20 @@
 #!/usr/bin/env bash
-# Build and run the test suite, optionally under a sanitizer.
+# Build and run the test suite, optionally under a sanitizer or with the
+# observability layer compiled in.
 #
 # Usage:
-#   scripts/check.sh [plain|thread|address|undefined] [extra ctest args...]
+#   scripts/check.sh [plain|thread|address|undefined|obs] [extra ctest args...]
 #
 # Examples:
 #   scripts/check.sh                 # plain Release build, full suite
 #   scripts/check.sh thread          # ThreadSanitizer build, full suite
 #   scripts/check.sh thread -R Gemm  # tsan build, GEMM/thread-pool tests only
+#   scripts/check.sh obs             # -DTFMAE_OBS=ON + tsan, collection on
+#
+# The obs mode is the instrumentation soak from docs/OBSERVABILITY.md: the
+# whole tier-1 suite runs with the macros compiled in, TFMAE_OBS=1 so every
+# site actually records, and ThreadSanitizer watching the registry's
+# lock-free shard path.
 #
 # Each mode builds into its own directory (build-check-<mode>) so sanitized
 # and plain object files never mix.
@@ -21,8 +28,9 @@ shift || true
 case "$SAN" in
   plain)   SAN_FLAG="" ;;
   thread|address|undefined) SAN_FLAG="-DTFMAE_SANITIZE=$SAN" ;;
+  obs)     SAN_FLAG="-DTFMAE_OBS=ON -DTFMAE_SANITIZE=thread" ;;
   *)
-    echo "usage: $0 [plain|thread|address|undefined] [ctest args...]" >&2
+    echo "usage: $0 [plain|thread|address|undefined|obs] [ctest args...]" >&2
     exit 2
     ;;
 esac
@@ -31,4 +39,8 @@ BUILD_DIR="build-check-$SAN"
 
 cmake -B "$BUILD_DIR" -S . $SAN_FLAG >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"
+if [ "$SAN" = "obs" ]; then
+  TFMAE_OBS=1 ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"
+else
+  ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"
+fi

@@ -14,15 +14,23 @@ namespace tfmae::core {
 
 /// Bookkeeping from the last Fit() call (feeds the Fig. 10 study).
 struct TrainStats {
-  double fit_seconds = 0.0;
-  double mean_loss_first_epoch = 0.0;
-  double mean_loss_last_epoch = 0.0;
-  std::int64_t num_windows = 0;
-  std::int64_t num_steps = 0;
-  std::int64_t peak_tensor_bytes = 0;
+  double fit_seconds = 0.0;            ///< wall time of the whole Fit()
+  double mean_loss_first_epoch = 0.0;  ///< Eq. (15) objective, epoch 1
+  double mean_loss_last_epoch = 0.0;   ///< Eq. (15) objective, final epoch
+  std::int64_t num_windows = 0;        ///< training windows sliced
+  std::int64_t num_steps = 0;          ///< optimizer steps taken
+  std::int64_t peak_tensor_bytes = 0;  ///< MemoryStats high-watermark
 };
 
 /// TFMAE anomaly detector implementing the shared AnomalyDetector protocol.
+///
+/// Wraps the two-branch masked autoencoder (core/model.h) with everything
+/// the protocol needs around it: global z-score normalization fitted on
+/// train, window slicing, one-time mask precomputation (masks depend only
+/// on the data), Adam optimization of the adversarial contrastive
+/// objective (Eq. (15)), and per-time-step symmetric-KL scoring (Eq. (16))
+/// with overlapping-window averaging. Fit()/Score() are deterministic for
+/// a fixed config and seed at any thread count (DESIGN.md §7).
 class TfmaeDetector : public AnomalyDetector {
  public:
   explicit TfmaeDetector(TfmaeConfig config, std::string name = "TFMAE");

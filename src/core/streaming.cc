@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "eval/detection.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace tfmae::core {
@@ -21,6 +22,7 @@ void StreamingDetector::CalibrateThreshold(
 
 std::optional<StreamingResult> StreamingDetector::Push(
     const std::vector<float>& observation) {
+  TFMAE_TRACE("core.streaming.push");
   if (num_features_ < 0) {
     num_features_ = static_cast<std::int64_t>(observation.size());
     TFMAE_CHECK(num_features_ >= 1);
@@ -50,6 +52,7 @@ std::optional<StreamingResult> StreamingDetector::Push(
     window_series.length = options_.window;
     window_series.num_features = num_features_;
     window_series.values = buffer_;
+    TFMAE_COUNTER_ADD("core.streaming.rescores", 1);
     const std::vector<float> scores = detector_->Score(window_series);
     // Emit the maximum over the segment scored fresh since the previous
     // rescore, so an anomaly anywhere inside the hop segment is surfaced.
@@ -65,6 +68,8 @@ std::optional<StreamingResult> StreamingDetector::Push(
   StreamingResult result;
   result.score = last_tail_score_;
   result.is_anomaly = last_tail_score_ >= threshold_;
+  TFMAE_COUNTER_ADD("core.streaming.scores", 1);
+  if (result.is_anomaly) TFMAE_COUNTER_ADD("core.streaming.alerts", 1);
   return result;
 }
 

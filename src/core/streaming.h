@@ -63,6 +63,17 @@ class StreamingDetector {
   /// pushes in between reuse the latest tail score (a documented
   /// approximation trading latency for compute — set hop=1 for exact
   /// per-step scoring).
+  ///
+  /// Warm-up semantics (hop > 1): the first `window - 1` pushes return
+  /// std::nullopt — there is no partial-window scoring. The push that
+  /// completes the first window ALWAYS triggers a fresh rescore, regardless
+  /// of where it falls in the hop cycle, so the first emitted result is
+  /// never a stale placeholder; only the newest observation (fresh = 1) is
+  /// scored fresh at that point. The hop cadence then restarts from this
+  /// first scoreable push: the next rescore happens at push `window + hop`,
+  /// and the `hop - 1` results in between repeat the first fresh tail
+  /// score. See streaming_test.cc ("WarmUpFirstResultIsFreshWithHop") for
+  /// the pinned behaviour.
   std::optional<StreamingResult> Push(const std::vector<float>& observation);
 
   /// Number of observations consumed so far.

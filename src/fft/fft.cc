@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace tfmae::fft {
@@ -104,6 +105,8 @@ void FftPow2(std::vector<Complex>* data, bool inverse) {
 
 std::vector<Complex> Fft(const std::vector<Complex>& input) {
   TFMAE_CHECK(!input.empty());
+  TFMAE_TRACE("fft.fft");
+  TFMAE_COUNTER_ADD("fft.fft.points", input.size());
   if (IsPowerOfTwo(static_cast<std::int64_t>(input.size()))) {
     std::vector<Complex> data = input;
     FftPow2(&data, /*inverse=*/false);
@@ -114,6 +117,8 @@ std::vector<Complex> Fft(const std::vector<Complex>& input) {
 
 std::vector<Complex> Ifft(const std::vector<Complex>& input) {
   TFMAE_CHECK(!input.empty());
+  TFMAE_TRACE("fft.ifft");
+  TFMAE_COUNTER_ADD("fft.ifft.points", input.size());
   const double inv_n = 1.0 / static_cast<double>(input.size());
   if (IsPowerOfTwo(static_cast<std::int64_t>(input.size()))) {
     std::vector<Complex> data = input;

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "fft/convolution.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace tfmae::masking {
@@ -41,6 +42,7 @@ std::vector<double> CoefficientOfVariation(const std::vector<float>& series,
                                            std::int64_t num_features,
                                            std::int64_t window,
                                            CvMethod method) {
+  TFMAE_TRACE("masking.cv");
   TFMAE_CHECK(window >= 1 && length >= 1 && num_features >= 1);
   TFMAE_CHECK(static_cast<std::int64_t>(series.size()) ==
               length * num_features);

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "fft/fft.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace tfmae::masking {
@@ -13,6 +14,7 @@ FrequencyMaskedColumn MaskFrequencyColumn(const std::vector<float>& column,
                                           double ratio,
                                           FrequencyMaskVariant variant,
                                           Rng* rng) {
+  TFMAE_TRACE("masking.frequency");
   TFMAE_CHECK_MSG(ratio >= 0.0 && ratio < 1.0,
                   "frequency mask ratio must be in [0, 1), got " << ratio);
   const std::int64_t length = static_cast<std::int64_t>(column.size());

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace tfmae::masking {
@@ -12,6 +13,7 @@ TemporalMask ComputeTemporalMask(const std::vector<float>& series,
                                  std::int64_t window, double ratio,
                                  TemporalMaskVariant variant,
                                  CvMethod cv_method, Rng* rng) {
+  TFMAE_TRACE("masking.temporal");
   TFMAE_CHECK_MSG(ratio >= 0.0 && ratio < 1.0,
                   "temporal mask ratio must be in [0, 1), got " << ratio);
   const std::int64_t masked_count =

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace tfmae::nn {
@@ -18,6 +19,8 @@ Adam::Adam(std::vector<Tensor> parameters, AdamOptions options)
 }
 
 void Adam::Step() {
+  TFMAE_TRACE("nn.adam.step");
+  TFMAE_COUNTER_ADD("nn.adam.steps", 1);
   ++step_count_;
   const float lr = options_.learning_rate;
   const float b1 = options_.beta1;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace tfmae::nn {
@@ -34,6 +35,7 @@ Tensor MultiHeadSelfAttention::ForwardWithWeights(const Tensor& x,
   TFMAE_CHECK_MSG(x.rank() == 2 && x.dim(1) == model_dim_,
                   "attention input must be [T, " << model_dim_ << "], got "
                                                  << ShapeToString(x.shape()));
+  TFMAE_TRACE("nn.attention.fwd");
   const std::int64_t t_len = x.dim(0);
 
   // Project and split into heads: [T, D] -> [H, T, Dh].

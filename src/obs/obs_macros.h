@@ -1,0 +1,106 @@
+// Instrumentation macro definitions — deliberately NO include guard.
+//
+// Normal code gets these via obs/trace.h and never includes this file
+// directly. The file is re-includable so the disabled expansions can be
+// materialized inside an observability build: defining
+// TFMAE_OBS_FORCE_DISABLED and re-including this header swaps every macro
+// for its compiled-out form (tests/obs_test.cc uses this to prove the
+// disabled path is a no-op via constant evaluation).
+//
+// Disabled expansions evaluate nothing: arguments appear only inside
+// sizeof, an unevaluated context, so they cost zero code bytes while still
+// marking their operands as used (no -Wunused warnings) and staying valid
+// in constant-evaluated contexts.
+
+#undef TFMAE_OBS_CONCAT_IMPL_
+#undef TFMAE_OBS_CONCAT_
+#undef TFMAE_TRACE
+#undef TFMAE_COUNTER_ADD
+#undef TFMAE_HISTOGRAM_RECORD
+#undef TFMAE_GAUGE_SET
+#undef TFMAE_GAUGE_MAX
+
+#define TFMAE_OBS_CONCAT_IMPL_(a, b) a##b
+#define TFMAE_OBS_CONCAT_(a, b) TFMAE_OBS_CONCAT_IMPL_(a, b)
+
+#if defined(TFMAE_OBS_ENABLED) && !defined(TFMAE_OBS_FORCE_DISABLED)
+
+/// Times the rest of the enclosing scope as site `name` (a string literal):
+/// `<name>.time_ns` histogram, `<name>.calls` / `<name>.total_ns` counters,
+/// plus a chrome-trace event while tracing is active.
+#define TFMAE_TRACE(name)                                               \
+  static ::tfmae::obs::TraceSite* TFMAE_OBS_CONCAT_(tfmae_obs_site_,    \
+                                                    __LINE__) =         \
+      ::tfmae::obs::GetTraceSite(name);                                 \
+  ::tfmae::obs::ScopedTrace TFMAE_OBS_CONCAT_(tfmae_obs_scope_,         \
+                                              __LINE__)(                \
+      TFMAE_OBS_CONCAT_(tfmae_obs_site_, __LINE__))
+
+/// Adds `delta` (convertible to uint64) to the counter `name`.
+#define TFMAE_COUNTER_ADD(name, delta)                                       \
+  do {                                                                       \
+    static const int tfmae_obs_cid_ =                                        \
+        ::tfmae::obs::Registry::Instance().CounterId(name);                  \
+    if (::tfmae::obs::Enabled()) {                                           \
+      ::tfmae::obs::Registry::Instance().CounterAdd(                         \
+          tfmae_obs_cid_, static_cast<std::uint64_t>(delta));                \
+    }                                                                        \
+  } while (0)
+
+/// Records one sample `value` into the histogram `name`.
+#define TFMAE_HISTOGRAM_RECORD(name, value)                                  \
+  do {                                                                       \
+    static const int tfmae_obs_hid_ =                                        \
+        ::tfmae::obs::Registry::Instance().HistogramId(name);                \
+    if (::tfmae::obs::Enabled()) {                                           \
+      ::tfmae::obs::Registry::Instance().HistogramRecord(                    \
+          tfmae_obs_hid_, static_cast<std::uint64_t>(value));                \
+    }                                                                        \
+  } while (0)
+
+/// Sets the gauge `name` to `value` (last write wins).
+#define TFMAE_GAUGE_SET(name, value)                                         \
+  do {                                                                       \
+    static const int tfmae_obs_gid_ =                                        \
+        ::tfmae::obs::Registry::Instance().GaugeId(name);                    \
+    if (::tfmae::obs::Enabled()) {                                           \
+      ::tfmae::obs::Registry::Instance().GaugeSet(                           \
+          tfmae_obs_gid_, static_cast<std::int64_t>(value));                 \
+    }                                                                        \
+  } while (0)
+
+/// Raises the gauge `name` to `value` if larger (high-watermark).
+#define TFMAE_GAUGE_MAX(name, value)                                         \
+  do {                                                                       \
+    static const int tfmae_obs_gid_ =                                        \
+        ::tfmae::obs::Registry::Instance().GaugeId(name);                    \
+    if (::tfmae::obs::Enabled()) {                                           \
+      ::tfmae::obs::Registry::Instance().GaugeMax(                           \
+          tfmae_obs_gid_, static_cast<std::int64_t>(value));                 \
+    }                                                                        \
+  } while (0)
+
+#else  // compiled out
+
+#define TFMAE_TRACE(name) \
+  do {                    \
+    (void)sizeof(name);   \
+  } while (0)
+#define TFMAE_COUNTER_ADD(name, delta)   \
+  do {                                   \
+    (void)sizeof(name), (void)sizeof(delta); \
+  } while (0)
+#define TFMAE_HISTOGRAM_RECORD(name, value)  \
+  do {                                       \
+    (void)sizeof(name), (void)sizeof(value); \
+  } while (0)
+#define TFMAE_GAUGE_SET(name, value)         \
+  do {                                       \
+    (void)sizeof(name), (void)sizeof(value); \
+  } while (0)
+#define TFMAE_GAUGE_MAX(name, value)         \
+  do {                                       \
+    (void)sizeof(name), (void)sizeof(value); \
+  } while (0)
+
+#endif

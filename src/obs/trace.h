@@ -1,0 +1,149 @@
+// RAII scoped timers, trace-event capture, and the instrumentation macros.
+//
+// Hot paths are instrumented with the macros defined in obs/obs_macros.h
+// (included at the bottom of this header):
+//
+//   void Gemm(...) {
+//     TFMAE_TRACE("tensor.gemm");                  // RAII scope timer
+//     TFMAE_COUNTER_ADD("tensor.gemm.flops", 2 * m * k * n);
+//     ...
+//   }
+//
+// Each TFMAE_TRACE site feeds three metrics — `<site>.time_ns` (histogram),
+// `<site>.calls` and `<site>.total_ns` (counters) — and, while tracing is
+// active, appends a complete-event record consumable as a chrome://tracing
+// timeline (obs/export.h).
+//
+// Gating (the instrumentation contract, docs/OBSERVABILITY.md):
+//  * Compile time: the macros expand to no-ops unless the tree is built
+//    with -DTFMAE_OBS=ON (which defines TFMAE_OBS_ENABLED). The default
+//    build carries zero observability code on the hot paths.
+//  * Run time: in an observability build, recording is further gated on
+//    Enabled() — initialized from the TFMAE_OBS environment variable
+//    (TFMAE_OBS=1 turns collection on) and settable programmatically. A
+//    runtime-disabled site costs one relaxed atomic load and a branch.
+//
+// The functions in this header (registry access, SetEnabled, exporter
+// support) are always compiled, so tooling and tests can link against them
+// in any build; only the macro call sites vanish.
+#ifndef TFMAE_OBS_TRACE_H_
+#define TFMAE_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace tfmae::obs {
+
+/// True iff this build carries the instrumentation macros
+/// (-DTFMAE_OBS=ON).
+constexpr bool CompiledIn() {
+#if defined(TFMAE_OBS_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace internal {
+/// Runtime collection switch. Read on every instrumented call; do not
+/// touch directly — use Enabled()/SetEnabled().
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+/// True iff recording is enabled at runtime. Defaults from the TFMAE_OBS
+/// environment variable ("1"/"true"/"on" enable).
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns runtime recording on or off (overrides the environment default).
+void SetEnabled(bool on);
+
+/// Monotonic nanoseconds since an arbitrary process-wide origin (captured
+/// on first use). All trace timestamps share this origin.
+std::uint64_t NowNs();
+
+/// One TFMAE_TRACE call site: the interned name plus the metric ids it
+/// records into. Obtained once per site via a function-local static.
+struct TraceSite {
+  const char* name;
+  int hist_time_ns;    ///< histogram `<name>.time_ns`
+  int counter_calls;   ///< counter `<name>.calls`
+  int counter_total;   ///< counter `<name>.total_ns`
+};
+
+/// Registers (or looks up) the site named `name`. Thread-safe; the returned
+/// pointer is valid for the process lifetime.
+TraceSite* GetTraceSite(const char* name);
+
+/// Scope timer for one site. If recording is disabled at construction the
+/// destructor does nothing (the scope is not retroactively recorded when
+/// recording flips on mid-scope).
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(TraceSite* site) {
+    if (Enabled()) {
+      site_ = site;
+      start_ = NowNs();
+    }
+  }
+  ~ScopedTrace() {
+    if (site_ != nullptr) Record();
+  }
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  void Record();  // out of line: histogram + counters + trace event
+
+  TraceSite* site_ = nullptr;
+  std::uint64_t start_ = 0;
+};
+
+/// Accumulates one autograd backward-node execution into
+/// `autograd.<op>.self_ns` / `autograd.<op>.calls`. `op` must be a string
+/// with process lifetime (op names are literals); ids are cached by
+/// pointer identity.
+void AutogradRecord(const char* op, std::uint64_t self_ns);
+
+// ---- Trace-event capture (chrome://tracing timelines) ----------------------
+
+/// A completed TFMAE_TRACE scope captured while tracing was active.
+struct TraceEvent {
+  const TraceSite* site;
+  std::uint64_t start_ns;
+  std::uint64_t dur_ns;
+};
+
+/// Starts capturing trace events, up to `max_events_per_thread` per thread
+/// (further events are dropped and counted, not resized — capture must not
+/// perturb the workload it measures). Implies nothing about Enabled();
+/// recording still requires it.
+void StartTracing(std::size_t max_events_per_thread = std::size_t{1} << 16);
+
+/// Stops capture. Captured events remain available to CollectTraceEvents.
+void StopTracing();
+
+/// True while trace events are being captured.
+bool TracingActive();
+
+/// All captured events as (thread index, event), in per-thread capture
+/// order; thread indices are assigned in buffer-creation order.
+std::vector<std::pair<int, TraceEvent>> CollectTraceEvents();
+
+/// Discards captured events and resets the dropped-event count.
+void ClearTraceEvents();
+
+/// Events dropped because a per-thread buffer was full.
+std::uint64_t DroppedTraceEvents();
+
+}  // namespace tfmae::obs
+
+#include "obs/obs_macros.h"  // TFMAE_TRACE / TFMAE_COUNTER_ADD / ...
+
+#endif  // TFMAE_OBS_TRACE_H_

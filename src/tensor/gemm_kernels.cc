@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace tfmae::gemm {
@@ -119,6 +120,14 @@ void BatchedTransposePack(const float* src, std::int64_t batch,
 void BatchedGemm(const float* a, const float* b, float* c, std::int64_t batch,
                  std::int64_t m, std::int64_t k, std::int64_t n) {
   if (batch <= 0 || m <= 0 || n <= 0 || k < 0) return;
+  // Inclusive scope: the packed variants (Bt/AtB) funnel through here, so
+  // tensor.gemm totals cover every dense multiply in the process.
+  TFMAE_TRACE("tensor.gemm");
+  TFMAE_COUNTER_ADD("tensor.gemm.flops", 2 * batch * m * k * n);
+  // Bytes touched assuming one pass over each operand and a read-modify-
+  // write of C (the kernels accumulate).
+  TFMAE_COUNTER_ADD("tensor.gemm.bytes",
+                    4 * batch * (m * k + k * n + 2 * m * n));
   // One unit = one kMR-row tile of one batch element. Chunk boundaries are
   // fixed by shape alone, so results are thread-count invariant.
   const std::int64_t blocks = (m + kMR - 1) / kMR;
@@ -149,6 +158,9 @@ void BatchedGemmBt(const float* a, const float* b_t, float* c,
                    std::int64_t n) {
   if (batch <= 0 || m <= 0 || n <= 0 || k < 0) return;
   if (k == 0) return;
+  // The nested BatchedGemm records under tensor.gemm as well; this site
+  // isolates the packing overhead (gemm_bt total minus gemm total).
+  TFMAE_TRACE("tensor.gemm_bt");
   // Pack B^T ([n, k] per batch) into row-major [k, n], then run the dense
   // kernel. The packs cost O(k*n) against the kernel's O(m*k*n).
   std::vector<float> packed(static_cast<std::size_t>(batch * k * n));
@@ -166,6 +178,7 @@ void BatchedGemmAtB(const float* a, const float* g, float* c,
                     std::int64_t n) {
   if (batch <= 0 || k <= 0 || n <= 0 || m < 0) return;
   if (m == 0) return;
+  TFMAE_TRACE("tensor.gemm_atb");
   // Pack A ([m, k] per batch) into A^T ([k, m]), then C += A^T * G is a
   // dense Gemm with M'=k, K'=m, N'=n.
   std::vector<float> packed(static_cast<std::size_t>(batch * k * m));

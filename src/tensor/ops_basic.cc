@@ -24,9 +24,10 @@ bool ShouldTrack(std::initializer_list<Tensor> inputs) {
   return false;
 }
 
-void SetGraph(Tensor* out, std::vector<Tensor> inputs,
+void SetGraph(Tensor* out, const char* op, std::vector<Tensor> inputs,
               std::function<void(TensorImpl&)> backward_fn) {
   out->set_requires_grad(true);
+  out->impl()->op = op;
   out->impl()->inputs = std::move(inputs);
   out->impl()->backward_fn = std::move(backward_fn);
 }
@@ -109,6 +110,20 @@ void ReduceToSmall(const float* grad, std::int64_t big_n, std::int64_t small_n,
   }
 }
 
+const char* BinaryOpName(BinaryKind kind) {
+  switch (kind) {
+    case BinaryKind::kAdd:
+      return "Add";
+    case BinaryKind::kSub:
+      return "Sub";
+    case BinaryKind::kMul:
+      return "Mul";
+    case BinaryKind::kDiv:
+      return "Div";
+  }
+  return "BinaryOp";
+}
+
 Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryKind kind) {
   BroadcastPlan plan = PlanBroadcast(a, b);
   const Tensor& big = plan.big;
@@ -144,7 +159,7 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryKind kind) {
   });
 
   if (ShouldTrack({a, b})) {
-    SetGraph(&out, {a, b}, [a, b, kind](TensorImpl& self) {
+    SetGraph(&out, BinaryOpName(kind), {a, b}, [a, b, kind](TensorImpl& self) {
       BroadcastPlan plan = PlanBroadcast(a, b);
       const Tensor& big = plan.big;
       const Tensor& small = plan.small;
@@ -206,7 +221,8 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryKind kind) {
   return out;
 }
 
-Tensor UnaryOp(const Tensor& x, float (*fwd)(float), float (*bwd)(float)) {
+Tensor UnaryOp(const Tensor& x, const char* op, float (*fwd)(float),
+               float (*bwd)(float)) {
   Tensor out = Tensor::Empty(x.shape());
   const float* px = x.data();
   float* po = out.data();
@@ -214,7 +230,7 @@ Tensor UnaryOp(const Tensor& x, float (*fwd)(float), float (*bwd)(float)) {
     for (std::int64_t i = s; i < e; ++i) po[i] = fwd(px[i]);
   });
   if (ShouldTrack({x})) {
-    SetGraph(&out, {x}, [x, bwd](TensorImpl& self) {
+    SetGraph(&out, op, {x}, [x, bwd](TensorImpl& self) {
       const float* grad = self.grad.get();
       const float* px = x.data();
       const std::int64_t n = x.numel();
@@ -293,7 +309,7 @@ Tensor Scale(const Tensor& x, float c) {
     for (std::int64_t i = s; i < e; ++i) po[i] = px[i] * c;
   });
   if (ShouldTrack({x})) {
-    SetGraph(&out, {x}, [x, c](TensorImpl& self) {
+    SetGraph(&out, "Scale", {x}, [x, c](TensorImpl& self) {
       internal::AccumulateGradScaled(x, self.grad.get(), c);
     });
   }
@@ -308,21 +324,25 @@ Tensor AddScalar(const Tensor& x, float c) {
     for (std::int64_t i = s; i < e; ++i) po[i] = px[i] + c;
   });
   if (ShouldTrack({x})) {
-    SetGraph(&out, {x}, [x](TensorImpl& self) {
+    SetGraph(&out, "AddScalar", {x}, [x](TensorImpl& self) {
       internal::AccumulateGrad(x, self.grad.get());
     });
   }
   return out;
 }
 
-Tensor Neg(const Tensor& x) { return UnaryOp(x, FwdNeg, BwdNeg); }
-Tensor Exp(const Tensor& x) { return UnaryOp(x, FwdExp, BwdExp); }
-Tensor Log(const Tensor& x) { return UnaryOp(x, FwdLog, BwdLog); }
-Tensor Sqrt(const Tensor& x) { return UnaryOp(x, FwdSqrt, BwdSqrt); }
-Tensor Square(const Tensor& x) { return UnaryOp(x, FwdSquare, BwdSquare); }
-Tensor Relu(const Tensor& x) { return UnaryOp(x, FwdRelu, BwdRelu); }
-Tensor Gelu(const Tensor& x) { return UnaryOp(x, FwdGelu, BwdGelu); }
-Tensor Tanh(const Tensor& x) { return UnaryOp(x, FwdTanh, BwdTanh); }
-Tensor Sigmoid(const Tensor& x) { return UnaryOp(x, FwdSigmoid, BwdSigmoid); }
+Tensor Neg(const Tensor& x) { return UnaryOp(x, "Neg", FwdNeg, BwdNeg); }
+Tensor Exp(const Tensor& x) { return UnaryOp(x, "Exp", FwdExp, BwdExp); }
+Tensor Log(const Tensor& x) { return UnaryOp(x, "Log", FwdLog, BwdLog); }
+Tensor Sqrt(const Tensor& x) { return UnaryOp(x, "Sqrt", FwdSqrt, BwdSqrt); }
+Tensor Square(const Tensor& x) {
+  return UnaryOp(x, "Square", FwdSquare, BwdSquare);
+}
+Tensor Relu(const Tensor& x) { return UnaryOp(x, "Relu", FwdRelu, BwdRelu); }
+Tensor Gelu(const Tensor& x) { return UnaryOp(x, "Gelu", FwdGelu, BwdGelu); }
+Tensor Tanh(const Tensor& x) { return UnaryOp(x, "Tanh", FwdTanh, BwdTanh); }
+Tensor Sigmoid(const Tensor& x) {
+  return UnaryOp(x, "Sigmoid", FwdSigmoid, BwdSigmoid);
+}
 
 }  // namespace tfmae::ops

@@ -12,9 +12,11 @@ namespace tfmae::ops::internal {
 /// True iff gradient mode is on and any input requires a gradient.
 bool ShouldTrack(std::initializer_list<Tensor> inputs);
 
-/// Marks `out` as produced from `inputs` with the given backward closure.
-/// No-op unless ShouldTrack(inputs).
-void SetGraph(Tensor* out, std::vector<Tensor> inputs,
+/// Marks `out` as produced by operator `op` from `inputs` with the given
+/// backward closure. `op` must be a string literal (stored unowned on the
+/// node); it names the node in the observability layer's per-op backward
+/// timing (`autograd.<op>.self_ns`) and in debug output.
+void SetGraph(Tensor* out, const char* op, std::vector<Tensor> inputs,
               std::function<void(TensorImpl&)> backward_fn);
 
 /// Adds `src` (numel values) into t's gradient buffer if t requires grad.

@@ -35,7 +35,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   gemm::Gemm(a.data(), b.data(), out.data(), m, k, n);
 
   if (ShouldTrack({a, b})) {
-    SetGraph(&out, {a, b}, [a, b, m, k, n](TensorImpl& self) {
+    SetGraph(&out, "MatMul", {a, b}, [a, b, m, k, n](TensorImpl& self) {
       const float* grad = self.grad.get();
       if (a.requires_grad()) {
         // dA[i,p] = sum_j G[i,j] * B[p,j], i.e. G * B^T with B stored [K,N].
@@ -68,7 +68,8 @@ Tensor BatchedMatMul(const Tensor& a, const Tensor& b) {
   Tensor out = Tensor::Zeros({batch, m, n});
   gemm::BatchedGemm(a.data(), b.data(), out.data(), batch, m, k, n);
   if (ShouldTrack({a, b})) {
-    SetGraph(&out, {a, b}, [a, b, batch, m, k, n](TensorImpl& self) {
+    SetGraph(&out, "BatchedMatMul", {a, b},
+             [a, b, batch, m, k, n](TensorImpl& self) {
       const float* grad = self.grad.get();
       if (a.requires_grad()) {
         std::vector<float> da(static_cast<std::size_t>(batch * m * k), 0.0f);
@@ -103,7 +104,8 @@ Tensor BatchedMatMulBt(const Tensor& a, const Tensor& b) {
   Tensor out = Tensor::Zeros({batch, m, n});
   gemm::BatchedGemmBt(a.data(), b.data(), out.data(), batch, m, k, n);
   if (ShouldTrack({a, b})) {
-    SetGraph(&out, {a, b}, [a, b, batch, m, k, n](TensorImpl& self) {
+    SetGraph(&out, "BatchedMatMulBt", {a, b},
+             [a, b, batch, m, k, n](TensorImpl& self) {
       const float* grad = self.grad.get();
       if (a.requires_grad()) {
         // dA[bi] = G[bi] * B[bi] : [M,N] x [N,K].

@@ -69,7 +69,7 @@ Tensor SumAll(const Tensor& x) {
     out.data()[0] = static_cast<float>(total);
   }
   if (ShouldTrack({x})) {
-    SetGraph(&out, {x}, [x](TensorImpl& self) {
+    SetGraph(&out, "SumAll", {x}, [x](TensorImpl& self) {
       if (!x.requires_grad()) return;
       const float g = self.grad.get()[0];
       std::vector<float> gx(static_cast<std::size_t>(x.numel()), g);
@@ -99,7 +99,7 @@ Tensor Softmax(const Tensor& x) {
     // The backward needs the output values y; they are reachable through
     // `self` (capturing the output Tensor here would create a shared_ptr
     // cycle and leak the graph).
-    SetGraph(&out, {x}, [x, rows, cols](TensorImpl& self) {
+    SetGraph(&out, "Softmax", {x}, [x, rows, cols](TensorImpl& self) {
       if (!x.requires_grad()) return;
       const float* grad = self.grad.get();
       const float* py = self.data.get();
@@ -143,7 +143,7 @@ Tensor LogSoftmax(const Tensor& x) {
     }
   });
   if (ShouldTrack({x})) {
-    SetGraph(&out, {x}, [x, rows, cols](TensorImpl& self) {
+    SetGraph(&out, "LogSoftmax", {x}, [x, rows, cols](TensorImpl& self) {
       if (!x.requires_grad()) return;
       const float* grad = self.grad.get();
       const float* py = self.data.get();
@@ -207,7 +207,7 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
     }
   });
   if (ShouldTrack({x, gamma, beta})) {
-    SetGraph(&out, {x, gamma, beta},
+    SetGraph(&out, "LayerNorm", {x, gamma, beta},
              [x, gamma, beta, mean, inv_std, rows, cols](TensorImpl& self) {
                const float* grad = self.grad.get();
                const float* px = x.data();

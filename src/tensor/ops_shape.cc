@@ -20,7 +20,7 @@ Tensor Reshape(const Tensor& x, Shape shape) {
   std::memcpy(out.data(), x.data(),
               static_cast<std::size_t>(x.numel()) * sizeof(float));
   if (ShouldTrack({x})) {
-    SetGraph(&out, {x}, [x](TensorImpl& self) {
+    SetGraph(&out, "Reshape", {x}, [x](TensorImpl& self) {
       internal::AccumulateGrad(x, self.grad.get());
     });
   }
@@ -52,7 +52,7 @@ Tensor Permute3(const Tensor& x, const std::array<int, 3>& perm) {
     }
   }
   if (ShouldTrack({x})) {
-    SetGraph(&out, {x}, [x, perm, out_shape](TensorImpl& self) {
+    SetGraph(&out, "Permute3", {x}, [x, perm, out_shape](TensorImpl& self) {
       if (!x.requires_grad()) return;
       const auto in_strides = RowMajorStrides(x.shape());
       const float* grad = self.grad.get();
@@ -91,7 +91,7 @@ Tensor Transpose2(const Tensor& x) {
     }
   }
   if (ShouldTrack({x})) {
-    SetGraph(&out, {x}, [x, m, n](TensorImpl& self) {
+    SetGraph(&out, "Transpose2", {x}, [x, m, n](TensorImpl& self) {
       if (!x.requires_grad()) return;
       const float* grad = self.grad.get();
       std::vector<float> gx(static_cast<std::size_t>(m * n));
@@ -120,7 +120,7 @@ Tensor IndexRows(const Tensor& x, const std::vector<std::int64_t>& indices) {
                 static_cast<std::size_t>(cols) * sizeof(float));
   }
   if (ShouldTrack({x})) {
-    SetGraph(&out, {x}, [x, indices, cols](TensorImpl& self) {
+    SetGraph(&out, "IndexRows", {x}, [x, indices, cols](TensorImpl& self) {
       if (!x.requires_grad()) return;
       const float* grad = self.grad.get();
       std::vector<float> gx(static_cast<std::size_t>(x.numel()), 0.0f);
@@ -153,7 +153,7 @@ Tensor ScatterRows(const Tensor& src, const std::vector<std::int64_t>& indices,
                 static_cast<std::size_t>(cols) * sizeof(float));
   }
   if (ShouldTrack({src})) {
-    SetGraph(&out, {src}, [src, indices, cols](TensorImpl& self) {
+    SetGraph(&out, "ScatterRows", {src}, [src, indices, cols](TensorImpl& self) {
       if (!src.requires_grad()) return;
       const float* grad = self.grad.get();
       std::vector<float> gs(static_cast<std::size_t>(src.numel()));
@@ -182,7 +182,7 @@ Tensor RepeatRow(const Tensor& row, std::int64_t n) {
                 static_cast<std::size_t>(cols) * sizeof(float));
   }
   if (ShouldTrack({row})) {
-    SetGraph(&out, {row}, [row, n, cols](TensorImpl& self) {
+    SetGraph(&out, "RepeatRow", {row}, [row, n, cols](TensorImpl& self) {
       if (!row.requires_grad()) return;
       const float* grad = self.grad.get();
       std::vector<float> gr(static_cast<std::size_t>(cols), 0.0f);
@@ -208,7 +208,7 @@ Tensor SliceRows(const Tensor& x, std::int64_t start, std::int64_t len) {
   std::memcpy(out.data(), x.data() + start * cols,
               static_cast<std::size_t>(len * cols) * sizeof(float));
   if (ShouldTrack({x})) {
-    SetGraph(&out, {x}, [x, start, len, cols](TensorImpl& self) {
+    SetGraph(&out, "SliceRows", {x}, [x, start, len, cols](TensorImpl& self) {
       if (!x.requires_grad()) return;
       const float* grad = self.grad.get();
       std::vector<float> gx(static_cast<std::size_t>(x.numel()), 0.0f);
@@ -232,7 +232,7 @@ Tensor ConcatRows(const Tensor& a, const Tensor& b) {
   std::memcpy(out.data() + ra * cols, b.data(),
               static_cast<std::size_t>(rb * cols) * sizeof(float));
   if (ShouldTrack({a, b})) {
-    SetGraph(&out, {a, b}, [a, b, ra, rb, cols](TensorImpl& self) {
+    SetGraph(&out, "ConcatRows", {a, b}, [a, b, ra, rb, cols](TensorImpl& self) {
       const float* grad = self.grad.get();
       internal::AccumulateGrad(a, grad);
       if (b.requires_grad()) {
@@ -263,7 +263,7 @@ Tensor Im2Col(const Tensor& x, std::int64_t kernel_size) {
     }
   }
   if (ShouldTrack({x})) {
-    SetGraph(&out, {x}, [x, kernel_size, t_len, channels,
+    SetGraph(&out, "Im2Col", {x}, [x, kernel_size, t_len, channels,
                          half](TensorImpl& self) {
       if (!x.requires_grad()) return;
       const float* grad = self.grad.get();

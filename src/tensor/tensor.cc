@@ -4,6 +4,7 @@
 #include <cstring>
 #include <unordered_set>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/memory.h"
 #include "util/rng.h"
@@ -198,10 +199,18 @@ void Tensor::Backward() const {
   }
   // topo is in post-order: inputs before outputs. Walk outputs-first.
   impl_->EnsureGrad()[0] = 1.0f;
+  TFMAE_TRACE("tensor.backward");
+  const bool time_nodes = obs::CompiledIn() && obs::Enabled();
   for (std::size_t i = topo.size(); i-- > 0;) {
     TensorImpl* node = topo[i];
     if (node->backward_fn && node->grad) {
-      node->backward_fn(*node);
+      if (time_nodes) {
+        const std::uint64_t start = obs::NowNs();
+        node->backward_fn(*node);
+        obs::AutogradRecord(node->op, obs::NowNs() - start);
+      } else {
+        node->backward_fn(*node);
+      }
     }
   }
 }

@@ -134,6 +134,10 @@ struct TensorImpl {
 
   // Autograd graph: inputs this node was computed from, and a closure that
   // reads this node's grad buffer and accumulates into the inputs' grads.
+  // `op` is the producing operator's name (a string literal set by
+  // ops::internal::SetGraph) — "leaf" for tensors no operator produced;
+  // Backward() aggregates per-op timing under it when observability is on.
+  const char* op = "leaf";
   std::vector<Tensor> inputs;
   std::function<void(TensorImpl&)> backward_fn;
 };

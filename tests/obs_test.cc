@@ -1,0 +1,240 @@
+// Tests for the observability layer (src/obs): registry semantics, the
+// determinism contract (bitwise-stable dumps at any thread count), the
+// exporters, and the compiled-out macro path.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+// Materialize the compiled-out macro expansions in this translation unit,
+// regardless of how the tree was built, to prove they are true no-ops:
+// valid in constant evaluation, so they cannot touch the registry, take a
+// lock, or read a clock.
+#define TFMAE_OBS_FORCE_DISABLED 1
+#include "obs/obs_macros.h"
+
+namespace {
+
+constexpr bool DisabledMacrosAreNoOps() {
+  TFMAE_TRACE("obs_test.constexpr.site");
+  TFMAE_COUNTER_ADD("obs_test.constexpr.counter", 42);
+  TFMAE_HISTOGRAM_RECORD("obs_test.constexpr.hist", 7);
+  TFMAE_GAUGE_SET("obs_test.constexpr.gauge", -3);
+  TFMAE_GAUGE_MAX("obs_test.constexpr.gauge", 9);
+  return true;
+}
+static_assert(DisabledMacrosAreNoOps(),
+              "disabled instrumentation macros must be constant-evaluable");
+
+}  // namespace
+
+// Restore the build's real macro definitions for the rest of the file.
+#undef TFMAE_OBS_FORCE_DISABLED
+#include "obs/obs_macros.h"
+
+namespace tfmae::obs {
+namespace {
+
+TEST(ObsMetricsTest, CounterAccumulatesAndIdsAreIdempotent) {
+  Registry& reg = Registry::Instance();
+  reg.Reset();
+  const int id = reg.CounterId("obs_test.counter.basic");
+  EXPECT_EQ(id, reg.CounterId("obs_test.counter.basic"));
+  reg.CounterAdd(id, 3);
+  reg.CounterAdd(id, 39);
+  EXPECT_EQ(reg.CounterValue("obs_test.counter.basic"), 42u);
+  EXPECT_EQ(reg.CounterValue("obs_test.counter.unregistered"), 0u);
+}
+
+TEST(ObsMetricsTest, HistogramBucketMapping) {
+  EXPECT_EQ(HistogramBucket(0), 0);
+  EXPECT_EQ(HistogramBucket(1), 1);
+  EXPECT_EQ(HistogramBucket(2), 2);
+  EXPECT_EQ(HistogramBucket(3), 2);  // [2, 4) -> bucket 2
+  EXPECT_EQ(HistogramBucket(4), 3);
+  EXPECT_EQ(HistogramBucket((1u << 10) - 1), 10);
+  EXPECT_EQ(HistogramBucket(1u << 10), 11);
+  EXPECT_EQ(HistogramBucket(~std::uint64_t{0}), kHistogramBuckets - 1);
+  EXPECT_EQ(HistogramBucketUpperBound(0), 0u);
+  EXPECT_EQ(HistogramBucketUpperBound(3), 7u);
+}
+
+TEST(ObsMetricsTest, HistogramStats) {
+  Registry& reg = Registry::Instance();
+  reg.Reset();
+  const int id = reg.HistogramId("obs_test.hist.stats");
+  for (std::uint64_t v : {5u, 10u, 100u, 1000u}) reg.HistogramRecord(id, v);
+  const MetricsSnapshot snap = reg.Snapshot();
+  const HistogramSnapshot* h = snap.Histogram("obs_test.hist.stats");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 4u);
+  EXPECT_EQ(h->sum, 1115u);
+  EXPECT_EQ(h->min, 5u);
+  EXPECT_EQ(h->max, 1000u);
+  EXPECT_DOUBLE_EQ(h->Mean(), 1115.0 / 4.0);
+  // p100 upper bound from the bucket CDF: within a factor of 2 of the max.
+  EXPECT_GE(h->Percentile(1.0), 1000.0);
+  EXPECT_LE(h->Percentile(1.0), 2048.0);
+  EXPECT_EQ(snap.Histogram("obs_test.hist.unregistered"), nullptr);
+}
+
+TEST(ObsMetricsTest, GaugeSetAndHighWatermark) {
+  Registry& reg = Registry::Instance();
+  reg.Reset();
+  const int id = reg.GaugeId("obs_test.gauge.level");
+  reg.GaugeSet(id, 17);
+  reg.GaugeSet(id, -4);  // last write wins
+  reg.GaugeMax(id, 3);   // raises: 3 > -4
+  reg.GaugeMax(id, 1);   // no-op: 1 < 3
+  const MetricsSnapshot snap = reg.Snapshot();
+  bool found = false;
+  for (const auto& [name, value] : snap.gauges) {
+    if (name == "obs_test.gauge.level") {
+      EXPECT_EQ(value, 3);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ObsMetricsTest, ResetZeroesValuesButKeepsRegistrations) {
+  Registry& reg = Registry::Instance();
+  const int id = reg.CounterId("obs_test.counter.reset");
+  reg.CounterAdd(id, 99);
+  reg.Reset();
+  EXPECT_EQ(reg.CounterValue("obs_test.counter.reset"), 0u);
+  EXPECT_EQ(id, reg.CounterId("obs_test.counter.reset"));
+}
+
+// The determinism contract: recording the same logical workload from pool
+// workers must produce bitwise-identical JSON dumps at every thread count,
+// exactly like varying TFMAE_NUM_THREADS (SetNumThreads is the same knob;
+// the env var only sets its initial value).
+TEST(ObsMetricsTest, DumpsBitwiseStableAcrossThreadCounts) {
+  Registry& reg = Registry::Instance();
+  const int counter = reg.CounterId("obs_test.parallel.counter");
+  const int hist = reg.HistogramId("obs_test.parallel.hist");
+  const int saved_threads = ThreadPool::Instance().num_threads();
+
+  std::vector<std::string> dumps;
+  for (int threads : {1, 2, 4}) {
+    ThreadPool::Instance().SetNumThreads(threads);
+    reg.Reset();
+    ParallelFor(0, 4096, /*grain=*/64, [&](std::int64_t s, std::int64_t e) {
+      for (std::int64_t i = s; i < e; ++i) {
+        reg.CounterAdd(counter, static_cast<std::uint64_t>(i) + 1);
+        reg.HistogramRecord(hist, static_cast<std::uint64_t>(i % 257));
+      }
+    });
+    std::ostringstream json;
+    DumpJsonTo(json);
+    dumps.push_back(json.str());
+  }
+  ThreadPool::Instance().SetNumThreads(saved_threads);
+
+  EXPECT_EQ(dumps[0], dumps[1]);
+  EXPECT_EQ(dumps[0], dumps[2]);
+  // Sanity: the dump actually contains the workload's exact totals.
+  EXPECT_EQ(reg.CounterValue("obs_test.parallel.counter"),
+            std::uint64_t{4096} * 4097 / 2);
+  EXPECT_NE(dumps[0].find("obs_test.parallel.counter"), std::string::npos);
+}
+
+TEST(ObsTraceTest, ScopedTraceRecordsOnlyWhileEnabled) {
+  Registry::Instance().Reset();
+  TraceSite* site = GetTraceSite("obs_test.trace.site");
+  ASSERT_NE(site, nullptr);
+  EXPECT_EQ(site, GetTraceSite("obs_test.trace.site"));
+
+  SetEnabled(true);
+  { ScopedTrace scope(site); }
+  SetEnabled(false);
+  { ScopedTrace scope(site); }  // must not record
+
+  const MetricsSnapshot snap = Registry::Instance().Snapshot();
+  EXPECT_EQ(snap.Counter("obs_test.trace.site.calls"), 1u);
+  const HistogramSnapshot* h = snap.Histogram("obs_test.trace.site.time_ns");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 1u);
+}
+
+TEST(ObsTraceTest, AutogradRecordAggregatesPerOp) {
+  Registry::Instance().Reset();
+  SetEnabled(true);
+  AutogradRecord("ObsTestOp", 100);
+  AutogradRecord("ObsTestOp", 23);
+  SetEnabled(false);
+  const MetricsSnapshot snap = Registry::Instance().Snapshot();
+  EXPECT_EQ(snap.Counter("autograd.ObsTestOp.calls"), 2u);
+  EXPECT_EQ(snap.Counter("autograd.ObsTestOp.self_ns"), 123u);
+}
+
+TEST(ObsExportTest, JsonDumpHasStableSections) {
+  Registry& reg = Registry::Instance();
+  reg.Reset();
+  reg.CounterAdd(reg.CounterId("obs_test.json.counter"), 7);
+  std::ostringstream json;
+  DumpJsonTo(json);
+  const std::string s = json.str();
+  EXPECT_NE(s.find("\"obs_compiled\""), std::string::npos);
+  EXPECT_NE(s.find("\"counters\""), std::string::npos);
+  EXPECT_NE(s.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(s.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(s.find("\"obs_test.json.counter\": 7"), std::string::npos);
+}
+
+TEST(ObsExportTest, TextDumpListsTopSites) {
+  Registry::Instance().Reset();
+  SetEnabled(true);
+  { ScopedTrace scope(GetTraceSite("obs_test.text.site")); }
+  SetEnabled(false);
+  std::ostringstream text;
+  DumpText(text);
+  EXPECT_NE(text.str().find("obs_test.text.site"), std::string::npos);
+}
+
+TEST(ObsExportTest, ChromeTraceRoundTrip) {
+  Registry::Instance().Reset();
+  ClearTraceEvents();
+  SetEnabled(true);
+  StartTracing();
+  { ScopedTrace scope(GetTraceSite("obs_test.chrome.site")); }
+  StopTracing();
+  SetEnabled(false);
+
+  const auto events = CollectTraceEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].second.site->name, "obs_test.chrome.site");
+  EXPECT_EQ(DroppedTraceEvents(), 0u);
+
+  const std::string path =
+      testing::TempDir() + "/obs_test_chrome_trace.json";
+  WriteChromeTrace(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(buf.str().find("obs_test.chrome.site"), std::string::npos);
+  ClearTraceEvents();
+  std::remove(path.c_str());
+}
+
+TEST(ObsTraceTest, CompiledInMatchesBuildDefinition) {
+#if defined(TFMAE_OBS_ENABLED)
+  EXPECT_TRUE(CompiledIn());
+#else
+  EXPECT_FALSE(CompiledIn());
+#endif
+}
+
+}  // namespace
+}  // namespace tfmae::obs

@@ -72,6 +72,50 @@ TEST(StreamingTest, HopReducesRescoringCalls) {
   EXPECT_GE(stub.score_calls, 3);
 }
 
+// Pins the documented warm-up semantics for hop > 1 (see StreamingOptions
+// and the Push doc comment in core/streaming.h): no partial-window results,
+// the first scoreable push always rescores fresh (tail observation only),
+// and the hop cadence restarts from that first scoreable push.
+TEST(StreamingTest, WarmUpFirstResultIsFreshWithHop) {
+  StubDetector stub;
+  StreamingOptions options;
+  options.window = 4;
+  options.hop = 3;
+  StreamingDetector stream(&stub, options);
+
+  // Pushes 1..3: filling the first window, no result, no detector call.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(stream.Push({1.0f}).has_value()) << "push " << i;
+  }
+  EXPECT_EQ(stub.score_calls, 0);
+
+  // Push 4 completes the window: a fresh rescore happens immediately even
+  // though the hop counter (1) has not reached hop (3), and only the tail
+  // observation's score is emitted.
+  auto first = stream.Push({6.0f});
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(stub.score_calls, 1);
+  EXPECT_FLOAT_EQ(first->score, 6.0f);
+
+  // Pushes 5 and 6 reuse the first fresh tail score without rescoring —
+  // even though push 6's own value (9) is larger.
+  auto second = stream.Push({2.0f});
+  auto third = stream.Push({9.0f});
+  ASSERT_TRUE(second.has_value());
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(stub.score_calls, 1);
+  EXPECT_FLOAT_EQ(second->score, 6.0f);
+  EXPECT_FLOAT_EQ(third->score, 6.0f);
+
+  // Push 7 is the third since the first rescore: the hop cycle completes
+  // and the max over the 3 freshly scored observations (2, 9, 3) surfaces
+  // the in-segment spike.
+  auto fourth = stream.Push({3.0f});
+  ASSERT_TRUE(fourth.has_value());
+  EXPECT_EQ(stub.score_calls, 2);
+  EXPECT_FLOAT_EQ(fourth->score, 9.0f);
+}
+
 TEST(StreamingTest, ThresholdCalibrationFlagsAnomalies) {
   StubDetector stub;
   StreamingOptions options;
