@@ -16,11 +16,19 @@
 // instrumentation enabled, the per-op totals recorded by the obs registry are
 // compared against externally measured wall time (they must agree within
 // 10%), and the full metrics snapshot is written to PATH as JSON.
+//
+// Run with --memory_plane_json=PATH to benchmark the memory plane: a
+// Transformer-layer + Adam training step is timed with the buffer pool on
+// and off at 1, 2 and 4 threads, recording ns/step, physical heap
+// allocations per step, pool hit rate, and logical allocation churn. The
+// summary records the pooled-vs-unpooled alloc reduction and speedup, and
+// verifies the final losses are bitwise identical across all configurations.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,6 +36,7 @@
 #include "fft/fft.h"
 #include "masking/coefficient_of_variation.h"
 #include "masking/frequency_mask.h"
+#include "nn/adam.h"
 #include "nn/attention.h"
 #include "nn/transformer.h"
 #include "obs/export.h"
@@ -35,6 +44,8 @@
 #include "obs/trace.h"
 #include "tensor/gemm_kernels.h"
 #include "tensor/ops.h"
+#include "tensor/pool.h"
+#include "util/memory.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -306,6 +317,197 @@ int RunTensorBackendSweep(const std::string& path) {
   return 0;
 }
 
+// ---- memory plane sweep (--memory_plane_json=PATH) -------------------------
+
+struct MemPlaneRow {
+  bool pooled;
+  int threads;
+  double ns_per_step;
+  double heap_allocs_per_step;     // physical: pool misses + unpooled news
+  double logical_allocs_per_step;  // MemoryStats buffer creations
+  double hit_rate;                 // pooled acquisitions served from cache
+  std::int64_t peak_logical_bytes;
+  std::int64_t peak_pool_bytes;
+  float final_loss;
+};
+
+/// Times a TransformerLayer + Adam training step with the buffer pool on and
+/// off across thread counts. Steady-state pooled steps must be (nearly)
+/// malloc-free for tensor buffers, at least 10x fewer physical allocations
+/// and 1.2x faster than unpooled, and bitwise loss-identical to unpooled at
+/// every thread count — the determinism contract of the memory plane.
+int RunMemoryPlaneSweep(const std::string& path) {
+  // Window lengths cycle per step, mirroring TFMAE training where temporal
+  // masking leaves a different number of visible tokens each batch. The
+  // pool's power-of-two size classes absorb the variation (all three
+  // lengths share classes, so steady-state hit rate stays 1.0); the
+  // unpooled path faces the realistic malloc churn of varying sizes.
+  //
+  // Long windows are the regime the pool targets: each attention score
+  // matrix is heads * len^2 floats (32-42 MiB here), above glibc's mmap
+  // threshold ceiling, so with TFMAE_POOL=0 every such buffer is a fresh
+  // mmap/munmap pair whose pages are faulted in and kernel-zeroed on every
+  // single step. The pool hands back the same warm pages instead.
+  const std::int64_t kLens[3] = {1024, 1088, 1152};
+  const std::int64_t dim = 64, heads = 8, ff = 256;
+  const int kWarmSteps = 3;
+  const int kSteps = 10;
+  const int kReps = 3;
+  const std::vector<int> threads = {1, 2, 4};
+
+  std::vector<MemPlaneRow> rows;
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool pooled = pass == 0;
+    for (int t : threads) {
+      pool::SetEnabled(pooled);
+      pool::Trim();
+      ThreadPool::Instance().SetNumThreads(t);
+      // Identical seeds in every configuration: the loss sequences must
+      // match bitwise regardless of pooling or thread count.
+      Rng rng(5);
+      nn::TransformerLayer layer(dim, heads, ff, &rng);
+      Rng data_rng(11);
+      Tensor xs[3];
+      Tensor targets[3];
+      for (int li = 0; li < 3; ++li) {
+        xs[li] = Tensor::Randn({kLens[li], dim}, &data_rng);
+        targets[li] = Tensor::Randn({kLens[li], dim}, &data_rng);
+      }
+      nn::AdamOptions opts;
+      opts.learning_rate = 1e-3f;
+      nn::Adam adam(layer.Parameters(), opts);
+      float loss_val = 0.0f;
+      std::int64_t step_index = 0;
+      auto step = [&] {
+        const int li = static_cast<int>(step_index++ % 3);
+        Tensor out = layer.Forward(xs[li]);
+        Tensor loss = ops::MseLoss(out, targets[li]);
+        adam.ZeroGrad();
+        loss.Backward();
+        adam.Step();
+        loss_val = loss.item();
+      };
+      for (int i = 0; i < kWarmSteps; ++i) step();
+      MemoryStats::ResetPeak();
+      pool::ResetPeak();
+      const pool::PoolStats s0 = pool::Stats();
+      const std::int64_t logical0 = MemoryStats::AllocCalls();
+      // Min-of-reps: each rep times kSteps further training steps; the
+      // minimum is robust to scheduler and frequency noise. Every
+      // configuration executes the same total step count, so the final
+      // losses stay comparable bitwise.
+      double best_sec = 1e30;
+      for (int rep = 0; rep < kReps; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int i = 0; i < kSteps; ++i) step();
+        best_sec = std::min(
+            best_sec,
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count());
+      }
+      const double sec = best_sec;
+      const pool::PoolStats s1 = pool::Stats();
+      const std::int64_t acquisitions =
+          (s1.hits - s0.hits) + (s1.misses - s0.misses);
+      MemPlaneRow row;
+      row.pooled = pooled;
+      row.threads = t;
+      row.ns_per_step = sec * 1e9 / kSteps;
+      const int measured_steps = kReps * kSteps;
+      row.heap_allocs_per_step =
+          static_cast<double>(s1.HeapAllocs() - s0.HeapAllocs()) /
+          measured_steps;
+      row.logical_allocs_per_step =
+          static_cast<double>(MemoryStats::AllocCalls() - logical0) /
+          measured_steps;
+      row.hit_rate = acquisitions > 0 ? static_cast<double>(s1.hits - s0.hits) /
+                                            static_cast<double>(acquisitions)
+                                      : 0.0;
+      row.peak_logical_bytes = MemoryStats::PeakBytes();
+      row.peak_pool_bytes = s1.peak_outstanding_bytes;
+      row.final_loss = loss_val;
+      rows.push_back(row);
+      std::printf(
+          "%-8s threads=%d  %10.0f ns/step  %7.2f heap allocs/step  "
+          "hit_rate=%.4f  loss=%.9g\n",
+          pooled ? "pooled" : "unpooled", t, row.ns_per_step,
+          row.heap_allocs_per_step, row.hit_rate,
+          static_cast<double>(row.final_loss));
+    }
+  }
+  pool::SetEnabled(true);
+
+  // Summary: per-thread pooled vs unpooled ratios, plus the bitwise loss
+  // check across all six configurations.
+  bool losses_match = true;
+  std::uint32_t loss0_bits = 0;
+  std::memcpy(&loss0_bits, &rows[0].final_loss, sizeof(loss0_bits));
+  for (const MemPlaneRow& r : rows) {
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &r.final_loss, sizeof(bits));
+    if (bits != loss0_bits) losses_match = false;
+  }
+  double worst_speedup = 1e30;
+  double worst_alloc_reduction = 1e30;
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    const MemPlaneRow& pr = rows[i];
+    const MemPlaneRow& ur = rows[i + threads.size()];
+    worst_speedup = std::min(worst_speedup, ur.ns_per_step / pr.ns_per_step);
+    // A pooled steady state can be exactly 0 allocs/step; floor at one
+    // allocation over the whole measured run so the ratio stays finite.
+    const double floor_allocs = 1.0 / (kReps * kSteps);
+    worst_alloc_reduction =
+        std::min(worst_alloc_reduction,
+                 ur.heap_allocs_per_step /
+                     std::max(pr.heap_allocs_per_step, floor_allocs));
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"workload\": \"transformer_layer_adam_step\",\n");
+  std::fprintf(f,
+               "  \"shape\": \"T%ld-%ld_D%ld_H%ld_FF%ld\",\n"
+               "  \"steps_per_rep\": %d,\n  \"reps\": %d,\n",
+               static_cast<long>(kLens[0]), static_cast<long>(kLens[2]),
+               static_cast<long>(dim), static_cast<long>(heads),
+               static_cast<long>(ff), kSteps, kReps);
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const MemPlaneRow& r = rows[i];
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &r.final_loss, sizeof(bits));
+    std::fprintf(f,
+                 "    {\"pool\": %s, \"threads\": %d, \"ns_per_step\": %.0f, "
+                 "\"heap_allocs_per_step\": %.3f, "
+                 "\"logical_allocs_per_step\": %.3f, \"hit_rate\": %.4f, "
+                 "\"peak_logical_bytes\": %lld, \"peak_pool_bytes\": %lld, "
+                 "\"final_loss\": %.9g, \"final_loss_bits\": \"0x%08x\"}%s\n",
+                 r.pooled ? "true" : "false", r.threads, r.ns_per_step,
+                 r.heap_allocs_per_step, r.logical_allocs_per_step, r.hit_rate,
+                 static_cast<long long>(r.peak_logical_bytes),
+                 static_cast<long long>(r.peak_pool_bytes),
+                 static_cast<double>(r.final_loss), bits,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"summary\": {\n");
+  std::fprintf(f, "    \"alloc_reduction_x\": %.1f,\n", worst_alloc_reduction);
+  std::fprintf(f, "    \"speedup_x\": %.2f,\n", worst_speedup);
+  std::fprintf(f, "    \"losses_bitwise_identical\": %s\n",
+               losses_match ? "true" : "false");
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("summary: alloc_reduction_x=%.1f speedup_x=%.2f "
+              "losses_bitwise_identical=%s\n",
+              worst_alloc_reduction, worst_speedup,
+              losses_match ? "true" : "false");
+  std::printf("wrote %s\n", path.c_str());
+  return losses_match ? 0 : 1;
+}
+
 // ---- observability self-check (--obs_json=PATH) ----------------------------
 
 /// Runs a fixed GEMM + attention workload with instrumentation enabled and
@@ -395,6 +597,7 @@ int RunObsProfile(const std::string& path) {
 int main(int argc, char** argv) {
   const std::string kFlag = "--tensor_backend_json=";
   const std::string kObsFlag = "--obs_json=";
+  const std::string kMemFlag = "--memory_plane_json=";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind(kFlag, 0) == 0) {
@@ -402,6 +605,9 @@ int main(int argc, char** argv) {
     }
     if (arg.rfind(kObsFlag, 0) == 0) {
       return tfmae::RunObsProfile(arg.substr(kObsFlag.size()));
+    }
+    if (arg.rfind(kMemFlag, 0) == 0) {
+      return tfmae::RunMemoryPlaneSweep(arg.substr(kMemFlag.size()));
     }
   }
   ::benchmark::Initialize(&argc, argv);

@@ -3,7 +3,7 @@
 # observability layer compiled in.
 #
 # Usage:
-#   scripts/check.sh [plain|thread|address|undefined|obs] [extra ctest args...]
+#   scripts/check.sh [plain|thread|address|undefined|obs|pool] [extra ctest args...]
 #
 # Examples:
 #   scripts/check.sh                 # plain Release build, full suite
@@ -15,6 +15,14 @@
 # whole tier-1 suite runs with the macros compiled in, TFMAE_OBS=1 so every
 # site actually records, and ThreadSanitizer watching the registry's
 # lock-free shard path.
+#
+# The pool mode is the memory-plane soak from DESIGN.md: the tier-1 suite
+# runs under AddressSanitizer three times — pool on, pool on with the NaN
+# scrub canary, and TFMAE_POOL=0 — so buffer recycling, read-before-write
+# of recycled memory, and the unpooled escape hatch are all exercised with
+# lifetime checking. The PoolDeterminismTest cases inside the suite pin the
+# two-seed bitwise pooled-vs-unpooled training-loss comparison at 1/2/4
+# threads.
 #
 # Each mode builds into its own directory (build-check-<mode>) so sanitized
 # and plain object files never mix.
@@ -29,8 +37,9 @@ case "$SAN" in
   plain)   SAN_FLAG="" ;;
   thread|address|undefined) SAN_FLAG="-DTFMAE_SANITIZE=$SAN" ;;
   obs)     SAN_FLAG="-DTFMAE_OBS=ON -DTFMAE_SANITIZE=thread" ;;
+  pool)    SAN_FLAG="-DTFMAE_SANITIZE=address" ;;
   *)
-    echo "usage: $0 [plain|thread|address|undefined|obs] [ctest args...]" >&2
+    echo "usage: $0 [plain|thread|address|undefined|obs|pool] [ctest args...]" >&2
     exit 2
     ;;
 esac
@@ -41,6 +50,14 @@ cmake -B "$BUILD_DIR" -S . $SAN_FLAG >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 if [ "$SAN" = "obs" ]; then
   TFMAE_OBS=1 ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"
+elif [ "$SAN" = "pool" ]; then
+  echo "== pool suite: ASan, TFMAE_POOL=1 =="
+  TFMAE_POOL=1 ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"
+  echo "== pool suite: ASan, TFMAE_POOL=1 TFMAE_POOL_SCRUB=1 =="
+  TFMAE_POOL=1 TFMAE_POOL_SCRUB=1 \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"
+  echo "== pool suite: ASan, TFMAE_POOL=0 =="
+  TFMAE_POOL=0 ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"
 else
   ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"
 fi

@@ -4,8 +4,35 @@
 
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace tfmae::nn {
+
+namespace {
+
+// Fixed chunking for the fused update: each element's arithmetic is
+// independent, so any chunk boundaries give bit-identical results — but fixed
+// ones keep the dispatch shape stable across thread counts.
+constexpr std::int64_t kAdamGrain = 1 << 14;
+constexpr std::int64_t kAdamParallelThreshold = 1 << 15;
+
+// Fused Adam element update: both moment updates, bias correction, and the
+// parameter write in one pass over [s, e). Exactly the arithmetic of the
+// classic four-expression form, in the same order.
+void AdamUpdateRange(float* w, float* m, float* v, const float* g,
+                     std::int64_t s, std::int64_t e, float scale, float lr,
+                     float b1, float b2, float bias1, float bias2, float eps) {
+  for (std::int64_t i = s; i < e; ++i) {
+    const float grad = g[i] * scale;
+    m[i] = b1 * m[i] + (1.0f - b1) * grad;
+    v[i] = b2 * v[i] + (1.0f - b2) * grad * grad;
+    const float m_hat = m[i] / bias1;
+    const float v_hat = v[i] / bias2;
+    w[i] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+  }
+}
+
+}  // namespace
 
 Adam::Adam(std::vector<Tensor> parameters, AdamOptions options)
     : parameters_(std::move(parameters)), options_(options) {
@@ -47,6 +74,7 @@ void Adam::Step() {
     }
   }
 
+  const float eps = options_.eps;
   for (std::size_t pi = 0; pi < parameters_.size(); ++pi) {
     Tensor& p = parameters_[pi];
     const float* g = p.grad_data();
@@ -55,13 +83,13 @@ void Adam::Step() {
     float* m = m_[pi].data();
     float* v = v_[pi].data();
     const std::int64_t n = p.numel();
-    for (std::int64_t i = 0; i < n; ++i) {
-      const float grad = g[i] * scale;
-      m[i] = b1 * m[i] + (1.0f - b1) * grad;
-      v[i] = b2 * v[i] + (1.0f - b2) * grad * grad;
-      const float m_hat = m[i] / bias1;
-      const float v_hat = v[i] / bias2;
-      w[i] -= lr * m_hat / (std::sqrt(v_hat) + options_.eps);
+    if (n < kAdamParallelThreshold) {
+      AdamUpdateRange(w, m, v, g, 0, n, scale, lr, b1, b2, bias1, bias2, eps);
+    } else {
+      ParallelFor(0, n, kAdamGrain, [=](std::int64_t s, std::int64_t e) {
+        AdamUpdateRange(w, m, v, g, s, e, scale, lr, b1, b2, bias1, bias2,
+                        eps);
+      });
     }
   }
 }

@@ -48,11 +48,12 @@ Tensor MultiHeadSelfAttention::ForwardWithWeights(const Tensor& x,
   Tensor v = split_heads(wv_.Forward(x));
 
   // Attention weights: softmax over keys of Q K^T / sqrt(Dh). The batched
-  // Bt kernel consumes K as [H, T, Dh] directly — no Permute3 node.
+  // Bt kernel consumes K as [H, T, Dh] directly — no Permute3 node, and the
+  // fused scale+softmax skips the scaled-scores intermediate (bit-identical
+  // to Softmax(Scale(scores))).
   Tensor scores = ops::BatchedMatMulBt(q, k);  // [H, T, T]
-  scores = ops::Scale(scores,
-                      1.0f / std::sqrt(static_cast<float>(head_dim_)));
-  Tensor weights = ops::Softmax(scores);
+  Tensor weights = ops::ScaleSoftmax(
+      scores, 1.0f / std::sqrt(static_cast<float>(head_dim_)));
   if (weights_out != nullptr) *weights_out = weights;
 
   // Weighted values, merge heads back: [H, T, Dh] -> [T, D].

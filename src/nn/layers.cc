@@ -39,6 +39,12 @@ FeedForward::FeedForward(std::int64_t model_dim, std::int64_t hidden_dim,
 }
 
 Tensor FeedForward::Forward(const Tensor& x) const {
+  if (activation_ == Activation::kGelu && fc1_.bias().defined()) {
+    // Fused bias+GELU: one graph node and no intermediate pre-activation
+    // tensor; bit-identical to Gelu(fc1(x)).
+    Tensor hidden = ops::BiasGelu(ops::MatMul(x, fc1_.weight()), fc1_.bias());
+    return fc2_.Forward(hidden);
+  }
   Tensor hidden = fc1_.Forward(x);
   hidden = activation_ == Activation::kGelu ? ops::Gelu(hidden)
                                             : ops::Relu(hidden);

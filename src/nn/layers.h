@@ -23,6 +23,11 @@ class Linear : public Module {
   std::int64_t in_features() const { return in_features_; }
   std::int64_t out_features() const { return out_features_; }
 
+  /// Parameter accessors for callers that fuse this layer with its consumer
+  /// (e.g. FeedForward's fused bias+GELU path).
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+
  private:
   std::int64_t in_features_;
   std::int64_t out_features_;

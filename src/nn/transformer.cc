@@ -1,10 +1,39 @@
 #include "nn/transformer.h"
 
+#include <algorithm>
 #include <cmath>
+#include <mutex>
+#include <unordered_map>
 
 #include "util/logging.h"
 
 namespace tfmae::nn {
+
+namespace {
+
+// Process-wide cache of sinusoidal tables keyed by embedding dim, each kept
+// at the longest length requested so far. The table is a pure function of
+// (length, dim) and a longer table's prefix equals the shorter table, so all
+// windows share one high-watermark copy instead of recomputing the
+// transcendentals (and reallocating the buffer) every training step.
+std::mutex g_pe_mutex;
+std::unordered_map<std::int64_t, Tensor>& PeCache() {
+  static auto* cache = new std::unordered_map<std::int64_t, Tensor>();
+  return *cache;
+}
+
+Tensor CachedPositionalEncoding(std::int64_t length, std::int64_t dim) {
+  std::lock_guard<std::mutex> lock(g_pe_mutex);
+  Tensor& entry = PeCache()[dim];
+  if (!entry.defined() || entry.dim(0) < length) {
+    entry = SinusoidalPositionalEncoding(length, dim);
+  }
+  // The returned handle aliases the cached buffer; it stays alive for the
+  // caller even if another thread grows (replaces) the entry concurrently.
+  return entry;
+}
+
+}  // namespace
 
 Tensor SinusoidalPositionalEncoding(std::int64_t length, std::int64_t dim) {
   Tensor pe = Tensor::Empty({length, dim});
@@ -30,13 +59,19 @@ Tensor AddPositionalEncoding(const Tensor& x,
   const std::int64_t dim = x.dim(1);
   std::int64_t max_pos = 0;
   for (std::int64_t p : positions) max_pos = std::max(max_pos, p);
-  Tensor table = SinusoidalPositionalEncoding(max_pos + 1, dim);
+  Tensor table = CachedPositionalEncoding(max_pos + 1, dim);
   Tensor rows = Tensor::Empty({static_cast<std::int64_t>(positions.size()),
                                dim});
   for (std::size_t i = 0; i < positions.size(); ++i) {
     const float* src = table.data() + positions[i] * dim;
     float* dst = rows.data() + static_cast<std::int64_t>(i) * dim;
     for (std::int64_t d = 0; d < dim; ++d) dst[d] = src[d];
+  }
+  if (!GradModeEnabled()) {
+    // Inference fast path: fold x into the freshly gathered rows in place
+    // (float addition is commutative, so this is bit-identical to Add).
+    ops::AddInPlace(&rows, x);
+    return rows;
   }
   return ops::Add(x, rows);
 }

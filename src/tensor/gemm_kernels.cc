@@ -1,7 +1,8 @@
 #include "tensor/gemm_kernels.h"
 
 #include <algorithm>
-#include <vector>
+
+#include "tensor/pool.h"
 
 #include "obs/trace.h"
 #include "util/thread_pool.h"
@@ -49,18 +50,80 @@ void MicroKernel(const float* a, std::int64_t lda, const float* b,
   }
 }
 
-// Scalar fallback for tile remainders: rows [i0,i1), cols [j0,j1), same
-// ascending-p accumulation order as the micro-kernel.
+// Compile-time-width column tile for narrow C panels: W columns, up to kMR
+// rows, accumulators in registers, p loop outermost. Same ascending-p
+// per-element order as every other kernel here. W = 8/16/32 covers the
+// head-dim panels of attention (A*V and its backward companions).
+template <int W>
+void EdgeColsTile(const float* a, std::int64_t lda, const float* b,
+                  std::int64_t ldb, float* c, std::int64_t ldc, std::int64_t k,
+                  std::int64_t rows) {
+  float acc[kMR][W];
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (int j = 0; j < W; ++j) acc[r][j] = c[r * ldc + j];
+  }
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* brow = b + p * ldb;
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const float av = a[r * lda + p];
+      for (int j = 0; j < W; ++j) acc[r][j] += av * brow[j];
+    }
+  }
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (int j = 0; j < W; ++j) c[r * ldc + j] = acc[r][j];
+  }
+}
+
+// Fallback for tile remainders: rows [i0,i1) (at most kMR), cols [j0,j1).
+// Register-tiled like the micro-kernel — accumulators live in a stack array
+// and the p loop is outermost so the compiler vectorizes across columns —
+// which matters for narrow-C shapes (n < kNR, e.g. the attention A*V panels
+// of width head_dim) that never reach MicroKernel. Each C element is still
+// accumulated in ascending-p order, so results stay bit-identical to the
+// naive seed loop.
 void EdgeKernel(const float* a, const float* b, float* c, std::int64_t k,
                 std::int64_t n, std::int64_t i0, std::int64_t i1,
                 std::int64_t j0, std::int64_t j1) {
-  for (std::int64_t i = i0; i < i1; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (std::int64_t j = j0; j < j1; ++j) {
-      float acc = crow[j];
-      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * b[p * n + j];
-      crow[j] = acc;
+  const std::int64_t rows = i1 - i0;
+  if (rows > kMR) {
+    // Defensive: callers hand over at most one kMR-row tile.
+    for (std::int64_t i = i0; i < i1; i += kMR) {
+      EdgeKernel(a, b, c, k, n, i, std::min(i1, i + kMR), j0, j1);
+    }
+    return;
+  }
+  float acc[kMR][kNR];
+  for (std::int64_t jj = j0; jj < j1; jj += kNR) {
+    const std::int64_t w = std::min<std::int64_t>(kNR, j1 - jj);
+    switch (w) {
+      case 8:
+        EdgeColsTile<8>(a + i0 * k, k, b + jj, n, c + i0 * n + jj, n, k, rows);
+        continue;
+      case 16:
+        EdgeColsTile<16>(a + i0 * k, k, b + jj, n, c + i0 * n + jj, n, k,
+                         rows);
+        continue;
+      case 32:
+        EdgeColsTile<32>(a + i0 * k, k, b + jj, n, c + i0 * n + jj, n, k,
+                         rows);
+        continue;
+      default:
+        break;
+    }
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const float* crow = c + (i0 + r) * n + jj;
+      for (std::int64_t j = 0; j < w; ++j) acc[r][j] = crow[j];
+    }
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float* brow = b + p * n + jj;
+      for (std::int64_t r = 0; r < rows; ++r) {
+        const float av = a[(i0 + r) * k + p];
+        for (std::int64_t j = 0; j < w; ++j) acc[r][j] += av * brow[j];
+      }
+    }
+    for (std::int64_t r = 0; r < rows; ++r) {
+      float* crow = c + (i0 + r) * n + jj;
+      for (std::int64_t j = 0; j < w; ++j) crow[j] = acc[r][j];
     }
   }
 }
@@ -162,8 +225,10 @@ void BatchedGemmBt(const float* a, const float* b_t, float* c,
   // isolates the packing overhead (gemm_bt total minus gemm total).
   TFMAE_TRACE("tensor.gemm_bt");
   // Pack B^T ([n, k] per batch) into row-major [k, n], then run the dense
-  // kernel. The packs cost O(k*n) against the kernel's O(m*k*n).
-  std::vector<float> packed(static_cast<std::size_t>(batch * k * n));
+  // kernel. The packs cost O(k*n) against the kernel's O(m*k*n). The
+  // workspace comes from the pool (no zero-fill: TransposePack writes every
+  // element), so steady-state backward gemms stay allocation-free.
+  pool::Scratch packed(batch * k * n);
   BatchedTransposePack(b_t, batch, n, k, packed.data());
   BatchedGemm(a, packed.data(), c, batch, m, k, n);
 }
@@ -180,8 +245,9 @@ void BatchedGemmAtB(const float* a, const float* g, float* c,
   if (m == 0) return;
   TFMAE_TRACE("tensor.gemm_atb");
   // Pack A ([m, k] per batch) into A^T ([k, m]), then C += A^T * G is a
-  // dense Gemm with M'=k, K'=m, N'=n.
-  std::vector<float> packed(static_cast<std::size_t>(batch * k * m));
+  // dense Gemm with M'=k, K'=m, N'=n. Pool-backed workspace, no zero-fill
+  // (fully written by the pack).
+  pool::Scratch packed(batch * k * m);
   BatchedTransposePack(a, batch, m, k, packed.data());
   BatchedGemm(packed.data(), g, c, batch, k, m, n);
 }

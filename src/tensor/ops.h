@@ -46,6 +46,36 @@ Tensor Gelu(const Tensor& x);  ///< tanh approximation.
 Tensor Tanh(const Tensor& x);
 Tensor Sigmoid(const Tensor& x);
 
+// ---- Fused -----------------------------------------------------------------
+//
+// Fused kernels are bit-identical to the compositions they replace (pinned by
+// tests/ops_property_test.cc): they apply the same per-element arithmetic in
+// the same order, but build one graph node instead of two and skip the
+// intermediate buffer.
+
+/// Gelu(Add(x, bias)): the feed-forward activation. `bias` broadcasts as in
+/// Add (same shape, scalar, or suffix).
+Tensor BiasGelu(const Tensor& x, const Tensor& bias);
+
+/// Softmax(Scale(x, scale)) over the last dimension — the scaled-dot-product
+/// attention normalization, without materializing the scaled scores.
+Tensor ScaleSoftmax(const Tensor& x, float scale);
+
+// ---- In-place --------------------------------------------------------------
+//
+// In-place ops mutate their destination and record nothing on the tape. They
+// CHECK-fail if called where a gradient could flow through the destination:
+// grad mode must be off, or neither operand may require a gradient — and the
+// destination must not be a recorded op output (a pending backward may read
+// its stored values). Intended for inference fast paths and optimizer-style
+// leaf updates.
+
+/// x += y elementwise (broadcast: same shape, scalar, or suffix).
+void AddInPlace(Tensor* x, const Tensor& y);
+
+/// x *= c elementwise.
+void MulScalarInPlace(Tensor* x, float c);
+
 // ---- Matrix multiplication ---------------------------------------------------
 
 /// [M, K] x [K, N] -> [M, N].

@@ -4,17 +4,23 @@
 // (see ops_internal.h); every chunk writes a disjoint slice of the output,
 // so results are bit-identical at any pool size.
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 
 #include "tensor/ops.h"
 #include "tensor/ops_internal.h"
+#include "tensor/pool.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace tfmae::ops {
 
 namespace internal {
+
+namespace {
+std::atomic<std::int64_t> g_graph_nodes{0};
+}  // namespace
 
 bool ShouldTrack(std::initializer_list<Tensor> inputs) {
   if (!GradModeEnabled()) return false;
@@ -26,10 +32,15 @@ bool ShouldTrack(std::initializer_list<Tensor> inputs) {
 
 void SetGraph(Tensor* out, const char* op, std::vector<Tensor> inputs,
               std::function<void(TensorImpl&)> backward_fn) {
+  g_graph_nodes.fetch_add(1, std::memory_order_relaxed);
   out->set_requires_grad(true);
   out->impl()->op = op;
   out->impl()->inputs = std::move(inputs);
   out->impl()->backward_fn = std::move(backward_fn);
+}
+
+std::int64_t GraphNodesCreated() {
+  return g_graph_nodes.load(std::memory_order_relaxed);
 }
 
 void AccumulateGrad(const Tensor& t, const float* src) {
@@ -99,14 +110,14 @@ BroadcastPlan PlanBroadcast(const Tensor& a, const Tensor& b) {
   return {};
 }
 
-// Sums `grad` (numel = big) blockwise into a small-tensor-sized buffer.
-// Serial: the accumulation order over the big range is part of the
-// deterministic contract.
+// Sums `grad` (numel = big) blockwise into a small-tensor-sized buffer
+// (caller-provided, at least small_n floats). Serial: the accumulation
+// order over the big range is part of the deterministic contract.
 void ReduceToSmall(const float* grad, std::int64_t big_n, std::int64_t small_n,
-                   std::vector<float>* out) {
-  out->assign(static_cast<std::size_t>(small_n), 0.0f);
+                   float* out) {
+  std::fill(out, out + small_n, 0.0f);
   for (std::int64_t i = 0; i < big_n; ++i) {
-    (*out)[static_cast<std::size_t>(i % small_n)] += grad[i];
+    out[i % small_n] += grad[i];
   }
 }
 
@@ -170,9 +181,10 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryKind kind) {
       const float* ps = small.data();
       const bool small_lhs = plan.small_is_lhs;
 
-      // d(out)/d(big) and d(out)/d(small) per element.
-      std::vector<float> big_grad(static_cast<std::size_t>(big_n));
-      std::vector<float> small_grad_full(static_cast<std::size_t>(big_n));
+      // d(out)/d(big) and d(out)/d(small) per element (pooled scratch,
+      // fully overwritten below).
+      pool::Scratch big_grad(big_n);
+      pool::Scratch small_grad_full(big_n);
       float* pbig_grad = big_grad.data();
       float* psmall_grad = small_grad_full.data();
       ParallelElems(big_n, [=](std::int64_t s, std::int64_t e) {
@@ -213,8 +225,8 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryKind kind) {
         }
       });
       internal::AccumulateGrad(big, big_grad.data());
-      std::vector<float> small_grad;
-      ReduceToSmall(small_grad_full.data(), big_n, small_n, &small_grad);
+      pool::Scratch small_grad(small_n);
+      ReduceToSmall(small_grad_full.data(), big_n, small_n, small_grad.data());
       internal::AccumulateGrad(small, small_grad.data());
     });
   }
@@ -234,7 +246,7 @@ Tensor UnaryOp(const Tensor& x, const char* op, float (*fwd)(float),
       const float* grad = self.grad.get();
       const float* px = x.data();
       const std::int64_t n = x.numel();
-      std::vector<float> gx(static_cast<std::size_t>(n));
+      pool::Scratch gx(n);
       float* pgx = gx.data();
       ParallelElems(n, [=](std::int64_t s, std::int64_t e) {
         for (std::int64_t i = s; i < e; ++i) pgx[i] = grad[i] * bwd(px[i]);
@@ -343,6 +355,114 @@ Tensor Gelu(const Tensor& x) { return UnaryOp(x, "Gelu", FwdGelu, BwdGelu); }
 Tensor Tanh(const Tensor& x) { return UnaryOp(x, "Tanh", FwdTanh, BwdTanh); }
 Tensor Sigmoid(const Tensor& x) {
   return UnaryOp(x, "Sigmoid", FwdSigmoid, BwdSigmoid);
+}
+
+Tensor BiasGelu(const Tensor& x, const Tensor& bias) {
+  TFMAE_CHECK(x.defined() && bias.defined());
+  TFMAE_CHECK_MSG(bias.numel() == 1 || IsSuffixOf(bias.shape(), x.shape()),
+                  "BiasGelu bias " << ShapeToString(bias.shape())
+                                   << " must broadcast over "
+                                   << ShapeToString(x.shape()));
+  const std::int64_t n = x.numel();
+  const std::int64_t bn = bias.numel();
+  Tensor out = Tensor::Empty(x.shape());
+  const float* px = x.data();
+  const float* pb = bias.data();
+  float* po = out.data();
+  const bool track = ShouldTrack({x, bias});
+  // When tracking, the forward's tanh values are cached in a pool-backed
+  // side tensor so the backward does not pay the transcendental again.
+  // Reading the stored value is bitwise-equal to recomputing it, so the
+  // fusion stays indistinguishable from Gelu(Add(x, bias)).
+  Tensor tanh_cache;
+  if (track) tanh_cache = Tensor::Empty(x.shape());
+  float* pt = track ? tanh_cache.data() : nullptr;
+  // One pass instead of materializing x + bias: same per-element arithmetic
+  // as Gelu(Add(x, bias)), so the fusion is bitwise-invisible.
+  ParallelElems(n, [=](std::int64_t s, std::int64_t e) {
+    if (pt != nullptr) {
+      for (std::int64_t i = s; i < e; ++i) {
+        const float v = px[i] + pb[i % bn];
+        const float inner = kGeluC * (v + 0.044715f * v * v * v);
+        const float t = std::tanh(inner);
+        pt[i] = t;
+        po[i] = 0.5f * v * (1.0f + t);
+      }
+    } else {
+      for (std::int64_t i = s; i < e; ++i) po[i] = FwdGelu(px[i] + pb[i % bn]);
+    }
+  });
+  if (track) {
+    SetGraph(&out, "BiasGelu", {x, bias},
+             [x, bias, tanh_cache](TensorImpl& self) {
+               const float* grad = self.grad.get();
+               const float* px = x.data();
+               const float* pb = bias.data();
+               const float* pt = tanh_cache.data();
+               const std::int64_t n = x.numel();
+               const std::int64_t bn = bias.numel();
+               // d(out)/d(pre) with pre = x + bias recomputed on the fly
+               // (cheap) and tanh(inner) read from the forward's cache.
+               pool::Scratch gpre(n);
+               float* pg = gpre.data();
+               ParallelElems(n, [=](std::int64_t s, std::int64_t e) {
+                 for (std::int64_t i = s; i < e; ++i) {
+                   const float v = px[i] + pb[i % bn];
+                   const float t = pt[i];
+                   const float d_inner =
+                       kGeluC * (1.0f + 3.0f * 0.044715f * v * v);
+                   pg[i] = grad[i] * (0.5f * (1.0f + t) +
+                                      0.5f * v * (1.0f - t * t) * d_inner);
+                 }
+               });
+               internal::AccumulateGrad(x, gpre.data());
+               if (bias.requires_grad()) {
+                 pool::Scratch gbias(bn);
+                 ReduceToSmall(gpre.data(), n, bn, gbias.data());
+                 internal::AccumulateGrad(bias, gbias.data());
+               }
+             });
+  }
+  return out;
+}
+
+void AddInPlace(Tensor* x, const Tensor& y) {
+  TFMAE_CHECK(x != nullptr && x->defined() && y.defined());
+  TFMAE_CHECK_MSG(!GradModeEnabled() ||
+                      (!x->requires_grad() && !y.requires_grad()),
+                  "AddInPlace requires a no-grad context: in-place writes "
+                  "would corrupt recorded graph values");
+  TFMAE_CHECK_MSG(!x->impl()->backward_fn,
+                  "AddInPlace destination must not be a recorded op output "
+                  "(a pending backward may read its stored values)");
+  TFMAE_CHECK_MSG(
+      SameShape(y.shape(), x->shape()) || y.numel() == 1 ||
+          IsSuffixOf(y.shape(), x->shape()),
+      "AddInPlace operand " << ShapeToString(y.shape())
+                            << " must broadcast over "
+                            << ShapeToString(x->shape()));
+  const std::int64_t n = x->numel();
+  const std::int64_t yn = y.numel();
+  float* px = x->data();
+  const float* py = y.data();
+  ParallelElems(n, [=](std::int64_t s, std::int64_t e) {
+    for (std::int64_t i = s; i < e; ++i) px[i] += py[i % yn];
+  });
+}
+
+void MulScalarInPlace(Tensor* x, float c) {
+  TFMAE_CHECK(x != nullptr && x->defined());
+  TFMAE_CHECK_MSG(!GradModeEnabled() || !x->requires_grad(),
+                  "MulScalarInPlace requires a no-grad context: in-place "
+                  "writes would corrupt recorded graph values");
+  TFMAE_CHECK_MSG(!x->impl()->backward_fn,
+                  "MulScalarInPlace destination must not be a recorded op "
+                  "output (a pending backward may read its stored values)");
+  const std::int64_t n = x->numel();
+  float* px = x->data();
+  ParallelElems(n, [=](std::int64_t s, std::int64_t e) {
+    for (std::int64_t i = s; i < e; ++i) px[i] *= c;
+  });
 }
 
 }  // namespace tfmae::ops

@@ -19,6 +19,11 @@ bool ShouldTrack(std::initializer_list<Tensor> inputs);
 void SetGraph(Tensor* out, const char* op, std::vector<Tensor> inputs,
               std::function<void(TensorImpl&)> backward_fn);
 
+/// Monotone count of autograd graph nodes recorded by SetGraph since process
+/// start. Stays flat across NoGradGuard regions — the retention regression
+/// tests pin the inference fast path on this.
+std::int64_t GraphNodesCreated();
+
 /// Adds `src` (numel values) into t's gradient buffer if t requires grad.
 void AccumulateGrad(const Tensor& t, const float* src);
 

@@ -5,11 +5,11 @@
 // training parallelizes across the pool while staying bit-deterministic in
 // the thread count.
 #include <cstring>
-#include <vector>
 
 #include "tensor/gemm_kernels.h"
 #include "tensor/ops.h"
 #include "tensor/ops_internal.h"
+#include "tensor/pool.h"
 #include "util/logging.h"
 
 namespace tfmae::ops {
@@ -39,13 +39,14 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       const float* grad = self.grad.get();
       if (a.requires_grad()) {
         // dA[i,p] = sum_j G[i,j] * B[p,j], i.e. G * B^T with B stored [K,N].
-        std::vector<float> da(static_cast<std::size_t>(m * k), 0.0f);
+        // Zero-filled pooled scratch: the kernels accumulate into it.
+        pool::Scratch da(m * k, /*zero_fill=*/true);
         gemm::GemmBt(grad, b.data(), da.data(), m, n, k);
         internal::AccumulateGrad(a, da.data());
       }
       if (b.requires_grad()) {
         // dB = A^T * G.
-        std::vector<float> db(static_cast<std::size_t>(k * n), 0.0f);
+        pool::Scratch db(k * n, /*zero_fill=*/true);
         gemm::GemmAtB(a.data(), grad, db.data(), m, k, n);
         internal::AccumulateGrad(b, db.data());
       }
@@ -72,12 +73,12 @@ Tensor BatchedMatMul(const Tensor& a, const Tensor& b) {
              [a, b, batch, m, k, n](TensorImpl& self) {
       const float* grad = self.grad.get();
       if (a.requires_grad()) {
-        std::vector<float> da(static_cast<std::size_t>(batch * m * k), 0.0f);
+        pool::Scratch da(batch * m * k, /*zero_fill=*/true);
         gemm::BatchedGemmBt(grad, b.data(), da.data(), batch, m, n, k);
         internal::AccumulateGrad(a, da.data());
       }
       if (b.requires_grad()) {
-        std::vector<float> db(static_cast<std::size_t>(batch * k * n), 0.0f);
+        pool::Scratch db(batch * k * n, /*zero_fill=*/true);
         gemm::BatchedGemmAtB(a.data(), grad, db.data(), batch, m, k, n);
         internal::AccumulateGrad(b, db.data());
       }
@@ -109,13 +110,13 @@ Tensor BatchedMatMulBt(const Tensor& a, const Tensor& b) {
       const float* grad = self.grad.get();
       if (a.requires_grad()) {
         // dA[bi] = G[bi] * B[bi] : [M,N] x [N,K].
-        std::vector<float> da(static_cast<std::size_t>(batch * m * k), 0.0f);
+        pool::Scratch da(batch * m * k, /*zero_fill=*/true);
         gemm::BatchedGemm(grad, b.data(), da.data(), batch, m, n, k);
         internal::AccumulateGrad(a, da.data());
       }
       if (b.requires_grad()) {
         // dB[bi] = G[bi]^T * A[bi] : [N,M] x [M,K].
-        std::vector<float> db(static_cast<std::size_t>(batch * n * k), 0.0f);
+        pool::Scratch db(batch * n * k, /*zero_fill=*/true);
         gemm::BatchedGemmAtB(grad, a.data(), db.data(), batch, m, n, k);
         internal::AccumulateGrad(b, db.data());
       }

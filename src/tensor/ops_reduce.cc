@@ -10,6 +10,7 @@
 
 #include "tensor/ops.h"
 #include "tensor/ops_internal.h"
+#include "tensor/pool.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -72,7 +73,8 @@ Tensor SumAll(const Tensor& x) {
     SetGraph(&out, "SumAll", {x}, [x](TensorImpl& self) {
       if (!x.requires_grad()) return;
       const float g = self.grad.get()[0];
-      std::vector<float> gx(static_cast<std::size_t>(x.numel()), g);
+      pool::Scratch gx(x.numel());
+      std::fill(gx.data(), gx.data() + x.numel(), g);
       internal::AccumulateGrad(x, gx.data());
     });
   }
@@ -103,7 +105,7 @@ Tensor Softmax(const Tensor& x) {
       if (!x.requires_grad()) return;
       const float* grad = self.grad.get();
       const float* py = self.data.get();
-      std::vector<float> gx(static_cast<std::size_t>(x.numel()));
+      pool::Scratch gx(x.numel());
       float* pgx = gx.data();
       ParallelRows(rows, cols, [=](std::int64_t r0, std::int64_t r1) {
         for (std::int64_t r = r0; r < r1; ++r) {
@@ -119,6 +121,55 @@ Tensor Softmax(const Tensor& x) {
       });
       internal::AccumulateGrad(x, gx.data());
     });
+  }
+  return out;
+}
+
+Tensor ScaleSoftmax(const Tensor& x, float scale) {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  RowView(x, &rows, &cols);
+  Tensor out = Tensor::Empty(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+  // Materialize each scaled row before the softmax so the arithmetic is
+  // exactly Softmax(Scale(x, scale)) — the fused op must stay bit-identical
+  // to the composition it replaces (pinned by ops_property_test).
+  ParallelRows(rows, cols, [=](std::int64_t r0, std::int64_t r1) {
+    pool::Scratch scaled(cols);
+    float* ps = scaled.data();
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const float* in = px + r * cols;
+      for (std::int64_t j = 0; j < cols; ++j) ps[j] = in[j] * scale;
+      SoftmaxRow(ps, po + r * cols, cols);
+    }
+  });
+  if (ShouldTrack({x})) {
+    SetGraph(&out, "ScaleSoftmax", {x},
+             [x, rows, cols, scale](TensorImpl& self) {
+               if (!x.requires_grad()) return;
+               const float* grad = self.grad.get();
+               const float* py = self.data.get();
+               // src is the softmax backward w.r.t. the scaled input; the
+               // chain rule through Scale is the final scale factor, applied
+               // in AccumulateGradScaled exactly as the composed Scale
+               // backward would.
+               pool::Scratch src(x.numel());
+               float* psrc = src.data();
+               ParallelRows(rows, cols, [=](std::int64_t r0, std::int64_t r1) {
+                 for (std::int64_t r = r0; r < r1; ++r) {
+                   const float* gy = grad + r * cols;
+                   const float* yr = py + r * cols;
+                   float dot = 0.0f;
+                   for (std::int64_t j = 0; j < cols; ++j) dot += gy[j] * yr[j];
+                   float* sr = psrc + r * cols;
+                   for (std::int64_t j = 0; j < cols; ++j) {
+                     sr[j] = yr[j] * (gy[j] - dot);
+                   }
+                 }
+               });
+               internal::AccumulateGradScaled(x, src.data(), scale);
+             });
   }
   return out;
 }
@@ -147,7 +198,7 @@ Tensor LogSoftmax(const Tensor& x) {
       if (!x.requires_grad()) return;
       const float* grad = self.grad.get();
       const float* py = self.data.get();
-      std::vector<float> gx(static_cast<std::size_t>(x.numel()));
+      pool::Scratch gx(x.numel());
       float* pgx = gx.data();
       ParallelRows(rows, cols, [=](std::int64_t r0, std::int64_t r1) {
         for (std::int64_t r = r0; r < r1; ++r) {
@@ -212,14 +263,12 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                const float* grad = self.grad.get();
                const float* px = x.data();
                const float* pg = gamma.data();
-               std::vector<float> gx(
-                   static_cast<std::size_t>(x.numel()), 0.0f);
+               pool::Scratch gx(x.numel());  // every element written
                // The gamma/beta gradients reduce over rows: accumulate one
                // partial pair per row chunk, then combine in chunk order.
                const std::int64_t grain = RowGrain(cols);
                const std::int64_t nchunks = (rows + grain - 1) / grain;
-               std::vector<float> partials(
-                   static_cast<std::size_t>(nchunks * 2 * cols), 0.0f);
+               pool::Scratch partials(nchunks * 2 * cols, /*zero_fill=*/true);
                float* pgx = gx.data();
                float* ppart = partials.data();
                const float* pmean = mean.data();
@@ -254,14 +303,14 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                    }
                  }
                });
-               std::vector<float> ggamma(static_cast<std::size_t>(cols), 0.0f);
-               std::vector<float> gbeta(static_cast<std::size_t>(cols), 0.0f);
+               pool::Scratch ggamma(cols, /*zero_fill=*/true);
+               pool::Scratch gbeta(cols, /*zero_fill=*/true);
                for (std::int64_t c = 0; c < nchunks; ++c) {
                  const float* pggamma = ppart + c * 2 * cols;
                  const float* pgbeta = pggamma + cols;
                  for (std::int64_t j = 0; j < cols; ++j) {
-                   ggamma[static_cast<std::size_t>(j)] += pggamma[j];
-                   gbeta[static_cast<std::size_t>(j)] += pgbeta[j];
+                   ggamma.data()[j] += pggamma[j];
+                   gbeta.data()[j] += pgbeta[j];
                  }
                }
                internal::AccumulateGrad(x, gx.data());
@@ -307,16 +356,16 @@ std::vector<float> SymmetricKlPerRow(const Tensor& p_logits,
   float* ps = scores.data();
   constexpr float kFloor = 1e-12f;
   ParallelRows(rows, cols, [=](std::int64_t r0, std::int64_t r1) {
-    std::vector<float> p(static_cast<std::size_t>(cols));
-    std::vector<float> q(static_cast<std::size_t>(cols));
+    pool::Scratch p(cols);
+    pool::Scratch q(cols);
     for (std::int64_t r = r0; r < r1; ++r) {
       SoftmaxRow(pp + r * cols, p.data(), cols);
       SoftmaxRow(pq + r * cols, q.data(), cols);
       double kl_pq = 0.0;
       double kl_qp = 0.0;
       for (std::int64_t j = 0; j < cols; ++j) {
-        const double pj = std::max(p[static_cast<std::size_t>(j)], kFloor);
-        const double qj = std::max(q[static_cast<std::size_t>(j)], kFloor);
+        const double pj = std::max(p.data()[j], kFloor);
+        const double qj = std::max(q.data()[j], kFloor);
         kl_pq += pj * std::log(pj / qj);
         kl_qp += qj * std::log(qj / pj);
       }

@@ -3,6 +3,7 @@
 
 #include "tensor/ops.h"
 #include "tensor/ops_internal.h"
+#include "tensor/pool.h"
 #include "util/logging.h"
 
 namespace tfmae::ops {
@@ -56,7 +57,7 @@ Tensor Permute3(const Tensor& x, const std::array<int, 3>& perm) {
       if (!x.requires_grad()) return;
       const auto in_strides = RowMajorStrides(x.shape());
       const float* grad = self.grad.get();
-      std::vector<float> gx(static_cast<std::size_t>(x.numel()), 0.0f);
+      pool::Scratch gx(x.numel(), /*zero_fill=*/true);
       std::int64_t idx = 0;
       for (std::int64_t i = 0; i < out_shape[0]; ++i) {
         for (std::int64_t j = 0; j < out_shape[1]; ++j) {
@@ -65,10 +66,8 @@ Tensor Permute3(const Tensor& x, const std::array<int, 3>& perm) {
             coords[perm[0]] = i;
             coords[perm[1]] = j;
             coords[perm[2]] = k;
-            gx[static_cast<std::size_t>(coords[0] * in_strides[0] +
-                                        coords[1] * in_strides[1] +
-                                        coords[2] * in_strides[2])] +=
-                grad[idx++];
+            gx.data()[coords[0] * in_strides[0] + coords[1] * in_strides[1] +
+                      coords[2] * in_strides[2]] += grad[idx++];
           }
         }
       }
@@ -94,10 +93,10 @@ Tensor Transpose2(const Tensor& x) {
     SetGraph(&out, "Transpose2", {x}, [x, m, n](TensorImpl& self) {
       if (!x.requires_grad()) return;
       const float* grad = self.grad.get();
-      std::vector<float> gx(static_cast<std::size_t>(m * n));
+      pool::Scratch gx(m * n);  // every element written
       for (std::int64_t i = 0; i < m; ++i) {
         for (std::int64_t j = 0; j < n; ++j) {
-          gx[static_cast<std::size_t>(i * n + j)] = grad[j * m + i];
+          gx.data()[i * n + j] = grad[j * m + i];
         }
       }
       internal::AccumulateGrad(x, gx.data());
@@ -123,11 +122,11 @@ Tensor IndexRows(const Tensor& x, const std::vector<std::int64_t>& indices) {
     SetGraph(&out, "IndexRows", {x}, [x, indices, cols](TensorImpl& self) {
       if (!x.requires_grad()) return;
       const float* grad = self.grad.get();
-      std::vector<float> gx(static_cast<std::size_t>(x.numel()), 0.0f);
+      pool::Scratch gx(x.numel(), /*zero_fill=*/true);
       for (std::size_t i = 0; i < indices.size(); ++i) {
         const std::int64_t r = indices[i];
         for (std::int64_t c = 0; c < cols; ++c) {
-          gx[static_cast<std::size_t>(r * cols + c)] +=
+          gx.data()[r * cols + c] +=
               grad[static_cast<std::int64_t>(i) * cols + c];
         }
       }
@@ -156,12 +155,12 @@ Tensor ScatterRows(const Tensor& src, const std::vector<std::int64_t>& indices,
     SetGraph(&out, "ScatterRows", {src}, [src, indices, cols](TensorImpl& self) {
       if (!src.requires_grad()) return;
       const float* grad = self.grad.get();
-      std::vector<float> gs(static_cast<std::size_t>(src.numel()));
+      pool::Scratch gs(src.numel());  // every element written
       for (std::size_t i = 0; i < indices.size(); ++i) {
         const std::int64_t r = indices[i];
         for (std::int64_t c = 0; c < cols; ++c) {
-          gs[i * static_cast<std::size_t>(cols) +
-             static_cast<std::size_t>(c)] = grad[r * cols + c];
+          gs.data()[static_cast<std::int64_t>(i) * cols + c] =
+              grad[r * cols + c];
         }
       }
       internal::AccumulateGrad(src, gs.data());
@@ -185,10 +184,10 @@ Tensor RepeatRow(const Tensor& row, std::int64_t n) {
     SetGraph(&out, "RepeatRow", {row}, [row, n, cols](TensorImpl& self) {
       if (!row.requires_grad()) return;
       const float* grad = self.grad.get();
-      std::vector<float> gr(static_cast<std::size_t>(cols), 0.0f);
+      pool::Scratch gr(cols, /*zero_fill=*/true);
       for (std::int64_t i = 0; i < n; ++i) {
         for (std::int64_t c = 0; c < cols; ++c) {
-          gr[static_cast<std::size_t>(c)] += grad[i * cols + c];
+          gr.data()[c] += grad[i * cols + c];
         }
       }
       internal::AccumulateGrad(row, gr.data());
@@ -211,7 +210,7 @@ Tensor SliceRows(const Tensor& x, std::int64_t start, std::int64_t len) {
     SetGraph(&out, "SliceRows", {x}, [x, start, len, cols](TensorImpl& self) {
       if (!x.requires_grad()) return;
       const float* grad = self.grad.get();
-      std::vector<float> gx(static_cast<std::size_t>(x.numel()), 0.0f);
+      pool::Scratch gx(x.numel(), /*zero_fill=*/true);
       std::memcpy(gx.data() + start * cols, grad,
                   static_cast<std::size_t>(len * cols) * sizeof(float));
       internal::AccumulateGrad(x, gx.data());
@@ -267,13 +266,13 @@ Tensor Im2Col(const Tensor& x, std::int64_t kernel_size) {
                          half](TensorImpl& self) {
       if (!x.requires_grad()) return;
       const float* grad = self.grad.get();
-      std::vector<float> gx(static_cast<std::size_t>(x.numel()), 0.0f);
+      pool::Scratch gx(x.numel(), /*zero_fill=*/true);
       for (std::int64_t t = 0; t < t_len; ++t) {
         for (std::int64_t k = 0; k < kernel_size; ++k) {
           const std::int64_t src = t + k - half;
           if (src < 0 || src >= t_len) continue;
           for (std::int64_t c = 0; c < channels; ++c) {
-            gx[static_cast<std::size_t>(src * channels + c)] +=
+            gx.data()[src * channels + c] +=
                 grad[(t * kernel_size + k) * channels + c];
           }
         }

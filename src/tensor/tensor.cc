@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "obs/trace.h"
+#include "tensor/pool.h"
 #include "util/logging.h"
 #include "util/memory.h"
 #include "util/rng.h"
@@ -14,14 +15,18 @@ namespace tfmae {
 namespace {
 thread_local bool g_grad_mode = true;
 
+// Pool-backed buffer whose handle also keeps the LOGICAL MemoryStats books
+// balanced: the exact byte count is recorded here and freed when the last
+// alias (Tensor copy or Detach) drops the block. The pool tracks the
+// physical (size-class) side separately.
 std::shared_ptr<float[]> AllocateBuffer(std::int64_t numel) {
   const std::size_t bytes = static_cast<std::size_t>(numel) * sizeof(float);
   MemoryStats::RecordAlloc(bytes);
-  // Custom deleter keeps the MemoryStats books balanced.
-  return std::shared_ptr<float[]>(new float[static_cast<std::size_t>(numel)],
-                                  [bytes](float* p) {
+  std::shared_ptr<float[]> block = pool::Acquire(numel);
+  return std::shared_ptr<float[]>(block.get(),
+                                  [block, bytes](float*) mutable {
                                     MemoryStats::RecordFree(bytes);
-                                    delete[] p;
+                                    block.reset();
                                   });
 }
 }  // namespace
@@ -35,16 +40,16 @@ TensorImpl::TensorImpl(Shape s) : shape(std::move(s)) {
   data = AllocateBuffer(numel);
 }
 
-TensorImpl::~TensorImpl() {
-  if (grad) {
-    MemoryStats::RecordFree(static_cast<std::size_t>(numel) * sizeof(float));
-  }
-}
-
 float* TensorImpl::EnsureGrad() {
   if (!grad) {
-    grad.reset(new float[static_cast<std::size_t>(numel)]);
-    MemoryStats::RecordAlloc(static_cast<std::size_t>(numel) * sizeof(float));
+    const std::size_t bytes = static_cast<std::size_t>(numel) * sizeof(float);
+    MemoryStats::RecordGradAlloc(bytes);
+    std::shared_ptr<float[]> block = pool::Acquire(numel);
+    grad = std::shared_ptr<float[]>(block.get(),
+                                    [block, bytes](float*) mutable {
+                                      MemoryStats::RecordFree(bytes);
+                                      block.reset();
+                                    });
     std::fill(grad.get(), grad.get() + numel, 0.0f);
   }
   return grad.get();
@@ -175,14 +180,19 @@ void Tensor::Backward() const {
   TFMAE_CHECK_MSG(defined() && numel() == 1,
                   "Backward() must be called on a scalar loss");
   // Iterative post-order DFS building a reverse topological order over the
-  // recorded graph.
-  std::vector<TensorImpl*> topo;
-  std::unordered_set<TensorImpl*> visited;
+  // recorded graph. The containers are thread-local and keep their capacity
+  // (and the set its buckets) across calls, so repeated training steps walk
+  // the same-shaped graph without touching the heap.
   struct Frame {
     TensorImpl* node;
     std::size_t next_input;
   };
-  std::vector<Frame> stack;
+  thread_local std::vector<TensorImpl*> topo;
+  thread_local std::unordered_set<TensorImpl*> visited;
+  thread_local std::vector<Frame> stack;
+  topo.clear();
+  visited.clear();
+  stack.clear();
   stack.push_back({impl_.get(), 0});
   visited.insert(impl_.get());
   while (!stack.empty()) {
@@ -219,9 +229,10 @@ Tensor Tensor::Detach() const {
   TFMAE_CHECK(defined());
   auto detached = std::make_shared<TensorImpl>(impl_->shape);
   // Alias the storage: Detach is free and reflects later in-place updates,
-  // matching the stop-gradient semantics of Eq. (15). The scratch buffer
-  // created by the constructor is released here; its custom deleter keeps
-  // the MemoryStats books balanced.
+  // matching the stop-gradient semantics of Eq. (15). The buffer created by
+  // the constructor is dropped here (its deleter returns it to the pool and
+  // keeps the MemoryStats books balanced); the shared alias guarantees the
+  // pool cannot recycle the aliased block until BOTH handles are gone.
   detached->data = impl_->data;
   return Tensor(std::move(detached));
 }

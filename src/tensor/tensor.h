@@ -12,8 +12,10 @@
 //    into each requires-grad leaf.
 //  * Gradient recording can be suspended with NoGradGuard (used during
 //    inference/scoring so no graph memory is retained).
-//  * All buffer allocations are reported to MemoryStats, which powers the
-//    Fig. 10 memory-footprint comparison.
+//  * Data and grad buffers are acquired from the buffer pool (tensor/pool.h)
+//    so steady-state training steps recycle their buffers instead of hitting
+//    the heap; all logical buffer allocations are reported to MemoryStats,
+//    which powers the Fig. 10 memory-footprint comparison.
 #ifndef TFMAE_TENSOR_TENSOR_H_
 #define TFMAE_TENSOR_TENSOR_H_
 
@@ -118,7 +120,6 @@ class Tensor {
 /// the operator library (ops.cc); user code should stay on the Tensor API.
 struct TensorImpl {
   explicit TensorImpl(Shape s);
-  ~TensorImpl();
 
   TensorImpl(const TensorImpl&) = delete;
   TensorImpl& operator=(const TensorImpl&) = delete;
@@ -126,10 +127,13 @@ struct TensorImpl {
   /// Lazily allocates and zero-fills the gradient buffer.
   float* EnsureGrad();
 
+  // Both buffers come from the buffer pool (tensor/pool.h); their deleters
+  // release the blocks for reuse (and keep MemoryStats balanced) when the
+  // last alias dies.
   Shape shape;
   std::int64_t numel = 0;
   std::shared_ptr<float[]> data;        // shared so Detach can alias storage
-  std::unique_ptr<float[]> grad;        // same numel as data; lazy
+  std::shared_ptr<float[]> grad;        // same numel as data; lazy
   bool requires_grad = false;
 
   // Autograd graph: inputs this node was computed from, and a closure that

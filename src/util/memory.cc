@@ -7,6 +7,8 @@ namespace {
 
 std::atomic<std::int64_t> g_current{0};
 std::atomic<std::int64_t> g_peak{0};
+std::atomic<std::int64_t> g_alloc_calls{0};
+std::atomic<std::int64_t> g_grad_alloc_calls{0};
 
 void UpdatePeak(std::int64_t current) {
   std::int64_t peak = g_peak.load(std::memory_order_relaxed);
@@ -19,11 +21,17 @@ void UpdatePeak(std::int64_t current) {
 }  // namespace
 
 void MemoryStats::RecordAlloc(std::size_t bytes) {
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
   const std::int64_t current =
       g_current.fetch_add(static_cast<std::int64_t>(bytes),
                           std::memory_order_relaxed) +
       static_cast<std::int64_t>(bytes);
   UpdatePeak(current);
+}
+
+void MemoryStats::RecordGradAlloc(std::size_t bytes) {
+  g_grad_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  RecordAlloc(bytes);
 }
 
 void MemoryStats::RecordFree(std::size_t bytes) {
@@ -42,6 +50,14 @@ std::int64_t MemoryStats::PeakBytes() {
 void MemoryStats::ResetPeak() {
   g_peak.store(g_current.load(std::memory_order_relaxed),
                std::memory_order_relaxed);
+}
+
+std::int64_t MemoryStats::AllocCalls() {
+  return g_alloc_calls.load(std::memory_order_relaxed);
+}
+
+std::int64_t MemoryStats::GradAllocCalls() {
+  return g_grad_alloc_calls.load(std::memory_order_relaxed);
 }
 
 }  // namespace tfmae

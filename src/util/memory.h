@@ -12,10 +12,20 @@
 namespace tfmae {
 
 /// Process-wide tensor-buffer byte accounting. All methods are thread-safe.
+///
+/// These are LOGICAL numbers — exact tensor sizes, alloc on buffer creation
+/// and free when the last alias dies — independent of whether the bytes
+/// came from the heap or were recycled by the buffer pool (tensor/pool.h).
+/// The pool tracks the physical side; this class keeps the Fig. 10
+/// footprint comparison truthful under pooling.
 class MemoryStats {
  public:
   /// Records an allocation of `bytes`.
   static void RecordAlloc(std::size_t bytes);
+
+  /// Records an allocation of `bytes` for a gradient buffer (counted both
+  /// as a regular allocation and in GradAllocCalls).
+  static void RecordGradAlloc(std::size_t bytes);
 
   /// Records a free of `bytes`.
   static void RecordFree(std::size_t bytes);
@@ -28,6 +38,14 @@ class MemoryStats {
 
   /// Resets the high-water mark to the current usage.
   static void ResetPeak();
+
+  /// Monotone count of buffer allocations (data + grad) since process
+  /// start — the logical allocation churn a training step generates.
+  static std::int64_t AllocCalls();
+
+  /// Monotone count of gradient-buffer allocations. Stays flat across a
+  /// NoGradGuard region: the inference path must never materialize grads.
+  static std::int64_t GradAllocCalls();
 };
 
 }  // namespace tfmae

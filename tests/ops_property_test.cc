@@ -2,7 +2,10 @@
 // implementations across a grid of shapes, plus algebraic invariants
 // (Parseval for the FFT, softmax simplex membership, layer-norm statistics,
 // matmul associativity with identity).
+#include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <functional>
 
 #include <gtest/gtest.h>
 
@@ -206,6 +209,99 @@ TEST(BroadcastPropertyTest, ScalarOperandBroadcasts) {
   for (std::int64_t i = 0; i < x.numel(); ++i) {
     EXPECT_NEAR(quotient.at(i), x.at(i) / 2.5f, 1e-6);
   }
+}
+
+// ---- Fused / in-place variants ---------------------------------------------
+//
+// The memory plane's fused kernels promise BITWISE equality with the
+// out-of-place compositions they replace (same per-element arithmetic in the
+// same order), so these compare float bits, not tolerances.
+
+void ExpectBitwiseEqual(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                        static_cast<std::size_t>(a.numel()) * sizeof(float)),
+            0);
+}
+
+TEST(FusedOpPropertyTest, BiasGeluBitwiseMatchesGeluOfAdd) {
+  Tensor x = RandomTensor({7, 24}, 101);
+  Tensor bias = RandomTensor({24}, 102);
+  ExpectBitwiseEqual(ops::BiasGelu(x, bias), ops::Gelu(ops::Add(x, bias)));
+}
+
+TEST(FusedOpPropertyTest, ScaleSoftmaxBitwiseMatchesSoftmaxOfScale) {
+  const float scale = 1.0f / std::sqrt(8.0f);
+  Tensor x = RandomTensor({9, 17}, 103);
+  ExpectBitwiseEqual(ops::ScaleSoftmax(x, scale),
+                     ops::Softmax(ops::Scale(x, scale)));
+}
+
+TEST(FusedOpPropertyTest, AddInPlaceBitwiseMatchesAdd) {
+  Tensor a = RandomTensor({6, 13}, 104);
+  Tensor b = RandomTensor({6, 13}, 105);
+  Tensor expected = ops::Add(a, b);
+  ops::AddInPlace(&a, b);
+  ExpectBitwiseEqual(a, expected);
+}
+
+TEST(FusedOpPropertyTest, MulScalarInPlaceBitwiseMatchesScale) {
+  Tensor x = RandomTensor({5, 11}, 106);
+  Tensor expected = ops::Scale(x, -0.37f);
+  ops::MulScalarInPlace(&x, -0.37f);
+  ExpectBitwiseEqual(x, expected);
+}
+
+// Fused backward passes checked against central finite differences through
+// loss = sum(w ⊙ op(inputs)), mirroring autograd_test's harness.
+void CheckFusedGradients(
+    const std::function<Tensor(const std::vector<Tensor>&)>& op,
+    std::vector<Tensor> inputs) {
+  constexpr double kTol = 3e-2;
+  constexpr float kEps = 1e-2f;
+  Rng wrng(107);
+  Tensor weights;
+  auto loss_of = [&](const std::vector<Tensor>& in) {
+    Tensor out = op(in);
+    if (!weights.defined()) weights = Tensor::Randn(out.shape(), &wrng);
+    return ops::SumAll(ops::Mul(out, weights));
+  };
+  for (Tensor& input : inputs) input.set_requires_grad(true);
+  Tensor loss = loss_of(inputs);
+  for (Tensor& input : inputs) input.ZeroGrad();
+  loss.Backward();
+  for (std::size_t which = 0; which < inputs.size(); ++which) {
+    Tensor& input = inputs[which];
+    ASSERT_NE(input.grad_data(), nullptr) << "input " << which;
+    for (std::int64_t i = 0; i < input.numel(); ++i) {
+      const float saved = input.data()[i];
+      input.data()[i] = saved + kEps;
+      const float up = loss_of(inputs).item();
+      input.data()[i] = saved - kEps;
+      const float down = loss_of(inputs).item();
+      input.data()[i] = saved;
+      const double numeric = (static_cast<double>(up) -
+                              static_cast<double>(down)) /
+                             (2.0 * static_cast<double>(kEps));
+      const double analytic = input.grad_data()[i];
+      const double scale =
+          std::max({1.0, std::abs(numeric), std::abs(analytic)});
+      EXPECT_NEAR(analytic, numeric, kTol * scale)
+          << "input " << which << " element " << i;
+    }
+  }
+}
+
+TEST(FusedOpPropertyTest, BiasGeluGradientMatchesFiniteDifference) {
+  CheckFusedGradients(
+      [](const auto& in) { return ops::BiasGelu(in[0], in[1]); },
+      {RandomTensor({3, 8}, 108), RandomTensor({8}, 109)});
+}
+
+TEST(FusedOpPropertyTest, ScaleSoftmaxGradientMatchesFiniteDifference) {
+  CheckFusedGradients(
+      [](const auto& in) { return ops::ScaleSoftmax(in[0], 0.5f); },
+      {RandomTensor({4, 6}, 110)});
 }
 
 }  // namespace
