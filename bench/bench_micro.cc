@@ -23,21 +23,33 @@
 // allocations per step, pool hit rate, and logical allocation churn. The
 // summary records the pooled-vs-unpooled alloc reduction and speedup, and
 // verifies the final losses are bitwise identical across all configurations.
+//
+// Run with --resilience_json=PATH to drill the resilience plane: a small
+// TFMAE fit is trained to completion, then re-run with periodic crash-safe
+// checkpoints, killed mid-epoch at a step budget and resumed; the report
+// records checkpoint write/load timings and whether the resumed weights are
+// bitwise identical to the uninterrupted run. In a -DTFMAE_FAULTS=ON build
+// the drill additionally injects NaN losses and checkpoint-write failures
+// and records the numeric-guard recovery counters.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/detector.h"
+#include "data/generator.h"
 #include "fft/fft.h"
 #include "masking/coefficient_of_variation.h"
 #include "masking/frequency_mask.h"
 #include "nn/adam.h"
 #include "nn/attention.h"
+#include "nn/serialize.h"
 #include "nn/transformer.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -45,6 +57,7 @@
 #include "tensor/gemm_kernels.h"
 #include "tensor/ops.h"
 #include "tensor/pool.h"
+#include "util/fault.h"
 #include "util/memory.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -591,6 +604,184 @@ int RunObsProfile(const std::string& path) {
   return ok ? 0 : 1;
 }
 
+// ---- resilience drill (--resilience_json=PATH) -----------------------------
+
+/// Exercises the crash-safe training path end to end: an uninterrupted
+/// reference fit, then a checkpointed fit killed at a step budget and
+/// resumed from disk. Verifies the resumed weights match the reference
+/// bitwise (the DESIGN.md §9 contract) and, when fault points are compiled
+/// in, that a fit under injected NaN losses and checkpoint-write failures
+/// still converges. Writes a JSON report to `path`.
+int RunResilienceSweep(const std::string& path) {
+  using clock = std::chrono::steady_clock;
+
+  core::TfmaeConfig config;
+  config.window = 32;
+  config.model_dim = 16;
+  config.num_layers = 1;
+  config.num_heads = 2;
+  config.ff_hidden = 32;
+  config.epochs = 2;
+  config.stride = 8;
+  config.per_window_normalization = false;
+
+  data::BaseSignalConfig signal;
+  signal.length = 512;
+  signal.num_features = 3;
+  signal.seed = 20240311;
+  const data::TimeSeries series = data::GenerateBaseSignal(signal);
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "tfmae_resilience_drill")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  // Reference: one uninterrupted fit, no checkpointing overhead.
+  core::TfmaeDetector reference(config);
+  auto t0 = clock::now();
+  reference.Fit(series);
+  const double ref_sec = std::chrono::duration<double>(clock::now() - t0).count();
+  const std::vector<char> ref_weights =
+      nn::EncodeParameters(*reference.model());
+  const std::int64_t total_steps = reference.train_stats().num_steps;
+
+  // Kill-and-resume: checkpoint every few steps, stop mid-run, resume.
+  core::FitOptions options;
+  options.checkpoint_dir = dir;
+  options.checkpoint_every = 5;
+  options.keep_last = 3;
+  options.max_steps = total_steps / 2;
+  core::TfmaeDetector killed(config);
+  t0 = clock::now();
+  killed.Fit(series, options);
+  const double killed_sec =
+      std::chrono::duration<double>(clock::now() - t0).count();
+  const std::int64_t checkpoints_written =
+      killed.train_stats().checkpoints_written;
+  const bool interrupted = killed.train_stats().interrupted;
+
+  core::FitOptions resume_options = options;
+  resume_options.max_steps = 0;
+  t0 = clock::now();
+  const bool resumed = killed.Resume(series, resume_options);
+  const double resume_sec =
+      std::chrono::duration<double>(clock::now() - t0).count();
+  const std::int64_t resumed_at_step = killed.train_stats().resumed_at_step;
+
+  bool bitwise_identical = false;
+  if (resumed) {
+    const std::vector<char> resumed_weights =
+        nn::EncodeParameters(*killed.model());
+    bitwise_identical =
+        resumed_weights.size() == ref_weights.size() &&
+        std::memcmp(resumed_weights.data(), ref_weights.data(),
+                    ref_weights.size()) == 0;
+  }
+  std::printf(
+      "resilience: %lld steps, %lld checkpoints, resumed at step %lld, "
+      "bitwise_identical=%s\n",
+      static_cast<long long>(total_steps),
+      static_cast<long long>(checkpoints_written),
+      static_cast<long long>(resumed_at_step),
+      bitwise_identical ? "true" : "false");
+
+  // Fault drill (fault builds only): NaN losses and checkpoint-write
+  // failures injected at fixed probabilities must leave training finished,
+  // finite, and accounted for in the numeric-guard counters.
+  bool fault_drill_ran = false;
+  bool fault_drill_ok = true;
+  core::TrainStats drill_stats;
+  std::int64_t drill_injected = 0;
+  if (fault::CompiledIn()) {
+    fault_drill_ran = true;
+    fault::Configure("train.nan_loss:0.05,io.checkpoint_write:0.25", 42);
+    const std::string drill_dir = dir + "_faulty";
+    std::filesystem::remove_all(drill_dir);
+    core::FitOptions drill_options;
+    drill_options.checkpoint_dir = drill_dir;
+    drill_options.checkpoint_every = 4;
+    core::TfmaeDetector drilled(config);
+    drilled.Fit(series, drill_options);
+    drill_stats = drilled.train_stats();
+    drill_injected =
+        static_cast<std::int64_t>(fault::InjectedCount("train.nan_loss")) +
+        static_cast<std::int64_t>(fault::InjectedCount("io.checkpoint_write"));
+    fault::Clear();
+    fault_drill_ok = !drill_stats.interrupted &&
+                     std::isfinite(drill_stats.mean_loss_last_epoch) &&
+                     drill_stats.numeric.skipped_steps ==
+                         drill_stats.numeric.nonfinite_loss +
+                             drill_stats.numeric.nonfinite_grad;
+    std::filesystem::remove_all(drill_dir);
+    std::printf(
+        "fault drill: %lld injected, %lld steps skipped, %lld checkpoint "
+        "failures, final loss %.6g\n",
+        static_cast<long long>(drill_injected),
+        static_cast<long long>(drill_stats.numeric.skipped_steps),
+        static_cast<long long>(drill_stats.checkpoint_failures),
+        drill_stats.mean_loss_last_epoch);
+  }
+  std::filesystem::remove_all(dir);
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f,
+               "  \"workload\": \"tfmae_fit_kill_resume\",\n"
+               "  \"series\": \"L%lld_F%lld\",\n"
+               "  \"config\": \"W%lld_D%lld_E%lld\",\n",
+               static_cast<long long>(signal.length),
+               static_cast<long long>(signal.num_features),
+               static_cast<long long>(config.window),
+               static_cast<long long>(config.model_dim),
+               static_cast<long long>(config.epochs));
+  std::fprintf(f,
+               "  \"reference\": {\"num_steps\": %lld, \"fit_seconds\": %.4f, "
+               "\"mean_loss_last_epoch\": %.9g},\n",
+               static_cast<long long>(total_steps), ref_sec,
+               reference.train_stats().mean_loss_last_epoch);
+  std::fprintf(
+      f,
+      "  \"kill_and_resume\": {\"max_steps\": %lld, \"interrupted\": %s, "
+      "\"checkpoints_written\": %lld, \"checkpoint_every\": %lld, "
+      "\"killed_seconds\": %.4f, \"resumed\": %s, \"resumed_at_step\": %lld, "
+      "\"resume_seconds\": %.4f, \"weights_bitwise_identical\": %s},\n",
+      static_cast<long long>(options.max_steps), interrupted ? "true" : "false",
+      static_cast<long long>(checkpoints_written),
+      static_cast<long long>(options.checkpoint_every), killed_sec,
+      resumed ? "true" : "false", static_cast<long long>(resumed_at_step),
+      resume_sec, bitwise_identical ? "true" : "false");
+  std::fprintf(f, "  \"fault_drill\": ");
+  if (fault_drill_ran) {
+    std::fprintf(
+        f,
+        "{\"spec\": \"train.nan_loss:0.05,io.checkpoint_write:0.25\", "
+        "\"seed\": 42, \"injected\": %lld, \"skipped_steps\": %lld, "
+        "\"restores\": %lld, \"lr_backoffs\": %lld, "
+        "\"checkpoint_failures\": %lld, \"final_loss\": %.9g, "
+        "\"recovered\": %s},\n",
+        static_cast<long long>(drill_injected),
+        static_cast<long long>(drill_stats.numeric.skipped_steps),
+        static_cast<long long>(drill_stats.numeric.restores),
+        static_cast<long long>(drill_stats.numeric.lr_backoffs),
+        static_cast<long long>(drill_stats.checkpoint_failures),
+        drill_stats.mean_loss_last_epoch, fault_drill_ok ? "true" : "false");
+  } else {
+    std::fprintf(f, "null,\n");
+  }
+  std::fprintf(f,
+               "  \"summary\": {\"weights_bitwise_identical\": %s, "
+               "\"fault_drill_recovered\": %s}\n}\n",
+               bitwise_identical ? "true" : "false",
+               fault_drill_ok ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return (bitwise_identical && fault_drill_ok) ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace tfmae
 
@@ -598,6 +789,7 @@ int main(int argc, char** argv) {
   const std::string kFlag = "--tensor_backend_json=";
   const std::string kObsFlag = "--obs_json=";
   const std::string kMemFlag = "--memory_plane_json=";
+  const std::string kResFlag = "--resilience_json=";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind(kFlag, 0) == 0) {
@@ -608,6 +800,9 @@ int main(int argc, char** argv) {
     }
     if (arg.rfind(kMemFlag, 0) == 0) {
       return tfmae::RunMemoryPlaneSweep(arg.substr(kMemFlag.size()));
+    }
+    if (arg.rfind(kResFlag, 0) == 0) {
+      return tfmae::RunResilienceSweep(arg.substr(kResFlag.size()));
     }
   }
   ::benchmark::Initialize(&argc, argv);

@@ -5,7 +5,11 @@
 //
 // Without an argument, a demo CSV is generated first so the example is
 // self-contained. The CSV format is a header "f0,f1,...[,label]" followed
-// by one row per time step (see src/data/io.h).
+// by one row per time step (see src/data/io.h). Malformed files fail with
+// a line-numbered diagnostic; missing cells (empty / "nan") load as NaN and
+// are repaired by last-observation-carried-forward imputation before
+// training (docs/RESILIENCE.md).
+#include <cmath>
 #include <cstdio>
 #include <string>
 
@@ -48,19 +52,32 @@ int main(int argc, char** argv) {
       demo.labels[static_cast<std::size_t>(tail_start + t)] =
           tail.labels[static_cast<std::size_t>(t)];
     }
+    // Real exports have holes: drop a few scattered cells plus a short
+    // gap, to exercise the missing-data path below.
+    for (std::int64_t t = 100; t < demo.length; t += 331) demo.at(t, 1) = std::nanf("");
+    for (std::int64_t t = 700; t < 706; ++t) demo.at(t, 0) = std::nanf("");
     data::SaveCsv(demo, input_path);
     std::printf("demo CSV generated at %s\n", input_path.c_str());
   }
 
-  const auto loaded = data::LoadCsv(input_path);
+  data::CsvDiagnostic diagnostic;
+  auto loaded = data::LoadCsv(input_path, &diagnostic);
   if (!loaded.has_value()) {
-    std::fprintf(stderr, "failed to load %s\n", input_path.c_str());
+    // The diagnostic pinpoints the offending line (1-based, header = 1).
+    std::fprintf(stderr, "failed to load %s, line %lld: %s\n",
+                 input_path.c_str(), static_cast<long long>(diagnostic.line),
+                 diagnostic.message.c_str());
     return 1;
   }
   std::printf("loaded %lld steps x %lld features (labels: %s)\n",
               static_cast<long long>(loaded->length),
               static_cast<long long>(loaded->num_features),
               loaded->labels.empty() ? "no" : "yes");
+  if (diagnostic.missing_values > 0) {
+    const std::int64_t repaired = data::ImputeMissingLocf(&*loaded);
+    std::printf("%lld missing cells repaired by LOCF imputation\n",
+                static_cast<long long>(repaired));
+  }
 
   // Train on the first 60%, calibrate on the next 15%, score the rest.
   const std::int64_t train_len = loaded->length * 60 / 100;

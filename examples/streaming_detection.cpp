@@ -1,8 +1,12 @@
 // Streaming detection: feed observations one at a time through a trained
 // TFMAE using the StreamingDetector wrapper — the shape of a real
-// observability integration (metric stream in, alerts out).
+// observability integration (metric stream in, alerts out). The live feed
+// is deliberately degraded (dropped sensor values, a malformed row) to show
+// the resilience contract: bad input is imputed, quarantined, or rejected
+// with per-stream health accounting, never UB (docs/RESILIENCE.md).
 //
 //   $ ./build/examples/streaming_detection
+#include <cmath>
 #include <cstdio>
 
 #include "core/detector.h"
@@ -10,6 +14,7 @@
 #include "data/anomaly.h"
 #include "data/generator.h"
 #include "obs/export.h"
+#include "util/rng.h"
 
 int main(int argc, char** argv) {
   tfmae::obs::MaybeProfileFromArgs(&argc, argv);
@@ -43,9 +48,26 @@ int main(int argc, char** argv) {
   core::StreamingOptions stream_options;
   stream_options.window = config.window;
   stream_options.hop = 5;  // re-score every 5 observations
+  stream_options.impute_staleness_cap = 3;  // LOCF at most 3 rows per feature
   core::StreamingDetector stream(&detector, stream_options);
   stream.CalibrateThreshold(detector.Score(history), 0.005);
   std::printf("alert threshold: %.5f\n\n", stream.threshold());
+
+  // Degrade the live feed the way real collectors do: a flaky sensor drops
+  // feature 2 for a few scattered rows, and one longer outage exceeds the
+  // staleness cap (those rows are quarantined, not scored).
+  Rng degrade_rng(41);
+  int dropped_values = 0;
+  for (std::int64_t t = 0; t < live.length; ++t) {
+    const bool flaky = degrade_rng.Uniform() < 0.02;
+    const bool outage = t >= 400 && t < 406;
+    if (flaky || outage) {
+      live.at(t, 2) = std::nanf("");
+      ++dropped_values;
+    }
+  }
+  std::printf("degraded feed: %d values dropped from feature f2\n\n",
+              dropped_values);
 
   // Consume the live stream observation by observation.
   int alerts = 0;
@@ -56,7 +78,7 @@ int main(int argc, char** argv) {
       observation[static_cast<std::size_t>(n)] = live.at(t, n);
     }
     const auto result = stream.Push(observation);
-    if (!result.has_value()) continue;  // initial window fill
+    if (!result.has_value()) continue;  // window fill / quarantined row
     if (result->is_anomaly && !in_alert) {
       std::printf("t=%4lld  ALERT raised  (score %.5f, truth=%s)\n",
                   static_cast<long long>(t), result->score,
@@ -75,5 +97,28 @@ int main(int argc, char** argv) {
               "anomaly ratio\n",
               static_cast<long long>(stream.total_pushed()), alerts,
               live.AnomalyRatio() * 100);
+
+  // A malformed row (wrong arity) is rejected with a typed status — it
+  // never reaches the model and never crashes the stream.
+  stream.Push({1.0f, 2.0f});
+  std::printf("wrong-arity push -> %s\n",
+              stream.last_push_status() == core::PushStatus::kRejected
+                  ? "rejected (typed error, stream unharmed)"
+                  : "unexpected status");
+
+  const core::StreamHealth& health = stream.health();
+  std::printf("\nstream health report:\n");
+  std::printf("  rows scored       %lld\n",
+              static_cast<long long>(health.rows_scored));
+  std::printf("  rows in warm-up   %lld\n",
+              static_cast<long long>(health.rows_warmup));
+  std::printf("  rows imputed      %lld  (%lld values filled by LOCF)\n",
+              static_cast<long long>(health.rows_imputed),
+              static_cast<long long>(health.values_imputed));
+  std::printf("  rows quarantined  %lld  (staleness cap %lld exceeded)\n",
+              static_cast<long long>(health.rows_quarantined),
+              static_cast<long long>(stream_options.impute_staleness_cap));
+  std::printf("  rows rejected     %lld\n",
+              static_cast<long long>(health.rows_rejected));
   return 0;
 }

@@ -3,13 +3,14 @@
 # observability layer compiled in.
 #
 # Usage:
-#   scripts/check.sh [plain|thread|address|undefined|obs|pool] [extra ctest args...]
+#   scripts/check.sh [plain|thread|address|undefined|obs|pool|faults] [extra ctest args...]
 #
 # Examples:
 #   scripts/check.sh                 # plain Release build, full suite
 #   scripts/check.sh thread          # ThreadSanitizer build, full suite
 #   scripts/check.sh thread -R Gemm  # tsan build, GEMM/thread-pool tests only
 #   scripts/check.sh obs             # -DTFMAE_OBS=ON + tsan, collection on
+#   scripts/check.sh faults          # -DTFMAE_FAULTS=ON + UBSan + seeded sweep
 #
 # The obs mode is the instrumentation soak from docs/OBSERVABILITY.md: the
 # whole tier-1 suite runs with the macros compiled in, TFMAE_OBS=1 so every
@@ -23,6 +24,15 @@
 # lifetime checking. The PoolDeterminismTest cases inside the suite pin the
 # two-seed bitwise pooled-vs-unpooled training-loss comparison at 1/2/4
 # threads.
+#
+# The faults mode is the resilience soak from docs/RESILIENCE.md: the whole
+# tier-1 suite runs with -DTFMAE_FAULTS=ON (and UndefinedBehaviorSanitizer,
+# since injected failures walk the error paths that rarely run otherwise).
+# Injection points are compiled in but inert, so the suite must pass exactly
+# as in a plain build — that is the first run. The second phase re-runs the
+# fault-injection tests under a sweep of seeds (TFMAE_FAULT_SWEEP_SEED),
+# which the tests use to drive randomized injected I/O failures, NaN losses,
+# and interrupts; training and recovery must survive every seed.
 #
 # Each mode builds into its own directory (build-check-<mode>) so sanitized
 # and plain object files never mix.
@@ -38,8 +48,9 @@ case "$SAN" in
   thread|address|undefined) SAN_FLAG="-DTFMAE_SANITIZE=$SAN" ;;
   obs)     SAN_FLAG="-DTFMAE_OBS=ON -DTFMAE_SANITIZE=thread" ;;
   pool)    SAN_FLAG="-DTFMAE_SANITIZE=address" ;;
+  faults)  SAN_FLAG="-DTFMAE_FAULTS=ON -DTFMAE_OBS=ON -DTFMAE_SANITIZE=undefined" ;;
   *)
-    echo "usage: $0 [plain|thread|address|undefined|obs|pool] [ctest args...]" >&2
+    echo "usage: $0 [plain|thread|address|undefined|obs|pool|faults] [ctest args...]" >&2
     exit 2
     ;;
 esac
@@ -50,6 +61,15 @@ cmake -B "$BUILD_DIR" -S . $SAN_FLAG >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 if [ "$SAN" = "obs" ]; then
   TFMAE_OBS=1 ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"
+elif [ "$SAN" = "faults" ]; then
+  echo "== faults suite: UBSan, injection points compiled in but inert =="
+  ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"
+  for seed in 1 7 1234; do
+    echo "== faults sweep: injected failures, seed $seed =="
+    TFMAE_FAULT_SWEEP_SEED="$seed" \
+      ctest --test-dir "$BUILD_DIR" --output-on-failure \
+      -R 'FaultRegistry|FaultInjection|NumericGuard' "$@"
+  done
 elif [ "$SAN" = "pool" ]; then
   echo "== pool suite: ASan, TFMAE_POOL=1 =="
   TFMAE_POOL=1 ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"

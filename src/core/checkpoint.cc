@@ -1,0 +1,178 @@
+#include "core/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "util/checkpoint_file.h"
+#include "util/logging.h"
+
+namespace tfmae::core {
+namespace {
+
+constexpr char kMetaSection[] = "train.meta";
+constexpr char kAdamSection[] = "train.adam";
+constexpr char kWeightsSection[] = "params";
+
+constexpr char kFilePrefix[] = "ckpt_";
+constexpr char kFileSuffix[] = ".tfmae";
+
+std::vector<char> EncodeMeta(const TrainingCheckpoint& c) {
+  util::ByteWriter w;
+  w.U32(c.config_crc);
+  w.I64(c.num_features);
+  w.I64(c.progress.epoch);
+  w.I64(c.progress.next_window);
+  w.I64(c.progress.steps);
+  w.F64(c.progress.loss_sum);
+  w.F64(c.progress.mean_loss_first_epoch);
+  w.I64Array(c.progress.order);
+  for (std::uint64_t word : c.rng.s) w.U64(word);
+  w.U32(c.rng.has_cached_normal ? 1 : 0);
+  w.F64(c.rng.cached_normal);
+  return w.Take();
+}
+
+bool DecodeMeta(const std::vector<char>& payload, TrainingCheckpoint* c) {
+  util::ByteReader r(payload);
+  std::uint32_t cached_flag = 0;
+  bool ok = r.U32(&c->config_crc) && r.I64(&c->num_features) &&
+            r.I64(&c->progress.epoch) && r.I64(&c->progress.next_window) &&
+            r.I64(&c->progress.steps) && r.F64(&c->progress.loss_sum) &&
+            r.F64(&c->progress.mean_loss_first_epoch) &&
+            r.I64Array(&c->progress.order);
+  for (std::uint64_t& word : c->rng.s) ok = ok && r.U64(&word);
+  ok = ok && r.U32(&cached_flag) && r.F64(&c->rng.cached_normal) && r.AtEnd();
+  c->rng.has_cached_normal = cached_flag != 0;
+  return ok;
+}
+
+std::vector<char> EncodeAdam(const nn::AdamState& adam) {
+  util::ByteWriter w;
+  w.I64(adam.step_count);
+  w.U64(adam.m.size());
+  for (const auto& moment : adam.m) w.FloatArray(moment);
+  w.U64(adam.v.size());
+  for (const auto& moment : adam.v) w.FloatArray(moment);
+  return w.Take();
+}
+
+bool DecodeAdam(const std::vector<char>& payload, nn::AdamState* adam) {
+  util::ByteReader r(payload);
+  std::uint64_t count = 0;
+  if (!r.I64(&adam->step_count) || !r.U64(&count)) return false;
+  adam->m.resize(static_cast<std::size_t>(count));
+  for (auto& moment : adam->m) {
+    if (!r.FloatArray(&moment)) return false;
+  }
+  if (!r.U64(&count)) return false;
+  adam->v.resize(static_cast<std::size_t>(count));
+  for (auto& moment : adam->v) {
+    if (!r.FloatArray(&moment)) return false;
+  }
+  return r.AtEnd();
+}
+
+/// Step number encoded in a checkpoint file name; -1 when `name` is not a
+/// checkpoint file.
+std::int64_t StepFromFilename(const std::string& name) {
+  const std::size_t prefix_len = sizeof(kFilePrefix) - 1;
+  const std::size_t suffix_len = sizeof(kFileSuffix) - 1;
+  if (name.size() <= prefix_len + suffix_len ||
+      name.compare(0, prefix_len, kFilePrefix) != 0 ||
+      name.compare(name.size() - suffix_len, suffix_len, kFileSuffix) != 0) {
+    return -1;
+  }
+  const std::string digits =
+      name.substr(prefix_len, name.size() - prefix_len - suffix_len);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return -1;
+  }
+  return std::strtoll(digits.c_str(), nullptr, 10);
+}
+
+/// All checkpoint files in `dir` as (step, path), highest step first.
+std::vector<std::pair<std::int64_t, std::string>> ListCheckpoints(
+    const std::string& dir) {
+  std::vector<std::pair<std::int64_t, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::int64_t step = StepFromFilename(entry.path().filename().string());
+    if (step >= 0) found.emplace_back(step, entry.path().string());
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return found;
+}
+
+}  // namespace
+
+bool SaveTrainingCheckpoint(const TrainingCheckpoint& checkpoint,
+                            const std::string& path) {
+  util::CheckpointFileWriter writer;
+  writer.AddSection(kMetaSection, EncodeMeta(checkpoint));
+  writer.AddSection(kAdamSection, EncodeAdam(checkpoint.adam));
+  writer.AddSection(kWeightsSection, checkpoint.weights);
+  return writer.WriteAtomic(path);
+}
+
+std::optional<TrainingCheckpoint> LoadTrainingCheckpoint(
+    const std::string& path, std::string* error) {
+  const auto reader = util::CheckpointFileReader::Open(path, error);
+  if (!reader.has_value()) return std::nullopt;
+  const auto fail = [error](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  const std::vector<char>* meta = reader->Section(kMetaSection);
+  const std::vector<char>* adam = reader->Section(kAdamSection);
+  const std::vector<char>* weights = reader->Section(kWeightsSection);
+  if (meta == nullptr || adam == nullptr || weights == nullptr) {
+    return fail("missing checkpoint section");
+  }
+  TrainingCheckpoint checkpoint;
+  if (!DecodeMeta(*meta, &checkpoint)) return fail("malformed meta section");
+  if (!DecodeAdam(*adam, &checkpoint.adam)) {
+    return fail("malformed adam section");
+  }
+  checkpoint.weights = *weights;
+  return checkpoint;
+}
+
+std::string TrainingCheckpointPath(const std::string& dir, std::int64_t step) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%s%08lld%s", kFilePrefix,
+                static_cast<long long>(step), kFileSuffix);
+  return (std::filesystem::path(dir) / name).string();
+}
+
+std::optional<std::pair<std::string, TrainingCheckpoint>>
+FindLatestValidCheckpoint(const std::string& dir, std::string* error) {
+  std::string last_error = "no checkpoint files in " + dir;
+  for (const auto& [step, path] : ListCheckpoints(dir)) {
+    std::string open_error;
+    if (auto checkpoint = LoadTrainingCheckpoint(path, &open_error)) {
+      return std::make_pair(path, std::move(*checkpoint));
+    }
+    Log(LogLevel::kWarning, "checkpoint " + path +
+                                " rejected (" + open_error +
+                                "), falling back to the previous one");
+    last_error = open_error;
+  }
+  if (error != nullptr) *error = last_error;
+  return std::nullopt;
+}
+
+void PruneTrainingCheckpoints(const std::string& dir, int keep_last) {
+  const auto checkpoints = ListCheckpoints(dir);
+  std::error_code ec;
+  for (std::size_t i = static_cast<std::size_t>(std::max(0, keep_last));
+       i < checkpoints.size(); ++i) {
+    std::filesystem::remove(checkpoints[i].second, ec);
+  }
+}
+
+}  // namespace tfmae::core

@@ -1,0 +1,77 @@
+// Crash-safe training checkpoints for TfmaeDetector::Fit (docs/RESILIENCE.md).
+//
+// A TrainingCheckpoint bundles everything the training loop needs to
+// continue bitwise-identically to an uninterrupted run: network weights,
+// Adam moments and step counter, the full RNG engine state, and the
+// in-epoch progress (epoch, shuffled window order, position, running loss
+// accumulator). Resume re-derives the rest — normalizer statistics, window
+// slices, masks — deterministically from the training data and config, and
+// a CRC of the config text guards against resuming under a different
+// architecture or training recipe.
+//
+// Bundles persist as a single util/checkpoint_file.h container (atomic
+// replace, CRC per section), named "ckpt_<step>.tfmae" inside a checkpoint
+// directory. Recovery policy: FindLatestValidCheckpoint walks the directory
+// from the highest step down and returns the first bundle that passes full
+// validation, so a torn or bit-flipped newest file silently falls back to
+// the previous good one.
+#ifndef TFMAE_CORE_CHECKPOINT_H_
+#define TFMAE_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/adam.h"
+#include "util/rng.h"
+
+namespace tfmae::core {
+
+/// Position inside the training loop at checkpoint time. `next_window`
+/// indexes into `order`; checkpoints are only cut at optimizer-step
+/// boundaries, so there is never partially accumulated gradient to persist.
+struct TrainingProgress {
+  std::int64_t epoch = 0;       ///< epoch currently in progress
+  std::int64_t next_window = 0; ///< next index into `order` to train on
+  std::int64_t steps = 0;       ///< optimizer steps completed so far
+  double loss_sum = 0.0;        ///< loss accumulated over this epoch so far
+  double mean_loss_first_epoch = 0.0;  ///< TrainStats carry-over
+  std::vector<std::int64_t> order;     ///< this epoch's shuffled window order
+};
+
+/// The complete resumable training state.
+struct TrainingCheckpoint {
+  std::uint32_t config_crc = 0;   ///< Crc32 of ConfigToString(config)
+  std::int64_t num_features = 0;  ///< input width; guards architecture reuse
+  TrainingProgress progress;
+  Rng::State rng;                 ///< detector RNG, post-window-preparation
+  nn::AdamState adam;
+  std::vector<char> weights;      ///< nn::EncodeParameters payload
+};
+
+/// Writes the bundle to `path` atomically. Returns false on I/O failure
+/// (any previous file at `path` survives).
+bool SaveTrainingCheckpoint(const TrainingCheckpoint& checkpoint,
+                            const std::string& path);
+
+/// Opens and fully validates one bundle; nullopt (reason in `*error`) on
+/// corruption or version/format mismatch.
+std::optional<TrainingCheckpoint> LoadTrainingCheckpoint(
+    const std::string& path, std::string* error = nullptr);
+
+/// "<dir>/ckpt_<step padded to 8>.tfmae".
+std::string TrainingCheckpointPath(const std::string& dir, std::int64_t step);
+
+/// Newest fully-valid checkpoint in `dir` (highest step first, walking down
+/// past corrupt/truncated files). nullopt when none validates.
+std::optional<std::pair<std::string, TrainingCheckpoint>>
+FindLatestValidCheckpoint(const std::string& dir, std::string* error = nullptr);
+
+/// Deletes all but the `keep_last` highest-step "ckpt_*.tfmae" files.
+void PruneTrainingCheckpoints(const std::string& dir, int keep_last);
+
+}  // namespace tfmae::core
+
+#endif  // TFMAE_CORE_CHECKPOINT_H_

@@ -2,18 +2,29 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 
 #include "core/config_io.h"
 #include "nn/serialize.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
+#include "util/crc32.h"
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/memory.h"
 #include "util/stopwatch.h"
 
 namespace tfmae::core {
 namespace {
+
+// Fingerprint of the full training recipe; a checkpoint resumed under a
+// different config would silently diverge, so Resume() rejects mismatches.
+std::uint32_t ConfigCrc(const TfmaeConfig& config) {
+  const std::string text = ConfigToString(config);
+  return util::Crc32(text.data(), text.size());
+}
 
 // Extracts window values [start, start+len) as a flat [len * N] vector.
 std::vector<float> ExtractWindow(const data::TimeSeries& series,
@@ -56,9 +67,63 @@ TfmaeDetector::TfmaeDetector(TfmaeConfig config, std::string name)
     : name_(std::move(name)), config_(config), rng_(config.seed) {}
 
 void TfmaeDetector::Fit(const data::TimeSeries& train) {
+  FitInternal(train, FitOptions{}, nullptr);
+}
+
+void TfmaeDetector::Fit(const data::TimeSeries& train,
+                        const FitOptions& options) {
+  FitInternal(train, options, nullptr);
+}
+
+bool TfmaeDetector::Resume(const data::TimeSeries& train,
+                           const FitOptions& options) {
+  TFMAE_CHECK_MSG(!options.checkpoint_dir.empty(),
+                  "Resume() requires FitOptions::checkpoint_dir");
+  std::string error;
+  auto found = FindLatestValidCheckpoint(options.checkpoint_dir, &error);
+  if (!found.has_value()) {
+    Log(LogLevel::kWarning, "Resume: no valid checkpoint (" + error + ")");
+    return false;
+  }
+  const TrainingCheckpoint& checkpoint = found->second;
+  if (checkpoint.config_crc != ConfigCrc(config_)) {
+    Log(LogLevel::kError, "Resume: checkpoint " + found->first +
+                              " was trained under a different config");
+    return false;
+  }
+  if (checkpoint.num_features != train.num_features) {
+    Log(LogLevel::kError,
+        "Resume: checkpoint feature width does not match the training data");
+    return false;
+  }
+  const std::int64_t window = std::min(config_.window, train.length);
+  const std::int64_t stride = config_.stride > 0 ? config_.stride : window;
+  const std::size_t expected_windows =
+      data::WindowStarts(train.length, window, stride).size();
+  if (checkpoint.progress.order.size() != expected_windows) {
+    Log(LogLevel::kError,
+        "Resume: checkpoint window count does not match the training data");
+    return false;
+  }
+  Log(LogLevel::kInfo,
+      "Resume: continuing from " + found->first + " (step " +
+          std::to_string(checkpoint.progress.steps) + ")");
+  FitInternal(train, options, &checkpoint);
+  return true;
+}
+
+void TfmaeDetector::FitInternal(const data::TimeSeries& train,
+                                const FitOptions& options,
+                                const TrainingCheckpoint* resume_from) {
   TFMAE_CHECK_MSG(train.length >= 2, "training series too short");
   Stopwatch watch;
   MemoryStats::ResetPeak();
+
+  // Every Fit starts from the configured seed so the reconstruction below
+  // (parameter init, mask preparation) is a pure function of (data, config)
+  // — the property that lets Resume() rebuild the pre-training state and
+  // then overwrite it with the checkpointed one.
+  rng_ = Rng(config_.seed);
 
   normalizer_.Fit(train);
   const data::TimeSeries normalized = normalizer_.Apply(train);
@@ -89,32 +154,140 @@ void TfmaeDetector::Fit(const data::TimeSeries& train) {
 
   std::vector<std::size_t> order(windows.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  // Restore the checkpointed state over the freshly reconstructed one.
+  std::int64_t start_epoch = 0;
+  std::int64_t start_window = 0;
+  double resumed_loss_sum = 0.0;
+  if (resume_from != nullptr) {
+    TFMAE_CHECK_MSG(nn::DecodeParameters(model_.get(), resume_from->weights),
+                    "checkpoint weights do not match the model architecture");
+    TFMAE_CHECK_MSG(optimizer_->ImportState(resume_from->adam),
+                    "checkpoint optimizer state does not match the model");
+    rng_.SetState(resume_from->rng);
+    start_epoch = resume_from->progress.epoch;
+    start_window = resume_from->progress.next_window;
+    resumed_loss_sum = resume_from->progress.loss_sum;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<std::size_t>(resume_from->progress.order[i]);
+    }
+    stats_.num_steps = resume_from->progress.steps;
+    stats_.mean_loss_first_epoch = resume_from->progress.mean_loss_first_epoch;
+    stats_.resumed_at_step = resume_from->progress.steps;
+  }
+
+  const bool checkpointing =
+      !options.checkpoint_dir.empty() && options.checkpoint_every > 0;
+  if (checkpointing) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.checkpoint_dir, ec);
+  }
+  const auto write_checkpoint = [&](std::int64_t epoch,
+                                    std::int64_t next_window,
+                                    double loss_sum) {
+    TrainingCheckpoint checkpoint;
+    checkpoint.config_crc = ConfigCrc(config_);
+    checkpoint.num_features = train.num_features;
+    checkpoint.progress.epoch = epoch;
+    checkpoint.progress.next_window = next_window;
+    checkpoint.progress.steps = stats_.num_steps;
+    checkpoint.progress.loss_sum = loss_sum;
+    checkpoint.progress.mean_loss_first_epoch = stats_.mean_loss_first_epoch;
+    checkpoint.progress.order.assign(order.begin(), order.end());
+    checkpoint.rng = rng_.GetState();
+    checkpoint.adam = optimizer_->ExportState();
+    checkpoint.weights = nn::EncodeParameters(*model_);
+    const std::string path =
+        TrainingCheckpointPath(options.checkpoint_dir, stats_.num_steps);
+    if (SaveTrainingCheckpoint(checkpoint, path)) {
+      ++stats_.checkpoints_written;
+      TFMAE_COUNTER_ADD("core.fit.checkpoints_written", 1);
+      PruneTrainingCheckpoints(options.checkpoint_dir, options.keep_last);
+    } else {
+      // A failed checkpoint write must never kill training: the model in
+      // memory is healthy, only the recovery horizon shrinks.
+      ++stats_.checkpoint_failures;
+      TFMAE_COUNTER_ADD("core.fit.checkpoint_failures", 1);
+      Log(LogLevel::kWarning, "checkpoint write failed at step " +
+                                  std::to_string(stats_.num_steps) +
+                                  "; training continues");
+    }
+  };
+
+  nn::NumericGuard guard(optimizer_.get(), options.numeric);
   const std::int64_t batch = std::max<std::int64_t>(1, config_.batch_size);
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    rng_.Shuffle(&order);
+  bool stop = false;
+  for (std::int64_t epoch = start_epoch; epoch < config_.epochs && !stop;
+       ++epoch) {
+    std::int64_t window_begin = 0;
     double loss_sum = 0.0;
+    if (resume_from != nullptr && epoch == start_epoch) {
+      window_begin = start_window;
+      loss_sum = resumed_loss_sum;
+    } else {
+      rng_.Shuffle(&order);
+    }
     std::int64_t accumulated = 0;
+    double step_loss = 0.0;
     model_->ZeroGrad();
-    for (std::size_t index : order) {
-      const MaskedWindow& masked = windows[index];
+    for (std::int64_t idx = window_begin;
+         idx < static_cast<std::int64_t>(order.size()) && !stop; ++idx) {
+      const MaskedWindow& masked = windows[order[static_cast<std::size_t>(idx)]];
       const TfmaeModel::Views views = model_->Forward(masked);
       // Gradients accumulate across the mini-batch; scale keeps the
       // effective step equal to the batch-mean gradient.
       const Tensor loss = ops::Scale(model_->Loss(views),
                                      1.0f / static_cast<float>(batch));
       loss.Backward();
-      loss_sum += loss.item() * static_cast<double>(batch);
+      double window_loss = loss.item() * static_cast<double>(batch);
+      if (TFMAE_FAULT("train.nan_loss")) {
+        window_loss = std::numeric_limits<double>::quiet_NaN();
+      }
+      // Blown losses are skipped by the guard below; keeping them out of
+      // the epoch mean keeps TrainStats finite through a recovered run.
+      if (std::isfinite(window_loss)) loss_sum += window_loss;
+      step_loss += window_loss;
       if (++accumulated == batch) {
-        optimizer_->Step();
+        if (guard.PreStep(static_cast<float>(step_loss))) {
+          optimizer_->Step();
+          guard.CommitGoodStep();
+          ++stats_.num_steps;
+          if (checkpointing &&
+              stats_.num_steps % options.checkpoint_every == 0) {
+            write_checkpoint(epoch, idx + 1, loss_sum);
+          }
+          if (options.max_steps > 0 && stats_.num_steps >= options.max_steps) {
+            stats_.interrupted = true;
+            stop = true;
+          }
+        } else if (guard.gave_up()) {
+          stats_.interrupted = true;
+          stop = true;
+        }
         model_->ZeroGrad();
         accumulated = 0;
-        ++stats_.num_steps;
+        step_loss = 0.0;
+        if (!stop && TFMAE_FAULT("train.interrupt")) {
+          // Simulated crash: training stops without a final checkpoint, as
+          // a SIGKILL would. Resume() picks up from the last periodic one.
+          Log(LogLevel::kWarning, "injected training interrupt at step " +
+                                      std::to_string(stats_.num_steps));
+          stats_.interrupted = true;
+          stop = true;
+        }
       }
     }
+    if (stop) break;
     if (accumulated > 0) {
-      optimizer_->Step();
+      if (guard.PreStep(static_cast<float>(step_loss))) {
+        optimizer_->Step();
+        guard.CommitGoodStep();
+        ++stats_.num_steps;
+      } else if (guard.gave_up()) {
+        stats_.interrupted = true;
+        break;
+      }
       model_->ZeroGrad();
-      ++stats_.num_steps;
     }
     const double mean_loss =
         windows.empty() ? 0.0 : loss_sum / static_cast<double>(windows.size());
@@ -122,6 +295,7 @@ void TfmaeDetector::Fit(const data::TimeSeries& train) {
     stats_.mean_loss_last_epoch = mean_loss;
   }
 
+  stats_.numeric = guard.stats();
   stats_.fit_seconds = watch.ElapsedSeconds();
   stats_.peak_tensor_bytes = MemoryStats::PeakBytes();
   fitted_ = true;

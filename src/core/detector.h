@@ -7,12 +7,15 @@
 #include <string>
 
 #include "core/anomaly_detector.h"
+#include "core/checkpoint.h"
 #include "core/model.h"
 #include "nn/adam.h"
+#include "nn/numeric_guard.h"
 
 namespace tfmae::core {
 
-/// Bookkeeping from the last Fit() call (feeds the Fig. 10 study).
+/// Bookkeeping from the last Fit() call (feeds the Fig. 10 study and the
+/// resilience tests).
 struct TrainStats {
   double fit_seconds = 0.0;            ///< wall time of the whole Fit()
   double mean_loss_first_epoch = 0.0;  ///< Eq. (15) objective, epoch 1
@@ -20,6 +23,30 @@ struct TrainStats {
   std::int64_t num_windows = 0;        ///< training windows sliced
   std::int64_t num_steps = 0;          ///< optimizer steps taken
   std::int64_t peak_tensor_bytes = 0;  ///< MemoryStats high-watermark
+  nn::NumericGuardStats numeric;       ///< numeric-guard interventions
+  std::int64_t checkpoints_written = 0;
+  std::int64_t checkpoint_failures = 0;  ///< writes that failed (training went on)
+  std::int64_t resumed_at_step = -1;     ///< -1 for a fresh (non-resumed) run
+  bool interrupted = false;  ///< stopped early: max_steps, injected fault,
+                             ///< or numeric-guard give-up
+};
+
+/// Training-time resilience options (all off by default, so plain Fit(train)
+/// behaves exactly like the seed).
+struct FitOptions {
+  /// Directory for crash-safe TrainingCheckpoint bundles; empty disables
+  /// checkpointing. Created if missing.
+  std::string checkpoint_dir;
+  /// Write a checkpoint every this many optimizer steps (0 = off).
+  std::int64_t checkpoint_every = 0;
+  /// Checkpoint files retained after each write (older ones are pruned).
+  int keep_last = 2;
+  /// Stop cleanly after this many optimizer steps (0 = unlimited). The
+  /// stats report interrupted=true; Resume() continues the run.
+  std::int64_t max_steps = 0;
+  /// NaN/Inf step guard configuration (enabled by default; zero effect on
+  /// healthy runs — see nn/numeric_guard.h).
+  nn::NumericGuardOptions numeric;
 };
 
 /// TFMAE anomaly detector implementing the shared AnomalyDetector protocol.
@@ -40,6 +67,18 @@ class TfmaeDetector : public AnomalyDetector {
   /// Normalizes (z-score, fitted here), slices training windows, prepares
   /// masks once, then optimizes Eq. (15) with Adam for config.epochs passes.
   void Fit(const data::TimeSeries& train) override;
+
+  /// Fit with resilience options: periodic crash-safe checkpoints, a step
+  /// budget, and numeric-health guarding (see FitOptions).
+  void Fit(const data::TimeSeries& train, const FitOptions& options);
+
+  /// Continues an interrupted Fit from the newest valid checkpoint in
+  /// `options.checkpoint_dir`, bitwise-identically to the run the
+  /// checkpoint came from (same data, config, and seed required; enforced
+  /// via a config CRC). Returns false — detector untouched — when no valid
+  /// checkpoint exists or it does not match this detector/data; the caller
+  /// should Fit() from scratch then.
+  bool Resume(const data::TimeSeries& train, const FitOptions& options);
 
   /// Per-time-step symmetric-KL anomaly scores. Overlapping window scores
   /// are averaged. Requires Fit().
@@ -63,6 +102,12 @@ class TfmaeDetector : public AnomalyDetector {
   bool LoadCheckpoint(const std::string& prefix);
 
  private:
+  /// Shared body of Fit/Resume. `resume_from` (may be null) is a validated
+  /// checkpoint whose state is restored after the deterministic
+  /// reconstruction of windows and masks.
+  void FitInternal(const data::TimeSeries& train, const FitOptions& options,
+                   const TrainingCheckpoint* resume_from);
+
   std::string name_;
   TfmaeConfig config_;
   std::unique_ptr<TfmaeModel> model_;

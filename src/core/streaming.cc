@@ -1,9 +1,13 @@
 #include "core/streaming.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
 
 #include "eval/detection.h"
 #include "obs/trace.h"
+#include "util/fault.h"
 #include "util/logging.h"
 
 namespace tfmae::core {
@@ -13,6 +17,14 @@ StreamingDetector::StreamingDetector(AnomalyDetector* detector,
     : detector_(detector), options_(options) {
   TFMAE_CHECK(detector != nullptr);
   TFMAE_CHECK(options.window >= 2 && options.hop >= 1);
+  TFMAE_CHECK(options.impute_staleness_cap >= 0);
+  TFMAE_CHECK(options.quarantine_sigma >= 0.0);
+  // Register the degraded-input counters up front so a clean stream's dump
+  // shows them at 0 rather than omitting them.
+  TFMAE_COUNTER_ADD("streaming.degraded.imputed_rows", 0);
+  TFMAE_COUNTER_ADD("streaming.degraded.imputed_values", 0);
+  TFMAE_COUNTER_ADD("streaming.degraded.quarantined_rows", 0);
+  TFMAE_COUNTER_ADD("streaming.degraded.rejected_rows", 0);
 }
 
 void StreamingDetector::CalibrateThreshold(
@@ -20,18 +32,126 @@ void StreamingDetector::CalibrateThreshold(
   threshold_ = eval::QuantileThreshold(calibration_scores, anomaly_fraction);
 }
 
+PushStatus StreamingDetector::SanitizeRow(std::vector<float>* row,
+                                          std::int32_t* imputed) {
+  *imputed = 0;
+  const std::size_t n = static_cast<std::size_t>(num_features_);
+  std::vector<unsigned char> imputed_mask(n, 0);
+
+  // Pass 1: repair non-finite values by LOCF where possible.
+  bool over_staleness = false;
+  for (std::size_t f = 0; f < n; ++f) {
+    if (std::isfinite((*row)[f])) continue;
+    if (!has_last_good_[f]) {
+      // Nothing to carry forward (missing value before any good one): the
+      // row cannot be repaired, so refuse it without consuming it.
+      TFMAE_COUNTER_ADD("streaming.degraded.rejected_rows", 1);
+      ++health_.rows_rejected;
+      return PushStatus::kRejected;
+    }
+    (*row)[f] = last_good_[f];
+    imputed_mask[f] = 1;
+    ++*imputed;
+    if (staleness_[f] + 1 > options_.impute_staleness_cap) {
+      over_staleness = true;
+    }
+  }
+
+  // Pass 2: range check against running statistics (imputed values already
+  // passed it when first measured, but re-checking them is harmless).
+  bool out_of_range = false;
+  if (options_.quarantine_sigma > 0.0 &&
+      stats_count_ >= std::max<std::int64_t>(options_.quarantine_warmup, 2)) {
+    for (std::size_t f = 0; f < n && !out_of_range; ++f) {
+      if (imputed_mask[f]) continue;
+      const double variance =
+          stats_m2_[f] / static_cast<double>(stats_count_ - 1);
+      const double limit =
+          options_.quarantine_sigma * std::sqrt(std::max(variance, 0.0));
+      if (limit > 0.0 &&
+          std::abs(static_cast<double>((*row)[f]) - stats_mean_[f]) > limit) {
+        out_of_range = true;
+      }
+    }
+  }
+
+  if (over_staleness || out_of_range) {
+    // Quarantine: substitute the last good value for EVERY feature so the
+    // window keeps sliding on trusted data, but emit no score for this row.
+    // Every feature counts as imputed for staleness purposes — even measured
+    // ones, whose values were discarded.
+    for (std::size_t f = 0; f < n; ++f) {
+      (*row)[f] = last_good_[f];
+      ++staleness_[f];
+    }
+    TFMAE_COUNTER_ADD("streaming.degraded.quarantined_rows", 1);
+    ++health_.rows_quarantined;
+    return PushStatus::kQuarantined;
+  }
+
+  // The row is accepted: fold its measured values into the LOCF sources and
+  // running statistics; staleness continues counting for imputed features
+  // and resets for ones that reported.
+  ++stats_count_;
+  for (std::size_t f = 0; f < n; ++f) {
+    if (imputed_mask[f]) {
+      ++staleness_[f];
+      continue;  // keep the statistics unbiased: only measured values enter
+    }
+    staleness_[f] = 0;
+    last_good_[f] = (*row)[f];
+    has_last_good_[f] = true;
+    const double delta = static_cast<double>((*row)[f]) - stats_mean_[f];
+    stats_mean_[f] += delta / static_cast<double>(stats_count_);
+    stats_m2_[f] +=
+        delta * (static_cast<double>((*row)[f]) - stats_mean_[f]);
+  }
+
+  if (*imputed > 0) {
+    TFMAE_COUNTER_ADD("streaming.degraded.imputed_rows", 1);
+    TFMAE_COUNTER_ADD("streaming.degraded.imputed_values", *imputed);
+    ++health_.rows_imputed;
+    health_.values_imputed += *imputed;
+  }
+  return PushStatus::kScored;
+}
+
 std::optional<StreamingResult> StreamingDetector::Push(
     const std::vector<float>& observation) {
   TFMAE_TRACE("core.streaming.push");
   if (num_features_ < 0) {
+    // First push fixes the arity. A first row with no finite values at all
+    // is rejected below, but it still fixes the width: the source has
+    // declared its schema even if its values are junk.
     num_features_ = static_cast<std::int64_t>(observation.size());
-    TFMAE_CHECK(num_features_ >= 1);
-    buffer_.reserve(
-        static_cast<std::size_t>(options_.window * num_features_));
+    TFMAE_CHECK_MSG(num_features_ >= 1, "empty observation on first push");
+    buffer_.reserve(static_cast<std::size_t>(options_.window * num_features_));
+    last_good_.assign(static_cast<std::size_t>(num_features_), 0.0f);
+    has_last_good_.assign(static_cast<std::size_t>(num_features_), false);
+    staleness_.assign(static_cast<std::size_t>(num_features_), 0);
+    stats_mean_.assign(static_cast<std::size_t>(num_features_), 0.0);
+    stats_m2_.assign(static_cast<std::size_t>(num_features_), 0.0);
   }
-  TFMAE_CHECK_MSG(static_cast<std::int64_t>(observation.size()) ==
-                      num_features_,
-                  "observation width changed mid-stream");
+  if (static_cast<std::int64_t>(observation.size()) != num_features_) {
+    // Wrong arity: a malformed record from the transport. Refuse it with a
+    // typed status instead of corrupting the window (or CHECK-aborting a
+    // long-lived service).
+    TFMAE_COUNTER_ADD("streaming.degraded.rejected_rows", 1);
+    ++health_.rows_rejected;
+    last_push_status_ = PushStatus::kRejected;
+    return std::nullopt;
+  }
+
+  std::vector<float> row = observation;
+  if (TFMAE_FAULT("streaming.corrupt_value")) {
+    row[0] = std::numeric_limits<float>::quiet_NaN();
+  }
+  std::int32_t imputed = 0;
+  const PushStatus sanitize_status = SanitizeRow(&row, &imputed);
+  if (sanitize_status == PushStatus::kRejected) {
+    last_push_status_ = PushStatus::kRejected;
+    return std::nullopt;
+  }
 
   if (buffered_rows_ == options_.window) {
     // Slide: drop the oldest row.
@@ -39,15 +159,26 @@ std::optional<StreamingResult> StreamingDetector::Push(
                   buffer_.begin() + static_cast<std::ptrdiff_t>(num_features_));
     --buffered_rows_;
   }
-  buffer_.insert(buffer_.end(), observation.begin(), observation.end());
+  buffer_.insert(buffer_.end(), row.begin(), row.end());
   ++buffered_rows_;
   ++total_pushed_;
 
-  if (buffered_rows_ < options_.window) return std::nullopt;
+  if (sanitize_status == PushStatus::kQuarantined) {
+    // The stand-in row advanced the window, but no score is emitted and the
+    // hop cadence does not advance either (the row carries no fresh signal).
+    last_push_status_ = PushStatus::kQuarantined;
+    return std::nullopt;
+  }
+
+  if (buffered_rows_ < options_.window) {
+    ++health_.rows_warmup;
+    last_push_status_ = PushStatus::kWarmup;
+    return std::nullopt;
+  }
 
   ++pushes_since_rescore_;
-  if (pushes_since_rescore_ >= options_.hop ||
-      total_pushed_ == options_.window) {
+  if (pushes_since_rescore_ >= options_.hop || !scored_once_) {
+    scored_once_ = true;
     data::TimeSeries window_series;
     window_series.length = options_.window;
     window_series.num_features = num_features_;
@@ -68,6 +199,10 @@ std::optional<StreamingResult> StreamingDetector::Push(
   StreamingResult result;
   result.score = last_tail_score_;
   result.is_anomaly = last_tail_score_ >= threshold_;
+  result.degraded = imputed > 0;
+  result.imputed_values = imputed;
+  ++health_.rows_scored;
+  last_push_status_ = PushStatus::kScored;
   TFMAE_COUNTER_ADD("core.streaming.scores", 1);
   if (result.is_anomaly) TFMAE_COUNTER_ADD("core.streaming.alerts", 1);
   return result;

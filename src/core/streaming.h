@@ -5,6 +5,19 @@
 // wraps a fitted detector with a ring buffer: observations are pushed one at
 // a time; once the buffer holds a full window, each arriving observation is
 // scored against its trailing window and compared to a calibrated threshold.
+//
+// Real telemetry is dirty, so Push additionally implements the degraded-
+// input contract of docs/RESILIENCE.md instead of trusting every row:
+//  * a wrong-arity observation is REJECTED (typed status, stream unchanged)
+//    rather than aborting the process or indexing out of contract;
+//  * NaN/Inf values are imputed per feature by last-observation-carried-
+//    forward, up to `impute_staleness_cap` consecutive rows;
+//  * a row whose staleness cap is exhausted, or that contains a wildly
+//    out-of-range value (|x - mean| > quarantine_sigma * std of the values
+//    accepted so far), is QUARANTINED: an imputed row keeps the window
+//    moving, but no score or alert is emitted for it;
+//  * per-stream health counts are available from health() and exported as
+//    `streaming.degraded.*` metrics.
 #ifndef TFMAE_CORE_STREAMING_H_
 #define TFMAE_CORE_STREAMING_H_
 
@@ -25,12 +38,45 @@ struct StreamingOptions {
   /// back-fill the k-1 in-between scores from the same window (k = hop).
   /// hop=1 scores every step (most accurate, most expensive).
   std::int64_t hop = 5;
+  /// Maximum consecutive rows a feature may be imputed (LOCF) before the
+  /// row is quarantined instead of scored.
+  std::int64_t impute_staleness_cap = 5;
+  /// Quarantine a row when any feature deviates more than this many running
+  /// standard deviations from its running mean. 0 disables the range check.
+  double quarantine_sigma = 0.0;
+  /// Accepted rows required before the range check activates (the running
+  /// statistics are meaningless earlier).
+  std::int64_t quarantine_warmup = 64;
+};
+
+/// What happened to the most recent Push (see last_push_status()).
+enum class PushStatus {
+  kScored,       ///< row accepted and a result emitted
+  kWarmup,       ///< row accepted; the first window is still filling
+  kRejected,     ///< row refused (wrong arity / unimputable); stream unchanged
+  kQuarantined,  ///< row replaced by an imputed stand-in; no result emitted
 };
 
 /// Per-observation streaming result.
 struct StreamingResult {
   float score = 0.0f;
   bool is_anomaly = false;
+  /// True when any feature of this row was imputed (the score is computed
+  /// from repaired data — trustworthy, but worth surfacing to operators).
+  bool degraded = false;
+  /// Features imputed in this row.
+  std::int32_t imputed_values = 0;
+};
+
+/// Cumulative per-stream health (mirrors the `streaming.degraded.*`
+/// counters, but available without an observability build).
+struct StreamHealth {
+  std::int64_t rows_scored = 0;
+  std::int64_t rows_warmup = 0;
+  std::int64_t rows_imputed = 0;      ///< rows accepted with >= 1 imputed value
+  std::int64_t rows_quarantined = 0;
+  std::int64_t rows_rejected = 0;
+  std::int64_t values_imputed = 0;    ///< individual feature values repaired
 };
 
 /// Streams observations through a fitted detector.
@@ -57,29 +103,41 @@ class StreamingDetector {
   void set_threshold(float threshold) { threshold_ = threshold; }
   float threshold() const { return threshold_; }
 
-  /// Pushes one observation (num_features values). Returns the score for
-  /// this observation once enough history exists, std::nullopt during the
-  /// initial fill. The trailing window is re-scored every `hop` pushes;
-  /// pushes in between reuse the latest tail score (a documented
-  /// approximation trading latency for compute — set hop=1 for exact
-  /// per-step scoring).
+  /// Pushes one observation (num_features values; the first accepted push
+  /// fixes the arity). Returns the score for this observation once enough
+  /// history exists; std::nullopt during the initial fill and for rejected
+  /// or quarantined rows — last_push_status() distinguishes the three. The
+  /// trailing window is re-scored every `hop` pushes; pushes in between
+  /// reuse the latest tail score (a documented approximation trading
+  /// latency for compute — set hop=1 for exact per-step scoring).
   ///
-  /// Warm-up semantics (hop > 1): the first `window - 1` pushes return
-  /// std::nullopt — there is no partial-window scoring. The push that
-  /// completes the first window ALWAYS triggers a fresh rescore, regardless
-  /// of where it falls in the hop cycle, so the first emitted result is
-  /// never a stale placeholder; only the newest observation (fresh = 1) is
-  /// scored fresh at that point. The hop cadence then restarts from this
-  /// first scoreable push: the next rescore happens at push `window + hop`,
-  /// and the `hop - 1` results in between repeat the first fresh tail
-  /// score. See streaming_test.cc ("WarmUpFirstResultIsFreshWithHop") for
-  /// the pinned behaviour.
+  /// Warm-up semantics (hop > 1): the first `window - 1` accepted pushes
+  /// return std::nullopt — there is no partial-window scoring. The push
+  /// that completes the first window ALWAYS triggers a fresh rescore,
+  /// regardless of where it falls in the hop cycle, so the first emitted
+  /// result is never a stale placeholder; only the newest observation
+  /// (fresh = 1) is scored fresh at that point. The hop cadence then
+  /// restarts from this first scoreable push: the next rescore happens at
+  /// push `window + hop`, and the `hop - 1` results in between repeat the
+  /// first fresh tail score. See streaming_test.cc
+  /// ("WarmUpFirstResultIsFreshWithHop") for the pinned behaviour.
   std::optional<StreamingResult> Push(const std::vector<float>& observation);
 
-  /// Number of observations consumed so far.
+  /// Disposition of the most recent Push (kWarmup before any push).
+  PushStatus last_push_status() const { return last_push_status_; }
+
+  /// Cumulative degraded-input accounting.
+  const StreamHealth& health() const { return health_; }
+
+  /// Number of observations consumed so far (rejected rows excluded).
   std::int64_t total_pushed() const { return total_pushed_; }
 
  private:
+  /// Validates and repairs one row in place. Returns the status the row
+  /// should be treated with (kScored for a clean/imputed row, kRejected /
+  /// kQuarantined otherwise); fills `imputed` with the repaired count.
+  PushStatus SanitizeRow(std::vector<float>* row, std::int32_t* imputed);
+
   AnomalyDetector* detector_;
   StreamingOptions options_;
   std::int64_t num_features_ = -1;
@@ -87,8 +145,20 @@ class StreamingDetector {
   std::int64_t buffered_rows_ = 0;
   std::int64_t total_pushed_ = 0;
   std::int64_t pushes_since_rescore_ = 0;
+  bool scored_once_ = false;
   float last_tail_score_ = 0.0f;
   float threshold_ = 0.0f;
+
+  // Degraded-input state.
+  PushStatus last_push_status_ = PushStatus::kWarmup;
+  StreamHealth health_;
+  std::vector<float> last_good_;        // per-feature LOCF source
+  std::vector<bool> has_last_good_;
+  std::vector<std::int64_t> staleness_;  // consecutive imputations per feature
+  // Running per-feature statistics over accepted values (Welford).
+  std::int64_t stats_count_ = 0;
+  std::vector<double> stats_mean_;
+  std::vector<double> stats_m2_;
 };
 
 }  // namespace tfmae::core

@@ -1,10 +1,76 @@
 #include "data/io.h"
 
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <vector>
 
+#include "util/fault.h"
+
 namespace tfmae::data {
+namespace {
+
+std::string Trim(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(s[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(s[end - 1])) != 0) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+bool IsMissingCell(const std::string& cell) {
+  if (cell.empty()) return true;
+  std::string lower;
+  lower.reserve(cell.size());
+  for (char c : cell) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return lower == "nan" || lower == "na" || lower == "null";
+}
+
+/// Strict full-cell float parse; std::stof would silently accept trailing
+/// garbage ("1.5abc") and throw on others, hiding WHERE the input is bad.
+bool ParseFloatCell(const std::string& cell, float* out) {
+  const char* text = cell.c_str();
+  char* parse_end = nullptr;
+  errno = 0;
+  const float value = std::strtof(text, &parse_end);
+  if (parse_end == text || *parse_end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::stringstream row(line);
+  while (std::getline(row, cell, ',')) cells.push_back(Trim(cell));
+  // "a,b," has three cells; std::getline reports two. An empty trailing cell
+  // matters here because empty means "missing value", not "no cell".
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+
+std::optional<TimeSeries> Fail(CsvDiagnostic* diagnostic, std::int64_t line,
+                               const std::string& message) {
+  if (diagnostic != nullptr) {
+    diagnostic->line = line;
+    diagnostic->message = message;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
 
 bool SaveCsv(const TimeSeries& series, const std::string& path) {
   std::ofstream file(path);
@@ -29,46 +95,110 @@ bool SaveCsv(const TimeSeries& series, const std::string& path) {
   return static_cast<bool>(file);
 }
 
-std::optional<TimeSeries> LoadCsv(const std::string& path) {
+std::optional<TimeSeries> LoadCsv(const std::string& path,
+                                  CsvDiagnostic* diagnostic) {
+  if (diagnostic != nullptr) *diagnostic = CsvDiagnostic{};
   std::ifstream file(path);
-  if (!file) return std::nullopt;
+  if (!file) return Fail(diagnostic, 0, "cannot open " + path);
   std::string line;
-  if (!std::getline(file, line)) return std::nullopt;
-
-  // Parse header.
-  std::vector<std::string> columns;
-  {
-    std::stringstream header(line);
-    std::string cell;
-    while (std::getline(header, cell, ',')) columns.push_back(cell);
+  std::int64_t line_number = 1;
+  if (!std::getline(file, line)) {
+    return Fail(diagnostic, 1, "empty file (no header line)");
   }
-  if (columns.empty()) return std::nullopt;
+
+  const std::vector<std::string> columns = SplitCsvLine(line);
+  if (columns.empty()) return Fail(diagnostic, 1, "empty header line");
   const bool with_labels = columns.back() == "label";
   const std::int64_t num_features =
       static_cast<std::int64_t>(columns.size()) - (with_labels ? 1 : 0);
-  if (num_features < 1) return std::nullopt;
+  if (num_features < 1) {
+    return Fail(diagnostic, 1, "header declares no feature columns");
+  }
+  const std::size_t expected_cells = columns.size();
 
   TimeSeries series;
   series.num_features = num_features;
   while (std::getline(file, line)) {
-    if (line.empty()) continue;
-    std::stringstream row(line);
-    std::string cell;
+    ++line_number;
+    if (Trim(line).empty()) continue;  // blank separator lines are fine
+    if (TFMAE_FAULT("data.csv_row")) {
+      return Fail(diagnostic, line_number, "injected I/O fault (data.csv_row)");
+    }
+    const std::vector<std::string> cells = SplitCsvLine(line);
+    if (cells.size() != expected_cells) {
+      std::ostringstream why;
+      why << "ragged row: expected " << expected_cells << " cells, got "
+          << cells.size();
+      return Fail(diagnostic, line_number, why.str());
+    }
     for (std::int64_t n = 0; n < num_features; ++n) {
-      if (!std::getline(row, cell, ',')) return std::nullopt;
-      try {
-        series.values.push_back(std::stof(cell));
-      } catch (...) {
-        return std::nullopt;
+      const std::string& cell = cells[static_cast<std::size_t>(n)];
+      if (IsMissingCell(cell)) {
+        series.values.push_back(std::numeric_limits<float>::quiet_NaN());
+        if (diagnostic != nullptr) ++diagnostic->missing_values;
+        continue;
       }
+      float value = 0.0f;
+      if (!ParseFloatCell(cell, &value)) {
+        return Fail(diagnostic, line_number,
+                    "non-numeric cell \"" + cell + "\" in column " +
+                        columns[static_cast<std::size_t>(n)]);
+      }
+      series.values.push_back(value);
     }
     if (with_labels) {
-      if (!std::getline(row, cell, ',')) return std::nullopt;
+      const std::string& cell = cells.back();
+      if (cell != "0" && cell != "1") {
+        return Fail(diagnostic, line_number,
+                    "label cell \"" + cell + "\" is not 0 or 1");
+      }
       series.labels.push_back(cell == "1" ? 1 : 0);
     }
     ++series.length;
+    if (diagnostic != nullptr) ++diagnostic->rows;
   }
   return series;
+}
+
+std::int64_t ImputeMissingLocf(TimeSeries* series) {
+  std::int64_t imputed = 0;
+  for (std::int64_t n = 0; n < series->num_features; ++n) {
+    // Forward pass: carry the last finite value over gaps.
+    bool have_good = false;
+    float carry = 0.0f;
+    for (std::int64_t t = 0; t < series->length; ++t) {
+      float& value = series->at(t, n);
+      if (std::isfinite(value)) {
+        have_good = true;
+        carry = value;
+      } else if (have_good) {
+        value = carry;
+        ++imputed;
+      }
+    }
+    if (!have_good) {
+      // No finite value anywhere in this feature: zero-fill (already counted
+      // nothing yet — count every row).
+      for (std::int64_t t = 0; t < series->length; ++t) {
+        series->at(t, n) = 0.0f;
+        ++imputed;
+      }
+      continue;
+    }
+    // Backward pass: fill the leading gap from the first finite value.
+    have_good = false;
+    for (std::int64_t t = series->length - 1; t >= 0; --t) {
+      float& value = series->at(t, n);
+      if (std::isfinite(value)) {
+        have_good = true;
+        carry = value;
+      } else if (have_good) {
+        value = carry;
+        ++imputed;
+      }
+    }
+  }
+  return imputed;
 }
 
 }  // namespace tfmae::data

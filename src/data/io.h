@@ -3,9 +3,17 @@
 //
 // Format: a header line "f0,f1,...,label?" then one row per time step. The
 // optional final "label" column carries 0/1 ground truth.
+//
+// LoadCsv is strict about structure but tolerant about missing data: a
+// ragged row, a non-numeric cell, or a bad label fails the load with a
+// line-numbered diagnostic, while an empty cell or a literal "nan" is
+// accepted as a missing value (stored as NaN). Callers feeding a detector
+// should repair missing values first — ImputeMissingLocf below, or the
+// streaming layer's online imputation (docs/RESILIENCE.md).
 #ifndef TFMAE_DATA_IO_H_
 #define TFMAE_DATA_IO_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -13,14 +21,38 @@
 
 namespace tfmae::data {
 
+/// Where and why a CSV load failed, plus counters that are filled in even on
+/// success (missing_values, rows).
+struct CsvDiagnostic {
+  /// 1-based line of the first fatal problem (0 when the load succeeded or
+  /// the file could not be opened at all).
+  std::int64_t line = 0;
+  /// Human-readable reason; empty on success.
+  std::string message;
+  /// Cells accepted as missing (empty or "nan"), stored as NaN.
+  std::int64_t missing_values = 0;
+  /// Data rows parsed (excluding the header).
+  std::int64_t rows = 0;
+
+  bool ok() const { return message.empty(); }
+};
+
 /// Writes `series` to `path`. Includes a label column iff labels are present.
 /// Returns false on I/O failure.
 bool SaveCsv(const TimeSeries& series, const std::string& path);
 
 /// Loads a CSV written by SaveCsv (or any numeric CSV with a header). If the
-/// last column is named "label" it becomes the label vector.
-/// Returns std::nullopt on failure.
-std::optional<TimeSeries> LoadCsv(const std::string& path);
+/// last column is named "label" it becomes the label vector. Returns
+/// std::nullopt on failure; when `diagnostic` is given it reports the line
+/// number and reason (and, on success, how many missing values were seen).
+std::optional<TimeSeries> LoadCsv(const std::string& path,
+                                  CsvDiagnostic* diagnostic = nullptr);
+
+/// Repairs missing values (NaN) in place, per feature: last observation
+/// carried forward, and the first good value carried *backward* over any
+/// leading gap. Returns the number of values imputed. A feature with no
+/// finite value at all is filled with zeros (counted as imputed).
+std::int64_t ImputeMissingLocf(TimeSeries* series);
 
 }  // namespace tfmae::data
 

@@ -94,6 +94,30 @@ void Adam::Step() {
   }
 }
 
+AdamState Adam::ExportState() const {
+  AdamState state;
+  state.step_count = step_count_;
+  state.m = m_;
+  state.v = v_;
+  return state;
+}
+
+bool Adam::ImportState(const AdamState& state) {
+  if (state.m.size() != m_.size() || state.v.size() != v_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < m_.size(); ++i) {
+    if (state.m[i].size() != m_[i].size() ||
+        state.v[i].size() != v_[i].size()) {
+      return false;
+    }
+  }
+  step_count_ = state.step_count;
+  m_ = state.m;
+  v_ = state.v;
+  return true;
+}
+
 void Adam::ZeroGrad() {
   for (Tensor& p : parameters_) p.ZeroGrad();
 }

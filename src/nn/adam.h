@@ -19,6 +19,16 @@ struct AdamOptions {
   float clip_grad_norm = 0.0f;
 };
 
+/// Complete optimizer state — both moment vectors and the step counter.
+/// Persisted inside training checkpoints (core/checkpoint.h) and snapshotted
+/// by the numeric guard (nn/numeric_guard.h) so a restored optimizer
+/// continues bitwise-identically.
+struct AdamState {
+  std::int64_t step_count = 0;
+  std::vector<std::vector<float>> m;
+  std::vector<std::vector<float>> v;
+};
+
 /// Adam over a fixed parameter list. Parameters must keep their identity
 /// (buffer) across steps; the optimizer stores per-parameter moment buffers.
 class Adam {
@@ -36,6 +46,16 @@ class Adam {
   std::int64_t num_steps() const { return step_count_; }
   const AdamOptions& options() const { return options_; }
   void set_learning_rate(float lr) { options_.learning_rate = lr; }
+
+  /// The managed parameter tensors (aliases, not copies).
+  const std::vector<Tensor>& parameters() const { return parameters_; }
+
+  /// Deep copy of the moments and step counter.
+  AdamState ExportState() const;
+
+  /// Restores state exported from an optimizer over the same parameter
+  /// shapes. Returns false (state unchanged) on a shape mismatch.
+  bool ImportState(const AdamState& state);
 
  private:
   std::vector<Tensor> parameters_;

@@ -1,79 +1,72 @@
 #include "nn/serialize.h"
 
-#include <cstdint>
 #include <cstring>
-#include <fstream>
 #include <map>
 
-#include "util/logging.h"
+#include "util/checkpoint_file.h"
 
 namespace tfmae::nn {
-namespace {
-constexpr char kMagic[8] = {'T', 'F', 'M', 'A', 'E', 'w', 't', 's'};
-constexpr std::uint32_t kVersion = 1;
-}  // namespace
+
+std::vector<char> EncodeParameters(const Module& module) {
+  util::ByteWriter writer;
+  const auto named = module.NamedParameters();
+  writer.U64(named.size());
+  for (const auto& [name, tensor] : named) {
+    writer.String(name);
+    writer.U64(static_cast<std::uint64_t>(tensor.numel()));
+    writer.Raw(tensor.data(),
+               static_cast<std::size_t>(tensor.numel()) * sizeof(float));
+  }
+  return writer.Take();
+}
+
+bool DecodeParameters(Module* module, const std::vector<char>& payload) {
+  util::ByteReader reader(payload);
+  std::uint64_t count = 0;
+  if (!reader.U64(&count)) return false;
+
+  // Stage everything first so a mismatch part-way through cannot leave the
+  // module half-overwritten.
+  std::map<std::string, std::vector<float>> loaded;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string name;
+    std::uint64_t numel = 0;
+    if (!reader.String(&name) || !reader.U64(&numel)) return false;
+    std::vector<float> values(static_cast<std::size_t>(numel));
+    if (!reader.Raw(values.data(), values.size() * sizeof(float))) {
+      return false;
+    }
+    loaded.emplace(std::move(name), std::move(values));
+  }
+  if (!reader.AtEnd()) return false;
+
+  const auto named = module->NamedParameters();
+  for (const auto& [name, tensor] : named) {
+    auto it = loaded.find(name);
+    if (it == loaded.end() ||
+        static_cast<std::int64_t>(it->second.size()) != tensor.numel()) {
+      return false;
+    }
+  }
+  for (auto& [name, tensor] : module->NamedParameters()) {
+    const auto& values = loaded.at(name);
+    std::memcpy(tensor.data(), values.data(), values.size() * sizeof(float));
+  }
+  return true;
+}
 
 bool SaveParameters(const Module& module, const std::string& path) {
-  std::ofstream file(path, std::ios::binary);
-  if (!file) return false;
-  const auto named = module.NamedParameters();
-  file.write(kMagic, sizeof(kMagic));
-  const std::uint32_t version = kVersion;
-  file.write(reinterpret_cast<const char*>(&version), sizeof(version));
-  const std::uint64_t count = named.size();
-  file.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  for (const auto& [name, tensor] : named) {
-    const std::uint32_t name_len = static_cast<std::uint32_t>(name.size());
-    file.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
-    file.write(name.data(), static_cast<std::streamsize>(name.size()));
-    const std::uint64_t numel = static_cast<std::uint64_t>(tensor.numel());
-    file.write(reinterpret_cast<const char*>(&numel), sizeof(numel));
-    file.write(reinterpret_cast<const char*>(tensor.data()),
-               static_cast<std::streamsize>(numel * sizeof(float)));
-  }
-  return static_cast<bool>(file);
+  util::CheckpointFileWriter writer;
+  writer.AddSection(kParametersSection, EncodeParameters(module));
+  return writer.WriteAtomic(path);
 }
 
 bool LoadParameters(Module* module, const std::string& path) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) return false;
-  char magic[8];
-  file.read(magic, sizeof(magic));
-  if (!file || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
-  std::uint32_t version = 0;
-  file.read(reinterpret_cast<char*>(&version), sizeof(version));
-  if (!file || version != kVersion) return false;
-  std::uint64_t count = 0;
-  file.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!file) return false;
-
-  std::map<std::string, std::vector<float>> loaded;
-  for (std::uint64_t i = 0; i < count; ++i) {
-    std::uint32_t name_len = 0;
-    file.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
-    if (!file) return false;
-    std::string name(name_len, '\0');
-    file.read(name.data(), name_len);
-    std::uint64_t numel = 0;
-    file.read(reinterpret_cast<char*>(&numel), sizeof(numel));
-    if (!file) return false;
-    std::vector<float> values(numel);
-    file.read(reinterpret_cast<char*>(values.data()),
-              static_cast<std::streamsize>(numel * sizeof(float)));
-    if (!file) return false;
-    loaded.emplace(std::move(name), std::move(values));
-  }
-
-  for (auto& [name, tensor] : module->NamedParameters()) {
-    auto it = loaded.find(name);
-    if (it == loaded.end()) return false;
-    if (static_cast<std::int64_t>(it->second.size()) != tensor.numel()) {
-      return false;
-    }
-    std::memcpy(tensor.data(), it->second.data(),
-                it->second.size() * sizeof(float));
-  }
-  return true;
+  const auto reader = util::CheckpointFileReader::Open(path);
+  if (!reader.has_value()) return false;
+  const std::vector<char>* payload = reader->Section(kParametersSection);
+  if (payload == nullptr) return false;
+  return DecodeParameters(module, *payload);
 }
 
 }  // namespace tfmae::nn

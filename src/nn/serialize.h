@@ -1,25 +1,48 @@
-// Binary checkpointing of module parameters.
+// Crash-safe checkpointing of module parameters.
 //
-// Format: magic "TFMAEwts", u32 version, u64 count, then for each parameter
-// { u32 name length, name bytes, u64 numel, numel float32 values }.
-// Loading matches by name and CHECK-fails on shape mismatch, so checkpoints
-// are portable across runs of the same architecture.
+// Weights persist inside the CRC-checked sectioned container of
+// util/checkpoint_file.h (magic "TFMAECKP"): SaveParameters writes one
+// "params" section and commits it with an atomic temp-file+rename, so a
+// crash mid-save can never tear an existing checkpoint, and LoadParameters
+// rejects truncated, bit-flipped, wrong-magic, and wrong-version files as a
+// unit (docs/RESILIENCE.md).
+//
+// The section payload is exposed as a byte-level Encode/Decode pair so the
+// full TrainingCheckpoint bundle (core/checkpoint.h) can embed weights next
+// to optimizer and RNG state in a single atomic file.
+//
+// Payload layout: u64 count, then per parameter { string name, u64 numel,
+// numel float32 values }. Loading matches by name and fails (returns false)
+// on any missing parameter or element-count mismatch, so checkpoints are
+// portable only across runs of the same architecture.
 #ifndef TFMAE_NN_SERIALIZE_H_
 #define TFMAE_NN_SERIALIZE_H_
 
 #include <string>
+#include <vector>
 
 #include "nn/module.h"
 
 namespace tfmae::nn {
 
-/// Writes all named parameters of `module` to `path`.
-/// Returns false on I/O failure.
+/// Section name under which SaveParameters stores the weight payload.
+inline constexpr char kParametersSection[] = "params";
+
+/// Serializes all named parameters of `module` into a byte payload.
+std::vector<char> EncodeParameters(const Module& module);
+
+/// Restores a payload produced by EncodeParameters into `module`. Every
+/// parameter of the module must be present with a matching element count;
+/// returns false (module unchanged) otherwise.
+bool DecodeParameters(Module* module, const std::vector<char>& payload);
+
+/// Writes all named parameters of `module` to `path` (atomic replace).
+/// Returns false on I/O failure — any previous file at `path` is kept.
 bool SaveParameters(const Module& module, const std::string& path);
 
-/// Loads a checkpoint written by SaveParameters into `module`.
-/// Every parameter in the module must be present in the file with a matching
-/// element count. Returns false on I/O or format failure.
+/// Loads a checkpoint written by SaveParameters into `module`. Returns
+/// false on I/O failure, corruption (checksum/magic/version), or an
+/// architecture mismatch.
 bool LoadParameters(Module* module, const std::string& path);
 
 }  // namespace tfmae::nn

@@ -6,14 +6,31 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <iterator>
 #include <string_view>
 #include <tuple>
 #include <vector>
 
 #include "obs/trace.h"
+#include "util/fault.h"
 
 namespace tfmae::obs {
 namespace {
+
+/// Registry snapshot with the fault registry's counters spliced in (the
+/// fault layer sits below obs and cannot push into the Registry itself —
+/// see util/fault.h). Keeps the by-name ordering contract.
+MetricsSnapshot SnapshotWithFaults() {
+  MetricsSnapshot snap = Registry::Instance().Snapshot();
+  auto faults = fault::AllCounts();
+  if (!faults.empty()) {
+    snap.counters.insert(snap.counters.end(),
+                         std::make_move_iterator(faults.begin()),
+                         std::make_move_iterator(faults.end()));
+    std::sort(snap.counters.begin(), snap.counters.end());
+  }
+  return snap;
+}
 
 constexpr std::string_view kTotalSuffix = ".total_ns";
 constexpr std::string_view kSelfSuffix = ".self_ns";
@@ -70,7 +87,7 @@ std::string JsonEscape(std::string_view s) {
 }  // namespace
 
 void DumpText(std::ostream& os, int top_k) {
-  const MetricsSnapshot snap = Registry::Instance().Snapshot();
+  const MetricsSnapshot snap = SnapshotWithFaults();
   os << "== obs: counters ==\n";
   for (const auto& [name, value] : snap.counters) {
     os << "  " << name << " = " << value << "\n";
@@ -113,7 +130,7 @@ void DumpText(std::ostream& os, int top_k) {
 }
 
 void DumpJsonTo(std::ostream& os) {
-  const MetricsSnapshot snap = Registry::Instance().Snapshot();
+  const MetricsSnapshot snap = SnapshotWithFaults();
   os << "{\n  \"obs_compiled\": " << (CompiledIn() ? "true" : "false")
      << ",\n  \"counters\": {";
   bool first = true;
@@ -220,6 +237,9 @@ void AtExitDump() {
 }  // namespace
 
 bool MaybeProfileFromArgs(int* argc, char** argv) {
+  // Fault-build binaries that use the shared flag glue honour the
+  // TFMAE_FAULTS env spec (a no-op in default builds and when unset).
+  if (fault::CompiledIn()) fault::ConfigureFromEnv();
   constexpr std::string_view kJson = "--obs_json=";
   constexpr std::string_view kTrace = "--obs_trace=";
   constexpr std::string_view kText = "--obs_text";

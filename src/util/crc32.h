@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the integrity
+// check of the checkpoint container (util/checkpoint_file.h). Chosen over a
+// cryptographic hash because checkpoint corruption is torn writes and bit
+// rot, not adversaries, and a table-driven CRC costs ~1 cycle/byte.
+#ifndef TFMAE_UTIL_CRC32_H_
+#define TFMAE_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tfmae::util {
+
+/// CRC-32 of `size` bytes at `data`. `crc` chains partial computations:
+/// Crc32(b, nb, Crc32(a, na)) == Crc32(concat(a, b), na + nb). The default
+/// of 0 starts a fresh checksum ("123456789" -> 0xCBF43926).
+std::uint32_t Crc32(const void* data, std::size_t size, std::uint32_t crc = 0);
+
+}  // namespace tfmae::util
+
+#endif  // TFMAE_UTIL_CRC32_H_

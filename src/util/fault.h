@@ -1,0 +1,103 @@
+// Deterministic fault injection — the test substrate of the resilience
+// plane (docs/RESILIENCE.md).
+//
+// Production code marks its recoverable failure sites with
+// `TFMAE_FAULT("point.name")`, which evaluates to true when that point is
+// configured to fire. In a default build (-DTFMAE_FAULTS=OFF) the macro is
+// the literal `false`: every site folds away and the binary carries zero
+// fault code. With -DTFMAE_FAULTS=ON the registry decides, driven entirely
+// by an explicit seed so sweeps are reproducible.
+//
+// Spec grammar (TFMAE_FAULTS environment variable or Configure()):
+//
+//   spec    := entry ("," entry)*
+//   entry   := point ":" trigger
+//   trigger := probability            e.g. "io.checkpoint_write:0.05"
+//            | "#" occurrence         e.g. "train.interrupt:#12"
+//
+// A probability trigger fires each check with the given chance, drawn from
+// a per-point Rng seeded with `seed ^ hash(point)` — decisions at one point
+// do not perturb another point's sequence, and equal (spec, seed) pairs
+// reproduce exactly. An occurrence trigger fires on exactly the n-th check
+// (1-based) of that point and never again — the precise scalpel the
+// kill-and-resume tests use.
+//
+// Every configured point maintains `fault.injected.<point>` and
+// `fault.checks.<point>` counters, surfaced through AllCounts(). The obs
+// exporters merge these into every metrics dump, so injected faults are
+// visible in --obs_json output alongside the recovery counters they provoke
+// (util must not depend on obs, hence the pull model).
+//
+// Points are checked from the training loop and serialization paths only
+// (single-threaded call sites); the registry still takes a mutex so stray
+// multi-threaded checks are safe, merely serialized.
+#ifndef TFMAE_UTIL_FAULT_H_
+#define TFMAE_UTIL_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tfmae::fault {
+
+/// True in -DTFMAE_FAULTS=ON builds (the only builds where TFMAE_FAULT
+/// sites consult the registry).
+constexpr bool CompiledIn() {
+#if defined(TFMAE_FAULTS_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Replaces the active configuration with `spec` (see grammar above).
+/// An empty spec disables all points. CHECK-fails on a malformed spec —
+/// a typo'd fault plan must not silently test nothing.
+void Configure(const std::string& spec, std::uint64_t seed = 1);
+
+/// Configure() from the TFMAE_FAULTS / TFMAE_FAULTS_SEED environment
+/// variables. Never called automatically: binaries opt in (benches and
+/// examples via their flag glue, tests via ScopedFaults), so an exported
+/// TFMAE_FAULTS cannot perturb processes that did not ask for it.
+void ConfigureFromEnv();
+
+/// Removes every configured point.
+void Clear();
+
+/// Decision function behind TFMAE_FAULT. Returns true when `point` is
+/// configured and its trigger fires for this check. Unconfigured points
+/// return false and cost one mutex acquisition + map lookup (fault builds
+/// are test builds; the default build never calls this).
+bool ShouldInject(const char* point);
+
+/// Times `point` fired / was checked since its configuration.
+std::uint64_t InjectedCount(const std::string& point);
+std::uint64_t CheckCount(const std::string& point);
+
+/// All live fault counters as ("fault.injected.<point>", n) and
+/// ("fault.checks.<point>", n) pairs, sorted by name. Empty when nothing is
+/// configured — the obs exporters splice this into their dumps.
+std::vector<std::pair<std::string, std::uint64_t>> AllCounts();
+
+/// RAII configuration for tests: applies (spec, seed), restores an empty
+/// registry on destruction.
+class ScopedFaults {
+ public:
+  explicit ScopedFaults(const std::string& spec, std::uint64_t seed = 1) {
+    Configure(spec, seed);
+  }
+  ~ScopedFaults() { Clear(); }
+  ScopedFaults(const ScopedFaults&) = delete;
+  ScopedFaults& operator=(const ScopedFaults&) = delete;
+};
+
+}  // namespace tfmae::fault
+
+#if defined(TFMAE_FAULTS_ENABLED)
+#define TFMAE_FAULT(point) (::tfmae::fault::ShouldInject(point))
+#else
+#define TFMAE_FAULT(point) (false)
+#endif
+
+#endif  // TFMAE_UTIL_FAULT_H_

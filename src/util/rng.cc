@@ -56,6 +56,20 @@ std::uint64_t Rng::UniformInt(std::uint64_t n) {
   }
 }
 
+Rng::State Rng::GetState() const {
+  State state;
+  for (int i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.has_cached_normal = has_cached_normal_;
+  state.cached_normal = cached_normal_;
+  return state;
+}
+
+void Rng::SetState(const State& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 double Rng::Normal() {
   if (has_cached_normal_) {
     has_cached_normal_ = false;

@@ -48,6 +48,18 @@ class Rng {
   std::vector<std::int64_t> SampleWithoutReplacement(std::int64_t n,
                                                      std::int64_t k);
 
+  /// Complete engine state — everything needed to continue the sequence
+  /// bitwise-identically after a save/restore round trip (training
+  /// checkpoints persist this; see docs/RESILIENCE.md).
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+
+  State GetState() const;
+  void SetState(const State& state);
+
   /// Fisher-Yates shuffles the vector in place.
   template <typename T>
   void Shuffle(std::vector<T>* v) {

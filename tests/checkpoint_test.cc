@@ -1,10 +1,20 @@
-// Tests for full-detector checkpointing (config + normalizer + weights).
+// Tests for full-detector checkpointing (config + normalizer + weights) and
+// the crash-safe training checkpoints of docs/RESILIENCE.md: corruption
+// detection and fallback, and bitwise-identical kill-and-resume at several
+// thread counts.
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 
 #include <gtest/gtest.h>
 
+#include "core/checkpoint.h"
 #include "core/detector.h"
 #include "data/generator.h"
+#include "nn/serialize.h"
+#include "util/crc32.h"
+#include "util/thread_pool.h"
 
 namespace tfmae::core {
 namespace {
@@ -81,6 +91,260 @@ TEST(CheckpointTest, LoadFailsOnMissingPieces) {
 TEST(CheckpointTest, SaveBeforeFitDies) {
   TfmaeDetector detector(SmallConfig());
   EXPECT_DEATH(detector.SaveCheckpoint("/tmp/should_not_exist"), "Fit");
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe training checkpoints.
+
+data::TimeSeries TrainSeries() {
+  data::BaseSignalConfig signal;
+  signal.length = 400;
+  signal.num_features = 2;
+  signal.seed = 321;
+  return data::GenerateBaseSignal(signal);
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+void CorruptByte(const std::string& path, std::size_t offset_from_end) {
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(file.good()) << path;
+  file.seekg(0, std::ios::end);
+  const auto size = static_cast<std::size_t>(file.tellg());
+  ASSERT_GT(size, offset_from_end);
+  const auto pos =
+      static_cast<std::streamoff>(size - 1 - offset_from_end);
+  file.seekg(pos);
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x01);
+  file.seekp(pos);
+  file.write(&byte, 1);
+}
+
+TEST(TrainingCheckpointTest, InterruptedFitWritesValidCheckpoints) {
+  const std::string dir = FreshDir("tfmae_tc_write");
+  TfmaeDetector detector(SmallConfig());
+  FitOptions options;
+  options.checkpoint_dir = dir;
+  options.checkpoint_every = 4;
+  options.max_steps = 10;
+  detector.Fit(TrainSeries(), options);
+  EXPECT_TRUE(detector.train_stats().interrupted);
+  EXPECT_EQ(detector.train_stats().num_steps, 10);
+  EXPECT_GE(detector.train_stats().checkpoints_written, 2);
+  EXPECT_EQ(detector.train_stats().checkpoint_failures, 0);
+
+  std::string error;
+  const auto latest = FindLatestValidCheckpoint(dir, &error);
+  ASSERT_TRUE(latest.has_value()) << error;
+  EXPECT_EQ(latest->second.progress.steps, 8);  // last multiple of 4 <= 10
+  EXPECT_EQ(latest->second.num_features, 2);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TrainingCheckpointTest, PruneKeepsOnlyNewest) {
+  const std::string dir = FreshDir("tfmae_tc_prune");
+  TfmaeDetector detector(SmallConfig());
+  FitOptions options;
+  options.checkpoint_dir = dir;
+  options.checkpoint_every = 2;
+  options.keep_last = 2;
+  options.max_steps = 12;
+  detector.Fit(TrainSeries(), options);
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_LE(files, 2u);
+  std::filesystem::remove_all(dir);
+}
+
+// The acceptance bar of the resilience plane: kill training at an arbitrary
+// step, resume from disk, and land on EXACTLY the weights and losses of the
+// uninterrupted run — at 1, 2, and 4 threads (resume must also not break the
+// thread-count invariance contract of DESIGN.md §7).
+TEST(TrainingCheckpointTest, KillAndResumeIsBitwiseIdentical) {
+  const data::TimeSeries train = TrainSeries();
+  const int saved_threads = ThreadPool::Instance().num_threads();
+  std::vector<std::string> weights_by_threads;
+  for (int threads : {1, 2, 4}) {
+    ThreadPool::Instance().SetNumThreads(threads);
+
+    TfmaeDetector reference(SmallConfig());
+    reference.Fit(train);
+    const std::vector<char> expected =
+        nn::EncodeParameters(*reference.model());
+
+    const std::string dir =
+        FreshDir("tfmae_tc_resume_" + std::to_string(threads));
+    FitOptions interrupt;
+    interrupt.checkpoint_dir = dir;
+    interrupt.checkpoint_every = 3;
+    interrupt.max_steps = 11;
+    TfmaeDetector killed(SmallConfig());
+    killed.Fit(train, interrupt);
+    ASSERT_TRUE(killed.train_stats().interrupted);
+
+    FitOptions resume_options;
+    resume_options.checkpoint_dir = dir;
+    TfmaeDetector resumed(SmallConfig());
+    ASSERT_TRUE(resumed.Resume(train, resume_options));
+    EXPECT_EQ(resumed.train_stats().resumed_at_step, 9);
+    EXPECT_FALSE(resumed.train_stats().interrupted);
+
+    const std::vector<char> actual = nn::EncodeParameters(*resumed.model());
+    EXPECT_TRUE(actual == expected)
+        << "resumed weights diverge from the uninterrupted run at "
+        << threads << " thread(s)";
+    EXPECT_EQ(resumed.train_stats().mean_loss_last_epoch,
+              reference.train_stats().mean_loss_last_epoch);
+    EXPECT_EQ(resumed.train_stats().mean_loss_first_epoch,
+              reference.train_stats().mean_loss_first_epoch);
+    EXPECT_EQ(resumed.train_stats().num_steps,
+              reference.train_stats().num_steps);
+    weights_by_threads.emplace_back(expected.begin(), expected.end());
+    std::filesystem::remove_all(dir);
+  }
+  ThreadPool::Instance().SetNumThreads(saved_threads);
+  // And the whole exercise is thread-count invariant.
+  EXPECT_EQ(weights_by_threads[0], weights_by_threads[1]);
+  EXPECT_EQ(weights_by_threads[0], weights_by_threads[2]);
+}
+
+TEST(TrainingCheckpointTest, CorruptNewestFallsBackToPreviousCheckpoint) {
+  const data::TimeSeries train = TrainSeries();
+  const std::string dir = FreshDir("tfmae_tc_fallback");
+  FitOptions interrupt;
+  interrupt.checkpoint_dir = dir;
+  interrupt.checkpoint_every = 3;
+  interrupt.keep_last = 4;
+  interrupt.max_steps = 11;
+  TfmaeDetector killed(SmallConfig());
+  killed.Fit(train, interrupt);
+
+  // A torn write of the newest checkpoint (flip one byte near the CRC
+  // trailer) must fall back to the previous one and still land bitwise on
+  // the uninterrupted run.
+  CorruptByte(TrainingCheckpointPath(dir, 9), 2);
+  std::string error;
+  const auto latest = FindLatestValidCheckpoint(dir, &error);
+  ASSERT_TRUE(latest.has_value()) << error;
+  EXPECT_EQ(latest->second.progress.steps, 6);
+
+  TfmaeDetector reference(SmallConfig());
+  reference.Fit(train);
+  FitOptions resume_options;
+  resume_options.checkpoint_dir = dir;
+  TfmaeDetector resumed(SmallConfig());
+  ASSERT_TRUE(resumed.Resume(train, resume_options));
+  EXPECT_EQ(resumed.train_stats().resumed_at_step, 6);
+  EXPECT_TRUE(nn::EncodeParameters(*resumed.model()) ==
+              nn::EncodeParameters(*reference.model()));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TrainingCheckpointTest, RejectsTruncationFlipMagicAndVersion) {
+  const std::string dir = FreshDir("tfmae_tc_corrupt");
+  TfmaeDetector detector(SmallConfig());
+  FitOptions options;
+  options.checkpoint_dir = dir;
+  options.checkpoint_every = 4;
+  options.max_steps = 4;
+  detector.Fit(TrainSeries(), options);
+  const std::string path = TrainingCheckpointPath(dir, 4);
+  std::ifstream in(path, std::ios::binary);
+  const std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 16u);
+
+  const auto rewrite = [&](std::vector<char> contents) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  };
+  std::string error;
+
+  // Truncated mid-file.
+  rewrite({bytes.begin(), bytes.begin() + static_cast<long>(bytes.size()) / 2});
+  EXPECT_FALSE(LoadTrainingCheckpoint(path, &error).has_value());
+
+  // Flipped byte inside a section payload.
+  std::vector<char> flipped = bytes;
+  flipped[bytes.size() / 2] = static_cast<char>(flipped[bytes.size() / 2] ^ 4);
+  rewrite(flipped);
+  EXPECT_FALSE(LoadTrainingCheckpoint(path, &error).has_value());
+
+  // Wrong magic / wrong version: fix up the trailer CRC after tampering so
+  // the header validation itself (not the checksum) is what rejects.
+  const auto fix_trailer_crc = [](std::vector<char>* contents) {
+    const std::uint32_t crc = util::Crc32(
+        contents->data(), contents->size() - sizeof(std::uint32_t));
+    std::memcpy(contents->data() + contents->size() - sizeof(crc), &crc,
+                sizeof(crc));
+  };
+  std::vector<char> magic = bytes;
+  magic[0] = 'Z';
+  fix_trailer_crc(&magic);
+  rewrite(magic);
+  EXPECT_FALSE(LoadTrainingCheckpoint(path, &error).has_value());
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+
+  // Unsupported container version (bytes 8..11 hold the version word).
+  std::vector<char> version = bytes;
+  version[8] = 99;
+  fix_trailer_crc(&version);
+  rewrite(version);
+  EXPECT_FALSE(LoadTrainingCheckpoint(path, &error).has_value());
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+
+  rewrite(bytes);  // pristine copy loads again
+  EXPECT_TRUE(LoadTrainingCheckpoint(path, &error).has_value()) << error;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TrainingCheckpointTest, ResumeRefusesMismatchedArchitectureOrData) {
+  const data::TimeSeries train = TrainSeries();
+  const std::string dir = FreshDir("tfmae_tc_mismatch");
+  FitOptions options;
+  options.checkpoint_dir = dir;
+  options.checkpoint_every = 4;
+  options.max_steps = 8;
+  TfmaeDetector killed(SmallConfig());
+  killed.Fit(train, options);
+
+  // Different architecture (config CRC differs).
+  TfmaeConfig other = SmallConfig();
+  other.model_dim = 32;
+  TfmaeDetector wrong_arch(other);
+  FitOptions resume_options;
+  resume_options.checkpoint_dir = dir;
+  EXPECT_FALSE(wrong_arch.Resume(train, resume_options));
+
+  // Different data shape (feature count differs).
+  data::BaseSignalConfig narrow;
+  narrow.length = 400;
+  narrow.num_features = 1;
+  narrow.seed = 321;
+  TfmaeDetector wrong_data(SmallConfig());
+  EXPECT_FALSE(
+      wrong_data.Resume(data::GenerateBaseSignal(narrow), resume_options));
+
+  // Empty directory: nothing to resume from.
+  const std::string empty = FreshDir("tfmae_tc_empty");
+  FitOptions empty_options;
+  empty_options.checkpoint_dir = empty;
+  TfmaeDetector nothing(SmallConfig());
+  EXPECT_FALSE(nothing.Resume(train, empty_options));
+
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(empty);
 }
 
 }  // namespace

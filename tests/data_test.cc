@@ -3,6 +3,7 @@
 // distribution shift, and CSV I/O.
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 
 #include <gtest/gtest.h>
 
@@ -238,7 +239,102 @@ TEST(IoTest, CsvRoundTripWithLabels) {
 }
 
 TEST(IoTest, LoadFailsOnMissingFile) {
-  EXPECT_FALSE(LoadCsv("/nonexistent/file.csv").has_value());
+  CsvDiagnostic diagnostic;
+  EXPECT_FALSE(LoadCsv("/nonexistent/file.csv", &diagnostic).has_value());
+  EXPECT_FALSE(diagnostic.ok());
+  EXPECT_EQ(diagnostic.line, 0);
+}
+
+std::string WriteCsv(const std::string& name, const std::string& contents) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream file(path);
+  file << contents;
+  return path;
+}
+
+TEST(IoTest, RaggedRowReportsLineNumber) {
+  const std::string path = WriteCsv("ragged.csv",
+                                    "f0,f1\n"
+                                    "1,2\n"
+                                    "3\n");
+  CsvDiagnostic diagnostic;
+  EXPECT_FALSE(LoadCsv(path, &diagnostic).has_value());
+  EXPECT_EQ(diagnostic.line, 3);
+  EXPECT_NE(diagnostic.message.find("ragged"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, NonNumericCellReportsLineAndColumn) {
+  const std::string path = WriteCsv("nonnum.csv",
+                                    "f0,f1\n"
+                                    "1,2\n"
+                                    "3,oops\n");
+  CsvDiagnostic diagnostic;
+  EXPECT_FALSE(LoadCsv(path, &diagnostic).has_value());
+  EXPECT_EQ(diagnostic.line, 3);
+  EXPECT_NE(diagnostic.message.find("oops"), std::string::npos);
+  EXPECT_NE(diagnostic.message.find("f1"), std::string::npos);
+  // Trailing garbage after a valid prefix is also a parse error, not "1.5".
+  const std::string garbage = WriteCsv("garbage.csv",
+                                       "f0\n"
+                                       "1.5abc\n");
+  EXPECT_FALSE(LoadCsv(garbage, &diagnostic).has_value());
+  EXPECT_EQ(diagnostic.line, 2);
+  std::remove(path.c_str());
+  std::remove(garbage.c_str());
+}
+
+TEST(IoTest, BadLabelReportsLine) {
+  const std::string path = WriteCsv("badlabel.csv",
+                                    "f0,label\n"
+                                    "1,0\n"
+                                    "2,maybe\n");
+  CsvDiagnostic diagnostic;
+  EXPECT_FALSE(LoadCsv(path, &diagnostic).has_value());
+  EXPECT_EQ(diagnostic.line, 3);
+  EXPECT_NE(diagnostic.message.find("label"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, EmptyAndNanCellsBecomeMissingValues) {
+  const std::string path = WriteCsv("missing.csv",
+                                    "f0,f1\n"
+                                    "1,2\n"
+                                    ",nan\n"
+                                    "5,NA\n");
+  CsvDiagnostic diagnostic;
+  auto loaded = LoadCsv(path, &diagnostic);
+  ASSERT_TRUE(loaded.has_value()) << diagnostic.message;
+  EXPECT_TRUE(diagnostic.ok());
+  EXPECT_EQ(diagnostic.rows, 3);
+  EXPECT_EQ(diagnostic.missing_values, 3);
+  EXPECT_TRUE(std::isnan(loaded->at(1, 0)));
+  EXPECT_TRUE(std::isnan(loaded->at(1, 1)));
+  EXPECT_TRUE(std::isnan(loaded->at(2, 1)));
+  EXPECT_FLOAT_EQ(loaded->at(2, 0), 5.0f);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, ImputeMissingLocfRepairsGapsBothDirections) {
+  const std::string path = WriteCsv("impute.csv",
+                                    "f0,f1,f2\n"
+                                    "nan,1,nan\n"
+                                    "2,,nan\n"
+                                    "3,3,nan\n"
+                                    "nan,4,nan\n");
+  auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.has_value());
+  const std::int64_t imputed = ImputeMissingLocf(&*loaded);
+  // f0: leading gap backfilled from 2, trailing carried from 3 (2 repairs);
+  // f1: one interior LOCF repair; f2: no finite value at all -> zero-filled.
+  EXPECT_EQ(imputed, 2 + 1 + 4);
+  EXPECT_FLOAT_EQ(loaded->at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(loaded->at(3, 0), 3.0f);
+  EXPECT_FLOAT_EQ(loaded->at(1, 1), 1.0f);
+  for (std::int64_t t = 0; t < 4; ++t) {
+    EXPECT_FLOAT_EQ(loaded->at(t, 2), 0.0f);
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

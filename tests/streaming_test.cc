@@ -180,5 +180,141 @@ TEST(StreamingTest, EndToEndWithTfmae) {
   EXPECT_GT(spike_score, benign_max);
 }
 
+// ---------------------------------------------------------------------------
+// Degraded-input handling (docs/RESILIENCE.md).
+
+TEST(StreamingDegradedTest, WrongArityIsRejectedNotFatal) {
+  StubDetector stub;
+  StreamingOptions options;
+  options.window = 3;
+  options.hop = 1;
+  StreamingDetector stream(&stub, options);
+  stream.Push({1.0f, 2.0f});  // fixes arity at 2
+
+  // Too few and too many values: rejected with a typed status, stream
+  // position unchanged.
+  EXPECT_FALSE(stream.Push({1.0f}).has_value());
+  EXPECT_EQ(stream.last_push_status(), PushStatus::kRejected);
+  EXPECT_FALSE(stream.Push({1.0f, 2.0f, 3.0f}).has_value());
+  EXPECT_EQ(stream.last_push_status(), PushStatus::kRejected);
+  EXPECT_EQ(stream.health().rows_rejected, 2);
+  EXPECT_EQ(stream.total_pushed(), 1);
+
+  // The stream still works afterwards.
+  stream.Push({1.0f, 2.0f});
+  auto result = stream.Push({3.0f, 4.0f});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(stream.last_push_status(), PushStatus::kScored);
+  EXPECT_FLOAT_EQ(result->score, 3.0f);
+}
+
+TEST(StreamingDegradedTest, NanValuesAreImputedByLastObservation) {
+  StubDetector stub;
+  StreamingOptions options;
+  options.window = 2;
+  options.hop = 1;
+  StreamingDetector stream(&stub, options);
+  stream.Push({5.0f, 1.0f});
+  const float nan = std::nanf("");
+  auto result = stream.Push({nan, 2.0f});
+  ASSERT_TRUE(result.has_value());
+  // The NaN in feature 0 was replaced by the previous value 5.
+  EXPECT_FLOAT_EQ(result->score, 5.0f);
+  EXPECT_TRUE(result->degraded);
+  EXPECT_EQ(result->imputed_values, 1);
+  EXPECT_EQ(stream.health().rows_imputed, 1);
+  EXPECT_EQ(stream.health().values_imputed, 1);
+
+  // A fresh value resumes normal scoring and resets the staleness clock.
+  auto clean = stream.Push({7.0f, 3.0f});
+  ASSERT_TRUE(clean.has_value());
+  EXPECT_FALSE(clean->degraded);
+  EXPECT_FLOAT_EQ(clean->score, 7.0f);
+}
+
+TEST(StreamingDegradedTest, MissingValueBeforeAnyGoodOneIsRejected) {
+  StubDetector stub;
+  StreamingOptions options;
+  options.window = 2;
+  options.hop = 1;
+  StreamingDetector stream(&stub, options);
+  const float nan = std::nanf("");
+  EXPECT_FALSE(stream.Push({nan, 1.0f}).has_value());
+  EXPECT_EQ(stream.last_push_status(), PushStatus::kRejected);
+  EXPECT_EQ(stream.total_pushed(), 0);
+  // Once a complete row arrives, imputation has a source and rows flow.
+  stream.Push({4.0f, 1.0f});
+  auto result = stream.Push({nan, 2.0f});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->degraded);
+}
+
+TEST(StreamingDegradedTest, StalenessCapQuarantinesLongGaps) {
+  StubDetector stub;
+  StreamingOptions options;
+  options.window = 2;
+  options.hop = 1;
+  options.impute_staleness_cap = 2;
+  StreamingDetector stream(&stub, options);
+  stream.Push({1.0f, 1.0f});
+  stream.Push({2.0f, 2.0f});
+  const float nan = std::nanf("");
+  // Two consecutive imputations are within the cap...
+  EXPECT_TRUE(stream.Push({nan, 3.0f}).has_value());
+  EXPECT_TRUE(stream.Push({nan, 4.0f}).has_value());
+  // ...the third exceeds it: quarantined, consumed, but unscored.
+  EXPECT_FALSE(stream.Push({nan, 5.0f}).has_value());
+  EXPECT_EQ(stream.last_push_status(), PushStatus::kQuarantined);
+  EXPECT_EQ(stream.health().rows_quarantined, 1);
+  EXPECT_EQ(stream.total_pushed(), 5);
+  // Recovery: a complete row ends the quarantine immediately.
+  auto result = stream.Push({9.0f, 6.0f});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FLOAT_EQ(result->score, 9.0f);
+}
+
+TEST(StreamingDegradedTest, OutOfRangeRowsAreQuarantinedBySigmaRule) {
+  StubDetector stub;
+  StreamingOptions options;
+  options.window = 4;
+  options.hop = 1;
+  options.quarantine_sigma = 6.0;
+  options.quarantine_warmup = 32;
+  StreamingDetector stream(&stub, options);
+  // Feed values ~N(0, 1)-ish deterministic jitter to build statistics.
+  for (int i = 0; i < 64; ++i) {
+    stream.Push({static_cast<float>((i % 7) - 3) * 0.5f, 1.0f});
+  }
+  EXPECT_EQ(stream.health().rows_quarantined, 0);
+  // A sensor glitch ~1e8 sigma out is quarantined, not scored as an alert.
+  EXPECT_FALSE(stream.Push({1e8f, 1.0f}).has_value());
+  EXPECT_EQ(stream.last_push_status(), PushStatus::kQuarantined);
+  EXPECT_EQ(stream.health().rows_quarantined, 1);
+  // The next sane value scores again.
+  auto result = stream.Push({0.5f, 1.0f});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(stream.last_push_status(), PushStatus::kScored);
+}
+
+TEST(StreamingDegradedTest, HealthReportAccumulates) {
+  StubDetector stub;
+  StreamingOptions options;
+  options.window = 2;
+  options.hop = 1;
+  StreamingDetector stream(&stub, options);
+  const float nan = std::nanf("");
+  stream.Push({1.0f});              // warm-up
+  stream.Push({2.0f});              // scored
+  stream.Push({nan});               // imputed + scored
+  stream.Push({3.0f, 4.0f});        // rejected (arity)
+  const StreamHealth& health = stream.health();
+  EXPECT_EQ(health.rows_warmup, 1);
+  EXPECT_EQ(health.rows_scored, 2);
+  EXPECT_EQ(health.rows_imputed, 1);
+  EXPECT_EQ(health.values_imputed, 1);
+  EXPECT_EQ(health.rows_rejected, 1);
+  EXPECT_EQ(health.rows_quarantined, 0);
+}
+
 }  // namespace
 }  // namespace tfmae::core

@@ -1,10 +1,16 @@
 // Tests for the utility layer: RNG determinism and samplers, table/CSV
-// rendering, stopwatch monotonicity, and memory accounting arithmetic.
+// rendering, stopwatch monotonicity, memory accounting arithmetic, CRC32,
+// and the checkpoint container format.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <set>
 #include <thread>
 
+#include "util/checkpoint_file.h"
+#include "util/crc32.h"
 #include "util/memory.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -118,6 +124,169 @@ TEST(MemoryStatsTest, AllocFreeArithmetic) {
   EXPECT_EQ(MemoryStats::CurrentBytes(), before + 1000);
   MemoryStats::RecordFree(1000);
   EXPECT_EQ(MemoryStats::CurrentBytes(), before);
+}
+
+TEST(Crc32Test, KnownAnswerAndChaining) {
+  // The IEEE 802.3 check value for the nine ASCII digits.
+  const char digits[] = "123456789";
+  EXPECT_EQ(util::Crc32(digits, 9), 0xCBF43926u);
+  EXPECT_EQ(util::Crc32("", 0), 0u);
+  // Chained partial updates equal one pass over the concatenation.
+  const std::uint32_t part = util::Crc32(digits, 4);
+  EXPECT_EQ(util::Crc32(digits + 4, 5, part), 0xCBF43926u);
+}
+
+TEST(RngTest, StateRoundTripReplaysSequence) {
+  Rng rng(7);
+  for (int i = 0; i < 13; ++i) rng.NextU64();
+  rng.Normal();  // populate the Box-Muller cache so it is part of the state
+  const Rng::State state = rng.GetState();
+  std::vector<double> expected;
+  for (int i = 0; i < 20; ++i) expected.push_back(rng.Normal());
+  Rng replay(999);
+  replay.SetState(state);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(replay.Normal(), expected[i]);
+}
+
+TEST(ByteCodecTest, RoundTripAndBoundsChecking) {
+  util::ByteWriter w;
+  w.U32(0xDEADBEEFu);
+  w.I64(-42);
+  w.F64(3.5);
+  w.String("hello");
+  w.FloatArray({1.0f, -2.0f});
+  w.I64Array({10, 20, 30});
+  const std::vector<char> bytes = w.Take();
+
+  util::ByteReader r(bytes);
+  std::uint32_t u = 0;
+  std::int64_t i = 0;
+  double d = 0.0;
+  std::string s;
+  std::vector<float> floats;
+  std::vector<std::int64_t> ints;
+  ASSERT_TRUE(r.U32(&u) && r.I64(&i) && r.F64(&d) && r.String(&s) &&
+              r.FloatArray(&floats) && r.I64Array(&ints));
+  EXPECT_EQ(u, 0xDEADBEEFu);
+  EXPECT_EQ(i, -42);
+  EXPECT_EQ(d, 3.5);
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(floats, (std::vector<float>{1.0f, -2.0f}));
+  EXPECT_EQ(ints, (std::vector<std::int64_t>{10, 20, 30}));
+  EXPECT_TRUE(r.AtEnd());
+  // Reading past the end fails instead of over-reading.
+  std::uint32_t extra = 0;
+  EXPECT_FALSE(r.U32(&extra));
+}
+
+class CheckpointContainerTest : public ::testing::Test {
+ protected:
+  std::string Path(const std::string& name) {
+    return ::testing::TempDir() + "/" + name;
+  }
+
+  void WriteSample(const std::string& path) {
+    util::CheckpointFileWriter writer;
+    writer.AddSection("alpha", {'a', 'b', 'c'});
+    writer.AddSection("beta", std::vector<char>(100, 'x'));
+    ASSERT_TRUE(writer.WriteAtomic(path));
+  }
+};
+
+TEST_F(CheckpointContainerTest, RoundTrip) {
+  const std::string path = Path("container_roundtrip.tfmae");
+  WriteSample(path);
+  std::string error;
+  const auto reader = util::CheckpointFileReader::Open(path, &error);
+  ASSERT_TRUE(reader.has_value()) << error;
+  ASSERT_NE(reader->Section("alpha"), nullptr);
+  EXPECT_EQ(*reader->Section("alpha"), (std::vector<char>{'a', 'b', 'c'}));
+  ASSERT_NE(reader->Section("beta"), nullptr);
+  EXPECT_EQ(reader->Section("beta")->size(), 100u);
+  EXPECT_EQ(reader->Section("missing"), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointContainerTest, DetectsTruncation) {
+  const std::string path = Path("container_truncated.tfmae");
+  WriteSample(path);
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  for (const std::size_t keep :
+       {bytes.size() - 1, bytes.size() / 2, std::size_t{4}, std::size_t{0}}) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    out.close();
+    std::string error;
+    EXPECT_FALSE(util::CheckpointFileReader::Open(path, &error).has_value())
+        << "kept " << keep << " of " << bytes.size() << " bytes";
+    EXPECT_FALSE(error.empty());
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointContainerTest, DetectsEveryFlippedByte) {
+  const std::string path = Path("container_bitflip.tfmae");
+  WriteSample(path);
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  // Flip one byte at a sample of offsets spanning header, payload, CRC.
+  for (std::size_t offset = 0; offset < bytes.size();
+       offset += std::max<std::size_t>(1, bytes.size() / 37)) {
+    std::vector<char> corrupt = bytes;
+    corrupt[offset] = static_cast<char>(corrupt[offset] ^ 0x40);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(corrupt.data(), static_cast<std::streamsize>(corrupt.size()));
+    out.close();
+    EXPECT_FALSE(util::CheckpointFileReader::Open(path).has_value())
+        << "flip at offset " << offset << " went undetected";
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointContainerTest, RejectsWrongMagicAndTrailingGarbage) {
+  const std::string path = Path("container_magic.tfmae");
+  WriteSample(path);
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::vector<char> wrong = bytes;
+    wrong[0] = 'X';  // not our file type at all
+    // Recompute the trailer CRC so the magic check itself is what rejects.
+    const std::uint32_t crc =
+        util::Crc32(wrong.data(), wrong.size() - sizeof(std::uint32_t));
+    std::memcpy(wrong.data() + wrong.size() - sizeof(crc), &crc, sizeof(crc));
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(wrong.data(), static_cast<std::streamsize>(wrong.size()));
+  }
+  std::string error;
+  EXPECT_FALSE(util::CheckpointFileReader::Open(path, &error).has_value());
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+  {
+    // Appending bytes after the CRC trailer must also fail validation.
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.write("junk", 4);
+  }
+  EXPECT_FALSE(util::CheckpointFileReader::Open(path, &error).has_value());
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointContainerTest, AtomicWriteLeavesNoTempFile) {
+  const std::string path = Path("container_atomic.tfmae");
+  WriteSample(path);
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  // Overwriting an existing container goes through the same rename.
+  WriteSample(path);
+  EXPECT_TRUE(util::CheckpointFileReader::Open(path).has_value());
+  std::remove(path.c_str());
 }
 
 }  // namespace
