@@ -11,12 +11,21 @@
 #define TFMAE_BENCH_BENCH_COMMON_H_
 
 #include <cstdlib>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "core/config.h"
 #include "data/profiles.h"
 
 namespace tfmae::bench {
+
+/// Value of the first `--<flag>=VALUE` argument, or nullopt when absent.
+/// `flag` includes the dashes and trailing '=' (e.g. "--obs_json=").
+/// Shared by every bench mode selector so the hand-rolled prefix matching
+/// lives in exactly one place.
+std::optional<std::string> FlagValue(int argc, char** argv,
+                                     std::string_view flag);
 
 /// Dataset scale from TFMAE_BENCH_SCALE (default 1.0).
 inline double DatasetScale() {

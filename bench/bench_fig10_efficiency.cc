@@ -11,6 +11,7 @@
 #include "bench/bench_common.h"
 #include "core/detector.h"
 #include "masking/coefficient_of_variation.h"
+#include "obs/export.h"
 #include "util/memory.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -127,4 +128,7 @@ int Main() {
 }  // namespace
 }  // namespace tfmae
 
-int main() { return tfmae::Main(); }
+int main(int argc, char** argv) {
+  tfmae::obs::MaybeProfileFromArgs(&argc, argv);
+  return tfmae::Main();
+}

@@ -10,6 +10,7 @@
 #include "data/profiles.h"
 #include "eval/detection.h"
 #include "eval/metrics.h"
+#include "obs/export.h"
 #include "util/table.h"
 
 namespace tfmae {
@@ -101,4 +102,7 @@ int Main() {
 }  // namespace
 }  // namespace tfmae
 
-int main() { return tfmae::Main(); }
+int main(int argc, char** argv) {
+  tfmae::obs::MaybeProfileFromArgs(&argc, argv);
+  return tfmae::Main();
+}

@@ -8,6 +8,7 @@
 
 #include "bench/bench_common.h"
 #include "core/detector.h"
+#include "obs/export.h"
 #include "util/table.h"
 
 namespace tfmae {
@@ -77,4 +78,7 @@ int Main() {
 }  // namespace
 }  // namespace tfmae
 
-int main() { return tfmae::Main(); }
+int main(int argc, char** argv) {
+  tfmae::obs::MaybeProfileFromArgs(&argc, argv);
+  return tfmae::Main();
+}

@@ -11,6 +11,7 @@
 #include "bench/bench_common.h"
 #include "core/detector.h"
 #include "eval/metrics.h"
+#include "obs/export.h"
 #include "util/table.h"
 
 namespace tfmae {
@@ -116,4 +117,7 @@ int Main() {
 }  // namespace
 }  // namespace tfmae
 
-int main() { return tfmae::Main(); }
+int main(int argc, char** argv) {
+  tfmae::obs::MaybeProfileFromArgs(&argc, argv);
+  return tfmae::Main();
+}

@@ -8,6 +8,7 @@
 #include "baselines/conv_ae.h"
 #include "bench/bench_common.h"
 #include "core/detector.h"
+#include "obs/export.h"
 #include "util/table.h"
 
 namespace tfmae {
@@ -88,4 +89,7 @@ int Main() {
 }  // namespace
 }  // namespace tfmae
 
-int main() { return tfmae::Main(); }
+int main(int argc, char** argv) {
+  tfmae::obs::MaybeProfileFromArgs(&argc, argv);
+  return tfmae::Main();
+}

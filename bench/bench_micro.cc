@@ -42,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "core/detector.h"
 #include "data/generator.h"
 #include "fft/fft.h"
@@ -786,24 +787,18 @@ int RunResilienceSweep(const std::string& path) {
 }  // namespace tfmae
 
 int main(int argc, char** argv) {
-  const std::string kFlag = "--tensor_backend_json=";
-  const std::string kObsFlag = "--obs_json=";
-  const std::string kMemFlag = "--memory_plane_json=";
-  const std::string kResFlag = "--resilience_json=";
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind(kFlag, 0) == 0) {
-      return tfmae::RunTensorBackendSweep(arg.substr(kFlag.size()));
-    }
-    if (arg.rfind(kObsFlag, 0) == 0) {
-      return tfmae::RunObsProfile(arg.substr(kObsFlag.size()));
-    }
-    if (arg.rfind(kMemFlag, 0) == 0) {
-      return tfmae::RunMemoryPlaneSweep(arg.substr(kMemFlag.size()));
-    }
-    if (arg.rfind(kResFlag, 0) == 0) {
-      return tfmae::RunResilienceSweep(arg.substr(kResFlag.size()));
-    }
+  using tfmae::bench::FlagValue;
+  if (const auto path = FlagValue(argc, argv, "--tensor_backend_json=")) {
+    return tfmae::RunTensorBackendSweep(*path);
+  }
+  if (const auto path = FlagValue(argc, argv, "--obs_json=")) {
+    return tfmae::RunObsProfile(*path);
+  }
+  if (const auto path = FlagValue(argc, argv, "--memory_plane_json=")) {
+    return tfmae::RunMemoryPlaneSweep(*path);
+  }
+  if (const auto path = FlagValue(argc, argv, "--resilience_json=")) {
+    return tfmae::RunResilienceSweep(*path);
   }
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

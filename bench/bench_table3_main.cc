@@ -8,6 +8,7 @@
 #include "baselines/registry.h"
 #include "bench/bench_common.h"
 #include "core/detector.h"
+#include "obs/export.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
 
@@ -106,4 +107,7 @@ int Main() {
 }  // namespace
 }  // namespace tfmae
 
-int main() { return tfmae::Main(); }
+int main(int argc, char** argv) {
+  tfmae::obs::MaybeProfileFromArgs(&argc, argv);
+  return tfmae::Main();
+}

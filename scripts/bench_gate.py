@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Compares a fresh `bench_micro` sweep against the committed baselines in
+bench_results/baselines/ and exits non-zero when a tracked metric regresses
+past the tolerance. Only *relative* metrics are gated (speedup ratios,
+allocation reductions, bitwise-determinism booleans): absolute seconds vary
+with the host and with container load, ratios of two timings taken in the
+same process do not.
+
+Usage:
+  scripts/bench_gate.py --current-dir DIR [--baseline-dir DIR] [--tolerance F]
+  scripts/bench_gate.py --smoke          # baseline vs itself; must pass
+
+The current directory is expected to contain files with the same names as
+the baselines (tensor_backend.json, memory_plane.json, resilience.json);
+missing files are reported as failures so a broken sweep cannot silently
+pass the gate. `scripts/check.sh bench` produces them; see
+bench_results/baselines/README.md for how the baselines were recorded.
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+DEFAULT_TOLERANCE = 0.35  # fraction of the baseline a ratio may lose
+
+# summary keys gated per sweep: (key, kind). "ratio" = higher is better,
+# current >= baseline * (1 - tolerance); "bool" = must stay true if the
+# baseline recorded true.
+SUMMARY_CHECKS = {
+    "memory_plane.json": [
+        ("alloc_reduction_x", "ratio"),
+        ("speedup_x", "ratio"),
+        ("losses_bitwise_identical", "bool"),
+    ],
+    "resilience.json": [
+        ("weights_bitwise_identical", "bool"),
+        ("fault_drill_recovered", "bool"),
+    ],
+}
+
+
+def geomean(values):
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def tensor_backend_checks(data):
+    """Relative metrics from the tensor-backend sweep (a list of op rows)."""
+    checks = []
+    gemm_speedups = [
+        row["speedup_vs_seed"]
+        for row in data
+        if row.get("op") == "gemm" and row.get("threads") == 1
+    ]
+    if gemm_speedups:
+        checks.append(("gemm_speedup_vs_seed_geomean", "ratio",
+                       geomean(gemm_speedups)))
+    best_scaling = {}
+    for row in data:
+        speedup = row.get("speedup_vs_1thread")
+        if row.get("op") in ("attention_forward", "train_step") and speedup:
+            key = f"{row['op']}_best_thread_scaling"
+            best_scaling[key] = max(best_scaling.get(key, 0.0), speedup)
+    for key, value in sorted(best_scaling.items()):
+        checks.append((key, "ratio", value))
+    return checks
+
+
+def extract_checks(name, data):
+    """-> list of (check_name, kind, value)."""
+    if name == "tensor_backend.json":
+        return tensor_backend_checks(data)
+    checks = []
+    summary = data.get("summary", {}) if isinstance(data, dict) else {}
+    for key, kind in SUMMARY_CHECKS.get(name, []):
+        if key in summary:
+            checks.append((key, kind, summary[key]))
+    return checks
+
+
+def compare(name, baseline, current, tolerance):
+    """-> list of failure strings for one sweep file."""
+    failures = []
+    base_checks = {c[0]: c for c in extract_checks(name, baseline)}
+    cur_checks = {c[0]: c for c in extract_checks(name, current)}
+    for check_name, (_, kind, base_value) in sorted(base_checks.items()):
+        if check_name not in cur_checks:
+            failures.append(f"{name}: {check_name} missing from current sweep")
+            continue
+        cur_value = cur_checks[check_name][2]
+        if kind == "bool":
+            if bool(base_value) and not bool(cur_value):
+                failures.append(
+                    f"{name}: {check_name} was true in the baseline, now "
+                    f"{cur_value}")
+            else:
+                print(f"  ok  {name}: {check_name} = {cur_value}")
+        else:
+            floor = base_value * (1.0 - tolerance)
+            if cur_value < floor:
+                failures.append(
+                    f"{name}: {check_name} = {cur_value:.3f}, below "
+                    f"{floor:.3f} (baseline {base_value:.3f} - "
+                    f"{tolerance:.0%} tolerance)")
+            else:
+                print(f"  ok  {name}: {check_name} = {cur_value:.3f} "
+                      f"(baseline {base_value:.3f}, floor {floor:.3f})")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir",
+                        default=os.path.join(os.path.dirname(__file__), "..",
+                                             "bench_results", "baselines"))
+    parser.add_argument("--current-dir",
+                        help="directory holding the fresh sweep JSONs")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    parser.add_argument("--smoke", action="store_true",
+                        help="compare the baselines against themselves "
+                             "(validates the gate plumbing and the committed "
+                             "files)")
+    args = parser.parse_args()
+    if args.smoke:
+        args.current_dir = args.baseline_dir
+    if not args.current_dir:
+        parser.error("--current-dir is required unless --smoke is given")
+
+    baseline_files = sorted(
+        f for f in os.listdir(args.baseline_dir) if f.endswith(".json"))
+    if not baseline_files:
+        print(f"bench_gate: no baselines in {args.baseline_dir}",
+              file=sys.stderr)
+        return 1
+
+    failures = []
+    for name in baseline_files:
+        with open(os.path.join(args.baseline_dir, name)) as f:
+            baseline = json.load(f)
+        current_path = os.path.join(args.current_dir, name)
+        if not os.path.exists(current_path):
+            failures.append(f"{name}: no current sweep at {current_path}")
+            continue
+        with open(current_path) as f:
+            current = json.load(f)
+        failures.extend(compare(name, baseline, current, args.tolerance))
+
+    if failures:
+        print(f"\nbench_gate: {len(failures)} regression(s):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  FAIL {failure}", file=sys.stderr)
+        return 1
+    print(f"bench_gate: all checks passed "
+          f"({len(baseline_files)} sweep file(s), "
+          f"tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

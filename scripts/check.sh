@@ -3,7 +3,7 @@
 # observability layer compiled in.
 #
 # Usage:
-#   scripts/check.sh [plain|thread|address|undefined|obs|pool|faults] [extra ctest args...]
+#   scripts/check.sh [plain|thread|address|undefined|obs|pool|faults|report|bench] [extra ctest args...]
 #
 # Examples:
 #   scripts/check.sh                 # plain Release build, full suite
@@ -11,6 +11,8 @@
 #   scripts/check.sh thread -R Gemm  # tsan build, GEMM/thread-pool tests only
 #   scripts/check.sh obs             # -DTFMAE_OBS=ON + tsan, collection on
 #   scripts/check.sh faults          # -DTFMAE_FAULTS=ON + UBSan + seeded sweep
+#   scripts/check.sh report          # run-telemetry suite + bench-gate smoke
+#   scripts/check.sh bench           # bench sweeps gated against baselines
 #
 # The obs mode is the instrumentation soak from docs/OBSERVABILITY.md: the
 # whole tier-1 suite runs with the macros compiled in, TFMAE_OBS=1 so every
@@ -34,6 +36,19 @@
 # which the tests use to drive randomized injected I/O failures, NaN losses,
 # and interrupts; training and recovery must survive every seed.
 #
+# The report mode is the run-telemetry gate from docs/OBSERVABILITY.md
+# ("Run ledger & flight recorder"): a -DTFMAE_OBS=ON -DTFMAE_FAULTS=ON
+# Release build runs the ledger / flight-recorder / report / registry-cap
+# suites — including the 1/2/4-thread replay-determinism contract and the
+# injected-fault postmortem — then smoke-tests the benchmark gate against
+# the committed baselines.
+#
+# The bench mode is the performance gate from docs/OBSERVABILITY.md
+# ("Benchmark gating"): it runs the bench_micro JSON sweeps in the same
+# build and fails if any tracked relative metric (speedup ratios,
+# allocation reduction, bitwise-determinism booleans) regresses past the
+# tolerance in scripts/bench_gate.py.
+#
 # Each mode builds into its own directory (build-check-<mode>) so sanitized
 # and plain object files never mix.
 set -euo pipefail
@@ -49,8 +64,9 @@ case "$SAN" in
   obs)     SAN_FLAG="-DTFMAE_OBS=ON -DTFMAE_SANITIZE=thread" ;;
   pool)    SAN_FLAG="-DTFMAE_SANITIZE=address" ;;
   faults)  SAN_FLAG="-DTFMAE_FAULTS=ON -DTFMAE_OBS=ON -DTFMAE_SANITIZE=undefined" ;;
+  report|bench) SAN_FLAG="-DTFMAE_OBS=ON -DTFMAE_FAULTS=ON" ;;
   *)
-    echo "usage: $0 [plain|thread|address|undefined|obs|pool|faults] [ctest args...]" >&2
+    echo "usage: $0 [plain|thread|address|undefined|obs|pool|faults|report|bench] [ctest args...]" >&2
     exit 2
     ;;
 esac
@@ -70,6 +86,26 @@ elif [ "$SAN" = "faults" ]; then
       ctest --test-dir "$BUILD_DIR" --output-on-failure \
       -R 'FaultRegistry|FaultInjection|NumericGuard' "$@"
   done
+elif [ "$SAN" = "report" ]; then
+  echo "== telemetry suite: ledger, flight recorder, report, registry caps =="
+  ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    -R 'Ledger|FlightRecorder|Report|RegistryOverflow|KsDistance|Obs' "$@"
+  echo "== bench gate smoke: committed baselines vs themselves =="
+  python3 scripts/bench_gate.py --smoke
+elif [ "$SAN" = "bench" ]; then
+  OUT_DIR="$BUILD_DIR/bench_sweeps"
+  mkdir -p "$OUT_DIR"
+  echo "== bench sweep: tensor backend =="
+  "$BUILD_DIR/bench/bench_micro" \
+    --tensor_backend_json="$OUT_DIR/tensor_backend.json"
+  echo "== bench sweep: memory plane =="
+  "$BUILD_DIR/bench/bench_micro" \
+    --memory_plane_json="$OUT_DIR/memory_plane.json"
+  echo "== bench sweep: resilience =="
+  "$BUILD_DIR/bench/bench_micro" \
+    --resilience_json="$OUT_DIR/resilience.json"
+  echo "== bench gate: sweeps vs bench_results/baselines =="
+  python3 scripts/bench_gate.py --current-dir "$OUT_DIR"
 elif [ "$SAN" = "pool" ]; then
   echo "== pool suite: ASan, TFMAE_POOL=1 =="
   TFMAE_POOL=1 ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"

@@ -7,7 +7,10 @@
 #include <limits>
 
 #include "core/config_io.h"
+#include "nn/numeric_guard.h"
 #include "nn/serialize.h"
+#include "obs/flight_recorder.h"
+#include "obs/ledger.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/crc32.h"
@@ -151,6 +154,21 @@ void TfmaeDetector::FitInternal(const data::TimeSeries& train,
   }
   stats_ = TrainStats{};
   stats_.num_windows = static_cast<std::int64_t>(windows.size());
+  if (obs::LedgerActive()) {
+    // One-time masking statistics: functions of (data, config, seed) only,
+    // so the record is thread-count-invariant like every other event.
+    std::int64_t masked_steps = 0;
+    std::int64_t masked_bins = 0;
+    for (const MaskedWindow& w : windows) {
+      masked_steps += static_cast<std::int64_t>(w.temporal.masked.size());
+      for (const auto& column : w.frequency) {
+        masked_bins += static_cast<std::int64_t>(column.masked_bins.size());
+      }
+    }
+    obs::Ledger::Instance().MaskingStats(
+        static_cast<std::int64_t>(windows.size()), window, masked_steps,
+        static_cast<std::int64_t>(windows.size()) * window, masked_bins);
+  }
 
   std::vector<std::size_t> order(windows.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -199,7 +217,13 @@ void TfmaeDetector::FitInternal(const data::TimeSeries& train,
     checkpoint.weights = nn::EncodeParameters(*model_);
     const std::string path =
         TrainingCheckpointPath(options.checkpoint_dir, stats_.num_steps);
-    if (SaveTrainingCheckpoint(checkpoint, path)) {
+    const bool saved = SaveTrainingCheckpoint(checkpoint, path);
+    if (obs::LedgerActive()) {
+      obs::Ledger::Instance().CheckpointWrite(
+          stats_.num_steps, std::filesystem::path(path).filename().string(),
+          saved);
+    }
+    if (saved) {
       ++stats_.checkpoints_written;
       TFMAE_COUNTER_ADD("core.fit.checkpoints_written", 1);
       PruneTrainingCheckpoints(options.checkpoint_dir, options.keep_last);
@@ -208,6 +232,11 @@ void TfmaeDetector::FitInternal(const data::TimeSeries& train,
       // memory is healthy, only the recovery horizon shrinks.
       ++stats_.checkpoint_failures;
       TFMAE_COUNTER_ADD("core.fit.checkpoint_failures", 1);
+      if (obs::FlightRecorderActive()) {
+        obs::FlightRecorder::Instance().Note(
+            "checkpoint",
+            "write failed at step " + std::to_string(stats_.num_steps));
+      }
       Log(LogLevel::kWarning, "checkpoint write failed at step " +
                                   std::to_string(stats_.num_steps) +
                                   "; training continues");
@@ -249,6 +278,14 @@ void TfmaeDetector::FitInternal(const data::TimeSeries& train,
       step_loss += window_loss;
       if (++accumulated == batch) {
         if (guard.PreStep(static_cast<float>(step_loss))) {
+          if (obs::LedgerActive()) {
+            // Pre-clip gradient norm; recomputed only when a ledger is open,
+            // so default runs pay nothing for the record.
+            obs::Ledger::Instance().Step(
+                stats_.num_steps, step_loss,
+                nn::GlobalGradNorm(optimizer_->parameters()),
+                static_cast<double>(optimizer_->options().learning_rate));
+          }
           optimizer_->Step();
           guard.CommitGoodStep();
           ++stats_.num_steps;
@@ -263,6 +300,9 @@ void TfmaeDetector::FitInternal(const data::TimeSeries& train,
         } else if (guard.gave_up()) {
           stats_.interrupted = true;
           stop = true;
+          if (obs::FlightRecorderActive()) {
+            obs::FlightRecorder::Instance().Dump("guard_give_up");
+          }
         }
         model_->ZeroGrad();
         accumulated = 0;
@@ -274,17 +314,32 @@ void TfmaeDetector::FitInternal(const data::TimeSeries& train,
                                       std::to_string(stats_.num_steps));
           stats_.interrupted = true;
           stop = true;
+          if (obs::FlightRecorderActive()) {
+            obs::FlightRecorder::Instance().Note(
+                "fault", "train.interrupt at step " +
+                             std::to_string(stats_.num_steps));
+            obs::FlightRecorder::Instance().Dump("injected_fault");
+          }
         }
       }
     }
     if (stop) break;
     if (accumulated > 0) {
       if (guard.PreStep(static_cast<float>(step_loss))) {
+        if (obs::LedgerActive()) {
+          obs::Ledger::Instance().Step(
+              stats_.num_steps, step_loss,
+              nn::GlobalGradNorm(optimizer_->parameters()),
+              static_cast<double>(optimizer_->options().learning_rate));
+        }
         optimizer_->Step();
         guard.CommitGoodStep();
         ++stats_.num_steps;
       } else if (guard.gave_up()) {
         stats_.interrupted = true;
+        if (obs::FlightRecorderActive()) {
+          obs::FlightRecorder::Instance().Dump("guard_give_up");
+        }
         break;
       }
       model_->ZeroGrad();
@@ -293,6 +348,9 @@ void TfmaeDetector::FitInternal(const data::TimeSeries& train,
         windows.empty() ? 0.0 : loss_sum / static_cast<double>(windows.size());
     if (epoch == 0) stats_.mean_loss_first_epoch = mean_loss;
     stats_.mean_loss_last_epoch = mean_loss;
+    if (obs::LedgerActive()) {
+      obs::Ledger::Instance().EpochEnd(epoch, mean_loss, stats_.num_steps);
+    }
   }
 
   stats_.numeric = guard.stats();
@@ -381,6 +439,29 @@ std::vector<float> TfmaeDetector::Score(const data::TimeSeries& series) {
       scores[t] =
           static_cast<float>(score_sum[t] / static_cast<double>(score_count[t]));
     }
+  }
+  if (obs::LedgerActive() && !scores.empty()) {
+    // End-of-run anomaly-score distribution (the Fig. 9 CDF data): 64
+    // linear buckets over the observed [min, max].
+    float lo = scores[0];
+    float hi = scores[0];
+    for (const float s : scores) {
+      lo = std::min(lo, s);
+      hi = std::max(hi, s);
+    }
+    constexpr int kBuckets = 64;
+    std::vector<std::uint64_t> buckets(kBuckets, 0);
+    const double span = static_cast<double>(hi) - static_cast<double>(lo);
+    for (const float s : scores) {
+      int b = span > 0.0
+                  ? static_cast<int>((static_cast<double>(s) - lo) / span *
+                                     kBuckets)
+                  : 0;
+      buckets[static_cast<std::size_t>(std::clamp(b, 0, kBuckets - 1))] += 1;
+    }
+    obs::Ledger::Instance().ScoreHistogram(
+        "anomaly_score", lo, hi, static_cast<std::uint64_t>(scores.size()),
+        buckets);
   }
   return scores;
 }

@@ -6,6 +6,8 @@
 #include <limits>
 
 #include "eval/detection.h"
+#include "obs/flight_recorder.h"
+#include "obs/ledger.h"
 #include "obs/trace.h"
 #include "util/fault.h"
 #include "util/logging.h"
@@ -138,6 +140,14 @@ std::optional<StreamingResult> StreamingDetector::Push(
     // long-lived service).
     TFMAE_COUNTER_ADD("streaming.degraded.rejected_rows", 1);
     ++health_.rows_rejected;
+    if (obs::LedgerActive()) {
+      obs::Ledger::Instance().StreamEvent("reject", total_pushed_, 0.0);
+    }
+    if (obs::FlightRecorderActive()) {
+      obs::FlightRecorder::Instance().Note(
+          "stream", "wrong-arity row rejected after " +
+                        std::to_string(total_pushed_) + " rows");
+    }
     last_push_status_ = PushStatus::kRejected;
     return std::nullopt;
   }
@@ -149,6 +159,9 @@ std::optional<StreamingResult> StreamingDetector::Push(
   std::int32_t imputed = 0;
   const PushStatus sanitize_status = SanitizeRow(&row, &imputed);
   if (sanitize_status == PushStatus::kRejected) {
+    if (obs::LedgerActive()) {
+      obs::Ledger::Instance().StreamEvent("reject", total_pushed_, 0.0);
+    }
     last_push_status_ = PushStatus::kRejected;
     return std::nullopt;
   }
@@ -166,6 +179,15 @@ std::optional<StreamingResult> StreamingDetector::Push(
   if (sanitize_status == PushStatus::kQuarantined) {
     // The stand-in row advanced the window, but no score is emitted and the
     // hop cadence does not advance either (the row carries no fresh signal).
+    if (obs::LedgerActive()) {
+      obs::Ledger::Instance().StreamEvent("quarantine", total_pushed_ - 1,
+                                          0.0);
+    }
+    if (obs::FlightRecorderActive()) {
+      obs::FlightRecorder::Instance().Note(
+          "stream",
+          "row " + std::to_string(total_pushed_ - 1) + " quarantined");
+    }
     last_push_status_ = PushStatus::kQuarantined;
     return std::nullopt;
   }
@@ -204,7 +226,13 @@ std::optional<StreamingResult> StreamingDetector::Push(
   ++health_.rows_scored;
   last_push_status_ = PushStatus::kScored;
   TFMAE_COUNTER_ADD("core.streaming.scores", 1);
-  if (result.is_anomaly) TFMAE_COUNTER_ADD("core.streaming.alerts", 1);
+  if (result.is_anomaly) {
+    TFMAE_COUNTER_ADD("core.streaming.alerts", 1);
+    if (obs::LedgerActive()) {
+      obs::Ledger::Instance().StreamEvent(
+          "alert", total_pushed_ - 1, static_cast<double>(result.score));
+    }
+  }
   return result;
 }
 

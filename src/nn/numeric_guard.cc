@@ -3,16 +3,14 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/flight_recorder.h"
+#include "obs/ledger.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
 namespace tfmae::nn {
-namespace {
 
-// Global L2 norm of the gradients currently on the parameters, in double
-// like Adam's own clipping pass. Returns NaN as soon as any element is
-// non-finite (the sum would hide a lone NaN behind an Inf).
-double GradNorm(const std::vector<Tensor>& parameters) {
+double GlobalGradNorm(const std::vector<Tensor>& parameters) {
   double sq = 0.0;
   for (const Tensor& p : parameters) {
     const float* g = p.grad_data();
@@ -24,8 +22,6 @@ double GradNorm(const std::vector<Tensor>& parameters) {
   }
   return std::sqrt(sq);
 }
-
-}  // namespace
 
 NumericGuard::NumericGuard(Adam* optimizer, NumericGuardOptions options)
     : optimizer_(optimizer), options_(options) {
@@ -46,14 +42,17 @@ bool NumericGuard::PreStep(float loss_value) {
   TFMAE_TRACE("train.numeric.guard");
 
   bool healthy = true;
+  const char* trip_kind = nullptr;
   if (!std::isfinite(loss_value)) {
     ++stats_.nonfinite_loss;
     TFMAE_COUNTER_ADD("train.numeric.nonfinite_loss", 1);
+    trip_kind = "nonfinite_loss";
     healthy = false;
   }
-  if (healthy && !std::isfinite(GradNorm(optimizer_->parameters()))) {
+  if (healthy && !std::isfinite(GlobalGradNorm(optimizer_->parameters()))) {
     ++stats_.nonfinite_grad;
     TFMAE_COUNTER_ADD("train.numeric.nonfinite_grad", 1);
+    trip_kind = "nonfinite_grad";
     healthy = false;
   }
   if (healthy) {
@@ -71,8 +70,27 @@ bool NumericGuard::PreStep(float loss_value) {
     ++stats_.lr_backoffs;
     TFMAE_COUNTER_ADD("train.numeric.lr_backoffs", 1);
   }
+  if (obs::LedgerActive()) {
+    obs::Ledger::Instance().GuardTrip(
+        committed_steps_, trip_kind, loss_value,
+        static_cast<double>(optimizer_->options().learning_rate));
+  }
+  if (obs::FlightRecorderActive()) {
+    obs::FlightRecorder::Instance().Note(
+        "guard", std::string(trip_kind) + " at committed step " +
+                     std::to_string(committed_steps_));
+  }
   if (++consecutive_skips_ > options_.max_consecutive_skips) {
     gave_up_ = true;
+    if (obs::LedgerActive()) {
+      obs::Ledger::Instance().GuardGiveUp(committed_steps_,
+                                          consecutive_skips_);
+    }
+    if (obs::FlightRecorderActive()) {
+      obs::FlightRecorder::Instance().Note(
+          "guard", "give_up after " + std::to_string(consecutive_skips_) +
+                       " consecutive skips");
+    }
     Log(LogLevel::kError,
         "numeric guard: " + std::to_string(consecutive_skips_) +
             " consecutive blown steps — giving up; model left at the last "
@@ -86,6 +104,7 @@ bool NumericGuard::PreStep(float loss_value) {
 }
 
 void NumericGuard::CommitGoodStep() {
+  ++committed_steps_;
   if (!options_.enabled) return;
   Snapshot();
 }

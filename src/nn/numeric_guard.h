@@ -37,6 +37,12 @@
 
 namespace tfmae::nn {
 
+/// Global L2 norm of the gradients currently on `parameters`, accumulated in
+/// double like Adam's own clipping pass. Returns NaN as soon as any element
+/// is non-finite (a plain sum would hide a lone NaN behind an Inf). Shared
+/// by the guard's health check and the run ledger's per-step record.
+double GlobalGradNorm(const std::vector<Tensor>& parameters);
+
 struct NumericGuardOptions {
   bool enabled = true;
   float lr_backoff = 0.5f;  ///< LR multiplier applied per blown step
@@ -85,6 +91,9 @@ class NumericGuard {
   std::vector<std::vector<float>> weight_snapshot_;
   AdamState adam_snapshot_;
   int consecutive_skips_ = 0;
+  // Steps the caller committed so far — the step id of ledger guard events
+  // (thread-count-invariant, unlike any wall-clock notion of progress).
+  std::int64_t committed_steps_ = 0;
   bool gave_up_ = false;
 };
 

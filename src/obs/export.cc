@@ -11,8 +11,11 @@
 #include <tuple>
 #include <vector>
 
+#include "obs/flight_recorder.h"
+#include "obs/ledger.h"
 #include "obs/trace.h"
 #include "util/fault.h"
+#include "util/thread_pool.h"
 
 namespace tfmae::obs {
 namespace {
@@ -96,12 +99,13 @@ void DumpText(std::ostream& os, int top_k) {
   for (const auto& [name, value] : snap.gauges) {
     os << "  " << name << " = " << value << "\n";
   }
-  os << "== obs: histograms (count / mean / p50 / p95 / max) ==\n";
+  os << "== obs: histograms (count / mean / p50 / p95 / p99 / max) ==\n";
   for (const HistogramSnapshot& h : snap.histograms) {
     if (h.count == 0) continue;
     os << "  " << h.name << ": " << h.count << " / " << std::fixed
-       << std::setprecision(0) << h.Mean() << " / " << h.Percentile(0.5)
-       << " / " << h.Percentile(0.95) << " / " << h.max << "\n";
+       << std::setprecision(0) << h.Mean() << " / " << h.Quantile(0.5)
+       << " / " << h.Quantile(0.95) << " / " << h.Quantile(0.99) << " / "
+       << h.max << "\n";
   }
 
   const auto sites = TopTable(snap, "", kTotalSuffix);
@@ -154,9 +158,9 @@ void DumpJsonTo(std::ostream& os) {
        << "\": {\"count\": " << h.count << ", \"sum\": " << h.sum
        << ", \"min\": " << h.min << ", \"max\": " << h.max
        << ", \"mean\": " << std::setprecision(6) << h.Mean()
-       << ", \"p50\": " << h.Percentile(0.5)
-       << ", \"p95\": " << h.Percentile(0.95)
-       << ", \"p99\": " << h.Percentile(0.99) << "}";
+       << ", \"p50\": " << h.Quantile(0.5)
+       << ", \"p95\": " << h.Quantile(0.95)
+       << ", \"p99\": " << h.Quantile(0.99) << "}";
     os << std::setprecision(static_cast<int>(prec));
     first = false;
   }
@@ -213,8 +217,16 @@ namespace {
 std::string* g_json_path = nullptr;
 std::string* g_trace_path = nullptr;
 bool g_text_dump = false;
+bool g_ledger_open = false;
 
 void AtExitDump() {
+  if (g_ledger_open && Ledger::Instance().IsOpen()) {
+    if (Ledger::Instance().Close()) {
+      std::fprintf(stderr, "obs: sealed run ledger\n");
+    } else {
+      std::fprintf(stderr, "obs: run ledger seal failed (.partial kept)\n");
+    }
+  }
   if (g_json_path != nullptr) {
     if (!DumpJson(*g_json_path)) {
       std::fprintf(stderr, "obs: cannot write %s\n", g_json_path->c_str());
@@ -243,6 +255,10 @@ bool MaybeProfileFromArgs(int* argc, char** argv) {
   constexpr std::string_view kJson = "--obs_json=";
   constexpr std::string_view kTrace = "--obs_trace=";
   constexpr std::string_view kText = "--obs_text";
+  constexpr std::string_view kLedger = "--ledger=";
+  constexpr std::string_view kRecorder = "--flight_recorder=";
+  std::string ledger_path;
+  std::string recorder_path;
   bool any = false;
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
@@ -256,6 +272,12 @@ bool MaybeProfileFromArgs(int* argc, char** argv) {
     } else if (arg == kText) {
       g_text_dump = true;
       any = true;
+    } else if (arg.rfind(kLedger, 0) == 0) {
+      ledger_path = arg.substr(kLedger.size());
+      any = true;
+    } else if (arg.rfind(kRecorder, 0) == 0) {
+      recorder_path = arg.substr(kRecorder.size());
+      any = true;
     } else {
       argv[out++] = argv[i];
     }
@@ -263,16 +285,39 @@ bool MaybeProfileFromArgs(int* argc, char** argv) {
   if (!any) return false;
   *argc = out;
   argv[out] = nullptr;
-  if (!CompiledIn()) {
-    std::fprintf(stderr,
-                 "obs: this binary was built without instrumentation "
-                 "(-DTFMAE_OBS=OFF); profiles will be empty. Rebuild with "
-                 "-DTFMAE_OBS=ON.\n");
-  }
+  if (!CompiledIn()) PrintObsDisabledHint();
   SetEnabled(true);
+  if (!recorder_path.empty()) {
+    FlightRecorder::Instance().Arm(recorder_path);
+    FlightRecorder::Instance().InstallSignalHandlers();
+  }
+  if (!ledger_path.empty()) {
+    RunManifest manifest;
+    const std::string_view binary =
+        *argc > 0 && argv[0] != nullptr ? argv[0] : "unknown";
+    const std::size_t slash = binary.find_last_of('/');
+    manifest.tool = std::string(
+        slash == std::string_view::npos ? binary : binary.substr(slash + 1));
+    manifest.run_id = ledger_path;
+    manifest.num_threads = ThreadPool::Instance().num_threads();
+    manifest.build_flags = BuildFlagsString();
+    if (!Ledger::Instance().Open(ledger_path, manifest)) {
+      std::fprintf(stderr, "obs: cannot open run ledger %s\n",
+                   ledger_path.c_str());
+    } else {
+      g_ledger_open = true;
+    }
+  }
   if (g_trace_path != nullptr) StartTracing();
   std::atexit(AtExitDump);
   return true;
+}
+
+void PrintObsDisabledHint() {
+  std::fprintf(stderr,
+               "obs: this binary was built without instrumentation "
+               "(-DTFMAE_OBS=OFF); profiles and ledgers will be empty. "
+               "Rebuild with -DTFMAE_OBS=ON.\n");
 }
 
 }  // namespace tfmae::obs

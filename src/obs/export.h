@@ -39,14 +39,24 @@ void DumpJsonTo(std::ostream& os);
 bool WriteChromeTrace(const std::string& path);
 
 /// Command-line glue shared by benches and examples: consumes the flags
-///   --obs_json=PATH   enable recording; dump JSON metrics at exit
-///   --obs_trace=PATH  enable recording + tracing; write a chrome trace at exit
-///   --obs_text        enable recording; dump the text report to stderr at exit
+///   --obs_json=PATH       enable recording; dump JSON metrics at exit
+///   --obs_trace=PATH      enable recording + tracing; write a chrome trace
+///                         at exit
+///   --obs_text            enable recording; dump the text report to stderr
+///                         at exit
+///   --ledger=PATH         open the process run ledger at PATH (sealed at
+///                         exit; see obs/ledger.h)
+///   --flight_recorder=PATH  arm the crash flight recorder and install the
+///                         fatal-signal postmortem handlers
 /// from argv (compacting it and decrementing *argc) and registers the
 /// corresponding atexit writers. Returns true if any flag was seen. In a
 /// build without instrumentation (-DTFMAE_OBS=OFF) the flags are still
-/// consumed but a warning is printed: the dumps would be empty.
+/// consumed but PrintObsDisabledHint() fires: the dumps would be empty.
 bool MaybeProfileFromArgs(int* argc, char** argv);
+
+/// The one shared "this build has no instrumentation" stderr hint, so every
+/// bench and example prints the identical -DTFMAE_OBS=ON guidance.
+void PrintObsDisabledHint();
 
 }  // namespace tfmae::obs
 

@@ -1,0 +1,195 @@
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace tfmae::obs {
+namespace {
+
+std::uint64_t WallClockMicros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Async-signal-safe unsigned decimal formatting; returns chars written.
+std::size_t FormatU64Safe(std::uint64_t v, char* out, std::size_t cap) {
+  char tmp[24];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0 && n < sizeof(tmp));
+  std::size_t written = 0;
+  while (n > 0 && written + 1 < cap) out[written++] = tmp[--n];
+  return written;
+}
+
+/// write() the whole buffer, retrying short writes (still signal-safe).
+bool WriteAll(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ::ssize_t n = ::write(fd, data, size);
+    if (n <= 0) return false;
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+volatile ::sig_atomic_t g_in_signal_dump = 0;
+
+void FatalSignalHandler(int signo) {
+  // SA_RESETHAND restored the default disposition before we ran, so the
+  // re-raise below terminates the process with the original signal.
+  if (g_in_signal_dump == 0) {
+    g_in_signal_dump = 1;
+    FlightRecorder::Instance().DumpSignalSafe("fatal_signal", signo);
+  }
+  ::raise(signo);
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Instance() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void FlightRecorder::Arm(const std::string& postmortem_path) {
+  armed_.store(false, std::memory_order_relaxed);
+  for (Entry& e : entries_) e.len.store(0, std::memory_order_relaxed);
+  head_.store(0, std::memory_order_relaxed);
+  std::snprintf(path_, sizeof(path_), "%s", postmortem_path.c_str());
+  armed_.store(true, std::memory_order_release);
+}
+
+void FlightRecorder::Disarm() {
+  armed_.store(false, std::memory_order_relaxed);
+  path_[0] = '\0';
+}
+
+void FlightRecorder::Render(const char* kind, const char* detail,
+                            std::size_t detail_len) {
+  const std::uint64_t seq =
+      head_.fetch_add(1, std::memory_order_relaxed);
+  Entry& entry = entries_[seq % kMaxEntries];
+  entry.len.store(0, std::memory_order_relaxed);  // invalidate while writing
+  // Pre-render the complete postmortem line; the signal-safe dump only
+  // copies bytes. Detail text is JSON-escaped (quotes/backslashes/controls).
+  char escaped[kEntryBytes];
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < detail_len && out + 6 < sizeof(escaped); ++i) {
+    const char c = detail[i];
+    if (c == '"' || c == '\\') {
+      escaped[out++] = '\\';
+      escaped[out++] = c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += static_cast<std::size_t>(std::snprintf(
+          escaped + out, sizeof(escaped) - out, "\\u%04x", c));
+    } else {
+      escaped[out++] = c;
+    }
+  }
+  escaped[out] = '\0';
+  const int len = std::snprintf(
+      entry.text, sizeof(entry.text),
+      "{\"n\":%llu,\"t\":%llu,\"kind\":\"%s\",\"detail\":\"%s\"}",
+      static_cast<unsigned long long>(seq),
+      static_cast<unsigned long long>(WallClockMicros()), kind, escaped);
+  entry.len.store(len > 0 ? std::min<int>(len, kEntryBytes - 1) : 0,
+                  std::memory_order_release);
+}
+
+void FlightRecorder::Note(const char* kind, const std::string& detail) {
+  if (!armed()) return;
+  Render(kind, detail.data(), detail.size());
+}
+
+void FlightRecorder::NoteLedgerLine(const char* type,
+                                    const std::string& line) {
+  if (!armed()) return;
+  std::size_t len = line.size();
+  while (len > 0 && (line[len - 1] == '\n' || line[len - 1] == '\r')) --len;
+  (void)type;  // the line already carries its type field
+  Render("ledger", line.data(), len);
+}
+
+bool FlightRecorder::DumpSignalSafe(const char* reason, int signo) {
+  if (!armed() || path_[0] == '\0') return false;
+  const int fd = ::open(path_, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  char buf[96];
+  std::size_t n = 0;
+  const char* preamble = "{\"postmortem\":{\"reason\":\"";
+  bool ok = WriteAll(fd, preamble, std::strlen(preamble));
+  ok = ok && WriteAll(fd, reason, std::strlen(reason));
+  if (signo >= 0) {
+    const char* sig = "\",\"signal\":";
+    ok = ok && WriteAll(fd, sig, std::strlen(sig));
+    n = FormatU64Safe(static_cast<std::uint64_t>(signo), buf, sizeof(buf));
+    ok = ok && WriteAll(fd, buf, n);
+    ok = ok && WriteAll(fd, ",\"entries\":[\n", 13);
+  } else {
+    ok = ok && WriteAll(fd, "\",\"entries\":[\n", 14);
+  }
+  // Oldest surviving entry first. head_ is the next sequence number; the
+  // ring holds at most kMaxEntries of the most recent ones.
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  const std::uint64_t first = head > kMaxEntries ? head - kMaxEntries : 0;
+  bool first_entry = true;
+  for (std::uint64_t s = first; s < head; ++s) {
+    const Entry& entry = entries_[s % kMaxEntries];
+    const int len = entry.len.load(std::memory_order_acquire);
+    if (len <= 0) continue;  // empty or mid-write
+    if (!first_entry) ok = ok && WriteAll(fd, ",\n", 2);
+    ok = ok && WriteAll(fd, entry.text, static_cast<std::size_t>(len));
+    first_entry = false;
+  }
+  ok = ok && WriteAll(fd, "\n]}}\n", 5);
+  ::close(fd);
+  return ok;
+}
+
+bool FlightRecorder::Dump(const char* reason) {
+  if (!DumpSignalSafe(reason, -1)) return false;
+  // Normal path: append a counters appendix (not signal-safe — snapshots
+  // the registry). The postmortem stays valid JSON by rewriting the tail.
+  std::FILE* f = std::fopen(path_, "r+");
+  if (f == nullptr) return true;  // entries made it out; appendix optional
+  // Overwrite the final "}}\n" with a counters object.
+  std::fseek(f, -3, SEEK_END);
+  const MetricsSnapshot snap = Registry::Instance().Snapshot();
+  std::fprintf(f, ",\"counters\":{");
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (value == 0) continue;  // the appendix is context, not a full dump
+    std::fprintf(f, "%s\n  \"%s\": %llu", first ? "" : ",", name.c_str(),
+                 static_cast<unsigned long long>(value));
+    first = false;
+  }
+  std::fprintf(f, "\n}}}\n");
+  std::fclose(f);
+  return true;
+}
+
+void FlightRecorder::InstallSignalHandlers() {
+  struct ::sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = &FatalSignalHandler;
+  action.sa_flags = SA_RESETHAND;
+  ::sigemptyset(&action.sa_mask);
+  for (const int signo : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL}) {
+    ::sigaction(signo, &action, nullptr);
+  }
+}
+
+}  // namespace tfmae::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <limits>
 #include <mutex>
 #include <ostream>
@@ -64,6 +65,30 @@ double HistogramSnapshot::Percentile(double p) const {
   return static_cast<double>(max);
 }
 
+double HistogramSnapshot::Quantile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(count);
+  double seen = 0.0;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const double next = seen + static_cast<double>(buckets[b]);
+    if (next >= target) {
+      if (b == 0) return 0.0;  // bucket 0 holds only the value 0
+      // Bucket b spans [2^(b-1), 2^b): interpolate log-linearly, i.e.
+      // 2^(b-1+f) for the fraction f of the bucket's mass below the target.
+      const double f =
+          std::clamp((target - seen) / static_cast<double>(buckets[b]), 0.0,
+                     1.0);
+      const double value = std::ldexp(std::exp2(f), b - 1);
+      return std::clamp(value, static_cast<double>(min),
+                        static_cast<double>(max));
+    }
+    seen = next;
+  }
+  return static_cast<double>(max);
+}
+
 std::uint64_t MetricsSnapshot::Counter(std::string_view name) const {
   for (const auto& [n, v] : counters) {
     if (n == name) return v;
@@ -112,6 +137,12 @@ namespace {
 /// Registry-wide mutable state guarded by one mutex. Only the slow paths
 /// (registration, shard churn, snapshot, reset) take it.
 struct RegistryState {
+  RegistryState() {
+    // Reserve counter id 0 for the overflow tally so registration overflow
+    // is observable even when it is the very thing preventing registration.
+    counter_names.emplace_back("obs.registry.overflow");
+  }
+
   std::mutex mu;
   std::vector<std::string> counter_names;
   std::vector<std::string> gauge_names;
@@ -129,14 +160,16 @@ RegistryState& State() {
   return *state;
 }
 
+/// Looks up or appends `name`; returns kInvalidMetricId when the table is
+/// at `cap`. Caller holds st.mu — the overflow counter bump happens at the
+/// call sites AFTER the lock is released (CounterAdd may itself need the
+/// lock to acquire a shard).
 int RegisterName(std::vector<std::string>* names, std::string_view name,
-                 int cap, const char* kind) {
+                 int cap) {
   for (std::size_t i = 0; i < names->size(); ++i) {
     if ((*names)[i] == name) return static_cast<int>(i);
   }
-  TFMAE_CHECK_MSG(static_cast<int>(names->size()) < cap,
-                  "obs: too many " << kind << " metrics (cap " << cap
-                                   << ") registering '" << name << "'");
+  if (static_cast<int>(names->size()) >= cap) return kInvalidMetricId;
   names->emplace_back(name);
   return static_cast<int>(names->size() - 1);
 }
@@ -187,28 +220,47 @@ Registry::Shard* Registry::LocalShard() {
 
 int Registry::CounterId(std::string_view name) {
   RegistryState& st = State();
-  std::lock_guard<std::mutex> lock(st.mu);
-  return RegisterName(&st.counter_names, name, kMaxCounters, "counter");
+  int id;
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    id = RegisterName(&st.counter_names, name, kMaxCounters);
+  }
+  // Overflow tally: counter id 0 is pre-registered in RegistryState(), and
+  // the bump happens outside st.mu (CounterAdd may acquire a shard).
+  if (id == kInvalidMetricId) CounterAdd(0, 1);
+  return id;
 }
 
 int Registry::GaugeId(std::string_view name) {
   RegistryState& st = State();
-  std::lock_guard<std::mutex> lock(st.mu);
-  return RegisterName(&st.gauge_names, name, kMaxGauges, "gauge");
+  int id;
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    id = RegisterName(&st.gauge_names, name, kMaxGauges);
+  }
+  if (id == kInvalidMetricId) CounterAdd(0, 1);
+  return id;
 }
 
 int Registry::HistogramId(std::string_view name) {
   RegistryState& st = State();
-  std::lock_guard<std::mutex> lock(st.mu);
-  return RegisterName(&st.histogram_names, name, kMaxHistograms, "histogram");
+  int id;
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    id = RegisterName(&st.histogram_names, name, kMaxHistograms);
+  }
+  if (id == kInvalidMetricId) CounterAdd(0, 1);
+  return id;
 }
 
 void Registry::CounterAdd(int id, std::uint64_t delta) {
+  if (id < 0 || id >= kMaxCounters) return;  // overflow sentinel: drop
   Shard* s = LocalShard();
   s->counters[id].fetch_add(delta, std::memory_order_relaxed);
 }
 
 void Registry::HistogramRecord(int id, std::uint64_t value) {
+  if (id < 0 || id >= kMaxHistograms) return;  // overflow sentinel: drop
   Shard::Hist& h = LocalShard()->histograms[id];
   h.buckets[HistogramBucket(value)].fetch_add(1, std::memory_order_relaxed);
   h.count.fetch_add(1, std::memory_order_relaxed);
@@ -218,10 +270,12 @@ void Registry::HistogramRecord(int id, std::uint64_t value) {
 }
 
 void Registry::GaugeSet(int id, std::int64_t value) {
+  if (id < 0 || id >= kMaxGauges) return;  // overflow sentinel: drop
   State().gauges[id].store(value, std::memory_order_relaxed);
 }
 
 void Registry::GaugeMax(int id, std::int64_t value) {
+  if (id < 0 || id >= kMaxGauges) return;  // overflow sentinel: drop
   std::atomic<std::int64_t>& cell = State().gauges[id];
   std::int64_t cur = cell.load(std::memory_order_relaxed);
   while (cur < value &&

@@ -37,11 +37,19 @@
 namespace tfmae::obs {
 
 /// Hard caps on distinct metrics. Shards preallocate these, keeping the
-/// fast path a bare indexed atomic add; registration past a cap CHECK-fails
-/// (raise the constant — it is a compile-time budget, not a tunable).
+/// fast path a bare indexed atomic add. Registration past a cap returns
+/// kInvalidMetricId (recording against it is a no-op) and bumps the
+/// `obs.registry.overflow` counter — instrumentation must never be able to
+/// abort the instrumented process. Raise the constant if a legitimate
+/// workload overflows; it is a compile-time budget, not a tunable.
 constexpr int kMaxCounters = 256;
 constexpr int kMaxGauges = 64;
 constexpr int kMaxHistograms = 96;
+
+/// Sentinel returned by CounterId/GaugeId/HistogramId when the table is
+/// full. All recording paths treat it (and any negative id) as "drop the
+/// sample".
+constexpr int kInvalidMetricId = -1;
 
 /// Histogram bucketing: fixed log2 buckets. Bucket 0 holds value 0; bucket
 /// b >= 1 holds values in [2^(b-1), 2^b). With 64 buckets any uint64 value
@@ -69,6 +77,12 @@ struct HistogramSnapshot {
   /// Upper-bound estimate of the p-quantile (p in [0,1]) from the bucket
   /// CDF; exact to within the factor-2 bucket resolution.
   double Percentile(double p) const;
+  /// Interpolated estimate of the p-quantile: locates the bucket holding
+  /// the p-th sample and interpolates log-linearly inside it (bucket b >= 1
+  /// spans [2^(b-1), 2^b), so the interpolated value is 2^(b-1+f)), clamped
+  /// to the observed [min, max]. Smoother than Percentile() for dashboards
+  /// and the bench gate; same determinism (pure function of the buckets).
+  double Quantile(double p) const;
 };
 
 /// Merged view of the whole registry, ordered by metric name (byte-wise),
@@ -96,6 +110,8 @@ class Registry {
   Registry& operator=(const Registry&) = delete;
 
   // ---- Registration (slow path; call once per site, cache the id) ---------
+  // Return kInvalidMetricId (and bump `obs.registry.overflow`) when the
+  // corresponding table is full; recording against the sentinel is a no-op.
 
   int CounterId(std::string_view name);
   int GaugeId(std::string_view name);

@@ -1,0 +1,76 @@
+// Registry cap-exhaustion tests. These permanently fill the process-wide
+// registration tables (Reset() zeroes values but keeps names), so they live
+// in their own test binary: nothing else can share this process and expect
+// free registry slots.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace tfmae::obs {
+namespace {
+
+TEST(RegistryOverflowTest, CounterTableOverflowsToSentinelAndIsCounted) {
+  Registry& reg = Registry::Instance();
+  // Slot 0 is pre-taken by the overflow counter itself.
+  EXPECT_EQ(reg.CounterId("obs.registry.overflow"), 0);
+  int registered = 0;
+  for (int i = 0; i < kMaxCounters; ++i) {
+    const int id = reg.CounterId("overflow.counter." + std::to_string(i));
+    if (id == kInvalidMetricId) break;
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, kMaxCounters);
+    ++registered;
+  }
+  // The table held kMaxCounters - 1 new names on top of the builtin.
+  EXPECT_EQ(registered, kMaxCounters - 1);
+
+  const std::uint64_t before = reg.CounterValue("obs.registry.overflow");
+  EXPECT_EQ(reg.CounterId("overflow.counter.one_too_many"), kInvalidMetricId);
+  EXPECT_EQ(reg.CounterValue("obs.registry.overflow"), before + 1);
+  // Re-registering an existing name still works at capacity.
+  EXPECT_EQ(reg.CounterId("overflow.counter.0"),
+            reg.CounterId("overflow.counter.0"));
+  // Recording against the sentinel is a safe no-op.
+  reg.CounterAdd(kInvalidMetricId, 17);
+  EXPECT_EQ(reg.CounterValue("overflow.counter.one_too_many"), 0u);
+}
+
+TEST(RegistryOverflowTest, GaugeTableOverflowsToSentinel) {
+  Registry& reg = Registry::Instance();
+  int registered = 0;
+  for (int i = 0; i < kMaxGauges; ++i) {
+    const int id = reg.GaugeId("overflow.gauge." + std::to_string(i));
+    if (id == kInvalidMetricId) break;
+    ++registered;
+  }
+  EXPECT_EQ(registered, kMaxGauges);
+  const std::uint64_t before = reg.CounterValue("obs.registry.overflow");
+  const int id = reg.GaugeId("overflow.gauge.one_too_many");
+  EXPECT_EQ(id, kInvalidMetricId);
+  EXPECT_EQ(reg.CounterValue("obs.registry.overflow"), before + 1);
+  reg.GaugeSet(id, 42);  // safe no-op
+  reg.GaugeMax(id, 42);  // safe no-op
+}
+
+TEST(RegistryOverflowTest, HistogramTableOverflowsToSentinel) {
+  Registry& reg = Registry::Instance();
+  int registered = 0;
+  for (int i = 0; i < kMaxHistograms; ++i) {
+    const int id = reg.HistogramId("overflow.hist." + std::to_string(i));
+    if (id == kInvalidMetricId) break;
+    ++registered;
+  }
+  EXPECT_EQ(registered, kMaxHistograms);
+  const std::uint64_t before = reg.CounterValue("obs.registry.overflow");
+  const int id = reg.HistogramId("overflow.hist.one_too_many");
+  EXPECT_EQ(id, kInvalidMetricId);
+  EXPECT_EQ(reg.CounterValue("obs.registry.overflow"), before + 1);
+  reg.HistogramRecord(id, 123);  // safe no-op
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.Histogram("overflow.hist.one_too_many"), nullptr);
+}
+
+}  // namespace
+}  // namespace tfmae::obs

@@ -1,6 +1,7 @@
 // Tests for the observability layer (src/obs): registry semantics, the
 // determinism contract (bitwise-stable dumps at any thread count), the
 // exporters, and the compiled-out macro path.
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -84,6 +85,39 @@ TEST(ObsMetricsTest, HistogramStats) {
   EXPECT_GE(h->Percentile(1.0), 1000.0);
   EXPECT_LE(h->Percentile(1.0), 2048.0);
   EXPECT_EQ(snap.Histogram("obs_test.hist.unregistered"), nullptr);
+}
+
+TEST(ObsMetricsTest, QuantileInterpolatesLogLinearlyInsideBuckets) {
+  HistogramSnapshot h;
+  EXPECT_EQ(h.Quantile(0.5), 0.0);  // empty
+
+  // Ten samples, all in bucket 3 ([4, 8)): the quantile moves smoothly
+  // through the bucket instead of jumping to its upper bound.
+  h.count = 10;
+  h.min = 4;
+  h.max = 7;
+  h.buckets[3] = 10;
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 4.0);              // clamped to min
+  EXPECT_NEAR(h.Quantile(0.5), std::exp2(2.5), 1e-9);  // 2^(2 + 0.5)
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 7.0);              // clamped to max
+  EXPECT_LE(h.Quantile(0.25), h.Quantile(0.75));
+
+  // Mass split across distant buckets: low quantiles stay in the low
+  // bucket, the tail clamps to the observed max.
+  HistogramSnapshot split;
+  split.count = 4;
+  split.min = 1;
+  split.max = 600;
+  split.buckets[1] = 3;    // value 1
+  split.buckets[10] = 1;   // one sample in [512, 1024)
+  EXPECT_NEAR(split.Quantile(0.5), std::exp2(2.0 / 3.0), 1e-9);
+  EXPECT_DOUBLE_EQ(split.Quantile(0.99), 600.0);
+
+  // A zero-valued distribution reports 0 at every quantile.
+  HistogramSnapshot zeros;
+  zeros.count = 5;
+  zeros.buckets[0] = 5;
+  EXPECT_EQ(zeros.Quantile(0.9), 0.0);
 }
 
 TEST(ObsMetricsTest, GaugeSetAndHighWatermark) {

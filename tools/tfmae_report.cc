@@ -1,0 +1,74 @@
+// tfmae_report — render run ledgers written by the --ledger= flag (see
+// docs/OBSERVABILITY.md, "Run ledger & flight recorder").
+//
+//   tfmae_report RUN.jsonl             one-run summary
+//   tfmae_report RUN_A.jsonl RUN_B.jsonl
+//                                      summary of each run, then a diff:
+//                                      per-epoch loss deltas and K-S
+//                                      score-distribution drift
+//   --no-timing                        suppress wall-clock-derived figures
+//                                      (byte-stable output for goldens)
+//   --epochs=N                         cap the per-epoch loss tables at N rows
+//
+// A crashed run's "<path>.partial" is picked up automatically when the
+// sealed file does not exist; the report marks such runs "UNSEALED prefix".
+// Exit status: 0 on success, 1 on usage error or an unreadable ledger.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/ledger.h"
+#include "obs/report.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: tfmae_report [--no-timing] [--epochs=N] LEDGER "
+               "[LEDGER_B]\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tfmae::obs::ReportOptions options;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--no-timing") {
+      options.show_timing = false;
+    } else if (arg.rfind("--epochs=", 0) == 0) {
+      options.max_epoch_rows = std::atoi(arg.c_str() + 9);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "tfmae_report: unknown flag %s\n", arg.c_str());
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty() || paths.size() > 2) return Usage();
+
+  std::vector<tfmae::obs::LedgerFile> ledgers;
+  for (const std::string& path : paths) {
+    std::string error;
+    auto file = tfmae::obs::ReadLedger(path, &error);
+    if (!file.has_value()) {
+      std::fprintf(stderr, "tfmae_report: cannot read %s: %s\n", path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    ledgers.push_back(std::move(*file));
+  }
+
+  for (const tfmae::obs::LedgerFile& file : ledgers) {
+    std::fputs(tfmae::obs::RenderRunReport(file, options).c_str(), stdout);
+  }
+  if (ledgers.size() == 2) {
+    std::fputs(
+        tfmae::obs::RenderRunDiff(ledgers[0], ledgers[1], options).c_str(),
+        stdout);
+  }
+  return 0;
+}
