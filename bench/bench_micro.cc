@@ -31,6 +31,12 @@
 // bitwise identical to the uninterrupted run. In a -DTFMAE_FAULTS=ON build
 // the drill additionally injects NaN losses and checkpoint-write failures
 // and records the numeric-guard recovery counters.
+//
+// Run with --inference_plan_json=PATH to benchmark pre-planned inference
+// (DESIGN.md §10): eager TfmaeModel::ScoreWindow vs InferencePlan replay
+// over an identical pre-prepared window batch at 1, 2 and 4 threads,
+// recording ns/window, allocations/window, the bitwise eager-vs-planned
+// comparison, and the 1T->4T scaling of the coarse elementwise dispatch.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -38,6 +44,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -56,6 +63,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/gemm_kernels.h"
+#include "tensor/op_kernels.h"
 #include "tensor/ops.h"
 #include "tensor/pool.h"
 #include "util/fault.h"
@@ -403,7 +411,10 @@ int RunMemoryPlaneSweep(const std::string& path) {
       };
       for (int i = 0; i < kWarmSteps; ++i) step();
       MemoryStats::ResetPeak();
-      pool::ResetPeak();
+      // Full counter reset (not just the peak): rows earlier in the sweep —
+      // and their warm-up steps — must not bleed into this row's
+      // peak_pool_bytes or hit-rate deltas.
+      pool::ResetCounters();
       const pool::PoolStats s0 = pool::Stats();
       const std::int64_t logical0 = MemoryStats::AllocCalls();
       // Min-of-reps: each rep times kSteps further training steps; the
@@ -605,6 +616,261 @@ int RunObsProfile(const std::string& path) {
   return ok ? 0 : 1;
 }
 
+// ---- inference plan sweep (--inference_plan_json=PATH) ---------------------
+
+struct PlanSweepRow {
+  bool planned;
+  int threads;
+  double ns_per_window;
+  double logical_allocs_per_window;  // MemoryStats buffer creations
+  double heap_allocs_per_window;     // pool misses + unpooled news
+  std::int64_t peak_pool_bytes;
+};
+
+/// Benchmarks pre-planned inference (DESIGN.md §10) against the eager
+/// scoring path: a small detector is fitted once, a fixed batch of windows
+/// is prepared once, and both TfmaeModel::ScoreWindow and
+/// InferencePlan::Score are timed over the identical windows at 1, 2 and 4
+/// threads. The summary records the worst planned-vs-eager speedup, whether
+/// steady-state replay is allocation-free, whether every planned score is
+/// bitwise-identical to eager, and the 1T->4T scaling of the coarse
+/// elementwise dispatch the replay executor uses (hardware-qualified:
+/// hw_cores lets the gate skip the absolute scaling floor on small hosts).
+int RunInferencePlanSweep(const std::string& path) {
+  using clock = std::chrono::steady_clock;
+
+  // The fast-config geometry the repo's tests and the resilience drill
+  // score with (window 32, D=32): small windows are exactly the regime the
+  // plan targets — streaming detectors replaying millions of them.
+  core::TfmaeConfig config;
+  config.window = 32;
+  config.model_dim = 32;
+  config.num_layers = 2;
+  config.num_heads = 4;
+  config.ff_hidden = 64;
+  config.epochs = 1;
+  config.stride = 64;
+  config.seed = 17;
+  config.per_window_normalization = false;
+
+  data::BaseSignalConfig signal;
+  signal.length = 1024;
+  signal.num_features = 4;
+  signal.seed = 20240605;
+  const data::TimeSeries series = data::GenerateBaseSignal(signal);
+
+  std::printf("fitting detector (W=%lld D=%lld L=%lld)...\n",
+              static_cast<long long>(config.window),
+              static_cast<long long>(config.model_dim),
+              static_cast<long long>(config.num_layers));
+  core::TfmaeDetector detector(config);
+  detector.Fit(series);
+  core::TfmaeModel* model = detector.model();
+
+  // A fixed window batch, prepared ONCE with a fixed rng: eager and planned
+  // timing loops score byte-identical inputs, so their outputs must match
+  // bitwise and neither pays preparation cost inside the timed region.
+  const int kNumWindows = 24;
+  std::vector<core::MaskedWindow> windows;
+  Rng mask_rng(123);
+  for (int w = 0; w < kNumWindows; ++w) {
+    const std::int64_t start =
+        (static_cast<std::int64_t>(w) * 37) %
+        (series.length - config.window + 1);
+    std::vector<float> values(
+        static_cast<std::size_t>(config.window * series.num_features));
+    std::memcpy(values.data(),
+                series.values.data() +
+                    static_cast<std::size_t>(start * series.num_features),
+                values.size() * sizeof(float));
+    windows.push_back(model->PrepareWindow(values, &mask_rng));
+  }
+
+  std::string capture_error;
+  std::vector<float> capture_scores;
+  std::unique_ptr<core::InferencePlan> plan = core::InferencePlan::Capture(
+      *model, windows[0], &capture_scores, &capture_error);
+  if (plan == nullptr) {
+    std::fprintf(stderr, "plan capture failed: %s\n", capture_error.c_str());
+    return 1;
+  }
+  const core::InferencePlanStats& ps = plan->stats();
+  std::printf(
+      "plan: %lld ops (%lld captured, %lld fused away, %lld reshapes "
+      "elided), %lld slots, %lld arena bytes\n",
+      static_cast<long long>(ps.ops), static_cast<long long>(ps.captured_ops),
+      static_cast<long long>(ps.fused_ops),
+      static_cast<long long>(ps.elided_reshapes),
+      static_cast<long long>(ps.slots), static_cast<long long>(ps.arena_bytes));
+
+  const int kReps = 5;
+  const std::vector<int> threads = {1, 2, 4};
+  std::vector<PlanSweepRow> rows;
+  bool bitwise_identical = true;
+  bool planned_zero_alloc = true;
+  double worst_speedup = 1e30;
+
+  std::vector<std::vector<float>> eager_scores(windows.size());
+  std::vector<float> planned_out;
+  for (int t : threads) {
+    ThreadPool::Instance().SetNumThreads(t);
+    double row_ns[2] = {0.0, 0.0};  // [eager, planned]
+    for (int pass = 0; pass < 2; ++pass) {
+      const bool planned = pass == 1;
+      // Per-row stats reset (the bench-sweep discipline): earlier rows'
+      // churn must not inflate this row's peaks or alloc deltas.
+      pool::ResetCounters();
+      // Warm-up pass, also the correctness pass: collect this thread
+      // count's eager scores, then check every planned replay against them.
+      for (std::size_t w = 0; w < windows.size(); ++w) {
+        if (!planned) {
+          eager_scores[w] = model->ScoreWindow(windows[w]);
+        } else {
+          plan->Score(windows[w], &planned_out);
+          const std::vector<float>& ref = eager_scores[w];
+          if (planned_out.size() != ref.size() ||
+              std::memcmp(planned_out.data(), ref.data(),
+                          ref.size() * sizeof(float)) != 0) {
+            bitwise_identical = false;
+          }
+        }
+      }
+      const std::int64_t logical0 = MemoryStats::AllocCalls();
+      const std::int64_t heap0 = pool::Stats().HeapAllocs();
+      double best_sec = 1e30;
+      for (int rep = 0; rep < kReps; ++rep) {
+        const auto t0 = clock::now();
+        for (const core::MaskedWindow& w : windows) {
+          if (!planned) {
+            std::vector<float> s = model->ScoreWindow(w);
+            (void)s;
+          } else {
+            plan->Score(w, &planned_out);
+          }
+        }
+        best_sec = std::min(
+            best_sec,
+            std::chrono::duration<double>(clock::now() - t0).count());
+      }
+      const double measured_windows =
+          static_cast<double>(kReps) * static_cast<double>(windows.size());
+      PlanSweepRow row;
+      row.planned = planned;
+      row.threads = t;
+      row.ns_per_window = best_sec * 1e9 / static_cast<double>(windows.size());
+      row.logical_allocs_per_window =
+          static_cast<double>(MemoryStats::AllocCalls() - logical0) /
+          measured_windows;
+      row.heap_allocs_per_window =
+          static_cast<double>(pool::Stats().HeapAllocs() - heap0) /
+          measured_windows;
+      row.peak_pool_bytes = pool::Stats().peak_outstanding_bytes;
+      if (planned && (row.logical_allocs_per_window != 0.0 ||
+                      row.heap_allocs_per_window != 0.0)) {
+        planned_zero_alloc = false;
+      }
+      row_ns[pass] = row.ns_per_window;
+      rows.push_back(row);
+      std::printf("%-8s threads=%d  %9.0f ns/window  %6.2f allocs/window\n",
+                  planned ? "planned" : "eager", t, row.ns_per_window,
+                  row.logical_allocs_per_window);
+    }
+    worst_speedup = std::min(worst_speedup, row_ns[0] / row_ns[1]);
+  }
+
+  // Thread scaling of the coarse elementwise dispatch itself — the replay
+  // executor's fused elementwise regions in isolation, where scaling is
+  // memory-bound rather than GEMM-bound. 1T vs 4T over a fixed FMA chain.
+  const std::int64_t kElems = std::int64_t{1} << 22;
+  std::vector<float> ea(static_cast<std::size_t>(kElems), 1.25f);
+  std::vector<float> eb(static_cast<std::size_t>(kElems), 0.75f);
+  std::vector<float> ec(static_cast<std::size_t>(kElems), 0.0f);
+  double elem_sec[2] = {0.0, 0.0};
+  const int kElemReps = 7;
+  for (int pass = 0; pass < 2; ++pass) {
+    const int t = pass == 0 ? 1 : 4;
+    ThreadPool::Instance().SetNumThreads(t);
+    const float* pa = ea.data();
+    const float* pb = eb.data();
+    float* pc = ec.data();
+    auto body = [&](std::int64_t begin, std::int64_t end) {
+      for (std::int64_t i = begin; i < end; ++i) {
+        pc[i] = pa[i] * pb[i] + pc[i] * 0.5f;
+      }
+    };
+    ops::kernels::ForEachElemChunkCoarse(kElems, body);  // warm-up
+    double best = 1e30;
+    for (int rep = 0; rep < kElemReps; ++rep) {
+      const auto t0 = clock::now();
+      ops::kernels::ForEachElemChunkCoarse(kElems, body);
+      best = std::min(
+          best, std::chrono::duration<double>(clock::now() - t0).count());
+    }
+    elem_sec[pass] = best;
+  }
+  const double elementwise_4t_speedup = elem_sec[0] / elem_sec[1];
+  const int hw_cores =
+      static_cast<int>(std::thread::hardware_concurrency());
+  ThreadPool::Instance().SetNumThreads(1);
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"workload\": \"tfmae_score_window\",\n");
+  std::fprintf(f,
+               "  \"shape\": \"W%lld_D%lld_L%lld_F%lld\",\n"
+               "  \"windows\": %d,\n  \"reps\": %d,\n",
+               static_cast<long long>(config.window),
+               static_cast<long long>(config.model_dim),
+               static_cast<long long>(config.num_layers),
+               static_cast<long long>(series.num_features), kNumWindows,
+               kReps);
+  std::fprintf(f,
+               "  \"plan\": {\"ops\": %lld, \"captured_ops\": %lld, "
+               "\"fused_ops\": %lld, \"elided_reshapes\": %lld, "
+               "\"slots\": %lld, \"arena_bytes\": %lld},\n",
+               static_cast<long long>(ps.ops),
+               static_cast<long long>(ps.captured_ops),
+               static_cast<long long>(ps.fused_ops),
+               static_cast<long long>(ps.elided_reshapes),
+               static_cast<long long>(ps.slots),
+               static_cast<long long>(ps.arena_bytes));
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const PlanSweepRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"planned\": %s, \"threads\": %d, "
+                 "\"ns_per_window\": %.0f, "
+                 "\"logical_allocs_per_window\": %.3f, "
+                 "\"heap_allocs_per_window\": %.3f, "
+                 "\"peak_pool_bytes\": %lld}%s\n",
+                 r.planned ? "true" : "false", r.threads, r.ns_per_window,
+                 r.logical_allocs_per_window, r.heap_allocs_per_window,
+                 static_cast<long long>(r.peak_pool_bytes),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"summary\": {\n");
+  std::fprintf(f, "    \"speedup_x\": %.2f,\n", worst_speedup);
+  std::fprintf(f, "    \"planned_zero_alloc\": %s,\n",
+               planned_zero_alloc ? "true" : "false");
+  std::fprintf(f, "    \"scores_bitwise_identical\": %s,\n",
+               bitwise_identical ? "true" : "false");
+  std::fprintf(f, "    \"elementwise_4t_speedup\": %.2f,\n",
+               elementwise_4t_speedup);
+  std::fprintf(f, "    \"hw_cores\": %d\n", hw_cores);
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf(
+      "summary: speedup_x=%.2f planned_zero_alloc=%s "
+      "scores_bitwise_identical=%s elementwise_4t_speedup=%.2f hw_cores=%d\n",
+      worst_speedup, planned_zero_alloc ? "true" : "false",
+      bitwise_identical ? "true" : "false", elementwise_4t_speedup, hw_cores);
+  std::printf("wrote %s\n", path.c_str());
+  return (bitwise_identical && planned_zero_alloc) ? 0 : 1;
+}
+
 // ---- resilience drill (--resilience_json=PATH) -----------------------------
 
 /// Exercises the crash-safe training path end to end: an uninterrupted
@@ -799,6 +1065,9 @@ int main(int argc, char** argv) {
   }
   if (const auto path = FlagValue(argc, argv, "--resilience_json=")) {
     return tfmae::RunResilienceSweep(*path);
+  }
+  if (const auto path = FlagValue(argc, argv, "--inference_plan_json=")) {
+    return tfmae::RunInferencePlanSweep(*path);
   }
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

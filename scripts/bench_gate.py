@@ -13,9 +13,17 @@ Usage:
   scripts/bench_gate.py --smoke          # baseline vs itself; must pass
 
 The current directory is expected to contain files with the same names as
-the baselines (tensor_backend.json, memory_plane.json, resilience.json);
-missing files are reported as failures so a broken sweep cannot silently
-pass the gate. `scripts/check.sh bench` produces them; see
+the baselines (tensor_backend.json, memory_plane.json, resilience.json,
+inference_plan.json); missing files are reported as failures so a broken
+sweep cannot silently pass the gate.
+
+The inference-plan sweep additionally carries *hard floors* from the
+pre-planned-inference acceptance contract (DESIGN.md §10): planned scoring
+must be >= 1.3x faster than eager per window regardless of baseline drift,
+and the 4-thread elementwise dispatch must scale >= 1.5x over 1 thread —
+the latter only enforced when the measuring host actually has >= 4
+hardware cores (the sweep records hw_cores; on smaller hosts the scaling
+check degrades to the relative-to-baseline comparison). `scripts/check.sh bench` produces them; see
 bench_results/baselines/README.md for how the baselines were recorded.
 """
 
@@ -40,7 +48,50 @@ SUMMARY_CHECKS = {
         ("weights_bitwise_identical", "bool"),
         ("fault_drill_recovered", "bool"),
     ],
+    "inference_plan.json": [
+        ("speedup_x", "ratio"),
+        ("elementwise_4t_speedup", "ratio"),
+        ("planned_zero_alloc", "bool"),
+        ("scores_bitwise_identical", "bool"),
+    ],
 }
+
+# Absolute floors (checked against the *current* sweep, independent of the
+# baseline): the DESIGN.md §10 acceptance contract.
+PLAN_SPEEDUP_FLOOR = 1.3
+PLAN_ELEMENTWISE_4T_FLOOR = 1.5
+
+
+def hard_floor_failures(name, current):
+    """Absolute acceptance floors for the inference-plan sweep."""
+    if name != "inference_plan.json" or not isinstance(current, dict):
+        return []
+    failures = []
+    summary = current.get("summary", {})
+    speedup = summary.get("speedup_x", 0.0)
+    if speedup < PLAN_SPEEDUP_FLOOR:
+        failures.append(
+            f"{name}: speedup_x = {speedup:.2f}, below the hard "
+            f"{PLAN_SPEEDUP_FLOOR}x planned-vs-eager floor")
+    else:
+        print(f"  ok  {name}: speedup_x = {speedup:.2f} "
+              f"(hard floor {PLAN_SPEEDUP_FLOOR})")
+    elem = summary.get("elementwise_4t_speedup", 0.0)
+    hw_cores = summary.get("hw_cores", 0)
+    if hw_cores >= 4:
+        if elem < PLAN_ELEMENTWISE_4T_FLOOR:
+            failures.append(
+                f"{name}: elementwise_4t_speedup = {elem:.2f}, below the "
+                f"hard {PLAN_ELEMENTWISE_4T_FLOOR}x floor "
+                f"({hw_cores} hardware cores)")
+        else:
+            print(f"  ok  {name}: elementwise_4t_speedup = {elem:.2f} "
+                  f"(hard floor {PLAN_ELEMENTWISE_4T_FLOOR})")
+    else:
+        print(f"  ok  {name}: elementwise_4t_speedup = {elem:.2f} "
+              f"(hard floor waived: host has {hw_cores} hardware core(s), "
+              f"needs 4; relative check still applies)")
+    return failures
 
 
 def geomean(values):
@@ -150,6 +201,7 @@ def main():
         with open(current_path) as f:
             current = json.load(f)
         failures.extend(compare(name, baseline, current, args.tolerance))
+        failures.extend(hard_floor_failures(name, current))
 
     if failures:
         print(f"\nbench_gate: {len(failures)} regression(s):",

@@ -3,7 +3,7 @@
 # observability layer compiled in.
 #
 # Usage:
-#   scripts/check.sh [plain|thread|address|undefined|obs|pool|faults|report|bench] [extra ctest args...]
+#   scripts/check.sh [plain|thread|address|undefined|obs|pool|faults|report|bench|plan] [extra ctest args...]
 #
 # Examples:
 #   scripts/check.sh                 # plain Release build, full suite
@@ -43,6 +43,15 @@
 # injected-fault postmortem — then smoke-tests the benchmark gate against
 # the committed baselines.
 #
+# The plan mode is the pre-planned-inference soak from DESIGN.md §10: the
+# InferencePlan suite (bitwise eager-vs-planned scoring, arena accounting,
+# injected capture faults, the scrub canary) runs twice — once under
+# AddressSanitizer (arena offsets and lifetimes are hand-planned, so every
+# replay is an ASan workout) and once under ThreadSanitizer (replay
+# dispatches coarse parallel-for chunks over shared arena rows). Both runs
+# compile -DTFMAE_FAULTS=ON and -DTFMAE_OBS=ON so the fallback and ledger
+# cases are active rather than skipped.
+#
 # The bench mode is the performance gate from docs/OBSERVABILITY.md
 # ("Benchmark gating"): it runs the bench_micro JSON sweeps in the same
 # build and fails if any tracked relative metric (speedup ratios,
@@ -65,11 +74,24 @@ case "$SAN" in
   pool)    SAN_FLAG="-DTFMAE_SANITIZE=address" ;;
   faults)  SAN_FLAG="-DTFMAE_FAULTS=ON -DTFMAE_OBS=ON -DTFMAE_SANITIZE=undefined" ;;
   report|bench) SAN_FLAG="-DTFMAE_OBS=ON -DTFMAE_FAULTS=ON" ;;
+  plan)    SAN_FLAG="" ;;
   *)
-    echo "usage: $0 [plain|thread|address|undefined|obs|pool|faults|report|bench] [ctest args...]" >&2
+    echo "usage: $0 [plain|thread|address|undefined|obs|pool|faults|report|bench|plan] [ctest args...]" >&2
     exit 2
     ;;
 esac
+
+if [ "$SAN" = "plan" ]; then
+  for san in address thread; do
+    BUILD_DIR="build-check-plan-$san"
+    cmake -B "$BUILD_DIR" -S . \
+      -DTFMAE_OBS=ON -DTFMAE_FAULTS=ON "-DTFMAE_SANITIZE=$san" >/dev/null
+    cmake --build "$BUILD_DIR" -j "$(nproc)"
+    echo "== plan suite: $san sanitizer, capture/replay/fallback tests =="
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'InferencePlan' "$@"
+  done
+  exit 0
+fi
 
 BUILD_DIR="build-check-$SAN"
 
@@ -104,6 +126,9 @@ elif [ "$SAN" = "bench" ]; then
   echo "== bench sweep: resilience =="
   "$BUILD_DIR/bench/bench_micro" \
     --resilience_json="$OUT_DIR/resilience.json"
+  echo "== bench sweep: inference plan =="
+  "$BUILD_DIR/bench/bench_micro" \
+    --inference_plan_json="$OUT_DIR/inference_plan.json"
   echo "== bench gate: sweeps vs bench_results/baselines =="
   python3 scripts/bench_gate.py --current-dir "$OUT_DIR"
 elif [ "$SAN" = "pool" ]; then

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <limits>
@@ -66,8 +67,23 @@ void NormalizeWindow(std::vector<float>* values, std::int64_t len,
 
 }  // namespace
 
+namespace {
+
+// TFMAE_INFERENCE_PLAN gates pre-planned inference ("0" disables; default
+// on — capture self-verification makes the plan safe by construction).
+bool InferencePlanEnvDefault() {
+  const char* v = std::getenv("TFMAE_INFERENCE_PLAN");
+  if (v == nullptr || *v == '\0') return true;
+  return !(v[0] == '0' && v[1] == '\0');
+}
+
+}  // namespace
+
 TfmaeDetector::TfmaeDetector(TfmaeConfig config, std::string name)
-    : name_(std::move(name)), config_(config), rng_(config.seed) {}
+    : name_(std::move(name)),
+      config_(config),
+      rng_(config.seed),
+      plan_enabled_(InferencePlanEnvDefault()) {}
 
 void TfmaeDetector::Fit(const data::TimeSeries& train) {
   FitInternal(train, FitOptions{}, nullptr);
@@ -132,6 +148,7 @@ void TfmaeDetector::FitInternal(const data::TimeSeries& train,
   const data::TimeSeries normalized = normalizer_.Apply(train);
 
   model_ = std::make_unique<TfmaeModel>(train.num_features, config_, &rng_);
+  plan_.reset();  // weights change: any captured plan is stale
   nn::AdamOptions adam_options;
   adam_options.learning_rate = config_.learning_rate;
   adam_options.clip_grad_norm = config_.clip_grad_norm;
@@ -400,6 +417,7 @@ bool TfmaeDetector::LoadCheckpoint(const std::string& prefix) {
     model_.reset();
     return false;
   }
+  plan_.reset();  // loaded weights: any captured plan is stale
   optimizer_.reset();  // a loaded detector scores; re-Fit to train further
   fitted_ = true;
   return true;
@@ -420,13 +438,57 @@ std::vector<float> TfmaeDetector::Score(const data::TimeSeries& series) {
   std::vector<double> score_sum(static_cast<std::size_t>(series.length), 0.0);
   std::vector<std::int32_t> score_count(
       static_cast<std::size_t>(series.length), 0);
+  // A failed capture disables the plan for the remainder of this call
+  // (each window would fail the same way); the next Score() retries.
+  bool capture_failed_this_call = false;
   for (std::int64_t start : starts) {
     std::vector<float> values = ExtractWindow(normalized, start, window);
     if (config_.per_window_normalization) {
       NormalizeWindow(&values, window, normalized.num_features);
     }
     const MaskedWindow masked = model_->PrepareWindow(values, &rng_);
-    const std::vector<float> window_scores = model_->ScoreWindow(masked);
+    if (plan_enabled_ && plan_ != nullptr && plan_->Matches(masked)) {
+      plan_->Score(masked, &plan_scores_);
+    } else if (plan_enabled_ && !capture_failed_this_call) {
+      // Capture (or re-capture after a geometry change). The capture pass
+      // runs this window eagerly and returns its scores either way.
+      std::string err;
+      std::unique_ptr<InferencePlan> built;
+      if (TFMAE_FAULT("infer.plan.capture")) {
+        err = "injected fault: infer.plan.capture";
+        plan_scores_ = model_->ScoreWindow(masked);
+      } else {
+        built = InferencePlan::Capture(*model_, masked, &plan_scores_, &err);
+      }
+      if (built != nullptr) {
+        plan_ = std::move(built);
+        const InferencePlanStats& ps = plan_->stats();
+        TFMAE_COUNTER_ADD("infer.plan.detector_captures", 1);
+        if (obs::LedgerActive()) {
+          obs::Ledger::Instance().Event(
+              "plan",
+              {{"ops", std::to_string(ps.ops)},
+               {"captured_ops", std::to_string(ps.captured_ops)},
+               {"fused_ops", std::to_string(ps.fused_ops)},
+               {"elided_reshapes", std::to_string(ps.elided_reshapes)},
+               {"slots", std::to_string(ps.slots)},
+               {"arena_bytes", std::to_string(ps.arena_bytes)},
+               // Wall-clock field: the t_ prefix keeps it out of the
+               // thread-count-invariant canonical stream.
+               {"t_capture_ms", std::to_string(ps.capture_ms)}});
+        }
+      } else {
+        plan_.reset();
+        capture_failed_this_call = true;
+        ++plan_capture_failures_;
+        // The reason lands in the obs counters; scoring proceeds eagerly.
+        (void)err;
+        TFMAE_COUNTER_ADD("infer.plan.fallbacks", 1);
+      }
+    } else {
+      plan_scores_ = model_->ScoreWindow(masked);
+    }
+    const std::vector<float>& window_scores = plan_scores_;
     for (std::int64_t t = 0; t < window; ++t) {
       score_sum[static_cast<std::size_t>(start + t)] +=
           window_scores[static_cast<std::size_t>(t)];

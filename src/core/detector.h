@@ -8,6 +8,7 @@
 
 #include "core/anomaly_detector.h"
 #include "core/checkpoint.h"
+#include "core/inference_plan.h"
 #include "core/model.h"
 #include "nn/adam.h"
 #include "nn/numeric_guard.h"
@@ -90,6 +91,20 @@ class TfmaeDetector : public AnomalyDetector {
   /// The trained network (null before Fit).
   TfmaeModel* model() { return model_.get(); }
 
+  /// Pre-planned inference (DESIGN.md §10). On by default (TFMAE_INFERENCE_PLAN=0
+  /// disables): the first scored window captures the graph into an
+  /// InferencePlan and later windows replay it, bitwise-identically to the
+  /// eager path. Any capture failure falls back to eager scoring.
+  void SetInferencePlanEnabled(bool on) { plan_enabled_ = on; }
+  bool inference_plan_enabled() const { return plan_enabled_; }
+
+  /// The active plan (null until a Score() built one, or when disabled).
+  const InferencePlan* inference_plan() const { return plan_.get(); }
+
+  /// Capture attempts that fell back to eager scoring (fault injection or
+  /// unsupported graphs).
+  std::int64_t plan_capture_failures() const { return plan_capture_failures_; }
+
   /// Persists the complete fitted detector (config, normalizer statistics,
   /// and network weights) under `prefix` (three files: <prefix>.config,
   /// <prefix>.norm, <prefix>.weights). Requires Fit(). Returns false on I/O
@@ -116,6 +131,14 @@ class TfmaeDetector : public AnomalyDetector {
   Rng rng_;
   TrainStats stats_;
   bool fitted_ = false;
+
+  // Pre-planned inference state. The plan is invalidated whenever the
+  // weights change (Fit/Resume/LoadCheckpoint) or the window geometry
+  // stops matching.
+  std::unique_ptr<InferencePlan> plan_;
+  bool plan_enabled_ = true;
+  std::int64_t plan_capture_failures_ = 0;
+  std::vector<float> plan_scores_;  ///< reusable replay output buffer
 };
 
 }  // namespace tfmae::core

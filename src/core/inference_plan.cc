@@ -1,0 +1,968 @@
+// Plan builder + replay executor for pre-planned inference (DESIGN.md §10).
+//
+// Build pipeline (all at Capture() time):
+//   1. trace   — run the eager ScoreWindow under a capture::Recorder.
+//   2. elide   — Reshape outputs become value aliases of their inputs (a
+//                row-major reshape is a copy with identical contents, so the
+//                consumer can read the producer's storage directly).
+//   3. fuse    — single-use elementwise (binary) producers are folded into
+//                their consuming binary op as a per-element step program;
+//                the folded intermediate is never materialized. Per-element
+//                arithmetic and operand values are unchanged, so fusion is
+//                bitwise-invisible.
+//   4. plan    — lifetime analysis (first-def / last-use op interval per
+//                storage) feeds a best-fit offset allocator that lays every
+//                input, intermediate, and op scratch region into one arena.
+//   5. resolve — every op becomes a ReplayOp: a kernel function pointer plus
+//                raw data pointers into the arena / parameter storage.
+//   6. verify  — one replay of the capture window, memcmp'd against the
+//                eager scores; any difference rejects the plan.
+//
+// Replay (Score()) binds the window's values and index vectors into the
+// arena and runs `for (op : ops) op.fn(op)`. No tensors, no autograd, no
+// shared_ptr churn, no dispatch branching.
+#include "core/inference_plan.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "nn/transformer.h"
+#include "obs/trace.h"
+#include "tensor/capture.h"
+#include "tensor/gemm_kernels.h"
+#include "tensor/op_kernels.h"
+#include "tensor/pool.h"
+#include "util/logging.h"
+#include "util/memory.h"
+
+namespace tfmae::core {
+namespace {
+
+namespace cap = ops::capture;
+namespace kn = ops::kernels;
+
+// Fused per-element programs are bounded so replay can evaluate them on a
+// fixed-size stack array.
+constexpr int kMaxFusedSteps = 8;
+constexpr int kMaxFusedExt = 2 * kMaxFusedSteps;
+
+// Arena offsets are aligned to 16 floats (64 bytes, one cache line) so
+// adjacent slots never share a line.
+constexpr std::int64_t kAlignFloats = 16;
+
+/// One step of a fused elementwise program. Operands encode as: >= 0 — an
+/// index into the op's external operand table; < 0 — the result of step
+/// -(value + 1).
+struct FusedStep {
+  kn::BinaryKind kind = kn::BinaryKind::kAdd;
+  int lhs = 0;
+  int rhs = 0;
+};
+
+struct ReplayOp;
+using ReplayFn = void (*)(const ReplayOp&);
+
+/// A fully-resolved op: kernel pointer plus raw operand pointers. Replay
+/// never touches tensors or node tables.
+struct ReplayOp {
+  ReplayFn fn = nullptr;
+
+  const float* in0 = nullptr;
+  const float* in1 = nullptr;
+  const float* in2 = nullptr;
+  std::int64_t n0 = 0;  ///< numel of in0 (broadcast modulus)
+  std::int64_t n1 = 0;  ///< numel of in1 (broadcast modulus)
+  float* out = nullptr;
+  std::int64_t out_n = 0;
+
+  // Dimension attributes; meaning depends on the kernel (gemm m/k/n, row
+  // ops rows/cols, binary ops the BinaryKind).
+  std::int64_t m = 0;
+  std::int64_t k = 0;
+  std::int64_t n = 0;
+  std::int64_t batch = 0;
+  float scalar = 0.0f;
+
+  int perm[3] = {0, 1, 2};
+  std::int64_t pdims[3] = {0, 0, 0};
+
+  // Index-consuming ops: `idx` points at the plan-owned snapshot or is
+  // rebound per replay to the window's mask vector (dyn >= 0).
+  const std::int64_t* idx = nullptr;
+  std::int64_t idx_n = 0;
+  int dyn = -1;  ///< -1 static, 0 = unmasked vector, 1 = masked vector
+
+  float* scratch = nullptr;  ///< arena region for row-op temporaries
+  std::int64_t grain = 1;    ///< row chunk grain (scratch region indexing)
+  const float* pe = nullptr;  ///< positional-encoding table (kPosEncAdd)
+
+  int nsteps = 0;
+  FusedStep steps[kMaxFusedSteps];
+  const float* ext[kMaxFusedExt] = {nullptr};
+  std::int64_t ext_n[kMaxFusedExt] = {0};
+};
+
+// ---- Replay kernels --------------------------------------------------------
+//
+// Every kernel reproduces the corresponding eager forward exactly: same
+// per-element arithmetic (tensor/op_kernels.h), same accumulation order.
+// Elementwise kernels use the coarser fixed-grain dispatch — chunk layout
+// cannot change values when writes are disjoint — so a replayed window
+// crosses the thread pool far fewer times than its eager twin.
+
+void RunBinary(const ReplayOp& op) {
+  const auto kind = static_cast<kn::BinaryKind>(op.m);
+  const float* a = op.in0;
+  const float* b = op.in1;
+  float* out = op.out;
+  if (op.n0 == op.out_n && op.n1 == op.out_n) {
+    kn::ForEachElemChunkCoarse(op.out_n, [=](std::int64_t s, std::int64_t e) {
+      for (std::int64_t i = s; i < e; ++i) {
+        out[i] = kn::ApplyBinary(kind, a[i], b[i]);
+      }
+    });
+    return;
+  }
+  // Broadcast path: rolling operand cursors instead of per-element modulo —
+  // same element order and arithmetic, no integer division in the loop.
+  const std::int64_t an = op.n0;
+  const std::int64_t bn = op.n1;
+  kn::ForEachElemChunkCoarse(op.out_n, [=](std::int64_t s, std::int64_t e) {
+    std::int64_t ia = s % an;
+    std::int64_t ib = s % bn;
+    for (std::int64_t i = s; i < e; ++i) {
+      out[i] = kn::ApplyBinary(kind, a[ia], b[ib]);
+      if (++ia == an) ia = 0;
+      if (++ib == bn) ib = 0;
+    }
+  });
+}
+
+void RunFused(const ReplayOp& op) {
+  // Block-evaluated step program: each step runs as a tight binary loop over
+  // a stack-resident block, so the interpreter overhead (operand resolution,
+  // kind switch) is paid per block+step, not per element. Element order and
+  // per-element arithmetic are exactly those of the unfused chain, so the
+  // result stays bitwise-identical.
+  kn::ForEachElemChunkCoarse(op.out_n, [&op](std::int64_t s, std::int64_t e) {
+    constexpr std::int64_t kBlock = 256;
+    float buf[kMaxFusedSteps][kBlock];
+    float gather_a[kBlock];
+    float gather_b[kBlock];
+    for (std::int64_t b = s; b < e; b += kBlock) {
+      const std::int64_t n = std::min(kBlock, e - b);
+      for (int si = 0; si < op.nsteps; ++si) {
+        const FusedStep& st = op.steps[si];
+        // Resolve each operand to a dense pointer for this block: a prior
+        // step's block, a full-size external slice, or a gathered broadcast
+        // (rolling cursor, no per-element division).
+        auto resolve = [&](int operand, float* gather) -> const float* {
+          if (operand < 0) return buf[-operand - 1];
+          const float* p = op.ext[operand];
+          const std::int64_t pn = op.ext_n[operand];
+          if (pn == op.out_n) return p + b;
+          std::int64_t ip = b % pn;
+          for (std::int64_t i = 0; i < n; ++i) {
+            gather[i] = p[ip];
+            if (++ip == pn) ip = 0;
+          }
+          return gather;
+        };
+        const float* pa = resolve(st.lhs, gather_a);
+        const float* pb = resolve(st.rhs, gather_b);
+        float* po = si == op.nsteps - 1 ? op.out + b : buf[si];
+        switch (st.kind) {
+          case kn::BinaryKind::kAdd:
+            for (std::int64_t i = 0; i < n; ++i) po[i] = pa[i] + pb[i];
+            break;
+          case kn::BinaryKind::kSub:
+            for (std::int64_t i = 0; i < n; ++i) po[i] = pa[i] - pb[i];
+            break;
+          case kn::BinaryKind::kMul:
+            for (std::int64_t i = 0; i < n; ++i) po[i] = pa[i] * pb[i];
+            break;
+          case kn::BinaryKind::kDiv:
+            for (std::int64_t i = 0; i < n; ++i) po[i] = pa[i] / pb[i];
+            break;
+        }
+      }
+    }
+  });
+}
+
+void RunBiasGelu(const ReplayOp& op) {
+  const float* x = op.in0;
+  const float* bias = op.in1;
+  const std::int64_t bn = op.n1;
+  float* out = op.out;
+  // Row-blocked bias broadcast: a short prologue walks to the next bias
+  // period boundary, then whole periods run as dense branch-free loops.
+  kn::ForEachElemChunkCoarse(op.out_n, [=](std::int64_t s, std::int64_t e) {
+    std::int64_t i = s;
+    for (std::int64_t ib = s % bn; i < e && ib != 0; ++i) {
+      out[i] = kn::GeluApprox(x[i] + bias[ib]);
+      if (++ib == bn) ib = 0;
+    }
+    for (; i + bn <= e; i += bn) {
+      for (std::int64_t c = 0; c < bn; ++c) {
+        out[i + c] = kn::GeluApprox(x[i + c] + bias[c]);
+      }
+    }
+    for (std::int64_t c = 0; i < e; ++i, ++c) {
+      out[i] = kn::GeluApprox(x[i] + bias[c]);
+    }
+  });
+}
+
+void RunMatMul(const ReplayOp& op) {
+  std::memset(op.out, 0,
+              static_cast<std::size_t>(op.m * op.n) * sizeof(float));
+  gemm::Gemm(op.in0, op.in1, op.out, op.m, op.k, op.n);
+}
+
+void RunBatchedMatMul(const ReplayOp& op) {
+  std::memset(op.out, 0,
+              static_cast<std::size_t>(op.batch * op.m * op.n) * sizeof(float));
+  gemm::BatchedGemm(op.in0, op.in1, op.out, op.batch, op.m, op.k, op.n);
+}
+
+void RunBatchedMatMulBt(const ReplayOp& op) {
+  std::memset(op.out, 0,
+              static_cast<std::size_t>(op.batch * op.m * op.n) * sizeof(float));
+  gemm::BatchedGemmBt(op.in0, op.in1, op.out, op.batch, op.m, op.k, op.n);
+}
+
+void RunPermute3(const ReplayOp& op) {
+  kn::Permute3Forward(op.in0, op.out,
+                      {op.pdims[0], op.pdims[1], op.pdims[2]},
+                      {op.perm[0], op.perm[1], op.perm[2]});
+}
+
+void RunIndexRows(const ReplayOp& op) {
+  const std::int64_t cols = op.k;
+  for (std::int64_t i = 0; i < op.idx_n; ++i) {
+    std::memcpy(op.out + i * cols, op.in0 + op.idx[i] * cols,
+                static_cast<std::size_t>(cols) * sizeof(float));
+  }
+}
+
+void RunScatterRows(const ReplayOp& op) {
+  const std::int64_t cols = op.k;
+  std::memset(op.out, 0,
+              static_cast<std::size_t>(op.m * cols) * sizeof(float));
+  for (std::int64_t i = 0; i < op.idx_n; ++i) {
+    std::memcpy(op.out + op.idx[i] * cols, op.in0 + i * cols,
+                static_cast<std::size_t>(cols) * sizeof(float));
+  }
+}
+
+void RunRepeatRow(const ReplayOp& op) {
+  const std::int64_t cols = op.k;
+  for (std::int64_t i = 0; i < op.m; ++i) {
+    std::memcpy(op.out + i * cols, op.in0,
+                static_cast<std::size_t>(cols) * sizeof(float));
+  }
+}
+
+void RunScaleSoftmax(const ReplayOp& op) {
+  const std::int64_t cols = op.k;
+  kn::ForEachRowChunk(op.m, cols, [&op, cols](std::int64_t r0,
+                                              std::int64_t r1) {
+    float* tmp = op.scratch + (r0 / op.grain) * cols;
+    for (std::int64_t r = r0; r < r1; ++r) {
+      kn::ScaleSoftmaxRow(op.in0 + r * cols, op.out + r * cols, cols,
+                          op.scalar, tmp);
+    }
+  });
+}
+
+void RunLayerNorm(const ReplayOp& op) {
+  const std::int64_t cols = op.k;
+  kn::ForEachRowChunk(op.m, cols, [&op, cols](std::int64_t r0,
+                                              std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      float mean = 0.0f;
+      float inv_std = 0.0f;
+      kn::LayerNormRow(op.in0 + r * cols, op.in1, op.in2, cols, op.scalar,
+                       op.out + r * cols, &mean, &inv_std);
+    }
+  });
+}
+
+void RunPosEncAdd(const ReplayOp& op) {
+  const std::int64_t dim = op.k;
+  for (std::int64_t i = 0; i < op.m; ++i) {
+    const float* pe_row = op.pe + op.idx[i] * dim;
+    const float* x = op.in0 + i * dim;
+    float* out = op.out + i * dim;
+    // Same operand order as the eager gather-then-AddInPlace: pe + x.
+    for (std::int64_t d = 0; d < dim; ++d) out[d] = pe_row[d] + x[d];
+  }
+}
+
+void RunSymKlPerRow(const ReplayOp& op) {
+  const std::int64_t cols = op.k;
+  kn::ForEachRowChunk(op.m, cols, [&op, cols](std::int64_t r0,
+                                              std::int64_t r1) {
+    float* tmp = op.scratch + (r0 / op.grain) * 2 * cols;
+    for (std::int64_t r = r0; r < r1; ++r) {
+      op.out[r] = kn::SymmetricKlRow(op.in0 + r * cols, op.in1 + r * cols,
+                                     cols, tmp, tmp + cols);
+    }
+  });
+}
+
+// ---- Memory planner --------------------------------------------------------
+
+/// Best-fit offset allocator over a single arena. Free blocks coalesce with
+/// their neighbors; the arena grows only when no free block fits, so the
+/// final size is the lifetime-aware high-water mark.
+class ArenaPlanner {
+ public:
+  std::int64_t Alloc(std::int64_t floats) {
+    floats = Align(floats);
+    int best = -1;
+    for (int i = 0; i < static_cast<int>(free_.size()); ++i) {
+      if (free_[i].floats >= floats &&
+          (best < 0 || free_[i].floats < free_[best].floats)) {
+        best = i;
+      }
+    }
+    if (best >= 0) {
+      const std::int64_t offset = free_[best].offset;
+      free_[best].offset += floats;
+      free_[best].floats -= floats;
+      if (free_[best].floats == 0) {
+        free_.erase(free_.begin() + best);
+      }
+      return offset;
+    }
+    const std::int64_t offset = end_;
+    end_ += floats;
+    return offset;
+  }
+
+  void Free(std::int64_t offset, std::int64_t floats) {
+    floats = Align(floats);
+    Block block{offset, floats};
+    auto pos = std::lower_bound(
+        free_.begin(), free_.end(), block,
+        [](const Block& a, const Block& b) { return a.offset < b.offset; });
+    pos = free_.insert(pos, block);
+    // Coalesce with the successor, then the predecessor.
+    auto next = pos + 1;
+    if (next != free_.end() && pos->offset + pos->floats == next->offset) {
+      pos->floats += next->floats;
+      free_.erase(next);
+    }
+    if (pos != free_.begin()) {
+      auto prev = pos - 1;
+      if (prev->offset + prev->floats == pos->offset) {
+        prev->floats += pos->floats;
+        free_.erase(pos);
+      }
+    }
+  }
+
+  std::int64_t total_floats() const { return end_; }
+
+ private:
+  struct Block {
+    std::int64_t offset;
+    std::int64_t floats;
+  };
+  static std::int64_t Align(std::int64_t floats) {
+    return (floats + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+  }
+
+  std::vector<Block> free_;  // sorted by offset
+  std::int64_t end_ = 0;
+};
+
+/// Per-op scratch requirement (floats) and the row grain its region is
+/// indexed by. Zero for ops without temporaries.
+std::pair<std::int64_t, std::int64_t> ScratchFloats(const cap::CapturedOp& op) {
+  if (op.kind == cap::OpKind::kScaleSoftmax ||
+      op.kind == cap::OpKind::kSymKlPerRow) {
+    const std::int64_t rows = op.attrs[0];
+    const std::int64_t cols = op.attrs[1];
+    const std::int64_t grain = kn::RowChunkGrain(cols);
+    const std::int64_t chunks = (rows + grain - 1) / grain;
+    const std::int64_t per_chunk =
+        op.kind == cap::OpKind::kSymKlPerRow ? 2 * cols : cols;
+    return {chunks * per_chunk, grain};
+  }
+  return {0, 1};
+}
+
+}  // namespace
+
+// ---- State -----------------------------------------------------------------
+
+struct InferencePlan::State {
+  // Geometry the plan was compiled for (Matches()).
+  std::int64_t length = 0;
+  std::int64_t num_features = 0;
+  std::int64_t unmasked_count = 0;
+  std::int64_t masked_count = 0;
+  std::int64_t freq_count = 0;
+  std::int64_t score_rows = 0;
+
+  // The arena: ONE pool allocation, ONE logical MemoryStats record.
+  std::shared_ptr<float[]> arena;
+  std::int64_t arena_floats = 0;
+
+  std::vector<Tensor> params;  ///< keeps weight storage alive
+  std::map<std::int64_t, std::vector<float>> pe_tables;  ///< dim -> [T, dim]
+  std::vector<std::vector<std::int64_t>> index_snapshots;
+
+  std::vector<ReplayOp> ops;
+  struct BindInput {
+    cap::InputTag tag;
+    float* dst;
+    std::int64_t numel;
+  };
+  std::vector<BindInput> inputs;
+  std::vector<int> dyn_idx_ops;  ///< op indices whose idx rebinds per window
+  int terminal = -1;             ///< index of the kSymKlPerRow op
+};
+
+InferencePlan::InferencePlan() = default;
+
+InferencePlan::~InferencePlan() {
+  if (state_ != nullptr && state_->arena != nullptr) {
+    MemoryStats::RecordFree(
+        static_cast<std::size_t>(state_->arena_floats) * sizeof(float));
+  }
+}
+
+// ---- Capture ---------------------------------------------------------------
+
+std::unique_ptr<InferencePlan> InferencePlan::Capture(
+    const TfmaeModel& model, const MaskedWindow& example,
+    std::vector<float>* eager_scores, std::string* error) {
+  TFMAE_CHECK(eager_scores != nullptr);
+  TFMAE_TRACE("infer.plan.capture");
+  const auto t0 = std::chrono::steady_clock::now();
+  auto fail = [error](const std::string& reason)
+      -> std::unique_ptr<InferencePlan> {
+    if (error != nullptr) *error = reason;
+    TFMAE_COUNTER_ADD("infer.plan.capture_failures", 1);
+    return nullptr;
+  };
+
+  // 1. Trace the eager scoring pass. The recorder keeps every noted tensor
+  // alive, so node identity is stable for the duration.
+  cap::Recorder recorder;
+  for (const Tensor& p : model.Parameters()) recorder.AddParameter(p);
+  recorder.TagIndexVector(&example.temporal.unmasked,
+                          cap::IndexTag::kTemporalUnmasked);
+  recorder.TagIndexVector(&example.temporal.masked,
+                          cap::IndexTag::kTemporalMasked);
+  *eager_scores = model.ScoreWindow(example);
+  if (!recorder.ok()) return fail("capture: " + recorder.error());
+  if (recorder.score_rows() < 0) return fail("capture: no terminal score op");
+
+  const std::vector<cap::NodeInfo>& nodes = recorder.nodes();
+  std::vector<cap::CapturedOp> captured = recorder.ops();
+
+  auto plan = std::unique_ptr<InferencePlan>(new InferencePlan());
+  plan->stats_.captured_ops = static_cast<std::int64_t>(captured.size());
+  auto state = std::make_unique<State>();
+  state->length = example.length;
+  state->num_features = example.num_features;
+  state->unmasked_count =
+      static_cast<std::int64_t>(example.temporal.unmasked.size());
+  state->masked_count =
+      static_cast<std::int64_t>(example.temporal.masked.size());
+  state->freq_count = static_cast<std::int64_t>(example.frequency.size());
+  state->score_rows = recorder.score_rows();
+  state->params = recorder.parameters();
+
+  TFMAE_TRACE("infer.plan.build");
+
+  // 2. Reshape elision: rewrite inputs to canonical value nodes, drop the
+  // reshape ops. A canonical node owns the storage for every alias.
+  std::vector<int> alias(nodes.size());
+  for (int i = 0; i < static_cast<int>(alias.size()); ++i) alias[i] = i;
+  std::vector<cap::CapturedOp> prog;
+  prog.reserve(captured.size());
+  for (cap::CapturedOp& op : captured) {
+    for (int& in : op.inputs) in = alias[in];
+    if (op.kind == cap::OpKind::kReshape) {
+      alias[op.output] = op.inputs[0];
+      ++plan->stats_.elided_reshapes;
+      continue;
+    }
+    prog.push_back(std::move(op));
+  }
+
+  // 3. Fusion: fold single-use binary producers into their consuming binary
+  // op. Only when producer and consumer have equal element counts — the
+  // spliced steps must be indexable by the consumer's element index.
+  std::vector<int> uses(nodes.size(), 0);
+  for (const cap::CapturedOp& op : prog) {
+    for (int in : op.inputs) ++uses[in];
+  }
+  struct Program {
+    std::vector<FusedStep> steps;
+    std::vector<int> ext;  // canonical node ids
+  };
+  std::vector<Program> programs(prog.size());
+  std::vector<bool> folded(prog.size(), false);
+  std::unordered_map<int, int> producer_of;  // output node -> prog index
+  for (int i = 0; i < static_cast<int>(prog.size()); ++i) {
+    const cap::CapturedOp& op = prog[i];
+    if (op.kind != cap::OpKind::kBinary) continue;
+    Program pr;
+    auto operand = [&](int node) -> int {
+      auto it = producer_of.find(node);
+      if (it != producer_of.end() && uses[node] == 1 &&
+          nodes[node].numel == nodes[op.output].numel) {
+        const Program& sub = programs[it->second];
+        if (static_cast<int>(pr.steps.size() + sub.steps.size()) <
+            kMaxFusedSteps) {
+          const int ext_base = static_cast<int>(pr.ext.size());
+          const int step_base = static_cast<int>(pr.steps.size());
+          pr.ext.insert(pr.ext.end(), sub.ext.begin(), sub.ext.end());
+          for (const FusedStep& st : sub.steps) {
+            FusedStep moved = st;
+            moved.lhs = st.lhs >= 0 ? st.lhs + ext_base
+                                    : st.lhs - step_base;
+            moved.rhs = st.rhs >= 0 ? st.rhs + ext_base
+                                    : st.rhs - step_base;
+            pr.steps.push_back(moved);
+          }
+          folded[it->second] = true;
+          return -static_cast<int>(pr.steps.size());  // last spliced step
+        }
+      }
+      pr.ext.push_back(node);
+      return static_cast<int>(pr.ext.size()) - 1;
+    };
+    const int a = operand(op.inputs[0]);
+    const int b = operand(op.inputs[1]);
+    pr.steps.push_back(
+        {static_cast<kn::BinaryKind>(op.attrs[0]), a, b});
+    programs[i] = std::move(pr);
+    producer_of[op.output] = i;
+  }
+
+  // Live ops and their effective inputs (fused binaries read their external
+  // operand set, not the original two inputs).
+  std::vector<int> live;
+  for (int i = 0; i < static_cast<int>(prog.size()); ++i) {
+    if (folded[i]) {
+      ++plan->stats_.fused_ops;
+      continue;
+    }
+    live.push_back(i);
+  }
+  auto effective_inputs = [&](int pi) -> const std::vector<int>& {
+    return prog[pi].kind == cap::OpKind::kBinary ? programs[pi].ext
+                                                 : prog[pi].inputs;
+  };
+
+  // 4. Lifetime analysis + arena layout. def/last are indices into `live`;
+  // inputs are bound before op 0 (def -1) and terminal scores leave through
+  // the caller's buffer.
+  const int nops = static_cast<int>(live.size());
+  std::vector<int> def(nodes.size(), -2), last(nodes.size(), -2);
+  for (int j = 0; j < nops; ++j) {
+    const cap::CapturedOp& op = prog[live[j]];
+    for (int in : effective_inputs(live[j])) {
+      if (nodes[in].kind == cap::NodeKind::kIntermediate ||
+          nodes[in].kind == cap::NodeKind::kInput) {
+        last[in] = std::max(last[in], j);
+      }
+    }
+    if (op.output >= 0) def[op.output] = j;
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].kind == cap::NodeKind::kInput && alias[i] == static_cast<int>(i)) {
+      def[i] = -1;
+    }
+  }
+
+  ArenaPlanner planner;
+  std::vector<std::int64_t> offset(nodes.size(), -1);
+  std::vector<std::int64_t> scratch_offset(nops, -1);
+  std::vector<std::int64_t> scratch_size(nops, 0);
+  auto alloc_node = [&](int node) {
+    offset[node] = planner.Alloc(nodes[node].numel);
+    ++plan->stats_.slots;
+  };
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (def[i] == -1) alloc_node(static_cast<int>(i));
+  }
+  for (int j = 0; j < nops; ++j) {
+    const cap::CapturedOp& op = prog[live[j]];
+    const std::int64_t sfloats = ScratchFloats(op).first;
+    if (sfloats > 0) {
+      scratch_offset[j] = planner.Alloc(sfloats);
+      scratch_size[j] = sfloats;
+      ++plan->stats_.slots;
+    }
+    if (op.output >= 0) {
+      alloc_node(op.output);
+      if (last[op.output] < j) last[op.output] = j;  // unread output
+    }
+    // Frees happen after op j: scratch immediately, operands at last use.
+    if (scratch_offset[j] >= 0) planner.Free(scratch_offset[j], sfloats);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (last[i] == j && offset[i] >= 0 &&
+          (nodes[i].kind == cap::NodeKind::kIntermediate ||
+           nodes[i].kind == cap::NodeKind::kInput)) {
+        planner.Free(offset[i], nodes[i].numel);
+        last[i] = -3;  // freed
+      }
+    }
+  }
+
+  state->arena_floats = std::max<std::int64_t>(planner.total_floats(), 1);
+  state->arena = pool::Acquire(state->arena_floats);
+  const std::int64_t arena_bytes =
+      state->arena_floats * static_cast<std::int64_t>(sizeof(float));
+  MemoryStats::RecordAlloc(static_cast<std::size_t>(arena_bytes));
+  plan->stats_.arena_bytes = arena_bytes;
+  float* arena = state->arena.get();
+
+  // 5. Positional-encoding tables (pure function of (length, dim); a
+  // longer table's prefix equals the shorter one, so the plan's private
+  // table matches the eager path's cache bit-for-bit).
+  for (int j = 0; j < nops; ++j) {
+    const cap::CapturedOp& op = prog[live[j]];
+    if (op.kind != cap::OpKind::kPosEncAdd) continue;
+    const std::int64_t dim = op.attrs[1];
+    if (state->pe_tables.count(dim) != 0) continue;
+    Tensor table = nn::SinusoidalPositionalEncoding(state->length, dim);
+    state->pe_tables[dim].assign(table.data(),
+                                 table.data() + table.numel());
+  }
+
+  // 6. Resolve every live op into a ReplayOp.
+  auto node_ptr = [&](int node) -> float* {
+    const cap::NodeInfo& info = nodes[node];
+    if (info.kind == cap::NodeKind::kWeight) {
+      return state->params[static_cast<std::size_t>(info.weight_index)].data();
+    }
+    TFMAE_CHECK_MSG(offset[node] >= 0, "plan: node without storage");
+    return arena + offset[node];
+  };
+  auto bind_indices = [&](ReplayOp* rop, const cap::CapturedOp& op,
+                          int op_index) {
+    if (op.index_tag == cap::IndexTag::kTemporalUnmasked) {
+      rop->dyn = 0;
+      state->dyn_idx_ops.push_back(op_index);
+    } else if (op.index_tag == cap::IndexTag::kTemporalMasked) {
+      rop->dyn = 1;
+      state->dyn_idx_ops.push_back(op_index);
+    } else {
+      state->index_snapshots.push_back(op.indices);
+      rop->idx = state->index_snapshots.back().data();
+    }
+  };
+
+  state->ops.reserve(static_cast<std::size_t>(nops));
+  // index_snapshots must never reallocate once pointers are taken.
+  state->index_snapshots.reserve(static_cast<std::size_t>(nops));
+  for (int j = 0; j < nops; ++j) {
+    const cap::CapturedOp& op = prog[live[j]];
+    ReplayOp rop;
+    if (op.output >= 0) {
+      rop.out = node_ptr(op.output);
+      rop.out_n = nodes[op.output].numel;
+    }
+    switch (op.kind) {
+      case cap::OpKind::kBinary: {
+        const Program& pr = programs[live[j]];
+        if (pr.steps.size() == 1) {
+          rop.fn = RunBinary;
+          rop.m = op.attrs[0];  // BinaryKind
+          const int a = pr.steps[0].lhs;
+          const int b = pr.steps[0].rhs;
+          rop.in0 = node_ptr(pr.ext[a]);
+          rop.n0 = nodes[pr.ext[a]].numel;
+          rop.in1 = node_ptr(pr.ext[b]);
+          rop.n1 = nodes[pr.ext[b]].numel;
+        } else {
+          rop.fn = RunFused;
+          rop.nsteps = static_cast<int>(pr.steps.size());
+          TFMAE_CHECK(rop.nsteps <= kMaxFusedSteps &&
+                      static_cast<int>(pr.ext.size()) <= kMaxFusedExt);
+          for (int si = 0; si < rop.nsteps; ++si) rop.steps[si] = pr.steps[si];
+          for (int ei = 0; ei < static_cast<int>(pr.ext.size()); ++ei) {
+            rop.ext[ei] = node_ptr(pr.ext[ei]);
+            rop.ext_n[ei] = nodes[pr.ext[ei]].numel;
+          }
+        }
+        break;
+      }
+      case cap::OpKind::kBiasGelu:
+        rop.fn = RunBiasGelu;
+        rop.in0 = node_ptr(op.inputs[0]);
+        rop.in1 = node_ptr(op.inputs[1]);
+        rop.n1 = nodes[op.inputs[1]].numel;
+        break;
+      case cap::OpKind::kMatMul:
+        rop.fn = RunMatMul;
+        rop.in0 = node_ptr(op.inputs[0]);
+        rop.in1 = node_ptr(op.inputs[1]);
+        rop.m = op.attrs[0];
+        rop.k = op.attrs[1];
+        rop.n = op.attrs[2];
+        break;
+      case cap::OpKind::kBatchedMatMul:
+      case cap::OpKind::kBatchedMatMulBt:
+        rop.fn = op.kind == cap::OpKind::kBatchedMatMul ? RunBatchedMatMul
+                                                        : RunBatchedMatMulBt;
+        rop.in0 = node_ptr(op.inputs[0]);
+        rop.in1 = node_ptr(op.inputs[1]);
+        rop.batch = op.attrs[0];
+        rop.m = op.attrs[1];
+        rop.k = op.attrs[2];
+        rop.n = op.attrs[3];
+        break;
+      case cap::OpKind::kReshape:
+        TFMAE_CHECK_MSG(false, "plan: reshape survived elision");
+        break;
+      case cap::OpKind::kPermute3:
+        rop.fn = RunPermute3;
+        rop.in0 = node_ptr(op.inputs[0]);
+        for (int d = 0; d < 3; ++d) {
+          rop.pdims[d] = op.attrs[d];
+          rop.perm[d] = static_cast<int>(op.attrs[3 + d]);
+        }
+        break;
+      case cap::OpKind::kIndexRows:
+        rop.fn = RunIndexRows;
+        rop.in0 = node_ptr(op.inputs[0]);
+        rop.k = op.attrs[0];
+        rop.idx_n = rop.out_n / rop.k;
+        bind_indices(&rop, op, j);
+        break;
+      case cap::OpKind::kScatterRows:
+        rop.fn = RunScatterRows;
+        rop.in0 = node_ptr(op.inputs[0]);
+        rop.m = op.attrs[0];
+        rop.k = op.attrs[1];
+        rop.idx_n = nodes[op.inputs[0]].numel / rop.k;
+        bind_indices(&rop, op, j);
+        break;
+      case cap::OpKind::kRepeatRow:
+        rop.fn = RunRepeatRow;
+        rop.in0 = node_ptr(op.inputs[0]);
+        rop.m = op.attrs[0];
+        rop.k = op.attrs[1];
+        break;
+      case cap::OpKind::kScaleSoftmax:
+        rop.fn = RunScaleSoftmax;
+        rop.in0 = node_ptr(op.inputs[0]);
+        rop.m = op.attrs[0];
+        rop.k = op.attrs[1];
+        rop.scalar = op.scalar;
+        rop.scratch = arena + scratch_offset[j];
+        rop.grain = kn::RowChunkGrain(rop.k);
+        break;
+      case cap::OpKind::kLayerNorm:
+        rop.fn = RunLayerNorm;
+        rop.in0 = node_ptr(op.inputs[0]);
+        rop.in1 = node_ptr(op.inputs[1]);
+        rop.in2 = node_ptr(op.inputs[2]);
+        rop.m = op.attrs[0];
+        rop.k = op.attrs[1];
+        rop.scalar = op.scalar;
+        break;
+      case cap::OpKind::kPosEncAdd:
+        rop.fn = RunPosEncAdd;
+        rop.in0 = node_ptr(op.inputs[0]);
+        rop.m = op.attrs[0];
+        rop.k = op.attrs[1];
+        rop.pe = state->pe_tables.at(op.attrs[1]).data();
+        bind_indices(&rop, op, j);
+        break;
+      case cap::OpKind::kSymKlPerRow:
+        rop.fn = RunSymKlPerRow;
+        rop.in0 = node_ptr(op.inputs[0]);
+        rop.in1 = node_ptr(op.inputs[1]);
+        rop.m = op.attrs[0];
+        rop.k = op.attrs[1];
+        rop.scratch = arena + scratch_offset[j];
+        rop.grain = kn::RowChunkGrain(rop.k);
+        state->terminal = j;
+        break;
+    }
+    state->ops.push_back(rop);
+  }
+  plan->stats_.ops = static_cast<std::int64_t>(state->ops.size());
+
+  // Input binding table (values rebound every replay).
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].kind == cap::NodeKind::kInput &&
+        alias[i] == static_cast<int>(i)) {
+      state->inputs.push_back(
+          {nodes[i].input_tag, arena + offset[i], nodes[i].numel});
+    }
+  }
+
+  // From here on the plan owns the arena accounting (destructor records
+  // the free), so failure paths stay balanced.
+  const bool terminal_ok =
+      state->terminal == static_cast<int>(state->ops.size()) - 1;
+  plan->state_ = std::move(state);
+  if (!terminal_ok) return fail("plan: score op is not terminal");
+
+  // 7. Self-verification: one replay of the capture window must reproduce
+  // the eager scores bit-for-bit.
+  {
+    TFMAE_TRACE("infer.plan.verify");
+    std::vector<float> replayed;
+    plan->Score(example, &replayed);
+    if (replayed.size() != eager_scores->size() ||
+        std::memcmp(replayed.data(), eager_scores->data(),
+                    replayed.size() * sizeof(float)) != 0) {
+      return fail("plan: self-verification mismatch vs eager scores");
+    }
+  }
+  plan->stats_.replays = 0;
+
+  plan->stats_.capture_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  TFMAE_COUNTER_ADD("infer.plan.captures", 1);
+  TFMAE_GAUGE_SET("infer.plan.ops", plan->stats_.ops);
+  TFMAE_GAUGE_SET("infer.plan.arena_bytes", plan->stats_.arena_bytes);
+  return plan;
+}
+
+// ---- Replay ----------------------------------------------------------------
+
+bool InferencePlan::Matches(const MaskedWindow& window) const {
+  const State& s = *state_;
+  return window.length == s.length && window.num_features == s.num_features &&
+         static_cast<std::int64_t>(window.temporal.unmasked.size()) ==
+             s.unmasked_count &&
+         static_cast<std::int64_t>(window.temporal.masked.size()) ==
+             s.masked_count &&
+         static_cast<std::int64_t>(window.frequency.size()) == s.freq_count;
+}
+
+void InferencePlan::Score(const MaskedWindow& window,
+                          std::vector<float>* out) {
+  TFMAE_CHECK(out != nullptr && state_ != nullptr);
+  TFMAE_CHECK_MSG(Matches(window), "inference plan replayed on a window of "
+                                   "different geometry");
+  TFMAE_TRACE("infer.plan.replay");
+  State& s = *state_;
+
+  // Canary discipline (TFMAE_POOL_SCRUB=1): poison the whole arena between
+  // replays so a slot read before its op writes it fails loudly instead of
+  // silently reusing the previous window's values.
+  if (pool::ScrubEnabled()) {
+    std::fill(s.arena.get(), s.arena.get() + s.arena_floats,
+              std::numeric_limits<float>::quiet_NaN());
+  }
+
+  // Bind this window's dynamic state: input values and mask index vectors.
+  for (const State::BindInput& in : s.inputs) {
+    switch (in.tag) {
+      case cap::InputTag::kTemporalValues:
+        std::memcpy(in.dst, window.values.data(),
+                    static_cast<std::size_t>(in.numel) * sizeof(float));
+        break;
+      case cap::InputTag::kFreqBase:
+      case cap::InputTag::kFreqCos:
+      case cap::InputTag::kFreqSin: {
+        // Assemble the per-feature frequency columns directly into the
+        // arena slot — same values the eager path materializes into its
+        // FromData vectors.
+        const std::int64_t t_len = s.length;
+        const std::int64_t nf = s.num_features;
+        for (std::int64_t f = 0; f < nf; ++f) {
+          const auto& column = window.frequency[static_cast<std::size_t>(f)];
+          const std::vector<float>& src =
+              in.tag == cap::InputTag::kFreqBase
+                  ? column.base
+                  : (in.tag == cap::InputTag::kFreqCos ? column.cos_coef
+                                                       : column.sin_coef);
+          for (std::int64_t t = 0; t < t_len; ++t) {
+            in.dst[t * nf + f] = src[static_cast<std::size_t>(t)];
+          }
+        }
+        break;
+      }
+      case cap::InputTag::kNone:
+        TFMAE_CHECK_MSG(false, "plan: untagged input slot");
+    }
+  }
+  for (int j : s.dyn_idx_ops) {
+    ReplayOp& op = s.ops[static_cast<std::size_t>(j)];
+    const std::vector<std::int64_t>& idx =
+        op.dyn == 0 ? window.temporal.unmasked : window.temporal.masked;
+    op.idx = idx.data();
+  }
+
+  out->resize(static_cast<std::size_t>(s.score_rows));
+  s.ops[static_cast<std::size_t>(s.terminal)].out = out->data();
+
+  // TFMAE_PLAN_PROFILE=1 swaps the tight replay loop for a per-op timed
+  // variant that prints a breakdown of where replay time goes every 100
+  // replays (ops above 2% of the total). The timing wrappers perturb the
+  // loop, so the default path stays branch-free.
+  static const bool kProfile = std::getenv("TFMAE_PLAN_PROFILE") != nullptr;
+  if (kProfile) {
+    static std::vector<double> ns;
+    static std::vector<const ReplayOp*> which;
+    if (ns.size() < s.ops.size()) {
+      ns.resize(s.ops.size(), 0.0);
+      which.resize(s.ops.size());
+    }
+    for (std::size_t j = 0; j < s.ops.size(); ++j) {
+      const auto t0 = std::chrono::steady_clock::now();
+      s.ops[j].fn(s.ops[j]);
+      ns[j] += std::chrono::duration<double, std::nano>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+      which[j] = &s.ops[j];
+    }
+    if (stats_.replays > 0 && stats_.replays % 100 == 0) {
+      double total = 0;
+      for (double v : ns) total += v;
+      std::fprintf(stderr,
+                   "plan profile over %lld replays, total %.0f ns/replay\n",
+                   static_cast<long long>(stats_.replays),
+                   total / static_cast<double>(stats_.replays));
+      for (std::size_t j = 0; j < ns.size(); ++j) {
+        if (ns[j] / total > 0.02) {
+          std::fprintf(
+              stderr,
+              "  op[%zu] fn=%p out_n=%lld m=%lld k=%lld n=%lld batch=%lld"
+              " nsteps=%d  %.1f%%  %.0f ns\n",
+              j, reinterpret_cast<const void*>(which[j]->fn),
+              static_cast<long long>(which[j]->out_n),
+              static_cast<long long>(which[j]->m),
+              static_cast<long long>(which[j]->k),
+              static_cast<long long>(which[j]->n),
+              static_cast<long long>(which[j]->batch), which[j]->nsteps,
+              100.0 * ns[j] / total,
+              ns[j] / static_cast<double>(stats_.replays));
+        }
+      }
+    }
+  } else {
+    for (const ReplayOp& op : s.ops) op.fn(op);
+  }
+
+  ++stats_.replays;
+  TFMAE_COUNTER_ADD("infer.plan.replays", 1);
+}
+
+}  // namespace tfmae::core

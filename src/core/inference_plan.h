@@ -1,0 +1,84 @@
+// Pre-planned inference: capture once, replay forever (DESIGN.md §10).
+//
+// A trained TfmaeDetector scores every window of a series through the same
+// static graph — only the input VALUES and the dynamic mask index vectors
+// change from window to window. InferencePlan exploits that: one capture
+// pass records the scoring graph of TfmaeModel::ScoreWindow as a flat op
+// list (tensor/capture.h), a memory planner assigns every intermediate a
+// fixed offset in one pool-backed arena via lifetime analysis, and a replay
+// executor runs the plan as a tight loop over pre-resolved kernel pointers
+// — zero shared_ptr churn, zero autograd construction, zero dispatch
+// branching.
+//
+// Determinism contract: replay is bitwise-identical to the eager
+// ScoreWindow at any TFMAE_NUM_THREADS. Both paths call the same per-element
+// kernels (tensor/op_kernels.h) and cut parallel chunks at fixed boundaries
+// that depend only on element counts; Capture() additionally self-verifies
+// (one replay, memcmp against the captured eager scores) and returns null —
+// eager fallback — on any mismatch. A failed capture never produces a wrong
+// plan, only no plan.
+#ifndef TFMAE_CORE_INFERENCE_PLAN_H_
+#define TFMAE_CORE_INFERENCE_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+
+namespace tfmae::core {
+
+/// Build- and replay-time accounting, surfaced through the detector's
+/// ledger `plan` event and bench_micro --inference_plan_json.
+struct InferencePlanStats {
+  std::int64_t captured_ops = 0;  ///< ops recorded by the capture pass
+  std::int64_t ops = 0;           ///< ops in the final plan (after fusion)
+  std::int64_t fused_ops = 0;     ///< elementwise producers folded away
+  std::int64_t elided_reshapes = 0;  ///< reshapes turned into storage aliases
+  std::int64_t slots = 0;            ///< arena slots (inputs + intermediates)
+  std::int64_t arena_bytes = 0;      ///< one logical allocation, total size
+  double capture_ms = 0.0;           ///< wall-clock cost of Capture()
+  std::int64_t replays = 0;          ///< Score() calls served by this plan
+};
+
+/// A compiled scoring program for one window geometry.
+class InferencePlan {
+ public:
+  /// Captures the scoring graph by running the eager ScoreWindow under a
+  /// recorder, plans arena storage, pre-resolves kernels, and self-verifies
+  /// one replay against the eager result. The eager scores (the capture
+  /// window's answer) are returned through `eager_scores` whether or not
+  /// the capture succeeds, so the caller never computes a window twice.
+  /// Returns null — with a reason in `error` if non-null — whenever any op
+  /// is unsupported or the self-verification mismatches.
+  static std::unique_ptr<InferencePlan> Capture(
+      const TfmaeModel& model, const MaskedWindow& example,
+      std::vector<float>* eager_scores, std::string* error = nullptr);
+
+  ~InferencePlan();
+  InferencePlan(const InferencePlan&) = delete;
+  InferencePlan& operator=(const InferencePlan&) = delete;
+
+  /// True iff `window` has the geometry this plan was compiled for (length,
+  /// feature count, masked/unmasked counts). Index values and data values
+  /// may differ freely; a geometry change requires a fresh Capture().
+  bool Matches(const MaskedWindow& window) const;
+
+  /// Replays the plan on `window`. Writes the per-time-step scores into
+  /// `out` (resized once; steady-state calls perform zero tensor
+  /// allocations). Requires Matches(window).
+  void Score(const MaskedWindow& window, std::vector<float>* out);
+
+  const InferencePlanStats& stats() const { return stats_; }
+
+ private:
+  struct State;
+  InferencePlan();
+
+  InferencePlanStats stats_;
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace tfmae::core
+
+#endif  // TFMAE_CORE_INFERENCE_PLAN_H_

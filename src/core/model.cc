@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "tensor/capture.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -83,6 +84,7 @@ MaskedWindow TfmaeModel::PrepareWindow(const std::vector<float>& values,
 
 Tensor TfmaeModel::TemporalView(const MaskedWindow& window) const {
   const std::int64_t t_len = window.length;
+  ops::capture::TagNextInput(ops::capture::InputTag::kTemporalValues);
   Tensor input = Tensor::FromData({t_len, num_features_}, window.values);
 
   if (!config_.use_temporal_branch) {
@@ -128,6 +130,7 @@ Tensor TfmaeModel::FrequencyView(const MaskedWindow& window) const {
 
   if (!config_.use_frequency_branch) {
     // "w/o Fre": the view degrades to the decorated input projection.
+    ops::capture::TagNextInput(ops::capture::InputTag::kTemporalValues);
     Tensor input = Tensor::FromData({t_len, num_features_}, window.values);
     Tensor projected = frequency_proj_.Forward(input);
     return nn::AddPositionalEncoding(projected, AllPositions(t_len));
@@ -150,8 +153,11 @@ Tensor TfmaeModel::FrequencyView(const MaskedWindow& window) const {
       sin_coef[flat] = column.sin_coef[static_cast<std::size_t>(t)];
     }
   }
+  ops::capture::TagNextInput(ops::capture::InputTag::kFreqBase);
   Tensor base_t = Tensor::FromData({t_len, num_features_}, base);
+  ops::capture::TagNextInput(ops::capture::InputTag::kFreqCos);
   Tensor cos_t = Tensor::FromData({t_len, num_features_}, cos_coef);
+  ops::capture::TagNextInput(ops::capture::InputTag::kFreqSin);
   Tensor sin_t = Tensor::FromData({t_len, num_features_}, sin_coef);
   Tensor masked_series =
       ops::Add(base_t, ops::Add(ops::Mul(cos_t, frequency_token_re_),

@@ -206,6 +206,9 @@ std::optional<StreamingResult> StreamingDetector::Push(
     window_series.num_features = num_features_;
     window_series.values = buffer_;
     TFMAE_COUNTER_ADD("core.streaming.rescores", 1);
+    // Every rescore reuses the same window geometry, so after the first
+    // Score the detector's captured inference plan (DESIGN.md §10) replays
+    // allocation-free for the lifetime of the stream.
     const std::vector<float> scores = detector_->Score(window_series);
     // Emit the maximum over the segment scored fresh since the previous
     // rescore, so an anomaly anywhere inside the hop segment is surfaced.

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "tensor/capture.h"
 #include "util/logging.h"
 
 namespace tfmae::nn {
@@ -71,6 +72,7 @@ Tensor AddPositionalEncoding(const Tensor& x,
     // Inference fast path: fold x into the freshly gathered rows in place
     // (float addition is commutative, so this is bit-identical to Add).
     ops::AddInPlace(&rows, x);
+    ops::capture::NotePosEncAdd(x, positions, rows);
     return rows;
   }
   return ops::Add(x, rows);

@@ -363,6 +363,10 @@ std::string CanonicalEventStream(const LedgerFile& file) {
     out += event.type;
     out += '"';
     for (const auto& [key, value] : event.fields) {
+      // "t_"-prefixed fields are wall-clock measurements (e.g. the plan
+      // event's t_capture_ms); like "t", they are excluded from the
+      // thread-count-invariant canonical stream.
+      if (key.rfind("t_", 0) == 0) continue;
       out += ",\"";
       out += key;
       out += "\":";

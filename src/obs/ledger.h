@@ -30,10 +30,12 @@
 //    construction.
 //
 // Determinism contract: every event field except the wall-clock timestamp
-// "t" must be bitwise thread-count-invariant, exactly like count-typed
-// metrics (DESIGN.md §7). CanonicalEventStream() strips "t" (and the
-// per-line CRCs, which cover it); two runs of the same (data, config, seed)
-// produce byte-identical canonical streams at any TFMAE_NUM_THREADS.
+// "t" — and fields whose keys start with "t_", the convention for other
+// wall-clock measurements such as the plan event's t_capture_ms — must be
+// bitwise thread-count-invariant, exactly like count-typed metrics
+// (DESIGN.md §7). CanonicalEventStream() strips "t" and "t_*" (and the
+// per-line CRCs, which cover them); two runs of the same (data, config,
+// seed) produce byte-identical canonical streams at any TFMAE_NUM_THREADS.
 //
 // Gating matches the instrumentation macros: the Ledger class itself is
 // always compiled (tools and tests link it in any build), but the emission

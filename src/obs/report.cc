@@ -106,6 +106,13 @@ RunDigest DigestRun(const LedgerFile& file) {
       digest.histograms.push_back(event);
     } else if (event.type == "stream") {
       ++digest.stream_events;
+    } else if (event.type == "plan") {
+      ++digest.plan_captures;
+      digest.plan_ops = static_cast<std::int64_t>(event.Number("ops"));
+      digest.plan_fused_ops =
+          static_cast<std::int64_t>(event.Number("fused_ops"));
+      digest.plan_arena_bytes =
+          static_cast<std::int64_t>(event.Number("arena_bytes"));
     }
   }
   return digest;
@@ -167,6 +174,11 @@ std::string RenderRunReport(const LedgerFile& file,
   if (d.steps > 0) {
     out += "  loss: first " + Format("%.6g", d.first_loss) + " -> last " +
            Format("%.6g", d.last_loss) + "\n";
+  }
+  if (d.plan_captures > 0) {
+    out += "  inference plan: " + FormatI(d.plan_captures) + " capture(s), " +
+           FormatI(d.plan_ops) + " ops (" + FormatI(d.plan_fused_ops) +
+           " fused away), arena " + FormatI(d.plan_arena_bytes) + " B\n";
   }
   if (options.show_timing && d.last_t_us > d.first_t_us) {
     const double sec =

@@ -40,6 +40,11 @@ struct RunDigest {
   std::int64_t checkpoints_ok = 0;
   std::int64_t checkpoints_failed = 0;
   std::int64_t stream_events = 0;
+  std::int64_t plan_captures = 0;     ///< "plan" events (inference-plan
+                                      ///< captures) in the run
+  std::int64_t plan_ops = 0;          ///< replay ops of the last capture
+  std::int64_t plan_fused_ops = 0;    ///< ops fused away in the last capture
+  std::int64_t plan_arena_bytes = 0;  ///< arena size of the last capture
   double first_loss = 0.0;  ///< loss of the first step event
   double last_loss = 0.0;   ///< loss of the last step event
   /// (epoch, mean_loss) per epoch_end event, in order.

@@ -1,0 +1,344 @@
+#include "tensor/capture.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace tfmae::ops::capture {
+namespace {
+
+thread_local Recorder* g_recorder = nullptr;
+thread_local InputTag g_next_input_tag = InputTag::kNone;
+
+}  // namespace
+
+Recorder::Recorder() {
+  TFMAE_CHECK_MSG(g_recorder == nullptr,
+                  "nested capture recorders are not supported");
+  g_recorder = this;
+  g_next_input_tag = InputTag::kNone;
+}
+
+Recorder::~Recorder() {
+  g_recorder = nullptr;
+  g_next_input_tag = InputTag::kNone;
+}
+
+void Recorder::AddParameter(const Tensor& parameter) {
+  if (!parameter.defined()) return;
+  const int index = static_cast<int>(parameters_.size());
+  parameters_.push_back(parameter);
+  weight_of_[parameter.impl().get()] = index;
+}
+
+void Recorder::TagIndexVector(const std::vector<std::int64_t>* indices,
+                              IndexTag tag) {
+  index_tags_[indices] = tag;
+}
+
+void Recorder::Fail(const std::string& reason) {
+  if (error_.empty()) error_ = reason;
+}
+
+int Recorder::ResolveInput(const Tensor& t, const char* op) {
+  if (!t.defined()) {
+    Fail(std::string(op) + ": undefined input tensor");
+    return -1;
+  }
+  const TensorImpl* impl = t.impl().get();
+  auto found = node_of_.find(impl);
+  if (found != node_of_.end()) return found->second;
+  auto weight = weight_of_.find(impl);
+  if (weight != weight_of_.end()) {
+    const int id = static_cast<int>(nodes_.size());
+    NodeInfo info;
+    info.kind = NodeKind::kWeight;
+    info.shape = t.shape();
+    info.numel = t.numel();
+    info.weight_index = weight->second;
+    nodes_.push_back(std::move(info));
+    node_of_[impl] = id;
+    live_.push_back(t);
+    return id;
+  }
+  Fail(std::string(op) + ": input of unknown provenance");
+  return -1;
+}
+
+int Recorder::AddOutput(const Tensor& out) {
+  const int id = static_cast<int>(nodes_.size());
+  NodeInfo info;
+  info.kind = NodeKind::kIntermediate;
+  info.shape = out.shape();
+  info.numel = out.numel();
+  nodes_.push_back(std::move(info));
+  node_of_[out.impl().get()] = id;
+  live_.push_back(out);
+  return id;
+}
+
+void Recorder::BindIndices(CapturedOp* op,
+                           const std::vector<std::int64_t>& indices) {
+  auto found = index_tags_.find(&indices);
+  if (found != index_tags_.end()) {
+    op->index_tag = found->second;
+  } else {
+    // Unregistered vector (e.g. a full 0..T-1 range built on the fly):
+    // snapshot the values; they are part of the plan.
+    op->index_tag = IndexTag::kNone;
+    op->indices = indices;
+  }
+}
+
+void Recorder::OnFromData(const Tensor& out) {
+  const InputTag tag = g_next_input_tag;
+  g_next_input_tag = InputTag::kNone;
+  if (!ok()) return;
+  if (tag == InputTag::kNone) {
+    Fail("FromData: untagged external input during capture");
+    return;
+  }
+  const int id = static_cast<int>(nodes_.size());
+  NodeInfo info;
+  info.kind = NodeKind::kInput;
+  info.shape = out.shape();
+  info.numel = out.numel();
+  info.input_tag = tag;
+  nodes_.push_back(std::move(info));
+  node_of_[out.impl().get()] = id;
+  live_.push_back(out);
+}
+
+void Recorder::OnBinary(int binary_kind, const Tensor& a, const Tensor& b,
+                        const Tensor& out) {
+  if (!ok()) return;
+  CapturedOp op;
+  op.kind = OpKind::kBinary;
+  op.attrs = {binary_kind};
+  op.inputs = {ResolveInput(a, "Binary"), ResolveInput(b, "Binary")};
+  if (!ok()) return;
+  op.output = AddOutput(out);
+  ops_.push_back(std::move(op));
+}
+
+void Recorder::OnBiasGelu(const Tensor& x, const Tensor& bias,
+                          const Tensor& out) {
+  if (!ok()) return;
+  CapturedOp op;
+  op.kind = OpKind::kBiasGelu;
+  op.inputs = {ResolveInput(x, "BiasGelu"), ResolveInput(bias, "BiasGelu")};
+  if (!ok()) return;
+  op.output = AddOutput(out);
+  ops_.push_back(std::move(op));
+}
+
+void Recorder::OnMatMul(const Tensor& a, const Tensor& b, const Tensor& out) {
+  if (!ok()) return;
+  CapturedOp op;
+  op.kind = OpKind::kMatMul;
+  op.attrs = {a.dim(0), a.dim(1), b.dim(1)};
+  op.inputs = {ResolveInput(a, "MatMul"), ResolveInput(b, "MatMul")};
+  if (!ok()) return;
+  op.output = AddOutput(out);
+  ops_.push_back(std::move(op));
+}
+
+void Recorder::OnBatchedMatMul(const Tensor& a, const Tensor& b,
+                               const Tensor& out, bool transpose_b) {
+  if (!ok()) return;
+  CapturedOp op;
+  op.kind = transpose_b ? OpKind::kBatchedMatMulBt : OpKind::kBatchedMatMul;
+  const std::int64_t n = transpose_b ? b.dim(1) : b.dim(2);
+  op.attrs = {a.dim(0), a.dim(1), a.dim(2), n};
+  op.inputs = {ResolveInput(a, "BatchedMatMul"),
+               ResolveInput(b, "BatchedMatMul")};
+  if (!ok()) return;
+  op.output = AddOutput(out);
+  ops_.push_back(std::move(op));
+}
+
+void Recorder::OnReshape(const Tensor& x, const Tensor& out) {
+  if (!ok()) return;
+  CapturedOp op;
+  op.kind = OpKind::kReshape;
+  op.inputs = {ResolveInput(x, "Reshape")};
+  if (!ok()) return;
+  op.output = AddOutput(out);
+  ops_.push_back(std::move(op));
+}
+
+void Recorder::OnPermute3(const Tensor& x, const std::array<int, 3>& perm,
+                          const Tensor& out) {
+  if (!ok()) return;
+  CapturedOp op;
+  op.kind = OpKind::kPermute3;
+  op.attrs = {x.dim(0), x.dim(1), x.dim(2), perm[0], perm[1], perm[2]};
+  op.inputs = {ResolveInput(x, "Permute3")};
+  if (!ok()) return;
+  op.output = AddOutput(out);
+  ops_.push_back(std::move(op));
+}
+
+void Recorder::OnIndexRows(const Tensor& x,
+                           const std::vector<std::int64_t>& indices,
+                           const Tensor& out) {
+  if (!ok()) return;
+  CapturedOp op;
+  op.kind = OpKind::kIndexRows;
+  op.attrs = {x.dim(1)};
+  op.inputs = {ResolveInput(x, "IndexRows")};
+  if (!ok()) return;
+  BindIndices(&op, indices);
+  op.output = AddOutput(out);
+  ops_.push_back(std::move(op));
+}
+
+void Recorder::OnScatterRows(const Tensor& src,
+                             const std::vector<std::int64_t>& indices,
+                             std::int64_t total_rows, const Tensor& out) {
+  if (!ok()) return;
+  CapturedOp op;
+  op.kind = OpKind::kScatterRows;
+  op.attrs = {total_rows, src.dim(1)};
+  op.inputs = {ResolveInput(src, "ScatterRows")};
+  if (!ok()) return;
+  BindIndices(&op, indices);
+  op.output = AddOutput(out);
+  ops_.push_back(std::move(op));
+}
+
+void Recorder::OnRepeatRow(const Tensor& row, std::int64_t n,
+                           const Tensor& out) {
+  if (!ok()) return;
+  CapturedOp op;
+  op.kind = OpKind::kRepeatRow;
+  op.attrs = {n, out.dim(1)};
+  op.inputs = {ResolveInput(row, "RepeatRow")};
+  if (!ok()) return;
+  op.output = AddOutput(out);
+  ops_.push_back(std::move(op));
+}
+
+void Recorder::OnScaleSoftmax(const Tensor& x, float scale, const Tensor& out) {
+  if (!ok()) return;
+  CapturedOp op;
+  op.kind = OpKind::kScaleSoftmax;
+  const std::int64_t cols = x.shape().back();
+  op.attrs = {x.numel() / cols, cols};
+  op.scalar = scale;
+  op.inputs = {ResolveInput(x, "ScaleSoftmax")};
+  if (!ok()) return;
+  op.output = AddOutput(out);
+  ops_.push_back(std::move(op));
+}
+
+void Recorder::OnLayerNorm(const Tensor& x, const Tensor& gamma,
+                           const Tensor& beta, float eps, const Tensor& out) {
+  if (!ok()) return;
+  CapturedOp op;
+  op.kind = OpKind::kLayerNorm;
+  const std::int64_t cols = x.shape().back();
+  op.attrs = {x.numel() / cols, cols};
+  op.scalar = eps;
+  op.inputs = {ResolveInput(x, "LayerNorm"), ResolveInput(gamma, "LayerNorm"),
+               ResolveInput(beta, "LayerNorm")};
+  if (!ok()) return;
+  op.output = AddOutput(out);
+  ops_.push_back(std::move(op));
+}
+
+void Recorder::OnPosEncAdd(const Tensor& x,
+                           const std::vector<std::int64_t>& positions,
+                           const Tensor& out) {
+  if (!ok()) return;
+  CapturedOp op;
+  op.kind = OpKind::kPosEncAdd;
+  op.attrs = {x.dim(0), x.dim(1)};
+  op.inputs = {ResolveInput(x, "PosEncAdd")};
+  if (!ok()) return;
+  BindIndices(&op, positions);
+  op.output = AddOutput(out);
+  ops_.push_back(std::move(op));
+}
+
+void Recorder::OnSymKlPerRow(const Tensor& p, const Tensor& q) {
+  if (!ok()) return;
+  CapturedOp op;
+  op.kind = OpKind::kSymKlPerRow;
+  const std::int64_t cols = p.shape().back();
+  op.attrs = {p.numel() / cols, cols};
+  op.inputs = {ResolveInput(p, "SymKlPerRow"), ResolveInput(q, "SymKlPerRow")};
+  if (!ok()) return;
+  op.output = -1;
+  score_rows_ = op.attrs[0];
+  ops_.push_back(std::move(op));
+}
+
+void Recorder::OnUnsupported(const char* op) {
+  Fail(std::string(op) + ": no capture support");
+}
+
+bool Active() { return g_recorder != nullptr; }
+
+void TagNextInput(InputTag tag) {
+  if (g_recorder != nullptr) g_next_input_tag = tag;
+}
+
+#define TFMAE_CAPTURE_FORWARD(call) \
+  if (g_recorder != nullptr) g_recorder->call
+
+void NoteFromData(const Tensor& out) { TFMAE_CAPTURE_FORWARD(OnFromData(out)); }
+void NoteBinary(int binary_kind, const Tensor& a, const Tensor& b,
+                const Tensor& out) {
+  TFMAE_CAPTURE_FORWARD(OnBinary(binary_kind, a, b, out));
+}
+void NoteBiasGelu(const Tensor& x, const Tensor& bias, const Tensor& out) {
+  TFMAE_CAPTURE_FORWARD(OnBiasGelu(x, bias, out));
+}
+void NoteMatMul(const Tensor& a, const Tensor& b, const Tensor& out) {
+  TFMAE_CAPTURE_FORWARD(OnMatMul(a, b, out));
+}
+void NoteBatchedMatMul(const Tensor& a, const Tensor& b, const Tensor& out,
+                       bool transpose_b) {
+  TFMAE_CAPTURE_FORWARD(OnBatchedMatMul(a, b, out, transpose_b));
+}
+void NoteReshape(const Tensor& x, const Tensor& out) {
+  TFMAE_CAPTURE_FORWARD(OnReshape(x, out));
+}
+void NotePermute3(const Tensor& x, const std::array<int, 3>& perm,
+                  const Tensor& out) {
+  TFMAE_CAPTURE_FORWARD(OnPermute3(x, perm, out));
+}
+void NoteIndexRows(const Tensor& x, const std::vector<std::int64_t>& indices,
+                   const Tensor& out) {
+  TFMAE_CAPTURE_FORWARD(OnIndexRows(x, indices, out));
+}
+void NoteScatterRows(const Tensor& src,
+                     const std::vector<std::int64_t>& indices,
+                     std::int64_t total_rows, const Tensor& out) {
+  TFMAE_CAPTURE_FORWARD(OnScatterRows(src, indices, total_rows, out));
+}
+void NoteRepeatRow(const Tensor& row, std::int64_t n, const Tensor& out) {
+  TFMAE_CAPTURE_FORWARD(OnRepeatRow(row, n, out));
+}
+void NoteScaleSoftmax(const Tensor& x, float scale, const Tensor& out) {
+  TFMAE_CAPTURE_FORWARD(OnScaleSoftmax(x, scale, out));
+}
+void NoteLayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                   float eps, const Tensor& out) {
+  TFMAE_CAPTURE_FORWARD(OnLayerNorm(x, gamma, beta, eps, out));
+}
+void NotePosEncAdd(const Tensor& x, const std::vector<std::int64_t>& positions,
+                   const Tensor& out) {
+  TFMAE_CAPTURE_FORWARD(OnPosEncAdd(x, positions, out));
+}
+void NoteSymKlPerRow(const Tensor& p, const Tensor& q) {
+  TFMAE_CAPTURE_FORWARD(OnSymKlPerRow(p, q));
+}
+void NoteUnsupported(const char* op) {
+  TFMAE_CAPTURE_FORWARD(OnUnsupported(op));
+}
+
+#undef TFMAE_CAPTURE_FORWARD
+
+}  // namespace tfmae::ops::capture

@@ -1,0 +1,214 @@
+// Graph capture for the pre-planned inference executor (DESIGN.md §10).
+//
+// A Recorder installs itself as the calling thread's active capture context;
+// while it is active, every operator in the scoring graph reports its
+// (inputs, output, attributes) through the Note* hooks below. The recorder
+// resolves tensors to graph nodes by TensorImpl pointer identity — it keeps
+// a handle to every noted tensor alive for the duration of the capture, so
+// a recycled impl address can never be mistaken for an earlier node.
+//
+// The hooks are no-ops (one thread-local load) when no recorder is active
+// on the calling thread; the eager path is otherwise untouched. Capture is
+// strictly opportunistic: any tensor the recorder cannot attribute (an
+// untagged external input, an op with no hook) fails the capture with a
+// reason string, and the caller falls back to the eager path. A failed
+// capture never produces a wrong plan — only no plan.
+//
+// Layering: this header knows nothing about models or detectors. The plan
+// builder (core/inference_plan.cc) drives the Recorder and interprets the
+// captured program.
+#ifndef TFMAE_TENSOR_CAPTURE_H_
+#define TFMAE_TENSOR_CAPTURE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tfmae::ops::capture {
+
+/// Identity of a dynamic (per-replay) tensor input. The driver tags the
+/// next FromData call before the traced code creates the tensor.
+enum class InputTag {
+  kNone = 0,
+  kTemporalValues,  ///< raw window values, [T, N]
+  kFreqBase,        ///< frequency-mask base series, [T, N]
+  kFreqCos,         ///< frequency-mask cosine coefficients, [T, N]
+  kFreqSin,         ///< frequency-mask sine coefficients, [T, N]
+};
+
+/// Identity of a dynamic (per-replay) index vector, registered by address
+/// before capture; unregistered vectors are snapshotted as constants.
+enum class IndexTag {
+  kNone = 0,
+  kTemporalUnmasked,
+  kTemporalMasked,
+};
+
+/// Operator vocabulary of the captured program.
+enum class OpKind {
+  kBinary,          // attrs[0] = BinaryKind
+  kBiasGelu,
+  kMatMul,          // attrs = {m, k, n}
+  kBatchedMatMul,   // attrs = {batch, m, k, n}
+  kBatchedMatMulBt, // attrs = {batch, m, k, n}
+  kReshape,
+  kPermute3,        // attrs = {in0, in1, in2, perm0, perm1, perm2}
+  kIndexRows,       // attrs = {cols}
+  kScatterRows,     // attrs = {total_rows, cols}
+  kRepeatRow,       // attrs = {n, cols}
+  kScaleSoftmax,    // attrs = {rows, cols}; scalar = scale
+  kLayerNorm,       // attrs = {rows, cols}; scalar = eps
+  kPosEncAdd,       // attrs = {rows, dim}
+  kSymKlPerRow,     // attrs = {rows, cols}; terminal (scores output)
+};
+
+/// How a node's storage is produced.
+enum class NodeKind {
+  kIntermediate,  ///< written by a captured op
+  kInput,         ///< rebound per replay (InputTag)
+  kWeight,        ///< model parameter, stable across replays
+  kConstant,      ///< value snapshot taken at capture time
+};
+
+struct NodeInfo {
+  NodeKind kind = NodeKind::kIntermediate;
+  Shape shape;
+  std::int64_t numel = 0;
+  InputTag input_tag = InputTag::kNone;  ///< for kInput nodes
+  int weight_index = -1;                 ///< for kWeight nodes
+  std::vector<float> constant;           ///< for kConstant nodes
+};
+
+struct CapturedOp {
+  OpKind kind = OpKind::kBinary;
+  std::vector<int> inputs;  ///< node ids, operand order
+  int output = -1;          ///< node id (-1 for the kSymKlPerRow terminal)
+  std::vector<std::int64_t> attrs;
+  float scalar = 0.0f;
+  /// For index-consuming ops: the dynamic binding, or kNone with a
+  /// value snapshot in `indices`.
+  IndexTag index_tag = IndexTag::kNone;
+  std::vector<std::int64_t> indices;
+};
+
+/// Records one traced forward pass. Construction installs the recorder as
+/// the thread's active capture context; destruction uninstalls it. Exactly
+/// one recorder may be active per thread.
+class Recorder {
+ public:
+  Recorder();
+  ~Recorder();
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  // ---- Pre-capture setup ---------------------------------------------------
+
+  /// Registers a model parameter; tensors aliasing its storage resolve to a
+  /// weight node instead of failing the capture.
+  void AddParameter(const Tensor& parameter);
+
+  /// Registers a dynamic index vector by address (the traced code must pass
+  /// this exact object to the index-consuming ops).
+  void TagIndexVector(const std::vector<std::int64_t>* indices, IndexTag tag);
+
+  // ---- Results -------------------------------------------------------------
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+  const std::vector<NodeInfo>& nodes() const { return nodes_; }
+  const std::vector<CapturedOp>& ops() const { return ops_; }
+  const std::vector<Tensor>& parameters() const { return parameters_; }
+  /// Rows of the terminal kSymKlPerRow op (-1 until it was captured).
+  std::int64_t score_rows() const { return score_rows_; }
+
+  // ---- Hook implementation (called via the free functions below) ----------
+
+  void Fail(const std::string& reason);
+  void OnFromData(const Tensor& out);
+  void OnBinary(int binary_kind, const Tensor& a, const Tensor& b,
+                const Tensor& out);
+  void OnBiasGelu(const Tensor& x, const Tensor& bias, const Tensor& out);
+  void OnMatMul(const Tensor& a, const Tensor& b, const Tensor& out);
+  void OnBatchedMatMul(const Tensor& a, const Tensor& b, const Tensor& out,
+                       bool transpose_b);
+  void OnReshape(const Tensor& x, const Tensor& out);
+  void OnPermute3(const Tensor& x, const std::array<int, 3>& perm,
+                  const Tensor& out);
+  void OnIndexRows(const Tensor& x, const std::vector<std::int64_t>& indices,
+                   const Tensor& out);
+  void OnScatterRows(const Tensor& src,
+                     const std::vector<std::int64_t>& indices,
+                     std::int64_t total_rows, const Tensor& out);
+  void OnRepeatRow(const Tensor& row, std::int64_t n, const Tensor& out);
+  void OnScaleSoftmax(const Tensor& x, float scale, const Tensor& out);
+  void OnLayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                   float eps, const Tensor& out);
+  void OnPosEncAdd(const Tensor& x, const std::vector<std::int64_t>& positions,
+                   const Tensor& out);
+  void OnSymKlPerRow(const Tensor& p, const Tensor& q);
+  void OnUnsupported(const char* op);
+
+ private:
+  /// Node id for an op input: existing node, registered weight, or failure
+  /// (-1) for a tensor of unknown provenance.
+  int ResolveInput(const Tensor& t, const char* op);
+  /// Fresh intermediate node for an op output (keeps the tensor alive).
+  int AddOutput(const Tensor& out);
+  void BindIndices(CapturedOp* op, const std::vector<std::int64_t>& indices);
+
+  std::string error_;
+  std::vector<NodeInfo> nodes_;
+  std::vector<CapturedOp> ops_;
+  std::vector<Tensor> parameters_;
+  std::vector<Tensor> live_;  ///< keeps every noted impl alive (id stability)
+  std::unordered_map<const TensorImpl*, int> node_of_;
+  std::unordered_map<const TensorImpl*, int> weight_of_;
+  std::unordered_map<const std::vector<std::int64_t>*, IndexTag> index_tags_;
+  std::int64_t score_rows_ = -1;
+};
+
+/// True iff a recorder is active on this thread (cheap; the hooks use it).
+bool Active();
+
+/// Tags the next FromData call on this thread as the given dynamic input.
+/// Consumed by the next OnFromData; a no-op when no recorder is active.
+void TagNextInput(InputTag tag);
+
+// ---- Operator hooks --------------------------------------------------------
+//
+// Called by the eager ops after computing their output. All are no-ops
+// unless a recorder is active on this thread.
+
+void NoteFromData(const Tensor& out);
+void NoteBinary(int binary_kind, const Tensor& a, const Tensor& b,
+                const Tensor& out);
+void NoteBiasGelu(const Tensor& x, const Tensor& bias, const Tensor& out);
+void NoteMatMul(const Tensor& a, const Tensor& b, const Tensor& out);
+void NoteBatchedMatMul(const Tensor& a, const Tensor& b, const Tensor& out,
+                       bool transpose_b);
+void NoteReshape(const Tensor& x, const Tensor& out);
+void NotePermute3(const Tensor& x, const std::array<int, 3>& perm,
+                  const Tensor& out);
+void NoteIndexRows(const Tensor& x, const std::vector<std::int64_t>& indices,
+                   const Tensor& out);
+void NoteScatterRows(const Tensor& src,
+                     const std::vector<std::int64_t>& indices,
+                     std::int64_t total_rows, const Tensor& out);
+void NoteRepeatRow(const Tensor& row, std::int64_t n, const Tensor& out);
+void NoteScaleSoftmax(const Tensor& x, float scale, const Tensor& out);
+void NoteLayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                   float eps, const Tensor& out);
+void NotePosEncAdd(const Tensor& x, const std::vector<std::int64_t>& positions,
+                   const Tensor& out);
+void NoteSymKlPerRow(const Tensor& p, const Tensor& q);
+/// Any differentiable op without a dedicated hook calls this: it fails the
+/// capture (fallback to eager) instead of silently dropping the op.
+void NoteUnsupported(const char* op);
+
+}  // namespace tfmae::ops::capture
+
+#endif  // TFMAE_TENSOR_CAPTURE_H_

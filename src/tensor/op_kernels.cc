@@ -1,0 +1,63 @@
+#include "tensor/op_kernels.h"
+
+#include "tensor/ops_internal.h"
+#include "tensor/shape.h"
+#include "util/thread_pool.h"
+
+namespace tfmae::ops::kernels {
+
+namespace {
+// Coarse grain for batched replay elementwise ops: 4x the eager kElemGrain,
+// so a fused four-op chain dispatched once over coarse chunks creates ~16x
+// fewer pool handoffs than four eager ops at fine grain.
+constexpr std::int64_t kCoarseElemGrain = internal::kElemGrain * 4;
+}  // namespace
+
+void Permute3Forward(const float* in, float* out,
+                     const std::array<std::int64_t, 3>& in_shape,
+                     const std::array<int, 3>& perm) {
+  const Shape shape_vec = {in_shape[0], in_shape[1], in_shape[2]};
+  const auto in_strides = RowMajorStrides(shape_vec);
+  const std::int64_t d0 = in_shape[static_cast<std::size_t>(perm[0])];
+  const std::int64_t d1 = in_shape[static_cast<std::size_t>(perm[1])];
+  const std::int64_t d2 = in_shape[static_cast<std::size_t>(perm[2])];
+  std::int64_t idx = 0;
+  for (std::int64_t i = 0; i < d0; ++i) {
+    for (std::int64_t j = 0; j < d1; ++j) {
+      for (std::int64_t k = 0; k < d2; ++k) {
+        std::int64_t coords[3];
+        coords[perm[0]] = i;
+        coords[perm[1]] = j;
+        coords[perm[2]] = k;
+        out[idx++] = in[coords[0] * in_strides[0] + coords[1] * in_strides[1] +
+                        coords[2] * in_strides[2]];
+      }
+    }
+  }
+}
+
+void ForEachElemChunk(
+    std::int64_t n, const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  internal::ParallelElems(n, fn);
+}
+
+void ForEachElemChunkCoarse(
+    std::int64_t n, const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (n < internal::kParallelThreshold) {
+    fn(0, n);
+    return;
+  }
+  ParallelFor(0, n, kCoarseElemGrain, fn);
+}
+
+std::int64_t RowChunkGrain(std::int64_t cols) {
+  return internal::RowGrain(cols);
+}
+
+std::int64_t ForEachRowChunk(
+    std::int64_t rows, std::int64_t cols,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  return internal::ParallelRows(rows, cols, fn);
+}
+
+}  // namespace tfmae::ops::kernels

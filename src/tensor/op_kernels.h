@@ -1,0 +1,147 @@
+// Shared forward compute kernels.
+//
+// Every kernel here is the single source of truth for one operator's
+// forward arithmetic: the eager operator library (ops_basic.cc,
+// ops_reduce.cc, ops_shape.cc) and the pre-planned inference executor
+// (core/inference_plan.cc) both call these functions, so the two paths are
+// bitwise-identical by construction — there is no second copy of the
+// per-element math that could drift.
+//
+// Kernels are row- or range-level: parallel dispatch (and therefore chunk
+// layout) stays with the caller. The ForEach* helpers re-export the
+// deterministic dispatch used by the eager ops plus a coarser-grained
+// variant for the replay executor's batched elementwise ops; all of them
+// cut chunks at fixed boundaries that depend only on the element/row
+// counts, never the thread count (see util/thread_pool.h).
+#ifndef TFMAE_TENSOR_OP_KERNELS_H_
+#define TFMAE_TENSOR_OP_KERNELS_H_
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+
+namespace tfmae::ops::kernels {
+
+/// Elementwise binary operator selector, shared between the eager BinaryOp
+/// and captured/fused replay programs.
+enum class BinaryKind { kAdd = 0, kSub = 1, kMul = 2, kDiv = 3 };
+
+inline float ApplyBinary(BinaryKind kind, float x, float y) {
+  switch (kind) {
+    case BinaryKind::kAdd:
+      return x + y;
+    case BinaryKind::kSub:
+      return x - y;
+    case BinaryKind::kMul:
+      return x * y;
+    case BinaryKind::kDiv:
+      return x / y;
+  }
+  return 0.0f;
+}
+
+/// sqrt(2/pi), the tanh-approximation constant of the paper's GELU.
+constexpr float kGeluC = 0.7978845608028654f;
+
+inline float GeluApprox(float v) {
+  const float inner = kGeluC * (v + 0.044715f * v * v * v);
+  return 0.5f * v * (1.0f + std::tanh(inner));
+}
+
+/// One softmax row: out[j] = exp(in[j] - max) / sum. `in` and `out` may not
+/// alias.
+inline void SoftmaxRow(const float* in, float* out, std::int64_t cols) {
+  float max_v = in[0];
+  for (std::int64_t j = 1; j < cols; ++j) max_v = std::max(max_v, in[j]);
+  float sum = 0.0f;
+  for (std::int64_t j = 0; j < cols; ++j) {
+    out[j] = std::exp(in[j] - max_v);
+    sum += out[j];
+  }
+  const float inv = 1.0f / sum;
+  for (std::int64_t j = 0; j < cols; ++j) out[j] *= inv;
+}
+
+/// Softmax of a scaled row: materializes in[j] * scale into `tmp` (>= cols
+/// floats) first, so the arithmetic is exactly Softmax(Scale(x, scale)).
+inline void ScaleSoftmaxRow(const float* in, float* out, std::int64_t cols,
+                            float scale, float* tmp) {
+  for (std::int64_t j = 0; j < cols; ++j) tmp[j] = in[j] * scale;
+  SoftmaxRow(tmp, out, cols);
+}
+
+/// One layer-norm row with affine parameters. Writes the row mean and
+/// inverse std to *mean_out / *inv_std_out (the eager op caches them for
+/// backward; the replay executor passes locals).
+inline void LayerNormRow(const float* in, const float* gamma,
+                         const float* beta, std::int64_t cols, float eps,
+                         float* out, float* mean_out, float* inv_std_out) {
+  float mu = 0.0f;
+  for (std::int64_t j = 0; j < cols; ++j) mu += in[j];
+  mu /= static_cast<float>(cols);
+  float var = 0.0f;
+  for (std::int64_t j = 0; j < cols; ++j) {
+    const float d = in[j] - mu;
+    var += d * d;
+  }
+  var /= static_cast<float>(cols);
+  const float istd = 1.0f / std::sqrt(var + eps);
+  *mean_out = mu;
+  *inv_std_out = istd;
+  for (std::int64_t j = 0; j < cols; ++j) {
+    out[j] = (in[j] - mu) * istd * gamma[j] + beta[j];
+  }
+}
+
+/// Symmetric KL divergence between the softmax distributions of two logit
+/// rows (Eq. (16)). `p_tmp` / `q_tmp` are >= cols floats of scratch.
+inline float SymmetricKlRow(const float* p_in, const float* q_in,
+                            std::int64_t cols, float* p_tmp, float* q_tmp) {
+  constexpr float kFloor = 1e-12f;
+  SoftmaxRow(p_in, p_tmp, cols);
+  SoftmaxRow(q_in, q_tmp, cols);
+  double kl_pq = 0.0;
+  double kl_qp = 0.0;
+  for (std::int64_t j = 0; j < cols; ++j) {
+    const double pj = std::max(p_tmp[j], kFloor);
+    const double qj = std::max(q_tmp[j], kFloor);
+    kl_pq += pj * std::log(pj / qj);
+    kl_qp += qj * std::log(qj / pj);
+  }
+  return static_cast<float>(kl_pq + kl_qp);
+}
+
+/// Rank-3 permutation: out = transpose(in, perm) with in_shape the INPUT
+/// shape. Serial (the tensors involved are small; matches the eager op).
+void Permute3Forward(const float* in, float* out,
+                     const std::array<std::int64_t, 3>& in_shape,
+                     const std::array<int, 3>& perm);
+
+// ---- Deterministic parallel dispatch ---------------------------------------
+
+/// Same chunking as the eager elementwise ops (ops_internal.h
+/// ParallelElems): serial below the threshold, fixed kElemGrain chunks
+/// above.
+void ForEachElemChunk(std::int64_t n,
+                      const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+/// Coarser fixed-grain variant for the replay executor's batched/fused
+/// elementwise ops: fewer chunks means fewer pool handoffs per dispatch.
+/// Same serial threshold; chunk boundaries still depend only on n.
+void ForEachElemChunkCoarse(
+    std::int64_t n, const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+/// The row grain ParallelRows / ForEachRowChunk use for this row width.
+std::int64_t RowChunkGrain(std::int64_t cols);
+
+/// Same chunking as the eager row-wise ops (ops_internal.h ParallelRows).
+/// Returns the grain used, for chunk-indexed scratch regions.
+std::int64_t ForEachRowChunk(
+    std::int64_t rows, std::int64_t cols,
+    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+}  // namespace tfmae::ops::kernels
+
+#endif  // TFMAE_TENSOR_OP_KERNELS_H_

@@ -8,6 +8,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "tensor/capture.h"
+#include "tensor/op_kernels.h"
 #include "tensor/ops.h"
 #include "tensor/ops_internal.h"
 #include "tensor/pool.h"
@@ -89,7 +91,9 @@ using internal::ParallelElems;
 using internal::SetGraph;
 using internal::ShouldTrack;
 
-enum class BinaryKind { kAdd, kSub, kMul, kDiv };
+// The per-element arithmetic lives in op_kernels.h, shared with the
+// pre-planned inference executor (bitwise identity by construction).
+using kernels::BinaryKind;
 
 // Resolves the broadcast layout: `big` iterates fully, `small` repeats every
 // small->numel() elements. Returns (big, small, small_is_lhs).
@@ -152,22 +156,10 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryKind kind) {
     for (std::int64_t i = s; i < e; ++i) {
       const float x = small_lhs ? ps[i % small_n] : pb[i];
       const float y = small_lhs ? pb[i] : ps[i % small_n];
-      switch (kind) {
-        case BinaryKind::kAdd:
-          po[i] = x + y;
-          break;
-        case BinaryKind::kSub:
-          po[i] = x - y;
-          break;
-        case BinaryKind::kMul:
-          po[i] = x * y;
-          break;
-        case BinaryKind::kDiv:
-          po[i] = x / y;
-          break;
-      }
+      po[i] = kernels::ApplyBinary(kind, x, y);
     }
   });
+  capture::NoteBinary(static_cast<int>(kind), a, b, out);
 
   if (ShouldTrack({a, b})) {
     SetGraph(&out, BinaryOpName(kind), {a, b}, [a, b, kind](TensorImpl& self) {
@@ -241,6 +233,7 @@ Tensor UnaryOp(const Tensor& x, const char* op, float (*fwd)(float),
   ParallelElems(x.numel(), [=](std::int64_t s, std::int64_t e) {
     for (std::int64_t i = s; i < e; ++i) po[i] = fwd(px[i]);
   });
+  capture::NoteUnsupported(op);
   if (ShouldTrack({x})) {
     SetGraph(&out, op, {x}, [x, bwd](TensorImpl& self) {
       const float* grad = self.grad.get();
@@ -285,12 +278,9 @@ float BwdSigmoid(float v) {
   return s * (1.0f - s);
 }
 
-constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+using kernels::kGeluC;  // sqrt(2/pi)
 
-float FwdGelu(float v) {
-  const float inner = kGeluC * (v + 0.044715f * v * v * v);
-  return 0.5f * v * (1.0f + std::tanh(inner));
-}
+float FwdGelu(float v) { return kernels::GeluApprox(v); }
 float BwdGelu(float v) {
   const float inner = kGeluC * (v + 0.044715f * v * v * v);
   const float t = std::tanh(inner);
@@ -320,6 +310,7 @@ Tensor Scale(const Tensor& x, float c) {
   ParallelElems(x.numel(), [=](std::int64_t s, std::int64_t e) {
     for (std::int64_t i = s; i < e; ++i) po[i] = px[i] * c;
   });
+  capture::NoteUnsupported("Scale");
   if (ShouldTrack({x})) {
     SetGraph(&out, "Scale", {x}, [x, c](TensorImpl& self) {
       internal::AccumulateGradScaled(x, self.grad.get(), c);
@@ -335,6 +326,7 @@ Tensor AddScalar(const Tensor& x, float c) {
   ParallelElems(x.numel(), [=](std::int64_t s, std::int64_t e) {
     for (std::int64_t i = s; i < e; ++i) po[i] = px[i] + c;
   });
+  capture::NoteUnsupported("AddScalar");
   if (ShouldTrack({x})) {
     SetGraph(&out, "AddScalar", {x}, [x](TensorImpl& self) {
       internal::AccumulateGrad(x, self.grad.get());
@@ -392,6 +384,7 @@ Tensor BiasGelu(const Tensor& x, const Tensor& bias) {
       for (std::int64_t i = s; i < e; ++i) po[i] = FwdGelu(px[i] + pb[i % bn]);
     }
   });
+  capture::NoteBiasGelu(x, bias, out);
   if (track) {
     SetGraph(&out, "BiasGelu", {x, bias},
              [x, bias, tanh_cache](TensorImpl& self) {

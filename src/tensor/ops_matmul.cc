@@ -6,6 +6,7 @@
 // the thread count.
 #include <cstring>
 
+#include "tensor/capture.h"
 #include "tensor/gemm_kernels.h"
 #include "tensor/ops.h"
 #include "tensor/ops_internal.h"
@@ -33,6 +34,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                                      << ShapeToString(b.shape()));
   Tensor out = Tensor::Zeros({m, n});
   gemm::Gemm(a.data(), b.data(), out.data(), m, k, n);
+  capture::NoteMatMul(a, b, out);
 
   if (ShouldTrack({a, b})) {
     SetGraph(&out, "MatMul", {a, b}, [a, b, m, k, n](TensorImpl& self) {
@@ -68,6 +70,7 @@ Tensor BatchedMatMul(const Tensor& a, const Tensor& b) {
                       << ShapeToString(b.shape()));
   Tensor out = Tensor::Zeros({batch, m, n});
   gemm::BatchedGemm(a.data(), b.data(), out.data(), batch, m, k, n);
+  capture::NoteBatchedMatMul(a, b, out, /*transpose_b=*/false);
   if (ShouldTrack({a, b})) {
     SetGraph(&out, "BatchedMatMul", {a, b},
              [a, b, batch, m, k, n](TensorImpl& self) {
@@ -104,6 +107,7 @@ Tensor BatchedMatMulBt(const Tensor& a, const Tensor& b) {
                       << ShapeToString(b.shape()));
   Tensor out = Tensor::Zeros({batch, m, n});
   gemm::BatchedGemmBt(a.data(), b.data(), out.data(), batch, m, k, n);
+  capture::NoteBatchedMatMul(a, b, out, /*transpose_b=*/true);
   if (ShouldTrack({a, b})) {
     SetGraph(&out, "BatchedMatMulBt", {a, b},
              [a, b, batch, m, k, n](TensorImpl& self) {

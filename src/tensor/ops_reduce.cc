@@ -8,6 +8,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "tensor/capture.h"
+#include "tensor/op_kernels.h"
 #include "tensor/ops.h"
 #include "tensor/ops_internal.h"
 #include "tensor/pool.h"
@@ -32,17 +34,8 @@ void RowView(const Tensor& x, std::int64_t* rows, std::int64_t* cols) {
   *rows = x.numel() / *cols;
 }
 
-void SoftmaxRow(const float* in, float* out, std::int64_t cols) {
-  float max_v = in[0];
-  for (std::int64_t j = 1; j < cols; ++j) max_v = std::max(max_v, in[j]);
-  float sum = 0.0f;
-  for (std::int64_t j = 0; j < cols; ++j) {
-    out[j] = std::exp(in[j] - max_v);
-    sum += out[j];
-  }
-  const float inv = 1.0f / sum;
-  for (std::int64_t j = 0; j < cols; ++j) out[j] *= inv;
-}
+// Row-level arithmetic shared with the pre-planned inference executor.
+using kernels::SoftmaxRow;
 
 }  // namespace
 
@@ -69,6 +62,7 @@ Tensor SumAll(const Tensor& x) {
     for (std::int64_t c = 0; c < nchunks; ++c) total += pp[c];
     out.data()[0] = static_cast<float>(total);
   }
+  capture::NoteUnsupported("SumAll");
   if (ShouldTrack({x})) {
     SetGraph(&out, "SumAll", {x}, [x](TensorImpl& self) {
       if (!x.requires_grad()) return;
@@ -97,6 +91,7 @@ Tensor Softmax(const Tensor& x) {
       SoftmaxRow(px + r * cols, po + r * cols, cols);
     }
   });
+  capture::NoteUnsupported("Softmax");
   if (ShouldTrack({x})) {
     // The backward needs the output values y; they are reachable through
     // `self` (capturing the output Tensor here would create a shared_ptr
@@ -139,11 +134,10 @@ Tensor ScaleSoftmax(const Tensor& x, float scale) {
     pool::Scratch scaled(cols);
     float* ps = scaled.data();
     for (std::int64_t r = r0; r < r1; ++r) {
-      const float* in = px + r * cols;
-      for (std::int64_t j = 0; j < cols; ++j) ps[j] = in[j] * scale;
-      SoftmaxRow(ps, po + r * cols, cols);
+      kernels::ScaleSoftmaxRow(px + r * cols, po + r * cols, cols, scale, ps);
     }
   });
+  capture::NoteScaleSoftmax(x, scale, out);
   if (ShouldTrack({x})) {
     SetGraph(&out, "ScaleSoftmax", {x},
              [x, rows, cols, scale](TensorImpl& self) {
@@ -193,6 +187,7 @@ Tensor LogSoftmax(const Tensor& x) {
       for (std::int64_t j = 0; j < cols; ++j) o[j] = in[j] - log_sum;
     }
   });
+  capture::NoteUnsupported("LogSoftmax");
   if (ShouldTrack({x})) {
     SetGraph(&out, "LogSoftmax", {x}, [x, rows, cols](TensorImpl& self) {
       if (!x.requires_grad()) return;
@@ -238,25 +233,11 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   float* pinv = inv_std.data();
   ParallelRows(rows, cols, [=](std::int64_t r0, std::int64_t r1) {
     for (std::int64_t r = r0; r < r1; ++r) {
-      const float* in = px + r * cols;
-      float mu = 0.0f;
-      for (std::int64_t j = 0; j < cols; ++j) mu += in[j];
-      mu /= static_cast<float>(cols);
-      float var = 0.0f;
-      for (std::int64_t j = 0; j < cols; ++j) {
-        const float d = in[j] - mu;
-        var += d * d;
-      }
-      var /= static_cast<float>(cols);
-      const float istd = 1.0f / std::sqrt(var + eps);
-      pmean[r] = mu;
-      pinv[r] = istd;
-      float* o = po + r * cols;
-      for (std::int64_t j = 0; j < cols; ++j) {
-        o[j] = (in[j] - mu) * istd * pg[j] + pb[j];
-      }
+      kernels::LayerNormRow(px + r * cols, pg, pb, cols, eps, po + r * cols,
+                            pmean + r, pinv + r);
     }
   });
+  capture::NoteLayerNorm(x, gamma, beta, eps, out);
   if (ShouldTrack({x, gamma, beta})) {
     SetGraph(&out, "LayerNorm", {x, gamma, beta},
              [x, gamma, beta, mean, inv_std, rows, cols](TensorImpl& self) {
@@ -354,24 +335,15 @@ std::vector<float> SymmetricKlPerRow(const Tensor& p_logits,
   const float* pp = p_logits.data();
   const float* pq = q_logits.data();
   float* ps = scores.data();
-  constexpr float kFloor = 1e-12f;
   ParallelRows(rows, cols, [=](std::int64_t r0, std::int64_t r1) {
     pool::Scratch p(cols);
     pool::Scratch q(cols);
     for (std::int64_t r = r0; r < r1; ++r) {
-      SoftmaxRow(pp + r * cols, p.data(), cols);
-      SoftmaxRow(pq + r * cols, q.data(), cols);
-      double kl_pq = 0.0;
-      double kl_qp = 0.0;
-      for (std::int64_t j = 0; j < cols; ++j) {
-        const double pj = std::max(p.data()[j], kFloor);
-        const double qj = std::max(q.data()[j], kFloor);
-        kl_pq += pj * std::log(pj / qj);
-        kl_qp += qj * std::log(qj / pj);
-      }
-      ps[r] = static_cast<float>(kl_pq + kl_qp);
+      ps[r] = kernels::SymmetricKlRow(pp + r * cols, pq + r * cols, cols,
+                                      p.data(), q.data());
     }
   });
+  capture::NoteSymKlPerRow(p_logits, q_logits);
   return scores;
 }
 

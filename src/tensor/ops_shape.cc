@@ -1,6 +1,8 @@
 // Shape manipulation and row-indexing operators.
 #include <cstring>
 
+#include "tensor/capture.h"
+#include "tensor/op_kernels.h"
 #include "tensor/ops.h"
 #include "tensor/ops_internal.h"
 #include "tensor/pool.h"
@@ -20,6 +22,7 @@ Tensor Reshape(const Tensor& x, Shape shape) {
   Tensor out = Tensor::Empty(std::move(shape));
   std::memcpy(out.data(), x.data(),
               static_cast<std::size_t>(x.numel()) * sizeof(float));
+  capture::NoteReshape(x, out);
   if (ShouldTrack({x})) {
     SetGraph(&out, "Reshape", {x}, [x](TensorImpl& self) {
       internal::AccumulateGrad(x, self.grad.get());
@@ -36,22 +39,8 @@ Tensor Permute3(const Tensor& x, const std::array<int, 3>& perm) {
                      in[static_cast<std::size_t>(perm[1])],
                      in[static_cast<std::size_t>(perm[2])]};
   Tensor out = Tensor::Empty(out_shape);
-  const auto in_strides = RowMajorStrides(in);
-  const float* px = x.data();
-  float* po = out.data();
-  std::int64_t idx = 0;
-  for (std::int64_t i = 0; i < out_shape[0]; ++i) {
-    for (std::int64_t j = 0; j < out_shape[1]; ++j) {
-      for (std::int64_t k = 0; k < out_shape[2]; ++k) {
-        std::int64_t coords[3];
-        coords[perm[0]] = i;
-        coords[perm[1]] = j;
-        coords[perm[2]] = k;
-        po[idx++] = px[coords[0] * in_strides[0] + coords[1] * in_strides[1] +
-                       coords[2] * in_strides[2]];
-      }
-    }
-  }
+  kernels::Permute3Forward(x.data(), out.data(), {in[0], in[1], in[2]}, perm);
+  capture::NotePermute3(x, perm, out);
   if (ShouldTrack({x})) {
     SetGraph(&out, "Permute3", {x}, [x, perm, out_shape](TensorImpl& self) {
       if (!x.requires_grad()) return;
@@ -89,6 +78,7 @@ Tensor Transpose2(const Tensor& x) {
       po[j * m + i] = px[i * n + j];
     }
   }
+  capture::NoteUnsupported("Transpose2");
   if (ShouldTrack({x})) {
     SetGraph(&out, "Transpose2", {x}, [x, m, n](TensorImpl& self) {
       if (!x.requires_grad()) return;
@@ -118,6 +108,7 @@ Tensor IndexRows(const Tensor& x, const std::vector<std::int64_t>& indices) {
     std::memcpy(out.data() + i * cols, x.data() + r * cols,
                 static_cast<std::size_t>(cols) * sizeof(float));
   }
+  capture::NoteIndexRows(x, indices, out);
   if (ShouldTrack({x})) {
     SetGraph(&out, "IndexRows", {x}, [x, indices, cols](TensorImpl& self) {
       if (!x.requires_grad()) return;
@@ -151,6 +142,7 @@ Tensor ScatterRows(const Tensor& src, const std::vector<std::int64_t>& indices,
                 src.data() + static_cast<std::int64_t>(i) * cols,
                 static_cast<std::size_t>(cols) * sizeof(float));
   }
+  capture::NoteScatterRows(src, indices, total_rows, out);
   if (ShouldTrack({src})) {
     SetGraph(&out, "ScatterRows", {src}, [src, indices, cols](TensorImpl& self) {
       if (!src.requires_grad()) return;
@@ -180,6 +172,7 @@ Tensor RepeatRow(const Tensor& row, std::int64_t n) {
     std::memcpy(out.data() + i * cols, row.data(),
                 static_cast<std::size_t>(cols) * sizeof(float));
   }
+  capture::NoteRepeatRow(row, n, out);
   if (ShouldTrack({row})) {
     SetGraph(&out, "RepeatRow", {row}, [row, n, cols](TensorImpl& self) {
       if (!row.requires_grad()) return;
@@ -206,6 +199,7 @@ Tensor SliceRows(const Tensor& x, std::int64_t start, std::int64_t len) {
   Tensor out = Tensor::Empty({len, cols});
   std::memcpy(out.data(), x.data() + start * cols,
               static_cast<std::size_t>(len * cols) * sizeof(float));
+  capture::NoteUnsupported("SliceRows");
   if (ShouldTrack({x})) {
     SetGraph(&out, "SliceRows", {x}, [x, start, len, cols](TensorImpl& self) {
       if (!x.requires_grad()) return;
@@ -230,6 +224,7 @@ Tensor ConcatRows(const Tensor& a, const Tensor& b) {
               static_cast<std::size_t>(ra * cols) * sizeof(float));
   std::memcpy(out.data() + ra * cols, b.data(),
               static_cast<std::size_t>(rb * cols) * sizeof(float));
+  capture::NoteUnsupported("ConcatRows");
   if (ShouldTrack({a, b})) {
     SetGraph(&out, "ConcatRows", {a, b}, [a, b, ra, rb, cols](TensorImpl& self) {
       const float* grad = self.grad.get();
@@ -261,6 +256,7 @@ Tensor Im2Col(const Tensor& x, std::int64_t kernel_size) {
                   static_cast<std::size_t>(channels) * sizeof(float));
     }
   }
+  capture::NoteUnsupported("Im2Col");
   if (ShouldTrack({x})) {
     SetGraph(&out, "Im2Col", {x}, [x, kernel_size, t_len, channels,
                          half](TensorImpl& self) {

@@ -143,6 +143,8 @@ void SetScrubForTesting(bool on) {
   Instance().scrub.store(on, std::memory_order_relaxed);
 }
 
+bool ScrubEnabled() { return Instance().scrub.load(std::memory_order_relaxed); }
+
 void Trim() {
   Pool& pool = Instance();
   std::lock_guard<std::mutex> lock(pool.mu);
@@ -176,6 +178,15 @@ void ResetPeak() {
   pool.peak_outstanding_bytes.store(
       pool.outstanding_bytes.load(std::memory_order_relaxed),
       std::memory_order_relaxed);
+}
+
+void ResetCounters() {
+  Pool& pool = Instance();
+  pool.hits.store(0, std::memory_order_relaxed);
+  pool.misses.store(0, std::memory_order_relaxed);
+  pool.unpooled.store(0, std::memory_order_relaxed);
+  pool.releases.store(0, std::memory_order_relaxed);
+  ResetPeak();
 }
 
 Scratch::Scratch(std::int64_t numel, bool zero_fill)

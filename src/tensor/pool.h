@@ -86,6 +86,10 @@ void SetEnabled(bool on);
 /// TFMAE_POOL_SCRUB ("1" enables; default off).
 void SetScrubForTesting(bool on);
 
+/// True iff scrub-on-acquire is currently on. The pre-planned inference
+/// arena honors the same canary discipline between replays.
+bool ScrubEnabled();
+
 /// Frees every cached (idle) block. Outstanding buffers are untouched.
 void Trim();
 
@@ -94,6 +98,11 @@ PoolStats Stats();
 
 /// Resets peak_outstanding_bytes to the current outstanding level.
 void ResetPeak();
+
+/// Zeroes the monotone counters (hits, misses, unpooled, releases) and
+/// resets the peak like ResetPeak(). Benchmark sweeps call this per row so
+/// one row's churn cannot bleed into the next row's deltas.
+void ResetCounters();
 
 /// RAII scratch buffer for operator internals (backward partials, per-chunk
 /// workspaces). Replaces `std::vector<float>` on hot paths: the backing

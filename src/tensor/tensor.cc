@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "obs/trace.h"
+#include "tensor/capture.h"
 #include "tensor/pool.h"
 #include "util/logging.h"
 #include "util/memory.h"
@@ -77,6 +78,7 @@ Tensor Tensor::FromData(Shape shape, const std::vector<float>& values) {
                   "FromData size mismatch: " << values.size() << " values for "
                                              << ShapeToString(t.shape()));
   std::memcpy(t.data(), values.data(), values.size() * sizeof(float));
+  ops::capture::NoteFromData(t);
   return t;
 }
 
