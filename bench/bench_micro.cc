@@ -37,6 +37,14 @@
 // over an identical pre-prepared window batch at 1, 2 and 4 threads,
 // recording ns/window, allocations/window, the bitwise eager-vs-planned
 // comparison, and the 1T->4T scaling of the coarse elementwise dispatch.
+//
+// Run with --serving_json=PATH to load-generate the fleet-serving plane
+// (docs/SERVING.md): one shared detector serves 64/256/1024 concurrent
+// streams through serve::FleetServer at 1, 2 and 4 threads, recording
+// rows/sec, windows/sec, per-window latency quantiles and bytes/stream per
+// cell; verifying batched scores stay bitwise-identical to a sequential
+// per-stream StreamingDetector at every thread count; and comparing batched
+// throughput against the sequential wrapper (batch_efficiency_x).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -51,6 +59,7 @@
 
 #include "bench/bench_common.h"
 #include "core/detector.h"
+#include "core/streaming.h"
 #include "data/generator.h"
 #include "fft/fft.h"
 #include "masking/coefficient_of_variation.h"
@@ -62,6 +71,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/fleet_server.h"
 #include "tensor/gemm_kernels.h"
 #include "tensor/op_kernels.h"
 #include "tensor/ops.h"
@@ -1049,6 +1059,299 @@ int RunResilienceSweep(const std::string& path) {
   return (bitwise_identical && fault_drill_ok) ? 0 : 1;
 }
 
+// ---- fleet serving sweep (--serving_json=PATH) -----------------------------
+
+struct ServingSweepRow {
+  std::int64_t streams;
+  int threads;
+  double rows_per_sec;
+  double windows_per_sec;
+  double p50_window_us;
+  double p95_window_us;
+  double p99_window_us;
+  std::int64_t bytes_per_stream;
+  std::int64_t batches;
+  std::int64_t max_batch;
+};
+
+/// Load-generates the fleet-serving plane (docs/SERVING.md): one shared
+/// fitted detector serves `streams` concurrent StreamState fleets, replayed
+/// tick-major for a fixed row budget through serve::FleetServer at 1, 2 and
+/// 4 threads. Per cell: rows/sec, windows/sec, per-window score latency
+/// quantiles and bytes/stream. The summary verifies the serving contract —
+/// batched scores bitwise-identical to a sequential per-stream
+/// StreamingDetector at every thread count — and measures
+/// batch_efficiency_x, the batched-vs-sequential windows/sec ratio at one
+/// thread (two timings from the same process, so it is host-independent and
+/// gateable; absolute rows/sec are recorded but not gated).
+int RunServingSweep(const std::string& path) {
+  using clock = std::chrono::steady_clock;
+
+  // The serving geometry: same fast config as the inference-plan sweep (the
+  // planner's target regime), hop 8 so one window amortizes over 8 rows.
+  core::TfmaeConfig config;
+  config.window = 32;
+  config.model_dim = 32;
+  config.num_layers = 2;
+  config.num_heads = 4;
+  config.ff_hidden = 64;
+  config.epochs = 1;
+  config.stride = 64;
+  config.seed = 17;
+  config.per_window_normalization = false;
+
+  data::BaseSignalConfig signal;
+  signal.length = 2048;
+  signal.num_features = 4;
+  signal.seed = 20240605;
+  const data::TimeSeries series = data::GenerateBaseSignal(signal);
+
+  std::printf("fitting shared detector (W=%lld D=%lld L=%lld)...\n",
+              static_cast<long long>(config.window),
+              static_cast<long long>(config.model_dim),
+              static_cast<long long>(config.num_layers));
+  core::TfmaeDetector detector(config);
+  detector.Fit(series);
+  const std::vector<float> calibration = detector.Score(series);
+
+  core::StreamingOptions streaming;
+  streaming.window = 32;
+  streaming.hop = 8;
+
+  // 96 ticks/stream -> rescores at pushes 32, 40, ..., 96 = 9 windows per
+  // stream (clean synthetic data: no quarantine, cadence is exact).
+  const std::int64_t kRows = 96;
+  const std::int64_t kWindowsPerStream =
+      (kRows - streaming.window) / streaming.hop + 1;
+
+  // Deterministic fleet replay: every stream walks the same base signal at a
+  // stream-specific phase offset, so any two runs see byte-identical rows.
+  auto row_for = [&](std::int64_t stream, std::int64_t t) {
+    std::vector<float> row(static_cast<std::size_t>(series.num_features));
+    const std::int64_t idx = (t + 17 * stream) % series.length;
+    for (std::int64_t f = 0; f < series.num_features; ++f) {
+      row[static_cast<std::size_t>(f)] =
+          series.values[static_cast<std::size_t>(idx * series.num_features + f)];
+    }
+    return row;
+  };
+  auto bitwise_eq = [](const std::vector<float>& a,
+                       const std::vector<float>& b) {
+    return a.size() == b.size() &&
+           (a.empty() || std::memcmp(a.data(), b.data(),
+                                     a.size() * sizeof(float)) == 0);
+  };
+
+  // Sequential reference: the per-stream synchronous wrapper, one thread.
+  // Records the fresh tail score at each rescore push — exactly the scores
+  // FleetServer delivers via TakeResults for the same rows.
+  const std::int64_t kVerifyStreams = 8;
+  ThreadPool::Instance().SetNumThreads(1);
+  std::vector<std::vector<float>> reference(
+      static_cast<std::size_t>(kVerifyStreams));
+  for (std::int64_t s = 0; s < kVerifyStreams; ++s) {
+    core::StreamingDetector sd(&detector, streaming);
+    sd.CalibrateThreshold(calibration, 0.05);
+    for (std::int64_t t = 0; t < kRows; ++t) {
+      const auto r = sd.Push(row_for(s, t));
+      const std::int64_t push = t + 1;  // 1-based push index
+      const bool rescore = push >= streaming.window &&
+                           (push - streaming.window) % streaming.hop == 0;
+      if (r.has_value() && rescore) {
+        reference[static_cast<std::size_t>(s)].push_back(r->score);
+      }
+    }
+  }
+
+  const std::vector<int> thread_counts = {1, 2, 4};
+  bool batched_bitwise_identical = true;
+  for (int t : thread_counts) {
+    ThreadPool::Instance().SetNumThreads(t);
+    serve::FleetOptions fopts;
+    fopts.streaming = streaming;
+    fopts.max_streams = kVerifyStreams;
+    fopts.queue_capacity = 4096;
+    fopts.batch_max = 5;  // non-divisor of the fleet: batches straddle ticks
+    serve::FleetServer server(&detector, fopts);
+    server.CalibrateThreshold(calibration, 0.05);
+    for (std::int64_t s = 0; s < kVerifyStreams; ++s) server.OpenStream();
+    for (std::int64_t tick = 0; tick < kRows; ++tick) {
+      for (std::int64_t s = 0; s < kVerifyStreams; ++s) {
+        const std::vector<float> row = row_for(s, tick);
+        while (server.Push(s, row) == serve::AdmitStatus::kOverloaded) {
+          server.Flush();
+        }
+      }
+    }
+    server.Drain();
+    std::vector<std::vector<float>> got(
+        static_cast<std::size_t>(kVerifyStreams));
+    for (const serve::ScoredWindow& w : server.TakeResults()) {
+      got[static_cast<std::size_t>(w.stream)].push_back(w.score);
+    }
+    for (std::int64_t s = 0; s < kVerifyStreams; ++s) {
+      if (!bitwise_eq(got[static_cast<std::size_t>(s)],
+                      reference[static_cast<std::size_t>(s)])) {
+        batched_bitwise_identical = false;
+      }
+    }
+    std::printf("verify threads=%d  batched==sequential: %s\n", t,
+                batched_bitwise_identical ? "ok" : "MISMATCH");
+  }
+
+  // Sequential windows/sec at one thread (the batch-efficiency denominator):
+  // the same fleet replay, but each stream owns a synchronous wrapper.
+  const std::int64_t kEffStreams = 256;
+  ThreadPool::Instance().SetNumThreads(1);
+  double sequential_windows_per_sec = 0.0;
+  {
+    pool::ResetCounters();
+    std::vector<std::unique_ptr<core::StreamingDetector>> fleet;
+    for (std::int64_t s = 0; s < kEffStreams; ++s) {
+      fleet.push_back(
+          std::make_unique<core::StreamingDetector>(&detector, streaming));
+      fleet.back()->CalibrateThreshold(calibration, 0.05);
+    }
+    const auto t0 = clock::now();
+    for (std::int64_t tick = 0; tick < kRows; ++tick) {
+      for (std::int64_t s = 0; s < kEffStreams; ++s) {
+        (void)fleet[static_cast<std::size_t>(s)]->Push(row_for(s, tick));
+      }
+    }
+    const double sec =
+        std::chrono::duration<double>(clock::now() - t0).count();
+    sequential_windows_per_sec =
+        static_cast<double>(kEffStreams * kWindowsPerStream) / sec;
+    std::printf("sequential threads=1 streams=%lld  %9.0f windows/sec\n",
+                static_cast<long long>(kEffStreams),
+                sequential_windows_per_sec);
+  }
+
+  // The load matrix: streams x threads.
+  const std::vector<std::int64_t> stream_counts = {64, 256, 1024};
+  std::vector<ServingSweepRow> rows;
+  double serve_windows_per_sec_256_1t = 0.0;
+  double windows_per_sec_1t = 0.0;
+  std::int64_t bytes_per_stream = 0;
+  for (std::int64_t n : stream_counts) {
+    for (int t : thread_counts) {
+      ThreadPool::Instance().SetNumThreads(t);
+      // Per-cell stats reset (the bench-sweep discipline): earlier cells'
+      // churn must not inflate this cell's pool peaks.
+      pool::ResetCounters();
+      serve::FleetOptions fopts;
+      fopts.streaming = streaming;
+      fopts.max_streams = n;
+      fopts.queue_capacity = 4096;
+      fopts.batch_max = 64;
+      serve::FleetServer server(&detector, fopts);
+      server.CalibrateThreshold(calibration, 0.05);
+      for (std::int64_t s = 0; s < n; ++s) server.OpenStream();
+      const auto t0 = clock::now();
+      for (std::int64_t tick = 0; tick < kRows; ++tick) {
+        for (std::int64_t s = 0; s < n; ++s) {
+          const std::vector<float> row = row_for(s, tick);
+          while (server.Push(s, row) == serve::AdmitStatus::kOverloaded) {
+            server.Flush();
+          }
+        }
+      }
+      server.Drain();
+      const double sec =
+          std::chrono::duration<double>(clock::now() - t0).count();
+      (void)server.TakeResults();
+      const serve::ServeStats st = server.stats();
+      ServingSweepRow row;
+      row.streams = n;
+      row.threads = t;
+      row.rows_per_sec = static_cast<double>(n * kRows) / sec;
+      row.windows_per_sec = static_cast<double>(st.windows_scored) / sec;
+      row.p50_window_us = st.p50_window_ns * 1e-3;
+      row.p95_window_us = st.p95_window_ns * 1e-3;
+      row.p99_window_us = st.p99_window_ns * 1e-3;
+      row.bytes_per_stream = st.bytes_per_stream;
+      row.batches = st.batches;
+      row.max_batch = st.max_batch;
+      rows.push_back(row);
+      bytes_per_stream = st.bytes_per_stream;
+      if (t == 1 && n == kEffStreams) {
+        serve_windows_per_sec_256_1t = row.windows_per_sec;
+      }
+      if (t == 1 && n == stream_counts.back()) {
+        windows_per_sec_1t = row.windows_per_sec;
+      }
+      std::printf(
+          "streams=%-5lld threads=%d  %9.0f rows/sec  %8.0f windows/sec  "
+          "p50 %.0f us  p99 %.0f us  %lld bytes/stream\n",
+          static_cast<long long>(n), t, row.rows_per_sec,
+          row.windows_per_sec, row.p50_window_us, row.p99_window_us,
+          static_cast<long long>(row.bytes_per_stream));
+    }
+  }
+  const double batch_efficiency_x =
+      sequential_windows_per_sec > 0.0
+          ? serve_windows_per_sec_256_1t / sequential_windows_per_sec
+          : 0.0;
+  const int hw_cores =
+      static_cast<int>(std::thread::hardware_concurrency());
+  ThreadPool::Instance().SetNumThreads(1);
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"workload\": \"tfmae_fleet_serving\",\n");
+  std::fprintf(f,
+               "  \"shape\": \"W%lld_D%lld_L%lld_F%lld\",\n"
+               "  \"rows_per_stream\": %lld,\n  \"hop\": %lld,\n"
+               "  \"windows_per_stream\": %lld,\n",
+               static_cast<long long>(config.window),
+               static_cast<long long>(config.model_dim),
+               static_cast<long long>(config.num_layers),
+               static_cast<long long>(series.num_features),
+               static_cast<long long>(kRows),
+               static_cast<long long>(streaming.hop),
+               static_cast<long long>(kWindowsPerStream));
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ServingSweepRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"streams\": %lld, \"threads\": %d, "
+                 "\"rows_per_sec\": %.0f, \"windows_per_sec\": %.0f, "
+                 "\"p50_window_us\": %.1f, \"p95_window_us\": %.1f, "
+                 "\"p99_window_us\": %.1f, \"bytes_per_stream\": %lld, "
+                 "\"batches\": %lld, \"max_batch\": %lld}%s\n",
+                 static_cast<long long>(r.streams), r.threads,
+                 r.rows_per_sec, r.windows_per_sec, r.p50_window_us,
+                 r.p95_window_us, r.p99_window_us,
+                 static_cast<long long>(r.bytes_per_stream),
+                 static_cast<long long>(r.batches),
+                 static_cast<long long>(r.max_batch),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"summary\": {\n");
+  std::fprintf(f, "    \"batch_efficiency_x\": %.2f,\n", batch_efficiency_x);
+  std::fprintf(f, "    \"batched_bitwise_identical\": %s,\n",
+               batched_bitwise_identical ? "true" : "false");
+  std::fprintf(f, "    \"max_streams\": %lld,\n",
+               static_cast<long long>(stream_counts.back()));
+  std::fprintf(f, "    \"windows_per_sec_1t\": %.0f,\n", windows_per_sec_1t);
+  std::fprintf(f, "    \"bytes_per_stream\": %lld,\n",
+               static_cast<long long>(bytes_per_stream));
+  std::fprintf(f, "    \"hw_cores\": %d\n", hw_cores);
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf(
+      "summary: batch_efficiency_x=%.2f batched_bitwise_identical=%s "
+      "max_streams=%lld bytes_per_stream=%lld hw_cores=%d\n",
+      batch_efficiency_x, batched_bitwise_identical ? "true" : "false",
+      static_cast<long long>(stream_counts.back()),
+      static_cast<long long>(bytes_per_stream), hw_cores);
+  std::printf("wrote %s\n", path.c_str());
+  return batched_bitwise_identical ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace tfmae
 
@@ -1068,6 +1371,9 @@ int main(int argc, char** argv) {
   }
   if (const auto path = FlagValue(argc, argv, "--inference_plan_json=")) {
     return tfmae::RunInferencePlanSweep(*path);
+  }
+  if (const auto path = FlagValue(argc, argv, "--serving_json=")) {
+    return tfmae::RunServingSweep(*path);
   }
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

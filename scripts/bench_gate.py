@@ -14,8 +14,12 @@ Usage:
 
 The current directory is expected to contain files with the same names as
 the baselines (tensor_backend.json, memory_plane.json, resilience.json,
-inference_plan.json); missing files are reported as failures so a broken
-sweep cannot silently pass the gate.
+inference_plan.json, serving.json); missing files are reported as failures
+so a broken sweep cannot silently pass the gate.
+
+The serving sweep carries its own hard floors (docs/SERVING.md): batched
+scores must be bitwise-identical to sequential per-stream scoring and the
+sweep must demonstrate >= 1024 concurrent streams.
 
 The inference-plan sweep additionally carries *hard floors* from the
 pre-planned-inference acceptance contract (DESIGN.md §10): planned scoring
@@ -54,6 +58,10 @@ SUMMARY_CHECKS = {
         ("planned_zero_alloc", "bool"),
         ("scores_bitwise_identical", "bool"),
     ],
+    "serving.json": [
+        ("batch_efficiency_x", "ratio"),
+        ("batched_bitwise_identical", "bool"),
+    ],
 }
 
 # Absolute floors (checked against the *current* sweep, independent of the
@@ -61,11 +69,39 @@ SUMMARY_CHECKS = {
 PLAN_SPEEDUP_FLOOR = 1.3
 PLAN_ELEMENTWISE_4T_FLOOR = 1.5
 
+# Fleet-serving acceptance contract (docs/SERVING.md): batched scores must
+# stay bitwise-identical to sequential per-stream scoring, and the sweep
+# must demonstrate at least this many concurrent streams.
+SERVING_MAX_STREAMS_FLOOR = 1024
+
+
+def serving_floor_failures(name, current):
+    """Absolute acceptance floors for the fleet-serving sweep."""
+    if name != "serving.json" or not isinstance(current, dict):
+        return []
+    failures = []
+    summary = current.get("summary", {})
+    if not summary.get("batched_bitwise_identical", False):
+        failures.append(
+            f"{name}: batched_bitwise_identical is not true — batched "
+            f"serving diverged from sequential per-stream scoring")
+    else:
+        print(f"  ok  {name}: batched_bitwise_identical = true (hard)")
+    max_streams = summary.get("max_streams", 0)
+    if max_streams < SERVING_MAX_STREAMS_FLOOR:
+        failures.append(
+            f"{name}: max_streams = {max_streams}, below the hard "
+            f"{SERVING_MAX_STREAMS_FLOOR}-stream floor")
+    else:
+        print(f"  ok  {name}: max_streams = {max_streams} "
+              f"(hard floor {SERVING_MAX_STREAMS_FLOOR})")
+    return failures
+
 
 def hard_floor_failures(name, current):
     """Absolute acceptance floors for the inference-plan sweep."""
     if name != "inference_plan.json" or not isinstance(current, dict):
-        return []
+        return serving_floor_failures(name, current)
     failures = []
     summary = current.get("summary", {})
     speedup = summary.get("speedup_x", 0.0)

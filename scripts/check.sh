@@ -3,7 +3,7 @@
 # observability layer compiled in.
 #
 # Usage:
-#   scripts/check.sh [plain|thread|address|undefined|obs|pool|faults|report|bench|plan] [extra ctest args...]
+#   scripts/check.sh [plain|thread|address|undefined|obs|pool|faults|report|bench|plan|serve] [extra ctest args...]
 #
 # Examples:
 #   scripts/check.sh                 # plain Release build, full suite
@@ -52,6 +52,14 @@
 # compile -DTFMAE_FAULTS=ON and -DTFMAE_OBS=ON so the fallback and ledger
 # cases are active rather than skipped.
 #
+# The serve mode is the fleet-serving soak from docs/SERVING.md: the
+# serve suite (concurrent ingest, backpressure, batched-vs-sequential
+# bitwise identity at 1/2/4 threads, drain completeness) runs twice —
+# under AddressSanitizer (per-lane plan arenas, snapshot lifetimes) and
+# under ThreadSanitizer (lock-free stream publication, lane claiming,
+# concurrent Push/Flush) — then a 30-second tfmae_serve smoke replays a
+# 256-stream synthetic fleet end to end with --verify.
+#
 # The bench mode is the performance gate from docs/OBSERVABILITY.md
 # ("Benchmark gating"): it runs the bench_micro JSON sweeps in the same
 # build and fails if any tracked relative metric (speedup ratios,
@@ -74,9 +82,9 @@ case "$SAN" in
   pool)    SAN_FLAG="-DTFMAE_SANITIZE=address" ;;
   faults)  SAN_FLAG="-DTFMAE_FAULTS=ON -DTFMAE_OBS=ON -DTFMAE_SANITIZE=undefined" ;;
   report|bench) SAN_FLAG="-DTFMAE_OBS=ON -DTFMAE_FAULTS=ON" ;;
-  plan)    SAN_FLAG="" ;;
+  plan|serve)   SAN_FLAG="" ;;
   *)
-    echo "usage: $0 [plain|thread|address|undefined|obs|pool|faults|report|bench|plan] [ctest args...]" >&2
+    echo "usage: $0 [plain|thread|address|undefined|obs|pool|faults|report|bench|plan|serve] [ctest args...]" >&2
     exit 2
     ;;
 esac
@@ -90,6 +98,21 @@ if [ "$SAN" = "plan" ]; then
     echo "== plan suite: $san sanitizer, capture/replay/fallback tests =="
     ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'InferencePlan' "$@"
   done
+  exit 0
+fi
+
+if [ "$SAN" = "serve" ]; then
+  for san in address thread; do
+    BUILD_DIR="build-check-serve-$san"
+    cmake -B "$BUILD_DIR" -S . \
+      -DTFMAE_OBS=ON -DTFMAE_FAULTS=ON "-DTFMAE_SANITIZE=$san" >/dev/null
+    cmake --build "$BUILD_DIR" -j "$(nproc)"
+    echo "== serve suite: $san sanitizer, fleet-server tests =="
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'Serve' "$@"
+  done
+  echo "== serve smoke: 256 streams, 30 seconds, batched == sequential =="
+  "build-check-serve-address/tools/tfmae_serve" \
+    --streams=256 --threads=2 --seconds=30 --verify
   exit 0
 fi
 
@@ -129,6 +152,9 @@ elif [ "$SAN" = "bench" ]; then
   echo "== bench sweep: inference plan =="
   "$BUILD_DIR/bench/bench_micro" \
     --inference_plan_json="$OUT_DIR/inference_plan.json"
+  echo "== bench sweep: fleet serving =="
+  "$BUILD_DIR/bench/bench_micro" \
+    --serving_json="$OUT_DIR/serving.json"
   echo "== bench gate: sweeps vs bench_results/baselines =="
   python3 scripts/bench_gate.py --current-dir "$OUT_DIR"
 elif [ "$SAN" = "pool" ]; then

@@ -41,9 +41,12 @@ std::vector<float> ExtractWindow(const data::TimeSeries& series,
           static_cast<std::ptrdiff_t>((start + len) * n_feat));
 }
 
-// In-place per-feature instance normalization of one window.
-void NormalizeWindow(std::vector<float>* values, std::int64_t len,
-                     std::int64_t n_feat) {
+}  // namespace
+
+// In-place per-feature instance normalization of one window. Exported
+// (detector.h) so the serving plane can replicate Score()'s pipeline.
+void PerWindowNormalize(std::vector<float>* values, std::int64_t len,
+                        std::int64_t n_feat) {
   for (std::int64_t n = 0; n < n_feat; ++n) {
     double sum = 0.0;
     for (std::int64_t t = 0; t < len; ++t) {
@@ -64,8 +67,6 @@ void NormalizeWindow(std::vector<float>* values, std::int64_t len,
     }
   }
 }
-
-}  // namespace
 
 namespace {
 
@@ -165,7 +166,7 @@ void TfmaeDetector::FitInternal(const data::TimeSeries& train,
   for (std::int64_t start : starts) {
     std::vector<float> values = ExtractWindow(normalized, start, window);
     if (config_.per_window_normalization) {
-      NormalizeWindow(&values, window, normalized.num_features);
+      PerWindowNormalize(&values, window, normalized.num_features);
     }
     windows.push_back(model_->PrepareWindow(values, &rng_));
   }
@@ -444,7 +445,7 @@ std::vector<float> TfmaeDetector::Score(const data::TimeSeries& series) {
   for (std::int64_t start : starts) {
     std::vector<float> values = ExtractWindow(normalized, start, window);
     if (config_.per_window_normalization) {
-      NormalizeWindow(&values, window, normalized.num_features);
+      PerWindowNormalize(&values, window, normalized.num_features);
     }
     const MaskedWindow masked = model_->PrepareWindow(values, &rng_);
     if (plan_enabled_ && plan_ != nullptr && plan_->Matches(masked)) {

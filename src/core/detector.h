@@ -15,6 +15,14 @@
 
 namespace tfmae::core {
 
+/// In-place per-feature instance normalization of one window ([len x
+/// n_feat], row-major) — the optional per-window step of the scoring
+/// pipeline (config.per_window_normalization). Exported so that
+/// serve::FleetServer can replicate TfmaeDetector::Score's exact per-window
+/// pipeline outside the detector.
+void PerWindowNormalize(std::vector<float>* values, std::int64_t len,
+                        std::int64_t n_feat);
+
 /// Bookkeeping from the last Fit() call (feeds the Fig. 10 study and the
 /// resilience tests).
 struct TrainStats {
@@ -88,8 +96,16 @@ class TfmaeDetector : public AnomalyDetector {
   const TrainStats& train_stats() const { return stats_; }
   const TfmaeConfig& config() const { return config_; }
 
+  /// True after a successful Fit() or LoadCheckpoint().
+  bool fitted() const { return fitted_; }
+
   /// The trained network (null before Fit).
   TfmaeModel* model() { return model_.get(); }
+  const TfmaeModel* model() const { return model_.get(); }
+
+  /// The global z-score statistics fitted on train. serve::FleetServer uses
+  /// these to normalize stream windows exactly as Score() would.
+  const data::ZScoreNormalizer& normalizer() const { return normalizer_; }
 
   /// Pre-planned inference (DESIGN.md §10). On by default (TFMAE_INFERENCE_PLAN=0
   /// disables): the first scored window captures the graph into an

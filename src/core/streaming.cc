@@ -14,10 +14,7 @@
 
 namespace tfmae::core {
 
-StreamingDetector::StreamingDetector(AnomalyDetector* detector,
-                                     StreamingOptions options)
-    : detector_(detector), options_(options) {
-  TFMAE_CHECK(detector != nullptr);
+StreamState::StreamState(StreamingOptions options) : options_(options) {
   TFMAE_CHECK(options.window >= 2 && options.hop >= 1);
   TFMAE_CHECK(options.impute_staleness_cap >= 0);
   TFMAE_CHECK(options.quarantine_sigma >= 0.0);
@@ -29,13 +26,29 @@ StreamingDetector::StreamingDetector(AnomalyDetector* detector,
   TFMAE_COUNTER_ADD("streaming.degraded.rejected_rows", 0);
 }
 
-void StreamingDetector::CalibrateThreshold(
-    const std::vector<float>& calibration_scores, double anomaly_fraction) {
-  threshold_ = eval::QuantileThreshold(calibration_scores, anomaly_fraction);
+float StreamState::TailScore(const std::vector<float>& window_scores,
+                             std::int64_t window, std::int64_t fresh) {
+  float tail = 0.0f;
+  for (std::int64_t k = window - fresh; k < window; ++k) {
+    tail = std::max(tail, window_scores[static_cast<std::size_t>(k)]);
+  }
+  return tail;
 }
 
-PushStatus StreamingDetector::SanitizeRow(std::vector<float>* row,
-                                          std::int32_t* imputed) {
+std::int64_t StreamState::ApproxBytes() const {
+  auto bytes = static_cast<std::int64_t>(sizeof(StreamState));
+  bytes += static_cast<std::int64_t>(buffer_.capacity() * sizeof(float));
+  bytes += static_cast<std::int64_t>(last_good_.capacity() * sizeof(float));
+  bytes += static_cast<std::int64_t>(has_last_good_.capacity() / 8);
+  bytes +=
+      static_cast<std::int64_t>(staleness_.capacity() * sizeof(std::int64_t));
+  bytes += static_cast<std::int64_t>(stats_mean_.capacity() * sizeof(double));
+  bytes += static_cast<std::int64_t>(stats_m2_.capacity() * sizeof(double));
+  return bytes;
+}
+
+PushStatus StreamState::SanitizeRow(std::vector<float>* row,
+                                    std::int32_t* imputed) {
   *imputed = 0;
   const std::size_t n = static_cast<std::size_t>(num_features_);
   std::vector<unsigned char> imputed_mask(n, 0);
@@ -118,9 +131,8 @@ PushStatus StreamingDetector::SanitizeRow(std::vector<float>* row,
   return PushStatus::kScored;
 }
 
-std::optional<StreamingResult> StreamingDetector::Push(
-    const std::vector<float>& observation) {
-  TFMAE_TRACE("core.streaming.push");
+AbsorbOutcome StreamState::Absorb(const std::vector<float>& observation) {
+  AbsorbOutcome outcome;
   if (num_features_ < 0) {
     // First push fixes the arity. A first row with no finite values at all
     // is rejected below, but it still fixes the width: the source has
@@ -140,16 +152,10 @@ std::optional<StreamingResult> StreamingDetector::Push(
     // long-lived service).
     TFMAE_COUNTER_ADD("streaming.degraded.rejected_rows", 1);
     ++health_.rows_rejected;
-    if (obs::LedgerActive()) {
-      obs::Ledger::Instance().StreamEvent("reject", total_pushed_, 0.0);
-    }
-    if (obs::FlightRecorderActive()) {
-      obs::FlightRecorder::Instance().Note(
-          "stream", "wrong-arity row rejected after " +
-                        std::to_string(total_pushed_) + " rows");
-    }
     last_push_status_ = PushStatus::kRejected;
-    return std::nullopt;
+    outcome.status = PushStatus::kRejected;
+    outcome.wrong_arity = true;
+    return outcome;
   }
 
   std::vector<float> row = observation;
@@ -159,11 +165,9 @@ std::optional<StreamingResult> StreamingDetector::Push(
   std::int32_t imputed = 0;
   const PushStatus sanitize_status = SanitizeRow(&row, &imputed);
   if (sanitize_status == PushStatus::kRejected) {
-    if (obs::LedgerActive()) {
-      obs::Ledger::Instance().StreamEvent("reject", total_pushed_, 0.0);
-    }
     last_push_status_ = PushStatus::kRejected;
-    return std::nullopt;
+    outcome.status = PushStatus::kRejected;
+    return outcome;
   }
 
   if (buffered_rows_ == options_.window) {
@@ -179,61 +183,108 @@ std::optional<StreamingResult> StreamingDetector::Push(
   if (sanitize_status == PushStatus::kQuarantined) {
     // The stand-in row advanced the window, but no score is emitted and the
     // hop cadence does not advance either (the row carries no fresh signal).
-    if (obs::LedgerActive()) {
-      obs::Ledger::Instance().StreamEvent("quarantine", total_pushed_ - 1,
-                                          0.0);
-    }
-    if (obs::FlightRecorderActive()) {
-      obs::FlightRecorder::Instance().Note(
-          "stream",
-          "row " + std::to_string(total_pushed_ - 1) + " quarantined");
-    }
     last_push_status_ = PushStatus::kQuarantined;
-    return std::nullopt;
+    outcome.status = PushStatus::kQuarantined;
+    return outcome;
   }
 
   if (buffered_rows_ < options_.window) {
     ++health_.rows_warmup;
     last_push_status_ = PushStatus::kWarmup;
-    return std::nullopt;
+    outcome.status = PushStatus::kWarmup;
+    outcome.imputed_values = imputed;
+    return outcome;
   }
 
   ++pushes_since_rescore_;
   if (pushes_since_rescore_ >= options_.hop || !scored_once_) {
     scored_once_ = true;
+    outcome.rescore_due = true;
+    // The segment scored fresh since the previous rescore; the owner emits
+    // the maximum over it so an anomaly anywhere inside the hop segment is
+    // surfaced (see TailScore).
+    outcome.fresh =
+        std::min<std::int64_t>(pushes_since_rescore_, options_.window);
+    pushes_since_rescore_ = 0;
+  }
+  ++health_.rows_scored;
+  last_push_status_ = PushStatus::kScored;
+  outcome.status = PushStatus::kScored;
+  outcome.imputed_values = imputed;
+  return outcome;
+}
+
+StreamingDetector::StreamingDetector(AnomalyDetector* detector,
+                                     StreamingOptions options)
+    : detector_(detector), state_(options) {
+  TFMAE_CHECK(detector != nullptr);
+}
+
+void StreamingDetector::CalibrateThreshold(
+    const std::vector<float>& calibration_scores, double anomaly_fraction) {
+  state_.set_threshold(
+      eval::QuantileThreshold(calibration_scores, anomaly_fraction));
+}
+
+std::optional<StreamingResult> StreamingDetector::Push(
+    const std::vector<float>& observation) {
+  TFMAE_TRACE("core.streaming.push");
+  const AbsorbOutcome outcome = state_.Absorb(observation);
+
+  if (outcome.status == PushStatus::kRejected) {
+    if (obs::LedgerActive()) {
+      obs::Ledger::Instance().StreamEvent("reject", state_.total_pushed(),
+                                          0.0);
+    }
+    if (outcome.wrong_arity && obs::FlightRecorderActive()) {
+      obs::FlightRecorder::Instance().Note(
+          "stream", "wrong-arity row rejected after " +
+                        std::to_string(state_.total_pushed()) + " rows");
+    }
+    return std::nullopt;
+  }
+  if (outcome.status == PushStatus::kQuarantined) {
+    if (obs::LedgerActive()) {
+      obs::Ledger::Instance().StreamEvent("quarantine",
+                                          state_.total_pushed() - 1, 0.0);
+    }
+    if (obs::FlightRecorderActive()) {
+      obs::FlightRecorder::Instance().Note(
+          "stream",
+          "row " + std::to_string(state_.total_pushed() - 1) + " quarantined");
+    }
+    return std::nullopt;
+  }
+  if (outcome.status == PushStatus::kWarmup) {
+    return std::nullopt;
+  }
+
+  if (outcome.rescore_due) {
+    const StreamingOptions& options = state_.options();
     data::TimeSeries window_series;
-    window_series.length = options_.window;
-    window_series.num_features = num_features_;
-    window_series.values = buffer_;
+    window_series.length = options.window;
+    window_series.num_features = state_.num_features();
+    window_series.values = state_.window();
     TFMAE_COUNTER_ADD("core.streaming.rescores", 1);
     // Every rescore reuses the same window geometry, so after the first
     // Score the detector's captured inference plan (DESIGN.md §10) replays
     // allocation-free for the lifetime of the stream.
     const std::vector<float> scores = detector_->Score(window_series);
-    // Emit the maximum over the segment scored fresh since the previous
-    // rescore, so an anomaly anywhere inside the hop segment is surfaced.
-    const std::int64_t fresh =
-        std::min<std::int64_t>(pushes_since_rescore_, options_.window);
-    last_tail_score_ = 0.0f;
-    for (std::int64_t k = options_.window - fresh; k < options_.window; ++k) {
-      last_tail_score_ =
-          std::max(last_tail_score_, scores[static_cast<std::size_t>(k)]);
-    }
-    pushes_since_rescore_ = 0;
+    state_.CommitRescore(
+        StreamState::TailScore(scores, options.window, outcome.fresh));
+    TFMAE_GAUGE_SET("streaming.bytes_per_stream", state_.ApproxBytes());
   }
   StreamingResult result;
-  result.score = last_tail_score_;
-  result.is_anomaly = last_tail_score_ >= threshold_;
-  result.degraded = imputed > 0;
-  result.imputed_values = imputed;
-  ++health_.rows_scored;
-  last_push_status_ = PushStatus::kScored;
+  result.score = state_.last_tail_score();
+  result.is_anomaly = result.score >= state_.threshold();
+  result.degraded = outcome.imputed_values > 0;
+  result.imputed_values = outcome.imputed_values;
   TFMAE_COUNTER_ADD("core.streaming.scores", 1);
   if (result.is_anomaly) {
     TFMAE_COUNTER_ADD("core.streaming.alerts", 1);
     if (obs::LedgerActive()) {
-      obs::Ledger::Instance().StreamEvent(
-          "alert", total_pushed_ - 1, static_cast<double>(result.score));
+      obs::Ledger::Instance().StreamEvent("alert", state_.total_pushed() - 1,
+                                          static_cast<double>(result.score));
     }
   }
   return result;

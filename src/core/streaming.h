@@ -18,6 +18,14 @@
 //    moving, but no score or alert is emitted for it;
 //  * per-stream health counts are available from health() and exported as
 //    `streaming.degraded.*` metrics.
+//
+// The per-stream state (sliding window, LOCF sources, Welford statistics,
+// hop cadence, threshold) lives in the standalone StreamState class so that
+// serve::FleetServer (docs/SERVING.md) can hold thousands of compact stream
+// states against ONE shared detector. StreamState decides WHAT to do with a
+// row (absorb / reject / quarantine / rescore-due); its owner decides WHEN
+// and HOW to score the window it exposes. StreamingDetector remains the
+// synchronous single-stream owner with unchanged semantics.
 #ifndef TFMAE_CORE_STREAMING_H_
 #define TFMAE_CORE_STREAMING_H_
 
@@ -79,6 +87,111 @@ struct StreamHealth {
   std::int64_t values_imputed = 0;    ///< individual feature values repaired
 };
 
+/// Everything one stream's Absorb() decided, for the owner to act on.
+struct AbsorbOutcome {
+  PushStatus status = PushStatus::kWarmup;
+  /// status == kScored only: the trailing window must be (re)scored before a
+  /// result can be emitted for this row (window() holds the values; commit
+  /// the tail score with CommitRescore()). False: reuse last_tail_score().
+  bool rescore_due = false;
+  /// rescore_due only: rows scored fresh since the previous rescore
+  /// (min(pushes since rescore, window)); feeds TailScore().
+  std::int64_t fresh = 0;
+  /// Features imputed in this row (status kScored/kWarmup).
+  std::int32_t imputed_values = 0;
+  /// status == kRejected only: distinguishes a wrong-arity transport error
+  /// from an unimputable row (both rejected, different operator messages).
+  bool wrong_arity = false;
+};
+
+/// The compact per-stream state: sliding window, LOCF/staleness repair
+/// state, Welford running statistics, hop cadence, and alert threshold.
+/// Holds NO model and performs NO scoring — Absorb() classifies a row and
+/// reports when the window must be rescored; the owner scores window() and
+/// commits the result. One instance costs ApproxBytes() (~window*features
+/// floats plus per-feature repair state), which is what lets a fleet server
+/// keep thousands of streams against one shared model.
+///
+/// Not thread-safe; owners serialize access per stream.
+class StreamState {
+ public:
+  explicit StreamState(StreamingOptions options);
+
+  /// Classifies and absorbs one observation. Exactly the degraded-input
+  /// contract documented on StreamingDetector::Push: the first push fixes
+  /// the arity; wrong-arity and unimputable rows are rejected without
+  /// consuming them; NaN/Inf values are LOCF-imputed; stale or out-of-range
+  /// rows are quarantined (window slides on stand-in values, hop cadence
+  /// does not advance). Bumps the `streaming.degraded.*` counters and
+  /// health() exactly as StreamingDetector always has.
+  AbsorbOutcome Absorb(const std::vector<float>& observation);
+
+  /// Stores the tail score of the rescore Absorb() asked for. Must be
+  /// called (with TailScore() of the fresh segment) before the next Absorb
+  /// whenever rescore_due was true; results for in-between pushes reuse it.
+  void CommitRescore(float tail_score) { last_tail_score_ = tail_score; }
+
+  /// Max over the `fresh` newest of `window_scores` — the per-row score a
+  /// rescore emits, so an anomaly anywhere inside the hop segment surfaces.
+  static float TailScore(const std::vector<float>& window_scores,
+                         std::int64_t window, std::int64_t fresh);
+
+  /// The current trailing window, row-major [buffered_rows() x
+  /// num_features()] (full `window` rows once warm-up completes).
+  const std::vector<float>& window() const { return buffer_; }
+
+  const StreamingOptions& options() const { return options_; }
+  /// Arity fixed by the first push (-1 before it).
+  std::int64_t num_features() const { return num_features_; }
+  std::int64_t buffered_rows() const { return buffered_rows_; }
+  /// Observations consumed so far (rejected rows excluded).
+  std::int64_t total_pushed() const { return total_pushed_; }
+  float last_tail_score() const { return last_tail_score_; }
+
+  void set_threshold(float threshold) { threshold_ = threshold; }
+  float threshold() const { return threshold_; }
+
+  /// Disposition of the most recent Absorb (kWarmup before any).
+  PushStatus last_push_status() const { return last_push_status_; }
+
+  /// Cumulative degraded-input accounting.
+  const StreamHealth& health() const { return health_; }
+
+  /// Approximate resident bytes of this stream state (struct plus the
+  /// capacity of every owned buffer). This is the per-stream marginal cost
+  /// of a fleet server — exported as the `streaming.bytes_per_stream` gauge
+  /// and reported by `tfmae_serve --stats` (ROADMAP item 1's "small
+  /// per-stream footprint", made measurable).
+  std::int64_t ApproxBytes() const;
+
+ private:
+  /// Validates and repairs one row in place. Returns the status the row
+  /// should be treated with (kScored for a clean/imputed row, kRejected /
+  /// kQuarantined otherwise); fills `imputed` with the repaired count.
+  PushStatus SanitizeRow(std::vector<float>* row, std::int32_t* imputed);
+
+  StreamingOptions options_;
+  std::int64_t num_features_ = -1;
+  std::vector<float> buffer_;  // row-major sliding window, flattened
+  std::int64_t buffered_rows_ = 0;
+  std::int64_t total_pushed_ = 0;
+  std::int64_t pushes_since_rescore_ = 0;
+  bool scored_once_ = false;
+  float last_tail_score_ = 0.0f;
+  float threshold_ = 0.0f;
+
+  // Degraded-input state.
+  PushStatus last_push_status_ = PushStatus::kWarmup;
+  StreamHealth health_;
+  std::vector<float> last_good_;        // per-feature LOCF source
+  std::vector<bool> has_last_good_;
+  std::vector<std::int64_t> staleness_;  // consecutive imputations per feature
+  // Running per-feature statistics over accepted values (Welford).
+  std::int64_t stats_count_ = 0;
+  std::vector<double> stats_mean_;
+  std::vector<double> stats_m2_;
+};
+
 /// Streams observations through a fitted detector.
 ///
 /// Typical use:
@@ -100,8 +213,8 @@ class StreamingDetector {
                           double anomaly_fraction);
 
   /// Sets an explicit alert threshold.
-  void set_threshold(float threshold) { threshold_ = threshold; }
-  float threshold() const { return threshold_; }
+  void set_threshold(float threshold) { state_.set_threshold(threshold); }
+  float threshold() const { return state_.threshold(); }
 
   /// Pushes one observation (num_features values; the first accepted push
   /// fixes the arity). Returns the score for this observation once enough
@@ -124,41 +237,21 @@ class StreamingDetector {
   std::optional<StreamingResult> Push(const std::vector<float>& observation);
 
   /// Disposition of the most recent Push (kWarmup before any push).
-  PushStatus last_push_status() const { return last_push_status_; }
+  PushStatus last_push_status() const { return state_.last_push_status(); }
 
   /// Cumulative degraded-input accounting.
-  const StreamHealth& health() const { return health_; }
+  const StreamHealth& health() const { return state_.health(); }
 
   /// Number of observations consumed so far (rejected rows excluded).
-  std::int64_t total_pushed() const { return total_pushed_; }
+  std::int64_t total_pushed() const { return state_.total_pushed(); }
+
+  /// Approximate resident bytes of the per-stream state (see
+  /// StreamState::ApproxBytes).
+  std::int64_t ApproxBytes() const { return state_.ApproxBytes(); }
 
  private:
-  /// Validates and repairs one row in place. Returns the status the row
-  /// should be treated with (kScored for a clean/imputed row, kRejected /
-  /// kQuarantined otherwise); fills `imputed` with the repaired count.
-  PushStatus SanitizeRow(std::vector<float>* row, std::int32_t* imputed);
-
   AnomalyDetector* detector_;
-  StreamingOptions options_;
-  std::int64_t num_features_ = -1;
-  std::vector<float> buffer_;  // row-major sliding window, flattened
-  std::int64_t buffered_rows_ = 0;
-  std::int64_t total_pushed_ = 0;
-  std::int64_t pushes_since_rescore_ = 0;
-  bool scored_once_ = false;
-  float last_tail_score_ = 0.0f;
-  float threshold_ = 0.0f;
-
-  // Degraded-input state.
-  PushStatus last_push_status_ = PushStatus::kWarmup;
-  StreamHealth health_;
-  std::vector<float> last_good_;        // per-feature LOCF source
-  std::vector<bool> has_last_good_;
-  std::vector<std::int64_t> staleness_;  // consecutive imputations per feature
-  // Running per-feature statistics over accepted values (Welford).
-  std::int64_t stats_count_ = 0;
-  std::vector<double> stats_mean_;
-  std::vector<double> stats_m2_;
+  StreamState state_;
 };
 
 }  // namespace tfmae::core

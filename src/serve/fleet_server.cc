@@ -1,0 +1,523 @@
+#include "serve/fleet_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "core/inference_plan.h"
+#include "data/timeseries.h"
+#include "eval/detection.h"
+#include "obs/ledger.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace tfmae::serve {
+namespace {
+
+// Per-(stream, seq) mask-RNG seed. The paper's CV/amplitude masks are pure
+// functions of the window values and never draw from it; the random-masking
+// ablation variants do, and this keeps their draws deterministic under ANY
+// batch composition (a shared RNG would make mask draws depend on scoring
+// order). splitmix64 finalizer.
+std::uint64_t MixSeed(std::uint64_t seed, std::int64_t stream,
+                      std::int64_t seq) {
+  std::uint64_t x = seed +
+                    0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(stream + 1) +
+                    0xBF58476D1CE4E5B9ULL * static_cast<std::uint64_t>(seq + 1);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+int Log2Bucket(std::uint64_t v) {
+  int b = 0;
+  while (v > 1 && b < 63) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+void AtomicMax(std::atomic<std::int64_t>* target, std::int64_t value) {
+  std::int64_t cur = target->load(std::memory_order_relaxed);
+  while (cur < value &&
+         !target->compare_exchange_weak(cur, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+/// One stream slot: the compact state plus its ingest lock. Pushes to
+/// different streams contend only on the queue; pushes to the same stream
+/// are the caller's timeline and serialize here.
+struct FleetServer::Entry {
+  explicit Entry(const core::StreamingOptions& options) : state(options) {}
+  std::mutex mu;
+  core::StreamState state;
+};
+
+/// One batch lane: a private InferencePlan replica with its own planned
+/// arena plus a reusable output buffer. Lanes are the batch dimension of
+/// the PR 6 arena planner — replay is stateful (one arena, rebindable
+/// inputs), so concurrency comes from replicas, not sharing. Every lane
+/// self-verified against the eager path at capture, so all lanes produce
+/// bitwise-identical scores for the same window.
+struct FleetServer::Lane {
+  std::unique_ptr<core::InferencePlan> plan;
+  std::vector<float> out;
+  std::atomic_flag busy = ATOMIC_FLAG_INIT;
+};
+
+/// One ready window awaiting a batched pass: a value snapshot (the stream's
+/// buffer keeps sliding underneath) plus the metadata its result carries.
+struct FleetServer::Request {
+  std::int64_t stream = -1;
+  std::int64_t seq = -1;
+  std::int64_t fresh = 0;
+  std::int32_t imputed = 0;
+  std::vector<float> values;
+};
+
+FleetServer::FleetServer(core::TfmaeDetector* detector, FleetOptions options)
+    : detector_(detector), options_(options) {
+  TFMAE_CHECK(detector != nullptr);
+  TFMAE_CHECK_MSG(detector->fitted(),
+                  "FleetServer requires a fitted detector");
+  TFMAE_CHECK(options_.max_streams >= 1);
+  TFMAE_CHECK(options_.queue_capacity >= 1);
+  TFMAE_CHECK(options_.batch_max >= 1);
+  // The serving geometry: one ready window == one model window, so the
+  // batcher can coalesce windows from any mix of streams into one pass. A
+  // larger stream window would make Score() slice sub-windows and average —
+  // use the synchronous StreamingDetector for that shape.
+  TFMAE_CHECK_MSG(options_.streaming.window <= detector->config().window,
+                  "FleetServer: streaming.window must not exceed the "
+                  "detector's config().window (one window per rescore)");
+  streams_.resize(static_cast<std::size_t>(options_.max_streams));
+}
+
+FleetServer::~FleetServer() {
+  // Shutdown contract: every admitted window is scored before the server
+  // goes away, even if the owner forgot to Drain().
+  Drain();
+}
+
+std::int64_t FleetServer::OpenStream() {
+  std::lock_guard<std::mutex> lock(open_mu_);
+  const std::int64_t n = num_streams_.load(std::memory_order_relaxed);
+  if (n >= options_.max_streams) return -1;
+  auto entry = std::make_unique<Entry>(options_.streaming);
+  entry->state.set_threshold(default_threshold_);
+  streams_[static_cast<std::size_t>(n)] = std::move(entry);
+  // Publish AFTER the slot is filled so lock-free readers of num_streams()
+  // always find a constructed Entry behind any id they accept.
+  num_streams_.store(n + 1, std::memory_order_release);
+  TFMAE_GAUGE_SET("serve.streams", n + 1);
+  return n;
+}
+
+void FleetServer::set_threshold(float threshold) {
+  std::lock_guard<std::mutex> lock(open_mu_);
+  default_threshold_ = threshold;
+  const std::int64_t n = num_streams_.load(std::memory_order_acquire);
+  for (std::int64_t s = 0; s < n; ++s) {
+    Entry& entry = *streams_[static_cast<std::size_t>(s)];
+    std::lock_guard<std::mutex> stream_lock(entry.mu);
+    entry.state.set_threshold(threshold);
+  }
+}
+
+void FleetServer::CalibrateThreshold(
+    const std::vector<float>& calibration_scores, double anomaly_fraction) {
+  set_threshold(
+      eval::QuantileThreshold(calibration_scores, anomaly_fraction));
+}
+
+AdmitStatus FleetServer::Push(std::int64_t stream,
+                              const std::vector<float>& row,
+                              core::StreamingResult* result) {
+  TFMAE_TRACE("serve.push");
+  if (stream < 0 || stream >= num_streams()) return AdmitStatus::kUnknownStream;
+  Entry& entry = *streams_[static_cast<std::size_t>(stream)];
+
+  bool queued = false;
+  std::int64_t depth = 0;
+  {
+    std::lock_guard<std::mutex> stream_lock(entry.mu);
+    {
+      // Admission control BEFORE the row is absorbed: an overloaded refusal
+      // must leave the stream untouched so the caller can re-push the same
+      // row after draining. Checked up front rather than at enqueue time —
+      // once Absorb() has advanced the hop cadence there is no way to hand
+      // the window back.
+      std::lock_guard<std::mutex> queue_lock(queue_mu_);
+      if (static_cast<std::int64_t>(queue_.size()) >=
+          options_.queue_capacity) {
+        rows_overloaded_.fetch_add(1, std::memory_order_relaxed);
+        TFMAE_COUNTER_ADD("serve.ingest.rejected_overload", 1);
+        return AdmitStatus::kOverloaded;
+      }
+    }
+
+    const core::AbsorbOutcome outcome = entry.state.Absorb(row);
+    switch (outcome.status) {
+      case core::PushStatus::kRejected:
+        rows_rejected_.fetch_add(1, std::memory_order_relaxed);
+        TFMAE_COUNTER_ADD("serve.ingest.rejected_row", 1);
+        return AdmitStatus::kRejectedRow;
+      case core::PushStatus::kQuarantined:
+        rows_quarantined_.fetch_add(1, std::memory_order_relaxed);
+        rows_pushed_.fetch_add(1, std::memory_order_relaxed);
+        TFMAE_COUNTER_ADD("serve.ingest.quarantined", 1);
+        return AdmitStatus::kQuarantined;
+      case core::PushStatus::kWarmup:
+        rows_warmup_.fetch_add(1, std::memory_order_relaxed);
+        rows_pushed_.fetch_add(1, std::memory_order_relaxed);
+        TFMAE_COUNTER_ADD("serve.ingest.admitted", 1);
+        return AdmitStatus::kWarmup;
+      case core::PushStatus::kScored:
+        break;
+    }
+    rows_pushed_.fetch_add(1, std::memory_order_relaxed);
+    TFMAE_COUNTER_ADD("serve.ingest.admitted", 1);
+
+    if (outcome.rescore_due) {
+      Request request;
+      request.stream = stream;
+      request.seq = entry.state.total_pushed() - 1;
+      request.fresh = outcome.fresh;
+      request.imputed = outcome.imputed_values;
+      request.values = entry.state.window();  // snapshot before it slides
+      std::lock_guard<std::mutex> queue_lock(queue_mu_);
+      queue_.push_back(std::move(request));
+      depth = static_cast<std::int64_t>(queue_.size());
+      AtomicMax(&peak_queue_depth_, depth);
+      windows_enqueued_.fetch_add(1, std::memory_order_relaxed);
+      queued = true;
+    } else if (result != nullptr) {
+      // In-between-hop push: StreamingDetector's documented semantics —
+      // reuse the latest committed tail score.
+      result->score = entry.state.last_tail_score();
+      result->is_anomaly = result->score >= entry.state.threshold();
+      result->degraded = outcome.imputed_values > 0;
+      result->imputed_values = outcome.imputed_values;
+    }
+  }
+
+  if (!queued) return AdmitStatus::kAccepted;
+  TFMAE_GAUGE_MAX("serve.queue.depth_peak", depth);
+  TFMAE_HISTOGRAM_RECORD("serve.queue.depth", static_cast<std::uint64_t>(depth));
+  // Flush OUTSIDE every lock: the scoring path re-acquires stream locks to
+  // commit results (lock order: score_mu_ -> entry.mu; the push path holds
+  // entry.mu -> queue_mu_ — no cycle as long as nothing here holds a lock
+  // while asking for score_mu_).
+  if (options_.auto_flush && depth >= options_.batch_max) TryFlush();
+  return AdmitStatus::kQueued;
+}
+
+bool FleetServer::EnsureLanesLocked(std::int64_t want,
+                                    const core::MaskedWindow& example) {
+  want = std::max<std::int64_t>(want, 1);
+  while (static_cast<std::int64_t>(lanes_.size()) < want) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+  for (std::int64_t i = 0; i < want; ++i) {
+    Lane& lane = *lanes_[static_cast<std::size_t>(i)];
+    if (lane.plan != nullptr && lane.plan->Matches(example)) continue;
+    lane.plan.reset();
+    std::string error;
+    lane.plan = core::InferencePlan::Capture(*detector_->model(), example,
+                                             &lane.out, &error);
+    if (lane.plan == nullptr) {
+      // Capture failure never produces a wrong plan, only no plan: this
+      // batch scores eagerly and the next batch retries the capture.
+      TFMAE_COUNTER_ADD("serve.plan.capture_fallbacks", 1);
+      return false;
+    }
+    TFMAE_COUNTER_ADD("serve.plan.lane_captures", 1);
+  }
+  return true;
+}
+
+std::int64_t FleetServer::ScoreBatchLocked() {
+  std::vector<Request> batch;
+  {
+    std::lock_guard<std::mutex> queue_lock(queue_mu_);
+    const std::int64_t take = std::min<std::int64_t>(
+        options_.batch_max, static_cast<std::int64_t>(queue_.size()));
+    batch.reserve(static_cast<std::size_t>(take));
+    for (std::int64_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+  }
+  if (batch.empty()) return 0;
+  TFMAE_TRACE("serve.batch");
+  const std::int64_t batch_size = static_cast<std::int64_t>(batch.size());
+  const std::int64_t window = options_.streaming.window;
+  const core::TfmaeModel& model = *detector_->model();
+  const core::TfmaeConfig& config = detector_->config();
+  const std::uint64_t t0 = NowNs();
+
+  // Phase 1 (dispatch thread, serial): replicate TfmaeDetector::Score's
+  // exact per-window pipeline — global z-score, optional per-window
+  // instance normalization, mask preparation. Masking/FFT are cheap next to
+  // the transformer forward; keeping them off worker threads keeps the
+  // parallel phase a pure replay loop.
+  std::vector<core::MaskedWindow> masked(batch.size());
+  for (std::int64_t i = 0; i < batch_size; ++i) {
+    Request& request = batch[static_cast<std::size_t>(i)];
+    data::TimeSeries series;
+    series.length = window;
+    series.num_features = model.num_features();
+    series.values = std::move(request.values);
+    data::TimeSeries normalized = detector_->normalizer().Apply(series);
+    if (config.per_window_normalization) {
+      core::PerWindowNormalize(&normalized.values, window,
+                               normalized.num_features);
+    }
+    Rng mask_rng(MixSeed(config.seed, request.stream, request.seq));
+    masked[static_cast<std::size_t>(i)] =
+        model.PrepareWindow(normalized.values, &mask_rng);
+  }
+
+  // Phase 2: score. Planned path: one ParallelFor over the batch, each
+  // chunk claiming a free lane — inside a chunk every kernel-level
+  // ParallelFor runs inline at fixed chunk boundaries (util/thread_pool.h),
+  // so each window's scores are bitwise those of a sequential replay.
+  const std::int64_t lane_want = std::min<std::int64_t>(
+      batch_size, ThreadPool::Instance().num_threads());
+  const bool planned = detector_->inference_plan_enabled() &&
+                       EnsureLanesLocked(lane_want, masked[0]);
+  std::vector<float> scores(batch.size(), 0.0f);
+  if (planned) {
+    ParallelFor(0, batch_size, 1, [&](std::int64_t b0, std::int64_t b1) {
+      // Claim a lane: at most min(batch, threads) chunks run concurrently
+      // and that many verified lanes exist, so the scan always terminates.
+      Lane* lane = nullptr;
+      for (std::size_t l = 0;; l = (l + 1) % static_cast<std::size_t>(lane_want)) {
+        if (!lanes_[l]->busy.test_and_set(std::memory_order_acquire)) {
+          lane = lanes_[l].get();
+          break;
+        }
+      }
+      for (std::int64_t i = b0; i < b1; ++i) {
+        const Request& request = batch[static_cast<std::size_t>(i)];
+        lane->plan->Score(masked[static_cast<std::size_t>(i)], &lane->out);
+        scores[static_cast<std::size_t>(i)] =
+            core::StreamState::TailScore(lane->out, window, request.fresh);
+      }
+      lane->busy.clear(std::memory_order_release);
+    });
+  } else {
+    for (std::int64_t i = 0; i < batch_size; ++i) {
+      const std::vector<float> out =
+          model.ScoreWindow(masked[static_cast<std::size_t>(i)]);
+      scores[static_cast<std::size_t>(i)] = core::StreamState::TailScore(
+          out, window, batch[static_cast<std::size_t>(i)].fresh);
+    }
+    eager_windows_.fetch_add(batch_size, std::memory_order_relaxed);
+  }
+  const std::uint64_t elapsed = NowNs() - t0;
+  RecordLatency(elapsed / static_cast<std::uint64_t>(batch_size), batch_size);
+
+  // Phase 3 (dispatch thread, serial, admission order): commit tail scores
+  // and publish results.
+  std::vector<ScoredWindow> done(batch.size());
+  for (std::int64_t i = 0; i < batch_size; ++i) {
+    const Request& request = batch[static_cast<std::size_t>(i)];
+    ScoredWindow& result = done[static_cast<std::size_t>(i)];
+    result.stream = request.stream;
+    result.seq = request.seq;
+    result.score = scores[static_cast<std::size_t>(i)];
+    result.fresh = request.fresh;
+    result.degraded = request.imputed > 0;
+    result.imputed_values = request.imputed;
+    Entry& entry = *streams_[static_cast<std::size_t>(request.stream)];
+    {
+      std::lock_guard<std::mutex> stream_lock(entry.mu);
+      entry.state.CommitRescore(result.score);
+      result.is_anomaly = result.score >= entry.state.threshold();
+    }
+    if (result.is_anomaly) {
+      alerts_.fetch_add(1, std::memory_order_relaxed);
+      TFMAE_COUNTER_ADD("serve.alerts", 1);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> results_lock(results_mu_);
+    results_.insert(results_.end(), done.begin(), done.end());
+  }
+  windows_scored_.fetch_add(batch_size, std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  AtomicMax(&max_batch_, batch_size);
+  TFMAE_COUNTER_ADD("serve.batch.count", 1);
+  TFMAE_COUNTER_ADD("serve.batch.windows", batch_size);
+  TFMAE_HISTOGRAM_RECORD("serve.batch.size",
+                         static_cast<std::uint64_t>(batch_size));
+  return batch_size;
+}
+
+void FleetServer::TryFlush() {
+  // One batch, only if no other thread is mid-batch: the process-wide
+  // ThreadPool supports one dispatching thread at a time, and a skipped
+  // flush is picked up by the next over-threshold push or explicit Flush.
+  if (!score_mu_.try_lock()) return;
+  ScoreBatchLocked();
+  score_mu_.unlock();
+}
+
+std::int64_t FleetServer::Flush() {
+  std::int64_t total = 0;
+  for (;;) {
+    std::lock_guard<std::mutex> lock(score_mu_);
+    const std::int64_t n = ScoreBatchLocked();
+    if (n == 0) break;
+    total += n;
+  }
+  return total;
+}
+
+std::int64_t FleetServer::Drain() {
+  const std::int64_t scored = Flush();
+  TFMAE_GAUGE_SET("serve.bytes_per_stream", ApproxBytesPerStream());
+  if (obs::LedgerActive()) {
+    const ServeStats s = stats();
+    obs::Ledger::Instance().Event(
+        "serve",
+        {{"streams", std::to_string(s.streams)},
+         {"rows", std::to_string(s.rows_pushed)},
+         {"windows", std::to_string(s.windows_scored)},
+         {"alerts", std::to_string(s.alerts)},
+         {"rejected", std::to_string(s.rows_rejected)},
+         {"quarantined", std::to_string(s.rows_quarantined)},
+         {"bytes_per_stream", std::to_string(s.bytes_per_stream)},
+         // Batching composition depends on flush timing (and overload on
+         // ingest timing): t_-prefixed so the canonical event stream stays
+         // invariant across thread counts and schedules.
+         {"t_batches", std::to_string(s.batches)},
+         {"t_max_batch", std::to_string(s.max_batch)},
+         {"t_overloaded", std::to_string(s.rows_overloaded)}});
+  }
+  return scored;
+}
+
+std::vector<ScoredWindow> FleetServer::TakeResults() {
+  std::lock_guard<std::mutex> lock(results_mu_);
+  std::vector<ScoredWindow> out;
+  out.swap(results_);
+  return out;
+}
+
+const core::StreamHealth& FleetServer::health(std::int64_t stream) const {
+  TFMAE_CHECK(stream >= 0 && stream < num_streams());
+  return streams_[static_cast<std::size_t>(stream)]->state.health();
+}
+
+float FleetServer::last_score(std::int64_t stream) const {
+  TFMAE_CHECK(stream >= 0 && stream < num_streams());
+  Entry& entry = *streams_[static_cast<std::size_t>(stream)];
+  std::lock_guard<std::mutex> lock(entry.mu);
+  return entry.state.last_tail_score();
+}
+
+std::int64_t FleetServer::total_pushed(std::int64_t stream) const {
+  TFMAE_CHECK(stream >= 0 && stream < num_streams());
+  Entry& entry = *streams_[static_cast<std::size_t>(stream)];
+  std::lock_guard<std::mutex> lock(entry.mu);
+  return entry.state.total_pushed();
+}
+
+std::int64_t FleetServer::ApproxBytesPerStream() const {
+  if (num_streams() == 0) return 0;
+  Entry& entry = *streams_[0];
+  std::lock_guard<std::mutex> lock(entry.mu);
+  return entry.state.ApproxBytes();
+}
+
+void FleetServer::RecordLatency(std::uint64_t ns_per_window,
+                                std::int64_t windows) {
+  TFMAE_HISTOGRAM_RECORD("serve.score.window_ns", ns_per_window);
+  std::lock_guard<std::mutex> lock(latency_mu_);
+  latency_counts_[Log2Bucket(ns_per_window)] +=
+      static_cast<std::uint64_t>(windows);
+  if (latency_min_ns_ == 0 || ns_per_window < latency_min_ns_) {
+    latency_min_ns_ = ns_per_window;
+  }
+  latency_max_ns_ = std::max(latency_max_ns_, ns_per_window);
+}
+
+ServeStats FleetServer::stats() const {
+  ServeStats s;
+  s.streams = num_streams();
+  s.rows_pushed = rows_pushed_.load(std::memory_order_relaxed);
+  s.rows_overloaded = rows_overloaded_.load(std::memory_order_relaxed);
+  s.rows_rejected = rows_rejected_.load(std::memory_order_relaxed);
+  s.rows_quarantined = rows_quarantined_.load(std::memory_order_relaxed);
+  s.rows_warmup = rows_warmup_.load(std::memory_order_relaxed);
+  s.windows_enqueued = windows_enqueued_.load(std::memory_order_relaxed);
+  s.windows_scored = windows_scored_.load(std::memory_order_relaxed);
+  s.eager_windows = eager_windows_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.max_batch = max_batch_.load(std::memory_order_relaxed);
+  s.alerts = alerts_.load(std::memory_order_relaxed);
+  s.peak_queue_depth = peak_queue_depth_.load(std::memory_order_relaxed);
+  s.bytes_per_stream = ApproxBytesPerStream();
+  {
+    // Quantiles from the log2 latency histogram with linear interpolation
+    // inside a bucket (the obs exporters' scheme), clamped to observed
+    // min/max. A const_cast-free copy is not worth a second mutex: stats()
+    // is an observer called off the hot path.
+    std::lock_guard<std::mutex> lock(
+        const_cast<std::mutex&>(latency_mu_));
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : latency_counts_) total += c;
+    const auto quantile = [&](double p) -> double {
+      if (total == 0) return 0.0;
+      const double target = p * static_cast<double>(total);
+      double cumulative = 0.0;
+      for (int b = 0; b < kLatencyBuckets; ++b) {
+        const double count = static_cast<double>(latency_counts_[b]);
+        if (count == 0.0) continue;
+        if (cumulative + count >= target) {
+          const double lo = static_cast<double>(1ULL << b);
+          const double hi = lo * 2.0;
+          const double frac = (target - cumulative) / count;
+          double v = lo + (hi - lo) * frac;
+          v = std::max(v, static_cast<double>(latency_min_ns_));
+          v = std::min(v, static_cast<double>(latency_max_ns_));
+          return v;
+        }
+        cumulative += count;
+      }
+      return static_cast<double>(latency_max_ns_);
+    };
+    s.p50_window_ns = quantile(0.50);
+    s.p95_window_ns = quantile(0.95);
+    s.p99_window_ns = quantile(0.99);
+  }
+  {
+    std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(score_mu_));
+    for (const auto& lane : lanes_) {
+      if (lane->plan != nullptr) ++s.plan_lanes;
+    }
+  }
+  return s;
+}
+
+}  // namespace tfmae::serve

@@ -1,0 +1,259 @@
+// Fleet serving plane: one shared trained model, thousands of streams
+// (docs/SERVING.md; ROADMAP item 1).
+//
+// A monitoring fleet has N-thousand entities emitting telemetry rows, but
+// only ONE trained model. Wrapping each entity in its own StreamingDetector
+// would work, yet leaves the real serving lever on the table: every rescore
+// is an identical window geometry, so ready windows from DIFFERENT streams
+// can be coalesced into one batched pass through the pre-planned executor
+// (DESIGN.md §10) instead of N separate synchronous Score() calls.
+//
+// FleetServer owns:
+//  * one read-only fitted TfmaeDetector (model + z-score normalizer) shared
+//    by every stream — weights are never copied per stream;
+//  * N compact core::StreamState instances (sliding window, LOCF repair,
+//    quarantine statistics, hop cadence — ApproxBytes() each);
+//  * a bounded ready-window queue with typed admission control: when the
+//    queue is full, Push returns AdmitStatus::kOverloaded WITHOUT consuming
+//    the row (the stream is unchanged; the caller retries after a Flush);
+//  * a batcher that drains up to batch_max ready windows at a time and
+//    scores them in one ParallelFor pass over per-lane InferencePlan
+//    replicas (the PR 6 arena planner extended to a batch dimension: each
+//    lane owns its own planned arena, so lanes replay concurrently with
+//    zero shared mutable state).
+//
+// Determinism contract: a window's score depends only on its values — the
+// plan replay is bitwise-identical to eager scoring at any thread count,
+// and every lane self-verified against eager at capture. Therefore batched
+// scores are bitwise-identical to what a sequential per-stream
+// StreamingDetector (sharing the same fitted detector) would emit,
+// regardless of batch composition, flush timing, ingest interleaving, or
+// TFMAE_NUM_THREADS. tests/serve_test.cc pins this at 1/2/4 threads.
+#ifndef TFMAE_SERVE_FLEET_SERVER_H_
+#define TFMAE_SERVE_FLEET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/streaming.h"
+
+namespace tfmae::serve {
+
+/// Fleet-server configuration.
+struct FleetOptions {
+  /// Per-stream windowing and degraded-input knobs. `streaming.window` must
+  /// not exceed the detector's config().window so that every ready window
+  /// maps to exactly one model window (the serving geometry).
+  core::StreamingOptions streaming;
+  /// Streams this server can ever hold (slots are preallocated so ingest
+  /// never races a reallocation).
+  std::int64_t max_streams = 65536;
+  /// Ready-window queue bound. A Push whose queue is full is refused with
+  /// kOverloaded before the row is consumed. Under concurrent ingest the
+  /// depth can transiently exceed this by the number of in-flight pushes
+  /// (admission is checked before the row is absorbed).
+  std::int64_t queue_capacity = 4096;
+  /// Max windows coalesced into one batched pass.
+  std::int64_t batch_max = 64;
+  /// Score a batch inline (from the pushing thread) whenever batch_max
+  /// windows are ready. Off: windows accumulate until Flush()/Drain().
+  bool auto_flush = true;
+};
+
+/// Typed admission result of one Push.
+enum class AdmitStatus {
+  kAccepted,     ///< row absorbed; result available synchronously
+  kQueued,       ///< row absorbed; window queued for batched scoring
+  kWarmup,       ///< row absorbed; the first window is still filling
+  kQuarantined,  ///< row replaced by an imputed stand-in; no score
+  kRejectedRow,  ///< degraded-input reject (wrong arity / unimputable)
+  kOverloaded,   ///< queue full: row NOT consumed, retry after Flush/Drain
+  kUnknownStream,  ///< stream id was never OpenStream()ed
+};
+
+/// One asynchronous scoring result (delivered via TakeResults()).
+struct ScoredWindow {
+  std::int64_t stream = -1;
+  /// Push index within the stream (StreamState::total_pushed() - 1 at
+  /// enqueue time): which row this score answers.
+  std::int64_t seq = -1;
+  float score = 0.0f;
+  bool is_anomaly = false;
+  /// Rows scored fresh by this window (the hop segment).
+  std::int64_t fresh = 0;
+  bool degraded = false;
+  std::int32_t imputed_values = 0;
+};
+
+/// Cumulative serving counters (always available; the obs registry mirrors
+/// them as `serve.*` metrics in observability builds).
+struct ServeStats {
+  std::int64_t streams = 0;
+  std::int64_t rows_pushed = 0;        ///< rows absorbed into a stream
+  std::int64_t rows_overloaded = 0;    ///< pushes refused by admission control
+  std::int64_t rows_rejected = 0;      ///< degraded-input rejects
+  std::int64_t rows_quarantined = 0;
+  std::int64_t rows_warmup = 0;
+  std::int64_t windows_enqueued = 0;
+  std::int64_t windows_scored = 0;
+  std::int64_t eager_windows = 0;  ///< scored without a plan (capture failed)
+  std::int64_t batches = 0;
+  std::int64_t max_batch = 0;
+  std::int64_t alerts = 0;
+  std::int64_t plan_lanes = 0;         ///< captured plan replicas
+  std::int64_t peak_queue_depth = 0;
+  std::int64_t bytes_per_stream = 0;   ///< StreamState::ApproxBytes (stream 0)
+  double p50_window_ns = 0.0;          ///< per-window score latency quantiles
+  double p95_window_ns = 0.0;
+  double p99_window_ns = 0.0;
+};
+
+/// Serves thousands of concurrent streams from one process.
+///
+/// Typical use:
+///   TfmaeDetector detector(config);
+///   detector.Fit(history);
+///   serve::FleetServer server(&detector, options);
+///   server.CalibrateThreshold(detector.Score(validation), 0.02);
+///   std::vector<std::int64_t> ids;
+///   for (int s = 0; s < fleet_size; ++s) ids.push_back(server.OpenStream());
+///   // ingest (any thread; per-stream order is the caller's):
+///   while (server.Push(ids[s], row) == serve::AdmitStatus::kOverloaded)
+///     server.Flush();
+///   // alerts:
+///   for (const auto& r : server.TakeResults()) if (r.is_anomaly) Alert(r);
+///   // shutdown:
+///   server.Drain();  // scores every admitted window; loses nothing
+///
+/// Thread-safety: Push may be called concurrently for DIFFERENT streams;
+/// pushes to the same stream must be externally ordered (they are the
+/// stream's timeline). Flush/Drain/TakeResults may run concurrently with
+/// ingest. The detector must not be refit while serving.
+class FleetServer {
+ public:
+  /// `detector` must be fitted and outlive the server; its model and
+  /// normalizer are shared read-only across all streams.
+  FleetServer(core::TfmaeDetector* detector, FleetOptions options);
+  ~FleetServer();
+
+  FleetServer(const FleetServer&) = delete;
+  FleetServer& operator=(const FleetServer&) = delete;
+
+  /// Registers a new stream and returns its id (dense, starting at 0).
+  /// Fails (returns -1) once max_streams slots are in use.
+  std::int64_t OpenStream();
+  std::int64_t num_streams() const {
+    return num_streams_.load(std::memory_order_acquire);
+  }
+
+  /// Sets the alert threshold applied to every stream (current and future).
+  void set_threshold(float threshold);
+  /// Threshold from calibration scores, as StreamingDetector does.
+  void CalibrateThreshold(const std::vector<float>& calibration_scores,
+                          double anomaly_fraction);
+
+  /// Admits one observation row into `stream`. kQueued: the trailing window
+  /// became due and was enqueued — its score arrives via TakeResults (tagged
+  /// with this row's seq). kAccepted: no rescore due; when `result` is
+  /// non-null it is filled with the stream's latest committed tail score
+  /// (StreamingDetector's in-between-hop semantics). kOverloaded: the row
+  /// was NOT consumed — the stream state is untouched and the same row
+  /// should be re-pushed after a Flush.
+  AdmitStatus Push(std::int64_t stream, const std::vector<float>& row,
+                   core::StreamingResult* result = nullptr);
+
+  /// Scores every queued window (in admission order, batch_max at a time).
+  /// Returns the number of windows scored.
+  std::int64_t Flush();
+
+  /// Shutdown flush: scores everything admitted (identical to Flush today;
+  /// kept distinct so the shutdown path reads as a contract — no admitted
+  /// window is ever dropped) and emits the ledger `serve` summary event.
+  std::int64_t Drain();
+
+  /// Completed results since the previous TakeResults, in scoring order
+  /// (admission order; per-stream order always matches push order).
+  std::vector<ScoredWindow> TakeResults();
+
+  /// Per-stream degraded-input health (valid stream ids only).
+  const core::StreamHealth& health(std::int64_t stream) const;
+  /// Latest committed tail score of one stream.
+  float last_score(std::int64_t stream) const;
+  /// Rows consumed by one stream.
+  std::int64_t total_pushed(std::int64_t stream) const;
+
+  /// Approximate resident bytes of one stream's state.
+  std::int64_t ApproxBytesPerStream() const;
+
+  /// Cumulative serving counters (latency quantiles computed on call).
+  ServeStats stats() const;
+
+ private:
+  struct Entry;
+  struct Lane;
+  struct Request;
+
+  /// Drains and scores one batch; requires score_mu_. Returns windows
+  /// scored (0 = queue empty).
+  std::int64_t ScoreBatchLocked();
+  /// One-batch flush from the ingest path (skips if a batch is in flight).
+  void TryFlush();
+  /// Ensures >= `want` capture-verified lanes; requires score_mu_. Returns
+  /// false when capture fails (the batch falls back to eager scoring).
+  bool EnsureLanesLocked(std::int64_t want, const core::MaskedWindow& example);
+  void RecordLatency(std::uint64_t ns_per_window, std::int64_t windows);
+
+  core::TfmaeDetector* detector_;
+  FleetOptions options_;
+  float default_threshold_ = 0.0f;
+
+  // Stream slots are preallocated; OpenStream fills slot [num_streams_] and
+  // then publishes the new count, so Push can index lock-free.
+  std::vector<std::unique_ptr<Entry>> streams_;
+  std::atomic<std::int64_t> num_streams_{0};
+  std::mutex open_mu_;
+
+  std::mutex queue_mu_;
+  std::deque<Request> queue_;
+
+  // One batched pass at a time: the process-wide ThreadPool supports a
+  // single dispatching thread (util/thread_pool.h), so batch execution is
+  // serialized here while ingest continues concurrently.
+  std::mutex score_mu_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+
+  std::mutex results_mu_;
+  std::vector<ScoredWindow> results_;
+
+  // Counters (atomics: bumped from ingest and scoring paths concurrently).
+  std::atomic<std::int64_t> rows_pushed_{0};
+  std::atomic<std::int64_t> rows_overloaded_{0};
+  std::atomic<std::int64_t> rows_rejected_{0};
+  std::atomic<std::int64_t> rows_quarantined_{0};
+  std::atomic<std::int64_t> rows_warmup_{0};
+  std::atomic<std::int64_t> windows_enqueued_{0};
+  std::atomic<std::int64_t> windows_scored_{0};
+  std::atomic<std::int64_t> eager_windows_{0};
+  std::atomic<std::int64_t> batches_{0};
+  std::atomic<std::int64_t> max_batch_{0};
+  std::atomic<std::int64_t> alerts_{0};
+  std::atomic<std::int64_t> peak_queue_depth_{0};
+
+  // Per-window score latency: fixed log2 histogram (serve.score.window_ns),
+  // guarded by latency_mu_.
+  std::mutex latency_mu_;
+  static constexpr int kLatencyBuckets = 64;
+  std::uint64_t latency_counts_[kLatencyBuckets] = {};
+  std::uint64_t latency_min_ns_ = 0;
+  std::uint64_t latency_max_ns_ = 0;
+  bool drained_event_emitted_ = false;
+};
+
+}  // namespace tfmae::serve
+
+#endif  // TFMAE_SERVE_FLEET_SERVER_H_

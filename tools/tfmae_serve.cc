@@ -1,0 +1,295 @@
+// tfmae_serve — fleet-serving replay driver (docs/SERVING.md).
+//
+// Drives a serve::FleetServer with N concurrent streams from one process:
+// trains (or loads) one shared detector, opens --streams streams, replays
+// synthetic telemetry (or a CSV) through them with per-stream phase offsets,
+// and prints the serving statistics: rows/sec, batched windows/sec, score
+// latency quantiles, bytes/stream, and degraded-input health totals.
+//
+//   tfmae_serve --streams=1024 --threads=2 --batch_max=64 --rows=200
+//   tfmae_serve --streams=256 --seconds=30       # run for a wall budget
+//   tfmae_serve --csv=telemetry.csv --streams=64 # replay a CSV fleet
+//   tfmae_serve --checkpoint=PREFIX ...          # reuse a saved detector
+//   tfmae_serve --verify ...                     # also check batched ==
+//                                                # sequential (exit 1 on drift)
+//
+// Flags: --streams=N --threads=T --batch_max=B --rows=R --seconds=S
+//        --window=W --hop=H --queue_capacity=Q --anomaly_fraction=F
+//        --csv=PATH --checkpoint=PREFIX --verify --quiet
+// plus the shared observability flags of MaybeProfileFromArgs
+// (--obs_json/--obs_trace/--obs_text/--ledger/--flight_recorder).
+//
+// Graceful drain: SIGTERM/SIGINT stop ingest at the next row; every admitted
+// window is then scored (Drain), the stats are printed, and the process
+// exits 0 — no admitted work is ever dropped on shutdown.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/streaming.h"
+#include "data/generator.h"
+#include "data/io.h"
+#include "obs/export.h"
+#include "serve/fleet_server.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleStop(int) { g_stop = 1; }
+
+const char* FlagValue(int argc, char** argv, const char* prefix) {
+  const std::size_t len = std::strlen(prefix);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, len) == 0) return argv[i] + len;
+  }
+  return nullptr;
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+std::int64_t IntFlag(int argc, char** argv, const char* prefix,
+                     std::int64_t fallback) {
+  const char* v = FlagValue(argc, argv, prefix);
+  return v != nullptr ? std::atoll(v) : fallback;
+}
+
+// One deterministic replay row: stream `s` reads the shared series at a
+// per-stream phase offset, so streams are decorrelated but reproducible.
+std::vector<float> ReplayRow(const tfmae::data::TimeSeries& series,
+                             std::int64_t stream, std::int64_t t) {
+  const std::int64_t row =
+      (t + 17 * stream) % series.length;
+  std::vector<float> values(
+      static_cast<std::size_t>(series.num_features));
+  for (std::int64_t f = 0; f < series.num_features; ++f) {
+    values[static_cast<std::size_t>(f)] = series.at(row, f);
+  }
+  return values;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tfmae::obs::MaybeProfileFromArgs(&argc, argv);
+
+  const std::int64_t streams = IntFlag(argc, argv, "--streams=", 1024);
+  const std::int64_t threads = IntFlag(argc, argv, "--threads=", 1);
+  const std::int64_t batch_max = IntFlag(argc, argv, "--batch_max=", 64);
+  const std::int64_t rows = IntFlag(argc, argv, "--rows=", 200);
+  const std::int64_t seconds = IntFlag(argc, argv, "--seconds=", 0);
+  const std::int64_t window = IntFlag(argc, argv, "--window=", 32);
+  const std::int64_t hop = IntFlag(argc, argv, "--hop=", 8);
+  const std::int64_t queue_capacity =
+      IntFlag(argc, argv, "--queue_capacity=", 4096);
+  const char* csv_path = FlagValue(argc, argv, "--csv=");
+  const char* checkpoint = FlagValue(argc, argv, "--checkpoint=");
+  const double anomaly_fraction = [&] {
+    const char* v = FlagValue(argc, argv, "--anomaly_fraction=");
+    return v != nullptr ? std::atof(v) : 0.02;
+  }();
+  const bool verify = HasFlag(argc, argv, "--verify");
+  const bool quiet = HasFlag(argc, argv, "--quiet");
+  if (streams < 1 || threads < 1 || window < 2 || hop < 1) {
+    std::fprintf(stderr, "tfmae_serve: invalid flag value\n");
+    return 1;
+  }
+
+  std::signal(SIGTERM, HandleStop);
+  std::signal(SIGINT, HandleStop);
+  tfmae::ThreadPool::Instance().SetNumThreads(static_cast<int>(threads));
+
+  // Replay data: a CSV fleet (missing cells LOCF-repaired for training; the
+  // streams still see the raw rows, exercising the degraded-input path) or
+  // a synthetic multivariate signal.
+  tfmae::data::TimeSeries series;
+  if (csv_path != nullptr) {
+    tfmae::data::CsvDiagnostic diagnostic;
+    auto loaded = tfmae::data::LoadCsv(csv_path, &diagnostic);
+    if (!loaded.has_value()) {
+      std::fprintf(stderr, "tfmae_serve: %s\n", diagnostic.message.c_str());
+      return 1;
+    }
+    series = std::move(*loaded);
+  } else {
+    tfmae::data::BaseSignalConfig signal;
+    signal.length = 2048;
+    signal.num_features = 4;
+    signal.seed = 20240605;
+    series = tfmae::data::GenerateBaseSignal(signal);
+  }
+  tfmae::data::TimeSeries train = series;
+  tfmae::data::ImputeMissingLocf(&train);
+
+  // One shared read-only detector for the whole fleet.
+  tfmae::core::TfmaeConfig config;
+  config.window = window;
+  config.stride = window;
+  config.model_dim = 32;
+  config.num_layers = 2;
+  config.num_heads = 4;
+  config.ff_hidden = 64;
+  config.epochs = 1;
+  config.seed = 17;
+  tfmae::core::TfmaeDetector detector(config);
+  tfmae::Stopwatch fit_watch;
+  if (checkpoint != nullptr) {
+    if (!detector.LoadCheckpoint(checkpoint)) {
+      std::fprintf(stderr, "tfmae_serve: cannot load checkpoint %s\n",
+                   checkpoint);
+      return 1;
+    }
+  } else {
+    detector.Fit(train);
+  }
+  const std::vector<float> calibration = detector.Score(train);
+  if (!quiet) {
+    std::printf("model ready in %.1fs (%s)\n", fit_watch.ElapsedSeconds(),
+                checkpoint != nullptr ? "checkpoint" : "fitted");
+  }
+
+  tfmae::serve::FleetOptions options;
+  options.streaming.window = window;
+  options.streaming.hop = hop;
+  options.max_streams = streams;
+  options.queue_capacity = queue_capacity;
+  options.batch_max = batch_max;
+  tfmae::serve::FleetServer server(&detector, options);
+  server.CalibrateThreshold(calibration, anomaly_fraction);
+  for (std::int64_t s = 0; s < streams; ++s) {
+    if (server.OpenStream() < 0) {
+      std::fprintf(stderr, "tfmae_serve: stream capacity exhausted\n");
+      return 1;
+    }
+  }
+
+  // Ingest loop: tick-major over the fleet; overloads retry via Flush.
+  // Stops after --rows ticks, or at the --seconds wall budget, or on
+  // SIGTERM/SIGINT — whichever comes first.
+  tfmae::Stopwatch watch;
+  std::int64_t ticks = 0;
+  std::int64_t pushed = 0;
+  std::int64_t anomalies = 0;
+  const std::int64_t max_ticks =
+      seconds > 0 && rows <= 0 ? -1 : rows;  // --seconds alone: unbounded
+  while (!g_stop) {
+    if (max_ticks >= 0 && ticks >= max_ticks) break;
+    if (seconds > 0 && watch.ElapsedSeconds() >= static_cast<double>(seconds)) break;
+    for (std::int64_t s = 0; s < streams && !g_stop; ++s) {
+      const std::vector<float> row = ReplayRow(series, s, ticks);
+      for (;;) {
+        const tfmae::serve::AdmitStatus status = server.Push(s, row);
+        if (status != tfmae::serve::AdmitStatus::kOverloaded) break;
+        server.Flush();
+      }
+      ++pushed;
+    }
+    ++ticks;
+    for (const auto& r : server.TakeResults()) {
+      if (r.is_anomaly) ++anomalies;
+    }
+  }
+  const bool interrupted = g_stop != 0;
+
+  // Graceful drain: every admitted window is scored before reporting.
+  server.Drain();
+  for (const auto& r : server.TakeResults()) {
+    if (r.is_anomaly) ++anomalies;
+  }
+  const double elapsed = watch.ElapsedSeconds();
+
+  const tfmae::serve::ServeStats stats = server.stats();
+  std::printf("tfmae_serve: %lld streams x %lld ticks%s\n",
+              static_cast<long long>(streams), static_cast<long long>(ticks),
+              interrupted ? " (interrupted; drained cleanly)" : "");
+  std::printf("  rows        %lld pushed, %.0f rows/sec\n",
+              static_cast<long long>(pushed),
+              elapsed > 0.0 ? static_cast<double>(pushed) / elapsed : 0.0);
+  std::printf(
+      "  windows     %lld scored in %lld batches (max batch %lld), "
+      "%.0f windows/sec\n",
+      static_cast<long long>(stats.windows_scored),
+      static_cast<long long>(stats.batches),
+      static_cast<long long>(stats.max_batch),
+      elapsed > 0.0 ? static_cast<double>(stats.windows_scored) / elapsed
+                    : 0.0);
+  std::printf("  latency     p50 %.0f us  p95 %.0f us  p99 %.0f us per window\n",
+              stats.p50_window_ns / 1e3, stats.p95_window_ns / 1e3,
+              stats.p99_window_ns / 1e3);
+  std::printf("  memory      %lld bytes/stream (%lld streams)\n",
+              static_cast<long long>(stats.bytes_per_stream),
+              static_cast<long long>(stats.streams));
+  std::printf(
+      "  admission   %lld overloaded, peak queue depth %lld, "
+      "%lld plan lanes, %lld eager windows\n",
+      static_cast<long long>(stats.rows_overloaded),
+      static_cast<long long>(stats.peak_queue_depth),
+      static_cast<long long>(stats.plan_lanes),
+      static_cast<long long>(stats.eager_windows));
+  std::printf(
+      "  health      %lld alerts, %lld quarantined, %lld rejected, "
+      "%lld warmup rows\n",
+      static_cast<long long>(anomalies),
+      static_cast<long long>(stats.rows_quarantined),
+      static_cast<long long>(stats.rows_rejected),
+      static_cast<long long>(stats.rows_warmup));
+
+  if (verify) {
+    // Batched-equals-sequential spot check: replay a few streams through
+    // the synchronous wrapper and compare every rescore score bitwise.
+    const std::int64_t check_streams = std::min<std::int64_t>(streams, 4);
+    const std::int64_t check_ticks = std::min<std::int64_t>(
+        ticks > 0 ? ticks : 1, 3 * window);
+    tfmae::serve::FleetServer check_server(&detector, options);
+    for (std::int64_t s = 0; s < check_streams; ++s) {
+      check_server.OpenStream();
+    }
+    for (std::int64_t t = 0; t < check_ticks; ++t) {
+      for (std::int64_t s = 0; s < check_streams; ++s) {
+        check_server.Push(s, ReplayRow(series, s, t));
+      }
+    }
+    check_server.Drain();
+    std::vector<std::vector<float>> batched(
+        static_cast<std::size_t>(check_streams));
+    for (const auto& r : check_server.TakeResults()) {
+      batched[static_cast<std::size_t>(r.stream)].push_back(r.score);
+    }
+    bool identical = true;
+    for (std::int64_t s = 0; s < check_streams; ++s) {
+      tfmae::core::StreamingDetector sequential(&detector, options.streaming);
+      std::vector<float> reference;
+      std::int64_t since = 0;
+      bool scored_once = false;
+      for (std::int64_t t = 0; t < check_ticks; ++t) {
+        const auto r = sequential.Push(ReplayRow(series, s, t));
+        if (!r.has_value()) continue;
+        if (++since >= options.streaming.hop || !scored_once) {
+          reference.push_back(r->score);
+          scored_once = true;
+          since = 0;
+        }
+      }
+      const auto& got = batched[static_cast<std::size_t>(s)];
+      if (got.size() != reference.size() ||
+          !std::equal(got.begin(), got.end(), reference.begin())) {
+        identical = false;
+      }
+    }
+    std::printf("  verify      batched == sequential: %s\n",
+                identical ? "PASS (bitwise)" : "FAIL");
+    if (!identical) return 1;
+  }
+  return 0;
+}
