@@ -59,8 +59,11 @@
 
 #include "bench/bench_common.h"
 #include "core/detector.h"
+#include "core/quant.h"
 #include "core/streaming.h"
 #include "data/generator.h"
+#include "data/profiles.h"
+#include "eval/detection.h"
 #include "fft/fft.h"
 #include "masking/coefficient_of_variation.h"
 #include "masking/frequency_mask.h"
@@ -74,6 +77,7 @@
 #include "serve/fleet_server.h"
 #include "tensor/gemm_kernels.h"
 #include "tensor/op_kernels.h"
+#include "tensor/quant_kernels.h"
 #include "tensor/ops.h"
 #include "tensor/pool.h"
 #include "util/fault.h"
@@ -340,7 +344,9 @@ int RunTensorBackendSweep(const std::string& path) {
     if (r.speedup_vs_seed > 0) {
       std::fprintf(f, ", \"speedup_vs_seed\": %.2f", r.speedup_vs_seed);
     }
-    std::fprintf(f, ", \"speedup_vs_1thread\": %.2f}%s\n", r.speedup_vs_1t,
+    std::fprintf(f, ", \"speedup_vs_1thread\": %.2f, \"hw_cores\": %d}%s\n",
+                 r.speedup_vs_1t,
+                 static_cast<int>(std::thread::hardware_concurrency()),
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
@@ -520,19 +526,23 @@ int RunMemoryPlaneSweep(const std::string& path) {
                  "\"heap_allocs_per_step\": %.3f, "
                  "\"logical_allocs_per_step\": %.3f, \"hit_rate\": %.4f, "
                  "\"peak_logical_bytes\": %lld, \"peak_pool_bytes\": %lld, "
-                 "\"final_loss\": %.9g, \"final_loss_bits\": \"0x%08x\"}%s\n",
+                 "\"final_loss\": %.9g, \"final_loss_bits\": \"0x%08x\", "
+                 "\"hw_cores\": %d}%s\n",
                  r.pooled ? "true" : "false", r.threads, r.ns_per_step,
                  r.heap_allocs_per_step, r.logical_allocs_per_step, r.hit_rate,
                  static_cast<long long>(r.peak_logical_bytes),
                  static_cast<long long>(r.peak_pool_bytes),
                  static_cast<double>(r.final_loss), bits,
+                 static_cast<int>(std::thread::hardware_concurrency()),
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"summary\": {\n");
   std::fprintf(f, "    \"alloc_reduction_x\": %.1f,\n", worst_alloc_reduction);
   std::fprintf(f, "    \"speedup_x\": %.2f,\n", worst_speedup);
-  std::fprintf(f, "    \"losses_bitwise_identical\": %s\n",
+  std::fprintf(f, "    \"losses_bitwise_identical\": %s,\n",
                losses_match ? "true" : "false");
+  std::fprintf(f, "    \"hw_cores\": %d\n",
+               static_cast<int>(std::thread::hardware_concurrency()));
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);
   std::printf("summary: alloc_reduction_x=%.1f speedup_x=%.2f "
@@ -855,10 +865,10 @@ int RunInferencePlanSweep(const std::string& path) {
                  "\"ns_per_window\": %.0f, "
                  "\"logical_allocs_per_window\": %.3f, "
                  "\"heap_allocs_per_window\": %.3f, "
-                 "\"peak_pool_bytes\": %lld}%s\n",
+                 "\"peak_pool_bytes\": %lld, \"hw_cores\": %d}%s\n",
                  r.planned ? "true" : "false", r.threads, r.ns_per_window,
                  r.logical_allocs_per_window, r.heap_allocs_per_window,
-                 static_cast<long long>(r.peak_pool_bytes),
+                 static_cast<long long>(r.peak_pool_bytes), hw_cores,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"summary\": {\n");
@@ -879,6 +889,289 @@ int RunInferencePlanSweep(const std::string& path) {
       bitwise_identical ? "true" : "false", elementwise_4t_speedup, hw_cores);
   std::printf("wrote %s\n", path.c_str());
   return (bitwise_identical && planned_zero_alloc) ? 0 : 1;
+}
+
+// ---- int8 quant sweep (--quant_json=PATH) ----------------------------------
+
+struct QuantLatencyRow {
+  const char* precision;  // "fp32" | "int8"
+  int threads;
+  double ns_per_window;
+};
+
+struct QuantParityRow {
+  std::string dataset;
+  double f1_fp32;
+  double f1_int8;
+  double delta;
+  bool fell_back;
+};
+
+/// Epochs used for the parity fits. Quantization parity measures score
+/// AGREEMENT between two precisions of the same weights, not absolute
+/// detection quality, so a short fit with the per-dataset masking recipe is
+/// representative and keeps the sweep minutes, not hours. Eight epochs is
+/// the shortest fit at which every profile's fp32 F1 has stabilized;
+/// under-trained fits leave borderline segments whose point-adjust F1
+/// flips on sub-percent score perturbations, which measures threshold
+/// luck, not quantization quality.
+constexpr std::int64_t kQuantParityEpochs = 8;
+
+/// |F1_int8 - F1_fp32| tolerance per dataset profile (the gate's hard
+/// f1_parity condition).
+constexpr double kQuantF1Tolerance = 0.005;
+
+/// Benchmarks the int8 scoring path (DESIGN.md §12) against the fp32
+/// inference plan, and verifies detection parity. Three parts:
+///  1. Latency: fp32 plan vs int8 plan over one fixed window batch at 1, 2
+///     and 4 threads (best-of-reps). The gate's floor is the 1-thread
+///     speedup — it must not depend on core count.
+///  2. Determinism: int8 scores must be bitwise-identical across thread
+///     counts (the same contract the fp32 plan has vs eager).
+///  3. F1 parity: on each dataset profile, fit once, evaluate the paper's
+///     protocol with fp32 scoring and with int8 scoring (identical weights,
+///     aligned mask rng streams), and require |dF1| <= 0.005 with zero
+///     quant fallbacks. `max_profiles` > 0 limits the profile list (the
+///     check.sh smoke runs 3).
+int RunQuantSweep(const std::string& path, int max_profiles) {
+  using clock = std::chrono::steady_clock;
+
+  core::TfmaeConfig config;
+  config.window = 32;
+  config.model_dim = 32;
+  config.num_layers = 2;
+  config.num_heads = 4;
+  config.ff_hidden = 64;
+  config.epochs = 1;
+  config.stride = 64;
+  config.seed = 17;
+  config.per_window_normalization = false;
+
+  data::BaseSignalConfig signal;
+  signal.length = 1024;
+  signal.num_features = 4;
+  signal.seed = 20240605;
+  const data::TimeSeries series = data::GenerateBaseSignal(signal);
+
+  std::printf("fitting + calibrating detector (W=%lld D=%lld L=%lld)...\n",
+              static_cast<long long>(config.window),
+              static_cast<long long>(config.model_dim),
+              static_cast<long long>(config.num_layers));
+  core::TfmaeDetector detector(config);
+  detector.SetQuantMode(core::TfmaeDetector::QuantMode::kOff);
+  detector.Fit(series);
+  std::string error;
+  if (!detector.Calibrate(series, &error)) {
+    std::fprintf(stderr, "calibration failed: %s\n", error.c_str());
+    return 1;
+  }
+  core::TfmaeModel* model = detector.model();
+  const core::QuantSpec& spec = detector.quant_spec();
+
+  const int kNumWindows = 24;
+  std::vector<core::MaskedWindow> windows;
+  Rng mask_rng(123);
+  for (int w = 0; w < kNumWindows; ++w) {
+    const std::int64_t start =
+        (static_cast<std::int64_t>(w) * 37) %
+        (series.length - config.window + 1);
+    std::vector<float> values(
+        static_cast<std::size_t>(config.window * series.num_features));
+    std::memcpy(values.data(),
+                series.values.data() +
+                    static_cast<std::size_t>(start * series.num_features),
+                values.size() * sizeof(float));
+    windows.push_back(model->PrepareWindow(values, &mask_rng));
+  }
+
+  std::vector<float> capture_scores;
+  std::unique_ptr<core::InferencePlan> fp32_plan = core::InferencePlan::Capture(
+      *model, windows[0], &capture_scores, &error);
+  if (fp32_plan == nullptr) {
+    std::fprintf(stderr, "fp32 plan capture failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::unique_ptr<core::InferencePlan> int8_plan = core::InferencePlan::Capture(
+      *model, windows[0], &capture_scores, &error, &spec);
+  if (int8_plan == nullptr) {
+    std::fprintf(stderr, "int8 plan capture failed: %s\n", error.c_str());
+    return 1;
+  }
+  const core::InferencePlanStats& qs = int8_plan->stats();
+  std::printf(
+      "int8 plan: %lld ops, %lld quant linears, %lld elided quant pairs, "
+      "%lld B quant arena (fp32 arena %lld B), isa=%s\n",
+      static_cast<long long>(qs.ops),
+      static_cast<long long>(qs.quant_linear_ops),
+      static_cast<long long>(qs.elided_quant_pairs),
+      static_cast<long long>(qs.quant_arena_bytes),
+      static_cast<long long>(qs.arena_bytes), quant::QuantGemmIsa());
+
+  // 1+2. Latency and cross-thread determinism.
+  const int kReps = 5;
+  std::vector<QuantLatencyRow> rows;
+  bool bitwise_identical = true;
+  double speedup_1t = 0.0;
+  std::vector<std::vector<float>> int8_ref(windows.size());
+  std::vector<float> out;
+  for (const int t : {1, 2, 4}) {
+    ThreadPool::Instance().SetNumThreads(t);
+    double row_ns[2] = {0.0, 0.0};  // [fp32, int8]
+    for (int pass = 0; pass < 2; ++pass) {
+      core::InferencePlan* plan = pass == 0 ? fp32_plan.get()
+                                            : int8_plan.get();
+      // Warm-up + determinism check: int8 scores at every thread count
+      // must equal the 1-thread reference bitwise.
+      for (std::size_t w = 0; w < windows.size(); ++w) {
+        plan->Score(windows[w], &out);
+        if (pass == 1) {
+          if (int8_ref[w].empty()) {
+            int8_ref[w] = out;
+          } else if (out.size() != int8_ref[w].size() ||
+                     std::memcmp(out.data(), int8_ref[w].data(),
+                                 out.size() * sizeof(float)) != 0) {
+            bitwise_identical = false;
+          }
+        }
+      }
+      double best_sec = 1e30;
+      for (int rep = 0; rep < kReps; ++rep) {
+        const auto t0 = clock::now();
+        for (const core::MaskedWindow& w : windows) plan->Score(w, &out);
+        best_sec = std::min(
+            best_sec,
+            std::chrono::duration<double>(clock::now() - t0).count());
+      }
+      row_ns[pass] = best_sec * 1e9 / static_cast<double>(windows.size());
+      rows.push_back({pass == 0 ? "fp32" : "int8", t, row_ns[pass]});
+      std::printf("%-5s threads=%d  %9.0f ns/window\n",
+                  pass == 0 ? "fp32" : "int8", t, row_ns[pass]);
+    }
+    if (t == 1) speedup_1t = row_ns[0] / row_ns[1];
+  }
+  ThreadPool::Instance().SetNumThreads(1);
+
+  // 3. Detection parity across the dataset profiles. Two identically
+  // fitted detectors per profile keep the scoring mask-rng streams aligned
+  // (Calibrate uses a private rng), so the only difference between the two
+  // evaluations is the kernel precision. Parity always runs at dataset
+  // scale 1.0 regardless of TFMAE_BENCH_SCALE: point-adjust F1 on a
+  // fractional split is chunky enough that a single borderline point
+  // crossing the threshold flips whole anomaly segments, which measures
+  // sample-size brittleness rather than kernel fidelity.
+  const double scale = 1.0;
+  std::vector<data::BenchmarkDataset> datasets = data::MainDatasets();
+  if (max_profiles > 0 &&
+      static_cast<std::size_t>(max_profiles) < datasets.size()) {
+    datasets.resize(static_cast<std::size_t>(max_profiles));
+  }
+  std::vector<QuantParityRow> parity;
+  bool f1_parity = true;
+  double max_f1_delta = 0.0;
+  for (const data::BenchmarkDataset dataset : datasets) {
+    const data::LabeledDataset ds = data::MakeBenchmarkDataset(dataset, scale);
+    core::TfmaeConfig pc = bench::TfmaeConfigFor(dataset);
+    pc.epochs = std::min<std::int64_t>(pc.epochs, kQuantParityEpochs);
+    const double fraction = bench::AnomalyFractionFor(dataset);
+
+    core::TfmaeDetector fp32_det(pc);
+    fp32_det.SetQuantMode(core::TfmaeDetector::QuantMode::kOff);
+    fp32_det.Fit(ds.train);
+    const std::vector<float> val_fp = fp32_det.Score(ds.val);
+    const std::vector<float> test_fp = fp32_det.Score(ds.test);
+    const eval::DetectionReport rep_fp = eval::EvaluateDetection(
+        val_fp, test_fp, ds.test.labels, fraction);
+
+    core::TfmaeDetector int8_det(pc);
+    int8_det.SetQuantMode(core::TfmaeDetector::QuantMode::kOff);
+    int8_det.Fit(ds.train);
+    if (!int8_det.Calibrate(ds.val, &error)) {
+      std::fprintf(stderr, "%s: calibration failed: %s\n",
+                   data::DatasetName(dataset).c_str(), error.c_str());
+      return 1;
+    }
+    int8_det.SetQuantMode(core::TfmaeDetector::QuantMode::kInt8);
+    const std::vector<float> val_q = int8_det.Score(ds.val);
+    const std::vector<float> test_q = int8_det.Score(ds.test);
+    const eval::DetectionReport rep_q = eval::EvaluateDetection(
+        val_q, test_q, ds.test.labels, fraction);
+
+    QuantParityRow row;
+    row.dataset = data::DatasetName(dataset);
+    row.f1_fp32 = rep_fp.adjusted.f1;
+    row.f1_int8 = rep_q.adjusted.f1;
+    row.delta = std::fabs(row.f1_int8 - row.f1_fp32);
+    row.fell_back = int8_det.quant_fallbacks() > 0;
+    max_f1_delta = std::max(max_f1_delta, row.delta);
+    if (row.delta > kQuantF1Tolerance || row.fell_back) f1_parity = false;
+    std::printf("%-16s f1_fp32=%.4f f1_int8=%.4f delta=%.4f%s\n",
+                row.dataset.c_str(), row.f1_fp32, row.f1_int8, row.delta,
+                row.fell_back ? "  (FELL BACK TO FP32)" : "");
+    parity.push_back(std::move(row));
+  }
+
+  const int hw_cores =
+      static_cast<int>(std::thread::hardware_concurrency());
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"workload\": \"tfmae_score_window_int8\",\n");
+  std::fprintf(f,
+               "  \"shape\": \"W%lld_D%lld_L%lld_F%lld\",\n"
+               "  \"windows\": %d,\n  \"reps\": %d,\n  \"isa\": \"%s\",\n"
+               "  \"parity_epochs\": %lld,\n  \"parity_dataset_scale\": %.3f,\n",
+               static_cast<long long>(config.window),
+               static_cast<long long>(config.model_dim),
+               static_cast<long long>(config.num_layers),
+               static_cast<long long>(series.num_features), kNumWindows,
+               kReps, quant::QuantGemmIsa(),
+               static_cast<long long>(kQuantParityEpochs), scale);
+  std::fprintf(f,
+               "  \"plan\": {\"ops\": %lld, \"quant_linear_ops\": %lld, "
+               "\"elided_quant_pairs\": %lld, \"quant_arena_bytes\": %lld, "
+               "\"fp32_arena_bytes\": %lld},\n",
+               static_cast<long long>(qs.ops),
+               static_cast<long long>(qs.quant_linear_ops),
+               static_cast<long long>(qs.elided_quant_pairs),
+               static_cast<long long>(qs.quant_arena_bytes),
+               static_cast<long long>(qs.arena_bytes));
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"precision\": \"%s\", \"threads\": %d, "
+                 "\"ns_per_window\": %.0f, \"hw_cores\": %d}%s\n",
+                 rows[i].precision, rows[i].threads, rows[i].ns_per_window,
+                 hw_cores, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"profiles\": [\n");
+  for (std::size_t i = 0; i < parity.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"dataset\": \"%s\", \"f1_fp32\": %.4f, "
+                 "\"f1_int8\": %.4f, \"delta\": %.4f, \"fell_back\": %s}%s\n",
+                 parity[i].dataset.c_str(), parity[i].f1_fp32,
+                 parity[i].f1_int8, parity[i].delta,
+                 parity[i].fell_back ? "true" : "false",
+                 i + 1 < parity.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"summary\": {\n");
+  std::fprintf(f, "    \"speedup_1t_x\": %.2f,\n", speedup_1t);
+  std::fprintf(f, "    \"scores_bitwise_identical\": %s,\n",
+               bitwise_identical ? "true" : "false");
+  std::fprintf(f, "    \"f1_parity\": %s,\n", f1_parity ? "true" : "false");
+  std::fprintf(f, "    \"max_f1_delta\": %.4f,\n", max_f1_delta);
+  std::fprintf(f, "    \"profiles_evaluated\": %zu,\n", parity.size());
+  std::fprintf(f, "    \"hw_cores\": %d\n", hw_cores);
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf(
+      "summary: speedup_1t_x=%.2f scores_bitwise_identical=%s f1_parity=%s "
+      "max_f1_delta=%.4f hw_cores=%d\n",
+      speedup_1t, bitwise_identical ? "true" : "false",
+      f1_parity ? "true" : "false", max_f1_delta, hw_cores);
+  std::printf("wrote %s\n", path.c_str());
+  return (bitwise_identical && f1_parity) ? 0 : 1;
 }
 
 // ---- resilience drill (--resilience_json=PATH) -----------------------------
@@ -1321,13 +1614,14 @@ int RunServingSweep(const std::string& path) {
                  "\"rows_per_sec\": %.0f, \"windows_per_sec\": %.0f, "
                  "\"p50_window_us\": %.1f, \"p95_window_us\": %.1f, "
                  "\"p99_window_us\": %.1f, \"bytes_per_stream\": %lld, "
-                 "\"batches\": %lld, \"max_batch\": %lld}%s\n",
+                 "\"batches\": %lld, \"max_batch\": %lld, "
+                 "\"hw_cores\": %d}%s\n",
                  static_cast<long long>(r.streams), r.threads,
                  r.rows_per_sec, r.windows_per_sec, r.p50_window_us,
                  r.p95_window_us, r.p99_window_us,
                  static_cast<long long>(r.bytes_per_stream),
                  static_cast<long long>(r.batches),
-                 static_cast<long long>(r.max_batch),
+                 static_cast<long long>(r.max_batch), hw_cores,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"summary\": {\n");
@@ -1374,6 +1668,13 @@ int main(int argc, char** argv) {
   }
   if (const auto path = FlagValue(argc, argv, "--serving_json=")) {
     return tfmae::RunServingSweep(*path);
+  }
+  if (const auto path = FlagValue(argc, argv, "--quant_json=")) {
+    int max_profiles = 0;  // 0 = all dataset profiles
+    if (const auto limit = FlagValue(argc, argv, "--quant_profiles=")) {
+      max_profiles = std::atoi(limit->c_str());
+    }
+    return tfmae::RunQuantSweep(*path, max_profiles);
   }
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

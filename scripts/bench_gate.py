@@ -29,6 +29,14 @@ the latter only enforced when the measuring host actually has >= 4
 hardware cores (the sweep records hw_cores; on smaller hosts the scaling
 check degrades to the relative-to-baseline comparison). `scripts/check.sh bench` produces them; see
 bench_results/baselines/README.md for how the baselines were recorded.
+
+The quant sweep (quant.json, produced by `bench_micro --quant_json`)
+carries the int8 acceptance contract (DESIGN.md §12) as hard floors that
+are ALWAYS armed — they are single-thread and accuracy measurements, so no
+hw_cores waiver applies: int8 scoring must be >= 1.8x faster than fp32 at
+1 thread, int8 scores must be bitwise thread-count-invariant, and
+point-adjust F1 must match fp32 within |dF1| <= 0.005 on every dataset
+profile (f1_parity records the verdict; max_f1_delta the worst case).
 """
 
 import argparse
@@ -62,6 +70,11 @@ SUMMARY_CHECKS = {
         ("batch_efficiency_x", "ratio"),
         ("batched_bitwise_identical", "bool"),
     ],
+    "quant.json": [
+        ("speedup_1t_x", "ratio"),
+        ("scores_bitwise_identical", "bool"),
+        ("f1_parity", "bool"),
+    ],
 }
 
 # Absolute floors (checked against the *current* sweep, independent of the
@@ -74,11 +87,55 @@ PLAN_ELEMENTWISE_4T_FLOOR = 1.5
 # must demonstrate at least this many concurrent streams.
 SERVING_MAX_STREAMS_FLOOR = 1024
 
+# Int8 acceptance contract (DESIGN.md §12). Single-thread speedup and F1
+# parity are host-size-independent, so these floors are never waived.
+QUANT_SPEEDUP_1T_FLOOR = 1.8
+QUANT_F1_TOLERANCE = 0.005
+
+
+def quant_floor_failures(name, current):
+    """Absolute acceptance floors for the int8 quantization sweep."""
+    if name != "quant.json" or not isinstance(current, dict):
+        return []
+    failures = []
+    summary = current.get("summary", {})
+    speedup = summary.get("speedup_1t_x", 0.0)
+    if speedup < QUANT_SPEEDUP_1T_FLOOR:
+        failures.append(
+            f"{name}: speedup_1t_x = {speedup:.2f}, below the hard "
+            f"{QUANT_SPEEDUP_1T_FLOOR}x int8-vs-fp32 floor at 1 thread")
+    else:
+        print(f"  ok  {name}: speedup_1t_x = {speedup:.2f} "
+              f"(hard floor {QUANT_SPEEDUP_1T_FLOOR})")
+    if not summary.get("scores_bitwise_identical", False):
+        failures.append(
+            f"{name}: scores_bitwise_identical is not true — int8 scores "
+            f"diverged across thread counts")
+    else:
+        print(f"  ok  {name}: scores_bitwise_identical = true (hard)")
+    max_delta = summary.get("max_f1_delta", None)
+    if not summary.get("f1_parity", False) or max_delta is None \
+            or max_delta > QUANT_F1_TOLERANCE:
+        failures.append(
+            f"{name}: f1_parity failed (max_f1_delta = {max_delta}, "
+            f"tolerance {QUANT_F1_TOLERANCE}) — int8 F1 drifted from fp32 "
+            f"on at least one dataset profile")
+    else:
+        print(f"  ok  {name}: f1_parity = true, max_f1_delta = "
+              f"{max_delta:.4f} (hard tolerance {QUANT_F1_TOLERANCE})")
+    fell_back = [p.get("dataset", "?") for p in current.get("profiles", [])
+                 if p.get("fell_back", False)]
+    if fell_back:
+        failures.append(
+            f"{name}: fp32 fallback during parity evaluation on "
+            f"{', '.join(fell_back)} — parity was not measured on int8")
+    return failures
+
 
 def serving_floor_failures(name, current):
     """Absolute acceptance floors for the fleet-serving sweep."""
     if name != "serving.json" or not isinstance(current, dict):
-        return []
+        return quant_floor_failures(name, current)
     failures = []
     summary = current.get("summary", {})
     if not summary.get("batched_bitwise_identical", False):

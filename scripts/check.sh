@@ -3,7 +3,7 @@
 # observability layer compiled in.
 #
 # Usage:
-#   scripts/check.sh [plain|thread|address|undefined|obs|pool|faults|report|bench|plan|serve] [extra ctest args...]
+#   scripts/check.sh [plain|thread|address|undefined|obs|pool|faults|report|bench|plan|serve|quant] [extra ctest args...]
 #
 # Examples:
 #   scripts/check.sh                 # plain Release build, full suite
@@ -13,6 +13,7 @@
 #   scripts/check.sh faults          # -DTFMAE_FAULTS=ON + UBSan + seeded sweep
 #   scripts/check.sh report          # run-telemetry suite + bench-gate smoke
 #   scripts/check.sh bench           # bench sweeps gated against baselines
+#   scripts/check.sh quant           # int8 suites under ASan+UBSan + parity smoke
 #
 # The obs mode is the instrumentation soak from docs/OBSERVABILITY.md: the
 # whole tier-1 suite runs with the macros compiled in, TFMAE_OBS=1 so every
@@ -66,6 +67,18 @@
 # allocation reduction, bitwise-determinism booleans) regresses past the
 # tolerance in scripts/bench_gate.py.
 #
+# The quant mode is the int8-scoring soak from DESIGN.md §12: the quant
+# suites (kernel ISA/thread-count bitwise identity, QuantSpec container
+# round-trips, calibration edge cases, int8 plan activation and fallback —
+# including the injected-fault fp32 demotion) run under AddressSanitizer
+# and again under UndefinedBehaviorSanitizer, both with -DTFMAE_FAULTS=ON
+# and -DTFMAE_OBS=ON so the fallback and ledger cases are active. Then the
+# ASan build runs a 3-profile F1-parity smoke (`bench_micro
+# --quant_json ... --quant_profiles=3`), which fails on its own if int8 F1
+# drifts past the tolerance or int8 scores diverge across thread counts.
+# The full 5-profile parity sweep with the 1.8x speedup floor runs in
+# bench mode, where timings are unsanitized.
+#
 # Each mode builds into its own directory (build-check-<mode>) so sanitized
 # and plain object files never mix.
 set -euo pipefail
@@ -82,19 +95,28 @@ case "$SAN" in
   pool)    SAN_FLAG="-DTFMAE_SANITIZE=address" ;;
   faults)  SAN_FLAG="-DTFMAE_FAULTS=ON -DTFMAE_OBS=ON -DTFMAE_SANITIZE=undefined" ;;
   report|bench) SAN_FLAG="-DTFMAE_OBS=ON -DTFMAE_FAULTS=ON" ;;
-  plan|serve)   SAN_FLAG="" ;;
+  plan|serve|quant) SAN_FLAG="" ;;
   *)
-    echo "usage: $0 [plain|thread|address|undefined|obs|pool|faults|report|bench|plan|serve] [ctest args...]" >&2
+    echo "usage: $0 [plain|thread|address|undefined|obs|pool|faults|report|bench|plan|serve|quant] [ctest args...]" >&2
     exit 2
     ;;
 esac
 
+# configure_and_build DIR [cmake flags...] — one CMake configure + build per
+# mode/sanitizer combination, each into its own directory so sanitized and
+# plain object files never mix.
+configure_and_build() {
+  local dir="$1"
+  shift
+  cmake -B "$dir" -S . "$@" >/dev/null
+  cmake --build "$dir" -j "$(nproc)"
+}
+
 if [ "$SAN" = "plan" ]; then
   for san in address thread; do
     BUILD_DIR="build-check-plan-$san"
-    cmake -B "$BUILD_DIR" -S . \
-      -DTFMAE_OBS=ON -DTFMAE_FAULTS=ON "-DTFMAE_SANITIZE=$san" >/dev/null
-    cmake --build "$BUILD_DIR" -j "$(nproc)"
+    configure_and_build "$BUILD_DIR" \
+      -DTFMAE_OBS=ON -DTFMAE_FAULTS=ON "-DTFMAE_SANITIZE=$san"
     echo "== plan suite: $san sanitizer, capture/replay/fallback tests =="
     ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'InferencePlan' "$@"
   done
@@ -104,9 +126,8 @@ fi
 if [ "$SAN" = "serve" ]; then
   for san in address thread; do
     BUILD_DIR="build-check-serve-$san"
-    cmake -B "$BUILD_DIR" -S . \
-      -DTFMAE_OBS=ON -DTFMAE_FAULTS=ON "-DTFMAE_SANITIZE=$san" >/dev/null
-    cmake --build "$BUILD_DIR" -j "$(nproc)"
+    configure_and_build "$BUILD_DIR" \
+      -DTFMAE_OBS=ON -DTFMAE_FAULTS=ON "-DTFMAE_SANITIZE=$san"
     echo "== serve suite: $san sanitizer, fleet-server tests =="
     ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'Serve' "$@"
   done
@@ -116,10 +137,24 @@ if [ "$SAN" = "serve" ]; then
   exit 0
 fi
 
+if [ "$SAN" = "quant" ]; then
+  for san in address undefined; do
+    BUILD_DIR="build-check-quant-$san"
+    configure_and_build "$BUILD_DIR" \
+      -DTFMAE_OBS=ON -DTFMAE_FAULTS=ON "-DTFMAE_SANITIZE=$san"
+    echo "== quant suite: $san sanitizer, kernel/spec/calibration/plan tests =="
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'Quant' "$@"
+  done
+  echo "== quant parity smoke: 3 dataset profiles, int8 vs fp32 F1 =="
+  "build-check-quant-address/bench/bench_micro" \
+    --quant_json="build-check-quant-address/quant_smoke.json" \
+    --quant_profiles=3
+  exit 0
+fi
+
 BUILD_DIR="build-check-$SAN"
 
-cmake -B "$BUILD_DIR" -S . $SAN_FLAG >/dev/null
-cmake --build "$BUILD_DIR" -j "$(nproc)"
+configure_and_build "$BUILD_DIR" $SAN_FLAG
 if [ "$SAN" = "obs" ]; then
   TFMAE_OBS=1 ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"
 elif [ "$SAN" = "faults" ]; then
@@ -155,6 +190,9 @@ elif [ "$SAN" = "bench" ]; then
   echo "== bench sweep: fleet serving =="
   "$BUILD_DIR/bench/bench_micro" \
     --serving_json="$OUT_DIR/serving.json"
+  echo "== bench sweep: int8 quantization (5-profile F1 parity) =="
+  "$BUILD_DIR/bench/bench_micro" \
+    --quant_json="$OUT_DIR/quant.json"
   echo "== bench gate: sweeps vs bench_results/baselines =="
   python3 scripts/bench_gate.py --current-dir "$OUT_DIR"
 elif [ "$SAN" = "pool" ]; then

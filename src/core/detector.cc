@@ -14,6 +14,7 @@
 #include "obs/ledger.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
+#include "tensor/quant_kernels.h"
 #include "util/crc32.h"
 #include "util/fault.h"
 #include "util/logging.h"
@@ -78,13 +79,95 @@ bool InferencePlanEnvDefault() {
   return !(v[0] == '0' && v[1] == '\0');
 }
 
+// TFMAE_QUANT selects the scoring precision: "int8" enables the quantized
+// path (with automatic fp32 fallback), anything else is off.
+TfmaeDetector::QuantMode QuantModeEnvDefault() {
+  const char* v = std::getenv("TFMAE_QUANT");
+  if (v != nullptr && std::string(v) == "int8") {
+    return TfmaeDetector::QuantMode::kInt8;
+  }
+  return TfmaeDetector::QuantMode::kOff;
+}
+
+// Calibration replays are bounded: past this many windows the observed
+// ranges have long converged and further replays only cost time.
+constexpr std::size_t kMaxCalibrationWindows = 64;
+
 }  // namespace
 
 TfmaeDetector::TfmaeDetector(TfmaeConfig config, std::string name)
     : name_(std::move(name)),
       config_(config),
       rng_(config.seed),
-      plan_enabled_(InferencePlanEnvDefault()) {}
+      plan_enabled_(InferencePlanEnvDefault()),
+      quant_mode_(QuantModeEnvDefault()) {}
+
+void TfmaeDetector::SetQuantMode(QuantMode mode) {
+  if (mode != quant_mode_) plan_.reset();  // precision change: plan is stale
+  quant_mode_ = mode;
+}
+
+void TfmaeDetector::SetQuantSpec(QuantSpec spec) {
+  quant_spec_ = std::move(spec);
+  plan_.reset();
+}
+
+bool TfmaeDetector::Calibrate(const data::TimeSeries& series,
+                              std::string* error) {
+  TFMAE_CHECK_MSG(fitted_, "Calibrate() called before Fit()");
+  TFMAE_CHECK(series.num_features == model_->num_features());
+  const data::TimeSeries normalized = normalizer_.Apply(series);
+  const std::int64_t window = std::min(config_.window, normalized.length);
+  const std::int64_t stride =
+      config_.score_stride > 0 ? std::min(config_.score_stride, window)
+                               : window;
+  const std::vector<std::int64_t> starts =
+      data::WindowStarts(normalized.length, window, stride);
+
+  // A private mask rng keeps calibration from perturbing the detector's
+  // scoring stream — Score() after Calibrate() is bitwise the same as
+  // Score() without it.
+  Rng mask_rng(config_.seed + 1);
+  std::vector<MaskedWindow> windows;
+  windows.reserve(std::min(starts.size(), kMaxCalibrationWindows));
+  for (std::int64_t start : starts) {
+    if (windows.size() >= kMaxCalibrationWindows) break;
+    std::vector<float> values = ExtractWindow(normalized, start, window);
+    if (config_.per_window_normalization) {
+      PerWindowNormalize(&values, window, normalized.num_features);
+    }
+    windows.push_back(model_->PrepareWindow(values, &mask_rng));
+  }
+
+  QuantSpec spec;
+  if (!CalibrateQuantSpec(*model_, windows, series.num_features, &spec,
+                          error)) {
+    return false;
+  }
+  quant_spec_ = std::move(spec);
+  plan_.reset();  // next Score() may now compile the quantized plan
+  TFMAE_COUNTER_ADD("infer.quant.calibrations", 1);
+  if (obs::LedgerActive()) {
+    float amax_lo = 0.0f;
+    float amax_hi = 0.0f;
+    for (std::size_t i = 0; i < quant_spec_.sites.size(); ++i) {
+      const float a = quant_spec_.sites[i].TensorAbsMax();
+      if (i == 0) {
+        amax_lo = amax_hi = a;
+      } else {
+        amax_lo = std::min(amax_lo, a);
+        amax_hi = std::max(amax_hi, a);
+      }
+    }
+    obs::Ledger::Instance().Event(
+        "quant", {{"verdict", obs::JsonQuote("calibrated")},
+                  {"sites", std::to_string(quant_spec_.sites.size())},
+                  {"windows", std::to_string(quant_spec_.windows)},
+                  {"amax_min", std::to_string(amax_lo)},
+                  {"amax_max", std::to_string(amax_hi)}});
+  }
+  return true;
+}
 
 void TfmaeDetector::Fit(const data::TimeSeries& train) {
   FitInternal(train, FitOptions{}, nullptr);
@@ -390,7 +473,14 @@ bool TfmaeDetector::SaveCheckpoint(const std::string& prefix) const {
     }
     if (!norm) return false;
   }
-  return nn::SaveParameters(*model_, prefix + ".weights");
+  if (!nn::SaveParameters(*model_, prefix + ".weights")) return false;
+  // The calibration spec travels with the checkpoint as its own container
+  // (<prefix>.quant) so a missing/corrupt quant file degrades the loaded
+  // detector to fp32 scoring instead of failing the weight load.
+  if (!quant_spec_.empty() && !SaveQuantSpec(quant_spec_, prefix + ".quant")) {
+    return false;
+  }
+  return true;
 }
 
 bool TfmaeDetector::LoadCheckpoint(const std::string& prefix) {
@@ -419,6 +509,13 @@ bool TfmaeDetector::LoadCheckpoint(const std::string& prefix) {
     return false;
   }
   plan_.reset();  // loaded weights: any captured plan is stale
+  quant_spec_ = QuantSpec{};
+  std::string quant_error;
+  if (!LoadQuantSpec(prefix + ".quant", &quant_spec_, &quant_error)) {
+    // Missing or corrupt calibration: degrade to fp32 scoring; int8 mode
+    // will count a fallback per Score() call until re-calibrated.
+    quant_spec_ = QuantSpec{};
+  }
   optimizer_.reset();  // a loaded detector scores; re-Fit to train further
   fitted_ = true;
   return true;
@@ -439,6 +536,33 @@ std::vector<float> TfmaeDetector::Score(const data::TimeSeries& series) {
   std::vector<double> score_sum(static_cast<std::size_t>(series.length), 0.0);
   std::vector<std::int32_t> score_count(
       static_cast<std::size_t>(series.length), 0);
+  // Resolve the scoring precision once per call. Int8 needs a calibration
+  // spec whose feature count matches the scored series; anything else is a
+  // counted, ledger-visible fallback to fp32.
+  auto quant_fallback = [this](const std::string& reason) {
+    ++quant_fallbacks_;
+    TFMAE_COUNTER_ADD("infer.quant.fallbacks", 1);
+    if (obs::LedgerActive()) {
+      obs::Ledger::Instance().Event(
+          "quant", {{"verdict", obs::JsonQuote("fallback")},
+                    {"reason", obs::JsonQuote(reason)}});
+    }
+  };
+  const QuantSpec* quant = nullptr;
+  if (quant_mode_ == QuantMode::kInt8) {
+    if (quant_spec_.empty()) {
+      quant_fallback("no calibration spec");
+    } else if (quant_spec_.num_features != series.num_features) {
+      quant_fallback("calibration feature count mismatch: spec " +
+                     std::to_string(quant_spec_.num_features) + " vs series " +
+                     std::to_string(series.num_features));
+    } else if (!plan_enabled_) {
+      quant_fallback("inference plan disabled");
+    } else {
+      quant = &quant_spec_;
+    }
+  }
+
   // A failed capture disables the plan for the remainder of this call
   // (each window would fail the same way); the next Score() retries.
   bool capture_failed_this_call = false;
@@ -448,18 +572,35 @@ std::vector<float> TfmaeDetector::Score(const data::TimeSeries& series) {
       PerWindowNormalize(&values, window, normalized.num_features);
     }
     const MaskedWindow masked = model_->PrepareWindow(values, &rng_);
-    if (plan_enabled_ && plan_ != nullptr && plan_->Matches(masked)) {
+    if (plan_enabled_ && plan_ != nullptr && plan_->Matches(masked) &&
+        plan_->stats().quantized == (quant != nullptr)) {
       plan_->Score(masked, &plan_scores_);
     } else if (plan_enabled_ && !capture_failed_this_call) {
-      // Capture (or re-capture after a geometry change). The capture pass
-      // runs this window eagerly and returns its scores either way.
+      // Capture (or re-capture after a geometry / precision change). The
+      // capture pass runs this window eagerly and returns its scores
+      // either way.
       std::string err;
       std::unique_ptr<InferencePlan> built;
+      const QuantSpec* capture_quant = quant;
+      if (capture_quant != nullptr && TFMAE_FAULT("infer.quant.capture")) {
+        // Injected quant-capture fault: prove the fp32 fallback path.
+        quant_fallback("injected fault: infer.quant.capture");
+        capture_quant = nullptr;
+        quant = nullptr;
+      }
       if (TFMAE_FAULT("infer.plan.capture")) {
         err = "injected fault: infer.plan.capture";
         plan_scores_ = model_->ScoreWindow(masked);
       } else {
-        built = InferencePlan::Capture(*model_, masked, &plan_scores_, &err);
+        built = InferencePlan::Capture(*model_, masked, &plan_scores_, &err,
+                                       capture_quant);
+        if (built == nullptr && capture_quant != nullptr) {
+          // Quantized capture failed its self-verification (or lowering):
+          // fall back to a fp32 plan for this and future windows.
+          quant_fallback(err);
+          quant = nullptr;
+          built = InferencePlan::Capture(*model_, masked, &plan_scores_, &err);
+        }
       }
       if (built != nullptr) {
         plan_ = std::move(built);
@@ -477,6 +618,18 @@ std::vector<float> TfmaeDetector::Score(const data::TimeSeries& series) {
                // Wall-clock field: the t_ prefix keeps it out of the
                // thread-count-invariant canonical stream.
                {"t_capture_ms", std::to_string(ps.capture_ms)}});
+          if (ps.quantized) {
+            obs::Ledger::Instance().Event(
+                "quant",
+                {{"verdict", obs::JsonQuote("self_verified")},
+                 {"isa", obs::JsonQuote(quant::QuantGemmIsa())},
+                 {"sites", std::to_string(quant_spec_.sites.size())},
+                 {"quant_linear_ops", std::to_string(ps.quant_linear_ops)},
+                 {"elided_quant_pairs",
+                  std::to_string(ps.elided_quant_pairs)},
+                 {"quant_arena_bytes",
+                  std::to_string(ps.quant_arena_bytes)}});
+          }
         }
       } else {
         plan_.reset();

@@ -121,6 +121,31 @@ class TfmaeDetector : public AnomalyDetector {
   /// unsupported graphs).
   std::int64_t plan_capture_failures() const { return plan_capture_failures_; }
 
+  /// Int8 scoring path (DESIGN.md §12). The default tracks TFMAE_QUANT
+  /// ("int8" enables; anything else — including unset — is off). With int8
+  /// selected AND a calibration spec present, Score() compiles a quantized
+  /// InferencePlan; a missing spec, a feature-count mismatch between the
+  /// spec and the scored series, or a failed quantized capture each fall
+  /// back to the fp32 path automatically (counted in quant_fallbacks(),
+  /// ledger-visible as a `quant` event with verdict=fallback).
+  enum class QuantMode { kOff = 0, kInt8 = 1 };
+  void SetQuantMode(QuantMode mode);
+  QuantMode quant_mode() const { return quant_mode_; }
+
+  /// Runs the calibration pass: slices `series` into scoring windows,
+  /// replays them through a fp32 plan with activation observers, and
+  /// records per-channel absmax ranges into the detector's QuantSpec
+  /// (persisted by SaveCheckpoint as <prefix>.quant). Requires Fit().
+  /// Returns false — spec untouched — with a reason in `error`.
+  bool Calibrate(const data::TimeSeries& series, std::string* error = nullptr);
+
+  const QuantSpec& quant_spec() const { return quant_spec_; }
+  void SetQuantSpec(QuantSpec spec);
+  bool has_quant_spec() const { return !quant_spec_.empty(); }
+
+  /// Score() calls / captures that wanted int8 but ran fp32 instead.
+  std::int64_t quant_fallbacks() const { return quant_fallbacks_; }
+
   /// Persists the complete fitted detector (config, normalizer statistics,
   /// and network weights) under `prefix` (three files: <prefix>.config,
   /// <prefix>.norm, <prefix>.weights). Requires Fit(). Returns false on I/O
@@ -155,6 +180,11 @@ class TfmaeDetector : public AnomalyDetector {
   bool plan_enabled_ = true;
   std::int64_t plan_capture_failures_ = 0;
   std::vector<float> plan_scores_;  ///< reusable replay output buffer
+
+  // Int8 scoring state (DESIGN.md §12).
+  QuantMode quant_mode_ = QuantMode::kOff;
+  QuantSpec quant_spec_;
+  std::int64_t quant_fallbacks_ = 0;
 };
 
 }  // namespace tfmae::core

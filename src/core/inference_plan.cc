@@ -39,6 +39,7 @@
 #include "tensor/gemm_kernels.h"
 #include "tensor/op_kernels.h"
 #include "tensor/pool.h"
+#include "tensor/quant_kernels.h"
 #include "util/logging.h"
 #include "util/memory.h"
 
@@ -68,6 +69,24 @@ struct FusedStep {
 
 struct ReplayOp;
 using ReplayFn = void (*)(const ReplayOp&);
+
+/// Resolved operands of one int8 linear op (DESIGN.md §12). Lives in
+/// State::qdata; the ReplayOp only carries a pointer so the fp32 hot path
+/// stays compact.
+struct QuantOpData {
+  const float* src = nullptr;    ///< fp32 input activation, [m, k]
+  std::uint8_t* qbuf = nullptr;  ///< u8 arena slot, [m, k4]
+  bool quantize = false;  ///< first site reading this input: fills qbuf
+  const float* ch_inv = nullptr;  ///< per-channel 1/scale, k floats
+  const std::int8_t* packed = nullptr;   ///< VNNI-packed s8 weights
+  const float* col_scale = nullptr;      ///< per-output-channel scales
+  const std::int32_t* col_comp = nullptr;  ///< zero-point compensation
+  const float* bias = nullptr;             ///< null for Epilogue::kNone
+  quant::Epilogue epilogue = quant::Epilogue::kNone;
+  std::int64_t m = 0;
+  std::int64_t k = 0;
+  std::int64_t n = 0;
+};
 
 /// A fully-resolved op: kernel pointer plus raw operand pointers. Replay
 /// never touches tensors or node tables.
@@ -107,6 +126,8 @@ struct ReplayOp {
   FusedStep steps[kMaxFusedSteps];
   const float* ext[kMaxFusedExt] = {nullptr};
   std::int64_t ext_n[kMaxFusedExt] = {0};
+
+  const QuantOpData* qd = nullptr;  ///< int8 linear ops only
 };
 
 // ---- Replay kernels --------------------------------------------------------
@@ -221,6 +242,40 @@ void RunBiasGelu(const ReplayOp& op) {
   });
 }
 
+// Int8-plan twin of RunBiasGelu: identical structure, FastGelu inside.
+// Only quantized plans resolve to the Fast* kernels — the fp32 plan keeps
+// libm so it stays bitwise-identical to eager scoring.
+void RunBiasGeluFast(const ReplayOp& op) {
+  const float* x = op.in0;
+  const float* bias = op.in1;
+  const std::int64_t bn = op.n1;
+  float* out = op.out;
+  kn::ForEachElemChunkCoarse(op.out_n, [=](std::int64_t s, std::int64_t e) {
+    std::int64_t i = s;
+    for (std::int64_t ib = s % bn; i < e && ib != 0; ++i) {
+      out[i] = quant::FastGelu(x[i] + bias[ib]);
+      if (++ib == bn) ib = 0;
+    }
+    for (; i + bn <= e; i += bn) {
+      quant::BiasGeluRowFast(x + i, bias, out + i, bn);
+    }
+    for (std::int64_t c = 0; i < e; ++i, ++c) {
+      out[i] = quant::FastGelu(x[i] + bias[c]);
+    }
+  });
+}
+
+void RunQuantLinear(const ReplayOp& op) {
+  const QuantOpData& q = *op.qd;
+  if (q.quantize) {
+    quant::QuantizeU8PerChannel(q.src, q.qbuf, q.m, q.k, q.ch_inv);
+  }
+  // a_scale is 1: the per-channel activation scales are folded into the
+  // packed weights (row_scale at pack time), see quant_kernels.h.
+  quant::QuantLinear(q.qbuf, q.packed, q.col_scale, q.col_comp, q.bias, 1.0f,
+                     q.epilogue, op.out, q.m, q.k, q.n);
+}
+
 void RunMatMul(const ReplayOp& op) {
   std::memset(op.out, 0,
               static_cast<std::size_t>(op.m * op.n) * sizeof(float));
@@ -279,6 +334,19 @@ void RunScaleSoftmax(const ReplayOp& op) {
     for (std::int64_t r = r0; r < r1; ++r) {
       kn::ScaleSoftmaxRow(op.in0 + r * cols, op.out + r * cols, cols,
                           op.scalar, tmp);
+    }
+  });
+}
+
+// Int8-plan twin of RunScaleSoftmax with the FastExp polynomial.
+void RunScaleSoftmaxFast(const ReplayOp& op) {
+  const std::int64_t cols = op.k;
+  kn::ForEachRowChunk(op.m, cols, [&op, cols](std::int64_t r0,
+                                              std::int64_t r1) {
+    float* tmp = op.scratch + (r0 / op.grain) * cols;
+    for (std::int64_t r = r0; r < r1; ++r) {
+      quant::ScaleSoftmaxRowFast(op.in0 + r * cols, op.out + r * cols, cols,
+                                 op.scalar, tmp);
     }
   });
 }
@@ -432,6 +500,32 @@ struct InferencePlan::State {
   std::vector<BindInput> inputs;
   std::vector<int> dyn_idx_ops;  ///< op indices whose idx rebinds per window
   int terminal = -1;             ///< index of the kSymKlPerRow op
+
+  // Calibration observer sites: fp32 weight-bearing matmuls in op order.
+  struct ObserverSite {
+    int op_index;
+    int weight_index;
+    const float* in;
+    std::int64_t rows;
+    std::int64_t cols;
+  };
+  std::vector<ObserverSite> observer_sites;
+
+  // Int8 path state (quantized plans only). qdata and qpacks never
+  // reallocate once ReplayOps point into them (reserved up front).
+  struct QuantWeightPack {
+    std::vector<std::int8_t> packed;
+    std::vector<float> col_scale;
+    std::vector<std::int32_t> col_comp;
+  };
+  std::vector<QuantWeightPack> qpacks;
+  std::vector<QuantOpData> qdata;
+  std::unique_ptr<std::uint8_t[]> qarena;  ///< packed u8 activation slots
+  std::int64_t qarena_bytes = 0;
+  // Per-slot per-channel activation scales (and reciprocals); fully built
+  // before any QuantOpData points into them.
+  std::vector<std::vector<float>> qch_scale;
+  std::vector<std::vector<float>> qch_inv;
 };
 
 InferencePlan::InferencePlan() = default;
@@ -441,13 +535,17 @@ InferencePlan::~InferencePlan() {
     MemoryStats::RecordFree(
         static_cast<std::size_t>(state_->arena_floats) * sizeof(float));
   }
+  if (state_ != nullptr && state_->qarena != nullptr) {
+    MemoryStats::RecordFree(static_cast<std::size_t>(state_->qarena_bytes));
+  }
 }
 
 // ---- Capture ---------------------------------------------------------------
 
 std::unique_ptr<InferencePlan> InferencePlan::Capture(
     const TfmaeModel& model, const MaskedWindow& example,
-    std::vector<float>* eager_scores, std::string* error) {
+    std::vector<float>* eager_scores, std::string* error,
+    const QuantSpec* quant) {
   TFMAE_CHECK(eager_scores != nullptr);
   TFMAE_TRACE("infer.plan.capture");
   const auto t0 = std::chrono::steady_clock::now();
@@ -502,6 +600,148 @@ std::unique_ptr<InferencePlan> InferencePlan::Capture(
       continue;
     }
     prog.push_back(std::move(op));
+  }
+
+  // 2b. Int8 lowering (quantized plans only): every weight-bearing matmul
+  // with a calibrated site becomes a quant-linear op. A single consumer
+  // that is the Linear bias add (kBinary kAdd with a weight operand) or the
+  // feed-forward kBiasGelu is folded into the dequantization epilogue — the
+  // fp32 matmul output is then never materialized, which is the "elide
+  // quant/dequant pairs at fused boundaries" half of the accounting (the
+  // other half is shared-input quantization reuse, counted at resolve).
+  // qsite_of runs parallel to prog: >= 0 indexes qsites.
+  struct QuantLowering {
+    int x_node = -1;
+    int w_node = -1;
+    int bias_node = -1;  ///< -1 for Epilogue::kNone
+    quant::Epilogue epilogue = quant::Epilogue::kNone;
+    std::int64_t m = 0;
+    std::int64_t k = 0;
+    std::int64_t n = 0;
+    int out_node = -1;  ///< the folded consumer's output (or the matmul's)
+    const QuantSite* site = nullptr;
+  };
+  std::vector<QuantLowering> qsites;
+  std::vector<int> qsite_of(prog.size(), -1);
+  if (quant != nullptr) {
+    std::vector<int> quses(nodes.size(), 0);
+    std::vector<int> consumer(nodes.size(), -1);  // unique consumer, -2 many
+    for (int i = 0; i < static_cast<int>(prog.size()); ++i) {
+      for (int in : prog[i].inputs) {
+        ++quses[in];
+        consumer[in] = consumer[in] == -1 ? i : -2;
+      }
+    }
+    // Debug-only site filter for parity bisection: comma-separated weight
+    // indices. SKIP keeps the listed sites fp32; ONLY quantizes nothing but
+    // the listed sites. Unset in production.
+    auto parse_wlist = [](const char* name) {
+      std::vector<int> out;
+      const char* s = std::getenv(name);
+      if (s == nullptr) return out;
+      int v = 0;
+      bool have = false;
+      for (; ; ++s) {
+        if (*s >= '0' && *s <= '9') {
+          v = v * 10 + (*s - '0');
+          have = true;
+        } else {
+          if (have) out.push_back(v);
+          v = 0;
+          have = false;
+          if (*s == '\0') break;
+        }
+      }
+      return out;
+    };
+    const std::vector<int> dbg_skip = parse_wlist("TFMAE_QUANT_SKIP_W");
+    const std::vector<int> dbg_only = parse_wlist("TFMAE_QUANT_ONLY_W");
+    auto dbg_allows = [&](int w) {
+      for (int v : dbg_skip) {
+        if (v == w) return false;
+      }
+      if (!dbg_only.empty()) {
+        for (int v : dbg_only) {
+          if (v == w) return true;
+        }
+        return false;
+      }
+      return true;
+    };
+    std::vector<bool> removed(prog.size(), false);
+    std::vector<int> qmark(prog.size(), -1);
+    for (int i = 0; i < static_cast<int>(prog.size()); ++i) {
+      const cap::CapturedOp& op = prog[i];
+      if (op.kind != cap::OpKind::kMatMul) continue;
+      const int w_node = op.inputs[1];
+      if (nodes[w_node].kind != cap::NodeKind::kWeight) continue;
+      const QuantSite* site = quant->Find(nodes[w_node].weight_index);
+      if (site == nullptr) continue;
+      if (!dbg_allows(nodes[w_node].weight_index)) continue;
+      const std::int64_t k = op.attrs[1];
+      const std::int64_t n = op.attrs[2];
+      if (site->in_features != k ||
+          static_cast<std::int64_t>(site->absmax.size()) != k) {
+        continue;  // calibrated against a different geometry: stay fp32
+      }
+      QuantLowering lo;
+      lo.x_node = op.inputs[0];
+      lo.w_node = w_node;
+      lo.m = op.attrs[0];
+      lo.k = k;
+      lo.n = n;
+      lo.out_node = op.output;
+      lo.site = site;
+      const int u = op.output;
+      if (quses[u] == 1 && consumer[u] >= 0 && !removed[consumer[u]]) {
+        const cap::CapturedOp& c = prog[consumer[u]];
+        if (c.kind == cap::OpKind::kBinary &&
+            static_cast<kn::BinaryKind>(c.attrs[0]) == kn::BinaryKind::kAdd) {
+          const int other = c.inputs[0] == u ? c.inputs[1] : c.inputs[0];
+          if (nodes[other].kind == cap::NodeKind::kWeight &&
+              nodes[other].numel == n) {
+            lo.bias_node = other;
+            lo.epilogue = quant::Epilogue::kBias;
+            lo.out_node = c.output;
+            removed[consumer[u]] = true;
+            ++plan->stats_.elided_quant_pairs;
+          }
+        } else if (c.kind == cap::OpKind::kBiasGelu && c.inputs[0] == u &&
+                   nodes[c.inputs[1]].kind == cap::NodeKind::kWeight &&
+                   nodes[c.inputs[1]].numel == n) {
+          lo.bias_node = c.inputs[1];
+          lo.epilogue = quant::Epilogue::kBiasGelu;
+          lo.out_node = c.output;
+          removed[consumer[u]] = true;
+          ++plan->stats_.elided_quant_pairs;
+        }
+      }
+      qmark[i] = static_cast<int>(qsites.size());
+      qsites.push_back(lo);
+    }
+    if (qsites.empty()) {
+      return fail("quant: no calibrated site matches this graph");
+    }
+    std::vector<cap::CapturedOp> lowered;
+    std::vector<int> lowered_qsite;
+    lowered.reserve(prog.size());
+    for (int i = 0; i < static_cast<int>(prog.size()); ++i) {
+      if (removed[i]) continue;
+      cap::CapturedOp op = std::move(prog[i]);
+      if (qmark[i] >= 0) {
+        const QuantLowering& lo = qsites[static_cast<std::size_t>(qmark[i])];
+        // The quant-linear op defines the folded consumer's output and
+        // reads {x, w, bias}; the fp32 matmul intermediate disappears.
+        op.output = lo.out_node;
+        if (lo.bias_node >= 0) op.inputs.push_back(lo.bias_node);
+      }
+      lowered_qsite.push_back(qmark[i]);
+      lowered.push_back(std::move(op));
+    }
+    prog = std::move(lowered);
+    qsite_of = std::move(lowered_qsite);
+    plan->stats_.quantized = true;
+    plan->stats_.quant_linear_ops = static_cast<std::int64_t>(qsites.size());
   }
 
   // 3. Fusion: fold single-use binary producers into their consuming binary
@@ -634,6 +874,81 @@ std::unique_ptr<InferencePlan> InferencePlan::Capture(
   plan->stats_.arena_bytes = arena_bytes;
   float* arena = state->arena.get();
 
+  // 4b. Int8 activation arena: one u8 slot per DISTINCT quantized input
+  // node (q/k/v share theirs), lifetime-planned exactly like the fp32
+  // arena but in bytes — a slot is one quarter the size of its fp32
+  // counterpart. The first quant op reading a node fills the slot; later
+  // sites reuse it (each reuse is one more elided quant/dequant pair).
+  struct QSlot {
+    std::int64_t offset = -1;
+    std::int64_t bytes = 0;
+    int first = -1;  ///< live-op index that quantizes
+    int last = -1;   ///< last live-op index that reads
+    int vec = -1;    ///< index into State::qch_scale / qch_inv
+    std::vector<float> ch_absmax;  ///< per-channel calibrated |x| range
+  };
+  std::map<int, QSlot> qslots;  // by canonical x node
+  for (int j = 0; j < nops; ++j) {
+    const int qi = qsite_of[live[j]];
+    if (qi < 0) continue;
+    const QuantLowering& lo = qsites[static_cast<std::size_t>(qi)];
+    QSlot& slot = qslots[lo.x_node];
+    if (slot.first < 0) {
+      slot.first = j;
+      slot.bytes = lo.m * quant::RoundUpK4(lo.k);
+      slot.ch_absmax = lo.site->absmax;
+    } else {
+      ++plan->stats_.elided_quant_pairs;
+      // Sites sharing an input see identical data, so their calibrated
+      // ranges agree; the element-wise max is a no-op in practice but
+      // keeps the slot's shared scales safe if they ever diverge.
+      for (std::size_t c = 0; c < slot.ch_absmax.size(); ++c) {
+        slot.ch_absmax[c] = std::max(slot.ch_absmax[c], lo.site->absmax[c]);
+      }
+    }
+    slot.last = j;
+  }
+  // Activation scales, shared by every site reading the slot. The step is
+  // per-tensor — the calibrated tensor-wide absmax — carried through the
+  // per-channel fold machinery (all channels get the same step, so the
+  // fold into the weight rows is a uniform no-op on weight precision).
+  // Per-channel steps (SmoothQuant-style folding at alpha in {0.5, 1}) and
+  // extra headroom were both tried and measurably hurt parity: tight
+  // per-channel steps clip out-of-distribution test activations — exactly
+  // the anomaly signal the detector scores — and the fold inflates the
+  // per-column weight dynamic range.
+  for (auto& [node, slot] : qslots) {
+    slot.vec = static_cast<int>(state->qch_scale.size());
+    float amax_max = 0.0f;
+    for (const float a : slot.ch_absmax) amax_max = std::max(amax_max, a);
+    if (amax_max <= 1e-20f) amax_max = 1.0f;
+    std::vector<float> sc(slot.ch_absmax.size());
+    std::vector<float> inv(slot.ch_absmax.size());
+    for (std::size_t c = 0; c < slot.ch_absmax.size(); ++c) {
+      sc[c] = amax_max / 127.0f;
+      inv[c] = 1.0f / sc[c];
+    }
+    state->qch_scale.push_back(std::move(sc));
+    state->qch_inv.push_back(std::move(inv));
+  }
+  if (!qslots.empty()) {
+    ArenaPlanner qplanner;  // byte-granular (alignment = 16 bytes)
+    for (int j = 0; j < nops; ++j) {
+      for (auto& [node, slot] : qslots) {
+        if (slot.first == j) slot.offset = qplanner.Alloc(slot.bytes);
+      }
+      for (auto& [node, slot] : qslots) {
+        if (slot.last == j) qplanner.Free(slot.offset, slot.bytes);
+      }
+    }
+    state->qarena_bytes = std::max<std::int64_t>(qplanner.total_floats(), 1);
+    state->qarena =
+        std::make_unique<std::uint8_t[]>(
+            static_cast<std::size_t>(state->qarena_bytes));
+    MemoryStats::RecordAlloc(static_cast<std::size_t>(state->qarena_bytes));
+    plan->stats_.quant_arena_bytes = state->qarena_bytes;
+  }
+
   // 5. Positional-encoding tables (pure function of (length, dim); a
   // longer table's prefix equals the shorter one, so the plan's private
   // table matches the eager path's cache bit-for-bit).
@@ -671,14 +986,59 @@ std::unique_ptr<InferencePlan> InferencePlan::Capture(
   };
 
   state->ops.reserve(static_cast<std::size_t>(nops));
-  // index_snapshots must never reallocate once pointers are taken.
+  // index_snapshots / qdata / qpacks must never reallocate once pointers
+  // are taken.
   state->index_snapshots.reserve(static_cast<std::size_t>(nops));
+  state->qdata.reserve(qsites.size());
+  state->qpacks.reserve(qsites.size());
+  const bool is_quant = quant != nullptr;
   for (int j = 0; j < nops; ++j) {
     const cap::CapturedOp& op = prog[live[j]];
     ReplayOp rop;
     if (op.output >= 0) {
       rop.out = node_ptr(op.output);
       rop.out_n = nodes[op.output].numel;
+    }
+    const int qi = qsite_of[live[j]];
+    if (qi >= 0) {
+      // Int8 linear: pack this site's weights once, wire the shared u8
+      // activation slot, fuse the dequant (+bias/+GeLU) epilogue.
+      const QuantLowering& lo = qsites[static_cast<std::size_t>(qi)];
+      const QSlot& slot = qslots.at(lo.x_node);
+      State::QuantWeightPack pack;
+      pack.packed.resize(
+          static_cast<std::size_t>(quant::PackedWeightBytes(lo.k, lo.n)));
+      pack.col_scale.resize(static_cast<std::size_t>(lo.n));
+      pack.col_comp.resize(static_cast<std::size_t>(lo.n));
+      // The slot's per-channel activation scales fold into the weights
+      // here; the replayed epilogue then dequantizes with a_scale = 1.
+      quant::QuantizePackWeights(
+          node_ptr(lo.w_node), lo.k, lo.n, pack.packed.data(),
+          pack.col_scale.data(), pack.col_comp.data(),
+          state->qch_scale[static_cast<std::size_t>(slot.vec)].data());
+      state->qpacks.push_back(std::move(pack));
+      const State::QuantWeightPack& stored = state->qpacks.back();
+      QuantOpData qd;
+      qd.src = node_ptr(lo.x_node);
+      qd.qbuf = state->qarena.get() + slot.offset;
+      qd.quantize = slot.first == j;
+      qd.ch_inv = state->qch_inv[static_cast<std::size_t>(slot.vec)].data();
+      qd.packed = stored.packed.data();
+      qd.col_scale = stored.col_scale.data();
+      qd.col_comp = stored.col_comp.data();
+      qd.bias = lo.bias_node >= 0 ? node_ptr(lo.bias_node) : nullptr;
+      qd.epilogue = lo.epilogue;
+      qd.m = lo.m;
+      qd.k = lo.k;
+      qd.n = lo.n;
+      state->qdata.push_back(qd);
+      rop.fn = RunQuantLinear;
+      rop.qd = &state->qdata.back();
+      rop.m = lo.m;
+      rop.k = lo.k;
+      rop.n = lo.n;
+      state->ops.push_back(rop);
+      continue;
     }
     switch (op.kind) {
       case cap::OpKind::kBinary: {
@@ -706,7 +1066,7 @@ std::unique_ptr<InferencePlan> InferencePlan::Capture(
         break;
       }
       case cap::OpKind::kBiasGelu:
-        rop.fn = RunBiasGelu;
+        rop.fn = is_quant ? RunBiasGeluFast : RunBiasGelu;
         rop.in0 = node_ptr(op.inputs[0]);
         rop.in1 = node_ptr(op.inputs[1]);
         rop.n1 = nodes[op.inputs[1]].numel;
@@ -718,6 +1078,11 @@ std::unique_ptr<InferencePlan> InferencePlan::Capture(
         rop.m = op.attrs[0];
         rop.k = op.attrs[1];
         rop.n = op.attrs[2];
+        if (nodes[op.inputs[1]].kind == cap::NodeKind::kWeight) {
+          // Calibration hook: this matmul's fp32 input is observable.
+          state->observer_sites.push_back(
+              {j, nodes[op.inputs[1]].weight_index, rop.in0, rop.m, rop.k});
+        }
         break;
       case cap::OpKind::kBatchedMatMul:
       case cap::OpKind::kBatchedMatMulBt:
@@ -763,7 +1128,7 @@ std::unique_ptr<InferencePlan> InferencePlan::Capture(
         rop.k = op.attrs[1];
         break;
       case cap::OpKind::kScaleSoftmax:
-        rop.fn = RunScaleSoftmax;
+        rop.fn = is_quant ? RunScaleSoftmaxFast : RunScaleSoftmax;
         rop.in0 = node_ptr(op.inputs[0]);
         rop.m = op.attrs[0];
         rop.k = op.attrs[1];
@@ -819,16 +1184,44 @@ std::unique_ptr<InferencePlan> InferencePlan::Capture(
   plan->state_ = std::move(state);
   if (!terminal_ok) return fail("plan: score op is not terminal");
 
-  // 7. Self-verification: one replay of the capture window must reproduce
-  // the eager scores bit-for-bit.
+  // 7. Self-verification. fp32 plans must reproduce the eager scores
+  // bit-for-bit. Int8 plans cannot (quantization changes values), so they
+  // must instead (a) replay twice bitwise-identically — determinism —
+  // (b) produce only finite scores, and (c) land inside a coarse
+  // quantization-noise envelope of the eager scores, which catches wiring
+  // bugs (wrong slot, stale scale) without rejecting honest rounding.
   {
     TFMAE_TRACE("infer.plan.verify");
     std::vector<float> replayed;
     plan->Score(example, &replayed);
-    if (replayed.size() != eager_scores->size() ||
-        std::memcmp(replayed.data(), eager_scores->data(),
-                    replayed.size() * sizeof(float)) != 0) {
-      return fail("plan: self-verification mismatch vs eager scores");
+    if (replayed.size() != eager_scores->size()) {
+      return fail("plan: self-verification score count mismatch");
+    }
+    if (!is_quant) {
+      if (std::memcmp(replayed.data(), eager_scores->data(),
+                      replayed.size() * sizeof(float)) != 0) {
+        return fail("plan: self-verification mismatch vs eager scores");
+      }
+    } else {
+      std::vector<float> second;
+      plan->Score(example, &second);
+      if (std::memcmp(replayed.data(), second.data(),
+                      replayed.size() * sizeof(float)) != 0) {
+        return fail("quant: replay is not deterministic");
+      }
+      float eager_max = 0.0f;
+      float max_err = 0.0f;
+      for (std::size_t i = 0; i < replayed.size(); ++i) {
+        if (!std::isfinite(replayed[i])) {
+          return fail("quant: non-finite score in self-verification");
+        }
+        eager_max = std::max(eager_max, std::fabs((*eager_scores)[i]));
+        max_err = std::max(max_err, std::fabs(replayed[i] -
+                                              (*eager_scores)[i]));
+      }
+      if (max_err > 0.25f * std::max(eager_max, 1e-3f)) {
+        return fail("quant: scores outside the eager agreement envelope");
+      }
     }
   }
   plan->stats_.replays = 0;
@@ -840,6 +1233,10 @@ std::unique_ptr<InferencePlan> InferencePlan::Capture(
   TFMAE_COUNTER_ADD("infer.plan.captures", 1);
   TFMAE_GAUGE_SET("infer.plan.ops", plan->stats_.ops);
   TFMAE_GAUGE_SET("infer.plan.arena_bytes", plan->stats_.arena_bytes);
+  if (is_quant) {
+    TFMAE_COUNTER_ADD("infer.quant.captures", 1);
+    TFMAE_GAUGE_SET("infer.quant.arena_bytes", plan->stats_.quant_arena_bytes);
+  }
   return plan;
 }
 
@@ -857,6 +1254,19 @@ bool InferencePlan::Matches(const MaskedWindow& window) const {
 
 void InferencePlan::Score(const MaskedWindow& window,
                           std::vector<float>* out) {
+  ScoreImpl(window, out, nullptr);
+}
+
+void InferencePlan::ScoreWithActivationObserver(
+    const MaskedWindow& window, std::vector<float>* out,
+    const ActivationObserver& observer) {
+  TFMAE_CHECK(observer != nullptr);
+  ScoreImpl(window, out, &observer);
+}
+
+void InferencePlan::ScoreImpl(const MaskedWindow& window,
+                              std::vector<float>* out,
+                              const ActivationObserver* observer) {
   TFMAE_CHECK(out != nullptr && state_ != nullptr);
   TFMAE_CHECK_MSG(Matches(window), "inference plan replayed on a window of "
                                    "different geometry");
@@ -925,7 +1335,15 @@ void InferencePlan::Score(const MaskedWindow& window,
       ns.resize(s.ops.size(), 0.0);
       which.resize(s.ops.size());
     }
+    std::size_t prof_si = 0;
     for (std::size_t j = 0; j < s.ops.size(); ++j) {
+      // Calibration must still see activations when profiling is on.
+      while (observer != nullptr && prof_si < s.observer_sites.size() &&
+             s.observer_sites[prof_si].op_index == static_cast<int>(j)) {
+        const auto& site = s.observer_sites[prof_si];
+        (*observer)(site.weight_index, site.in, site.rows, site.cols);
+        ++prof_si;
+      }
       const auto t0 = std::chrono::steady_clock::now();
       s.ops[j].fn(s.ops[j]);
       ns[j] += std::chrono::duration<double, std::nano>(
@@ -956,6 +1374,20 @@ void InferencePlan::Score(const MaskedWindow& window,
               ns[j] / static_cast<double>(stats_.replays));
         }
       }
+    }
+  } else if (observer != nullptr) {
+    // Calibration replay: fire the observer with each weight-bearing
+    // matmul's fp32 input right before that op executes. Scores are
+    // identical to the unobserved path — the observer only reads.
+    std::size_t si = 0;
+    const auto& sites = s.observer_sites;
+    for (std::size_t j = 0; j < s.ops.size(); ++j) {
+      while (si < sites.size() && sites[si].op_index == static_cast<int>(j)) {
+        (*observer)(sites[si].weight_index, sites[si].in, sites[si].rows,
+                    sites[si].cols);
+        ++si;
+      }
+      s.ops[j].fn(s.ops[j]);
     }
   } else {
     for (const ReplayOp& op : s.ops) op.fn(op);

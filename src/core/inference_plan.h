@@ -20,11 +20,13 @@
 #ifndef TFMAE_CORE_INFERENCE_PLAN_H_
 #define TFMAE_CORE_INFERENCE_PLAN_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/model.h"
+#include "core/quant.h"
 
 namespace tfmae::core {
 
@@ -39,6 +41,14 @@ struct InferencePlanStats {
   std::int64_t arena_bytes = 0;      ///< one logical allocation, total size
   double capture_ms = 0.0;           ///< wall-clock cost of Capture()
   std::int64_t replays = 0;          ///< Score() calls served by this plan
+
+  // Int8 path accounting (zero / false on fp32 plans; DESIGN.md §12).
+  bool quantized = false;             ///< plan runs the int8 scoring path
+  std::int64_t quant_linear_ops = 0;  ///< matmuls lowered to int8 kernels
+  std::int64_t elided_quant_pairs = 0;  ///< quant/dequant pairs never built:
+                                        ///< fused epilogues + shared-input
+                                        ///< quantizations (q/k/v)
+  std::int64_t quant_arena_bytes = 0;  ///< packed u8 activation arena
 };
 
 /// A compiled scoring program for one window geometry.
@@ -51,9 +61,21 @@ class InferencePlan {
   /// the capture succeeds, so the caller never computes a window twice.
   /// Returns null — with a reason in `error` if non-null — whenever any op
   /// is unsupported or the self-verification mismatches.
+  ///
+  /// When `quant` is non-null the plan is compiled for the int8 scoring
+  /// path (DESIGN.md §12): every weight-bearing matmul with a calibrated
+  /// site becomes a fused u8 x s8 linear kernel (bias / bias+GeLU consumers
+  /// folded into the dequantization epilogue, shared inputs quantized
+  /// once), and the remaining exp/tanh epilogues switch to the fast
+  /// deterministic polynomials. An int8 plan cannot be bitwise-identical
+  /// to eager, so self-verification instead requires (a) two replays to be
+  /// bitwise-identical to each other, (b) all-finite scores, and (c)
+  /// agreement with the eager scores within a coarse quantization-noise
+  /// envelope. Replay stays bitwise thread-count-invariant.
   static std::unique_ptr<InferencePlan> Capture(
       const TfmaeModel& model, const MaskedWindow& example,
-      std::vector<float>* eager_scores, std::string* error = nullptr);
+      std::vector<float>* eager_scores, std::string* error = nullptr,
+      const QuantSpec* quant = nullptr);
 
   ~InferencePlan();
   InferencePlan(const InferencePlan&) = delete;
@@ -69,11 +91,29 @@ class InferencePlan {
   /// allocations). Requires Matches(window).
   void Score(const MaskedWindow& window, std::vector<float>* out);
 
+  /// Called once per weight-bearing matmul per observed replay, with the
+  /// matmul's fp32 input activation ([rows x cols], cols == the weight's
+  /// input-feature count) immediately before the op executes.
+  using ActivationObserver = std::function<void(
+      int weight_index, const float* data, std::int64_t rows,
+      std::int64_t cols)>;
+
+  /// Score() plus activation observation — the calibration pass
+  /// (core/quant.cc) replays validation windows through this entry point to
+  /// record per-channel absmax ranges. Scores are identical to Score()'s.
+  void ScoreWithActivationObserver(const MaskedWindow& window,
+                                   std::vector<float>* out,
+                                   const ActivationObserver& observer);
+
   const InferencePlanStats& stats() const { return stats_; }
 
  private:
   struct State;
   InferencePlan();
+
+  /// Shared replay body; `observer` may be null (the hot path).
+  void ScoreImpl(const MaskedWindow& window, std::vector<float>* out,
+                 const ActivationObserver* observer);
 
   InferencePlanStats stats_;
   std::unique_ptr<State> state_;

@@ -45,6 +45,22 @@ TfmaeModel::TfmaeModel(std::int64_t num_features, const TfmaeConfig& config,
   RegisterModule("frequency_decoder", &frequency_decoder_);
 }
 
+std::vector<int> TfmaeModel::ScoreHeadParameterIndices() const {
+  const std::string last = "layer" + std::to_string(config_.num_layers - 1);
+  const std::string temporal_prefix = "temporal_decoder." + last + ".";
+  const std::string frequency_prefix = "frequency_decoder." + last + ".";
+  std::vector<int> out;
+  const auto named = NamedParameters();
+  for (std::size_t i = 0; i < named.size(); ++i) {
+    const std::string& name = named[i].first;
+    if (name.rfind(temporal_prefix, 0) == 0 ||
+        name.rfind(frequency_prefix, 0) == 0) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
 MaskedWindow TfmaeModel::PrepareWindow(const std::vector<float>& values,
                                        Rng* mask_rng) const {
   MaskedWindow window;

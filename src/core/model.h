@@ -60,6 +60,12 @@ class TfmaeModel : public nn::Module {
   const TfmaeConfig& config() const { return config_; }
   std::int64_t num_features() const { return num_features_; }
 
+  /// Positions in Parameters() of the score head: every parameter of the
+  /// final layer of each decoder stack. These layers form the logits that
+  /// the SymKL anomaly score compares, and int8 calibration excludes them
+  /// (see CalibrateQuantSpec).
+  std::vector<int> ScoreHeadParameterIndices() const;
+
  private:
   Tensor TemporalView(const MaskedWindow& window) const;
   Tensor FrequencyView(const MaskedWindow& window) const;

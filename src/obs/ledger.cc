@@ -31,26 +31,6 @@ std::uint64_t WallClockMicros() {
           .count());
 }
 
-/// JSON string escaping for manifest/event text values (same minimal set as
-/// the metrics exporter).
-std::string JsonQuote(std::string_view s) {
-  std::string out = "\"";
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-      out += buf;
-    } else {
-      out.push_back(c);
-    }
-  }
-  out.push_back('"');
-  return out;
-}
-
 std::string FormatDouble(double v) {
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.9g", v);
@@ -195,6 +175,24 @@ bool DecodeLine(const std::string& line, LedgerEvent* event) {
 }
 
 }  // namespace
+
+std::string JsonQuote(std::string_view s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
 
 std::string BuildFlagsString() {
   std::string flags;

@@ -61,6 +61,11 @@ namespace tfmae::obs {
 /// manifest (e.g. "obs=on,faults=off").
 std::string BuildFlagsString();
 
+/// JSON string escaping for event text values. Ledger::Event writes field
+/// values verbatim, so every string-typed value must pass through this (or
+/// LedgerEvent::Text reads it back as "").
+std::string JsonQuote(std::string_view s);
+
 /// Identity of one run, written as the ledger's first line.
 struct RunManifest {
   std::string tool;       ///< producing binary or component name

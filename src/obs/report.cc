@@ -113,6 +113,25 @@ RunDigest DigestRun(const LedgerFile& file) {
           static_cast<std::int64_t>(event.Number("fused_ops"));
       digest.plan_arena_bytes =
           static_cast<std::int64_t>(event.Number("arena_bytes"));
+    } else if (event.type == "quant") {
+      const std::string verdict = event.Text("verdict");
+      if (verdict == "calibrated") {
+        ++digest.quant_calibrations;
+        digest.quant_sites = static_cast<std::int64_t>(event.Number("sites"));
+        digest.quant_amax_min = event.Number("amax_min");
+        digest.quant_amax_max = event.Number("amax_max");
+      } else if (verdict == "self_verified") {
+        ++digest.quant_plans;
+        digest.quant_linear_ops =
+            static_cast<std::int64_t>(event.Number("quant_linear_ops"));
+        digest.quant_elided_pairs =
+            static_cast<std::int64_t>(event.Number("elided_quant_pairs"));
+        digest.quant_arena_bytes =
+            static_cast<std::int64_t>(event.Number("quant_arena_bytes"));
+      } else if (verdict == "fallback") {
+        ++digest.quant_fallbacks;
+        digest.quant_fallback_reason = event.Text("reason");
+      }
     }
   }
   return digest;
@@ -179,6 +198,29 @@ std::string RenderRunReport(const LedgerFile& file,
     out += "  inference plan: " + FormatI(d.plan_captures) + " capture(s), " +
            FormatI(d.plan_ops) + " ops (" + FormatI(d.plan_fused_ops) +
            " fused away), arena " + FormatI(d.plan_arena_bytes) + " B\n";
+  }
+  if (d.quant_calibrations + d.quant_plans + d.quant_fallbacks > 0) {
+    out += "  quant:";
+    if (d.quant_calibrations > 0) {
+      out += " calibrated " + FormatI(d.quant_sites) + " sites (|x| " +
+             Format("%.4g", d.quant_amax_min) + ".." +
+             Format("%.4g", d.quant_amax_max) + ")";
+    }
+    if (d.quant_plans > 0) {
+      if (d.quant_calibrations > 0) out += ",";
+      out += " int8 plan self-verified: " + FormatI(d.quant_linear_ops) +
+             " int8 matmuls, " + FormatI(d.quant_elided_pairs) +
+             " elided quant pairs, u8 arena " +
+             FormatI(d.quant_arena_bytes) + " B";
+    }
+    if (d.quant_fallbacks > 0) {
+      if (d.quant_calibrations + d.quant_plans > 0) out += ",";
+      out += " " + FormatI(d.quant_fallbacks) + " fp32 fallback(s)";
+      if (!d.quant_fallback_reason.empty()) {
+        out += " (" + d.quant_fallback_reason + ")";
+      }
+    }
+    out += "\n";
   }
   if (options.show_timing && d.last_t_us > d.first_t_us) {
     const double sec =

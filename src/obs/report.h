@@ -45,6 +45,17 @@ struct RunDigest {
   std::int64_t plan_ops = 0;          ///< replay ops of the last capture
   std::int64_t plan_fused_ops = 0;    ///< ops fused away in the last capture
   std::int64_t plan_arena_bytes = 0;  ///< arena size of the last capture
+  // "quant" events (int8 scoring path, DESIGN.md §12).
+  std::int64_t quant_calibrations = 0;  ///< verdict=calibrated events
+  std::int64_t quant_plans = 0;         ///< verdict=self_verified events
+  std::int64_t quant_fallbacks = 0;     ///< verdict=fallback events
+  std::int64_t quant_sites = 0;         ///< calibrated sites (last event)
+  std::int64_t quant_linear_ops = 0;    ///< int8 matmuls (last plan)
+  std::int64_t quant_elided_pairs = 0;  ///< elided quant/dequant pairs
+  std::int64_t quant_arena_bytes = 0;   ///< packed u8 arena (last plan)
+  double quant_amax_min = 0.0;  ///< calibration range summary (last event)
+  double quant_amax_max = 0.0;
+  std::string quant_fallback_reason;  ///< reason of the last fallback
   double first_loss = 0.0;  ///< loss of the first step event
   double last_loss = 0.0;   ///< loss of the last step event
   /// (epoch, mean_loss) per epoch_end event, in order.

@@ -79,6 +79,7 @@ struct FleetServer::Entry {
 /// bitwise-identical scores for the same window.
 struct FleetServer::Lane {
   std::unique_ptr<core::InferencePlan> plan;
+  bool quantized = false;  ///< plan compiled for the int8 path
   std::vector<float> out;
   std::atomic_flag busy = ATOMIC_FLAG_INIT;
 };
@@ -236,19 +237,46 @@ bool FleetServer::EnsureLanesLocked(std::int64_t want,
   while (static_cast<std::int64_t>(lanes_.size()) < want) {
     lanes_.push_back(std::make_unique<Lane>());
   }
+  // Lane precision: int8 when the detector selected it and carries a
+  // calibration spec, unless a quantized capture already failed (sticky —
+  // mixed-precision lanes would make batch scores depend on lane
+  // assignment, breaking the batch-composition invariance contract).
+  const core::QuantSpec* spec = nullptr;
+  if (!quant_capture_failed_ &&
+      detector_->quant_mode() == core::TfmaeDetector::QuantMode::kInt8 &&
+      detector_->has_quant_spec()) {
+    spec = &detector_->quant_spec();
+  }
   for (std::int64_t i = 0; i < want; ++i) {
     Lane& lane = *lanes_[static_cast<std::size_t>(i)];
-    if (lane.plan != nullptr && lane.plan->Matches(example)) continue;
+    const bool want_quant = spec != nullptr;
+    if (lane.plan != nullptr && lane.plan->Matches(example) &&
+        lane.quantized == want_quant) {
+      continue;
+    }
     lane.plan.reset();
     std::string error;
     lane.plan = core::InferencePlan::Capture(*detector_->model(), example,
-                                             &lane.out, &error);
+                                             &lane.out, &error, spec);
     if (lane.plan == nullptr) {
+      if (spec != nullptr) {
+        // A failed int8 capture demotes the WHOLE server to fp32 lanes
+        // (sticky): every already-captured int8 lane is dropped and this
+        // loop restarts in fp32, so one batch never mixes precisions.
+        quant_capture_failed_ = true;
+        quant_lane_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        TFMAE_COUNTER_ADD("serve.quant.capture_fallbacks", 1);
+        spec = nullptr;
+        for (auto& l : lanes_) l->plan.reset();
+        i = -1;
+        continue;
+      }
       // Capture failure never produces a wrong plan, only no plan: this
       // batch scores eagerly and the next batch retries the capture.
       TFMAE_COUNTER_ADD("serve.plan.capture_fallbacks", 1);
       return false;
     }
+    lane.quantized = want_quant;
     TFMAE_COUNTER_ADD("serve.plan.lane_captures", 1);
   }
   return true;
@@ -407,6 +435,8 @@ std::int64_t FleetServer::Drain() {
          {"rejected", std::to_string(s.rows_rejected)},
          {"quarantined", std::to_string(s.rows_quarantined)},
          {"bytes_per_stream", std::to_string(s.bytes_per_stream)},
+         {"precision", obs::JsonQuote(s.quant_lanes > 0 ? "int8" : "fp32")},
+         {"quant_fallbacks", std::to_string(s.quant_fallbacks)},
          // Batching composition depends on flush timing (and overload on
          // ingest timing): t_-prefixed so the canonical event stream stays
          // invariant across thread counts and schedules.
@@ -511,10 +541,18 @@ ServeStats FleetServer::stats() const {
     s.p95_window_ns = quantile(0.95);
     s.p99_window_ns = quantile(0.99);
   }
+  s.quant_fallbacks = quant_lane_fallbacks_.load(std::memory_order_relaxed) +
+                      detector_->quant_fallbacks();
   {
     std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(score_mu_));
     for (const auto& lane : lanes_) {
-      if (lane->plan != nullptr) ++s.plan_lanes;
+      if (lane->plan == nullptr) continue;
+      ++s.plan_lanes;
+      if (lane->quantized) ++s.quant_lanes;
+      if (s.plan_arena_bytes == 0) {
+        s.plan_arena_bytes = lane->plan->stats().arena_bytes;
+        s.quant_arena_bytes = lane->plan->stats().quant_arena_bytes;
+      }
     }
   }
   return s;

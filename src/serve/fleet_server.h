@@ -29,6 +29,14 @@
 // StreamingDetector (sharing the same fitted detector) would emit,
 // regardless of batch composition, flush timing, ingest interleaving, or
 // TFMAE_NUM_THREADS. tests/serve_test.cc pins this at 1/2/4 threads.
+//
+// Int8 serving (DESIGN.md §12): when the detector selects QuantMode::kInt8
+// and carries a calibration spec, lanes capture quantized plans instead.
+// Quantized capture is deterministic, so every int8 lane is identical and
+// the contract holds with "sequential replay of the same int8 plan" as the
+// baseline. All lanes always share one precision: if any int8 capture
+// fails, the server demotes every lane to fp32 (sticky, counted in
+// ServeStats::quant_fallbacks) rather than mix precisions across a batch.
 #ifndef TFMAE_SERVE_FLEET_SERVER_H_
 #define TFMAE_SERVE_FLEET_SERVER_H_
 
@@ -106,6 +114,11 @@ struct ServeStats {
   std::int64_t max_batch = 0;
   std::int64_t alerts = 0;
   std::int64_t plan_lanes = 0;         ///< captured plan replicas
+  std::int64_t quant_lanes = 0;        ///< lanes replaying an int8 plan
+  std::int64_t quant_fallbacks = 0;    ///< int8 requests served fp32 (lane
+                                       ///< captures + detector-side)
+  std::int64_t plan_arena_bytes = 0;   ///< fp32 activation arena, one lane
+  std::int64_t quant_arena_bytes = 0;  ///< packed u8 arena, one int8 lane
   std::int64_t peak_queue_depth = 0;
   std::int64_t bytes_per_stream = 0;   ///< StreamState::ApproxBytes (stream 0)
   double p50_window_ns = 0.0;          ///< per-window score latency quantiles
@@ -226,6 +239,11 @@ class FleetServer {
   // serialized here while ingest continues concurrently.
   std::mutex score_mu_;
   std::vector<std::unique_ptr<Lane>> lanes_;
+  /// Sticky int8 demotion: set when a quantized lane capture fails, so the
+  /// server never mixes int8 and fp32 lanes in one batch. Guarded by
+  /// score_mu_; the counter is read by stats() without it.
+  bool quant_capture_failed_ = false;
+  std::atomic<std::int64_t> quant_lane_fallbacks_{0};
 
   std::mutex results_mu_;
   std::vector<ScoredWindow> results_;

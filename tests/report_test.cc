@@ -144,6 +144,60 @@ TEST(ReportTest, PlanEventsSurfaceInDigestAndSummary) {
       << report;
 }
 
+TEST(ReportTest, QuantEventsSurfaceInDigestAndSummary) {
+  const std::string path = TempPath("quant.jsonl");
+  RemoveRun(path);
+  Ledger ledger;
+  RunManifest manifest;
+  manifest.tool = "report_test";
+  manifest.run_id = "quant_run";
+  manifest.num_threads = 1;
+  ASSERT_TRUE(ledger.Open(path, manifest));
+  ledger.Event("quant", {{"verdict", JsonQuote("calibrated")},
+                         {"sites", "26"},
+                         {"windows", "31"},
+                         {"amax_min", "0.125"},
+                         {"amax_max", "9.5"}});
+  ledger.Event("quant", {{"verdict", JsonQuote("self_verified")},
+                         {"isa", JsonQuote("avx512vnni")},
+                         {"sites", "26"},
+                         {"quant_linear_ops", "26"},
+                         {"elided_quant_pairs", "34"},
+                         {"quant_arena_bytes", "3648"}});
+  ledger.Event("quant", {{"verdict", JsonQuote("fallback")},
+                         {"reason", JsonQuote("no calibration spec")}});
+  ASSERT_TRUE(ledger.Close());
+  auto file = ReadLedger(path);
+  ASSERT_TRUE(file.has_value());
+  RemoveRun(path);
+
+  const RunDigest d = DigestRun(*file);
+  EXPECT_EQ(d.quant_calibrations, 1);
+  EXPECT_EQ(d.quant_plans, 1);
+  EXPECT_EQ(d.quant_fallbacks, 1);
+  EXPECT_EQ(d.quant_sites, 26);
+  EXPECT_EQ(d.quant_linear_ops, 26);
+  EXPECT_EQ(d.quant_elided_pairs, 34);
+  EXPECT_EQ(d.quant_arena_bytes, 3648);
+  EXPECT_DOUBLE_EQ(d.quant_amax_min, 0.125);
+  EXPECT_DOUBLE_EQ(d.quant_amax_max, 9.5);
+  EXPECT_EQ(d.quant_fallback_reason, "no calibration spec");
+
+  ReportOptions options;
+  options.show_timing = false;
+  const std::string report = RenderRunReport(*file, options);
+  EXPECT_NE(report.find("calibrated 26 sites (|x| 0.125..9.5)"),
+            std::string::npos)
+      << report;
+  EXPECT_NE(report.find("int8 plan self-verified: 26 int8 matmuls, "
+                        "34 elided quant pairs, u8 arena 3648 B"),
+            std::string::npos)
+      << report;
+  EXPECT_NE(report.find("1 fp32 fallback(s) (no calibration spec)"),
+            std::string::npos)
+      << report;
+}
+
 TEST(ReportTest, RunReportGoldenWithoutTiming) {
   ReportOptions options;
   options.show_timing = false;

@@ -13,9 +13,14 @@
 //   tfmae_serve --verify ...                     # also check batched ==
 //                                                # sequential (exit 1 on drift)
 //
+//   tfmae_serve --quant=int8 ...                 # int8 scoring lanes
+//                                                # (calibrates on train when
+//                                                # the checkpoint has no
+//                                                # .quant spec)
+//
 // Flags: --streams=N --threads=T --batch_max=B --rows=R --seconds=S
 //        --window=W --hop=H --queue_capacity=Q --anomaly_fraction=F
-//        --csv=PATH --checkpoint=PREFIX --verify --quiet
+//        --csv=PATH --checkpoint=PREFIX --quant=int8|off --verify --quiet
 // plus the shared observability flags of MaybeProfileFromArgs
 // (--obs_json/--obs_trace/--obs_text/--ledger/--flight_recorder).
 //
@@ -99,8 +104,14 @@ int main(int argc, char** argv) {
     const char* v = FlagValue(argc, argv, "--anomaly_fraction=");
     return v != nullptr ? std::atof(v) : 0.02;
   }();
+  const char* quant_flag = FlagValue(argc, argv, "--quant=");
   const bool verify = HasFlag(argc, argv, "--verify");
   const bool quiet = HasFlag(argc, argv, "--quiet");
+  if (quant_flag != nullptr && std::strcmp(quant_flag, "int8") != 0 &&
+      std::strcmp(quant_flag, "off") != 0) {
+    std::fprintf(stderr, "tfmae_serve: --quant must be int8 or off\n");
+    return 1;
+  }
   if (streams < 1 || threads < 1 || window < 2 || hop < 1) {
     std::fprintf(stderr, "tfmae_serve: invalid flag value\n");
     return 1;
@@ -152,6 +163,24 @@ int main(int argc, char** argv) {
     }
   } else {
     detector.Fit(train);
+  }
+  // --quant overrides the TFMAE_QUANT default the detector started with.
+  // Int8 without a spec (fresh fit, or a checkpoint saved before
+  // calibration) calibrates on the training replay here, so the serving
+  // lanes and the threshold calibration below share one precision.
+  if (quant_flag != nullptr) {
+    detector.SetQuantMode(std::strcmp(quant_flag, "int8") == 0
+                              ? tfmae::core::TfmaeDetector::QuantMode::kInt8
+                              : tfmae::core::TfmaeDetector::QuantMode::kOff);
+  }
+  if (detector.quant_mode() == tfmae::core::TfmaeDetector::QuantMode::kInt8 &&
+      !detector.has_quant_spec()) {
+    std::string quant_error;
+    if (!detector.Calibrate(train, &quant_error) && !quiet) {
+      std::fprintf(stderr, "tfmae_serve: int8 calibration failed (%s); "
+                           "serving falls back to fp32\n",
+                   quant_error.c_str());
+    }
   }
   const std::vector<float> calibration = detector.Score(train);
   if (!quiet) {
@@ -237,6 +266,20 @@ int main(int argc, char** argv) {
       static_cast<long long>(stats.peak_queue_depth),
       static_cast<long long>(stats.plan_lanes),
       static_cast<long long>(stats.eager_windows));
+  if (stats.quant_lanes > 0) {
+    std::printf(
+        "  precision   int8 (%lld lanes), %lld fp32 fallbacks, arena "
+        "%lld B fp32 + %lld B packed u8 per lane\n",
+        static_cast<long long>(stats.quant_lanes),
+        static_cast<long long>(stats.quant_fallbacks),
+        static_cast<long long>(stats.plan_arena_bytes),
+        static_cast<long long>(stats.quant_arena_bytes));
+  } else {
+    std::printf("  precision   fp32, %lld fp32 fallbacks, arena %lld B per "
+                "lane\n",
+                static_cast<long long>(stats.quant_fallbacks),
+                static_cast<long long>(stats.plan_arena_bytes));
+  }
   std::printf(
       "  health      %lld alerts, %lld quarantined, %lld rejected, "
       "%lld warmup rows\n",
