@@ -52,6 +52,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -75,6 +76,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/fleet_server.h"
+#include "serve/fleet_snapshot.h"
 #include "tensor/gemm_kernels.h"
 #include "tensor/op_kernels.h"
 #include "tensor/quant_kernels.h"
@@ -1492,6 +1494,108 @@ int RunServingSweep(const std::string& path) {
                 batched_bitwise_identical ? "ok" : "MISMATCH");
   }
 
+  // Crash-safety contract (docs/RESILIENCE.md, "Serving resilience"): a run
+  // snapshotted mid-stream, "killed", restored into a fresh server, and
+  // re-fed from total_pushed() on must produce — as the union of the two
+  // runs' results — exactly the uninterrupted reference, bit for bit, at
+  // every thread count. Keyed by (stream, seq) so coverage gaps and
+  // disagreeing duplicates both fail.
+  std::map<std::pair<std::int64_t, std::int64_t>, std::uint32_t> ref_map;
+  for (std::int64_t s = 0; s < kVerifyStreams; ++s) {
+    const auto& scores = reference[static_cast<std::size_t>(s)];
+    for (std::size_t k = 0; k < scores.size(); ++k) {
+      const std::int64_t seq = streaming.window - 1 +
+                               static_cast<std::int64_t>(k) * streaming.hop;
+      std::uint32_t bits = 0;
+      std::memcpy(&bits, &scores[k], sizeof(bits));
+      ref_map[{s, seq}] = bits;
+    }
+  }
+  bool snapshot_restore_bitwise = true;
+  for (int t : thread_counts) {
+    ThreadPool::Instance().SetNumThreads(t);
+    const std::string snap_dir =
+        (std::filesystem::temp_directory_path() /
+         ("tfmae_bench_serving_snap_t" + std::to_string(t)))
+            .string();
+    std::filesystem::remove_all(snap_dir);
+    serve::FleetOptions fopts;
+    fopts.streaming = streaming;
+    fopts.max_streams = kVerifyStreams;
+    fopts.queue_capacity = 4096;
+    fopts.batch_max = 5;
+    fopts.snapshot_dir = snap_dir;
+    const std::int64_t kCut = 50;  // mid-hop: queued windows are in flight
+    std::map<std::pair<std::int64_t, std::int64_t>, std::uint32_t> got;
+    auto take_into = [&](serve::FleetServer* server) {
+      for (const serve::ScoredWindow& w : server->TakeResults()) {
+        if (w.shed) continue;
+        std::uint32_t bits = 0;
+        std::memcpy(&bits, &w.score, sizeof(bits));
+        const auto [it, inserted] = got.insert({{w.stream, w.seq}, bits});
+        if (!inserted && it->second != bits) snapshot_restore_bitwise = false;
+      }
+    };
+    {
+      serve::FleetServer server(&detector, fopts);
+      server.CalibrateThreshold(calibration, 0.05);
+      for (std::int64_t s = 0; s < kVerifyStreams; ++s) server.OpenStream();
+      for (std::int64_t tick = 0; tick < kCut; ++tick) {
+        for (std::int64_t s = 0; s < kVerifyStreams; ++s) {
+          const std::vector<float> row = row_for(s, tick);
+          while (server.Push(s, row) == serve::AdmitStatus::kOverloaded) {
+            server.Flush();
+          }
+        }
+        take_into(&server);
+      }
+      std::string error;
+      if (!server.SnapshotNow(&error)) {
+        std::fprintf(stderr, "serving snapshot failed: %s\n", error.c_str());
+        snapshot_restore_bitwise = false;
+      }
+      // Post-snapshot work whose results are never observed — the "crash":
+      // the resumed run must regenerate all of it.
+      for (std::int64_t tick = kCut; tick < kCut + 7; ++tick) {
+        for (std::int64_t s = 0; s < kVerifyStreams; ++s) {
+          const std::vector<float> row = row_for(s, tick);
+          while (server.Push(s, row) == serve::AdmitStatus::kOverloaded) {
+            server.Flush();
+          }
+        }
+      }
+    }
+    std::string error;
+    auto found = serve::FindLatestValidFleetSnapshot(snap_dir, &error);
+    if (!found.has_value()) {
+      std::fprintf(stderr, "no valid serving snapshot: %s\n", error.c_str());
+      snapshot_restore_bitwise = false;
+    } else {
+      serve::FleetServer resumed(&detector, fopts);
+      if (!resumed.Restore(found->second, &error)) {
+        std::fprintf(stderr, "serving restore failed: %s\n", error.c_str());
+        snapshot_restore_bitwise = false;
+      } else {
+        for (std::int64_t tick = resumed.total_pushed(0); tick < kRows;
+             ++tick) {
+          for (std::int64_t s = 0; s < kVerifyStreams; ++s) {
+            const std::vector<float> row = row_for(s, tick);
+            while (resumed.Push(s, row) == serve::AdmitStatus::kOverloaded) {
+              resumed.Flush();
+            }
+          }
+          take_into(&resumed);
+        }
+        resumed.Drain();
+        take_into(&resumed);
+      }
+    }
+    if (got != ref_map) snapshot_restore_bitwise = false;
+    std::filesystem::remove_all(snap_dir);
+    std::printf("verify threads=%d  restore==uninterrupted: %s\n", t,
+                snapshot_restore_bitwise ? "ok" : "MISMATCH");
+  }
+
   // Sequential windows/sec at one thread (the batch-efficiency denominator):
   // the same fleet replay, but each stream owns a synchronous wrapper.
   const std::int64_t kEffStreams = 256;
@@ -1628,6 +1732,8 @@ int RunServingSweep(const std::string& path) {
   std::fprintf(f, "    \"batch_efficiency_x\": %.2f,\n", batch_efficiency_x);
   std::fprintf(f, "    \"batched_bitwise_identical\": %s,\n",
                batched_bitwise_identical ? "true" : "false");
+  std::fprintf(f, "    \"snapshot_restore_bitwise\": %s,\n",
+               snapshot_restore_bitwise ? "true" : "false");
   std::fprintf(f, "    \"max_streams\": %lld,\n",
                static_cast<long long>(stream_counts.back()));
   std::fprintf(f, "    \"windows_per_sec_1t\": %.0f,\n", windows_per_sec_1t);
@@ -1638,12 +1744,14 @@ int RunServingSweep(const std::string& path) {
   std::fclose(f);
   std::printf(
       "summary: batch_efficiency_x=%.2f batched_bitwise_identical=%s "
-      "max_streams=%lld bytes_per_stream=%lld hw_cores=%d\n",
+      "snapshot_restore_bitwise=%s max_streams=%lld bytes_per_stream=%lld "
+      "hw_cores=%d\n",
       batch_efficiency_x, batched_bitwise_identical ? "true" : "false",
+      snapshot_restore_bitwise ? "true" : "false",
       static_cast<long long>(stream_counts.back()),
       static_cast<long long>(bytes_per_stream), hw_cores);
   std::printf("wrote %s\n", path.c_str());
-  return batched_bitwise_identical ? 0 : 1;
+  return batched_bitwise_identical && snapshot_restore_bitwise ? 0 : 1;
 }
 
 }  // namespace

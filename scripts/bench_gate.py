@@ -17,9 +17,12 @@ the baselines (tensor_backend.json, memory_plane.json, resilience.json,
 inference_plan.json, serving.json); missing files are reported as failures
 so a broken sweep cannot silently pass the gate.
 
-The serving sweep carries its own hard floors (docs/SERVING.md): batched
-scores must be bitwise-identical to sequential per-stream scoring and the
-sweep must demonstrate >= 1024 concurrent streams.
+The serving sweep carries its own hard floors (docs/SERVING.md and
+docs/RESILIENCE.md): batched scores must be bitwise-identical to sequential
+per-stream scoring, the sweep must demonstrate >= 1024 concurrent streams,
+and a snapshotted/restored/re-fed fleet must reproduce the uninterrupted
+run bit for bit (snapshot_restore_bitwise — never waived, since it is a
+determinism verdict rather than a timing).
 
 The inference-plan sweep additionally carries *hard floors* from the
 pre-planned-inference acceptance contract (DESIGN.md §10): planned scoring
@@ -69,6 +72,7 @@ SUMMARY_CHECKS = {
     "serving.json": [
         ("batch_efficiency_x", "ratio"),
         ("batched_bitwise_identical", "bool"),
+        ("snapshot_restore_bitwise", "bool"),
     ],
     "quant.json": [
         ("speedup_1t_x", "ratio"),
@@ -144,6 +148,17 @@ def serving_floor_failures(name, current):
             f"serving diverged from sequential per-stream scoring")
     else:
         print(f"  ok  {name}: batched_bitwise_identical = true (hard)")
+    # Crash-safety contract (docs/RESILIENCE.md): snapshot + restore +
+    # re-feed must reproduce the uninterrupted run bit for bit. This floor
+    # is NEVER waived — it is a determinism check, not a timing, so host
+    # size and load cannot excuse it.
+    if not summary.get("snapshot_restore_bitwise", False):
+        failures.append(
+            f"{name}: snapshot_restore_bitwise is not true — a restored "
+            f"fleet diverged from the uninterrupted run (never waived)")
+    else:
+        print(f"  ok  {name}: snapshot_restore_bitwise = true "
+              f"(hard, never waived)")
     max_streams = summary.get("max_streams", 0)
     if max_streams < SERVING_MAX_STREAMS_FLOOR:
         failures.append(

@@ -3,7 +3,7 @@
 # observability layer compiled in.
 #
 # Usage:
-#   scripts/check.sh [plain|thread|address|undefined|obs|pool|faults|report|bench|plan|serve|quant] [extra ctest args...]
+#   scripts/check.sh [plain|thread|address|undefined|obs|pool|faults|report|bench|plan|serve|quant|chaos] [extra ctest args...]
 #
 # Examples:
 #   scripts/check.sh                 # plain Release build, full suite
@@ -14,6 +14,7 @@
 #   scripts/check.sh report          # run-telemetry suite + bench-gate smoke
 #   scripts/check.sh bench           # bench sweeps gated against baselines
 #   scripts/check.sh quant           # int8 suites under ASan+UBSan + parity smoke
+#   scripts/check.sh chaos           # serve-resilience suite + kill -9 soak
 #
 # The obs mode is the instrumentation soak from docs/OBSERVABILITY.md: the
 # whole tier-1 suite runs with the macros compiled in, TFMAE_OBS=1 so every
@@ -61,6 +62,18 @@
 # concurrent Push/Flush) — then a 30-second tfmae_serve smoke replays a
 # 256-stream synthetic fleet end to end with --verify.
 #
+# The chaos mode is the serving-resilience soak from docs/RESILIENCE.md
+# ("Serving resilience"): the serve-resilience suite (snapshot/restore
+# bitwise identity at 1/2/4 threads, corrupted-newest fallback, shed
+# policies, the sticky degraded latch, drain under concurrent producers,
+# the scoring watchdog, and the serve.* fault points) runs under
+# AddressSanitizer with -DTFMAE_FAULTS=ON and -DTFMAE_OBS=ON, then
+# scripts/chaos_soak.py kill -9s a live tfmae_serve mid-run three times
+# (one seed per thread count), restores each from its newest valid
+# snapshot, re-feeds the tail, and fails unless the union of the killed
+# and resumed score logs is bitwise-identical to an uninterrupted
+# reference run.
+#
 # The bench mode is the performance gate from docs/OBSERVABILITY.md
 # ("Benchmark gating"): it runs the bench_micro JSON sweeps in the same
 # build and fails if any tracked relative metric (speedup ratios,
@@ -95,9 +108,9 @@ case "$SAN" in
   pool)    SAN_FLAG="-DTFMAE_SANITIZE=address" ;;
   faults)  SAN_FLAG="-DTFMAE_FAULTS=ON -DTFMAE_OBS=ON -DTFMAE_SANITIZE=undefined" ;;
   report|bench) SAN_FLAG="-DTFMAE_OBS=ON -DTFMAE_FAULTS=ON" ;;
-  plan|serve|quant) SAN_FLAG="" ;;
+  plan|serve|quant|chaos) SAN_FLAG="" ;;
   *)
-    echo "usage: $0 [plain|thread|address|undefined|obs|pool|faults|report|bench|plan|serve|quant] [ctest args...]" >&2
+    echo "usage: $0 [plain|thread|address|undefined|obs|pool|faults|report|bench|plan|serve|quant|chaos] [ctest args...]" >&2
     exit 2
     ;;
 esac
@@ -134,6 +147,18 @@ if [ "$SAN" = "serve" ]; then
   echo "== serve smoke: 256 streams, 30 seconds, batched == sequential =="
   "build-check-serve-address/tools/tfmae_serve" \
     --streams=256 --threads=2 --seconds=30 --verify
+  exit 0
+fi
+
+if [ "$SAN" = "chaos" ]; then
+  BUILD_DIR="build-check-chaos"
+  configure_and_build "$BUILD_DIR" \
+    -DTFMAE_OBS=ON -DTFMAE_FAULTS=ON -DTFMAE_SANITIZE=address
+  echo "== serve resilience suite: ASan, snapshot/shed/watchdog/fault tests =="
+  ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    -R 'FleetSnapshot|FleetShed|FleetDrain|FleetFault|StreamStateCodec' "$@"
+  echo "== chaos soak: kill -9 mid-run, restore, union-of-logs bitwise =="
+  python3 scripts/chaos_soak.py --serve-bin "$BUILD_DIR/tools/tfmae_serve"
   exit 0
 fi
 

@@ -47,6 +47,120 @@ std::int64_t StreamState::ApproxBytes() const {
   return bytes;
 }
 
+namespace {
+
+// Bump when the StreamState wire layout changes; DecodeFrom rejects other
+// versions instead of misinterpreting bytes.
+constexpr std::uint32_t kStreamStateVersion = 1;
+
+void EncodeF64Array(util::ByteWriter* writer, const std::vector<double>& v) {
+  writer->U64(static_cast<std::uint64_t>(v.size()));
+  writer->Raw(v.data(), v.size() * sizeof(double));
+}
+
+bool DecodeF64Array(util::ByteReader* reader, std::vector<double>* v,
+                    std::uint64_t expect) {
+  std::uint64_t count = 0;
+  if (!reader->U64(&count) || count != expect) return false;
+  v->resize(static_cast<std::size_t>(count));
+  return reader->Raw(v->data(), static_cast<std::size_t>(count) * sizeof(double));
+}
+
+}  // namespace
+
+void StreamState::EncodeTo(util::ByteWriter* writer) const {
+  writer->U32(kStreamStateVersion);
+  writer->I64(num_features_);
+  writer->I64(buffered_rows_);
+  writer->I64(total_pushed_);
+  writer->I64(pushes_since_rescore_);
+  writer->U32(scored_once_ ? 1 : 0);
+  writer->F32(last_tail_score_);
+  writer->F32(threshold_);
+  writer->U32(static_cast<std::uint32_t>(last_push_status_));
+  writer->I64(health_.rows_scored);
+  writer->I64(health_.rows_warmup);
+  writer->I64(health_.rows_imputed);
+  writer->I64(health_.rows_quarantined);
+  writer->I64(health_.rows_rejected);
+  writer->I64(health_.values_imputed);
+  writer->FloatArray(buffer_);
+  writer->FloatArray(last_good_);
+  std::vector<char> flags(has_last_good_.begin(), has_last_good_.end());
+  writer->U64(static_cast<std::uint64_t>(flags.size()));
+  writer->Raw(flags.data(), flags.size());
+  writer->I64Array(staleness_);
+  writer->I64(stats_count_);
+  EncodeF64Array(writer, stats_mean_);
+  EncodeF64Array(writer, stats_m2_);
+}
+
+bool StreamState::DecodeFrom(util::ByteReader* reader) {
+  std::uint32_t version = 0;
+  if (!reader->U32(&version) || version != kStreamStateVersion) return false;
+  std::uint32_t scored_once = 0;
+  std::uint32_t status = 0;
+  if (!reader->I64(&num_features_) || !reader->I64(&buffered_rows_) ||
+      !reader->I64(&total_pushed_) || !reader->I64(&pushes_since_rescore_) ||
+      !reader->U32(&scored_once) || !reader->F32(&last_tail_score_) ||
+      !reader->F32(&threshold_) || !reader->U32(&status)) {
+    return false;
+  }
+  scored_once_ = scored_once != 0;
+  if (status > static_cast<std::uint32_t>(PushStatus::kQuarantined)) {
+    return false;
+  }
+  last_push_status_ = static_cast<PushStatus>(status);
+  if (!reader->I64(&health_.rows_scored) || !reader->I64(&health_.rows_warmup) ||
+      !reader->I64(&health_.rows_imputed) ||
+      !reader->I64(&health_.rows_quarantined) ||
+      !reader->I64(&health_.rows_rejected) ||
+      !reader->I64(&health_.values_imputed)) {
+    return false;
+  }
+  if (!reader->FloatArray(&buffer_) || !reader->FloatArray(&last_good_)) {
+    return false;
+  }
+  std::uint64_t flag_count = 0;
+  if (!reader->U64(&flag_count) || flag_count > (1u << 20)) return false;
+  std::vector<char> flags(static_cast<std::size_t>(flag_count));
+  if (!reader->Raw(flags.data(), flags.size())) return false;
+  has_last_good_.assign(flags.begin(), flags.end());
+  if (!reader->I64Array(&staleness_) || !reader->I64(&stats_count_)) {
+    return false;
+  }
+  const std::uint64_t features =
+      num_features_ > 0 ? static_cast<std::uint64_t>(num_features_) : 0;
+  if (!DecodeF64Array(reader, &stats_mean_, features) ||
+      !DecodeF64Array(reader, &stats_m2_, features)) {
+    return false;
+  }
+
+  // Internal-consistency checks: a CRC-valid container can still hold a
+  // payload this code never wrote (version skew caught above, but also any
+  // logic bug on the encode side). Refuse instead of serving from it.
+  if (num_features_ < -1 || num_features_ == 0) return false;
+  if (num_features_ == -1) {
+    return buffered_rows_ == 0 && total_pushed_ == 0 && buffer_.empty() &&
+           last_good_.empty() && has_last_good_.empty() && staleness_.empty();
+  }
+  const auto n = static_cast<std::size_t>(num_features_);
+  if (buffered_rows_ < 0 || buffered_rows_ > options_.window) return false;
+  if (buffer_.size() != static_cast<std::size_t>(buffered_rows_) * n) {
+    return false;
+  }
+  if (last_good_.size() != n || has_last_good_.size() != n ||
+      staleness_.size() != n) {
+    return false;
+  }
+  if (total_pushed_ < buffered_rows_ || pushes_since_rescore_ < 0 ||
+      stats_count_ < 0) {
+    return false;
+  }
+  buffer_.reserve(static_cast<std::size_t>(options_.window) * n);
+  return true;
+}
+
 PushStatus StreamState::SanitizeRow(std::vector<float>* row,
                                     std::int32_t* imputed) {
   *imputed = 0;

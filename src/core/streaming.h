@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "core/anomaly_detector.h"
+#include "util/checkpoint_file.h"
 
 namespace tfmae::core {
 
@@ -163,6 +164,22 @@ class StreamState {
   /// and reported by `tfmae_serve --stats` (ROADMAP item 1's "small
   /// per-stream footprint", made measurable).
   std::int64_t ApproxBytes() const;
+
+  /// Serializes the complete mutable state (window buffer, hop cadence,
+  /// LOCF/staleness repair state, Welford statistics, health, threshold) so
+  /// that a decoded copy continues bitwise-identically to this stream.
+  /// The StreamingOptions are NOT encoded — they are configuration, carried
+  /// by the owner (serve::FleetSnapshot stores them once per fleet) and
+  /// supplied to the constructor before DecodeFrom.
+  void EncodeTo(util::ByteWriter* writer) const;
+
+  /// Restores state written by EncodeTo into this instance. Returns false
+  /// (state unspecified, stream must be discarded) on a truncated payload or
+  /// any internal inconsistency: wrong buffer size for the recorded row
+  /// count, repair arrays that disagree with the arity, an out-of-range
+  /// enum. The options this instance was constructed with must match the
+  /// encoding stream's (the owner validates that before calling).
+  bool DecodeFrom(util::ByteReader* reader);
 
  private:
   /// Validates and repairs one row in place. Returns the status the row

@@ -3,14 +3,20 @@
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
+#include <filesystem>
 #include <string>
+#include <system_error>
 #include <utility>
 
+#include "core/config_io.h"
 #include "core/inference_plan.h"
 #include "data/timeseries.h"
 #include "eval/detection.h"
+#include "obs/flight_recorder.h"
 #include "obs/ledger.h"
 #include "obs/trace.h"
+#include "util/crc32.h"
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -62,6 +68,25 @@ void AtomicMax(std::atomic<std::int64_t>* target, std::int64_t value) {
 
 }  // namespace
 
+const char* ShedPolicyName(ShedPolicy policy) {
+  switch (policy) {
+    case ShedPolicy::kRejectNew:
+      return "reject";
+    case ShedPolicy::kDropOldest:
+      return "drop_oldest";
+    case ShedPolicy::kBlockDeadline:
+      return "block";
+  }
+  return "reject";
+}
+
+std::optional<ShedPolicy> ParseShedPolicy(std::string_view name) {
+  if (name == "reject") return ShedPolicy::kRejectNew;
+  if (name == "drop_oldest") return ShedPolicy::kDropOldest;
+  if (name == "block") return ShedPolicy::kBlockDeadline;
+  return std::nullopt;
+}
+
 /// One stream slot: the compact state plus its ingest lock. Pushes to
 /// different streams contend only on the queue; pushes to the same stream
 /// are the caller's timeline and serialize here.
@@ -109,13 +134,27 @@ FleetServer::FleetServer(core::TfmaeDetector* detector, FleetOptions options)
   TFMAE_CHECK_MSG(options_.streaming.window <= detector->config().window,
                   "FleetServer: streaming.window must not exceed the "
                   "detector's config().window (one window per rescore)");
+  TFMAE_CHECK(options_.snapshot_keep >= 2);
   streams_.resize(static_cast<std::size_t>(options_.max_streams));
+  const std::string config_text = core::ConfigToString(detector_->config());
+  config_crc_ = util::Crc32(config_text.data(), config_text.size());
+  if (options_.watchdog_stall_ms > 0) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
+  }
 }
 
 FleetServer::~FleetServer() {
   // Shutdown contract: every admitted window is scored before the server
   // goes away, even if the owner forgot to Drain().
   Drain();
+  if (watchdog_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(watchdog_mu_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_.join();
+  }
 }
 
 std::int64_t FleetServer::OpenStream() {
@@ -153,8 +192,39 @@ AdmitStatus FleetServer::Push(std::int64_t stream,
                               const std::vector<float>& row,
                               core::StreamingResult* result) {
   TFMAE_TRACE("serve.push");
+  if (draining_.load(std::memory_order_acquire)) return AdmitStatus::kDraining;
   if (stream < 0 || stream >= num_streams()) return AdmitStatus::kUnknownStream;
+  if (TFMAE_FAULT("serve.push")) {
+    // Injected ingest failure, shaped exactly like an admission-control
+    // refusal: the row is untouched and the caller's overload retry path
+    // must absorb it.
+    rows_overloaded_.fetch_add(1, std::memory_order_relaxed);
+    TFMAE_COUNTER_ADD("serve.ingest.rejected_overload", 1);
+    RecordShedStrike();
+    return AdmitStatus::kOverloaded;
+  }
   Entry& entry = *streams_[static_cast<std::size_t>(stream)];
+
+  if (options_.shed_policy == ShedPolicy::kBlockDeadline) {
+    // Self-service pre-wait: instead of bouncing kOverloaded back, the
+    // pushing thread spends its own time scoring the backlog, up to the
+    // deadline. Runs BEFORE entry.mu so a waiting push never blocks the
+    // scoring path's result commits for this stream.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(options_.shed_deadline_ms);
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> queue_lock(queue_mu_);
+        if (static_cast<std::int64_t>(queue_.size()) <
+            options_.queue_capacity) {
+          break;
+        }
+      }
+      if (std::chrono::steady_clock::now() >= deadline) break;
+      TryFlush();  // no-op when another thread is mid-batch; then nap
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
 
   bool queued = false;
   std::int64_t depth = 0;
@@ -169,11 +239,40 @@ AdmitStatus FleetServer::Push(std::int64_t stream,
       std::lock_guard<std::mutex> queue_lock(queue_mu_);
       if (static_cast<std::int64_t>(queue_.size()) >=
           options_.queue_capacity) {
-        rows_overloaded_.fetch_add(1, std::memory_order_relaxed);
-        TFMAE_COUNTER_ADD("serve.ingest.rejected_overload", 1);
-        return AdmitStatus::kOverloaded;
+        if (options_.shed_policy == ShedPolicy::kDropOldest &&
+            !queue_.empty()) {
+          // Evict the oldest admitted window to make room for the new row,
+          // and publish the victim as a shed-marked result so the coverage
+          // gap is observable rather than silent.
+          Request victim = std::move(queue_.front());
+          queue_.pop_front();
+          shed_dropped_.fetch_add(1, std::memory_order_relaxed);
+          TFMAE_COUNTER_ADD("serve.shed.dropped", 1);
+          RecordShedStrike();
+          ScoredWindow marker;
+          marker.stream = victim.stream;
+          marker.seq = victim.seq;
+          marker.fresh = victim.fresh;
+          marker.degraded = victim.imputed > 0;
+          marker.imputed_values = victim.imputed;
+          marker.shed = true;
+          std::lock_guard<std::mutex> results_lock(results_mu_);
+          results_.push_back(marker);
+        } else {
+          rows_overloaded_.fetch_add(1, std::memory_order_relaxed);
+          TFMAE_COUNTER_ADD("serve.ingest.rejected_overload", 1);
+          if (options_.shed_policy == ShedPolicy::kBlockDeadline) {
+            shed_deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+            TFMAE_COUNTER_ADD("serve.shed.deadline_expired", 1);
+          }
+          RecordShedStrike();
+          return AdmitStatus::kOverloaded;
+        }
       }
     }
+    // The row is being admitted: saturation is over for strike purposes
+    // (the degraded latch, once set, stays).
+    shed_strikes_.store(0, std::memory_order_relaxed);
 
     const core::AbsorbOutcome outcome = entry.state.Absorb(row);
     switch (outcome.status) {
@@ -220,7 +319,10 @@ AdmitStatus FleetServer::Push(std::int64_t stream,
     }
   }
 
-  if (!queued) return AdmitStatus::kAccepted;
+  if (!queued) {
+    MaybeAutoSnapshot();
+    return AdmitStatus::kAccepted;
+  }
   TFMAE_GAUGE_MAX("serve.queue.depth_peak", depth);
   TFMAE_HISTOGRAM_RECORD("serve.queue.depth", static_cast<std::uint64_t>(depth));
   // Flush OUTSIDE every lock: the scoring path re-acquires stream locks to
@@ -228,6 +330,7 @@ AdmitStatus FleetServer::Push(std::int64_t stream,
   // entry.mu -> queue_mu_ — no cycle as long as nothing here holds a lock
   // while asking for score_mu_).
   if (options_.auto_flush && depth >= options_.batch_max) TryFlush();
+  MaybeAutoSnapshot();
   return AdmitStatus::kQueued;
 }
 
@@ -301,6 +404,16 @@ std::int64_t FleetServer::ScoreBatchLocked() {
   const core::TfmaeModel& model = *detector_->model();
   const core::TfmaeConfig& config = detector_->config();
   const std::uint64_t t0 = NowNs();
+  // Heartbeat for the watchdog: this batch is now in flight.
+  batch_start_ns_.store(t0, std::memory_order_release);
+  const bool fault_slow_batch = TFMAE_FAULT("serve.score");
+  if (fault_slow_batch) {
+    // Injected scoring stall: long enough for a tight watchdog deadline to
+    // fire, and the batch is forced onto the eager path (bitwise-identical
+    // scores by the plan's capture-time self-verification, so the
+    // determinism contract is unaffected).
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
 
   // Phase 1 (dispatch thread, serial): replicate TfmaeDetector::Score's
   // exact per-window pipeline — global z-score, optional per-window
@@ -330,7 +443,7 @@ std::int64_t FleetServer::ScoreBatchLocked() {
   // so each window's scores are bitwise those of a sequential replay.
   const std::int64_t lane_want = std::min<std::int64_t>(
       batch_size, ThreadPool::Instance().num_threads());
-  const bool planned = detector_->inference_plan_enabled() &&
+  const bool planned = !fault_slow_batch && detector_->inference_plan_enabled() &&
                        EnsureLanesLocked(lane_want, masked[0]);
   std::vector<float> scores(batch.size(), 0.0f);
   if (planned) {
@@ -398,6 +511,7 @@ std::int64_t FleetServer::ScoreBatchLocked() {
   TFMAE_COUNTER_ADD("serve.batch.windows", batch_size);
   TFMAE_HISTOGRAM_RECORD("serve.batch.size",
                          static_cast<std::uint64_t>(batch_size));
+  batch_start_ns_.store(0, std::memory_order_release);  // heartbeat: idle
   return batch_size;
 }
 
@@ -422,9 +536,20 @@ std::int64_t FleetServer::Flush() {
 }
 
 std::int64_t FleetServer::Drain() {
+  // Latch the server closed FIRST: once a producer observes the queue
+  // emptying it must not be able to refill it, or 4 fast producers can
+  // livelock shutdown forever. Pushes racing the latch are fine — whatever
+  // they admitted is scored by the flush below.
+  draining_.store(true, std::memory_order_release);
   const std::int64_t scored = Flush();
   TFMAE_GAUGE_SET("serve.bytes_per_stream", ApproxBytesPerStream());
-  if (obs::LedgerActive()) {
+  bool first_drain = false;
+  {
+    std::lock_guard<std::mutex> lock(open_mu_);
+    first_drain = !drained_event_emitted_;
+    drained_event_emitted_ = true;
+  }
+  if (first_drain && obs::LedgerActive()) {
     const ServeStats s = stats();
     obs::Ledger::Instance().Event(
         "serve",
@@ -445,6 +570,277 @@ std::int64_t FleetServer::Drain() {
          {"t_overloaded", std::to_string(s.rows_overloaded)}});
   }
   return scored;
+}
+
+void FleetServer::RecordShedStrike() {
+  const std::int64_t strikes =
+      shed_strikes_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (options_.degraded_after <= 0 || strikes < options_.degraded_after) return;
+  if (degraded_.exchange(true, std::memory_order_relaxed)) return;
+  // First time over the threshold: latch sticky degraded mode, exactly once.
+  TFMAE_COUNTER_ADD("serve.shed.degraded_entered", 1);
+  if (obs::FlightRecorderActive()) {
+    obs::FlightRecorder::Instance().Note(
+        "shed", std::string("fleet server entered degraded mode (policy=") +
+                    ShedPolicyName(options_.shed_policy) + ", strikes=" +
+                    std::to_string(strikes) + ")");
+  }
+  if (obs::LedgerActive()) {
+    // Load-dependent by nature (it only exists when ingest outruns scoring),
+    // so every field is timing-tagged and the event is excluded from
+    // cross-thread-count canonical-stream comparisons.
+    obs::Ledger::Instance().Event(
+        "serve.shed",
+        {{"policy", obs::JsonQuote(ShedPolicyName(options_.shed_policy))},
+         {"t_strikes", std::to_string(strikes)},
+         {"t_queue_capacity", std::to_string(options_.queue_capacity)}});
+  }
+}
+
+void FleetServer::WatchdogLoop() {
+  const auto poll = std::chrono::milliseconds(
+      std::max<std::int64_t>(1, options_.watchdog_stall_ms / 4));
+  const std::uint64_t stall_ns =
+      static_cast<std::uint64_t>(options_.watchdog_stall_ms) * 1000000ull;
+  std::uint64_t last_flagged = 0;
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  for (;;) {
+    watchdog_cv_.wait_for(lock, poll, [this] { return watchdog_stop_; });
+    if (watchdog_stop_) return;
+    const std::uint64_t start = batch_start_ns_.load(std::memory_order_acquire);
+    if (start == 0) continue;  // no batch in flight
+    const std::uint64_t now = NowNs();
+    if (now - start < stall_ns) continue;
+    if (start == last_flagged) continue;  // one postmortem per stalled batch
+    last_flagged = start;
+    watchdog_stalls_.fetch_add(1, std::memory_order_relaxed);
+    TFMAE_COUNTER_ADD("serve.watchdog.stalls", 1);
+    const std::int64_t stalled_ms =
+        static_cast<std::int64_t>((now - start) / 1000000ull);
+    Log(LogLevel::kWarning,
+        "serve watchdog: batch in flight for " + std::to_string(stalled_ms) +
+            " ms (deadline " + std::to_string(options_.watchdog_stall_ms) +
+            " ms)");
+    if (obs::FlightRecorderActive()) {
+      obs::FlightRecorder::Instance().Note(
+          "watchdog", "scoring batch stalled " + std::to_string(stalled_ms) +
+                          " ms (deadline " +
+                          std::to_string(options_.watchdog_stall_ms) + " ms)");
+      obs::FlightRecorder::Instance().Dump("serve.watchdog.stall");
+    }
+  }
+}
+
+FleetSnapshotData FleetServer::CaptureSnapshot() {
+  FleetSnapshotData data;
+  data.config_crc = config_crc_;
+  data.streaming = options_.streaming;
+
+  // A consistent cut needs three guarantees at once: no batch is in flight
+  // (popped-but-uncommitted requests would be in neither the queue nor any
+  // stream), no push is mid-absorb (a row absorbed but its window not yet
+  // enqueued would make state and queue disagree), and the stream count is
+  // stable. score_mu_ gives the first, holding EVERY stream lock gives the
+  // second, open_mu_ the third. Lock order: score_mu_ -> open_mu_ ->
+  // entry.mu (ascending) -> queue_mu_, consistent with every other path
+  // (pushes take entry.mu -> queue_mu_; set_threshold open_mu_ -> entry.mu;
+  // nothing takes score_mu_ while holding any of these).
+  std::lock_guard<std::mutex> score_lock(score_mu_);
+  std::lock_guard<std::mutex> open_lock(open_mu_);
+  const std::int64_t n = num_streams_.load(std::memory_order_acquire);
+  for (std::int64_t s = 0; s < n; ++s) {
+    streams_[static_cast<std::size_t>(s)]->mu.lock();
+  }
+  {
+    std::lock_guard<std::mutex> queue_lock(queue_mu_);
+    data.pending.reserve(queue_.size());
+    for (const Request& r : queue_) {
+      PendingWindow p;
+      p.stream = r.stream;
+      p.seq = r.seq;
+      p.fresh = r.fresh;
+      p.imputed = r.imputed;
+      p.values = r.values;
+      data.pending.push_back(std::move(p));
+    }
+  }
+  data.index = snapshot_index_.fetch_add(1, std::memory_order_relaxed) + 1;
+  data.threshold = default_threshold_;
+  data.counters.rows_pushed = rows_pushed_.load(std::memory_order_relaxed);
+  data.counters.rows_overloaded =
+      rows_overloaded_.load(std::memory_order_relaxed);
+  data.counters.rows_rejected = rows_rejected_.load(std::memory_order_relaxed);
+  data.counters.rows_quarantined =
+      rows_quarantined_.load(std::memory_order_relaxed);
+  data.counters.rows_warmup = rows_warmup_.load(std::memory_order_relaxed);
+  data.counters.windows_enqueued =
+      windows_enqueued_.load(std::memory_order_relaxed);
+  data.counters.windows_scored =
+      windows_scored_.load(std::memory_order_relaxed);
+  data.counters.alerts = alerts_.load(std::memory_order_relaxed);
+  data.counters.shed_dropped = shed_dropped_.load(std::memory_order_relaxed);
+  data.counters.shed_deadline_expired =
+      shed_deadline_expired_.load(std::memory_order_relaxed);
+  data.stream_states.resize(static_cast<std::size_t>(n));
+  for (std::int64_t s = 0; s < n; ++s) {
+    util::ByteWriter writer;
+    streams_[static_cast<std::size_t>(s)]->state.EncodeTo(&writer);
+    data.stream_states[static_cast<std::size_t>(s)] = writer.Take();
+  }
+  for (std::int64_t s = n - 1; s >= 0; --s) {
+    streams_[static_cast<std::size_t>(s)]->mu.unlock();
+  }
+  return data;
+}
+
+bool FleetServer::SnapshotNow(std::string* error) {
+  if (options_.snapshot_dir.empty()) {
+    if (error != nullptr) *error = "no snapshot_dir configured";
+    return false;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options_.snapshot_dir, ec);
+  const FleetSnapshotData data = CaptureSnapshot();
+  last_snapshot_rows_.store(data.counters.rows_pushed,
+                            std::memory_order_relaxed);
+  const std::string path =
+      FleetSnapshotPath(options_.snapshot_dir, data.index);
+  // File I/O runs outside every lock: the capture above copied what it
+  // needs, so ingest and scoring resume while the container is written.
+  std::string write_error;
+  if (!WriteFleetSnapshot(data, path, &write_error)) {
+    snapshots_failed_.fetch_add(1, std::memory_order_relaxed);
+    TFMAE_COUNTER_ADD("serve.snapshot.failures", 1);
+    Log(LogLevel::kWarning,
+        "fleet snapshot write failed (" + write_error +
+            "); serving continues on the previous snapshot");
+    if (obs::FlightRecorderActive()) {
+      obs::FlightRecorder::Instance().Note("snapshot",
+                                           "write failed: " + write_error);
+    }
+    if (error != nullptr) *error = write_error;
+    return false;
+  }
+  snapshots_written_.fetch_add(1, std::memory_order_relaxed);
+  TFMAE_COUNTER_ADD("serve.snapshot.writes", 1);
+  PruneFleetSnapshots(options_.snapshot_dir, options_.snapshot_keep);
+  if (obs::LedgerActive()) {
+    obs::Ledger::Instance().Event(
+        "serve.snapshot",
+        {{"file", obs::JsonQuote(path)},
+         {"streams", std::to_string(data.stream_states.size())},
+         {"rows", std::to_string(data.counters.rows_pushed)},
+         // Pending depth and snapshot cadence depend on flush/ingest timing.
+         {"t_index", std::to_string(data.index)},
+         {"t_pending", std::to_string(data.pending.size())}});
+  }
+  return true;
+}
+
+void FleetServer::MaybeAutoSnapshot() {
+  if (options_.snapshot_every <= 0 || options_.snapshot_dir.empty()) return;
+  const std::int64_t rows = rows_pushed_.load(std::memory_order_relaxed);
+  std::int64_t last = last_snapshot_rows_.load(std::memory_order_relaxed);
+  if (rows - last < options_.snapshot_every) return;
+  // One pusher wins the CAS and cuts the snapshot; the rest carry on.
+  if (!last_snapshot_rows_.compare_exchange_strong(last, rows,
+                                                   std::memory_order_relaxed)) {
+    return;
+  }
+  SnapshotNow();
+}
+
+bool FleetServer::Restore(const FleetSnapshotData& snapshot,
+                          std::string* error) {
+  const auto fail = [error](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (num_streams() != 0) {
+    return fail("Restore requires a fresh server (no streams opened)");
+  }
+  if (snapshot.config_crc != config_crc_) {
+    return fail("snapshot config CRC does not match this detector's config");
+  }
+  const core::StreamingOptions& a = snapshot.streaming;
+  const core::StreamingOptions& b = options_.streaming;
+  if (a.window != b.window || a.hop != b.hop ||
+      a.impute_staleness_cap != b.impute_staleness_cap ||
+      a.quarantine_sigma != b.quarantine_sigma ||
+      a.quarantine_warmup != b.quarantine_warmup) {
+    return fail("snapshot streaming options do not match this server's");
+  }
+  const std::int64_t n =
+      static_cast<std::int64_t>(snapshot.stream_states.size());
+  if (n > options_.max_streams) {
+    return fail("snapshot holds more streams than max_streams");
+  }
+  {
+    std::lock_guard<std::mutex> lock(open_mu_);
+    default_threshold_ = snapshot.threshold;
+  }
+  for (std::int64_t s = 0; s < n; ++s) {
+    if (OpenStream() != s) return fail("stream slot allocation failed");
+    Entry& entry = *streams_[static_cast<std::size_t>(s)];
+    util::ByteReader reader(snapshot.stream_states[static_cast<std::size_t>(s)]);
+    std::lock_guard<std::mutex> stream_lock(entry.mu);
+    if (!entry.state.DecodeFrom(&reader) || !reader.AtEnd()) {
+      return fail("stream " + std::to_string(s) + " payload is corrupt");
+    }
+  }
+  {
+    std::lock_guard<std::mutex> queue_lock(queue_mu_);
+    for (const PendingWindow& p : snapshot.pending) {
+      if (p.stream < 0 || p.stream >= n || p.seq < 0) {
+        return fail("pending window references an invalid stream");
+      }
+      const Entry& entry = *streams_[static_cast<std::size_t>(p.stream)];
+      const std::size_t expect =
+          static_cast<std::size_t>(options_.streaming.window) *
+          static_cast<std::size_t>(std::max<std::int64_t>(
+              entry.state.num_features(), 0));
+      if (p.values.size() != expect) {
+        return fail("pending window has the wrong geometry");
+      }
+      Request request;
+      request.stream = p.stream;
+      request.seq = p.seq;
+      request.fresh = p.fresh;
+      request.imputed = p.imputed;
+      request.values = p.values;
+      queue_.push_back(std::move(request));
+    }
+  }
+  rows_pushed_.store(snapshot.counters.rows_pushed, std::memory_order_relaxed);
+  rows_overloaded_.store(snapshot.counters.rows_overloaded,
+                         std::memory_order_relaxed);
+  rows_rejected_.store(snapshot.counters.rows_rejected,
+                       std::memory_order_relaxed);
+  rows_quarantined_.store(snapshot.counters.rows_quarantined,
+                          std::memory_order_relaxed);
+  rows_warmup_.store(snapshot.counters.rows_warmup, std::memory_order_relaxed);
+  windows_enqueued_.store(snapshot.counters.windows_enqueued,
+                          std::memory_order_relaxed);
+  windows_scored_.store(snapshot.counters.windows_scored,
+                        std::memory_order_relaxed);
+  alerts_.store(snapshot.counters.alerts, std::memory_order_relaxed);
+  shed_dropped_.store(snapshot.counters.shed_dropped,
+                      std::memory_order_relaxed);
+  shed_deadline_expired_.store(snapshot.counters.shed_deadline_expired,
+                               std::memory_order_relaxed);
+  snapshot_index_.store(snapshot.index, std::memory_order_relaxed);
+  last_snapshot_rows_.store(snapshot.counters.rows_pushed,
+                            std::memory_order_relaxed);
+  TFMAE_COUNTER_ADD("serve.snapshot.restores", 1);
+  if (obs::LedgerActive()) {
+    obs::Ledger::Instance().Event(
+        "serve.restore",
+        {{"streams", std::to_string(n)},
+         {"rows", std::to_string(snapshot.counters.rows_pushed)},
+         {"t_index", std::to_string(snapshot.index)},
+         {"t_pending", std::to_string(snapshot.pending.size())}});
+  }
+  return true;
 }
 
 std::vector<ScoredWindow> FleetServer::TakeResults() {
@@ -508,6 +904,14 @@ ServeStats FleetServer::stats() const {
   s.alerts = alerts_.load(std::memory_order_relaxed);
   s.peak_queue_depth = peak_queue_depth_.load(std::memory_order_relaxed);
   s.bytes_per_stream = ApproxBytesPerStream();
+  s.shed_dropped = shed_dropped_.load(std::memory_order_relaxed);
+  s.shed_deadline_expired =
+      shed_deadline_expired_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.snapshots_written = snapshots_written_.load(std::memory_order_relaxed);
+  s.snapshots_failed = snapshots_failed_.load(std::memory_order_relaxed);
+  s.snapshot_index = snapshot_index();
+  s.watchdog_stalls = watchdog_stalls_.load(std::memory_order_relaxed);
   {
     // Quantiles from the log2 latency histogram with linear interpolation
     // inside a bucket (the obs exporters' scheme), clamped to observed

@@ -41,16 +41,50 @@
 #define TFMAE_SERVE_FLEET_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
 #include <vector>
 
 #include "core/detector.h"
 #include "core/streaming.h"
+#include "serve/fleet_snapshot.h"
 
 namespace tfmae::serve {
+
+/// What admission control does when the ready-window queue is full
+/// (docs/RESILIENCE.md, "Serving resilience"). Every policy is typed and
+/// accounted (`serve.shed.*`); none silently drops an ADMITTED window —
+/// kDropOldest surfaces the victim as a shed-marked result.
+enum class ShedPolicy {
+  /// Refuse the new row with kOverloaded; the row is not consumed and the
+  /// caller retries after a Flush. The pre-PR-9 behaviour.
+  kRejectNew,
+  /// Evict the oldest queued window to admit the new row. The victim is
+  /// never scored; it is published through TakeResults with `shed = true`
+  /// (score meaningless) so its absence is observable, and its stream's
+  /// tail score simply stays stale until the next rescore. Favors freshness
+  /// over completeness.
+  kDropOldest,
+  /// Before admission, the pushing thread self-services the backlog
+  /// (bounded flush-and-wait up to shed_deadline_ms); if the queue is still
+  /// full at the deadline the push fails kOverloaded and
+  /// `serve.shed.deadline_expired` counts it. Favors completeness over
+  /// ingest latency.
+  kBlockDeadline,
+};
+
+/// Stable lower-case name ("reject" / "drop_oldest" / "block"), as used by
+/// TFMAE_SERVE_SHED_POLICY and `tfmae_serve --shed_policy`.
+const char* ShedPolicyName(ShedPolicy policy);
+/// Inverse of ShedPolicyName; nullopt for an unknown name.
+std::optional<ShedPolicy> ParseShedPolicy(std::string_view name);
 
 /// Fleet-server configuration.
 struct FleetOptions {
@@ -71,6 +105,31 @@ struct FleetOptions {
   /// Score a batch inline (from the pushing thread) whenever batch_max
   /// windows are ready. Off: windows accumulate until Flush()/Drain().
   bool auto_flush = true;
+  /// Queue-full behaviour (see ShedPolicy).
+  ShedPolicy shed_policy = ShedPolicy::kRejectNew;
+  /// kBlockDeadline only: longest a push may self-service the backlog
+  /// before giving up with kOverloaded.
+  std::int64_t shed_deadline_ms = 50;
+  /// Consecutive shed/overload events before the server latches sticky
+  /// degraded mode (one `serve.shed` ledger event + flight-recorder note;
+  /// stats().degraded stays true for the rest of the run). <= 0 disables.
+  std::int64_t degraded_after = 8;
+  /// Snapshot directory for SnapshotNow()/automatic snapshots; empty
+  /// disables snapshotting entirely.
+  std::string snapshot_dir;
+  /// Automatic crash-safety cadence: a snapshot is cut roughly every this
+  /// many absorbed rows (checked after each push, outside all locks).
+  /// 0 = manual SnapshotNow() only.
+  std::int64_t snapshot_every = 0;
+  /// Snapshots retained in snapshot_dir (older ones are pruned after every
+  /// successful write). At least 2, so a torn newest file always leaves a
+  /// valid predecessor to fall back to.
+  int snapshot_keep = 4;
+  /// Scoring watchdog: a batch in flight longer than this many ms is
+  /// declared stalled — `serve.watchdog.stalls` is bumped and, when the
+  /// flight recorder is armed, a postmortem is dumped. 0 = no watchdog
+  /// thread.
+  std::int64_t watchdog_stall_ms = 0;
 };
 
 /// Typed admission result of one Push.
@@ -82,6 +141,8 @@ enum class AdmitStatus {
   kRejectedRow,  ///< degraded-input reject (wrong arity / unimputable)
   kOverloaded,   ///< queue full: row NOT consumed, retry after Flush/Drain
   kUnknownStream,  ///< stream id was never OpenStream()ed
+  kDraining,     ///< Drain() began: row NOT consumed, the server is shutting
+                 ///< down and will never admit again
 };
 
 /// One asynchronous scoring result (delivered via TakeResults()).
@@ -96,6 +157,10 @@ struct ScoredWindow {
   std::int64_t fresh = 0;
   bool degraded = false;
   std::int32_t imputed_values = 0;
+  /// kDropOldest only: this window was evicted unscored to admit a newer
+  /// row — `score`/`is_anomaly` are meaningless, the entry exists so the
+  /// gap in (stream, seq) coverage is observable rather than silent.
+  bool shed = false;
 };
 
 /// Cumulative serving counters (always available; the obs registry mirrors
@@ -121,6 +186,13 @@ struct ServeStats {
   std::int64_t quant_arena_bytes = 0;  ///< packed u8 arena, one int8 lane
   std::int64_t peak_queue_depth = 0;
   std::int64_t bytes_per_stream = 0;   ///< StreamState::ApproxBytes (stream 0)
+  std::int64_t shed_dropped = 0;       ///< windows evicted by kDropOldest
+  std::int64_t shed_deadline_expired = 0;  ///< kBlockDeadline give-ups
+  bool degraded = false;               ///< sticky saturation latch
+  std::int64_t snapshots_written = 0;
+  std::int64_t snapshots_failed = 0;
+  std::int64_t snapshot_index = 0;     ///< index of the newest snapshot cut
+  std::int64_t watchdog_stalls = 0;
   double p50_window_ns = 0.0;          ///< per-window score latency quantiles
   double p95_window_ns = 0.0;
   double p99_window_ns = 0.0;
@@ -184,10 +256,52 @@ class FleetServer {
   /// Returns the number of windows scored.
   std::int64_t Flush();
 
-  /// Shutdown flush: scores everything admitted (identical to Flush today;
-  /// kept distinct so the shutdown path reads as a contract — no admitted
-  /// window is ever dropped) and emits the ledger `serve` summary event.
+  /// Shutdown: latches the server closed — every Push from this point on
+  /// returns kDraining WITHOUT consuming the row, so concurrent producers
+  /// cannot livelock the drain by refilling the queue — then scores every
+  /// already-admitted window and emits the ledger `serve` summary event
+  /// (once, even if Drain is called again or by the destructor). No
+  /// admitted window is ever dropped.
   std::int64_t Drain();
+
+  /// True once Drain() has begun.
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  // ---- Crash safety (docs/RESILIENCE.md, "Serving resilience") -----------
+
+  /// Cuts one snapshot of the complete serving state (every stream, the
+  /// pending queue, the counters) and writes it to options_.snapshot_dir as
+  /// "fleet_<index>.tfmae" (atomic tmp+rename; older files pruned to
+  /// snapshot_keep). Ingest and scoring are blocked for the capture — the
+  /// copy is taken at a batch boundary with every stream lock held, so the
+  /// snapshot is a consistent cut: each stream's state and its queued
+  /// windows agree. Returns false (reason in `*error`, previous snapshots
+  /// untouched) on I/O failure or when no snapshot_dir is configured.
+  /// Fault point: "serve.snapshot_write".
+  bool SnapshotNow(std::string* error = nullptr);
+
+  /// Rebuilds this server from a snapshot (see FindLatestValidFleetSnapshot
+  /// for picking one). Must be called on a FRESH server (no OpenStream yet)
+  /// whose detector and FleetOptions::streaming match the snapshot's; the
+  /// detector's config CRC is verified against the snapshot's. Reopens
+  /// every stream, decodes its state, re-enqueues the pending windows, and
+  /// restores the counters, so that re-feeding each stream its rows from
+  /// total_pushed(stream) on yields scores bitwise-identical to a run that
+  /// was never interrupted (tests/serve_resilience_test.cc pins this at
+  /// 1/2/4 threads). Returns false on any mismatch or corrupt stream
+  /// payload; the server is then in an unspecified state and must be
+  /// discarded.
+  bool Restore(const FleetSnapshotData& snapshot, std::string* error = nullptr);
+
+  /// Index of the newest snapshot cut (or restored from); 0 before any.
+  std::int64_t snapshot_index() const {
+    return static_cast<std::int64_t>(
+        snapshot_index_.load(std::memory_order_relaxed));
+  }
+
+  /// True once the sticky degraded-mode latch fired (see
+  /// FleetOptions::degraded_after).
+  bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
 
   /// Completed results since the previous TakeResults, in scoring order
   /// (admission order; per-stream order always matches push order).
@@ -220,10 +334,24 @@ class FleetServer {
   /// false when capture fails (the batch falls back to eager scoring).
   bool EnsureLanesLocked(std::int64_t want, const core::MaskedWindow& example);
   void RecordLatency(std::uint64_t ns_per_window, std::int64_t windows);
+  /// Consistent cut of the whole serving state (locks score_mu_, open_mu_,
+  /// every stream, then the queue — in that order).
+  FleetSnapshotData CaptureSnapshot();
+  /// Cuts a snapshot when snapshot_every rows have been absorbed since the
+  /// last one. Called after each push, outside all locks.
+  void MaybeAutoSnapshot();
+  /// One shed/overload event: bumps the strike counter and latches sticky
+  /// degraded mode at degraded_after consecutive strikes.
+  void RecordShedStrike();
+  /// Watchdog thread body: flags batches in flight > watchdog_stall_ms.
+  void WatchdogLoop();
 
   core::TfmaeDetector* detector_;
   FleetOptions options_;
   float default_threshold_ = 0.0f;
+  /// Crc32(ConfigToString(detector config)), stamped into every snapshot
+  /// and verified on Restore.
+  std::uint32_t config_crc_ = 0;
 
   // Stream slots are preallocated; OpenStream fills slot [num_streams_] and
   // then publishes the new count, so Push can index lock-free.
@@ -261,6 +389,29 @@ class FleetServer {
   std::atomic<std::int64_t> max_batch_{0};
   std::atomic<std::int64_t> alerts_{0};
   std::atomic<std::int64_t> peak_queue_depth_{0};
+  std::atomic<std::int64_t> shed_dropped_{0};
+  std::atomic<std::int64_t> shed_deadline_expired_{0};
+  std::atomic<std::int64_t> shed_strikes_{0};  ///< consecutive; reset on admit
+  std::atomic<bool> degraded_{false};          ///< sticky saturation latch
+  std::atomic<bool> draining_{false};          ///< set by Drain, never cleared
+
+  // Snapshot plumbing. snapshot_index_ is the index of the newest snapshot
+  // cut (the next one is index + 1); last_snapshot_rows_ is the rows_pushed_
+  // watermark at which it was cut (MaybeAutoSnapshot's cadence source).
+  std::atomic<std::uint64_t> snapshot_index_{0};
+  std::atomic<std::int64_t> last_snapshot_rows_{0};
+  std::atomic<std::int64_t> snapshots_written_{0};
+  std::atomic<std::int64_t> snapshots_failed_{0};
+
+  // Watchdog: ScoreBatchLocked publishes the wall-clock start of the batch
+  // in flight (0 = idle); the watchdog thread flags a batch that stays in
+  // flight past watchdog_stall_ms, once per batch.
+  std::atomic<std::uint64_t> batch_start_ns_{0};
+  std::atomic<std::int64_t> watchdog_stalls_{0};
+  std::thread watchdog_;
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;  ///< guarded by watchdog_mu_
 
   // Per-window score latency: fixed log2 histogram (serve.score.window_ns),
   // guarded by latency_mu_.

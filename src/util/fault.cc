@@ -39,10 +39,15 @@ std::uint64_t HashName(const std::string& name) {
 
 }  // namespace
 
-void Configure(const std::string& spec, std::uint64_t seed) {
-  State& state = GetState();
-  std::lock_guard<std::mutex> lock(state.mu);
-  state.points.clear();
+bool TryConfigure(const std::string& spec, std::uint64_t seed,
+                  std::string* error) {
+  // Parse into a scratch map first: a malformed spec must leave the live
+  // registry untouched (all-or-nothing, like every other config load here).
+  std::map<std::string, Point> parsed;
+  const auto fail = [error](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
   std::size_t pos = 0;
   while (pos < spec.size()) {
     std::size_t end = spec.find(',', pos);
@@ -51,10 +56,10 @@ void Configure(const std::string& spec, std::uint64_t seed) {
     pos = end + 1;
     if (entry.empty()) continue;
     const std::size_t colon = entry.rfind(':');
-    TFMAE_CHECK_MSG(colon != std::string::npos && colon > 0 &&
-                        colon + 1 < entry.size(),
-                    "fault spec entry must be point:trigger, got '" << entry
-                                                                    << "'");
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= entry.size()) {
+      return fail("fault spec entry must be point:trigger, got '" + entry +
+                  "'");
+    }
     const std::string name = entry.substr(0, colon);
     const std::string trigger = entry.substr(colon + 1);
     Point point;
@@ -63,19 +68,32 @@ void Configure(const std::string& spec, std::uint64_t seed) {
       char* parse_end = nullptr;
       const unsigned long long n =
           std::strtoull(trigger.c_str() + 1, &parse_end, 10);
-      TFMAE_CHECK_MSG(parse_end != nullptr && *parse_end == '\0' && n >= 1,
-                      "bad occurrence trigger '" << trigger << "'");
+      if (parse_end == nullptr || parse_end == trigger.c_str() + 1 ||
+          *parse_end != '\0' || n < 1) {
+        return fail("bad occurrence trigger '" + trigger + "'");
+      }
       point.fire_at = n;
     } else {
       char* parse_end = nullptr;
       const double p = std::strtod(trigger.c_str(), &parse_end);
-      TFMAE_CHECK_MSG(parse_end != nullptr && *parse_end == '\0' && p >= 0.0 &&
-                          p <= 1.0,
-                      "bad probability trigger '" << trigger << "'");
+      if (parse_end == nullptr || parse_end == trigger.c_str() ||
+          *parse_end != '\0' || !(p >= 0.0 && p <= 1.0)) {
+        return fail("bad probability trigger '" + trigger + "'");
+      }
       point.probability = p;
     }
-    state.points.insert_or_assign(name, std::move(point));
+    parsed.insert_or_assign(name, std::move(point));
   }
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.points = std::move(parsed);
+  return true;
+}
+
+void Configure(const std::string& spec, std::uint64_t seed) {
+  std::string error;
+  const bool ok = TryConfigure(spec, seed, &error);
+  TFMAE_CHECK_MSG(ok, error);
 }
 
 void ConfigureFromEnv() {

@@ -56,6 +56,13 @@ constexpr bool CompiledIn() {
 /// a typo'd fault plan must not silently test nothing.
 void Configure(const std::string& spec, std::uint64_t seed = 1);
 
+/// Non-aborting Configure: returns false (reason in `*error`, live registry
+/// untouched — all-or-nothing) on a malformed spec. For callers that accept
+/// specs from outside the process and want to report instead of abort;
+/// Configure() delegates here and CHECKs the result.
+bool TryConfigure(const std::string& spec, std::uint64_t seed = 1,
+                  std::string* error = nullptr);
+
 /// Configure() from the TFMAE_FAULTS / TFMAE_FAULTS_SEED environment
 /// variables. Never called automatically: binaries opt in (benches and
 /// examples via their flag glue, tests via ScopedFaults), so an exported

@@ -105,6 +105,56 @@ TEST(FaultRegistryDeathTest, MalformedSpecDies) {
   EXPECT_DEATH(fault::Configure("p:1.5"), "");
 }
 
+TEST(FaultRegistryTest, TryConfigureAcceptsTheFullGrammar) {
+  std::string error;
+  // Occurrence triggers, probability bounds, multi-entry specs, and a point
+  // name that itself contains colonless dots.
+  EXPECT_TRUE(fault::TryConfigure("serve.push:#1", 1, &error)) << error;
+  EXPECT_TRUE(fault::TryConfigure("a:#12,b:0.0,c:1.0,d:0.5", 1, &error))
+      << error;
+  // Empty entries between commas are tolerated (trailing comma etc.).
+  EXPECT_TRUE(fault::TryConfigure("a:#1,,b:#2,", 1, &error)) << error;
+  EXPECT_TRUE(fault::ShouldInject("a"));
+  // An empty spec succeeds and clears every point.
+  EXPECT_TRUE(fault::TryConfigure("", 1, &error)) << error;
+  EXPECT_TRUE(fault::AllCounts().empty());
+  fault::Clear();
+}
+
+TEST(FaultRegistryTest, TryConfigureRejectsMalformedEntries) {
+  const char* kBad[] = {
+      "no_colon_here",   // no trigger at all
+      ":0.5",            // empty point name
+      "p:",              // empty trigger
+      "p:#",             // occurrence marker with no digits
+      "p:#0",            // occurrence is 1-based
+      "p:#abc",          // non-numeric occurrence
+      "p:#3junk",        // trailing garbage after the digits
+      "p:not_a_number",  // non-numeric probability
+      "p:1.5",           // probability > 1
+      "p:-0.1",          // probability < 0
+      "p:nan",           // NaN fails the closed-range check
+      "p:0.5junk",       // trailing garbage after the number
+      "good:#1,p:",      // one bad entry poisons the whole spec
+  };
+  for (const char* spec : kBad) {
+    std::string error;
+    EXPECT_FALSE(fault::TryConfigure(spec, 1, &error)) << spec;
+    EXPECT_FALSE(error.empty()) << spec;
+  }
+}
+
+TEST(FaultRegistryTest, FailedTryConfigureLeavesLiveRegistryUntouched) {
+  fault::ScopedFaults faults("keep.me:#1");
+  std::string error;
+  // All-or-nothing: the valid first entry of a bad spec must not land.
+  EXPECT_FALSE(fault::TryConfigure("replace.me:#1,broken:", 1, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_TRUE(fault::ShouldInject("keep.me"));   // old config still live
+  EXPECT_FALSE(fault::ShouldInject("replace.me"));
+  EXPECT_EQ(fault::CheckCount("replace.me"), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Numeric guard (runs in every build; needs no injection machinery).
 

@@ -18,20 +18,54 @@
 //                                                # the checkpoint has no
 //                                                # .quant spec)
 //
+// Crash safety (docs/RESILIENCE.md, "Serving resilience"):
+//
+//   tfmae_serve --snapshot_dir=DIR --snapshot_every=K   # snapshot the whole
+//                                                # fleet every K ticks
+//   tfmae_serve --snapshot_dir=DIR --restore     # resume from the newest
+//                                                # valid snapshot and re-feed
+//                                                # each stream's tail
+//   tfmae_serve --score_log=PATH                 # append "stream seq bits"
+//                                                # per scored window (bits =
+//                                                # the float32 score, hex) —
+//                                                # what the chaos soak diffs
+//
+// Snapshots are cut at tick boundaries only, AFTER the tick's results are
+// flushed to the score log, so everything a snapshot's stream states count
+// as scored is durably logged; everything later is regenerated when the
+// restored run re-feeds from total_pushed(stream). The union of a killed
+// run's log and its resumed run's log therefore covers exactly the
+// uninterrupted run's log, score bits included (the re-feed protocol
+// assumes rows are never rejected, which holds for the clean synthetic
+// replay the soak uses).
+//
 // Flags: --streams=N --threads=T --batch_max=B --rows=R --seconds=S
 //        --window=W --hop=H --queue_capacity=Q --anomaly_fraction=F
-//        --csv=PATH --checkpoint=PREFIX --quant=int8|off --verify --quiet
+//        --csv=PATH --checkpoint=PREFIX --save_checkpoint=PREFIX
+//        --quant=int8|off --verify --quiet
+//        --snapshot_dir=DIR --snapshot_every=K (default from env
+//        TFMAE_SERVE_SNAPSHOT_EVERY) --restore --score_log=PATH
+//        --shed_policy=reject|drop_oldest|block (default from env
+//        TFMAE_SERVE_SHED_POLICY) --watchdog_ms=MS
 // plus the shared observability flags of MaybeProfileFromArgs
 // (--obs_json/--obs_trace/--obs_text/--ledger/--flight_recorder).
 //
 // Graceful drain: SIGTERM/SIGINT stop ingest at the next row; every admitted
 // window is then scored (Drain), the stats are printed, and the process
 // exits 0 — no admitted work is ever dropped on shutdown.
+//
+// Overload handling: a kOverloaded push self-services one Flush, then backs
+// off exponentially (1 ms doubling to 64 ms) for up to 24 attempts before
+// the row is dropped; every retry, nap, and drop is counted in the stats
+// block ("backoff" line) instead of the old unbounded busy-spin.
+#include <algorithm>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/detector.h"
@@ -40,6 +74,7 @@
 #include "data/io.h"
 #include "obs/export.h"
 #include "serve/fleet_server.h"
+#include "serve/fleet_snapshot.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -84,6 +119,24 @@ std::vector<float> ReplayRow(const tfmae::data::TimeSeries& series,
   return values;
 }
 
+// Appends every freshly scored window to the score log as
+// "stream seq bits\n" (bits = the raw float32 score, zero-padded hex), the
+// bitwise-comparable record the chaos soak diffs. Shed markers are skipped:
+// they carry no score.
+void LogResults(std::FILE* log, const std::vector<tfmae::serve::ScoredWindow>& results,
+                std::int64_t* anomalies) {
+  for (const auto& r : results) {
+    if (r.is_anomaly) ++*anomalies;
+    if (log == nullptr || r.shed) continue;
+    std::uint32_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(r.score));
+    std::memcpy(&bits, &r.score, sizeof(bits));
+    std::fprintf(log, "%lld %lld %08x\n", static_cast<long long>(r.stream),
+                 static_cast<long long>(r.seq),
+                 static_cast<unsigned>(bits));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -100,6 +153,7 @@ int main(int argc, char** argv) {
       IntFlag(argc, argv, "--queue_capacity=", 4096);
   const char* csv_path = FlagValue(argc, argv, "--csv=");
   const char* checkpoint = FlagValue(argc, argv, "--checkpoint=");
+  const char* save_checkpoint = FlagValue(argc, argv, "--save_checkpoint=");
   const double anomaly_fraction = [&] {
     const char* v = FlagValue(argc, argv, "--anomaly_fraction=");
     return v != nullptr ? std::atof(v) : 0.02;
@@ -107,13 +161,46 @@ int main(int argc, char** argv) {
   const char* quant_flag = FlagValue(argc, argv, "--quant=");
   const bool verify = HasFlag(argc, argv, "--verify");
   const bool quiet = HasFlag(argc, argv, "--quiet");
+  const char* snapshot_dir = FlagValue(argc, argv, "--snapshot_dir=");
+  const std::int64_t snapshot_every = [&] {
+    // Flag wins; TFMAE_SERVE_SNAPSHOT_EVERY supplies the fleet-wide default.
+    const char* v = FlagValue(argc, argv, "--snapshot_every=");
+    if (v != nullptr) return static_cast<std::int64_t>(std::atoll(v));
+    const char* env = std::getenv("TFMAE_SERVE_SNAPSHOT_EVERY");
+    return env != nullptr ? static_cast<std::int64_t>(std::atoll(env))
+                          : std::int64_t{0};
+  }();
+  const bool restore = HasFlag(argc, argv, "--restore");
+  const char* score_log_path = FlagValue(argc, argv, "--score_log=");
+  const char* shed_policy_name = [&]() -> const char* {
+    const char* v = FlagValue(argc, argv, "--shed_policy=");
+    if (v != nullptr) return v;
+    return std::getenv("TFMAE_SERVE_SHED_POLICY");
+  }();
+  const std::int64_t watchdog_ms = IntFlag(argc, argv, "--watchdog_ms=", 0);
   if (quant_flag != nullptr && std::strcmp(quant_flag, "int8") != 0 &&
       std::strcmp(quant_flag, "off") != 0) {
     std::fprintf(stderr, "tfmae_serve: --quant must be int8 or off\n");
     return 1;
   }
+  tfmae::serve::ShedPolicy shed_policy = tfmae::serve::ShedPolicy::kRejectNew;
+  if (shed_policy_name != nullptr && shed_policy_name[0] != '\0') {
+    const auto parsed = tfmae::serve::ParseShedPolicy(shed_policy_name);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr,
+                   "tfmae_serve: --shed_policy must be reject, drop_oldest, "
+                   "or block (got %s)\n",
+                   shed_policy_name);
+      return 1;
+    }
+    shed_policy = *parsed;
+  }
   if (streams < 1 || threads < 1 || window < 2 || hop < 1) {
     std::fprintf(stderr, "tfmae_serve: invalid flag value\n");
+    return 1;
+  }
+  if (restore && snapshot_dir == nullptr) {
+    std::fprintf(stderr, "tfmae_serve: --restore requires --snapshot_dir\n");
     return 1;
   }
 
@@ -164,6 +251,16 @@ int main(int argc, char** argv) {
   } else {
     detector.Fit(train);
   }
+  // --save_checkpoint: persist the fitted detector so later runs (the chaos
+  // soak's kill/restore/reference triple) share one identical model without
+  // re-fitting.
+  if (save_checkpoint != nullptr) {
+    if (!detector.SaveCheckpoint(save_checkpoint)) {
+      std::fprintf(stderr, "tfmae_serve: cannot save checkpoint %s\n",
+                   save_checkpoint);
+      return 1;
+    }
+  }
   // --quant overrides the TFMAE_QUANT default the detector started with.
   // Int8 without a spec (fresh fit, or a checkpoint saved before
   // calibration) calibrates on the training replay here, so the serving
@@ -194,47 +291,138 @@ int main(int argc, char** argv) {
   options.max_streams = streams;
   options.queue_capacity = queue_capacity;
   options.batch_max = batch_max;
+  options.shed_policy = shed_policy;
+  options.watchdog_stall_ms = watchdog_ms;
+  if (snapshot_dir != nullptr) options.snapshot_dir = snapshot_dir;
   tfmae::serve::FleetServer server(&detector, options);
   server.CalibrateThreshold(calibration, anomaly_fraction);
-  for (std::int64_t s = 0; s < streams; ++s) {
-    if (server.OpenStream() < 0) {
-      std::fprintf(stderr, "tfmae_serve: stream capacity exhausted\n");
+
+  // Per-stream re-feed start: 0 for a fresh run; total_pushed(stream) after
+  // a restore, so the replay skips exactly the rows the snapshot already
+  // holds and the continuation is bitwise-identical to an uninterrupted run.
+  std::vector<std::int64_t> start_tick(static_cast<std::size_t>(streams), 0);
+  std::int64_t restored_rows = 0;
+  if (restore) {
+    std::string restore_error;
+    auto found =
+        tfmae::serve::FindLatestValidFleetSnapshot(snapshot_dir, &restore_error);
+    if (!found.has_value()) {
+      std::fprintf(stderr, "tfmae_serve: no valid snapshot in %s (%s)\n",
+                   snapshot_dir, restore_error.c_str());
+      return 1;
+    }
+    if (static_cast<std::int64_t>(found->second.stream_states.size()) !=
+        streams) {
+      std::fprintf(stderr,
+                   "tfmae_serve: snapshot holds %lld streams, --streams=%lld\n",
+                   static_cast<long long>(found->second.stream_states.size()),
+                   static_cast<long long>(streams));
+      return 1;
+    }
+    if (!server.Restore(found->second, &restore_error)) {
+      std::fprintf(stderr, "tfmae_serve: restore failed (%s)\n",
+                   restore_error.c_str());
+      return 1;
+    }
+    for (std::int64_t s = 0; s < streams; ++s) {
+      start_tick[static_cast<std::size_t>(s)] = server.total_pushed(s);
+      restored_rows += server.total_pushed(s);
+    }
+    if (!quiet) {
+      std::printf("restored %lld streams (%lld rows) from %s (snapshot %lld)\n",
+                  static_cast<long long>(streams),
+                  static_cast<long long>(restored_rows), found->first.c_str(),
+                  static_cast<long long>(server.snapshot_index()));
+    }
+  } else {
+    for (std::int64_t s = 0; s < streams; ++s) {
+      if (server.OpenStream() < 0) {
+        std::fprintf(stderr, "tfmae_serve: stream capacity exhausted\n");
+        return 1;
+      }
+    }
+  }
+
+  std::FILE* score_log = nullptr;
+  if (score_log_path != nullptr) {
+    score_log = std::fopen(score_log_path, "a");
+    if (score_log == nullptr) {
+      std::fprintf(stderr, "tfmae_serve: cannot open score log %s\n",
+                   score_log_path);
       return 1;
     }
   }
 
-  // Ingest loop: tick-major over the fleet; overloads retry via Flush.
-  // Stops after --rows ticks, or at the --seconds wall budget, or on
-  // SIGTERM/SIGINT — whichever comes first.
+  // Ingest loop: tick-major over the fleet. Overloads retry with bounded
+  // exponential backoff (one self-service Flush, then 1 ms doubling to
+  // 64 ms, at most kMaxAttempts per row) instead of an unbounded busy-spin;
+  // exhausted rows are dropped and counted. Stops after --rows ticks, at
+  // the --seconds wall budget, on SIGTERM/SIGINT, or on kDraining.
+  constexpr int kMaxAttempts = 24;
   tfmae::Stopwatch watch;
   std::int64_t ticks = 0;
   std::int64_t pushed = 0;
   std::int64_t anomalies = 0;
+  std::int64_t overload_retries = 0;
+  std::int64_t backoff_naps = 0;
+  std::int64_t retry_gave_up = 0;
   const std::int64_t max_ticks =
       seconds > 0 && rows <= 0 ? -1 : rows;  // --seconds alone: unbounded
   while (!g_stop) {
     if (max_ticks >= 0 && ticks >= max_ticks) break;
     if (seconds > 0 && watch.ElapsedSeconds() >= static_cast<double>(seconds)) break;
     for (std::int64_t s = 0; s < streams && !g_stop; ++s) {
+      if (ticks < start_tick[static_cast<std::size_t>(s)]) continue;
       const std::vector<float> row = ReplayRow(series, s, ticks);
-      for (;;) {
+      std::int64_t backoff_ms = 1;
+      for (int attempt = 1;; ++attempt) {
         const tfmae::serve::AdmitStatus status = server.Push(s, row);
-        if (status != tfmae::serve::AdmitStatus::kOverloaded) break;
-        server.Flush();
+        if (status == tfmae::serve::AdmitStatus::kDraining) {
+          g_stop = 1;  // the server is shutting down; stop ingest
+          break;
+        }
+        if (status != tfmae::serve::AdmitStatus::kOverloaded) {
+          ++pushed;
+          break;
+        }
+        ++overload_retries;
+        if (attempt >= kMaxAttempts) {
+          ++retry_gave_up;  // budget exhausted: drop this row, keep serving
+          break;
+        }
+        server.Flush();  // self-service first; nap only if still saturated
+        if (attempt > 1) {
+          ++backoff_naps;
+          std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+          backoff_ms = std::min<std::int64_t>(backoff_ms * 2, 64);
+        }
       }
-      ++pushed;
     }
     ++ticks;
-    for (const auto& r : server.TakeResults()) {
-      if (r.is_anomaly) ++anomalies;
+    LogResults(score_log, server.TakeResults(), &anomalies);
+    // Snapshot at tick boundaries, AFTER the tick's scores are durably in
+    // the log: Flush + log + fflush + snapshot, so nothing the snapshot
+    // counts as scored can be missing from the killed run's log.
+    if (snapshot_dir != nullptr && snapshot_every > 0 && ticks > 0 &&
+        ticks % snapshot_every == 0) {
+      server.Flush();
+      LogResults(score_log, server.TakeResults(), &anomalies);
+      if (score_log != nullptr) std::fflush(score_log);
+      std::string snapshot_error;
+      if (!server.SnapshotNow(&snapshot_error) && !quiet) {
+        std::fprintf(stderr, "tfmae_serve: snapshot failed (%s)\n",
+                     snapshot_error.c_str());
+      }
     }
   }
   const bool interrupted = g_stop != 0;
 
   // Graceful drain: every admitted window is scored before reporting.
   server.Drain();
-  for (const auto& r : server.TakeResults()) {
-    if (r.is_anomaly) ++anomalies;
+  LogResults(score_log, server.TakeResults(), &anomalies);
+  if (score_log != nullptr) {
+    std::fflush(score_log);
+    std::fclose(score_log);
   }
   const double elapsed = watch.ElapsedSeconds();
 
@@ -266,6 +454,23 @@ int main(int argc, char** argv) {
       static_cast<long long>(stats.peak_queue_depth),
       static_cast<long long>(stats.plan_lanes),
       static_cast<long long>(stats.eager_windows));
+  std::printf(
+      "  backoff     %lld overload retries, %lld naps, %lld rows dropped "
+      "(budget %d attempts)\n",
+      static_cast<long long>(overload_retries),
+      static_cast<long long>(backoff_naps),
+      static_cast<long long>(retry_gave_up), kMaxAttempts);
+  std::printf(
+      "  resilience  policy=%s, %lld shed, %lld deadline-expired, "
+      "degraded=%s, %lld snapshots (%lld failed), %lld watchdog stalls%s\n",
+      tfmae::serve::ShedPolicyName(options.shed_policy),
+      static_cast<long long>(stats.shed_dropped),
+      static_cast<long long>(stats.shed_deadline_expired),
+      stats.degraded ? "yes" : "no",
+      static_cast<long long>(stats.snapshots_written),
+      static_cast<long long>(stats.snapshots_failed),
+      static_cast<long long>(stats.watchdog_stalls),
+      restore ? " (restored run)" : "");
   if (stats.quant_lanes > 0) {
     std::printf(
         "  precision   int8 (%lld lanes), %lld fp32 fallbacks, arena "
