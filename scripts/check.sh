@@ -3,7 +3,7 @@
 # observability layer compiled in.
 #
 # Usage:
-#   scripts/check.sh [plain|thread|address|undefined|obs|pool|faults|report|bench|plan|serve|quant|chaos] [extra ctest args...]
+#   scripts/check.sh [plain|thread|address|undefined|obs|pool|faults|report|bench|plan|serve|quant|chaos|live] [extra ctest args...]
 #
 # Examples:
 #   scripts/check.sh                 # plain Release build, full suite
@@ -15,6 +15,7 @@
 #   scripts/check.sh bench           # bench sweeps gated against baselines
 #   scripts/check.sh quant           # int8 suites under ASan+UBSan + parity smoke
 #   scripts/check.sh chaos           # serve-resilience suite + kill -9 soak
+#   scripts/check.sh live            # live-observability suites + scrape smoke
 #
 # The obs mode is the instrumentation soak from docs/OBSERVABILITY.md: the
 # whole tier-1 suite runs with the macros compiled in, TFMAE_OBS=1 so every
@@ -74,6 +75,17 @@
 # and resumed score logs is bitwise-identical to an uninterrupted
 # reference run.
 #
+# The live mode is the live-observability soak from docs/OBSERVABILITY.md
+# ("Live endpoints & SLOs"): the exporter / HTTP endpoint / stage-timeline /
+# SLO / drift suites run under AddressSanitizer (socket buffers, reservoir
+# and ring lifetimes) and ThreadSanitizer (the scrape thread reads the
+# registry while scoring threads record into it), both with -DTFMAE_OBS=ON
+# and -DTFMAE_FAULTS=ON so every macro site is live. Then
+# scripts/live_smoke.py drives a 256-stream tfmae_serve with
+# --metrics_port=0, scrapes /metrics mid-load, validates the exposition
+# format and the stage-sum/end-to-end reconciliation, and asserts /healthz
+# flips to 503 during drain.
+#
 # The bench mode is the performance gate from docs/OBSERVABILITY.md
 # ("Benchmark gating"): it runs the bench_micro JSON sweeps in the same
 # build and fails if any tracked relative metric (speedup ratios,
@@ -108,9 +120,9 @@ case "$SAN" in
   pool)    SAN_FLAG="-DTFMAE_SANITIZE=address" ;;
   faults)  SAN_FLAG="-DTFMAE_FAULTS=ON -DTFMAE_OBS=ON -DTFMAE_SANITIZE=undefined" ;;
   report|bench) SAN_FLAG="-DTFMAE_OBS=ON -DTFMAE_FAULTS=ON" ;;
-  plan|serve|quant|chaos) SAN_FLAG="" ;;
+  plan|serve|quant|chaos|live) SAN_FLAG="" ;;
   *)
-    echo "usage: $0 [plain|thread|address|undefined|obs|pool|faults|report|bench|plan|serve|quant|chaos] [ctest args...]" >&2
+    echo "usage: $0 [plain|thread|address|undefined|obs|pool|faults|report|bench|plan|serve|quant|chaos|live] [ctest args...]" >&2
     exit 2
     ;;
 esac
@@ -159,6 +171,21 @@ if [ "$SAN" = "chaos" ]; then
     -R 'FleetSnapshot|FleetShed|FleetDrain|FleetFault|StreamStateCodec' "$@"
   echo "== chaos soak: kill -9 mid-run, restore, union-of-logs bitwise =="
   python3 scripts/chaos_soak.py --serve-bin "$BUILD_DIR/tools/tfmae_serve"
+  exit 0
+fi
+
+if [ "$SAN" = "live" ]; then
+  for san in address thread; do
+    BUILD_DIR="build-check-live-$san"
+    configure_and_build "$BUILD_DIR" \
+      -DTFMAE_OBS=ON -DTFMAE_FAULTS=ON "-DTFMAE_SANITIZE=$san"
+    echo "== live suite: $san sanitizer, exporter/endpoint/SLO/drift tests =="
+    TFMAE_OBS=1 ctest --test-dir "$BUILD_DIR" --output-on-failure \
+      -R 'PromExport|HttpEndpoint|ServeObs|RegistryOverflow|HistogramQuantile' "$@"
+  done
+  echo "== live smoke: 256 streams, mid-load scrape, drained /healthz == 503 =="
+  TFMAE_OBS=1 python3 scripts/live_smoke.py \
+    --serve-bin "build-check-live-address/tools/tfmae_serve"
   exit 0
 fi
 

@@ -112,6 +112,10 @@ void TfmaeDetector::SetQuantSpec(QuantSpec spec) {
   plan_.reset();
 }
 
+void TfmaeDetector::SetScoreReference(ScoreDistribution dist) {
+  score_reference_ = std::move(dist);
+}
+
 bool TfmaeDetector::Calibrate(const data::TimeSeries& series,
                               std::string* error) {
   TFMAE_CHECK_MSG(fitted_, "Calibrate() called before Fit()");
@@ -480,6 +484,13 @@ bool TfmaeDetector::SaveCheckpoint(const std::string& prefix) const {
   if (!quant_spec_.empty() && !SaveQuantSpec(quant_spec_, prefix + ".quant")) {
     return false;
   }
+  // Same sidecar contract for the drift monitor's calibration score
+  // reference (<prefix>.drift): absent when never built, tolerated when
+  // missing at load.
+  if (!score_reference_.empty() &&
+      !SaveScoreDistribution(score_reference_, prefix + ".drift")) {
+    return false;
+  }
   return true;
 }
 
@@ -515,6 +526,14 @@ bool TfmaeDetector::LoadCheckpoint(const std::string& prefix) {
     // Missing or corrupt calibration: degrade to fp32 scoring; int8 mode
     // will count a fallback per Score() call until re-calibrated.
     quant_spec_ = QuantSpec{};
+  }
+  score_reference_ = ScoreDistribution{};
+  std::string drift_error;
+  if (!LoadScoreDistribution(prefix + ".drift", &score_reference_,
+                             &drift_error)) {
+    // Missing or corrupt reference: drift monitoring stays off until the
+    // server rebuilds one from calibration scores.
+    score_reference_ = ScoreDistribution{};
   }
   optimizer_.reset();  // a loaded detector scores; re-Fit to train further
   fitted_ = true;

@@ -8,6 +8,7 @@
 
 #include "core/anomaly_detector.h"
 #include "core/checkpoint.h"
+#include "core/drift.h"
 #include "core/inference_plan.h"
 #include "core/model.h"
 #include "nn/adam.h"
@@ -146,6 +147,13 @@ class TfmaeDetector : public AnomalyDetector {
   /// Score() calls / captures that wanted int8 but ran fp32 instead.
   std::int64_t quant_fallbacks() const { return quant_fallbacks_; }
 
+  /// Calibration score reference for the online drift monitor (core/drift.h).
+  /// Persisted by SaveCheckpoint as <prefix>.drift; like the quant sidecar,
+  /// a missing or corrupt file degrades to "no reference" on load.
+  const ScoreDistribution& score_reference() const { return score_reference_; }
+  void SetScoreReference(ScoreDistribution dist);
+  bool has_score_reference() const { return !score_reference_.empty(); }
+
   /// Persists the complete fitted detector (config, normalizer statistics,
   /// and network weights) under `prefix` (three files: <prefix>.config,
   /// <prefix>.norm, <prefix>.weights). Requires Fit(). Returns false on I/O
@@ -185,6 +193,9 @@ class TfmaeDetector : public AnomalyDetector {
   QuantMode quant_mode_ = QuantMode::kOff;
   QuantSpec quant_spec_;
   std::int64_t quant_fallbacks_ = 0;
+
+  // Drift-monitor reference distribution (core/drift.h).
+  ScoreDistribution score_reference_;
 };
 
 }  // namespace tfmae::core

@@ -1,0 +1,77 @@
+// Calibration score reference distribution for the online drift monitor
+// (docs/OBSERVABILITY.md, "Live endpoints & SLOs"; ROADMAP item 5).
+//
+// At calibration time the detector scores the training windows anyway (to
+// fit the anomaly threshold); BuildScoreDistribution snapshots those scores
+// into a small fixed-bin linear histogram. The serving plane later compares
+// a reservoir of recent online scores against this reference with the
+// two-sample Kolmogorov-Smirnov distance (obs::KsDistance) and raises a
+// `serve.drift` ledger event when the distance crosses the alarm threshold.
+//
+// The reference is persisted as its own CRC'd section ("score_ref") in a
+// PR 4 checkpoint container (<prefix>.drift next to the .weights file),
+// mirroring the QuantSpec sidecar: a missing or corrupt file degrades to
+// "no drift monitoring" instead of failing the load.
+#ifndef TFMAE_CORE_DRIFT_H_
+#define TFMAE_CORE_DRIFT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tfmae::core {
+
+/// Fixed-bin linear histogram of calibration scores. Bin b covers
+/// [lo + b*w, lo + (b+1)*w) with w = (hi - lo) / buckets.size(); the last
+/// bin is closed on the right so hi itself lands in it.
+struct ScoreDistribution {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+
+  bool empty() const { return count == 0 || buckets.empty(); }
+};
+
+/// Default bin count: fine enough that KsDistance resolves a shifted score
+/// distribution, coarse enough that the sidecar stays a few hundred bytes.
+inline constexpr int kScoreDistributionBins = 64;
+
+/// Section name inside the checkpoint container.
+inline constexpr char kScoreRefSection[] = "score_ref";
+
+/// Bins `scores` into a `bins`-bucket histogram spanning [min, max] of the
+/// data (non-finite values are skipped). An empty or all-non-finite input
+/// yields an empty() distribution. A constant input yields a single
+/// populated bin with lo == hi.
+ScoreDistribution BuildScoreDistribution(const std::vector<float>& scores,
+                                         int bins = kScoreDistributionBins);
+
+/// Returns the bin index of `value` in `dist` (clamped to the edge bins, so
+/// online scores outside the calibration range accumulate in the extremes).
+int ScoreDistributionBin(const ScoreDistribution& dist, double value);
+
+/// Serializes a ScoreDistribution into a section payload (ByteWriter
+/// format, versioned).
+std::vector<char> EncodeScoreDistribution(const ScoreDistribution& dist);
+
+/// Bounds-checked decode; returns false on truncation, version skew, a
+/// non-finite range, or an implausible bin count (the caller treats that as
+/// "no reference").
+bool DecodeScoreDistribution(const std::vector<char>& payload,
+                             ScoreDistribution* dist);
+
+/// Writes `dist` as a "score_ref" section in a checkpoint container at
+/// `path` (atomic tmp+rename). Returns false on I/O failure.
+bool SaveScoreDistribution(const ScoreDistribution& dist,
+                           const std::string& path);
+
+/// Loads a container written by SaveScoreDistribution. Returns false — with
+/// a reason in `error` if non-null — on a missing file, a corrupt
+/// container/section, or a decode failure; `dist` is untouched then.
+bool LoadScoreDistribution(const std::string& path, ScoreDistribution* dist,
+                           std::string* error = nullptr);
+
+}  // namespace tfmae::core
+
+#endif  // TFMAE_CORE_DRIFT_H_

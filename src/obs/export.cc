@@ -18,11 +18,7 @@
 #include "util/thread_pool.h"
 
 namespace tfmae::obs {
-namespace {
 
-/// Registry snapshot with the fault registry's counters spliced in (the
-/// fault layer sits below obs and cannot push into the Registry itself —
-/// see util/fault.h). Keeps the by-name ordering contract.
 MetricsSnapshot SnapshotWithFaults() {
   MetricsSnapshot snap = Registry::Instance().Snapshot();
   auto faults = fault::AllCounts();
@@ -34,6 +30,8 @@ MetricsSnapshot SnapshotWithFaults() {
   }
   return snap;
 }
+
+namespace {
 
 constexpr std::string_view kTotalSuffix = ".total_ns";
 constexpr std::string_view kSelfSuffix = ".self_ns";

@@ -20,7 +20,15 @@
 #include <iosfwd>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace tfmae::obs {
+
+/// Registry snapshot with the fault registry's counters spliced in (the
+/// fault layer sits below obs and cannot push into the Registry itself —
+/// see util/fault.h). Keeps the by-name ordering contract. Shared by the
+/// text/JSON exporters and the Prometheus endpoint (obs/prom_export.h).
+MetricsSnapshot SnapshotWithFaults();
 
 /// Human-readable dump of the current registry state.
 /// `top_k` bounds the two "top ops" tables.

@@ -42,9 +42,11 @@ namespace tfmae::obs {
 /// `obs.registry.overflow` counter — instrumentation must never be able to
 /// abort the instrumented process. Raise the constant if a legitimate
 /// workload overflows; it is a compile-time budget, not a tunable.
-constexpr int kMaxCounters = 256;
-constexpr int kMaxGauges = 64;
-constexpr int kMaxHistograms = 96;
+/// (Raised for the live serving plane: `serve.stage.*` timelines, SLO
+/// breach counters, and the drift monitor all register at serving start.)
+constexpr int kMaxCounters = 384;
+constexpr int kMaxGauges = 96;
+constexpr int kMaxHistograms = 128;
 
 /// Sentinel returned by CounterId/GaugeId/HistogramId when the table is
 /// full. All recording paths treat it (and any negative id) as "drop the

@@ -131,6 +131,18 @@ void ScopedTrace::Record() {
   }
 }
 
+void AppendTraceEvent(const TraceSite* site, std::uint64_t start_ns,
+                      std::uint64_t dur_ns) {
+  TracingState& tr = Tracing();
+  if (!tr.active.load(std::memory_order_relaxed)) return;
+  EventBuffer* buffer = LocalEventBuffer();
+  if (buffer->events.size() < buffer->capacity) {
+    buffer->events.push_back(TraceEvent{site, start_ns, dur_ns});
+  } else {
+    tr.dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 void AutogradRecord(const char* op, std::uint64_t self_ns) {
   int self_id;
   int calls_id;

@@ -136,6 +136,16 @@ bool TracingActive();
 /// order; thread indices are assigned in buffer-creation order.
 std::vector<std::pair<int, TraceEvent>> CollectTraceEvents();
 
+/// Appends one manually-timed event to the calling thread's capture buffer
+/// (no-op unless tracing is active; over-capacity events are dropped and
+/// counted like ScopedTrace's). For spans whose begin and end are observed
+/// on different threads or reconstructed after the fact — e.g. the serving
+/// plane's sampled window timelines, where a window's queue wait starts on
+/// the pushing thread and ends on the scoring thread. `start_ns` must come
+/// from NowNs() so the span lands on the shared timeline origin.
+void AppendTraceEvent(const TraceSite* site, std::uint64_t start_ns,
+                      std::uint64_t dur_ns);
+
 /// Discards captured events and resets the dropped-event count.
 void ClearTraceEvents();
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
+#include <cstdio>
 #include <filesystem>
 #include <string>
 #include <system_error>
@@ -14,6 +15,7 @@
 #include "eval/detection.h"
 #include "obs/flight_recorder.h"
 #include "obs/ledger.h"
+#include "obs/report.h"
 #include "obs/trace.h"
 #include "util/crc32.h"
 #include "util/fault.h"
@@ -66,6 +68,46 @@ void AtomicMax(std::atomic<std::int64_t>* target, std::int64_t value) {
   }
 }
 
+/// Quantile over a fixed log2 histogram with linear interpolation inside a
+/// bucket (the obs exporters' scheme), clamped to the observed min/max.
+double HistogramQuantile(const std::uint64_t* counts, int buckets,
+                         std::uint64_t min_v, std::uint64_t max_v, double p) {
+  std::uint64_t total = 0;
+  for (int b = 0; b < buckets; ++b) total += counts[b];
+  if (total == 0) return 0.0;
+  const double target = p * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (int b = 0; b < buckets; ++b) {
+    const double count = static_cast<double>(counts[b]);
+    if (count == 0.0) continue;
+    if (cumulative + count >= target) {
+      const double lo = static_cast<double>(1ULL << b);
+      const double hi = lo * 2.0;
+      const double frac = (target - cumulative) / count;
+      double v = lo + (hi - lo) * frac;
+      v = std::max(v, static_cast<double>(min_v));
+      v = std::min(v, static_cast<double>(max_v));
+      return v;
+    }
+    cumulative += count;
+  }
+  return static_cast<double>(max_v);
+}
+
+void JsonField(std::string* out, const char* key, const std::string& value) {
+  if (out->size() > 1) out->push_back(',');
+  out->push_back('"');
+  out->append(key);
+  out->append("\":");
+  out->append(value);
+}
+
+std::string JsonDouble(double v, const char* fmt = "%.1f") {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
 }  // namespace
 
 const char* ShedPolicyName(ShedPolicy policy) {
@@ -91,9 +133,25 @@ std::optional<ShedPolicy> ParseShedPolicy(std::string_view name) {
 /// different streams contend only on the queue; pushes to the same stream
 /// are the caller's timeline and serialize here.
 struct FleetServer::Entry {
-  explicit Entry(const core::StreamingOptions& options) : state(options) {}
+  /// `slo_window` > 0 allocates this stream's sliding error-budget ring
+  /// (one byte per tracked window); 0 means no SLO objective is active and
+  /// the ring stays empty.
+  Entry(const core::StreamingOptions& options, std::int64_t slo_window)
+      : state(options) {
+    if (slo_window > 0) {
+      slo_ring.assign(static_cast<std::size_t>(slo_window), 0);
+    }
+  }
   std::mutex mu;
   core::StreamState state;
+  // Sliding SLO error budget (guarded by mu): violation bits of the last
+  // slo_window scored windows, their running sum, and the sticky-per-
+  // episode exhaustion latch (clears when the window recovers).
+  std::vector<std::uint8_t> slo_ring;
+  std::size_t slo_pos = 0;
+  std::int64_t slo_filled = 0;
+  std::int64_t slo_violations = 0;
+  bool slo_exhausted = false;
 };
 
 /// One batch lane: a private InferencePlan replica with its own planned
@@ -117,6 +175,11 @@ struct FleetServer::Request {
   std::int64_t fresh = 0;
   std::int32_t imputed = 0;
   std::vector<float> values;
+  /// Stage clock: admission stamp (local NowNs()) for the queue-wait stage
+  /// and the experienced-latency SLO. 0 for windows restored from a
+  /// snapshot — their wait predates this process, so they count a zero
+  /// queue stage and are exempt from the latency objective.
+  std::uint64_t t_admit_ns = 0;
 };
 
 FleetServer::FleetServer(core::TfmaeDetector* detector, FleetOptions options)
@@ -138,6 +201,15 @@ FleetServer::FleetServer(core::TfmaeDetector* detector, FleetOptions options)
   streams_.resize(static_cast<std::size_t>(options_.max_streams));
   const std::string config_text = core::ConfigToString(detector_->config());
   config_crc_ = util::Crc32(config_text.data(), config_text.size());
+  // Drift monitor reference: the detector's persisted calibration score
+  // distribution when it carries one (<prefix>.drift sidecar); otherwise
+  // CalibrateThreshold or SetDriftReference installs one later.
+  if (detector_->has_score_reference()) {
+    drift_ref_ = detector_->score_reference();
+  }
+  if (options_.drift_check_every > 0 && options_.drift_reservoir > 0) {
+    drift_ring_.reserve(static_cast<std::size_t>(options_.drift_reservoir));
+  }
   if (options_.watchdog_stall_ms > 0) {
     watchdog_ = std::thread([this] { WatchdogLoop(); });
   }
@@ -161,7 +233,10 @@ std::int64_t FleetServer::OpenStream() {
   std::lock_guard<std::mutex> lock(open_mu_);
   const std::int64_t n = num_streams_.load(std::memory_order_relaxed);
   if (n >= options_.max_streams) return -1;
-  auto entry = std::make_unique<Entry>(options_.streaming);
+  const bool slo_on =
+      options_.slo_latency_ns > 0 || options_.slo_staleness_rows > 0;
+  auto entry = std::make_unique<Entry>(options_.streaming,
+                                       slo_on ? options_.slo_window : 0);
   entry->state.set_threshold(default_threshold_);
   streams_[static_cast<std::size_t>(n)] = std::move(entry);
   // Publish AFTER the slot is filled so lock-free readers of num_streams()
@@ -186,6 +261,17 @@ void FleetServer::CalibrateThreshold(
     const std::vector<float>& calibration_scores, double anomaly_fraction) {
   set_threshold(
       eval::QuantileThreshold(calibration_scores, anomaly_fraction));
+  // The same calibration scores double as the drift monitor's reference
+  // distribution when no persisted one was installed.
+  std::lock_guard<std::mutex> lock(drift_mu_);
+  if (drift_ref_.empty()) {
+    drift_ref_ = core::BuildScoreDistribution(calibration_scores);
+  }
+}
+
+void FleetServer::SetDriftReference(core::ScoreDistribution reference) {
+  std::lock_guard<std::mutex> lock(drift_mu_);
+  drift_ref_ = std::move(reference);
 }
 
 AdmitStatus FleetServer::Push(std::int64_t stream,
@@ -303,6 +389,7 @@ AdmitStatus FleetServer::Push(std::int64_t stream,
       request.fresh = outcome.fresh;
       request.imputed = outcome.imputed_values;
       request.values = entry.state.window();  // snapshot before it slides
+      request.t_admit_ns = NowNs();           // stage clock: queue wait starts
       std::lock_guard<std::mutex> queue_lock(queue_mu_);
       queue_.push_back(std::move(request));
       depth = static_cast<std::int64_t>(queue_.size());
@@ -437,6 +524,10 @@ std::int64_t FleetServer::ScoreBatchLocked() {
         model.PrepareWindow(normalized.values, &mask_rng);
   }
 
+  // Stage clock: phase 1 (normalization + masking) is the batch-formation
+  // stage of every window in this batch.
+  const std::uint64_t t_prep = NowNs();
+
   // Phase 2: score. Planned path: one ParallelFor over the batch, each
   // chunk claiming a free lane — inside a chunk every kernel-level
   // ParallelFor runs inline at fixed chunk boundaries (util/thread_pool.h),
@@ -474,7 +565,8 @@ std::int64_t FleetServer::ScoreBatchLocked() {
     }
     eager_windows_.fetch_add(batch_size, std::memory_order_relaxed);
   }
-  const std::uint64_t elapsed = NowNs() - t0;
+  const std::uint64_t t_scored = NowNs();
+  const std::uint64_t elapsed = t_scored - t0;
   RecordLatency(elapsed / static_cast<std::uint64_t>(batch_size), batch_size);
 
   // Phase 3 (dispatch thread, serial, admission order): commit tail scores
@@ -511,8 +603,238 @@ std::int64_t FleetServer::ScoreBatchLocked() {
   TFMAE_COUNTER_ADD("serve.batch.windows", batch_size);
   TFMAE_HISTOGRAM_RECORD("serve.batch.size",
                          static_cast<std::uint64_t>(batch_size));
+  // Stage clock: results are published — each window's timeline is
+  // complete. The accounting pass (stage histograms, SLO budgets, drift
+  // reservoir, sampled trace spans) runs while score_mu_ is still held, so
+  // it never interleaves with the next batch's stamps.
+  const std::uint64_t t_done = NowNs();
+  AccountBatch(batch, scores, t0, t_prep, t_scored, t_done);
   batch_start_ns_.store(0, std::memory_order_release);  // heartbeat: idle
   return batch_size;
+}
+
+void FleetServer::AccountBatch(const std::vector<Request>& batch,
+                               const std::vector<float>& scores,
+                               std::uint64_t t_pop, std::uint64_t t_prep,
+                               std::uint64_t t_scored, std::uint64_t t_done) {
+  const std::uint64_t n = static_cast<std::uint64_t>(batch.size());
+  if (n == 0) return;
+  // Post-pop phases are batch-wide work; each window carries an equal
+  // share, so the shares add back up to the batch's wall time (modulo
+  // integer division) and total == queue + batch + score + result holds
+  // exactly per window — the reconciliation invariant live_smoke.py and
+  // serve_obs_test.cc pin.
+  const std::uint64_t batch_share = (t_prep - t_pop) / n;
+  const std::uint64_t score_share = (t_scored - t_prep) / n;
+  const std::uint64_t result_share = (t_done - t_scored) / n;
+
+  {
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    for (const Request& request : batch) {
+      // A restored window (t_admit_ns == 0) waited in a previous process;
+      // its queue stage is unknowable and counts as zero.
+      const std::uint64_t queue_ns =
+          (request.t_admit_ns != 0 && t_pop > request.t_admit_ns)
+              ? t_pop - request.t_admit_ns
+              : 0;
+      const std::uint64_t total_ns =
+          queue_ns + batch_share + score_share + result_share;
+      TFMAE_HISTOGRAM_RECORD("serve.stage.queue_ns", queue_ns);
+      TFMAE_HISTOGRAM_RECORD("serve.stage.batch_ns", batch_share);
+      TFMAE_HISTOGRAM_RECORD("serve.stage.score_ns", score_share);
+      TFMAE_HISTOGRAM_RECORD("serve.stage.result_ns", result_share);
+      TFMAE_HISTOGRAM_RECORD("serve.stage.total_ns", total_ns);
+      stage_queue_sum_ns_ += queue_ns;
+      stage_batch_sum_ns_ += batch_share;
+      stage_score_sum_ns_ += score_share;
+      stage_result_sum_ns_ += result_share;
+      if (request.t_admit_ns != 0 && t_done > request.t_admit_ns) {
+        const std::uint64_t e2e = t_done - request.t_admit_ns;
+        e2e_counts_[Log2Bucket(e2e)] += 1;
+        if (e2e_min_ns_ == 0 || e2e < e2e_min_ns_) e2e_min_ns_ = e2e;
+        e2e_max_ns_ = std::max(e2e_max_ns_, e2e);
+      }
+    }
+  }
+
+  // Per-stream SLO budgets. Experienced latency is admission to result
+  // commit (t_done - t_admit) — deliberately the wall latency a consumer
+  // sees, not the amortized stage total.
+  if (options_.slo_latency_ns > 0 || options_.slo_staleness_rows > 0) {
+    const std::int64_t allowed = static_cast<std::int64_t>(
+        options_.slo_budget * static_cast<double>(options_.slo_window));
+    std::int64_t latency_breaches = 0;
+    std::int64_t staleness_breaches = 0;
+    struct Episode {
+      std::int64_t stream;
+      std::int64_t violations;
+    };
+    std::vector<Episode> episodes;
+    for (const Request& request : batch) {
+      bool violation = false;
+      if (options_.slo_latency_ns > 0 && request.t_admit_ns != 0 &&
+          t_done > request.t_admit_ns &&
+          static_cast<std::int64_t>(t_done - request.t_admit_ns) >
+              options_.slo_latency_ns) {
+        ++latency_breaches;
+        violation = true;
+      }
+      Entry& entry = *streams_[static_cast<std::size_t>(request.stream)];
+      std::lock_guard<std::mutex> stream_lock(entry.mu);
+      if (options_.slo_staleness_rows > 0 &&
+          entry.state.total_pushed() - 1 - request.seq >
+              options_.slo_staleness_rows) {
+        ++staleness_breaches;
+        violation = true;
+      }
+      if (entry.slo_ring.empty()) continue;
+      const std::int64_t window =
+          static_cast<std::int64_t>(entry.slo_ring.size());
+      if (entry.slo_filled == window) {
+        entry.slo_violations -= entry.slo_ring[entry.slo_pos];
+      } else {
+        ++entry.slo_filled;
+      }
+      entry.slo_ring[entry.slo_pos] = violation ? 1 : 0;
+      entry.slo_violations += violation ? 1 : 0;
+      entry.slo_pos = (entry.slo_pos + 1) % entry.slo_ring.size();
+      if (!entry.slo_exhausted && entry.slo_filled == window &&
+          entry.slo_violations > allowed) {
+        entry.slo_exhausted = true;
+        slo_exhausted_streams_.fetch_add(1, std::memory_order_relaxed);
+        episodes.push_back(Episode{request.stream, entry.slo_violations});
+      } else if (entry.slo_exhausted && entry.slo_violations <= allowed) {
+        // Recovery: the sliding window slid back under budget — the latch
+        // clears so a later regression counts as a new episode.
+        entry.slo_exhausted = false;
+        slo_exhausted_streams_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    if (latency_breaches > 0) {
+      slo_latency_breaches_.fetch_add(latency_breaches,
+                                      std::memory_order_relaxed);
+      TFMAE_COUNTER_ADD("serve.slo.latency_breaches", latency_breaches);
+    }
+    if (staleness_breaches > 0) {
+      slo_staleness_breaches_.fetch_add(staleness_breaches,
+                                        std::memory_order_relaxed);
+      TFMAE_COUNTER_ADD("serve.slo.staleness_breaches", staleness_breaches);
+    }
+    TFMAE_GAUGE_SET("serve.slo.exhausted_streams",
+                    slo_exhausted_streams_.load(std::memory_order_relaxed));
+    for (const Episode& episode : episodes) {
+      slo_exhausted_episodes_.fetch_add(1, std::memory_order_relaxed);
+      TFMAE_COUNTER_ADD("serve.slo.budget_exhausted", 1);
+      if (obs::LedgerActive()) {
+        // Which stream exhausts, and when, depends entirely on load and
+        // scheduling; every varying field is t_-tagged.
+        obs::Ledger::Instance().Event(
+            "serve.slo",
+            {{"window", std::to_string(options_.slo_window)},
+             {"budget", std::to_string(options_.slo_budget)},
+             {"t_stream", std::to_string(episode.stream)},
+             {"t_violations", std::to_string(episode.violations)}});
+      }
+    }
+  }
+
+  DriftObserve(scores);
+
+  // Sampled full-span timelines: every trace_sample'th scored window
+  // contributes its four real wall intervals to the chrome-trace capture.
+  // Spans use actual phase boundaries (not amortized shares), so the
+  // rendered timeline shows when the window truly sat where.
+  if (options_.trace_sample > 0 && obs::TracingActive()) {
+    static obs::TraceSite* const kQueueSite =
+        obs::GetTraceSite("serve.stage.queue");
+    static obs::TraceSite* const kBatchSite =
+        obs::GetTraceSite("serve.stage.batch");
+    static obs::TraceSite* const kScoreSite =
+        obs::GetTraceSite("serve.stage.score");
+    static obs::TraceSite* const kResultSite =
+        obs::GetTraceSite("serve.stage.result");
+    // The stage clock is epoch-based steady time; trace timestamps share
+    // obs::NowNs()'s process origin. Both tick the same steady clock, so
+    // one offset converts.
+    const std::uint64_t offset = NowNs() - obs::NowNs();
+    for (const Request& request : batch) {
+      const std::uint64_t tick =
+          trace_counter_.fetch_add(1, std::memory_order_relaxed);
+      if (tick % static_cast<std::uint64_t>(options_.trace_sample) != 0) {
+        continue;
+      }
+      const std::uint64_t admit =
+          (request.t_admit_ns != 0 && request.t_admit_ns < t_pop)
+              ? request.t_admit_ns
+              : t_pop;
+      if (admit >= offset) {
+        obs::AppendTraceEvent(kQueueSite, admit - offset, t_pop - admit);
+      }
+      obs::AppendTraceEvent(kBatchSite, t_pop - offset, t_prep - t_pop);
+      obs::AppendTraceEvent(kScoreSite, t_prep - offset, t_scored - t_prep);
+      obs::AppendTraceEvent(kResultSite, t_scored - offset, t_done - t_scored);
+    }
+  }
+}
+
+void FleetServer::DriftObserve(const std::vector<float>& scores) {
+  if (options_.drift_check_every <= 0 || options_.drift_reservoir <= 0) return;
+  double ks = 0.0;
+  std::size_t samples = 0;
+  {
+    std::lock_guard<std::mutex> lock(drift_mu_);
+    if (drift_ref_.empty()) return;
+    const std::size_t cap =
+        static_cast<std::size_t>(options_.drift_reservoir);
+    for (float s : scores) {
+      if (drift_ring_.size() < cap) {
+        drift_ring_.push_back(s);
+      } else {
+        drift_ring_[drift_pos_] = s;
+      }
+      drift_pos_ = (drift_pos_ + 1) % cap;
+      ++drift_seen_;
+      ++drift_since_check_;
+    }
+    if (drift_since_check_ < options_.drift_check_every) return;
+    // A near-empty reservoir would make the K-S distance reservoir noise,
+    // not evidence; wait for a useful sample.
+    if (drift_ring_.size() < std::min<std::size_t>(cap, 32)) return;
+    drift_since_check_ = 0;
+    // Bin the reservoir on the reference's own edges, then compare CDFs.
+    std::vector<std::uint64_t> recent(drift_ref_.buckets.size(), 0);
+    for (float s : drift_ring_) {
+      ++recent[static_cast<std::size_t>(core::ScoreDistributionBin(
+          drift_ref_, static_cast<double>(s)))];
+    }
+    ks = obs::KsDistance(drift_ref_.lo, drift_ref_.hi, drift_ref_.buckets,
+                         drift_ref_.lo, drift_ref_.hi, recent);
+    drift_ks_ = ks;
+    samples = drift_ring_.size();
+  }
+  drift_checks_.fetch_add(1, std::memory_order_relaxed);
+  TFMAE_COUNTER_ADD("serve.drift.checks", 1);
+  // Gauges are integers; the distance is published in millionths.
+  TFMAE_GAUGE_SET("serve.drift.ks", static_cast<std::int64_t>(ks * 1e6));
+  if (ks <= options_.drift_threshold) return;
+  drift_alarms_.fetch_add(1, std::memory_order_relaxed);
+  TFMAE_COUNTER_ADD("serve.drift.alarms", 1);
+  if (obs::FlightRecorderActive()) {
+    obs::FlightRecorder::Instance().Note(
+        "drift", "online score drift: ks=" + std::to_string(ks) +
+                     " over threshold " +
+                     std::to_string(options_.drift_threshold));
+  }
+  if (obs::LedgerActive()) {
+    // The reservoir's contents depend on scoring order across streams, so
+    // the measured distance is schedule-dependent: t_-tagged.
+    obs::Ledger::Instance().Event(
+        "serve.drift",
+        {{"threshold", std::to_string(options_.drift_threshold)},
+         {"reservoir", std::to_string(options_.drift_reservoir)},
+         {"t_ks", std::to_string(ks)},
+         {"t_samples", std::to_string(samples)}});
+  }
 }
 
 void FleetServer::TryFlush() {
@@ -878,7 +1200,12 @@ std::int64_t FleetServer::ApproxBytesPerStream() const {
 
 void FleetServer::RecordLatency(std::uint64_t ns_per_window,
                                 std::int64_t windows) {
-  TFMAE_HISTOGRAM_RECORD("serve.score.window_ns", ns_per_window);
+  // One registry sample per window (count == windows scored), so the
+  // histogram's _sum adds up to the batches' prepare+score wall time and
+  // reconciles with the batch+score stage sums.
+  for (std::int64_t i = 0; i < windows; ++i) {
+    TFMAE_HISTOGRAM_RECORD("serve.score.window_ns", ns_per_window);
+  }
   std::lock_guard<std::mutex> lock(latency_mu_);
   latency_counts_[Log2Bucket(ns_per_window)] +=
       static_cast<std::uint64_t>(windows);
@@ -913,37 +1240,43 @@ ServeStats FleetServer::stats() const {
   s.snapshot_index = snapshot_index();
   s.watchdog_stalls = watchdog_stalls_.load(std::memory_order_relaxed);
   {
-    // Quantiles from the log2 latency histogram with linear interpolation
-    // inside a bucket (the obs exporters' scheme), clamped to observed
-    // min/max. A const_cast-free copy is not worth a second mutex: stats()
-    // is an observer called off the hot path.
+    // Quantiles from the log2 histograms (see HistogramQuantile), clamped
+    // to observed min/max. A const_cast-free copy is not worth a second
+    // mutex: stats() is an observer called off the hot path.
     std::lock_guard<std::mutex> lock(
         const_cast<std::mutex&>(latency_mu_));
-    std::uint64_t total = 0;
-    for (const std::uint64_t c : latency_counts_) total += c;
-    const auto quantile = [&](double p) -> double {
-      if (total == 0) return 0.0;
-      const double target = p * static_cast<double>(total);
-      double cumulative = 0.0;
-      for (int b = 0; b < kLatencyBuckets; ++b) {
-        const double count = static_cast<double>(latency_counts_[b]);
-        if (count == 0.0) continue;
-        if (cumulative + count >= target) {
-          const double lo = static_cast<double>(1ULL << b);
-          const double hi = lo * 2.0;
-          const double frac = (target - cumulative) / count;
-          double v = lo + (hi - lo) * frac;
-          v = std::max(v, static_cast<double>(latency_min_ns_));
-          v = std::min(v, static_cast<double>(latency_max_ns_));
-          return v;
-        }
-        cumulative += count;
-      }
-      return static_cast<double>(latency_max_ns_);
-    };
-    s.p50_window_ns = quantile(0.50);
-    s.p95_window_ns = quantile(0.95);
-    s.p99_window_ns = quantile(0.99);
+    s.p50_window_ns = HistogramQuantile(latency_counts_, kLatencyBuckets,
+                                        latency_min_ns_, latency_max_ns_, 0.50);
+    s.p95_window_ns = HistogramQuantile(latency_counts_, kLatencyBuckets,
+                                        latency_min_ns_, latency_max_ns_, 0.95);
+    s.p99_window_ns = HistogramQuantile(latency_counts_, kLatencyBuckets,
+                                        latency_min_ns_, latency_max_ns_, 0.99);
+    s.stage_queue_ns = static_cast<std::int64_t>(stage_queue_sum_ns_);
+    s.stage_batch_ns = static_cast<std::int64_t>(stage_batch_sum_ns_);
+    s.stage_score_ns = static_cast<std::int64_t>(stage_score_sum_ns_);
+    s.stage_result_ns = static_cast<std::int64_t>(stage_result_sum_ns_);
+    s.stage_total_ns = s.stage_queue_ns + s.stage_batch_ns +
+                       s.stage_score_ns + s.stage_result_ns;
+    s.p50_e2e_ns = HistogramQuantile(e2e_counts_, kLatencyBuckets, e2e_min_ns_,
+                                     e2e_max_ns_, 0.50);
+    s.p95_e2e_ns = HistogramQuantile(e2e_counts_, kLatencyBuckets, e2e_min_ns_,
+                                     e2e_max_ns_, 0.95);
+    s.p99_e2e_ns = HistogramQuantile(e2e_counts_, kLatencyBuckets, e2e_min_ns_,
+                                     e2e_max_ns_, 0.99);
+  }
+  s.slo_latency_breaches =
+      slo_latency_breaches_.load(std::memory_order_relaxed);
+  s.slo_staleness_breaches =
+      slo_staleness_breaches_.load(std::memory_order_relaxed);
+  s.slo_exhausted_streams =
+      slo_exhausted_streams_.load(std::memory_order_relaxed);
+  s.slo_exhausted_episodes =
+      slo_exhausted_episodes_.load(std::memory_order_relaxed);
+  s.drift_checks = drift_checks_.load(std::memory_order_relaxed);
+  s.drift_alarms = drift_alarms_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(drift_mu_));
+    s.drift_ks = drift_ks_;
   }
   s.quant_fallbacks = quant_lane_fallbacks_.load(std::memory_order_relaxed) +
                       detector_->quant_fallbacks();
@@ -960,6 +1293,61 @@ ServeStats FleetServer::stats() const {
     }
   }
   return s;
+}
+
+std::string ServeStatsJson(const ServeStats& s) {
+  std::string out = "{";
+  JsonField(&out, "streams", std::to_string(s.streams));
+  JsonField(&out, "rows_pushed", std::to_string(s.rows_pushed));
+  JsonField(&out, "rows_overloaded", std::to_string(s.rows_overloaded));
+  JsonField(&out, "rows_rejected", std::to_string(s.rows_rejected));
+  JsonField(&out, "rows_quarantined", std::to_string(s.rows_quarantined));
+  JsonField(&out, "rows_warmup", std::to_string(s.rows_warmup));
+  JsonField(&out, "windows_enqueued", std::to_string(s.windows_enqueued));
+  JsonField(&out, "windows_scored", std::to_string(s.windows_scored));
+  JsonField(&out, "eager_windows", std::to_string(s.eager_windows));
+  JsonField(&out, "batches", std::to_string(s.batches));
+  JsonField(&out, "max_batch", std::to_string(s.max_batch));
+  JsonField(&out, "alerts", std::to_string(s.alerts));
+  JsonField(&out, "plan_lanes", std::to_string(s.plan_lanes));
+  JsonField(&out, "quant_lanes", std::to_string(s.quant_lanes));
+  JsonField(&out, "quant_fallbacks", std::to_string(s.quant_fallbacks));
+  JsonField(&out, "plan_arena_bytes", std::to_string(s.plan_arena_bytes));
+  JsonField(&out, "quant_arena_bytes", std::to_string(s.quant_arena_bytes));
+  JsonField(&out, "peak_queue_depth", std::to_string(s.peak_queue_depth));
+  JsonField(&out, "bytes_per_stream", std::to_string(s.bytes_per_stream));
+  JsonField(&out, "shed_dropped", std::to_string(s.shed_dropped));
+  JsonField(&out, "shed_deadline_expired",
+            std::to_string(s.shed_deadline_expired));
+  JsonField(&out, "degraded", s.degraded ? "true" : "false");
+  JsonField(&out, "snapshots_written", std::to_string(s.snapshots_written));
+  JsonField(&out, "snapshots_failed", std::to_string(s.snapshots_failed));
+  JsonField(&out, "snapshot_index", std::to_string(s.snapshot_index));
+  JsonField(&out, "watchdog_stalls", std::to_string(s.watchdog_stalls));
+  JsonField(&out, "p50_window_ns", JsonDouble(s.p50_window_ns));
+  JsonField(&out, "p95_window_ns", JsonDouble(s.p95_window_ns));
+  JsonField(&out, "p99_window_ns", JsonDouble(s.p99_window_ns));
+  JsonField(&out, "stage_queue_ns", std::to_string(s.stage_queue_ns));
+  JsonField(&out, "stage_batch_ns", std::to_string(s.stage_batch_ns));
+  JsonField(&out, "stage_score_ns", std::to_string(s.stage_score_ns));
+  JsonField(&out, "stage_result_ns", std::to_string(s.stage_result_ns));
+  JsonField(&out, "stage_total_ns", std::to_string(s.stage_total_ns));
+  JsonField(&out, "p50_e2e_ns", JsonDouble(s.p50_e2e_ns));
+  JsonField(&out, "p95_e2e_ns", JsonDouble(s.p95_e2e_ns));
+  JsonField(&out, "p99_e2e_ns", JsonDouble(s.p99_e2e_ns));
+  JsonField(&out, "slo_latency_breaches",
+            std::to_string(s.slo_latency_breaches));
+  JsonField(&out, "slo_staleness_breaches",
+            std::to_string(s.slo_staleness_breaches));
+  JsonField(&out, "slo_exhausted_streams",
+            std::to_string(s.slo_exhausted_streams));
+  JsonField(&out, "slo_exhausted_episodes",
+            std::to_string(s.slo_exhausted_episodes));
+  JsonField(&out, "drift_checks", std::to_string(s.drift_checks));
+  JsonField(&out, "drift_alarms", std::to_string(s.drift_alarms));
+  JsonField(&out, "drift_ks", JsonDouble(s.drift_ks, "%.4f"));
+  out.push_back('}');
+  return out;
 }
 
 }  // namespace tfmae::serve

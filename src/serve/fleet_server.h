@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "core/detector.h"
+#include "core/drift.h"
 #include "core/streaming.h"
 #include "serve/fleet_snapshot.h"
 
@@ -130,6 +131,38 @@ struct FleetOptions {
   /// flight recorder is armed, a postmortem is dumped. 0 = no watchdog
   /// thread.
   std::int64_t watchdog_stall_ms = 0;
+
+  // ---- Live observability (docs/OBSERVABILITY.md, "Live endpoints & SLOs") -
+  /// Sampled full-span window timelines: every Nth scored window emits its
+  /// four stage spans (queue/batch/score/result) into the chrome-trace
+  /// capture while tracing is active (obs::StartTracing). 0 = no sampling.
+  std::int64_t trace_sample = 0;
+  /// Per-stream latency SLO: a window whose experienced latency (admission
+  /// to result commit) exceeds this many ns counts as a violation against
+  /// its stream's error budget. 0 disables the latency objective.
+  std::int64_t slo_latency_ns = 0;
+  /// Per-stream staleness SLO: a result answering a row more than this many
+  /// rows behind its stream's current head counts as a violation. 0
+  /// disables the staleness objective.
+  std::int64_t slo_staleness_rows = 0;
+  /// Sliding error-budget window, in scored windows per stream.
+  std::int64_t slo_window = 256;
+  /// Fraction of the SLO window allowed to violate before the stream's
+  /// budget is exhausted: once a full window holds more than
+  /// floor(slo_budget * slo_window) violations the stream latches exhausted
+  /// (one `serve.slo` ledger event per episode) until it recovers.
+  double slo_budget = 0.01;
+  /// Online drift monitor cadence: compare the recent-score reservoir
+  /// against the calibration score reference every this many scored
+  /// windows. 0 disables; so does a detector without a score reference
+  /// (core/drift.h) when none was set via SetDriftReference or
+  /// CalibrateThreshold.
+  std::int64_t drift_check_every = 0;
+  /// Two-sample K-S distance above which a drift alarm fires
+  /// (`serve.drift` ledger event + `serve.drift.alarms` counter).
+  double drift_threshold = 0.35;
+  /// Recent-score reservoir capacity (a ring of the newest scores).
+  std::int64_t drift_reservoir = 512;
 };
 
 /// Typed admission result of one Push.
@@ -196,7 +229,33 @@ struct ServeStats {
   double p50_window_ns = 0.0;          ///< per-window score latency quantiles
   double p95_window_ns = 0.0;
   double p99_window_ns = 0.0;
+  // Stage-attributed timeline sums (ns), mirrored by the `serve.stage.*`
+  // histograms in observability builds. Queue is each window's own
+  // admit->pop wait; batch/score/result are the window's share of its
+  // batch's prepare/score/commit phases. By construction
+  //   stage_total_ns == stage_queue_ns + stage_batch_ns
+  //                     + stage_score_ns + stage_result_ns.
+  std::int64_t stage_queue_ns = 0;
+  std::int64_t stage_batch_ns = 0;
+  std::int64_t stage_score_ns = 0;
+  std::int64_t stage_result_ns = 0;
+  std::int64_t stage_total_ns = 0;
+  double p50_e2e_ns = 0.0;  ///< experienced admit->commit latency quantiles
+  double p95_e2e_ns = 0.0;
+  double p99_e2e_ns = 0.0;
+  std::int64_t slo_latency_breaches = 0;    ///< windows over the latency SLO
+  std::int64_t slo_staleness_breaches = 0;  ///< windows over the staleness SLO
+  std::int64_t slo_exhausted_streams = 0;   ///< streams currently out of budget
+  std::int64_t slo_exhausted_episodes = 0;  ///< exhaustion latches ever fired
+  std::int64_t drift_checks = 0;            ///< reservoir-vs-reference checks
+  std::int64_t drift_alarms = 0;            ///< checks over drift_threshold
+  double drift_ks = 0.0;  ///< latest K-S distance vs the calibration reference
 };
+
+/// One-line JSON rendering of ServeStats — the payload of the /statusz
+/// endpoint and of `tfmae_serve --stats_every` periodic lines. Keys match
+/// the ServeStats field names; stable key order.
+std::string ServeStatsJson(const ServeStats& stats);
 
 /// Serves thousands of concurrent streams from one process.
 ///
@@ -238,9 +297,15 @@ class FleetServer {
 
   /// Sets the alert threshold applied to every stream (current and future).
   void set_threshold(float threshold);
-  /// Threshold from calibration scores, as StreamingDetector does.
+  /// Threshold from calibration scores, as StreamingDetector does. Also
+  /// builds the drift monitor's reference distribution from the same scores
+  /// when none was installed yet (detector sidecar or SetDriftReference).
   void CalibrateThreshold(const std::vector<float>& calibration_scores,
                           double anomaly_fraction);
+
+  /// Replaces the drift monitor's reference distribution (normally copied
+  /// from the detector's persisted score reference at construction).
+  void SetDriftReference(core::ScoreDistribution reference);
 
   /// Admits one observation row into `stream`. kQueued: the trailing window
   /// became due and was enqueued — its score arrives via TakeResults (tagged
@@ -334,6 +399,18 @@ class FleetServer {
   /// false when capture fails (the batch falls back to eager scoring).
   bool EnsureLanesLocked(std::int64_t want, const core::MaskedWindow& example);
   void RecordLatency(std::uint64_t ns_per_window, std::int64_t windows);
+  /// Post-commit accounting of one scored batch: per-stage histograms and
+  /// sums, experienced-latency quantile samples, per-stream SLO budgets,
+  /// the drift reservoir, and sampled chrome-trace spans. `batch` is the
+  /// scored batch in admission order; the t_* stamps are the batch's phase
+  /// boundaries on the local NowNs() clock.
+  void AccountBatch(const std::vector<Request>& batch,
+                    const std::vector<float>& scores, std::uint64_t t_pop,
+                    std::uint64_t t_prep, std::uint64_t t_scored,
+                    std::uint64_t t_done);
+  /// Appends `scores` to the drift reservoir and runs a reference
+  /// comparison when the cadence is due.
+  void DriftObserve(const std::vector<float>& scores);
   /// Consistent cut of the whole serving state (locks score_mu_, open_mu_,
   /// every stream, then the queue — in that order).
   FleetSnapshotData CaptureSnapshot();
@@ -414,13 +491,44 @@ class FleetServer {
   bool watchdog_stop_ = false;  ///< guarded by watchdog_mu_
 
   // Per-window score latency: fixed log2 histogram (serve.score.window_ns),
-  // guarded by latency_mu_.
+  // guarded by latency_mu_. The stage sums and the experienced-latency
+  // (admit->commit) histogram share the lock: all are written once per
+  // batch from the accounting pass.
   std::mutex latency_mu_;
   static constexpr int kLatencyBuckets = 64;
   std::uint64_t latency_counts_[kLatencyBuckets] = {};
   std::uint64_t latency_min_ns_ = 0;
   std::uint64_t latency_max_ns_ = 0;
+  std::uint64_t stage_queue_sum_ns_ = 0;
+  std::uint64_t stage_batch_sum_ns_ = 0;
+  std::uint64_t stage_score_sum_ns_ = 0;
+  std::uint64_t stage_result_sum_ns_ = 0;
+  std::uint64_t e2e_counts_[kLatencyBuckets] = {};
+  std::uint64_t e2e_min_ns_ = 0;
+  std::uint64_t e2e_max_ns_ = 0;
   bool drained_event_emitted_ = false;
+
+  // Per-stream SLO accounting (rings live in each Entry, under entry.mu;
+  // these are the fleet-wide totals).
+  std::atomic<std::int64_t> slo_latency_breaches_{0};
+  std::atomic<std::int64_t> slo_staleness_breaches_{0};
+  std::atomic<std::int64_t> slo_exhausted_streams_{0};
+  std::atomic<std::int64_t> slo_exhausted_episodes_{0};
+
+  // Sampled-timeline cadence: one sample per trace_sample scored windows.
+  std::atomic<std::uint64_t> trace_counter_{0};
+
+  // Online drift monitor (guarded by drift_mu_ except the two counters,
+  // which stats() reads without it).
+  std::mutex drift_mu_;
+  core::ScoreDistribution drift_ref_;
+  std::vector<float> drift_ring_;  ///< newest drift_reservoir scores
+  std::size_t drift_pos_ = 0;
+  std::uint64_t drift_seen_ = 0;
+  std::int64_t drift_since_check_ = 0;
+  double drift_ks_ = 0.0;  ///< latest K-S distance
+  std::atomic<std::int64_t> drift_checks_{0};
+  std::atomic<std::int64_t> drift_alarms_{0};
 };
 
 }  // namespace tfmae::serve

@@ -39,6 +39,24 @@
 // assumes rows are never rejected, which holds for the clean synthetic
 // replay the soak uses).
 //
+// Live observability (docs/OBSERVABILITY.md, "Live endpoints & SLOs"):
+//
+//   tfmae_serve --metrics_port=9464             # HTTP endpoints while serving:
+//                                               #   /metrics  Prometheus text
+//                                               #   /healthz  ok|degraded, 503
+//                                               #             once draining
+//                                               #   /statusz  ServeStats JSON
+//                                               # (port 0 picks an ephemeral
+//                                               # port, printed on stdout)
+//   tfmae_serve --stats_every=100               # one-line JSON stats every
+//                                               # N ticks on stdout
+//   tfmae_serve --trace_sample=64 --obs_trace=F # sampled per-window stage
+//                                               # timelines in the chrome trace
+//   tfmae_serve --slo_latency_ms=50 --slo_staleness_rows=64
+//                                               # per-stream SLO error budgets
+//   tfmae_serve --drift_every=256               # online score-drift monitor
+//                                               # vs the calibration reference
+//
 // Flags: --streams=N --threads=T --batch_max=B --rows=R --seconds=S
 //        --window=W --hop=H --queue_capacity=Q --anomaly_fraction=F
 //        --csv=PATH --checkpoint=PREFIX --save_checkpoint=PREFIX
@@ -47,6 +65,9 @@
 //        TFMAE_SERVE_SNAPSHOT_EVERY) --restore --score_log=PATH
 //        --shed_policy=reject|drop_oldest|block (default from env
 //        TFMAE_SERVE_SHED_POLICY) --watchdog_ms=MS
+//        --metrics_port=P --stats_every=N --trace_sample=N
+//        --slo_latency_ms=MS --slo_staleness_rows=N
+//        --drift_every=N --drift_threshold=F --drain_linger_ms=MS
 // plus the shared observability flags of MaybeProfileFromArgs
 // (--obs_json/--obs_trace/--obs_text/--ledger/--flight_recorder).
 //
@@ -69,10 +90,13 @@
 #include <vector>
 
 #include "core/detector.h"
+#include "core/drift.h"
 #include "core/streaming.h"
 #include "data/generator.h"
 #include "data/io.h"
 #include "obs/export.h"
+#include "obs/http_endpoint.h"
+#include "obs/prom_export.h"
 #include "serve/fleet_server.h"
 #include "serve/fleet_snapshot.h"
 #include "util/stopwatch.h"
@@ -178,6 +202,24 @@ int main(int argc, char** argv) {
     return std::getenv("TFMAE_SERVE_SHED_POLICY");
   }();
   const std::int64_t watchdog_ms = IntFlag(argc, argv, "--watchdog_ms=", 0);
+  // Live observability flags. --metrics_port is present/absent (0 is a valid
+  // value: bind an ephemeral port and print it).
+  const char* metrics_port_flag = FlagValue(argc, argv, "--metrics_port=");
+  const std::int64_t metrics_port =
+      metrics_port_flag != nullptr ? std::atoll(metrics_port_flag) : 0;
+  const std::int64_t stats_every = IntFlag(argc, argv, "--stats_every=", 0);
+  const std::int64_t trace_sample = IntFlag(argc, argv, "--trace_sample=", 0);
+  const std::int64_t slo_latency_ms =
+      IntFlag(argc, argv, "--slo_latency_ms=", 0);
+  const std::int64_t slo_staleness_rows =
+      IntFlag(argc, argv, "--slo_staleness_rows=", 0);
+  const std::int64_t drift_every = IntFlag(argc, argv, "--drift_every=", 0);
+  const double drift_threshold = [&] {
+    const char* v = FlagValue(argc, argv, "--drift_threshold=");
+    return v != nullptr ? std::atof(v) : 0.35;
+  }();
+  const std::int64_t drain_linger_ms =
+      IntFlag(argc, argv, "--drain_linger_ms=", 0);
   if (quant_flag != nullptr && std::strcmp(quant_flag, "int8") != 0 &&
       std::strcmp(quant_flag, "off") != 0) {
     std::fprintf(stderr, "tfmae_serve: --quant must be int8 or off\n");
@@ -280,6 +322,20 @@ int main(int argc, char** argv) {
     }
   }
   const std::vector<float> calibration = detector.Score(train);
+  // Drift-monitor reference: a loaded checkpoint may carry one
+  // (<prefix>.drift); otherwise the calibration scores just computed become
+  // it. SaveCheckpoint ran before the reference existed, so persist the
+  // sidecar explicitly for later runs of the same prefix.
+  if (!detector.has_score_reference()) {
+    detector.SetScoreReference(tfmae::core::BuildScoreDistribution(calibration));
+    if (save_checkpoint != nullptr &&
+        !tfmae::core::SaveScoreDistribution(
+            detector.score_reference(), std::string(save_checkpoint) + ".drift") &&
+        !quiet) {
+      std::fprintf(stderr, "tfmae_serve: cannot save drift reference %s.drift\n",
+                   save_checkpoint);
+    }
+  }
   if (!quiet) {
     std::printf("model ready in %.1fs (%s)\n", fit_watch.ElapsedSeconds(),
                 checkpoint != nullptr ? "checkpoint" : "fitted");
@@ -293,9 +349,55 @@ int main(int argc, char** argv) {
   options.batch_max = batch_max;
   options.shed_policy = shed_policy;
   options.watchdog_stall_ms = watchdog_ms;
+  options.trace_sample = trace_sample;
+  options.slo_latency_ns = slo_latency_ms * 1000000;
+  options.slo_staleness_rows = slo_staleness_rows;
+  options.drift_check_every = drift_every;
+  options.drift_threshold = drift_threshold;
   if (snapshot_dir != nullptr) options.snapshot_dir = snapshot_dir;
   tfmae::serve::FleetServer server(&detector, options);
   server.CalibrateThreshold(calibration, anomaly_fraction);
+
+  // Live endpoints. Declared after the server so it stops serving BEFORE
+  // the server is destroyed — a late scrape can never race a dying server.
+  tfmae::obs::HttpEndpoint endpoint;
+  if (metrics_port_flag != nullptr) {
+    endpoint.Handle("/metrics", [] {
+      tfmae::obs::HttpResponse response;
+      response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      response.body = tfmae::obs::RenderPrometheusText();
+      return response;
+    });
+    endpoint.Handle("/healthz", [&server] {
+      tfmae::obs::HttpResponse response;
+      if (server.draining()) {
+        response.status = 503;
+        response.body = "draining\n";
+      } else if (server.degraded()) {
+        // Alive but shedding: stays 200 so the fleet does not flap, the
+        // body carries the latch for anyone who looks.
+        response.body = "degraded\n";
+      } else {
+        response.body = "ok\n";
+      }
+      return response;
+    });
+    endpoint.Handle("/statusz", [&server] {
+      tfmae::obs::HttpResponse response;
+      response.content_type = "application/json";
+      response.body = tfmae::serve::ServeStatsJson(server.stats()) + "\n";
+      return response;
+    });
+    std::string endpoint_error;
+    if (!endpoint.Start(static_cast<int>(metrics_port), &endpoint_error)) {
+      std::fprintf(stderr, "tfmae_serve: metrics endpoint failed: %s\n",
+                   endpoint_error.c_str());
+      return 1;
+    }
+    // Printed even under --quiet: an ephemeral port is unknowable otherwise.
+    std::printf("metrics endpoint on port %d\n", endpoint.port());
+    std::fflush(stdout);
+  }
 
   // Per-stream re-feed start: 0 for a fresh run; total_pushed(stream) after
   // a restore, so the replay skips exactly the rows the snapshot already
@@ -400,6 +502,14 @@ int main(int argc, char** argv) {
     }
     ++ticks;
     LogResults(score_log, server.TakeResults(), &anomalies);
+    if (stats_every > 0 && ticks % stats_every == 0) {
+      // One-line JSON heartbeat: same payload as /statusz, with the tick
+      // spliced in as the first key so log scrapers can align the series.
+      const std::string line = tfmae::serve::ServeStatsJson(server.stats());
+      std::printf("stats {\"tick\":%lld,%s\n", static_cast<long long>(ticks),
+                  line.c_str() + 1);
+      std::fflush(stdout);
+    }
     // Snapshot at tick boundaries, AFTER the tick's scores are durably in
     // the log: Flush + log + fflush + snapshot, so nothing the snapshot
     // counts as scored can be missing from the killed run's log.
@@ -492,6 +602,29 @@ int main(int argc, char** argv) {
       static_cast<long long>(stats.rows_quarantined),
       static_cast<long long>(stats.rows_rejected),
       static_cast<long long>(stats.rows_warmup));
+  if (slo_latency_ms > 0 || slo_staleness_rows > 0) {
+    std::printf(
+        "  slo         %lld latency breaches, %lld staleness breaches, "
+        "%lld streams exhausted (%lld episodes)\n",
+        static_cast<long long>(stats.slo_latency_breaches),
+        static_cast<long long>(stats.slo_staleness_breaches),
+        static_cast<long long>(stats.slo_exhausted_streams),
+        static_cast<long long>(stats.slo_exhausted_episodes));
+  }
+  if (drift_every > 0) {
+    std::printf("  drift       %lld checks, %lld alarms, last ks %.4f "
+                "(threshold %.2f)\n",
+                static_cast<long long>(stats.drift_checks),
+                static_cast<long long>(stats.drift_alarms), stats.drift_ks,
+                drift_threshold);
+  }
+  std::fflush(stdout);
+
+  // Keep the live endpoints up briefly after drain so an external prober
+  // can observe the drained /healthz (503) before the process exits.
+  if (drain_linger_ms > 0 && endpoint.running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(drain_linger_ms));
+  }
 
   if (verify) {
     // Batched-equals-sequential spot check: replay a few streams through
